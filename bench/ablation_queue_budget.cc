@@ -1,0 +1,64 @@
+// Ablation A4: two ways to bound the URL queue.
+//
+// The paper bounds memory by *discarding at enqueue time* (limited
+// distance, parameter N). The production alternative is a fixed
+// frontier budget that *evicts the least promising pending URL at
+// capacity*. This harness sweeps the frontier budget for soft-focused
+// (which otherwise needs the full 200k-URL queue) and compares against
+// limited-distance picks at matched peak-queue sizes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lswc;
+  using namespace lswc::bench;
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.pages > 500'000) args.pages = 500'000;
+
+  std::printf("=== Ablation: frontier budget vs limited distance ===\n");
+  const WebGraph graph = BuildThaiDataset(args);
+  PrintDatasetStats("Thai", graph);
+  MetaTagClassifier classifier(Language::kThai);
+  const SoftFocusedStrategy soft;
+
+  auto unbounded = RunSimulation(graph, &classifier, soft);
+  if (!unbounded.ok()) return 1;
+  const size_t full = unbounded->summary.max_queue_size;
+  std::printf("\nunbounded soft-focused peak queue: %zu URLs, coverage "
+              "%.1f%%\n\n",
+              full, unbounded->summary.final_coverage_pct);
+
+  std::printf("%-34s %10s %10s %10s %12s\n", "configuration", "queue cap",
+              "coverage%", "harvest%", "URLs dropped");
+  for (double fraction : {0.5, 0.25, 0.10, 0.05, 0.02}) {
+    SimulationOptions options;
+    options.frontier_capacity =
+        std::max<size_t>(64, static_cast<size_t>(full * fraction));
+    auto r = RunSimulation(graph, &classifier, soft, RenderMode::kNone,
+                           options);
+    if (!r.ok()) return 1;
+    std::printf("soft-focused @ %3.0f%% of full queue %10zu %9.1f%% "
+                "%9.1f%% %12llu\n",
+                100 * fraction, options.frontier_capacity,
+                r->summary.final_coverage_pct, r->summary.final_harvest_pct,
+                static_cast<unsigned long long>(r->summary.urls_dropped));
+  }
+  std::printf("\n");
+  for (int n : {1, 2, 3, 4}) {
+    const LimitedDistanceStrategy strategy(n, /*prioritized=*/true);
+    auto r = RunSimulation(graph, &classifier, strategy);
+    if (!r.ok()) return 1;
+    std::printf("%-34s %10zu %9.1f%% %9.1f%% %12s\n",
+                strategy.name().c_str(), r->summary.max_queue_size,
+                r->summary.final_coverage_pct, r->summary.final_harvest_pct,
+                "-");
+  }
+  std::printf("\nreading: evicting at capacity degrades coverage "
+              "gracefully and needs no tuning parameter, while the "
+              "paper's N couples queue size to tunnel depth; at matched "
+              "peak queue the two columns show which coverage each design "
+              "buys.\n");
+  return 0;
+}

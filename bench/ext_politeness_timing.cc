@@ -1,0 +1,75 @@
+// Extension experiment (the paper's future work made concrete):
+// "we also would like to enhance our crawling simulator by incorporating
+// transfer delays and access intervals in the simulation."
+//
+// This harness runs the politeness-aware simulator over the Thai dataset
+// and reports what the timeless trace replay cannot show: wall-clock
+// cost per strategy, the connection-count scaling wall, and how a
+// focused crawl becomes politeness-bound once only the big relevant
+// hosts have pages left.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/politeness.h"
+
+int main(int argc, char** argv) {
+  using namespace lswc;
+  using namespace lswc::bench;
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  if (args.pages > 300'000) args.pages = 300'000;
+
+  std::printf("=== Extension: transfer delays + access intervals ===\n");
+  const WebGraph graph = BuildThaiDataset(args);
+  PrintDatasetStats("Thai", graph);
+  MetaTagClassifier classifier(Language::kThai);
+  InMemoryLinkDb link_db(&graph);
+  VirtualWebSpace web(&graph, &link_db, RenderMode::kNone);
+
+  const BreadthFirstStrategy bfs;
+  const HardFocusedStrategy hard;
+  const SoftFocusedStrategy soft;
+  const LimitedDistanceStrategy limited(2, true);
+
+  std::printf("\n%-36s %6s %11s %10s %8s %10s\n", "strategy", "conns",
+              "sim time[s]", "pages/sec", "stall%", "coverage%");
+  for (const CrawlStrategy* strategy :
+       {static_cast<const CrawlStrategy*>(&bfs),
+        static_cast<const CrawlStrategy*>(&hard),
+        static_cast<const CrawlStrategy*>(&soft),
+        static_cast<const CrawlStrategy*>(&limited)}) {
+    for (int connections : {8, 64}) {
+      PolitenessOptions options;
+      options.num_connections = connections;
+      options.min_access_interval_sec = 1.0;
+      PolitenessSimulator sim(&web, &classifier, strategy, options);
+      auto r = sim.Run();
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      const PolitenessSummary& s = r->summary;
+      std::printf("%-36s %6d %11.0f %10.1f %7.1f%% %9.1f\n",
+                  strategy->name().c_str(), connections, s.sim_time_sec,
+                  s.pages_per_sec, 100.0 * s.politeness_stall_fraction,
+                  s.final_coverage_pct);
+    }
+  }
+
+  // The time-domain crossover: early in the crawl the focused strategy
+  // is bandwidth-bound like BFS; late, it serializes on the few big
+  // relevant hosts. Emit pages-vs-time for plotting.
+  PolitenessOptions options;
+  options.num_connections = 16;
+  options.min_access_interval_sec = 1.0;
+  PolitenessSimulator sim(&web, &classifier, &hard, options);
+  auto r = sim.Run();
+  if (!r.ok()) return 1;
+  std::printf("\n--- hard-focused, 16 connections: crawl progress over "
+              "simulated time ---\n");
+  EmitSeries(args, "ext_politeness_hard.dat", r->series);
+  std::printf("\nreading: the interval, not bandwidth, bounds throughput "
+              "once the frontier concentrates on few hosts — the dynamics "
+              "the paper wanted its simulator to capture next.\n");
+  return 0;
+}

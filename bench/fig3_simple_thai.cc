@@ -1,0 +1,46 @@
+// Figure 3: the simple strategy on the Thai dataset.
+//   (a) harvest rate vs pages crawled   -> fig3a_harvest.dat
+//   (b) coverage    vs pages crawled    -> fig3b_coverage.dat
+// Strategies: breadth-first baseline, hard-focused, soft-focused; the
+// classifier is the paper's Thai setup (META-tag charset, §3.2).
+//
+// Expected shape (paper): both focused modes clearly beat breadth-first
+// on early harvest (~60% vs dataset base ~35%); soft-focused reaches
+// 100% coverage; hard-focused stops early at substantially lower
+// coverage (paper: ~70%).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace lswc;
+  using namespace lswc::bench;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  std::printf("=== Figure 3: simple strategies, Thai dataset ===\n");
+  const WebGraph graph = BuildThaiDataset(args);
+  PrintDatasetStats("Thai", graph);
+
+  MetaTagClassifier classifier(Language::kThai);
+  const BreadthFirstStrategy bfs;
+  const HardFocusedStrategy hard;
+  const SoftFocusedStrategy soft;
+
+  const SimulationResult r_bfs = RunStrategy(graph, &classifier, bfs);
+  const SimulationResult r_hard = RunStrategy(graph, &classifier, hard);
+  const SimulationResult r_soft = RunStrategy(graph, &classifier, soft);
+
+  const std::vector<std::pair<std::string, const SimulationResult*>> runs{
+      {"breadth-first", &r_bfs},
+      {"hard-focused", &r_hard},
+      {"soft-focused", &r_soft},
+  };
+  std::printf("\n--- Fig 3(a): harvest rate [%%] ---\n");
+  EmitSeries(args, "fig3a_harvest.dat",
+             MergeColumn(runs, 0, "pages_crawled"));
+  std::printf("\n--- Fig 3(b): coverage [%%] ---\n");
+  EmitSeries(args, "fig3b_coverage.dat",
+             MergeColumn(runs, 1, "pages_crawled"));
+  return 0;
+}

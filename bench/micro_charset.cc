@@ -1,0 +1,99 @@
+// Microbenchmarks of the charset substrate: detector throughput per
+// encoding and codec encode/decode throughput. Run via google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "charset/codec.h"
+#include "charset/detector.h"
+#include "charset/text_gen.h"
+#include "util/random.h"
+
+namespace lswc {
+namespace {
+
+std::string MakeDoc(Language lang, Encoding encoding, size_t chars) {
+  Rng rng(42);
+  return EncodeText(encoding, GenerateText(lang, chars, &rng)).value();
+}
+
+void BM_DetectEucJp(benchmark::State& state) {
+  const std::string doc = MakeDoc(Language::kJapanese, Encoding::kEucJp,
+                                  static_cast<size_t>(state.range(0)));
+  CharsetDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(doc));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_DetectEucJp)->Arg(256)->Arg(4096);
+
+void BM_DetectShiftJis(benchmark::State& state) {
+  const std::string doc = MakeDoc(Language::kJapanese, Encoding::kShiftJis,
+                                  static_cast<size_t>(state.range(0)));
+  CharsetDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(doc));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_DetectShiftJis)->Arg(4096);
+
+void BM_DetectTis620(benchmark::State& state) {
+  const std::string doc = MakeDoc(Language::kThai, Encoding::kTis620,
+                                  static_cast<size_t>(state.range(0)));
+  CharsetDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(doc));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_DetectTis620)->Arg(4096);
+
+void BM_DetectAscii(benchmark::State& state) {
+  const std::string doc(static_cast<size_t>(state.range(0)), 'a');
+  CharsetDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(doc));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_DetectAscii)->Arg(4096);
+
+void BM_EncodeEucJp(benchmark::State& state) {
+  Rng rng(7);
+  const std::u32string text = GenerateText(Language::kJapanese, 2048, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeText(Encoding::kEucJp, text));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_EncodeEucJp);
+
+void BM_DecodeShiftJis(benchmark::State& state) {
+  const std::string doc = MakeDoc(Language::kJapanese, Encoding::kShiftJis,
+                                  2048);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeText(Encoding::kShiftJis, doc));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_DecodeShiftJis);
+
+void BM_GenerateText(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateText(Language::kThai, 512, &rng));
+  }
+}
+BENCHMARK(BM_GenerateText);
+
+}  // namespace
+}  // namespace lswc
+
+BENCHMARK_MAIN();

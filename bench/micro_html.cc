@@ -1,0 +1,74 @@
+// Microbenchmarks of the HTML substrate: tokenization, link extraction
+// and META-charset prescan over a realistic rendered page.
+
+#include <benchmark/benchmark.h>
+
+#include "html/link_extractor.h"
+#include "html/meta_charset.h"
+#include "html/tokenizer.h"
+#include "webgraph/content_gen.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+struct Doc {
+  std::string url;
+  std::string html;
+};
+
+const Doc& SampleDoc() {
+  static const Doc* doc = [] {
+    auto g = GenerateWebGraph(ThaiLikeOptions(5000));
+    const WebGraph& graph = *g;
+    // Pick an OK page with several links and an ASCII-compatible body.
+    for (PageId p = 0; p < graph.num_pages(); ++p) {
+      if (graph.page(p).ok() && graph.outlinks(p).size() >= 5 &&
+          graph.page(p).true_encoding != Encoding::kIso2022Jp) {
+        return new Doc{graph.UrlOf(p), RenderPageBody(graph, p).value()};
+      }
+    }
+    return new Doc{};
+  }();
+  return *doc;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const Doc& doc = SampleDoc();
+  for (auto _ : state) {
+    HtmlTokenizer tok(doc.html);
+    int tags = 0;
+    while (tok.Next().type != HtmlTokenType::kEndOfFile) ++tags;
+    benchmark::DoNotOptimize(tags);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.html.size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ExtractLinks(benchmark::State& state) {
+  const Doc& doc = SampleDoc();
+  LinkExtractorOptions options;
+  options.collect_anchor_text = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractLinks(doc.url, doc.html, options));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.html.size()));
+}
+BENCHMARK(BM_ExtractLinks)->Arg(0)->Arg(1);
+
+void BM_ExtractMetaCharset(benchmark::State& state) {
+  const Doc& doc = SampleDoc();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractMetaCharset(doc.html));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.html.size()));
+}
+BENCHMARK(BM_ExtractMetaCharset);
+
+}  // namespace
+}  // namespace lswc
+
+BENCHMARK_MAIN();

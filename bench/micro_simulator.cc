@@ -1,0 +1,97 @@
+// Microbenchmarks of the simulator core: trace-replay crawl throughput
+// per strategy, page rendering, and frontier operations — the numbers
+// that bound how large a dataset one simulation run can sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "core/frontier.h"
+#include "core/simulator.h"
+#include "webgraph/content_gen.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+const WebGraph& SharedGraph() {
+  static const WebGraph* graph = [] {
+    auto g = GenerateWebGraph(ThaiLikeOptions(100'000));
+    return new WebGraph(std::move(g).value());
+  }();
+  return *graph;
+}
+
+template <typename Strategy>
+void BM_TraceCrawl(benchmark::State& state) {
+  const WebGraph& graph = SharedGraph();
+  MetaTagClassifier classifier(Language::kThai);
+  const Strategy strategy;
+  uint64_t pages = 0;
+  for (auto _ : state) {
+    auto r = RunSimulation(graph, &classifier, strategy);
+    pages += r->summary.pages_crawled;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(pages));
+  state.counters["pages/s"] = benchmark::Counter(
+      static_cast<double>(pages), benchmark::Counter::kIsRate);
+}
+BENCHMARK_TEMPLATE(BM_TraceCrawl, BreadthFirstStrategy);
+BENCHMARK_TEMPLATE(BM_TraceCrawl, SoftFocusedStrategy);
+BENCHMARK_TEMPLATE(BM_TraceCrawl, HardFocusedStrategy);
+
+void BM_CrawlWithHeadRendering(benchmark::State& state) {
+  const WebGraph& graph = SharedGraph();
+  DetectorClassifier classifier(Language::kThai);
+  const SoftFocusedStrategy strategy;
+  uint64_t pages = 0;
+  for (auto _ : state) {
+    auto r =
+        RunSimulation(graph, &classifier, strategy, RenderMode::kHead);
+    pages += r->summary.pages_crawled;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(pages));
+  state.counters["pages/s"] = benchmark::Counter(
+      static_cast<double>(pages), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CrawlWithHeadRendering);
+
+void BM_RenderPageBody(benchmark::State& state) {
+  const WebGraph& graph = SharedGraph();
+  PageId p = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto body = RenderPageBody(graph, p);
+    bytes += body->size();
+    benchmark::DoNotOptimize(body);
+    p = (p + 1) % static_cast<PageId>(graph.num_pages());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_RenderPageBody);
+
+void BM_FifoFrontier(benchmark::State& state) {
+  FifoFrontier frontier;
+  for (auto _ : state) {
+    for (PageId p = 0; p < 64; ++p) frontier.Push(p, 0);
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(frontier.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_FifoFrontier);
+
+void BM_BucketFrontier(benchmark::State& state) {
+  BucketFrontier frontier(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (PageId p = 0; p < 64; ++p) {
+      frontier.Push(p, static_cast<int>(p) % frontier.num_levels());
+    }
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(frontier.Pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_BucketFrontier)->Arg(2)->Arg(5);
+
+}  // namespace
+}  // namespace lswc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Microbenchmarks of the URL substrate: parsing, resolution,
+// canonicalization, and interning throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "url/url.h"
+#include "url/url_table.h"
+#include "util/string_util.h"
+
+namespace lswc {
+namespace {
+
+void BM_ParseUrl(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ParseUrl("http://www12345.example-th.test/dir/p42.html?x=1&y=2"));
+  }
+}
+BENCHMARK(BM_ParseUrl);
+
+void BM_ResolveRelative(benchmark::State& state) {
+  const auto base = ParseUrl("http://host.test/a/b/c/page.html").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResolveUrl(base, "../../other/p.html"));
+  }
+}
+BENCHMARK(BM_ResolveRelative);
+
+void BM_Canonicalize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CanonicalizeUrl("HTTP://Host.Test:80/a/./b/../c/%7Euser#frag"));
+  }
+}
+BENCHMARK(BM_Canonicalize);
+
+void BM_UrlTableInternMiss(benchmark::State& state) {
+  UrlTable table;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Intern(StringPrintf("http://h%llu.test/p%llu.html",
+                                  static_cast<unsigned long long>(i % 997),
+                                  static_cast<unsigned long long>(i))));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UrlTableInternMiss);
+
+void BM_UrlTableInternHit(benchmark::State& state) {
+  UrlTable table;
+  std::vector<std::string> urls;
+  for (int i = 0; i < 1024; ++i) {
+    urls.push_back(StringPrintf("http://h%d.test/p%d.html", i % 97, i));
+    table.Intern(urls.back());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Intern(urls[i++ & 1023]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UrlTableInternHit);
+
+}  // namespace
+}  // namespace lswc
+
+BENCHMARK_MAIN();

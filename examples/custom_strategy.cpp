@@ -1,0 +1,91 @@
+// Extending the library with a custom priority-assignment strategy.
+//
+// CrawlStrategy is the paper's "observer" extension point: implement
+// OnLink and the simulator does the rest. The GradedFocusStrategy below
+// generalizes soft-focused the same way prioritized-limited-distance
+// generalizes hard-focused: it never discards a URL, but grades priority
+// by the distance from the last relevant referrer — an unbounded,
+// memory-hungry cousin of the paper's N-bounded strategy. Comparing the
+// three shows exactly what the cutoff N buys (queue control) and costs
+// (coverage of deep pockets).
+//
+// Run:  custom_strategy [pages]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/classifier.h"
+#include "core/simulator.h"
+#include "core/strategy.h"
+#include "webgraph/generator.h"
+
+namespace {
+
+/// Soft-focused with graded levels: priority = max(0, L-1 - run), where
+/// run is the consecutive-irrelevant count from the last relevant
+/// referrer. Never discards; beyond L-1 everything pools in the lowest
+/// level (compare LimitedDistanceStrategy, which cuts the path instead).
+class GradedFocusStrategy final : public lswc::CrawlStrategy {
+ public:
+  explicit GradedFocusStrategy(int levels) : levels_(levels) {}
+
+  lswc::LinkDecision OnLink(const lswc::ParentInfo& parent,
+                            lswc::PageId child) const override {
+    (void)child;
+    const int run = parent.relevant ? 0 : parent.annotation + 1;
+    lswc::LinkDecision d;
+    d.enqueue = true;  // Soft family: never discard.
+    d.annotation = static_cast<uint8_t>(std::min(run, 254));
+    d.priority = std::max(0, levels_ - 1 - run);
+    return d;
+  }
+  int seed_priority() const override { return levels_ - 1; }
+  int num_priority_levels() const override { return levels_; }
+  std::string name() const override {
+    return "graded-focus(levels=" + std::to_string(levels_) + ")";
+  }
+
+ private:
+  int levels_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lswc;
+  const uint32_t pages =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 150'000;
+  auto graph = GenerateWebGraph(ThaiLikeOptions(pages));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  MetaTagClassifier classifier(Language::kThai);
+
+  const SoftFocusedStrategy soft;
+  const LimitedDistanceStrategy limited(3, /*prioritized=*/true);
+  const GradedFocusStrategy graded(4);
+
+  std::printf("%-38s %9s %9s %9s %10s\n", "strategy", "crawled", "harvest%",
+              "coverage%", "max queue");
+  for (const CrawlStrategy* strategy :
+       {static_cast<const CrawlStrategy*>(&soft),
+        static_cast<const CrawlStrategy*>(&limited),
+        static_cast<const CrawlStrategy*>(&graded)}) {
+    auto result = RunSimulation(*graph, &classifier, *strategy);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const SimulationSummary& s = result->summary;
+    std::printf("%-38s %9llu %9.1f %9.1f %10zu\n", strategy->name().c_str(),
+                static_cast<unsigned long long>(s.pages_crawled),
+                s.final_harvest_pct, s.final_coverage_pct, s.max_queue_size);
+  }
+  std::printf("\ngraded-focus keeps soft-focused coverage (it never "
+              "discards) while front-loading near-relevant URLs; the "
+              "paper's limited-distance trades the deep tail away for a "
+              "bounded queue.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The paper's Japanese configuration: relevance judged by the composite
+// charset detector over real page bytes (the Mozilla-detector setup of
+// §3.2), not by the author's META declaration. The example also reports
+// the detector's crawl-time confusion matrix against ground truth and
+// shows what the detector actually sees for a few pages.
+//
+// Run:  japanese_web_archive [pages]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "charset/detector.h"
+#include "core/classifier.h"
+#include "core/simulator.h"
+#include "core/strategy.h"
+#include "webgraph/content_gen.h"
+#include "webgraph/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace lswc;
+  const uint32_t pages =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 200'000;
+
+  auto graph_or = GenerateWebGraph(JapaneseLikeOptions(pages));
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+    return 1;
+  }
+  const WebGraph& graph = *graph_or;
+  const DatasetStats stats = graph.ComputeStats();
+  std::printf("Japanese-like web space: %zu URLs, %.1f%% of OK pages "
+              "Japanese\n\n",
+              graph.num_pages(), 100.0 * stats.relevance_ratio());
+
+  // Peek at the byte-level pipeline for the first few OK pages.
+  std::printf("detector warm-up peek:\n");
+  int shown = 0;
+  for (PageId p = 0; p < graph.num_pages() && shown < 5; ++p) {
+    if (!graph.page(p).ok()) continue;
+    ++shown;
+    auto head = RenderPageHead(graph, p);
+    const DetectionResult d = DetectEncoding(head.value());
+    std::printf("  %-42s true=%-11s detected=%-11s conf=%.2f\n",
+                graph.UrlOf(p).c_str(),
+                std::string(EncodingName(graph.page(p).true_encoding)).c_str(),
+                std::string(EncodingName(d.encoding)).c_str(), d.confidence);
+  }
+
+  DetectorClassifier classifier(Language::kJapanese);
+  const BreadthFirstStrategy bfs;
+  const HardFocusedStrategy hard;
+  const SoftFocusedStrategy soft;
+  const CrawlStrategy* strategies[] = {&bfs, &hard, &soft};
+
+  std::printf("\n%-20s %9s %9s %9s %10s %10s\n", "strategy", "crawled",
+              "harvest%", "coverage%", "precision", "recall");
+  for (const CrawlStrategy* strategy : strategies) {
+    auto result =
+        RunSimulation(graph, &classifier, *strategy, RenderMode::kHead);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const SimulationSummary& s = result->summary;
+    std::printf("%-20s %9llu %9.1f %9.1f %10.3f %10.3f\n",
+                strategy->name().c_str(),
+                static_cast<unsigned long long>(s.pages_crawled),
+                s.final_harvest_pct, s.final_coverage_pct,
+                s.classifier_confusion.precision(),
+                s.classifier_confusion.recall());
+  }
+  std::printf("\nnote: even breadth-first harvests >%d%% here — the "
+              "dataset's language specificity is high, which is why the "
+              "paper runs its remaining experiments on the Thai dataset.\n",
+              60);
+  return 0;
+}

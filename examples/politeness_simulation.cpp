@@ -1,0 +1,63 @@
+// The paper's stated future work, implemented: a crawl simulation with
+// transfer delays and per-host access intervals. The example contrasts
+// the timeless trace replay with the politeness-aware run and shows how
+// host concentration throttles a focused crawl in wall-clock terms.
+//
+// Run:  politeness_simulation [pages]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/classifier.h"
+#include "core/politeness.h"
+#include "core/simulator.h"
+#include "core/strategy.h"
+#include "webgraph/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace lswc;
+  const uint32_t pages =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 100'000;
+
+  auto graph_or = GenerateWebGraph(ThaiLikeOptions(pages));
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+    return 1;
+  }
+  const WebGraph& graph = *graph_or;
+  MetaTagClassifier classifier(Language::kThai);
+  InMemoryLinkDb link_db(&graph);
+  VirtualWebSpace web(&graph, &link_db, RenderMode::kNone);
+
+  const SoftFocusedStrategy soft;
+  const HardFocusedStrategy hard;
+
+  std::printf("%-16s %6s %10s %12s %11s %9s %9s\n", "strategy", "conns",
+              "interval", "sim time", "pages/sec", "stall", "coverage%");
+  for (const CrawlStrategy* strategy :
+       {static_cast<const CrawlStrategy*>(&hard),
+        static_cast<const CrawlStrategy*>(&soft)}) {
+    for (int connections : {4, 16, 64}) {
+      PolitenessOptions options;
+      options.num_connections = connections;
+      options.min_access_interval_sec = 1.0;
+      PolitenessSimulator sim(&web, &classifier, strategy, options);
+      auto result = sim.Run();
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      const PolitenessSummary& s = result->summary;
+      std::printf("%-16s %6d %9.1fs %11.0fs %11.1f %8.1f%% %9.1f\n",
+                  strategy->name().c_str(), connections,
+                  options.min_access_interval_sec, s.sim_time_sec,
+                  s.pages_per_sec, 100.0 * s.politeness_stall_fraction,
+                  s.final_coverage_pct);
+    }
+  }
+  std::printf("\nreading: extra connections stop helping once every busy "
+              "host is pinned at its access interval — the focused crawl "
+              "concentrates on few hosts, so it is politeness-bound "
+              "earlier than breadth-first would be.\n");
+  return 0;
+}

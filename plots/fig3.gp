@@ -1,0 +1,20 @@
+# gnuplot script regenerating the paper's Figure 3 from the bench output.
+# Usage: build/bench/fig3_simple_thai --out-dir=bench_out && gnuplot plots/fig3.gp
+set terminal pngcairo size 900,600
+set key bottom right
+set xlabel "pages crawled"
+
+set output "bench_out/fig3a_harvest.png"
+set ylabel "Harvest Rate [%]"
+set yrange [0:100]
+set title "Simple Strategies [Thai-like dataset] - harvest rate"
+plot "bench_out/fig3a_harvest.dat" using 1:2 with lines lw 2 title "breadth-first", \
+     "" using 1:3 with lines lw 2 title "hard-focused", \
+     "" using 1:4 with lines lw 2 title "soft-focused"
+
+set output "bench_out/fig3b_coverage.png"
+set ylabel "Coverage [%]"
+set title "Simple Strategies [Thai-like dataset] - coverage"
+plot "bench_out/fig3b_coverage.dat" using 1:2 with lines lw 2 title "breadth-first", \
+     "" using 1:3 with lines lw 2 title "hard-focused", \
+     "" using 1:4 with lines lw 2 title "soft-focused"

@@ -1,0 +1,19 @@
+# Figure 4: simple strategies on the Japanese-like dataset.
+set terminal pngcairo size 900,600
+set xlabel "pages crawled"
+set key bottom right
+
+set output "bench_out/fig4a_harvest.png"
+set ylabel "Harvest Rate [%]"
+set yrange [0:100]
+set title "Simple Strategies [Japanese-like dataset] - harvest rate"
+plot "bench_out/fig4a_harvest.dat" using 1:2 with lines lw 2 title "breadth-first", \
+     "" using 1:3 with lines lw 2 title "hard-focused", \
+     "" using 1:4 with lines lw 2 title "soft-focused"
+
+set output "bench_out/fig4b_coverage.png"
+set ylabel "Coverage [%]"
+set title "Simple Strategies [Japanese-like dataset] - coverage"
+plot "bench_out/fig4b_coverage.dat" using 1:2 with lines lw 2 title "breadth-first", \
+     "" using 1:3 with lines lw 2 title "hard-focused", \
+     "" using 1:4 with lines lw 2 title "soft-focused"

@@ -1,0 +1,9 @@
+# Figure 5: URL queue size, simple strategies on the Thai-like dataset.
+set terminal pngcairo size 900,600
+set output "bench_out/fig5_queue.png"
+set key top right
+set xlabel "pages crawled"
+set ylabel "URL Queue Size [URLs]"
+set title "Size of URL Queue - Simple Strategy"
+plot "bench_out/fig5_queue.dat" using 1:2 with lines lw 2 title "hard-focused", \
+     "" using 1:3 with lines lw 2 title "soft-focused"

@@ -1,0 +1,20 @@
+# Figure 6: non-prioritized limited distance, N = 1..4.
+set terminal pngcairo size 900,600
+set xlabel "pages crawled"
+set key bottom right
+
+set output "bench_out/fig6a_queue.png"
+set ylabel "URL Queue Size [URLs]"
+set title "Non-Prioritized Limited Distance - queue size"
+plot for [i=2:5] "bench_out/fig6a_queue.dat" using 1:i with lines lw 2 title sprintf("N=%d", i-1)
+
+set output "bench_out/fig6b_harvest.png"
+set ylabel "Harvest Rate [%]"
+set yrange [0:100]
+set title "Non-Prioritized Limited Distance - harvest rate"
+plot for [i=2:5] "bench_out/fig6b_harvest.dat" using 1:i with lines lw 2 title sprintf("N=%d", i-1)
+
+set output "bench_out/fig6c_coverage.png"
+set ylabel "Coverage [%]"
+set title "Non-Prioritized Limited Distance - coverage"
+plot for [i=2:5] "bench_out/fig6c_coverage.dat" using 1:i with lines lw 2 title sprintf("N=%d", i-1)

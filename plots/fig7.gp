@@ -1,0 +1,20 @@
+# Figure 7: prioritized limited distance, N = 1..4.
+set terminal pngcairo size 900,600
+set xlabel "pages crawled"
+set key bottom right
+
+set output "bench_out/fig7a_queue.png"
+set ylabel "URL Queue Size [URLs]"
+set title "Prioritized Limited Distance - queue size"
+plot for [i=2:5] "bench_out/fig7a_queue.dat" using 1:i with lines lw 2 title sprintf("PRIOR N=%d", i-1)
+
+set output "bench_out/fig7b_harvest.png"
+set ylabel "Harvest Rate [%]"
+set yrange [0:100]
+set title "Prioritized Limited Distance - harvest rate (curves coincide)"
+plot for [i=2:5] "bench_out/fig7b_harvest.dat" using 1:i with lines lw 2 title sprintf("PRIOR N=%d", i-1)
+
+set output "bench_out/fig7c_coverage.png"
+set ylabel "Coverage [%]"
+set title "Prioritized Limited Distance - coverage"
+plot for [i=2:5] "bench_out/fig7c_coverage.dat" using 1:i with lines lw 2 title sprintf("PRIOR N=%d", i-1)

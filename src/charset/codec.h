@@ -1,0 +1,49 @@
+#ifndef LSWC_CHARSET_CODEC_H_
+#define LSWC_CHARSET_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "charset/encoding.h"
+#include "util/status.h"
+
+namespace lswc {
+
+/// True when `cp` is representable in encoding `e` by this codec.
+///
+/// Japanese repertoire: ASCII, JIS X 0208 row-1 punctuation subset,
+/// full hiragana & katakana rows, and a curated common-kanji subset
+/// (see codec.cc); the synthetic-content generator draws only from this
+/// repertoire, so encode of generated text never fails.
+bool CanEncode(Encoding e, char32_t cp);
+
+/// Encodes UTF-32 text into the byte stream of encoding `e`. Fails with
+/// InvalidArgument on the first unrepresentable codepoint.
+StatusOr<std::string> EncodeText(Encoding e, const std::u32string& text);
+
+/// Decodes a byte stream in encoding `e` back to UTF-32. Fails with
+/// Corruption on invalid sequences (no silent replacement: the probers,
+/// not the codec, are in charge of guessing).
+StatusOr<std::u32string> DecodeText(Encoding e, std::string_view bytes);
+
+/// UTF-8 specific helpers (also used by the UTF-8 prober and tests).
+StatusOr<std::u32string> DecodeUtf8(std::string_view bytes);
+std::string EncodeUtf8(const std::u32string& text);
+
+/// A JIS X 0208 code point (row/cell a.k.a. ku-ten, both 1-based).
+struct JisCode {
+  int row = 0;
+  int cell = 0;
+};
+
+/// Maps a Unicode codepoint into JIS X 0208 row/cell for the supported
+/// repertoire; returns false if unmapped.
+bool UnicodeToJis(char32_t cp, JisCode* out);
+/// Inverse of UnicodeToJis; returns false for rows/cells outside the
+/// supported repertoire.
+bool JisToUnicode(JisCode code, char32_t* out);
+
+}  // namespace lswc
+
+#endif  // LSWC_CHARSET_CODEC_H_

@@ -1,0 +1,90 @@
+#include "charset/detector.h"
+
+#include "charset/escape_prober.h"
+#include "charset/mbcs_prober.h"
+#include "charset/thai_prober.h"
+#include "charset/utf8_prober.h"
+
+namespace lswc {
+
+CharsetDetector::CharsetDetector(DetectorOptions options)
+    : options_(options) {
+  probers_.push_back(std::make_unique<EscapeProber>());
+  probers_.push_back(std::make_unique<Utf8Prober>());
+  probers_.push_back(std::make_unique<EucJpProber>());
+  probers_.push_back(std::make_unique<ShiftJisProber>());
+  if (options_.enable_thai) {
+    probers_.push_back(std::make_unique<ThaiProber>());
+  }
+}
+
+CharsetDetector::~CharsetDetector() = default;
+
+void CharsetDetector::Reset() {
+  for (auto& p : probers_) p->Reset();
+  bytes_seen_ = 0;
+  saw_8bit_ = false;
+  saw_escape_ = false;
+}
+
+void CharsetDetector::Feed(std::string_view bytes) {
+  if (options_.max_bytes != 0) {
+    if (bytes_seen_ >= options_.max_bytes) return;
+    const size_t room = options_.max_bytes - bytes_seen_;
+    if (bytes.size() > room) bytes = bytes.substr(0, room);
+  }
+  bytes_seen_ += bytes.size();
+  for (unsigned char b : bytes) {
+    if (b >= 0x80) {
+      saw_8bit_ = true;
+      break;
+    }
+  }
+  if (!saw_escape_ &&
+      bytes.find('\x1b') != std::string_view::npos) {
+    saw_escape_ = true;
+  }
+  for (auto& p : probers_) {
+    if (p->state() == ProbeState::kDetecting) p->Feed(bytes);
+  }
+}
+
+DetectionResult CharsetDetector::Result() const {
+  // An escape-based hit is conclusive regardless of other probers.
+  for (const auto& p : probers_) {
+    if (p->state() == ProbeState::kFoundIt) {
+      return DetectionResult{p->encoding(), p->Confidence()};
+    }
+  }
+  if (!saw_8bit_) {
+    // Pure 7-bit and no JIS shift-in: plain ASCII.
+    return DetectionResult{Encoding::kAscii, saw_escape_ ? 0.5 : 0.99};
+  }
+  DetectionResult best;
+  for (const auto& p : probers_) {
+    if (p->state() == ProbeState::kNotMe) continue;
+    const double c = p->Confidence();
+    if (c > best.confidence) {
+      best.confidence = c;
+      best.encoding = p->encoding();
+    }
+  }
+  if (best.confidence < options_.min_confidence) {
+    // 8-bit bytes that no prober claims: Latin-1 floor guess.
+    return DetectionResult{Encoding::kLatin1, 0.10};
+  }
+  return best;
+}
+
+DetectionResult CharsetDetector::Detect(std::string_view bytes) {
+  Reset();
+  Feed(bytes);
+  return Result();
+}
+
+DetectionResult DetectEncoding(std::string_view bytes) {
+  CharsetDetector detector;
+  return detector.Detect(bytes);
+}
+
+}  // namespace lswc

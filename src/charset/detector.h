@@ -1,0 +1,70 @@
+#ifndef LSWC_CHARSET_DETECTOR_H_
+#define LSWC_CHARSET_DETECTOR_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "charset/encoding.h"
+#include "charset/prober.h"
+
+namespace lswc {
+
+/// Outcome of charset detection.
+struct DetectionResult {
+  Encoding encoding = Encoding::kUnknown;
+  double confidence = 0.0;  // [0, 1]; 0 when undetected.
+};
+
+/// Options for the composite detector.
+struct DetectorOptions {
+  /// Examine at most this many bytes of the document (0 = all). Real
+  /// detectors prescan a prefix; 8 KiB matches typical crawler practice.
+  size_t max_bytes = 8192;
+  /// Minimum confidence required to report a result; below it the
+  /// detector answers kUnknown, which the crawler treats as irrelevant.
+  double min_confidence = 0.20;
+  /// When false the Thai single-byte prober is disabled, reproducing the
+  /// era-accurate Mozilla detector the paper used ("some languages, such
+  /// as Thai, are not supported by these tools").
+  bool enable_thai = true;
+};
+
+/// The composite charset detector (the "composite approach" of Li &
+/// Momoi 2001 / the Mozilla charset detector the paper applies):
+///  1. pure 7-bit input -> ISO-2022-JP if a JIS shift-in escape appears,
+///     otherwise US-ASCII;
+///  2. otherwise every prober (UTF-8, EUC-JP, Shift_JIS, Thai) is fed the
+///     prefix and the highest-confidence survivor wins;
+///  3. 8-bit input that defeats every prober falls back to Latin-1 with
+///     floor confidence.
+class CharsetDetector {
+ public:
+  explicit CharsetDetector(DetectorOptions options = {});
+  ~CharsetDetector();
+
+  CharsetDetector(const CharsetDetector&) = delete;
+  CharsetDetector& operator=(const CharsetDetector&) = delete;
+
+  /// One-shot detection of a whole document.
+  DetectionResult Detect(std::string_view bytes);
+
+  /// Streaming interface: Reset, Feed chunks, then Result.
+  void Reset();
+  void Feed(std::string_view bytes);
+  DetectionResult Result() const;
+
+ private:
+  DetectorOptions options_;
+  std::vector<std::unique_ptr<CharsetProber>> probers_;
+  size_t bytes_seen_ = 0;
+  bool saw_8bit_ = false;
+  bool saw_escape_ = false;
+};
+
+/// Convenience wrapper: detect with default options.
+DetectionResult DetectEncoding(std::string_view bytes);
+
+}  // namespace lswc
+
+#endif  // LSWC_CHARSET_DETECTOR_H_

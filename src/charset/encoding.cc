@@ -1,0 +1,120 @@
+#include "charset/encoding.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace lswc {
+
+std::string_view EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kUnknown:
+      return "unknown";
+    case Encoding::kAscii:
+      return "US-ASCII";
+    case Encoding::kUtf8:
+      return "UTF-8";
+    case Encoding::kLatin1:
+      return "ISO-8859-1";
+    case Encoding::kEucJp:
+      return "EUC-JP";
+    case Encoding::kShiftJis:
+      return "Shift_JIS";
+    case Encoding::kIso2022Jp:
+      return "ISO-2022-JP";
+    case Encoding::kTis620:
+      return "TIS-620";
+    case Encoding::kWindows874:
+      return "windows-874";
+    case Encoding::kNumEncodings:
+      break;
+  }
+  return "unknown";
+}
+
+namespace {
+struct Alias {
+  std::string_view name;
+  Encoding encoding;
+};
+
+// Aliases are matched after lowercasing and stripping '-', '_', and ' ',
+// so "Shift_JIS", "shift-jis", and "shiftjis" all normalize to "shiftjis".
+constexpr std::array<Alias, 26> kAliases{{
+    {"usascii", Encoding::kAscii},
+    {"ascii", Encoding::kAscii},
+    {"ansix341968", Encoding::kAscii},
+    {"utf8", Encoding::kUtf8},
+    {"iso88591", Encoding::kLatin1},
+    {"latin1", Encoding::kLatin1},
+    {"windows1252", Encoding::kLatin1},
+    {"cp1252", Encoding::kLatin1},
+    {"eucjp", Encoding::kEucJp},
+    {"xeucjp", Encoding::kEucJp},
+    {"extendedunixcodepackedformatforjapanese", Encoding::kEucJp},
+    {"shiftjis", Encoding::kShiftJis},
+    {"xsjis", Encoding::kShiftJis},
+    {"sjis", Encoding::kShiftJis},
+    {"mskanji", Encoding::kShiftJis},
+    {"cp932", Encoding::kShiftJis},
+    {"windows31j", Encoding::kShiftJis},
+    {"iso2022jp", Encoding::kIso2022Jp},
+    {"csiso2022jp", Encoding::kIso2022Jp},
+    {"tis620", Encoding::kTis620},
+    {"tis6202533", Encoding::kTis620},
+    {"iso885911", Encoding::kTis620},
+    {"thai", Encoding::kTis620},
+    {"windows874", Encoding::kWindows874},
+    {"cp874", Encoding::kWindows874},
+    {"xwindows874", Encoding::kWindows874},
+}};
+}  // namespace
+
+Encoding EncodingFromName(std::string_view name) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == ' ' || c == '.') continue;
+    key.push_back(AsciiToLower(c));
+  }
+  for (const auto& a : kAliases) {
+    if (a.name == key) return a.encoding;
+  }
+  return Encoding::kUnknown;
+}
+
+Language LanguageOfEncoding(Encoding e) {
+  switch (e) {
+    case Encoding::kEucJp:
+    case Encoding::kShiftJis:
+    case Encoding::kIso2022Jp:
+      return Language::kJapanese;
+    case Encoding::kTis620:
+    case Encoding::kWindows874:
+      return Language::kThai;
+    case Encoding::kAscii:
+    case Encoding::kUtf8:
+    case Encoding::kLatin1:
+      return Language::kOther;
+    case Encoding::kUnknown:
+    case Encoding::kNumEncodings:
+      break;
+  }
+  return Language::kUnknown;
+}
+
+std::string_view LanguageName(Language lang) {
+  switch (lang) {
+    case Language::kUnknown:
+      return "unknown";
+    case Language::kJapanese:
+      return "Japanese";
+    case Language::kThai:
+      return "Thai";
+    case Language::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace lswc

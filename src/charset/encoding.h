@@ -1,0 +1,54 @@
+#ifndef LSWC_CHARSET_ENCODING_H_
+#define LSWC_CHARSET_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lswc {
+
+/// Character encoding schemes handled by the codec and detector layers.
+/// The set covers the paper's Table 1 (Japanese: EUC-JP, Shift_JIS,
+/// ISO-2022-JP; Thai: TIS-620, windows-874, ISO-8859-11) plus the
+/// Web-generic encodings needed for irrelevant pages.
+enum class Encoding : uint8_t {
+  kUnknown = 0,
+  kAscii,
+  kUtf8,
+  kLatin1,      // ISO-8859-1 / windows-1252 (treated as one family here).
+  kEucJp,
+  kShiftJis,
+  kIso2022Jp,
+  kTis620,      // Also covers ISO-8859-11 (identical Thai repertoire).
+  kWindows874,  // TIS-620 superset with C1-range punctuation.
+  kNumEncodings,
+};
+
+/// Page language classes used by the crawler. kOther covers every
+/// non-target language (the paper only distinguishes target/non-target).
+enum class Language : uint8_t {
+  kUnknown = 0,
+  kJapanese,
+  kThai,
+  kOther,
+};
+
+/// Canonical IANA-style name, e.g. "EUC-JP", "TIS-620".
+std::string_view EncodingName(Encoding e);
+
+/// Resolves a charset label (case-insensitive, with common aliases such as
+/// "x-sjis", "shift-jis", "iso8859-11", "utf8") to an Encoding.
+/// Returns kUnknown for unrecognized labels.
+Encoding EncodingFromName(std::string_view name);
+
+/// Table 1 of the paper: the language implied by a character encoding
+/// scheme. ASCII/UTF-8/Latin-1 imply no specific language -> kOther
+/// (UTF-8 content *could* be any language; the paper's method treats the
+/// charset as the language signal, so UTF-8 maps to no target language).
+Language LanguageOfEncoding(Encoding e);
+
+std::string_view LanguageName(Language lang);
+
+}  // namespace lswc
+
+#endif  // LSWC_CHARSET_ENCODING_H_

@@ -1,0 +1,45 @@
+#include "charset/escape_prober.h"
+
+namespace lswc {
+
+ProbeState EscapeProber::Feed(std::string_view bytes) {
+  if (state_ != ProbeState::kDetecting) return state_;
+  for (unsigned char b : bytes) {
+    if (b >= 0x80) {
+      state_ = ProbeState::kNotMe;
+      return state_;
+    }
+    if (pending_ == 2) {  // Byte right after ESC.
+      esc_first_ = static_cast<char>(b);
+      pending_ = 1;
+      continue;
+    }
+    if (pending_ == 1) {  // Second byte after ESC.
+      const char c = static_cast<char>(b);
+      pending_ = 0;
+      if (esc_first_ == '$' && (c == 'B' || c == '@')) {
+        state_ = ProbeState::kFoundIt;  // Shift into JIS X 0208.
+        return state_;
+      }
+      if (esc_first_ == '(' && (c == 'B' || c == 'J')) {
+        continue;  // Shift to ASCII/Roman: consistent, keep looking.
+      }
+      state_ = ProbeState::kNotMe;  // Unknown escape.
+      return state_;
+    }
+    if (b == 0x1B) pending_ = 2;
+  }
+  return state_;
+}
+
+double EscapeProber::Confidence() const {
+  return state_ == ProbeState::kFoundIt ? 0.99 : 0.0;
+}
+
+void EscapeProber::Reset() {
+  state_ = ProbeState::kDetecting;
+  pending_ = 0;
+  esc_first_ = 0;
+}
+
+}  // namespace lswc

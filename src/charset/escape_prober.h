@@ -1,0 +1,27 @@
+#ifndef LSWC_CHARSET_ESCAPE_PROBER_H_
+#define LSWC_CHARSET_ESCAPE_PROBER_H_
+
+#include "charset/prober.h"
+
+namespace lswc {
+
+/// Detects 7-bit escape-based encodings — here ISO-2022-JP. The encoding
+/// is unambiguous once a "ESC $ B" / "ESC $ @" shift-in is seen, and ruled
+/// out by any 8-bit byte or an unknown escape sequence.
+class EscapeProber : public CharsetProber {
+ public:
+  ProbeState Feed(std::string_view bytes) override;
+  double Confidence() const override;
+  Encoding encoding() const override { return Encoding::kIso2022Jp; }
+  ProbeState state() const override { return state_; }
+  void Reset() override;
+
+ private:
+  ProbeState state_ = ProbeState::kDetecting;
+  int pending_ = 0;      // Bytes of an escape sequence still expected.
+  char esc_first_ = 0;   // First byte after ESC when pending_ == 1.
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CHARSET_ESCAPE_PROBER_H_

@@ -1,0 +1,140 @@
+#include "charset/mbcs_prober.h"
+
+#include <algorithm>
+
+namespace lswc {
+
+namespace {
+// Saturating evidence ramp: 0 chars -> 0, >= `cap` chars -> 1.
+double Ramp(uint64_t n, uint64_t cap) {
+  return static_cast<double>(std::min(n, cap)) / static_cast<double>(cap);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- EUC-JP
+
+ProbeState EucJpProber::Feed(std::string_view bytes) {
+  if (state_ == ProbeState::kNotMe) return state_;
+  for (unsigned char b : bytes) {
+    switch (pending_) {
+      case 0:
+        if (b < 0x80) continue;
+        if (b == 0x8E) {  // SS2: next byte is half-width katakana.
+          pending_ = 2;
+          continue;
+        }
+        if (b >= 0xA1 && b <= 0xFE) {
+          lead_ = b;
+          pending_ = 1;
+          continue;
+        }
+        state_ = ProbeState::kNotMe;  // 0x80-0x8D, 0x8F-0xA0, 0xFF.
+        return state_;
+      case 1:
+        if (b < 0xA1 || b > 0xFE) {
+          state_ = ProbeState::kNotMe;
+          return state_;
+        }
+        ++mb_chars_;
+        if (lead_ == 0xA4 || lead_ == 0xA5) {
+          ++kana_chars_;
+        } else if (lead_ >= 0xB0 && lead_ <= 0xF4) {
+          ++kanji_chars_;
+        }
+        pending_ = 0;
+        continue;
+      case 2:
+        if (b < 0xA1 || b > 0xDF) {
+          state_ = ProbeState::kNotMe;
+          return state_;
+        }
+        ++mb_chars_;
+        pending_ = 0;
+        continue;
+    }
+  }
+  return state_;
+}
+
+double EucJpProber::Confidence() const {
+  if (state_ == ProbeState::kNotMe) return 0.0;
+  if (pending_ != 0) return 0.0;  // Ends mid-character.
+  if (mb_chars_ == 0) return 0.0;
+  // Japanese prose: kana dominate; kanji support. Thai-as-EUC pairs land
+  // mostly outside the kana leads, keeping this ratio small.
+  const double kana_ratio =
+      static_cast<double>(kana_chars_) / static_cast<double>(mb_chars_);
+  const double kanji_ratio =
+      static_cast<double>(kanji_chars_) / static_cast<double>(mb_chars_);
+  const double classy = kana_ratio + 0.5 * kanji_ratio;
+  return std::min(0.99, classy * (0.5 + 0.5 * Ramp(mb_chars_, 32)));
+}
+
+void EucJpProber::Reset() {
+  state_ = ProbeState::kDetecting;
+  pending_ = 0;
+  lead_ = 0;
+  mb_chars_ = kana_chars_ = kanji_chars_ = 0;
+}
+
+// -------------------------------------------------------------- Shift_JIS
+
+ProbeState ShiftJisProber::Feed(std::string_view bytes) {
+  if (state_ == ProbeState::kNotMe) return state_;
+  for (unsigned char b : bytes) {
+    if (pending_ == 1) {
+      const bool ok = (b >= 0x40 && b <= 0xFC && b != 0x7F);
+      if (!ok) {
+        state_ = ProbeState::kNotMe;
+        return state_;
+      }
+      ++mb_chars_;
+      if (lead_ == 0x82 || lead_ == 0x83) {
+        ++kana_chars_;
+      } else {
+        ++kanji_chars_;
+      }
+      pending_ = 0;
+      continue;
+    }
+    if (b < 0x80) continue;
+    if (b >= 0xA1 && b <= 0xDF) {  // Half-width katakana.
+      ++mb_chars_;
+      ++halfwidth_chars_;
+      continue;
+    }
+    if ((b >= 0x81 && b <= 0x9F) || (b >= 0xE0 && b <= 0xEF)) {
+      lead_ = b;
+      pending_ = 1;
+      continue;
+    }
+    state_ = ProbeState::kNotMe;  // 0x80, 0xA0, 0xF0-0xFF lead.
+    return state_;
+  }
+  return state_;
+}
+
+double ShiftJisProber::Confidence() const {
+  if (state_ == ProbeState::kNotMe) return 0.0;
+  if (pending_ != 0) return 0.0;
+  if (mb_chars_ == 0) return 0.0;
+  const double kana_ratio =
+      static_cast<double>(kana_chars_) / static_cast<double>(mb_chars_);
+  const double kanji_ratio =
+      static_cast<double>(kanji_chars_) / static_cast<double>(mb_chars_);
+  const double half_ratio =
+      static_cast<double>(halfwidth_chars_) / static_cast<double>(mb_chars_);
+  // Mostly half-width katakana is the signature of a misread, not of real
+  // SJIS prose; subtract it from the evidence.
+  const double classy = kana_ratio + 0.3 * kanji_ratio - 0.8 * half_ratio;
+  return std::clamp(classy, 0.0, 0.99) * (0.5 + 0.5 * Ramp(mb_chars_, 32));
+}
+
+void ShiftJisProber::Reset() {
+  state_ = ProbeState::kDetecting;
+  pending_ = 0;
+  lead_ = 0;
+  mb_chars_ = kana_chars_ = kanji_chars_ = halfwidth_chars_ = 0;
+}
+
+}  // namespace lswc

@@ -1,0 +1,58 @@
+#ifndef LSWC_CHARSET_MBCS_PROBER_H_
+#define LSWC_CHARSET_MBCS_PROBER_H_
+
+#include <cstdint>
+
+#include "charset/prober.h"
+
+namespace lswc {
+
+/// EUC-JP prober: a structural state machine (lead 0xA1-0xFE + trail
+/// 0xA1-0xFE, SS2 half-width katakana) combined with character-class
+/// frequency analysis. Japanese prose is dominated by hiragana (lead
+/// 0xA4) and katakana (lead 0xA5); the hit ratio of those classes among
+/// multibyte characters drives the confidence, which is what separates
+/// EUC-JP from byte-wise-plausible Thai text.
+class EucJpProber : public CharsetProber {
+ public:
+  ProbeState Feed(std::string_view bytes) override;
+  double Confidence() const override;
+  Encoding encoding() const override { return Encoding::kEucJp; }
+  ProbeState state() const override { return state_; }
+  void Reset() override;
+
+ private:
+  ProbeState state_ = ProbeState::kDetecting;
+  int pending_ = 0;           // 0 = ground, 1 = expect trail, 2 = expect SS2 byte.
+  unsigned char lead_ = 0;
+  uint64_t mb_chars_ = 0;
+  uint64_t kana_chars_ = 0;   // Hiragana + katakana.
+  uint64_t kanji_chars_ = 0;  // Leads within the kanji rows.
+};
+
+/// Shift_JIS prober. Structure: lead 0x81-0x9F/0xE0-0xEF with trail
+/// 0x40-0xFC (minus 0x7F), single bytes 0xA1-0xDF as half-width katakana.
+/// Frequency: hiragana/katakana live under leads 0x82/0x83; text that is
+/// mostly half-width katakana is heavily penalized (that pattern is the
+/// classic EUC-JP-misread-as-SJIS signature).
+class ShiftJisProber : public CharsetProber {
+ public:
+  ProbeState Feed(std::string_view bytes) override;
+  double Confidence() const override;
+  Encoding encoding() const override { return Encoding::kShiftJis; }
+  ProbeState state() const override { return state_; }
+  void Reset() override;
+
+ private:
+  ProbeState state_ = ProbeState::kDetecting;
+  int pending_ = 0;
+  unsigned char lead_ = 0;
+  uint64_t mb_chars_ = 0;
+  uint64_t kana_chars_ = 0;     // Leads 0x82/0x83.
+  uint64_t kanji_chars_ = 0;    // Other valid double-byte chars.
+  uint64_t halfwidth_chars_ = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CHARSET_MBCS_PROBER_H_

@@ -1,0 +1,43 @@
+#ifndef LSWC_CHARSET_PROBER_H_
+#define LSWC_CHARSET_PROBER_H_
+
+#include <string_view>
+
+#include "charset/encoding.h"
+
+namespace lswc {
+
+/// Tri-state result of feeding bytes to a prober, after Mozilla's
+/// universalchardet: still undecided, positively identified, or ruled out.
+enum class ProbeState {
+  kDetecting,
+  kFoundIt,
+  kNotMe,
+};
+
+/// One per-encoding detector. Probers are fed the document bytes once and
+/// asked for a confidence in [0, 1]; the composite detector arbitrates.
+class CharsetProber {
+ public:
+  virtual ~CharsetProber() = default;
+
+  /// Consumes bytes (may be called repeatedly for streamed input).
+  virtual ProbeState Feed(std::string_view bytes) = 0;
+
+  /// Confidence that the stream is in encoding(); meaningful after Feed.
+  virtual double Confidence() const = 0;
+
+  /// The encoding this prober argues for. Probers that distinguish
+  /// sub-variants (TIS-620 vs windows-874) may refine this as they see
+  /// variant-specific bytes.
+  virtual Encoding encoding() const = 0;
+
+  virtual ProbeState state() const = 0;
+
+  /// Returns the prober to its initial state.
+  virtual void Reset() = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CHARSET_PROBER_H_

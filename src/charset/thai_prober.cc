@@ -1,0 +1,98 @@
+#include "charset/thai_prober.h"
+
+#include <algorithm>
+#include <array>
+
+namespace lswc {
+
+namespace {
+
+// The most frequent Thai letters by TIS-620 byte value: frequent
+// consonants (ก ง จ ด ต ท น บ ป ม ย ร ล ว ส ห อ ค ช พ ข), the common
+// vowels (ะ ั า ำ ิ ี ึ ื ุ ู เ แ โ ใ ไ), tone/diacritic marks
+// (่ ้ ็ ์) and the repetition mark ๆ.
+constexpr std::array<unsigned char, 40> kCommonThai{
+    0xA1, 0xA2, 0xA4, 0xA7, 0xA8, 0xAA, 0xB4, 0xB5, 0xB7, 0xB9,
+    0xBA, 0xBB, 0xBE, 0xC1, 0xC2, 0xC3, 0xC5, 0xC7, 0xCA, 0xCB,
+    0xCD, 0xD0, 0xD1, 0xD2, 0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8,
+    0xD9, 0xE0, 0xE1, 0xE2, 0xE3, 0xE4, 0xE6, 0xE7, 0xE8, 0xE9,
+};
+
+constexpr std::array<unsigned char, 8> kWin874Extras{
+    0x80, 0x85, 0x91, 0x92, 0x93, 0x94, 0x95, 0x96,
+};
+
+bool IsThaiLetterByte(unsigned char b) {
+  return (b >= 0xA1 && b <= 0xDA) || (b >= 0xDF && b <= 0xFB);
+}
+
+bool IsWin874Extra(unsigned char b) {
+  return std::find(kWin874Extras.begin(), kWin874Extras.end(), b) !=
+         kWin874Extras.end();
+}
+
+bool IsCommonThai(unsigned char b) {
+  return std::find(kCommonThai.begin(), kCommonThai.end(), b) !=
+         kCommonThai.end();
+}
+
+}  // namespace
+
+ThaiProber::ThaiProber() = default;
+
+ProbeState ThaiProber::Feed(std::string_view bytes) {
+  if (state_ == ProbeState::kNotMe) return state_;
+  for (unsigned char b : bytes) {
+    if (b < 0x80) {
+      if (current_run_ > 0) {
+        run_total_ += current_run_;
+        ++run_count_;
+        current_run_ = 0;
+      }
+      continue;
+    }
+    if (IsThaiLetterByte(b)) {
+      ++thai_bytes_;
+      ++current_run_;
+      if (IsCommonThai(b)) ++common_hits_;
+      continue;
+    }
+    if (IsWin874Extra(b)) {
+      variant_ = Encoding::kWindows874;
+      continue;
+    }
+    state_ = ProbeState::kNotMe;
+    return state_;
+  }
+  return state_;
+}
+
+double ThaiProber::Confidence() const {
+  if (state_ == ProbeState::kNotMe) return 0.0;
+  if (thai_bytes_ == 0) return 0.0;
+  const double hit_ratio =
+      static_cast<double>(common_hits_) / static_cast<double>(thai_bytes_);
+  const double evidence = static_cast<double>(
+      std::min<uint64_t>(thai_bytes_, 32));
+  // Average run of consecutive Thai bytes; Thai prose runs long (no
+  // inter-word ASCII), Western accents sit isolated between ASCII.
+  const uint64_t runs = run_count_ + (current_run_ > 0 ? 1 : 0);
+  const double avg_run = static_cast<double>(run_total_ + current_run_) /
+                         static_cast<double>(runs == 0 ? 1 : runs);
+  if (avg_run < 2.0) return 0.0;  // Isolated high bytes: not Thai script.
+  const double run_factor = std::min(1.0, avg_run / 6.0);
+  return std::min(0.99,
+                  hit_ratio * run_factor * (0.5 + 0.5 * (evidence / 32.0)));
+}
+
+void ThaiProber::Reset() {
+  state_ = ProbeState::kDetecting;
+  variant_ = Encoding::kTis620;
+  thai_bytes_ = 0;
+  common_hits_ = 0;
+  current_run_ = 0;
+  run_count_ = 0;
+  run_total_ = 0;
+}
+
+}  // namespace lswc

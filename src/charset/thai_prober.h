@@ -1,0 +1,50 @@
+#ifndef LSWC_CHARSET_THAI_PROBER_H_
+#define LSWC_CHARSET_THAI_PROBER_H_
+
+#include <cstdint>
+
+#include "charset/prober.h"
+
+namespace lswc {
+
+/// Single-byte distribution prober for the Thai encodings (TIS-620 and its
+/// windows-874 superset). This is the capability the paper notes the
+/// Mozilla detector *lacked* for Thai; we provide it as an extension and
+/// for the classifier ablation.
+///
+/// Structure: high bytes must be Thai letters (0xA1-0xDA, 0xDF-0xFB);
+/// windows-874 additionally allows a small C1 punctuation set, and seeing
+/// one switches the claimed variant to windows-874. Any other high byte
+/// rules the family out.
+///
+/// Distribution: confidence is driven by the hit ratio of the ~30 most
+/// frequent Thai letters (frequent consonants + vowels + tone marks),
+/// which real Thai text concentrates on but random or foreign byte soup
+/// does not.
+class ThaiProber : public CharsetProber {
+ public:
+  ThaiProber();
+
+  ProbeState Feed(std::string_view bytes) override;
+  double Confidence() const override;
+  Encoding encoding() const override { return variant_; }
+  ProbeState state() const override { return state_; }
+  void Reset() override;
+
+ private:
+  ProbeState state_ = ProbeState::kDetecting;
+  Encoding variant_ = Encoding::kTis620;
+  uint64_t thai_bytes_ = 0;
+  uint64_t common_hits_ = 0;
+  // Run-length statistics of consecutive Thai bytes. Thai script has no
+  // ASCII between letters, so real Thai prose forms long high-byte runs;
+  // Western accented text (Latin-1) produces isolated high bytes that
+  // would otherwise pass the membership test.
+  uint64_t current_run_ = 0;
+  uint64_t run_count_ = 0;
+  uint64_t run_total_ = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CHARSET_THAI_PROBER_H_

@@ -1,0 +1,68 @@
+#include "charset/utf8_prober.h"
+
+#include <algorithm>
+
+namespace lswc {
+
+ProbeState Utf8Prober::Feed(std::string_view bytes) {
+  if (state_ == ProbeState::kNotMe) return state_;
+  total_bytes_ += bytes.size();
+  for (unsigned char b : bytes) {
+    if (remaining_ == 0) {
+      if (b < 0x80) continue;
+      if ((b & 0xE0) == 0xC0) {
+        remaining_ = 1;
+        codepoint_ = b & 0x1F;
+        min_allowed_ = 0x80;
+      } else if ((b & 0xF0) == 0xE0) {
+        remaining_ = 2;
+        codepoint_ = b & 0x0F;
+        min_allowed_ = 0x800;
+      } else if ((b & 0xF8) == 0xF0) {
+        remaining_ = 3;
+        codepoint_ = b & 0x07;
+        min_allowed_ = 0x10000;
+      } else {
+        state_ = ProbeState::kNotMe;
+        return state_;
+      }
+    } else {
+      if ((b & 0xC0) != 0x80) {
+        state_ = ProbeState::kNotMe;
+        return state_;
+      }
+      codepoint_ = (codepoint_ << 6) | (b & 0x3F);
+      if (--remaining_ == 0) {
+        if (codepoint_ < min_allowed_ || codepoint_ > 0x10FFFF ||
+            (codepoint_ >= 0xD800 && codepoint_ <= 0xDFFF)) {
+          state_ = ProbeState::kNotMe;
+          return state_;
+        }
+        ++multibyte_chars_;
+      }
+    }
+  }
+  return state_;
+}
+
+double Utf8Prober::Confidence() const {
+  if (state_ == ProbeState::kNotMe) return 0.0;
+  if (remaining_ != 0) return 0.0;  // Truncated final sequence.
+  if (multibyte_chars_ == 0) return 0.05;  // Pure ASCII: no evidence.
+  // Confidence saturates quickly: a handful of valid multibyte sequences
+  // is near-conclusive because legacy encodings rarely emit them.
+  const double x = static_cast<double>(
+      std::min<uint64_t>(multibyte_chars_, 64));
+  return 0.5 + 0.49 * (x / 64.0);
+}
+
+void Utf8Prober::Reset() {
+  state_ = ProbeState::kDetecting;
+  remaining_ = 0;
+  codepoint_ = 0;
+  min_allowed_ = 0;
+  multibyte_chars_ = 0;
+  total_bytes_ = 0;
+}
+
+}  // namespace lswc

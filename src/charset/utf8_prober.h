@@ -1,0 +1,32 @@
+#ifndef LSWC_CHARSET_UTF8_PROBER_H_
+#define LSWC_CHARSET_UTF8_PROBER_H_
+
+#include "charset/prober.h"
+
+namespace lswc {
+
+/// Validates the stream against the UTF-8 grammar (including overlong-form
+/// and surrogate rejection). Confidence grows with the number of valid
+/// multibyte sequences seen: pure ASCII is *consistent* with UTF-8 but not
+/// *evidence* for it.
+class Utf8Prober : public CharsetProber {
+ public:
+  ProbeState Feed(std::string_view bytes) override;
+  double Confidence() const override;
+  Encoding encoding() const override { return Encoding::kUtf8; }
+  ProbeState state() const override { return state_; }
+  void Reset() override;
+
+ private:
+  ProbeState state_ = ProbeState::kDetecting;
+  // Decoder state across Feed calls.
+  int remaining_ = 0;        // Continuation bytes still expected.
+  uint32_t codepoint_ = 0;   // Partial codepoint.
+  uint32_t min_allowed_ = 0; // Overlong-form floor for current sequence.
+  uint64_t multibyte_chars_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CHARSET_UTF8_PROBER_H_

@@ -1,0 +1,75 @@
+#include "core/classifier.h"
+
+#include "html/meta_charset.h"
+
+namespace lswc {
+
+namespace {
+RelevanceJudgment JudgmentFromEncoding(Language target, Encoding e,
+                                       double confidence) {
+  RelevanceJudgment j;
+  j.encoding = e;
+  j.confidence = confidence;
+  j.relevant = (LanguageOfEncoding(e) == target);
+  return j;
+}
+}  // namespace
+
+MetaTagClassifier::MetaTagClassifier(Language target) : target_(target) {}
+
+RelevanceJudgment MetaTagClassifier::Judge(const FetchResponse& response) {
+  if (!response.ok()) return RelevanceJudgment{};
+  Encoding declared = Encoding::kUnknown;
+  if (!response.body.empty()) {
+    // Full-fidelity path: read the declaration out of the actual bytes.
+    const auto charset = ExtractMetaCharset(response.body);
+    if (charset.has_value()) declared = EncodingFromName(*charset);
+  } else {
+    declared = response.meta_charset;
+  }
+  if (declared == Encoding::kUnknown) return RelevanceJudgment{};
+  return JudgmentFromEncoding(target_, declared, 1.0);
+}
+
+std::string MetaTagClassifier::name() const {
+  return "meta-tag(" + std::string(LanguageName(target_)) + ")";
+}
+
+DetectorClassifier::DetectorClassifier(Language target,
+                                       DetectorOptions options)
+    : target_(target), detector_(options) {}
+
+RelevanceJudgment DetectorClassifier::Judge(const FetchResponse& response) {
+  if (!response.ok() || response.body.empty()) return RelevanceJudgment{};
+  const DetectionResult result = detector_.Detect(response.body);
+  return JudgmentFromEncoding(target_, result.encoding, result.confidence);
+}
+
+std::string DetectorClassifier::name() const {
+  return "charset-detector(" + std::string(LanguageName(target_)) + ")";
+}
+
+CompositeClassifier::CompositeClassifier(Language target,
+                                         DetectorOptions options)
+    : meta_(target), detector_(target, options), target_(target) {}
+
+RelevanceJudgment CompositeClassifier::Judge(const FetchResponse& response) {
+  const RelevanceJudgment by_meta = meta_.Judge(response);
+  if (by_meta.encoding != Encoding::kUnknown) return by_meta;
+  return detector_.Judge(response);
+}
+
+std::string CompositeClassifier::name() const {
+  return "meta+detector(" + std::string(LanguageName(target_)) + ")";
+}
+
+RelevanceJudgment OracleClassifier::Judge(const FetchResponse& response) {
+  RelevanceJudgment j;
+  if (!response.ok()) return j;
+  j.encoding = response.true_encoding;
+  j.confidence = 1.0;
+  j.relevant = (response.true_language == target_);
+  return j;
+}
+
+}  // namespace lswc

@@ -1,0 +1,105 @@
+#ifndef LSWC_CORE_CLASSIFIER_H_
+#define LSWC_CORE_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+
+#include "charset/detector.h"
+#include "core/virtual_web.h"
+
+namespace lswc {
+
+/// Relevance judgment of one fetched page (§3.2 of the paper: a page is
+/// relevant iff it is written in the target language).
+struct RelevanceJudgment {
+  bool relevant = false;
+  /// The encoding the classifier believes the page uses (diagnostics).
+  Encoding encoding = Encoding::kUnknown;
+  /// Detector confidence; 1.0 for rule-based judgments.
+  double confidence = 0.0;
+};
+
+/// Judges the relevance of fetched pages. Implementations must only use
+/// the observable parts of the response (status, declared charset, bytes)
+/// — ground-truth fields are reserved for OracleClassifier and metrics.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual RelevanceJudgment Judge(const FetchResponse& response) = 0;
+
+  /// The language this classifier targets.
+  virtual Language target_language() const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Method 1 (§3.2): trust the charset declared in the HTML META tag.
+/// Under RenderMode::kNone the declared charset comes from the crawl log
+/// record; when bytes are present they are parsed for the actual META
+/// declaration instead (full-fidelity mode), which must agree.
+class MetaTagClassifier final : public Classifier {
+ public:
+  explicit MetaTagClassifier(Language target);
+
+  RelevanceJudgment Judge(const FetchResponse& response) override;
+  Language target_language() const override { return target_; }
+  std::string name() const override;
+
+ private:
+  Language target_;
+};
+
+/// Method 2 (§3.2): run the composite charset detector on the page bytes
+/// (requires RenderMode::kHead or kFull). Pages whose detected encoding
+/// maps to the target language are relevant. With
+/// `options.enable_thai = false` this reproduces the era-accurate Mozilla
+/// detector (no Thai support), the tool the paper actually used.
+class DetectorClassifier final : public Classifier {
+ public:
+  DetectorClassifier(Language target, DetectorOptions options = {});
+
+  RelevanceJudgment Judge(const FetchResponse& response) override;
+  Language target_language() const override { return target_; }
+  std::string name() const override;
+
+ private:
+  Language target_;
+  CharsetDetector detector_;
+};
+
+/// META first, detector as fallback when no charset is declared — the
+/// practical combination a production language-specific crawler ships.
+class CompositeClassifier final : public Classifier {
+ public:
+  CompositeClassifier(Language target, DetectorOptions options = {});
+
+  RelevanceJudgment Judge(const FetchResponse& response) override;
+  Language target_language() const override { return target_; }
+  std::string name() const override;
+
+ private:
+  MetaTagClassifier meta_;
+  DetectorClassifier detector_;
+  Language target_;
+};
+
+/// Upper-bound classifier that reads the log's ground truth; used for
+/// ablations (perfect-classifier condition) and for building oracles in
+/// tests. Never use it to *drive* reported strategy results.
+class OracleClassifier final : public Classifier {
+ public:
+  explicit OracleClassifier(Language target) : target_(target) {}
+
+  RelevanceJudgment Judge(const FetchResponse& response) override;
+  Language target_language() const override { return target_; }
+  std::string name() const override { return "oracle"; }
+
+ private:
+  Language target_;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_CLASSIFIER_H_

@@ -1,0 +1,80 @@
+#include "core/context_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lswc {
+
+std::vector<uint16_t> ComputeContextLayers(const WebGraph& graph,
+                                           int max_layer) {
+  const size_t n = graph.num_pages();
+  // Reverse adjacency via counting sort over targets (CSR transpose).
+  std::vector<uint32_t> in_degree(n, 0);
+  for (PageId p = 0; p < n; ++p) {
+    if (!graph.page(p).ok()) continue;
+    for (PageId t : graph.outlinks(p)) ++in_degree[t];
+  }
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) offsets[i + 1] = offsets[i] + in_degree[i];
+  std::vector<PageId> sources(offsets[n]);
+  {
+    std::vector<uint64_t> fill = offsets;
+    for (PageId p = 0; p < n; ++p) {
+      if (!graph.page(p).ok()) continue;
+      for (PageId t : graph.outlinks(p)) sources[fill[t]++] = p;
+    }
+  }
+
+  std::vector<uint16_t> layers(n, kUnreachableLayer);
+  std::deque<PageId> queue;
+  for (PageId p = 0; p < n; ++p) {
+    if (graph.IsRelevant(p)) {
+      layers[p] = 0;
+      queue.push_back(p);
+    }
+  }
+  while (!queue.empty()) {
+    const PageId p = queue.front();
+    queue.pop_front();
+    const uint16_t next = static_cast<uint16_t>(layers[p] + 1);
+    if (max_layer > 0 && next > max_layer) continue;
+    for (uint64_t i = offsets[p]; i < offsets[p + 1]; ++i) {
+      const PageId src = sources[i];
+      if (layers[src] != kUnreachableLayer) continue;
+      // Only fetchable pages can be *traversed*, but a non-OK page can
+      // still carry a layer (it just has no in-edges recorded above).
+      layers[src] = next;
+      queue.push_back(src);
+    }
+  }
+  return layers;
+}
+
+ContextGraphStrategy::ContextGraphStrategy(std::vector<uint16_t> layers,
+                                           int max_layer)
+    : layers_(std::move(layers)), max_layer_(max_layer) {
+  LSWC_CHECK_GE(max_layer, 0);
+}
+
+LinkDecision ContextGraphStrategy::OnLink(const ParentInfo& parent,
+                                          PageId child) const {
+  (void)parent;  // Pure layer-driven best-first search.
+  const uint16_t layer = layers_[child];
+  if (layer == kUnreachableLayer || layer > max_layer_) {
+    return LinkDecision{};  // No known path toward a target: discard.
+  }
+  LinkDecision d;
+  d.enqueue = true;
+  d.priority = max_layer_ - static_cast<int>(layer);
+  d.annotation = static_cast<uint8_t>(std::min<uint16_t>(layer, 254));
+  return d;
+}
+
+std::string ContextGraphStrategy::name() const {
+  return StringPrintf("context-graph(L=%d)", max_layer_);
+}
+
+}  // namespace lswc

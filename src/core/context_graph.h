@@ -1,0 +1,62 @@
+#ifndef LSWC_CORE_CONTEXT_GRAPH_H_
+#define LSWC_CORE_CONTEXT_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.h"
+#include "util/status.h"
+#include "webgraph/graph.h"
+
+namespace lswc {
+
+/// Layer assignment of the context-focused crawler (Diligenti et al.,
+/// VLDB 2000 — the tunneling approach the paper contrasts with its
+/// limited-distance strategy in §2.2):
+///
+///   layer 0 = target (relevant) pages,
+///   layer k = pages whose shortest link path *to* a target has length k,
+///   kUnreachableLayer = pages from which no target is reachable.
+///
+/// The real system trains per-layer classifiers from documents gathered
+/// through a search engine's reverse-link ("link:") queries; the paper
+/// notes this dependency as the approach's major limitation. In the
+/// trace-driven setting the crawl log *is* that search engine, so the
+/// layers here are exact — this strategy is therefore an upper bound for
+/// what a context-focused crawler could do, which makes it the honest
+/// comparator for the limited-distance results.
+inline constexpr uint16_t kUnreachableLayer = UINT16_MAX;
+
+/// Computes layers by reverse BFS from all relevant OK pages.
+/// `max_layer` caps the search depth (pages farther than it are marked
+/// unreachable); 0 means no cap.
+std::vector<uint16_t> ComputeContextLayers(const WebGraph& graph,
+                                           int max_layer = 0);
+
+/// The context-focused crawler as a CrawlStrategy: the frontier keeps
+/// one queue per layer and always pops the lowest non-empty layer
+/// ("the next URL to be visited is chosen from the nearest non-empty
+/// queue"). Links in layers beyond `max_layer` — or with no path to a
+/// target at all — are discarded.
+class ContextGraphStrategy final : public CrawlStrategy {
+ public:
+  /// `layers` comes from ComputeContextLayers (or the user's own layer
+  /// classifier); `max_layer` >= 0.
+  ContextGraphStrategy(std::vector<uint16_t> layers, int max_layer);
+
+  LinkDecision OnLink(const ParentInfo& parent,
+                      PageId child) const override;
+  int seed_priority() const override { return max_layer_; }
+  int num_priority_levels() const override { return max_layer_ + 1; }
+  std::string name() const override;
+
+  uint16_t layer(PageId page) const { return layers_[page]; }
+
+ private:
+  std::vector<uint16_t> layers_;
+  int max_layer_;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_CONTEXT_GRAPH_H_

@@ -1,0 +1,110 @@
+#include "core/distiller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lswc {
+
+StatusOr<HitsScores> ComputeHits(const WebGraph& graph,
+                                 const std::vector<PageId>& pages,
+                                 HitsOptions options) {
+  if (pages.empty()) {
+    return Status::InvalidArgument("HITS needs a non-empty page set");
+  }
+  const size_t n = graph.num_pages();
+  std::vector<bool> in_set(n, false);
+  for (PageId p : pages) {
+    if (p >= n) return Status::InvalidArgument("page id out of range");
+    in_set[p] = true;
+  }
+
+  HitsScores scores;
+  scores.hub.assign(n, 0.0);
+  scores.authority.assign(n, 0.0);
+  for (PageId p : pages) scores.hub[p] = 1.0;
+
+  auto normalize = [](std::vector<double>* v,
+                      const std::vector<PageId>& set) {
+    double sum_sq = 0.0;
+    for (PageId p : set) sum_sq += (*v)[p] * (*v)[p];
+    if (sum_sq <= 0.0) return;
+    const double inv = 1.0 / std::sqrt(sum_sq);
+    for (PageId p : set) (*v)[p] *= inv;
+  };
+
+  std::vector<double> prev_hub(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    scores.iterations_run = iter + 1;
+    // Authority(p) = sum of hub scores of in-set pages linking to p.
+    for (PageId p : pages) scores.authority[p] = 0.0;
+    for (PageId p : pages) {
+      if (!graph.page(p).ok()) continue;
+      for (PageId t : graph.outlinks(p)) {
+        if (in_set[t]) scores.authority[t] += scores.hub[p];
+      }
+    }
+    normalize(&scores.authority, pages);
+    // Hub(p) = sum of authority scores of in-set pages p links to.
+    for (PageId p : pages) {
+      prev_hub[p] = scores.hub[p];
+      scores.hub[p] = 0.0;
+    }
+    for (PageId p : pages) {
+      if (!graph.page(p).ok()) continue;
+      double h = 0.0;
+      for (PageId t : graph.outlinks(p)) {
+        if (in_set[t]) h += scores.authority[t];
+      }
+      scores.hub[p] = h;
+    }
+    normalize(&scores.hub, pages);
+
+    double delta = 0.0;
+    for (PageId p : pages) delta += std::abs(scores.hub[p] - prev_hub[p]);
+    if (delta < options.tolerance) break;
+  }
+  return scores;
+}
+
+std::vector<PageId> TopHubs(const HitsScores& scores, size_t count) {
+  std::vector<PageId> ids;
+  ids.reserve(scores.hub.size());
+  for (PageId p = 0; p < scores.hub.size(); ++p) {
+    if (scores.hub[p] > 0.0) ids.push_back(p);
+  }
+  std::sort(ids.begin(), ids.end(), [&](PageId a, PageId b) {
+    if (scores.hub[a] != scores.hub[b]) return scores.hub[a] > scores.hub[b];
+    return a < b;
+  });
+  if (ids.size() > count) ids.resize(count);
+  return ids;
+}
+
+HubBoostStrategy::HubBoostStrategy(size_t num_pages,
+                                   const std::vector<PageId>& hubs)
+    : hub_bitmap_(num_pages, false) {
+  for (PageId h : hubs) {
+    if (h < num_pages) hub_bitmap_[h] = true;
+  }
+}
+
+LinkDecision HubBoostStrategy::OnLink(const ParentInfo& parent,
+                                      PageId child) const {
+  (void)child;
+  LinkDecision d;
+  d.enqueue = true;  // Soft family.
+  if (hub_bitmap_[parent.page]) {
+    d.priority = 2;  // Immediate neighbors of a distilled hub.
+  } else {
+    d.priority = parent.relevant ? 1 : 0;
+  }
+  return d;
+}
+
+std::string HubBoostStrategy::name() const {
+  size_t hubs = 0;
+  for (bool b : hub_bitmap_) hubs += b ? 1 : 0;
+  return "hub-boost(" + std::to_string(hubs) + " hubs)";
+}
+
+}  // namespace lswc

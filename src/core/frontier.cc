@@ -1,0 +1,88 @@
+#include "core/frontier.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lswc {
+
+void FifoFrontier::Push(PageId url, int priority) {
+  (void)priority;  // Single level.
+  queue_.push_back(url);
+  max_size_ = std::max(max_size_, queue_.size());
+}
+
+std::optional<PageId> FifoFrontier::Pop() {
+  if (queue_.empty()) return std::nullopt;
+  const PageId url = queue_.front();
+  queue_.pop_front();
+  return url;
+}
+
+BucketFrontier::BucketFrontier(int num_levels) {
+  LSWC_CHECK_GT(num_levels, 0);
+  levels_.resize(static_cast<size_t>(num_levels));
+}
+
+void BucketFrontier::Push(PageId url, int priority) {
+  const int level = std::clamp(priority, 0, num_levels() - 1);
+  levels_[level].push_back(url);
+  ++size_;
+  max_size_ = std::max(max_size_, size_);
+  highest_nonempty_ = std::max(highest_nonempty_, level);
+}
+
+std::optional<PageId> BucketFrontier::Pop() {
+  if (size_ == 0) return std::nullopt;
+  while (highest_nonempty_ >= 0 && levels_[highest_nonempty_].empty()) {
+    --highest_nonempty_;
+  }
+  LSWC_CHECK_GE(highest_nonempty_, 0);
+  auto& level = levels_[highest_nonempty_];
+  const PageId url = level.front();
+  level.pop_front();
+  --size_;
+  return url;
+}
+
+BoundedFrontier::BoundedFrontier(int num_levels, size_t capacity)
+    : capacity_(capacity) {
+  LSWC_CHECK_GT(num_levels, 0);
+  LSWC_CHECK_GT(capacity, 0u);
+  levels_.resize(static_cast<size_t>(num_levels));
+}
+
+void BoundedFrontier::Push(PageId url, int priority) {
+  const int level = std::clamp(priority, 0, num_levels() - 1);
+  if (size_ >= capacity_) {
+    // Shed the least promising URL: the newest entry of the lowest
+    // non-empty level — unless the incoming URL itself is no better.
+    int lowest = 0;
+    while (lowest < num_levels() && levels_[lowest].empty()) ++lowest;
+    ++dropped_;
+    if (lowest >= num_levels() || level <= lowest) {
+      return;  // Incoming URL is the victim.
+    }
+    levels_[lowest].pop_back();
+    --size_;
+  }
+  levels_[level].push_back(url);
+  ++size_;
+  max_size_ = std::max(max_size_, size_);
+  highest_nonempty_ = std::max(highest_nonempty_, level);
+}
+
+std::optional<PageId> BoundedFrontier::Pop() {
+  if (size_ == 0) return std::nullopt;
+  while (highest_nonempty_ >= 0 && levels_[highest_nonempty_].empty()) {
+    --highest_nonempty_;
+  }
+  LSWC_CHECK_GE(highest_nonempty_, 0);
+  auto& level = levels_[highest_nonempty_];
+  const PageId url = level.front();
+  level.pop_front();
+  --size_;
+  return url;
+}
+
+}  // namespace lswc

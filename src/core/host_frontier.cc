@@ -1,0 +1,87 @@
+#include "core/host_frontier.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lswc {
+
+HostFrontier::HostFrontier(uint32_t num_hosts, int num_levels)
+    : num_levels_(std::max(1, num_levels)), hosts_(num_hosts) {}
+
+void HostFrontier::PushHeap(uint32_t host) {
+  HostState& state = hosts_[host];
+  state.heap_stamp = ++stamp_counter_;
+  heap_.push(HeapEntry{state.ready, host, state.heap_stamp});
+}
+
+void HostFrontier::Push(PageId url, uint32_t host, int priority) {
+  LSWC_CHECK_LT(host, hosts_.size());
+  HostState& state = hosts_[host];
+  if (state.levels.empty()) {
+    state.levels.resize(static_cast<size_t>(num_levels_));
+  }
+  const int level = std::clamp(priority, 0, num_levels_ - 1);
+  state.levels[static_cast<size_t>(level)].push_back(url);
+  if (state.pending == 0) {
+    ++pending_hosts_;
+    PushHeap(host);
+  }
+  ++state.pending;
+  ++size_;
+  max_size_ = std::max(max_size_, size_);
+}
+
+std::optional<double> HostFrontier::NextReadyTime() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    const HostState& state = hosts_[top.host];
+    if (state.pending == 0 || state.heap_stamp != top.stamp) {
+      heap_.pop();  // Stale.
+      continue;
+    }
+    return top.ready;
+  }
+  return std::nullopt;
+}
+
+PageId HostFrontier::PopFromHost(HostState* state) {
+  for (auto it = state->levels.rbegin(); it != state->levels.rend(); ++it) {
+    if (!it->empty()) {
+      const PageId url = it->front();
+      it->pop_front();
+      --state->pending;
+      --size_;
+      if (state->pending == 0) --pending_hosts_;
+      return url;
+    }
+  }
+  LSWC_CHECK(false) << "host marked pending but all levels empty";
+  return 0;
+}
+
+std::optional<PageId> HostFrontier::PopReady(double now) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    HostState& state = hosts_[top.host];
+    if (state.pending == 0 || state.heap_stamp != top.stamp) {
+      heap_.pop();  // Stale.
+      continue;
+    }
+    if (top.ready > now) return std::nullopt;  // Nothing eligible yet.
+    heap_.pop();
+    const PageId url = PopFromHost(&state);
+    if (state.pending > 0) PushHeap(top.host);
+    return url;
+  }
+  return std::nullopt;
+}
+
+void HostFrontier::SetHostNextFree(uint32_t host, double next_free) {
+  LSWC_CHECK_LT(host, hosts_.size());
+  HostState& state = hosts_[host];
+  state.ready = std::max(state.ready, next_free);
+  if (state.pending > 0) PushHeap(host);
+}
+
+}  // namespace lswc

@@ -1,0 +1,79 @@
+#ifndef LSWC_CORE_HOST_FRONTIER_H_
+#define LSWC_CORE_HOST_FRONTIER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "webgraph/page.h"
+
+namespace lswc {
+
+/// The per-server URL queue of a real crawler — the component the paper
+/// notes its first simulator omits ("implemented with the omission of
+/// details such as elapsed time and per-server queue"). Pending URLs are
+/// grouped by host; each host keeps strategy-priority buckets internally
+/// and carries a politeness ready-time. The scheduler always serves the
+/// earliest-ready host, so no amount of pending URLs on a hot host can
+/// starve the rest of the frontier.
+class HostFrontier {
+ public:
+  /// `num_hosts` sizes the host table; `num_levels` the per-host
+  /// priority buckets.
+  HostFrontier(uint32_t num_hosts, int num_levels);
+
+  /// Enqueues `url` for `host` at `priority` (higher pops first within
+  /// the host).
+  void Push(PageId url, uint32_t host, int priority);
+
+  /// Earliest ready time over hosts with pending URLs; nullopt if empty.
+  std::optional<double> NextReadyTime();
+
+  /// Pops the highest-priority URL of the earliest-ready host whose
+  /// ready time is <= now; nullopt when nothing is eligible yet (or the
+  /// frontier is empty).
+  std::optional<PageId> PopReady(double now);
+
+  /// Records that `host` was just hit and may not be hit again before
+  /// `next_free`.
+  void SetHostNextFree(uint32_t host, double next_free);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t max_size_seen() const { return max_size_; }
+  /// Hosts that currently have pending URLs.
+  size_t pending_hosts() const { return pending_hosts_; }
+
+ private:
+  struct HostState {
+    std::vector<std::deque<PageId>> levels;
+    size_t pending = 0;
+    double ready = 0.0;
+    uint64_t heap_stamp = 0;  // Matches the live heap entry.
+  };
+  struct HeapEntry {
+    double ready;
+    uint32_t host;
+    uint64_t stamp;
+    bool operator>(const HeapEntry& o) const { return ready > o.ready; }
+  };
+
+  void PushHeap(uint32_t host);
+  PageId PopFromHost(HostState* state);
+
+  int num_levels_;
+  std::vector<HostState> hosts_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  size_t size_ = 0;
+  size_t max_size_ = 0;
+  size_t pending_hosts_ = 0;
+  uint64_t stamp_counter_ = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_HOST_FRONTIER_H_

@@ -1,0 +1,60 @@
+#include "core/metrics.h"
+
+#include "util/logging.h"
+
+namespace lswc {
+
+MetricsRecorder::MetricsRecorder(uint64_t total_relevant,
+                                 uint64_t sample_interval)
+    : total_relevant_(total_relevant),
+      sample_interval_(sample_interval == 0 ? 1 : sample_interval),
+      series_("pages_crawled", {"harvest_pct", "coverage_pct", "queue_size"}) {}
+
+double MetricsRecorder::harvest_pct() const {
+  return pages_crawled_ == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(relevant_crawled_) /
+                   static_cast<double>(pages_crawled_);
+}
+
+double MetricsRecorder::coverage_pct() const {
+  return total_relevant_ == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(relevant_crawled_) /
+                   static_cast<double>(total_relevant_);
+}
+
+void MetricsRecorder::Sample(size_t queue_size) {
+  series_.AddRow(static_cast<double>(pages_crawled_),
+                 {harvest_pct(), coverage_pct(),
+                  static_cast<double>(queue_size)});
+}
+
+void MetricsRecorder::OnPageCrawled(bool ok_page, bool truly_relevant,
+                                    bool judged_relevant, size_t queue_size) {
+  LSWC_CHECK(!finished_);
+  ++pages_crawled_;
+  if (truly_relevant) ++relevant_crawled_;
+  if (ok_page) {
+    if (truly_relevant && judged_relevant) {
+      ++confusion_.true_positive;
+    } else if (!truly_relevant && judged_relevant) {
+      ++confusion_.false_positive;
+    } else if (truly_relevant && !judged_relevant) {
+      ++confusion_.false_negative;
+    } else {
+      ++confusion_.true_negative;
+    }
+  }
+  if (pages_crawled_ % sample_interval_ == 0) Sample(queue_size);
+}
+
+void MetricsRecorder::Finish(size_t queue_size) {
+  if (finished_) return;
+  finished_ = true;
+  if (pages_crawled_ % sample_interval_ != 0 || pages_crawled_ == 0) {
+    Sample(queue_size);
+  }
+}
+
+}  // namespace lswc

@@ -1,0 +1,79 @@
+#ifndef LSWC_CORE_METRICS_H_
+#define LSWC_CORE_METRICS_H_
+
+#include <cstdint>
+
+#include "util/series.h"
+
+namespace lswc {
+
+/// Classifier confusion counts over crawled OK pages (judgment vs the
+/// log's ground truth).
+struct ConfusionCounts {
+  uint64_t true_positive = 0;
+  uint64_t false_positive = 0;
+  uint64_t true_negative = 0;
+  uint64_t false_negative = 0;
+
+  uint64_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double precision() const {
+    const uint64_t p = true_positive + false_positive;
+    return p == 0 ? 0.0 : static_cast<double>(true_positive) / p;
+  }
+  double recall() const {
+    const uint64_t r = true_positive + false_negative;
+    return r == 0 ? 0.0 : static_cast<double>(true_positive) / r;
+  }
+};
+
+/// Collects the paper's evaluation metrics (§3.4) during a simulation:
+///
+///  - harvest rate (precision): % of crawled pages that are relevant,
+///  - coverage (explicit recall): % of all relevant pages crawled —
+///    computable exactly because the trace knows the total up front,
+///  - URL queue size,
+///
+/// each sampled as a series against pages crawled, which is exactly the
+/// x-axis of Figures 3-7.
+class MetricsRecorder {
+ public:
+  /// `total_relevant` is the dataset-wide relevant-page count (coverage
+  /// denominator); `sample_interval` is the series sampling step in
+  /// crawled pages.
+  MetricsRecorder(uint64_t total_relevant, uint64_t sample_interval);
+
+  /// Records one crawled URL. `truly_relevant` is ground truth;
+  /// `judged_relevant` is the classifier's verdict (only meaningful for
+  /// OK pages); `queue_size` is the frontier size after link expansion.
+  void OnPageCrawled(bool ok_page, bool truly_relevant, bool judged_relevant,
+                     size_t queue_size);
+
+  /// Appends the final partial sample (call once, when the crawl ends).
+  void Finish(size_t queue_size);
+
+  uint64_t pages_crawled() const { return pages_crawled_; }
+  uint64_t relevant_crawled() const { return relevant_crawled_; }
+  double harvest_pct() const;
+  double coverage_pct() const;
+  const ConfusionCounts& confusion() const { return confusion_; }
+
+  /// Series columns: harvest_pct, coverage_pct, queue_size.
+  const Series& series() const { return series_; }
+
+ private:
+  void Sample(size_t queue_size);
+
+  uint64_t total_relevant_;
+  uint64_t sample_interval_;
+  uint64_t pages_crawled_ = 0;
+  uint64_t relevant_crawled_ = 0;
+  ConfusionCounts confusion_;
+  Series series_;
+  bool finished_ = false;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_METRICS_H_

@@ -1,0 +1,187 @@
+#include "core/politeness.h"
+#include <algorithm>
+
+#include <queue>
+#include <vector>
+
+#include "core/host_frontier.h"
+#include "core/metrics.h"
+#include "core/visitor.h"
+
+namespace lswc {
+
+uint64_t EstimateTransferBytes(const PageRecord& record) {
+  if (!record.ok()) return 512;  // Error page + headers.
+  double bytes_per_char = 1.0;
+  switch (record.true_encoding) {
+    case Encoding::kEucJp:
+    case Encoding::kShiftJis:
+      bytes_per_char = 2.0;
+      break;
+    case Encoding::kIso2022Jp:
+      bytes_per_char = 2.2;  // Pairs plus escape overhead.
+      break;
+    case Encoding::kUtf8:
+      bytes_per_char = 2.4;  // CJK/Thai text is 3 bytes/char, ASCII 1.
+      break;
+    default:
+      bytes_per_char = 1.0;
+      break;
+  }
+  // Markup skeleton + anchors dominate small pages.
+  return 600 + static_cast<uint64_t>(record.content_chars * bytes_per_char);
+}
+
+PolitenessSimulator::PolitenessSimulator(VirtualWebSpace* web,
+                                         Classifier* classifier,
+                                         const CrawlStrategy* strategy,
+                                         PolitenessOptions options)
+    : web_(web),
+      classifier_(classifier),
+      strategy_(strategy),
+      options_(options) {}
+
+StatusOr<PolitenessResult> PolitenessSimulator::Run() {
+  const WebGraph& graph = web_->graph();
+  const size_t num_pages = graph.num_pages();
+  if (graph.seeds().empty()) {
+    return Status::FailedPrecondition("graph has no seed URLs");
+  }
+  if (options_.num_connections <= 0 || options_.bandwidth_bytes_per_sec <= 0) {
+    return Status::InvalidArgument("bad politeness options");
+  }
+
+  // Per-server queues (the component the paper's first simulator
+  // omitted): URLs wait in their host's queue, hosts become eligible as
+  // their access interval elapses, and the scheduler always serves the
+  // earliest-ready host. Strategy priorities order URLs within a host.
+  HostFrontier frontier(static_cast<uint32_t>(graph.num_hosts()),
+                        strategy_->num_priority_levels());
+  Visitor visitor(web_, classifier_, /*parse_html=*/false);
+
+  uint64_t sample_interval = options_.sample_interval;
+  if (sample_interval == 0) {
+    const uint64_t horizon =
+        options_.max_pages != 0 ? options_.max_pages : num_pages;
+    sample_interval = std::max<uint64_t>(1, horizon / 400);
+  }
+  const DatasetStats stats = graph.ComputeStats();
+  MetricsRecorder metrics(stats.relevant_ok_pages, sample_interval);
+  Series series("pages_crawled",
+                {"sim_time_sec", "harvest_pct", "coverage_pct", "queue_size"});
+
+  // Same lazy-decrease-key state as Simulator::Run (see simulator.cc).
+  std::vector<bool> crawled(num_pages, false);
+  std::vector<bool> enqueued(num_pages, false);
+  std::vector<uint8_t> annotation(num_pages, 0);
+  std::vector<int8_t> priority(num_pages, 0);
+
+  for (PageId seed : graph.seeds()) {
+    if (enqueued[seed]) continue;
+    enqueued[seed] = true;
+    priority[seed] = static_cast<int8_t>(strategy_->seed_priority());
+    frontier.Push(seed, graph.page(seed).host, strategy_->seed_priority());
+  }
+
+  using Event = std::pair<double, PageId>;  // (finish time, url), min-heap.
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> active;
+
+  double now = 0.0;
+  double idle_slot_seconds = 0.0;
+  const size_t slots = static_cast<size_t>(options_.num_connections);
+
+  // Advances the clock, charging idle slot-time against the politeness
+  // stall account.
+  auto advance_to = [&](double t) {
+    if (t <= now) return;
+    idle_slot_seconds +=
+        (t - now) * static_cast<double>(slots - active.size());
+    now = t;
+  };
+
+  VisitResult visit;
+  while (true) {
+    if (options_.max_pages != 0 &&
+        metrics.pages_crawled() >= options_.max_pages) {
+      break;
+    }
+    if (options_.max_sim_time_sec > 0 && now >= options_.max_sim_time_sec) {
+      break;
+    }
+
+    // Fill idle slots with URLs whose hosts are ready now.
+    while (active.size() < slots) {
+      const auto next = frontier.PopReady(now);
+      if (!next.has_value()) break;
+      const PageId url = *next;
+      if (crawled[url]) continue;  // Stale duplicate from a re-push.
+      const uint32_t host = graph.page(url).host;
+      frontier.SetHostNextFree(host,
+                               now + options_.min_access_interval_sec);
+      const double transfer =
+          options_.base_latency_sec +
+          static_cast<double>(EstimateTransferBytes(graph.page(url))) /
+              options_.bandwidth_bytes_per_sec;
+      active.emplace(now + transfer, url);
+    }
+
+    if (active.empty()) {
+      const auto next_ready = frontier.NextReadyTime();
+      if (!next_ready.has_value()) break;  // Truly done.
+      advance_to(*next_ready);
+      continue;
+    }
+
+    // Complete the earliest in-flight fetch.
+    const auto [finish, url] = active.top();
+    active.pop();
+    advance_to(finish);
+    if (crawled[url]) continue;
+    crawled[url] = true;
+
+    LSWC_RETURN_IF_ERROR(visitor.Visit(url, &visit));
+    const bool ok = visit.response.ok();
+    if (ok) {
+      const ParentInfo parent{url, visit.judgment.relevant, annotation[url]};
+      for (PageId child : visit.links) {
+        if (crawled[child]) continue;
+        const LinkDecision d = strategy_->OnLink(parent, child);
+        if (!d.enqueue) continue;
+        const bool better = !enqueued[child] ||
+                            d.annotation < annotation[child] ||
+                            d.priority > priority[child];
+        if (!better) continue;
+        enqueued[child] = true;
+        annotation[child] = d.annotation;
+        priority[child] = static_cast<int8_t>(d.priority);
+        frontier.Push(child, graph.page(child).host, d.priority);
+      }
+    }
+    metrics.OnPageCrawled(ok, graph.IsRelevant(url), visit.judgment.relevant,
+                          frontier.size());
+    if (metrics.pages_crawled() % sample_interval == 0) {
+      series.AddRow(static_cast<double>(metrics.pages_crawled()),
+                    {now, metrics.harvest_pct(), metrics.coverage_pct(),
+                     static_cast<double>(frontier.size())});
+    }
+  }
+  metrics.Finish(frontier.size());
+  series.AddRow(static_cast<double>(metrics.pages_crawled()),
+                {now, metrics.harvest_pct(), metrics.coverage_pct(),
+                 static_cast<double>(frontier.size())});
+
+  PolitenessResult result{PolitenessSummary{}, series};
+  result.summary.pages_crawled = metrics.pages_crawled();
+  result.summary.relevant_crawled = metrics.relevant_crawled();
+  result.summary.sim_time_sec = now;
+  result.summary.pages_per_sec =
+      now > 0 ? static_cast<double>(metrics.pages_crawled()) / now : 0.0;
+  result.summary.politeness_stall_fraction =
+      now > 0 ? idle_slot_seconds / (now * static_cast<double>(slots)) : 0.0;
+  result.summary.max_queue_size = frontier.max_size_seen();
+  result.summary.final_harvest_pct = metrics.harvest_pct();
+  result.summary.final_coverage_pct = metrics.coverage_pct();
+  return result;
+}
+
+}  // namespace lswc

@@ -1,0 +1,97 @@
+#ifndef LSWC_CORE_SIMULATOR_H_
+#define LSWC_CORE_SIMULATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "core/classifier.h"
+#include "core/frontier.h"
+#include "core/metrics.h"
+#include "core/strategy.h"
+#include "core/virtual_web.h"
+#include "core/visitor.h"
+
+namespace lswc {
+
+/// Knobs of one simulation run.
+struct SimulationOptions {
+  /// Stop after this many crawled URLs (0 = run until the frontier
+  /// empties, the paper's termination condition).
+  uint64_t max_pages = 0;
+  /// Metric sampling step in crawled pages (0 = auto: ~400 samples).
+  uint64_t sample_interval = 0;
+  /// Extract links by parsing rendered HTML instead of replaying the
+  /// link database (requires the web space to render kFull).
+  bool parse_html = false;
+  /// Hard cap on pending URLs (0 = unlimited). With a cap the simulator
+  /// uses a BoundedFrontier that sheds the least-promising pending URL
+  /// on overflow; shed URLs can come back only through a later, better
+  /// referrer. This models a crawler with a fixed frontier budget — the
+  /// alternative answer to the memory problem the limited-distance
+  /// strategy solves by discarding at enqueue time.
+  size_t frontier_capacity = 0;
+  /// In-memory URL budget for a disk-spilling frontier (0 = keep all
+  /// pending URLs in memory). Unlike frontier_capacity this is lossless:
+  /// overflow URLs spill to files under `spill_dir` and stream back in
+  /// order. Mutually exclusive with frontier_capacity.
+  size_t frontier_memory_budget = 0;
+  std::string spill_dir = "/tmp";
+};
+
+/// Aggregate outcome of a run.
+struct SimulationSummary {
+  uint64_t pages_crawled = 0;    // All fetches, OK or not (paper x-axis).
+  uint64_t ok_pages_crawled = 0;
+  uint64_t relevant_crawled = 0;  // Ground-truth relevant pages fetched.
+  size_t max_queue_size = 0;
+  /// URLs shed by a capacity-bounded frontier (0 when unbounded).
+  uint64_t urls_dropped = 0;
+  double final_harvest_pct = 0.0;
+  double final_coverage_pct = 0.0;
+  ConfusionCounts classifier_confusion;
+};
+
+struct SimulationResult {
+  SimulationSummary summary;
+  /// harvest_pct / coverage_pct / queue_size against pages crawled.
+  Series series;
+};
+
+/// The simulation driver of the paper's Fig 2: wires the virtual web
+/// space, visitor, classifier, observer (strategy) and URL queue, runs
+/// the crawl loop, and collects the §3.4 metrics.
+///
+/// One Simulator instance runs one crawl. The frontier implementation is
+/// chosen from the strategy's priority-level count (FIFO for one level,
+/// bucket queue otherwise). Deduplication: a URL enters the frontier at
+/// most once; a URL discarded by the strategy may be enqueued later via
+/// a different referrer (that is what lets soft-focused reach 100%
+/// coverage while hard-focused starves).
+class Simulator {
+ public:
+  /// Pointers are not owned and must outlive the simulator.
+  Simulator(VirtualWebSpace* web, Classifier* classifier,
+            const CrawlStrategy* strategy, SimulationOptions options = {});
+
+  /// Runs the crawl from the graph's seeds.
+  StatusOr<SimulationResult> Run();
+
+ private:
+  VirtualWebSpace* web_;
+  Classifier* classifier_;
+  const CrawlStrategy* strategy_;
+  SimulationOptions options_;
+};
+
+/// Convenience wrapper: build the standard trace-mode pipeline (in-memory
+/// LinkDb, no rendering unless the classifier needs bytes) and run one
+/// strategy over a graph. `render_mode` is what the classifier requires.
+StatusOr<SimulationResult> RunSimulation(const WebGraph& graph,
+                                         Classifier* classifier,
+                                         const CrawlStrategy& strategy,
+                                         RenderMode render_mode = RenderMode::kNone,
+                                         SimulationOptions options = {});
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_SIMULATOR_H_

@@ -1,0 +1,150 @@
+#include "core/spilling_frontier.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <filesystem>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lswc {
+
+StatusOr<std::unique_ptr<SpillingFrontier>> SpillingFrontier::Create(
+    int num_levels, const Options& options) {
+  if (num_levels <= 0) {
+    return Status::InvalidArgument("num_levels must be > 0");
+  }
+  if (options.chunk == 0 || options.memory_budget < options.chunk * 2) {
+    return Status::InvalidArgument("memory_budget must be >= 2 * chunk");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.spill_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create spill dir " + options.spill_dir);
+  }
+  auto frontier =
+      std::unique_ptr<SpillingFrontier>(new SpillingFrontier(options));
+  frontier->levels_.resize(static_cast<size_t>(num_levels));
+  // Probe writability once up front so Push never has to report IO
+  // errors (Frontier's interface is infallible by design).
+  const std::string probe = options.spill_dir + "/lswc_spill_probe";
+  std::FILE* f = std::fopen(probe.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("spill dir not writable: " + options.spill_dir);
+  }
+  std::fclose(f);
+  std::remove(probe.c_str());
+  return frontier;
+}
+
+SpillingFrontier::~SpillingFrontier() {
+  for (Level& level : levels_) {
+    if (level.file != nullptr) {
+      std::fclose(level.file);
+      std::remove(level.path.c_str());
+    }
+  }
+}
+
+size_t SpillingFrontier::in_memory() const {
+  size_t n = 0;
+  for (const Level& level : levels_) {
+    n += level.head.size() + level.tail.size();
+  }
+  return n;
+}
+
+void SpillingFrontier::SpillTail(Level* level) {
+  if (level->tail.empty()) return;
+  if (level->file == nullptr) {
+    level->path = StringPrintf("%s/lswc_spill_%p_%zd.bin",
+                               options_.spill_dir.c_str(),
+                               static_cast<void*>(this),
+                               level - levels_.data());
+    level->file = std::fopen(level->path.c_str(), "wb+");
+    LSWC_CHECK(level->file != nullptr) << "spill file open failed";
+  }
+  // Append the whole tail (oldest first) to keep FIFO order on disk.
+  std::vector<PageId> buffer(level->tail.begin(), level->tail.end());
+  LSWC_CHECK_EQ(std::fseek(level->file, 0, SEEK_END), 0);
+  const size_t written = std::fwrite(buffer.data(), sizeof(PageId),
+                                     buffer.size(), level->file);
+  LSWC_CHECK_EQ(written, buffer.size()) << "spill write failed";
+  level->file_written += buffer.size();
+  spilled_urls_ += buffer.size();
+  level->tail.clear();
+}
+
+void SpillingFrontier::RefillHead(Level* level) {
+  if (!level->head.empty()) return;
+  if (level->on_disk() > 0) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(options_.chunk, level->on_disk()));
+    std::vector<PageId> buffer(want);
+    LSWC_CHECK_EQ(
+        std::fseek(level->file,
+                   static_cast<long>(level->file_read * sizeof(PageId)),
+                   SEEK_SET),
+        0);
+    const size_t got =
+        std::fread(buffer.data(), sizeof(PageId), want, level->file);
+    LSWC_CHECK_EQ(got, want) << "spill read failed";
+    level->file_read += got;
+    level->head.insert(level->head.end(), buffer.begin(), buffer.end());
+    if (level->on_disk() == 0) {
+      // File fully drained: truncate it for reuse.
+      LSWC_CHECK(std::freopen(level->path.c_str(), "wb+", level->file) !=
+                 nullptr);
+      level->file_read = 0;
+      level->file_written = 0;
+    }
+    return;
+  }
+  // Nothing on disk: promote the tail.
+  level->head.swap(level->tail);
+}
+
+void SpillingFrontier::EnforceBudget() {
+  if (in_memory() <= options_.memory_budget) return;
+  // Spill the biggest tails from the lowest levels first: they are the
+  // last URLs this frontier will ever pop.
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].tail.size() >= options_.chunk) {
+      SpillTail(&levels_[i]);
+      if (in_memory() <= options_.memory_budget) return;
+    }
+  }
+  // Still over (many small tails): spill everything spillable.
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    SpillTail(&levels_[i]);
+    if (in_memory() <= options_.memory_budget) return;
+  }
+}
+
+void SpillingFrontier::Push(PageId url, int priority) {
+  const int level_index =
+      std::clamp(priority, 0, static_cast<int>(levels_.size()) - 1);
+  levels_[level_index].tail.push_back(url);
+  ++size_;
+  max_size_ = std::max(max_size_, size_);
+  highest_nonempty_ = std::max(highest_nonempty_, level_index);
+  EnforceBudget();
+}
+
+std::optional<PageId> SpillingFrontier::Pop() {
+  if (size_ == 0) return std::nullopt;
+  while (highest_nonempty_ >= 0 &&
+         levels_[static_cast<size_t>(highest_nonempty_)].total() == 0) {
+    --highest_nonempty_;
+  }
+  LSWC_CHECK_GE(highest_nonempty_, 0);
+  Level& level = levels_[static_cast<size_t>(highest_nonempty_)];
+  RefillHead(&level);
+  LSWC_CHECK(!level.head.empty());
+  const PageId url = level.head.front();
+  level.head.pop_front();
+  --size_;
+  return url;
+}
+
+}  // namespace lswc

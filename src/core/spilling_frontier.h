@@ -1,0 +1,91 @@
+#ifndef LSWC_CORE_SPILLING_FRONTIER_H_
+#define LSWC_CORE_SPILLING_FRONTIER_H_
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/frontier.h"
+#include "util/status.h"
+
+namespace lswc {
+
+/// Disk-spilling bucket frontier: the lossless answer to the paper's
+/// queue-memory problem (soft-focused needed ~8M pending URLs). Pending
+/// URLs beyond the in-memory budget overflow to one append-only spill
+/// file per priority level — the design production crawlers (Heritrix
+/// and friends) use — and stream back in FIFO order as the level drains.
+/// Ordering is identical to BucketFrontier: strict priority across
+/// levels, FIFO within a level.
+///
+/// Layout per level: `head` (oldest, pop side, refilled in chunks) ->
+/// spill file (middle) -> `tail` (newest, push side). A push lands in
+/// `tail`; when the in-memory total exceeds the budget, the fullest
+/// low-priority tail is appended to its file.
+class SpillingFrontier final : public Frontier {
+ public:
+  struct Options {
+    /// Max URLs held in memory across all levels (>= 2 * chunk).
+    size_t memory_budget = 1 << 20;
+    /// URLs moved per file read/write burst.
+    size_t chunk = 4096;
+    /// Directory for spill files (created if missing).
+    std::string spill_dir = "/tmp";
+  };
+
+  /// Creates the frontier; fails if the spill directory is unusable.
+  static StatusOr<std::unique_ptr<SpillingFrontier>> Create(
+      int num_levels, const Options& options);
+
+  ~SpillingFrontier() override;
+
+  SpillingFrontier(const SpillingFrontier&) = delete;
+  SpillingFrontier& operator=(const SpillingFrontier&) = delete;
+
+  void Push(PageId url, int priority) override;
+  std::optional<PageId> Pop() override;
+  size_t size() const override { return size_; }
+  size_t max_size_seen() const override { return max_size_; }
+
+  /// URLs currently resident in memory (<= budget + chunk slack).
+  size_t in_memory() const;
+  /// Total URLs ever written to spill files (diagnostics).
+  uint64_t spilled_urls() const { return spilled_urls_; }
+
+ private:
+  struct Level {
+    std::deque<PageId> head;   // Oldest; pop side.
+    std::deque<PageId> tail;   // Newest; push side.
+    std::FILE* file = nullptr; // Lazily created spill file.
+    uint64_t file_read = 0;    // URLs already read back.
+    uint64_t file_written = 0; // URLs appended.
+    std::string path;
+
+    uint64_t on_disk() const { return file_written - file_read; }
+    size_t total() const {
+      return head.size() + tail.size() + static_cast<size_t>(on_disk());
+    }
+  };
+
+  explicit SpillingFrontier(Options options) : options_(options) {}
+
+  /// Appends `level`'s tail to its spill file.
+  void SpillTail(Level* level);
+  /// Moves up to chunk URLs from file (or tail) into head.
+  void RefillHead(Level* level);
+  /// Evicts from the lowest levels until under budget.
+  void EnforceBudget();
+
+  Options options_;
+  std::vector<Level> levels_;
+  size_t size_ = 0;
+  size_t max_size_ = 0;
+  uint64_t spilled_urls_ = 0;
+  int highest_nonempty_ = -1;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_SPILLING_FRONTIER_H_

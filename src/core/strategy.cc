@@ -1,0 +1,57 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lswc {
+
+LinkDecision BreadthFirstStrategy::OnLink(const ParentInfo& parent,
+                                          PageId child) const {
+  (void)parent;
+  (void)child;
+  return LinkDecision{/*enqueue=*/true, /*priority=*/0, /*annotation=*/0};
+}
+
+LinkDecision HardFocusedStrategy::OnLink(const ParentInfo& parent,
+                                         PageId child) const {
+  (void)child;
+  if (!parent.relevant) return LinkDecision{};  // Discard (Table 2).
+  return LinkDecision{true, 0, 0};
+}
+
+LinkDecision SoftFocusedStrategy::OnLink(const ParentInfo& parent,
+                                         PageId child) const {
+  (void)child;
+  // Never discard; referrer relevance sets the priority (Table 2).
+  return LinkDecision{true, parent.relevant ? 1 : 0, 0};
+}
+
+LimitedDistanceStrategy::LimitedDistanceStrategy(int max_distance,
+                                                 bool prioritized)
+    : max_distance_(max_distance), prioritized_(prioritized) {
+  LSWC_CHECK_GE(max_distance, 0);
+  LSWC_CHECK_LE(max_distance, 254);  // Annotation is one byte.
+}
+
+LinkDecision LimitedDistanceStrategy::OnLink(const ParentInfo& parent,
+                                             PageId child) const {
+  (void)child;
+  // Run length of consecutive irrelevant pages ending at the child's
+  // referrer chain: reset by a relevant parent, extended otherwise.
+  const int run = parent.relevant ? 0 : parent.annotation + 1;
+  if (run > max_distance_) return LinkDecision{};  // Path exhausted (Fig 1).
+  LinkDecision d;
+  d.enqueue = true;
+  d.annotation = static_cast<uint8_t>(run);
+  d.priority = prioritized_ ? max_distance_ - run : 0;
+  return d;
+}
+
+std::string LimitedDistanceStrategy::name() const {
+  return StringPrintf("%slimited-distance(N=%d)",
+                      prioritized_ ? "prioritized-" : "", max_distance_);
+}
+
+}  // namespace lswc

@@ -1,0 +1,118 @@
+#ifndef LSWC_CORE_STRATEGY_H_
+#define LSWC_CORE_STRATEGY_H_
+
+#include <memory>
+#include <string>
+
+#include "webgraph/page.h"
+
+namespace lswc {
+
+/// What a strategy knows about the page whose links are being expanded:
+/// its identity, the classifier's relevance verdict, and the strategy's
+/// own per-URL annotation (assigned when the page itself was enqueued —
+/// the limited-distance strategies use it as "consecutive irrelevant
+/// pages on the path ending at this page").
+struct ParentInfo {
+  PageId page = 0;
+  bool relevant = false;
+  uint8_t annotation = 0;
+};
+
+/// Verdict for one extracted link.
+struct LinkDecision {
+  bool enqueue = false;
+  /// Frontier priority level (higher pops first).
+  int priority = 0;
+  /// Annotation stored with the child URL and echoed back via ParentInfo
+  /// when the child is later expanded.
+  uint8_t annotation = 0;
+};
+
+/// A priority-assignment strategy — the "observer" component of the
+/// paper's simulator (Fig 2), §3.3. The Visitor consults it once per
+/// extracted link. The paper's strategies are pure functions of the
+/// parent's judgment and annotation; `child` is additionally provided
+/// for strategies that keep per-URL knowledge (context-graph layers,
+/// distilled hub scores).
+class CrawlStrategy {
+ public:
+  virtual ~CrawlStrategy() = default;
+
+  virtual LinkDecision OnLink(const ParentInfo& parent,
+                              PageId child) const = 0;
+
+  /// Priority level for seed URLs.
+  virtual int seed_priority() const { return 0; }
+
+  /// Number of frontier priority levels the strategy uses.
+  virtual int num_priority_levels() const { return 1; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Baseline: enqueue every link at one priority (plain BFS order).
+class BreadthFirstStrategy final : public CrawlStrategy {
+ public:
+  LinkDecision OnLink(const ParentInfo& parent,
+                      PageId child) const override;
+  std::string name() const override { return "breadth-first"; }
+};
+
+/// Simple strategy, hard-focused mode (§3.3.1, Table 2): follow links
+/// only out of relevant pages; links from irrelevant referrers are
+/// discarded outright.
+class HardFocusedStrategy final : public CrawlStrategy {
+ public:
+  LinkDecision OnLink(const ParentInfo& parent,
+                      PageId child) const override;
+  std::string name() const override { return "hard-focused"; }
+};
+
+/// Simple strategy, soft-focused mode (§3.3.1, Table 2): never discard;
+/// links from relevant referrers get high priority, links from
+/// irrelevant referrers get low priority.
+class SoftFocusedStrategy final : public CrawlStrategy {
+ public:
+  LinkDecision OnLink(const ParentInfo& parent,
+                      PageId child) const override;
+  int seed_priority() const override { return 1; }
+  int num_priority_levels() const override { return 2; }
+  std::string name() const override { return "soft-focused"; }
+};
+
+/// Limited-distance strategy (§3.3.2, Fig 1): a crawl path may pass
+/// through at most N consecutive irrelevant pages. The annotation tracks
+/// the current run length of irrelevant pages; a link whose run would
+/// exceed N is discarded.
+///
+/// Non-prioritized mode: all surviving links share one priority.
+/// Prioritized mode: priority decreases with the distance from the last
+/// relevant referrer (priority = N - run-length), so near-relevant URLs
+/// pop first — the refinement that keeps harvest rate flat in N (Fig 7).
+///
+/// N = 0 degenerates to hard-focused; N -> infinity with two levels
+/// approximates soft-focused. That spectrum is the paper's design space.
+class LimitedDistanceStrategy final : public CrawlStrategy {
+ public:
+  LimitedDistanceStrategy(int max_distance, bool prioritized);
+
+  LinkDecision OnLink(const ParentInfo& parent,
+                      PageId child) const override;
+  int seed_priority() const override { return prioritized_ ? max_distance_ : 0; }
+  int num_priority_levels() const override {
+    return prioritized_ ? max_distance_ + 1 : 1;
+  }
+  std::string name() const override;
+
+  int max_distance() const { return max_distance_; }
+  bool prioritized() const { return prioritized_; }
+
+ private:
+  int max_distance_;
+  bool prioritized_;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_STRATEGY_H_

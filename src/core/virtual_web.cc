@@ -1,0 +1,46 @@
+#include "core/virtual_web.h"
+
+#include "webgraph/content_gen.h"
+
+namespace lswc {
+
+VirtualWebSpace::VirtualWebSpace(const WebGraph* graph, LinkDb* link_db,
+                                 RenderMode render_mode)
+    : graph_(graph), link_db_(link_db), render_mode_(render_mode) {}
+
+Status VirtualWebSpace::Fetch(PageId id, FetchResponse* out) {
+  if (id >= graph_->num_pages()) {
+    return Status::NotFound("URL not in the crawl log");
+  }
+  ++fetch_count_;
+  const PageRecord& rec = graph_->page(id);
+  out->page = id;
+  out->http_status = rec.http_status;
+  out->meta_charset = rec.meta_charset;
+  out->true_language = rec.language;
+  out->true_encoding = rec.true_encoding;
+  out->body.clear();
+  out->outlinks.clear();
+  if (!rec.ok()) return Status::OK();
+
+  LSWC_RETURN_IF_ERROR(link_db_->GetOutlinks(id, &out->outlinks));
+  switch (render_mode_) {
+    case RenderMode::kNone:
+      break;
+    case RenderMode::kHead: {
+      auto head = RenderPageHead(*graph_, id);
+      if (!head.ok()) return head.status();
+      out->body = std::move(head).value();
+      break;
+    }
+    case RenderMode::kFull: {
+      auto body = RenderPageBody(*graph_, id);
+      if (!body.ok()) return body.status();
+      out->body = std::move(body).value();
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lswc

@@ -1,0 +1,72 @@
+#ifndef LSWC_CORE_VIRTUAL_WEB_H_
+#define LSWC_CORE_VIRTUAL_WEB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "webgraph/graph.h"
+#include "webgraph/link_db.h"
+
+namespace lswc {
+
+/// How much of a page the virtual web space materializes per fetch.
+/// The trace fast path (kNone) serves only log properties, the way the
+/// paper's simulator replays its crawl logs; kHead/kFull additionally
+/// render real HTML bytes so byte-level classifiers and parsers run.
+enum class RenderMode {
+  kNone,  // Log properties + outlinks only.
+  kHead,  // Bytes of the <head> prefix (charset prescan window).
+  kFull,  // The whole document.
+};
+
+/// What a fetch through the virtual web space returns: the observable
+/// response (status, declared charset, bytes, links) plus the log's
+/// ground truth, which only oracle components and the metrics layer may
+/// consult — crawling strategies never see it.
+struct FetchResponse {
+  PageId page = 0;
+  uint16_t http_status = 0;
+  /// Charset declared by the page author (kUnknown when undeclared).
+  Encoding meta_charset = Encoding::kUnknown;
+  /// Rendered bytes per RenderMode (empty under kNone and for non-OK).
+  std::string body;
+  /// Outlinks served by the link database (empty for non-OK pages).
+  std::vector<PageId> outlinks;
+
+  // --- Ground truth (metrics / oracle only). ---
+  Language true_language = Language::kUnknown;
+  Encoding true_encoding = Encoding::kUnknown;
+
+  bool ok() const { return http_status == 200; }
+};
+
+/// The virtual web space of the paper's Fig 2: resolves page requests
+/// against the crawl-log image (WebGraph + LinkDb), optionally rendering
+/// page bytes on demand.
+class VirtualWebSpace {
+ public:
+  /// Neither pointer is owned; both must outlive the web space.
+  VirtualWebSpace(const WebGraph* graph, LinkDb* link_db,
+                  RenderMode render_mode = RenderMode::kNone);
+
+  /// Serves one request. Fails with NotFound for ids outside the log
+  /// (a URL the original crawl never resolved).
+  Status Fetch(PageId id, FetchResponse* out);
+
+  const WebGraph& graph() const { return *graph_; }
+  RenderMode render_mode() const { return render_mode_; }
+
+  /// Total fetches served (diagnostics).
+  uint64_t fetch_count() const { return fetch_count_; }
+
+ private:
+  const WebGraph* graph_;
+  LinkDb* link_db_;
+  RenderMode render_mode_;
+  uint64_t fetch_count_ = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_VIRTUAL_WEB_H_

@@ -1,0 +1,65 @@
+#include "core/visitor.h"
+
+#include "charset/codec.h"
+#include "html/link_extractor.h"
+
+namespace lswc {
+
+Visitor::Visitor(VirtualWebSpace* web, Classifier* classifier,
+                 bool parse_html)
+    : web_(web), classifier_(classifier), parse_html_(parse_html) {}
+
+Status Visitor::Visit(PageId id, VisitResult* out) {
+  ++visit_count_;
+  out->links.clear();
+  LSWC_RETURN_IF_ERROR(web_->Fetch(id, &out->response));
+  out->judgment = classifier_->Judge(out->response);
+  if (!out->response.ok()) return Status::OK();
+
+  if (parse_html_) {
+    if (web_->render_mode() != RenderMode::kFull) {
+      return Status::FailedPrecondition(
+          "parse_html requires RenderMode::kFull");
+    }
+    return ExtractFromHtml(*out, &out->links);
+  }
+  out->links = out->response.outlinks;
+  return Status::OK();
+}
+
+Status Visitor::ExtractFromHtml(const VisitResult& result,
+                                std::vector<PageId>* links) {
+  // Decode using the encoding the crawler *believes* the page uses (the
+  // classifier's verdict, falling back to the declared charset), then
+  // re-encode to UTF-8 for parsing. Undecodable bytes fall back to raw
+  // parsing — markup is ASCII-compatible in every supported encoding
+  // except ISO-2022-JP, and for those the detector is reliable.
+  const FetchResponse& response = result.response;
+  std::string utf8;
+  Encoding believed = result.judgment.encoding;
+  if (believed == Encoding::kUnknown) believed = response.meta_charset;
+  bool decoded = false;
+  if (believed != Encoding::kUnknown) {
+    auto text = DecodeText(believed, response.body);
+    if (text.ok()) {
+      utf8 = EncodeUtf8(*text);
+      decoded = true;
+    }
+  }
+  const std::string_view html = decoded ? utf8 : response.body;
+
+  const std::string page_url = web_->graph().UrlOf(response.page);
+  LinkExtractorOptions options;
+  options.collect_anchor_text = false;
+  for (const ExtractedLink& link : ExtractLinks(page_url, html, options)) {
+    PageId child;
+    if (web_->graph().ResolveUrl(link.url, &child)) {
+      links->push_back(child);
+    } else {
+      ++unresolved_links_;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lswc

@@ -1,0 +1,23 @@
+#ifndef LSWC_HTML_ENTITY_H_
+#define LSWC_HTML_ENTITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lswc {
+
+/// Appends the UTF-8 encoding of `codepoint` to `out`. Invalid codepoints
+/// (surrogates, > U+10FFFF) are replaced with U+FFFD.
+void AppendUtf8(uint32_t codepoint, std::string* out);
+
+/// Decodes HTML character references in `text`:
+///  - named references from a core set (amp, lt, gt, quot, apos, nbsp, ...),
+///  - decimal (&#nnn;) and hexadecimal (&#xhh;) numeric references.
+/// Unknown or malformed references are passed through verbatim, which is
+/// what link extraction wants for crawl robustness.
+std::string DecodeHtmlEntities(std::string_view text);
+
+}  // namespace lswc
+
+#endif  // LSWC_HTML_ENTITY_H_

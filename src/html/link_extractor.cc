@@ -1,0 +1,157 @@
+#include "html/link_extractor.h"
+
+#include "html/entity.h"
+#include "html/tokenizer.h"
+#include "url/url.h"
+#include "util/string_util.h"
+
+namespace lswc {
+
+namespace {
+
+bool IsFetchableScheme(std::string_view url) {
+  // Relative references are fetchable (they resolve against an http base).
+  const size_t colon = url.find(':');
+  if (colon == std::string_view::npos) return true;
+  const size_t slash = url.find('/');
+  if (slash != std::string_view::npos && slash < colon) return true;
+  const std::string scheme = AsciiStrToLower(url.substr(0, colon));
+  return scheme == "http" || scheme == "https";
+}
+
+// Collapses runs of whitespace to single spaces and trims.
+std::string CollapseWhitespace(std::string_view s) {
+  std::string out;
+  bool in_space = true;  // Leading spaces dropped.
+  for (char c : s) {
+    if (IsAsciiSpace(c)) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+// Parses the URL out of a meta-refresh content value: "5; url=/next.html".
+std::string_view MetaRefreshUrl(std::string_view content) {
+  const size_t semi = content.find(';');
+  if (semi == std::string_view::npos) return {};
+  std::string_view rest = StripAsciiWhitespace(content.substr(semi + 1));
+  if (!StartsWithIgnoreCase(rest, "url")) return {};
+  rest = StripAsciiWhitespace(rest.substr(3));
+  if (rest.empty() || rest.front() != '=') return {};
+  rest = StripAsciiWhitespace(rest.substr(1));
+  // Strip optional quotes.
+  if (rest.size() >= 2 && (rest.front() == '"' || rest.front() == '\'') &&
+      rest.back() == rest.front()) {
+    rest = rest.substr(1, rest.size() - 2);
+  }
+  return rest;
+}
+
+}  // namespace
+
+std::vector<ExtractedLink> ExtractLinks(std::string_view page_url,
+                                        std::string_view html,
+                                        const LinkExtractorOptions& options) {
+  std::vector<ExtractedLink> links;
+  auto base_or = ParseUrl(page_url);
+  if (!base_or.ok() || !base_or->IsAbsolute()) return links;
+  ParsedUrl base = *base_or;
+
+  HtmlTokenizer tok(html);
+  bool collecting_anchor = false;
+  std::string anchor_text;
+  size_t open_anchor_index = 0;
+
+  auto emit = [&](std::string_view raw, LinkSource source) {
+    if (options.max_links != 0 && links.size() >= options.max_links) return;
+    const std::string decoded = DecodeHtmlEntities(raw);
+    std::string_view trimmed = StripAsciiWhitespace(decoded);
+    if (trimmed.empty()) return;
+    if (options.skip_non_http && !IsFetchableScheme(trimmed)) return;
+    auto resolved = ResolveUrl(base, trimmed);
+    if (!resolved.ok()) return;
+    if (options.skip_non_http && resolved->scheme != "http" &&
+        resolved->scheme != "https") {
+      return;
+    }
+    NormalizeUrl(&resolved.value());
+    links.push_back(ExtractedLink{resolved->ToString(), source, {}});
+  };
+
+  while (true) {
+    const HtmlToken& t = tok.Next();
+    if (t.type == HtmlTokenType::kEndOfFile) break;
+    switch (t.type) {
+      case HtmlTokenType::kStartTag: {
+        if (t.name == "base") {
+          if (const std::string* href = t.FindAttribute("href")) {
+            // The first base href wins and rebases subsequent links.
+            auto b = ResolveUrl(base, DecodeHtmlEntities(*href));
+            if (b.ok() && b->IsAbsolute()) base = *b;
+          }
+        } else if (t.name == "a") {
+          if (const std::string* href = t.FindAttribute("href")) {
+            emit(*href, LinkSource::kAnchor);
+            if (options.collect_anchor_text && !links.empty() &&
+                links.back().source == LinkSource::kAnchor) {
+              collecting_anchor = true;
+              anchor_text.clear();
+              open_anchor_index = links.size() - 1;
+            }
+          }
+        } else if (t.name == "frame" || t.name == "iframe") {
+          if (const std::string* src = t.FindAttribute("src")) {
+            emit(*src, LinkSource::kFrame);
+          }
+        } else if (t.name == "area") {
+          if (const std::string* href = t.FindAttribute("href")) {
+            emit(*href, LinkSource::kArea);
+          }
+        } else if (t.name == "link") {
+          const std::string* rel = t.FindAttribute("rel");
+          const std::string* href = t.FindAttribute("href");
+          if (rel != nullptr && href != nullptr &&
+              (EqualsIgnoreCase(*rel, "alternate") ||
+               EqualsIgnoreCase(*rel, "next") ||
+               EqualsIgnoreCase(*rel, "prev"))) {
+            emit(*href, LinkSource::kLink);
+          }
+        } else if (t.name == "meta") {
+          const std::string* he = t.FindAttribute("http-equiv");
+          const std::string* content = t.FindAttribute("content");
+          if (he != nullptr && content != nullptr &&
+              EqualsIgnoreCase(*he, "refresh")) {
+            const std::string_view url = MetaRefreshUrl(*content);
+            if (!url.empty()) emit(url, LinkSource::kMetaRefresh);
+          }
+        }
+        break;
+      }
+      case HtmlTokenType::kEndTag:
+        if (t.name == "a" && collecting_anchor) {
+          links[open_anchor_index].anchor_text =
+              CollapseWhitespace(DecodeHtmlEntities(anchor_text));
+          collecting_anchor = false;
+        }
+        break;
+      case HtmlTokenType::kText:
+        if (collecting_anchor) anchor_text.append(t.text);
+        break;
+      default:
+        break;
+    }
+  }
+  if (collecting_anchor) {
+    links[open_anchor_index].anchor_text =
+        CollapseWhitespace(DecodeHtmlEntities(anchor_text));
+  }
+  return links;
+}
+
+}  // namespace lswc

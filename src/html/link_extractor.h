@@ -1,0 +1,48 @@
+#ifndef LSWC_HTML_LINK_EXTRACTOR_H_
+#define LSWC_HTML_LINK_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lswc {
+
+/// Where a link was found; the crawler follows all of these (as the
+/// paper's crawler does: "downloading, URL extraction").
+enum class LinkSource {
+  kAnchor,     // <a href>
+  kFrame,      // <frame src> / <iframe src>
+  kArea,       // <area href>
+  kLink,       // <link href> (only rel=alternate-ish navigational links)
+  kMetaRefresh // <meta http-equiv=refresh content="0;url=...">
+};
+
+/// One extracted link: the canonical absolute URL after resolving against
+/// the page's base URL (base href respected) and normalizing.
+struct ExtractedLink {
+  std::string url;
+  LinkSource source;
+  /// Anchor text (entity-decoded, whitespace-collapsed) for kAnchor.
+  std::string anchor_text;
+};
+
+/// Options controlling extraction.
+struct LinkExtractorOptions {
+  /// Skip javascript:, mailto:, tel:, data: and other non-fetchable schemes.
+  bool skip_non_http = true;
+  /// Upper bound on links returned (0 = unlimited).
+  size_t max_links = 0;
+  /// Collect anchor text (costs a little; benches turn it off).
+  bool collect_anchor_text = true;
+};
+
+/// Extracts links from `html`, resolving each against `page_url` (or the
+/// page's <base href> when present). Malformed individual URLs are skipped;
+/// extraction itself never fails.
+std::vector<ExtractedLink> ExtractLinks(std::string_view page_url,
+                                        std::string_view html,
+                                        const LinkExtractorOptions& options = {});
+
+}  // namespace lswc
+
+#endif  // LSWC_HTML_LINK_EXTRACTOR_H_

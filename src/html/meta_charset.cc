@@ -1,0 +1,59 @@
+#include "html/meta_charset.h"
+
+#include "html/tokenizer.h"
+#include "util/string_util.h"
+
+namespace lswc {
+
+std::optional<std::string> CharsetFromContentType(std::string_view value) {
+  // Scan parameters separated by ';' for charset=<token>.
+  size_t pos = 0;
+  while (pos < value.size()) {
+    size_t semi = value.find(';', pos);
+    if (semi == std::string_view::npos) semi = value.size();
+    std::string_view part = StripAsciiWhitespace(value.substr(pos, semi - pos));
+    if (StartsWithIgnoreCase(part, "charset")) {
+      std::string_view rest = StripAsciiWhitespace(part.substr(7));
+      if (!rest.empty() && rest.front() == '=') {
+        rest = StripAsciiWhitespace(rest.substr(1));
+        // Strip optional quotes.
+        if (rest.size() >= 2 && (rest.front() == '"' || rest.front() == '\'') &&
+            rest.back() == rest.front()) {
+          rest = rest.substr(1, rest.size() - 2);
+        }
+        if (!rest.empty()) return std::string(rest);
+      }
+    }
+    pos = semi + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ExtractMetaCharset(std::string_view html) {
+  HtmlTokenizer tok(html);
+  while (true) {
+    const HtmlToken& t = tok.Next();
+    if (t.type == HtmlTokenType::kEndOfFile) break;
+    if (t.type != HtmlTokenType::kStartTag) continue;
+    // Stop scanning at the end of <head>-ish content: charset declarations
+    // after <body> starts are ignored by real browsers' prescan as well.
+    if (t.name == "body") break;
+    if (t.name != "meta") continue;
+
+    if (const std::string* charset = t.FindAttribute("charset")) {
+      std::string_view v = StripAsciiWhitespace(*charset);
+      if (!v.empty()) return std::string(v);
+      continue;
+    }
+    const std::string* http_equiv = t.FindAttribute("http-equiv");
+    const std::string* content = t.FindAttribute("content");
+    if (http_equiv != nullptr && content != nullptr &&
+        EqualsIgnoreCase(*http_equiv, "content-type")) {
+      auto cs = CharsetFromContentType(*content);
+      if (cs.has_value()) return cs;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lswc

@@ -1,0 +1,28 @@
+#ifndef LSWC_HTML_META_CHARSET_H_
+#define LSWC_HTML_META_CHARSET_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lswc {
+
+/// Extracts the author-declared character set of an HTML document, the
+/// paper's first relevance-judgment method (§3.2):
+///
+///   <META http-equiv="Content-Type" content="text/html; charset=EUC-JP">
+///
+/// Both the HTML 4 META http-equiv form and the HTML5
+/// <meta charset="..."> form are recognized; the first declaration wins.
+/// Returns the charset token (trimmed, original case) or nullopt when the
+/// document declares none — the paper's datasets contain such pages and
+/// the classifiers must treat them as unknown.
+std::optional<std::string> ExtractMetaCharset(std::string_view html);
+
+/// Parses the charset parameter out of a Content-Type value, e.g.
+/// "text/html; charset=tis-620" -> "tis-620". Returns nullopt if absent.
+std::optional<std::string> CharsetFromContentType(std::string_view value);
+
+}  // namespace lswc
+
+#endif  // LSWC_HTML_META_CHARSET_H_

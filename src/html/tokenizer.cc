@@ -1,0 +1,227 @@
+#include "html/tokenizer.h"
+
+#include "util/string_util.h"
+
+namespace lswc {
+
+namespace {
+bool IsRawTextElement(std::string_view name) {
+  return name == "script" || name == "style" || name == "textarea" ||
+         name == "title";
+}
+}  // namespace
+
+const std::string* HtmlToken::FindAttribute(std::string_view attr_name) const {
+  for (const auto& a : attributes) {
+    if (a.name == attr_name) return &a.value;
+  }
+  return nullptr;
+}
+
+HtmlTokenizer::HtmlTokenizer(std::string_view html) : html_(html) {}
+
+const HtmlToken& HtmlTokenizer::Next() {
+  token_.type = HtmlTokenType::kEndOfFile;
+  token_.name.clear();
+  token_.text = {};
+  token_.attributes.clear();
+  token_.self_closing = false;
+
+  if (!pending_raw_end_.empty()) {
+    const std::string end_tag = pending_raw_end_;
+    pending_raw_end_.clear();
+    ScanRawText(end_tag);
+    if (token_.type != HtmlTokenType::kEndOfFile) return token_;
+  }
+
+  if (pos_ >= html_.size()) return token_;
+
+  if (html_[pos_] == '<') {
+    ScanMarkup();
+  } else {
+    ScanText();
+  }
+  return token_;
+}
+
+void HtmlTokenizer::ScanText() {
+  const size_t start = pos_;
+  const size_t lt = html_.find('<', pos_);
+  pos_ = (lt == std::string_view::npos) ? html_.size() : lt;
+  token_.type = HtmlTokenType::kText;
+  token_.text = html_.substr(start, pos_ - start);
+}
+
+void HtmlTokenizer::ScanMarkup() {
+  // pos_ points at '<'.
+  if (pos_ + 1 >= html_.size()) {
+    // Trailing lone '<': emit as text.
+    token_.type = HtmlTokenType::kText;
+    token_.text = html_.substr(pos_);
+    pos_ = html_.size();
+    return;
+  }
+  const char c = html_[pos_ + 1];
+  if (c == '!') {
+    if (ScanComment()) return;
+    if (ScanDoctype()) return;
+    // "<!" followed by junk: skip to '>' as a bogus comment.
+    const size_t gt = html_.find('>', pos_);
+    const size_t start = pos_;
+    pos_ = (gt == std::string_view::npos) ? html_.size() : gt + 1;
+    token_.type = HtmlTokenType::kComment;
+    token_.text = html_.substr(start, pos_ - start);
+    return;
+  }
+  if (c == '/' || IsAsciiAlpha(c)) {
+    ScanTag();
+    return;
+  }
+  // "<" followed by a non-tag character is text ("a < b").
+  const size_t start = pos_;
+  ++pos_;
+  const size_t lt = html_.find('<', pos_);
+  pos_ = (lt == std::string_view::npos) ? html_.size() : lt;
+  token_.type = HtmlTokenType::kText;
+  token_.text = html_.substr(start, pos_ - start);
+}
+
+bool HtmlTokenizer::ScanComment() {
+  if (!StartsWith(html_.substr(pos_), "<!--")) return false;
+  const size_t body = pos_ + 4;
+  const size_t end = html_.find("-->", body);
+  token_.type = HtmlTokenType::kComment;
+  if (end == std::string_view::npos) {
+    token_.text = html_.substr(body);
+    pos_ = html_.size();
+  } else {
+    token_.text = html_.substr(body, end - body);
+    pos_ = end + 3;
+  }
+  return true;
+}
+
+bool HtmlTokenizer::ScanDoctype() {
+  if (!StartsWithIgnoreCase(html_.substr(pos_), "<!doctype")) return false;
+  const size_t gt = html_.find('>', pos_);
+  const size_t start = pos_ + 2;
+  const size_t end = (gt == std::string_view::npos) ? html_.size() : gt;
+  token_.type = HtmlTokenType::kDoctype;
+  token_.text = html_.substr(start, end - start);
+  pos_ = (gt == std::string_view::npos) ? html_.size() : gt + 1;
+  return true;
+}
+
+void HtmlTokenizer::ScanTag() {
+  const bool end_tag = html_[pos_ + 1] == '/';
+  size_t i = pos_ + (end_tag ? 2 : 1);
+  const size_t name_start = i;
+  while (i < html_.size() &&
+         (IsAsciiAlnum(html_[i]) || html_[i] == '-' || html_[i] == ':' ||
+          html_[i] == '_')) {
+    ++i;
+  }
+  token_.name = AsciiStrToLower(html_.substr(name_start, i - name_start));
+  token_.type = end_tag ? HtmlTokenType::kEndTag : HtmlTokenType::kStartTag;
+  pos_ = i;
+  if (!end_tag) {
+    ScanAttributes();
+  } else {
+    const size_t gt = html_.find('>', pos_);
+    pos_ = (gt == std::string_view::npos) ? html_.size() : gt + 1;
+  }
+  if (token_.type == HtmlTokenType::kStartTag && !token_.self_closing &&
+      IsRawTextElement(token_.name)) {
+    pending_raw_end_ = token_.name;
+  }
+}
+
+void HtmlTokenizer::ScanAttributes() {
+  while (pos_ < html_.size()) {
+    while (pos_ < html_.size() && IsAsciiSpace(html_[pos_])) ++pos_;
+    if (pos_ >= html_.size()) return;
+    if (html_[pos_] == '>') {
+      ++pos_;
+      return;
+    }
+    if (html_[pos_] == '/') {
+      ++pos_;
+      if (pos_ < html_.size() && html_[pos_] == '>') {
+        token_.self_closing = true;
+        ++pos_;
+        return;
+      }
+      continue;  // Stray '/': ignore.
+    }
+    // Attribute name.
+    const size_t name_start = pos_;
+    while (pos_ < html_.size() && html_[pos_] != '=' && html_[pos_] != '>' &&
+           html_[pos_] != '/' && !IsAsciiSpace(html_[pos_])) {
+      ++pos_;
+    }
+    HtmlAttribute attr;
+    attr.name = AsciiStrToLower(html_.substr(name_start, pos_ - name_start));
+    while (pos_ < html_.size() && IsAsciiSpace(html_[pos_])) ++pos_;
+    if (pos_ < html_.size() && html_[pos_] == '=') {
+      ++pos_;
+      while (pos_ < html_.size() && IsAsciiSpace(html_[pos_])) ++pos_;
+      attr.has_value = true;
+      if (pos_ < html_.size() && (html_[pos_] == '"' || html_[pos_] == '\'')) {
+        const char quote = html_[pos_++];
+        const size_t vstart = pos_;
+        const size_t vend = html_.find(quote, pos_);
+        if (vend == std::string_view::npos) {
+          attr.value = std::string(html_.substr(vstart));
+          pos_ = html_.size();
+        } else {
+          attr.value = std::string(html_.substr(vstart, vend - vstart));
+          pos_ = vend + 1;
+        }
+      } else {
+        const size_t vstart = pos_;
+        while (pos_ < html_.size() && html_[pos_] != '>' &&
+               !IsAsciiSpace(html_[pos_])) {
+          ++pos_;
+        }
+        attr.value = std::string(html_.substr(vstart, pos_ - vstart));
+      }
+    }
+    if (!attr.name.empty()) token_.attributes.push_back(std::move(attr));
+  }
+}
+
+void HtmlTokenizer::ScanRawText(std::string_view end_tag) {
+  // Look for "</end_tag" case-insensitively.
+  const size_t start = pos_;
+  size_t i = pos_;
+  while (i < html_.size()) {
+    const size_t lt = html_.find('<', i);
+    if (lt == std::string_view::npos) break;
+    if (lt + 1 < html_.size() && html_[lt + 1] == '/' &&
+        StartsWithIgnoreCase(html_.substr(lt + 2), end_tag)) {
+      const size_t after = lt + 2 + end_tag.size();
+      if (after >= html_.size() || html_[after] == '>' ||
+          IsAsciiSpace(html_[after])) {
+        if (lt > start) {
+          token_.type = HtmlTokenType::kText;
+          token_.text = html_.substr(start, lt - start);
+          pos_ = lt;
+          return;
+        }
+        // No raw content: fall through to tokenize the end tag normally.
+        pos_ = lt;
+        ScanMarkup();
+        return;
+      }
+    }
+    i = lt + 1;
+  }
+  // Unterminated raw text: everything to EOF is text.
+  if (start < html_.size()) {
+    token_.type = HtmlTokenType::kText;
+    token_.text = html_.substr(start);
+  }
+  pos_ = html_.size();
+}
+
+}  // namespace lswc

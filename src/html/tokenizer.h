@@ -1,0 +1,77 @@
+#ifndef LSWC_HTML_TOKENIZER_H_
+#define LSWC_HTML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lswc {
+
+/// One attribute on a start tag. `name` is lowercased; `value` is the raw
+/// attribute text with quotes removed but entities NOT decoded (decode at
+/// the point of use — URLs and charset names want different handling).
+struct HtmlAttribute {
+  std::string name;
+  std::string value;
+  bool has_value = false;
+};
+
+/// Kinds of tokens produced by HtmlTokenizer.
+enum class HtmlTokenType {
+  kStartTag,   // <a href=...> ; self-closing tags also produce kStartTag.
+  kEndTag,     // </a>
+  kText,       // character data between tags
+  kComment,    // <!-- ... -->
+  kDoctype,    // <!DOCTYPE ...>
+  kEndOfFile,
+};
+
+/// A token. Views into tag/attr storage are owned by the tokenizer and
+/// valid until the next call to Next().
+struct HtmlToken {
+  HtmlTokenType type = HtmlTokenType::kEndOfFile;
+  /// Lowercased tag name for kStartTag/kEndTag.
+  std::string name;
+  /// Raw text for kText/kComment/kDoctype.
+  std::string_view text;
+  std::vector<HtmlAttribute> attributes;
+  bool self_closing = false;
+
+  /// First value of attribute `attr_name` (lowercase), or nullptr.
+  const std::string* FindAttribute(std::string_view attr_name) const;
+};
+
+/// A forgiving, allocation-light HTML tokenizer sufficient for crawling:
+/// handles comments, doctypes, quoted/unquoted attributes, self-closing
+/// tags, and raw-text elements (script/style/textarea/title) whose content
+/// is emitted as text and never parsed for tags. Invalid markup never
+/// fails; it degrades to text, which is exactly what a crawler wants.
+class HtmlTokenizer {
+ public:
+  explicit HtmlTokenizer(std::string_view html);
+
+  /// Scans and returns the next token. After kEndOfFile, keeps returning
+  /// kEndOfFile.
+  const HtmlToken& Next();
+
+  /// Byte offset of the scanner (diagnostics).
+  size_t position() const { return pos_; }
+
+ private:
+  void ScanText();
+  void ScanMarkup();
+  bool ScanComment();
+  bool ScanDoctype();
+  void ScanTag();
+  void ScanAttributes();
+  void ScanRawText(std::string_view end_tag);
+
+  std::string_view html_;
+  size_t pos_ = 0;
+  HtmlToken token_;
+  std::string pending_raw_end_;  // Non-empty while inside a raw-text element.
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_HTML_TOKENIZER_H_

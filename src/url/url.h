@@ -1,0 +1,70 @@
+#ifndef LSWC_URL_URL_H_
+#define LSWC_URL_URL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace lswc {
+
+/// A parsed absolute or relative URL reference (RFC 3986 components).
+/// Components hold their decoded-as-written text (percent-escapes are kept
+/// verbatim; Normalize() canonicalizes them).
+struct ParsedUrl {
+  std::string scheme;  // Lowercased by Parse; empty for relative refs.
+  std::string host;    // Lowercased by Parse; empty if no authority.
+  /// Port number, or -1 when absent. Normalization drops scheme defaults.
+  int port = -1;
+  std::string path;      // As written, possibly empty.
+  std::string query;     // Without '?'; empty when absent.
+  std::string fragment;  // Without '#'; empty when absent.
+  bool has_authority = false;
+  bool has_query = false;
+  bool has_fragment = false;
+
+  /// True if the reference has a scheme (and is therefore absolute).
+  bool IsAbsolute() const { return !scheme.empty(); }
+
+  /// Reassembles the textual URL from components.
+  std::string ToString() const;
+
+  bool operator==(const ParsedUrl& o) const = default;
+};
+
+/// Parses a URL reference. Fails on empty input, embedded whitespace or
+/// control bytes, an invalid port, or a scheme with illegal characters.
+/// Both absolute URLs and relative references parse successfully.
+StatusOr<ParsedUrl> ParseUrl(std::string_view text);
+
+/// RFC 3986 §5 relative reference resolution: resolves `reference`
+/// against absolute `base`. `base` must be absolute.
+StatusOr<ParsedUrl> ResolveUrl(const ParsedUrl& base,
+                               std::string_view reference);
+
+/// RFC 3986 §5.2.4 dot-segment removal ("a/./b/../c" -> "a/c").
+std::string RemoveDotSegments(std::string_view path);
+
+/// Canonicalizes a parsed URL in place:
+///  - lowercases scheme and host (Parse already does),
+///  - drops the default port (http:80, https:443, ftp:21),
+///  - removes dot segments from the path,
+///  - uppercases retained percent-escapes and decodes escapes of
+///    unreserved characters,
+///  - replaces an empty path with "/" when an authority is present,
+///  - drops the fragment (crawlers treat fragment variants as one page).
+void NormalizeUrl(ParsedUrl* url);
+
+/// Parse + resolve-against-nothing + normalize; the one-call form used by
+/// the crawler for seed and extracted URLs. Requires an absolute URL.
+StatusOr<std::string> CanonicalizeUrl(std::string_view text);
+
+/// Parse `reference` relative to `base_text` (an absolute URL), normalize,
+/// and return the canonical string. This is the link-extraction path.
+StatusOr<std::string> CanonicalizeRelative(std::string_view base_text,
+                                           std::string_view reference);
+
+}  // namespace lswc
+
+#endif  // LSWC_URL_URL_H_

@@ -1,0 +1,91 @@
+#include "url/url_table.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lswc {
+
+uint64_t HashBytes(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+UrlTable::UrlTable() : buckets_(1024, 0) {}
+
+std::string_view UrlTable::EntryView(const Entry& e) const {
+  return std::string_view(pages_[e.page].data() + e.offset, e.length);
+}
+
+size_t UrlTable::FindBucket(std::string_view url, uint64_t hash) const {
+  const size_t mask = buckets_.size() - 1;
+  size_t b = static_cast<size_t>(hash) & mask;
+  while (true) {
+    const uint32_t slot = buckets_[b];
+    if (slot == 0) return b;
+    const Entry& e = entries_[slot - 1];
+    if (e.hash == hash && EntryView(e) == url) return b;
+    b = (b + 1) & mask;
+  }
+}
+
+void UrlTable::Rehash(size_t new_buckets) {
+  std::vector<uint32_t> old = std::move(buckets_);
+  buckets_.assign(new_buckets, 0);
+  const size_t mask = buckets_.size() - 1;
+  for (uint32_t slot : old) {
+    if (slot == 0) continue;
+    size_t b = static_cast<size_t>(entries_[slot - 1].hash) & mask;
+    while (buckets_[b] != 0) b = (b + 1) & mask;
+    buckets_[b] = slot;
+  }
+}
+
+UrlId UrlTable::Intern(std::string_view url) {
+  const uint64_t hash = HashBytes(url);
+  size_t b = FindBucket(url, hash);
+  if (buckets_[b] != 0) return buckets_[b] - 1;
+
+  // Grow at 70% load before inserting.
+  if ((entries_.size() + 1) * 10 >= buckets_.size() * 7) {
+    Rehash(buckets_.size() * 2);
+    b = FindBucket(url, hash);
+  }
+
+  // Copy the bytes into the arena.
+  assert(url.size() <= kPageSize);
+  if (pages_.empty() || pages_.back().size() + url.size() > kPageSize) {
+    pages_.emplace_back();
+    pages_.back().reserve(kPageSize);
+  }
+  auto& page = pages_.back();
+  const Entry e{static_cast<uint32_t>(pages_.size() - 1),
+                static_cast<uint32_t>(page.size()),
+                static_cast<uint32_t>(url.size()), hash};
+  page.insert(page.end(), url.begin(), url.end());
+  entries_.push_back(e);
+  buckets_[b] = static_cast<uint32_t>(entries_.size());  // index + 1.
+  return static_cast<UrlId>(entries_.size() - 1);
+}
+
+UrlId UrlTable::Find(std::string_view url) const {
+  const uint64_t hash = HashBytes(url);
+  const size_t b = FindBucket(url, hash);
+  return buckets_[b] == 0 ? kInvalidUrlId : buckets_[b] - 1;
+}
+
+std::string_view UrlTable::Get(UrlId id) const {
+  assert(id < entries_.size());
+  return EntryView(entries_[id]);
+}
+
+size_t UrlTable::arena_bytes() const {
+  size_t total = 0;
+  for (const auto& p : pages_) total += p.capacity();
+  return total;
+}
+
+}  // namespace lswc

@@ -1,0 +1,76 @@
+#ifndef LSWC_URL_URL_TABLE_H_
+#define LSWC_URL_URL_TABLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace lswc {
+
+/// Dense identifier of an interned URL. Ids are assigned 0,1,2,... in
+/// insertion order, which lets every per-URL table in the simulator be a
+/// flat vector.
+using UrlId = uint32_t;
+
+inline constexpr UrlId kInvalidUrlId = std::numeric_limits<UrlId>::max();
+
+/// Interns URL strings into dense UrlIds.
+///
+/// Storage: all URL bytes live in one append-only arena; the hash index is
+/// open-addressing with linear probing over (hash, offset) slots, so a
+/// table of tens of millions of URLs costs ~arena bytes + 16B/URL — the
+/// same design constraint the paper hits with its 8M-URL frontier.
+/// Not thread-safe; the simulator is single-threaded by design (the trace
+/// replay must be deterministic).
+class UrlTable {
+ public:
+  UrlTable();
+
+  UrlTable(const UrlTable&) = delete;
+  UrlTable& operator=(const UrlTable&) = delete;
+
+  /// Returns the id of `url`, interning it if new.
+  UrlId Intern(std::string_view url);
+
+  /// Returns the id of `url` or kInvalidUrlId when absent.
+  UrlId Find(std::string_view url) const;
+
+  /// Returns the string for an id. The view is valid until the table is
+  /// destroyed (arena storage is append-only and never reallocates pages).
+  std::string_view Get(UrlId id) const;
+
+  /// Number of interned URLs.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total bytes held by the string arena (diagnostics).
+  size_t arena_bytes() const;
+
+ private:
+  struct Entry {
+    uint32_t page;    // Arena page index.
+    uint32_t offset;  // Byte offset within the page.
+    uint32_t length;
+    uint64_t hash;
+  };
+
+  static constexpr size_t kPageSize = 1 << 20;
+
+  std::string_view EntryView(const Entry& e) const;
+  void Rehash(size_t new_buckets);
+  // Returns bucket holding `url` or the empty bucket where it would go.
+  size_t FindBucket(std::string_view url, uint64_t hash) const;
+
+  std::vector<std::vector<char>> pages_;
+  std::vector<Entry> entries_;
+  /// Index: bucket -> entry index + 1 (0 = empty). Power-of-two sized.
+  std::vector<uint32_t> buckets_;
+};
+
+/// 64-bit FNV-1a over bytes; shared by UrlTable and tests.
+uint64_t HashBytes(std::string_view s);
+
+}  // namespace lswc
+
+#endif  // LSWC_URL_URL_TABLE_H_

@@ -1,0 +1,113 @@
+#include "util/series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace lswc {
+
+Series::Series(std::string x_name, std::vector<std::string> y_names)
+    : x_name_(std::move(x_name)) {
+  ys_.reserve(y_names.size());
+  for (auto& n : y_names) ys_.push_back(SeriesColumn{std::move(n), {}});
+}
+
+void Series::AddRow(double x, const std::vector<double>& ys) {
+  assert(ys.size() == ys_.size());
+  x_.push_back(x);
+  for (size_t i = 0; i < ys_.size(); ++i) ys_[i].values.push_back(ys[i]);
+}
+
+double Series::LastY(size_t col) const {
+  const auto& v = ys_[col].values;
+  return v.empty() ? 0.0 : v.back();
+}
+
+double Series::MaxY(size_t col) const {
+  const auto& v = ys_[col].values;
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+void Series::WriteDat(std::ostream& os) const {
+  os << "# " << x_name_;
+  for (const auto& c : ys_) os << ' ' << c.name;
+  os << '\n';
+  char buf[64];
+  for (size_t r = 0; r < x_.size(); ++r) {
+    std::snprintf(buf, sizeof(buf), "%.6g", x_[r]);
+    os << buf;
+    for (const auto& c : ys_) {
+      std::snprintf(buf, sizeof(buf), " %.6g", c.values[r]);
+      os << buf;
+    }
+    os << '\n';
+  }
+}
+
+Status Series::WriteDatFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  WriteDat(f);
+  if (!f.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string Series::ToTable(size_t stride) const {
+  if (stride == 0) stride = 1;
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%16s", x_name_.c_str());
+  out += buf;
+  for (const auto& c : ys_) {
+    std::snprintf(buf, sizeof(buf), " %16s", c.name.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (size_t r = 0; r < x_.size(); ++r) {
+    if (r % stride != 0 && r + 1 != x_.size()) continue;  // Always keep last.
+    std::snprintf(buf, sizeof(buf), "%16.6g", x_[r]);
+    out += buf;
+    for (const auto& c : ys_) {
+      std::snprintf(buf, sizeof(buf), " %16.6g", c.values[r]);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Series MergeSeriesColumns(const std::vector<SeriesInput>& inputs,
+                          size_t column, const std::string& x_name,
+                          int points) {
+  assert(!inputs.empty());
+  assert(points > 0);
+  double horizon = 0;
+  for (const SeriesInput& in : inputs) {
+    assert(in.series != nullptr && in.series->num_rows() > 0);
+    horizon = std::max(horizon, in.series->x(in.series->num_rows() - 1));
+  }
+  std::vector<std::string> names;
+  names.reserve(inputs.size());
+  for (const SeriesInput& in : inputs) names.push_back(in.name);
+  Series merged(x_name, names);
+  std::vector<size_t> cursor(inputs.size(), 0);
+  for (int i = 1; i <= points; ++i) {
+    const double x = horizon * i / points;
+    std::vector<double> ys;
+    ys.reserve(inputs.size());
+    for (size_t r = 0; r < inputs.size(); ++r) {
+      const Series& s = *inputs[r].series;
+      while (cursor[r] + 1 < s.num_rows() && s.x(cursor[r] + 1) <= x) {
+        ++cursor[r];
+      }
+      ys.push_back(s.y(cursor[r], column));
+    }
+    merged.AddRow(x, ys);
+  }
+  return merged;
+}
+
+}  // namespace lswc

@@ -1,0 +1,75 @@
+#ifndef LSWC_UTIL_SERIES_H_
+#define LSWC_UTIL_SERIES_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lswc {
+
+/// One named column of a result series (e.g. "coverage_pct").
+struct SeriesColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// A sampled time/progress series, as plotted in the paper's figures:
+/// an x column ("pages crawled") plus one or more y columns (one per
+/// strategy / parameter setting). Rows are appended in x order.
+///
+/// The bench harnesses print these both as aligned text tables (stdout,
+/// the "same rows the paper reports") and as gnuplot-compatible .dat files.
+class Series {
+ public:
+  Series(std::string x_name, std::vector<std::string> y_names);
+
+  /// Appends a row; `ys` must match the number of y columns.
+  void AddRow(double x, const std::vector<double>& ys);
+
+  size_t num_rows() const { return x_.size(); }
+  size_t num_columns() const { return ys_.size(); }
+  const std::string& x_name() const { return x_name_; }
+  double x(size_t row) const { return x_[row]; }
+  const SeriesColumn& y_column(size_t col) const { return ys_[col]; }
+  double y(size_t row, size_t col) const { return ys_[col].values[row]; }
+
+  /// Last value of column `col`; 0 if empty.
+  double LastY(size_t col) const;
+  /// Maximum over column `col`; 0 if empty.
+  double MaxY(size_t col) const;
+
+  /// Writes "# x y1 y2 ..." header plus whitespace-separated rows.
+  void WriteDat(std::ostream& os) const;
+  /// Writes the series as a .dat file at `path`.
+  Status WriteDatFile(const std::string& path) const;
+  /// Aligned, human-readable table with every `stride`-th row.
+  std::string ToTable(size_t stride = 1) const;
+
+ private:
+  std::string x_name_;
+  std::vector<double> x_;
+  std::vector<SeriesColumn> ys_;
+};
+
+/// One input to MergeSeriesColumns: a name (the output column label) and
+/// the series it comes from.
+struct SeriesInput {
+  std::string name;
+  const Series* series = nullptr;
+};
+
+/// Merges one column (by index) of several series onto a common x grid:
+/// the union horizon split into `points` samples; each input contributes
+/// its value at the largest sample <= x, and inputs that ended early hold
+/// their final value (the flat tails seen in the paper's plots).
+/// Inputs must be non-empty and share the column index.
+Series MergeSeriesColumns(const std::vector<SeriesInput>& inputs,
+                          size_t column, const std::string& x_name,
+                          int points = 200);
+
+}  // namespace lswc
+
+#endif  // LSWC_UTIL_SERIES_H_

@@ -1,0 +1,64 @@
+#ifndef LSWC_UTIL_STATS_H_
+#define LSWC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lswc {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [lo, hi) with out-of-range clamping into the
+/// first/last bucket; used for degree distributions and delay models.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  /// Count in bucket i.
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+  /// Lower edge of bucket i.
+  double bucket_lo(size_t i) const;
+
+  /// Approximate quantile in [0,1] using linear interpolation inside the
+  /// containing bucket. Returns lo() for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Multi-line "lo..hi count bar" rendering for logs and reports.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_UTIL_STATS_H_

@@ -1,0 +1,54 @@
+#ifndef LSWC_UTIL_STRING_UTIL_H_
+#define LSWC_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lswc {
+
+/// ASCII-only tolower/toupper; locale-independent (HTML and charset names
+/// are ASCII-cased by spec).
+char AsciiToLower(char c);
+char AsciiToUpper(char c);
+std::string AsciiStrToLower(std::string_view s);
+std::string AsciiStrToUpper(std::string_view s);
+
+bool IsAsciiSpace(char c);
+bool IsAsciiDigit(char c);
+bool IsAsciiAlpha(char c);
+bool IsAsciiAlnum(char c);
+bool IsAsciiHexDigit(char c);
+/// Value of a hex digit, or -1.
+int HexDigitValue(char c);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits on a delimiter character; empty tokens are kept.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Parses a non-negative decimal integer; rejects empty input, non-digits,
+/// and overflow.
+std::optional<uint64_t> ParseUint64(std::string_view s);
+/// Parses a double via strtod over the full token.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Joins tokens with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace lswc
+
+#endif  // LSWC_UTIL_STRING_UTIL_H_

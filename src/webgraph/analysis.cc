@@ -1,0 +1,108 @@
+#include "webgraph/analysis.h"
+
+#include <algorithm>
+
+namespace lswc {
+
+LocalityStats ComputeLocality(const WebGraph& graph) {
+  LocalityStats stats;
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    if (!graph.page(p).ok()) continue;
+    const bool parent_rel = graph.IsRelevant(p);
+    for (PageId c : graph.outlinks(p)) {
+      const bool child_rel =
+          graph.page(c).language == graph.target_language();
+      if (parent_rel) {
+        (child_rel ? stats.rel_to_rel : stats.rel_to_irr) += 1;
+      } else {
+        (child_rel ? stats.irr_to_rel : stats.irr_to_irr) += 1;
+      }
+    }
+  }
+  return stats;
+}
+
+InlinkStats ComputeInlinkStats(const WebGraph& graph) {
+  const size_t n = graph.num_pages();
+  InlinkStats stats;
+  stats.in_degree_histogram.assign(17, 0);  // 0..15, 16 = "16+".
+  std::vector<uint32_t> in_degree(n, 0);
+  std::vector<bool> has_relevant_ref(n, false);
+  for (PageId p = 0; p < n; ++p) {
+    if (!graph.page(p).ok()) continue;
+    const bool rel = graph.IsRelevant(p);
+    for (PageId c : graph.outlinks(p)) {
+      ++in_degree[c];
+      if (rel) has_relevant_ref[c] = true;
+    }
+  }
+  for (PageId p = 0; p < n; ++p) {
+    const size_t bucket =
+        std::min<size_t>(in_degree[p], stats.in_degree_histogram.size() - 1);
+    ++stats.in_degree_histogram[bucket];
+    if (!graph.IsRelevant(p)) continue;
+    ++stats.relevant_pages;
+    if (in_degree[p] == 0) {
+      ++stats.no_referrers;
+    } else if (has_relevant_ref[p]) {
+      ++stats.with_relevant_referrer;
+    } else {
+      ++stats.only_irrelevant_referrers;
+    }
+  }
+  return stats;
+}
+
+DeclarationStats ComputeDeclarationStats(const WebGraph& graph) {
+  DeclarationStats stats;
+  const Language target = graph.target_language();
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    const PageRecord& rec = graph.page(p);
+    if (!rec.ok() || rec.language != target) continue;
+    ++stats.relevant_pages;
+    if (LanguageOfEncoding(rec.true_encoding) != target) {
+      ++stats.language_neutral_encoding;
+    }
+    if (rec.meta_charset == Encoding::kUnknown) {
+      ++stats.undeclared;
+    } else if (LanguageOfEncoding(rec.meta_charset) == target) {
+      ++stats.correctly_declared;
+    } else {
+      ++stats.mislabeled;
+    }
+  }
+  return stats;
+}
+
+DegreeStats ComputeDegreeStats(const WebGraph& graph) {
+  DegreeStats stats;
+  const size_t n = graph.num_pages();
+  std::vector<uint32_t> in_degree(n, 0);
+  uint64_t ok_pages = 0;
+  uint64_t out_links = 0;
+  for (PageId p = 0; p < n; ++p) {
+    if (!graph.page(p).ok()) continue;
+    ++ok_pages;
+    const auto links = graph.outlinks(p);
+    out_links += links.size();
+    stats.max_out_degree =
+        std::max(stats.max_out_degree, static_cast<uint32_t>(links.size()));
+    for (PageId c : links) ++in_degree[c];
+  }
+  uint64_t in_one = 0;
+  uint64_t in_total = 0;
+  for (uint32_t d : in_degree) {
+    in_total += d;
+    stats.max_in_degree = std::max(stats.max_in_degree, d);
+    in_one += (d == 1) ? 1 : 0;
+  }
+  stats.mean_out_degree =
+      ok_pages == 0 ? 0.0 : static_cast<double>(out_links) / ok_pages;
+  stats.mean_in_degree =
+      n == 0 ? 0.0 : static_cast<double>(in_total) / static_cast<double>(n);
+  stats.in_degree_one_fraction =
+      n == 0 ? 0.0 : static_cast<double>(in_one) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace lswc

@@ -1,0 +1,89 @@
+#ifndef LSWC_WEBGRAPH_ANALYSIS_H_
+#define LSWC_WEBGRAPH_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "webgraph/graph.h"
+
+namespace lswc {
+
+/// Link-level language locality: the evidence the paper gathers in §3
+/// before adapting focused crawling ("it is necessary to ensure or at
+/// least show some evidences of language locality in the Web").
+struct LocalityStats {
+  /// Links by (parent relevant?, child relevant?) over OK parents.
+  uint64_t rel_to_rel = 0;
+  uint64_t rel_to_irr = 0;
+  uint64_t irr_to_rel = 0;
+  uint64_t irr_to_irr = 0;
+
+  uint64_t total() const {
+    return rel_to_rel + rel_to_irr + irr_to_rel + irr_to_irr;
+  }
+  /// P(child relevant | parent relevant) — observation 1's quantity.
+  double p_rel_given_rel() const {
+    const uint64_t d = rel_to_rel + rel_to_irr;
+    return d == 0 ? 0.0 : static_cast<double>(rel_to_rel) / d;
+  }
+  double p_rel_given_irr() const {
+    const uint64_t d = irr_to_rel + irr_to_irr;
+    return d == 0 ? 0.0 : static_cast<double>(irr_to_rel) / d;
+  }
+  /// Base rate P(link target relevant).
+  double p_rel_base() const {
+    const uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(rel_to_rel + irr_to_rel) / t;
+  }
+};
+
+LocalityStats ComputeLocality(const WebGraph& graph);
+
+/// In-link structure of the relevant set: how many relevant pages are
+/// reachable *only* through irrelevant referrers (the paper's
+/// observation 2, the case tunneling exists for), how many have no
+/// in-links at all besides the seed set, etc.
+struct InlinkStats {
+  uint64_t relevant_pages = 0;
+  /// Relevant pages with at least one relevant OK referrer.
+  uint64_t with_relevant_referrer = 0;
+  /// Relevant pages whose referrers are all irrelevant (observation 2).
+  uint64_t only_irrelevant_referrers = 0;
+  /// Relevant pages with no in-links at all (reachable only as seeds).
+  uint64_t no_referrers = 0;
+  /// Histogram of in-degree (clamped at the vector size - 1).
+  std::vector<uint64_t> in_degree_histogram;
+};
+
+InlinkStats ComputeInlinkStats(const WebGraph& graph);
+
+/// Charset-declaration quality over relevant pages (observation 3:
+/// "some Thai pages are mislabeled as non-Thai").
+struct DeclarationStats {
+  uint64_t relevant_pages = 0;      // OK + target language.
+  uint64_t correctly_declared = 0;  // META maps to the target language.
+  uint64_t undeclared = 0;          // No META charset.
+  uint64_t mislabeled = 0;          // META maps elsewhere.
+  /// Relevant pages authored in UTF-8 (charset carries no language).
+  uint64_t language_neutral_encoding = 0;
+};
+
+DeclarationStats ComputeDeclarationStats(const WebGraph& graph);
+
+/// Degree-shape summary of the dataset.
+struct DegreeStats {
+  double mean_out_degree = 0.0;  // Over OK pages.
+  uint32_t max_out_degree = 0;
+  double mean_in_degree = 0.0;  // Over all pages.
+  uint32_t max_in_degree = 0;
+  /// Fraction of pages with in-degree exactly 1 (the periphery the
+  /// focused strategies get lost in).
+  double in_degree_one_fraction = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const WebGraph& graph);
+
+}  // namespace lswc
+
+#endif  // LSWC_WEBGRAPH_ANALYSIS_H_

@@ -1,0 +1,94 @@
+#include "webgraph/content_gen.h"
+
+#include "charset/codec.h"
+#include "charset/text_gen.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace lswc {
+
+namespace {
+
+void AppendAscii(std::string_view ascii, std::u32string* out) {
+  for (char c : ascii) out->push_back(static_cast<char32_t>(c));
+}
+
+uint64_t ContentSeed(const WebGraph& graph, PageId id) {
+  return Mix64(graph.generator_seed()) ^
+         (static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ULL);
+}
+
+// Builds the <head> section (through <body>) in UTF-32.
+void BuildHead(const WebGraph& graph, PageId id, Rng* rng,
+               std::u32string* doc) {
+  const PageRecord& page = graph.page(id);
+  AppendAscii("<!DOCTYPE html>\n<html>\n<head>\n", doc);
+  if (page.meta_charset != Encoding::kUnknown) {
+    AppendAscii("<meta http-equiv=\"Content-Type\" "
+                "content=\"text/html; charset=",
+                doc);
+    AppendAscii(EncodingName(page.meta_charset), doc);
+    AppendAscii("\">\n", doc);
+  }
+  AppendAscii("<title>", doc);
+  // windows-874 authors are windows-874 (rather than TIS-620) precisely
+  // because their tooling emits C1 smart punctuation; reflect that so
+  // the detector can tell the variants apart.
+  const bool smart_quotes = page.true_encoding == Encoding::kWindows874;
+  if (smart_quotes) doc->push_back(U'“');
+  doc->append(GenerateTitle(page.language, rng));
+  if (smart_quotes) doc->push_back(U'”');
+  AppendAscii("</title>\n</head>\n<body>\n", doc);
+}
+
+}  // namespace
+
+StatusOr<std::string> RenderPageHead(const WebGraph& graph, PageId id) {
+  const PageRecord& page = graph.page(id);
+  Rng rng(ContentSeed(graph, id));
+  std::u32string doc;
+  BuildHead(graph, id, &rng, &doc);
+  return EncodeText(page.true_encoding, doc);
+}
+
+StatusOr<std::string> RenderPageBody(const WebGraph& graph, PageId id) {
+  const PageRecord& page = graph.page(id);
+  if (!page.ok()) {
+    return std::string(
+        "<!DOCTYPE html>\n<html><head><title>Error</title></head>"
+        "<body><h1>HTTP " +
+        std::to_string(page.http_status) + "</h1></body></html>\n");
+  }
+  Rng rng(ContentSeed(graph, id));
+  std::u32string doc;
+  doc.reserve(page.content_chars + 512);
+  BuildHead(graph, id, &rng, &doc);
+
+  // Prose before the link list.
+  AppendAscii("<p>", &doc);
+  doc.append(GenerateText(page.language, page.content_chars / 2, &rng));
+  AppendAscii("</p>\n", &doc);
+
+  // One anchor per outlink, with anchor text in the page's language.
+  const auto links = graph.outlinks(id);
+  if (!links.empty()) {
+    AppendAscii("<ul>\n", &doc);
+    for (PageId target : links) {
+      AppendAscii("<li><a href=\"", &doc);
+      AppendAscii(graph.UrlOf(target), &doc);
+      AppendAscii("\">", &doc);
+      doc.append(GenerateTitle(page.language, &rng));
+      AppendAscii("</a></li>\n", &doc);
+    }
+    AppendAscii("</ul>\n", &doc);
+  }
+
+  AppendAscii("<p>", &doc);
+  doc.append(GenerateText(
+      page.language, page.content_chars - page.content_chars / 2, &rng));
+  AppendAscii("</p>\n</body>\n</html>\n", &doc);
+
+  return EncodeText(page.true_encoding, doc);
+}
+
+}  // namespace lswc

@@ -1,0 +1,32 @@
+#ifndef LSWC_WEBGRAPH_CONTENT_GEN_H_
+#define LSWC_WEBGRAPH_CONTENT_GEN_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "webgraph/graph.h"
+
+namespace lswc {
+
+/// Renders the actual HTTP response body of a page: a complete HTML
+/// document — DOCTYPE, optional META charset declaration (the declared
+/// charset, which may be missing or wrong per the page record), a title
+/// and prose in the page's true language, and one <a href> per outlink —
+/// encoded into the page's true byte encoding.
+///
+/// Rendering is deterministic: page `id` of a graph always produces the
+/// same bytes (the content RNG is seeded from the generator seed and id),
+/// so the virtual web space can synthesize bodies on demand without
+/// storing them — 14M pages of body text never need to exist at once.
+///
+/// Non-OK pages render a short error body. Rendering fails only on
+/// internal invariant violations (a page whose language cannot be written
+/// in its recorded encoding, which the generator never produces).
+StatusOr<std::string> RenderPageBody(const WebGraph& graph, PageId id);
+
+/// Renders just the <head> prefix (what charset prescanning examines).
+StatusOr<std::string> RenderPageHead(const WebGraph& graph, PageId id);
+
+}  // namespace lswc
+
+#endif  // LSWC_WEBGRAPH_CONTENT_GEN_H_

@@ -1,0 +1,239 @@
+#include "webgraph/crawl_log.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace lswc {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'S', 'W', 'C', 'L', 'O', 'G', '1'};
+constexpr uint32_t kVersion = 1;
+
+class HashingWriter {
+ public:
+  explicit HashingWriter(std::ofstream* out) : out_(out) {}
+
+  void Write(const void* data, size_t n) {
+    out_->write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(n));
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  template <typename T>
+  void WritePod(T v) {
+    Write(&v, sizeof(v));
+  }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  std::ofstream* out_;
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class HashingReader {
+ public:
+  explicit HashingReader(std::ifstream* in) : in_(in) {}
+
+  bool Read(void* data, size_t n) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (!in_->good() && !(in_->eof() && in_->gcount() ==
+                                            static_cast<std::streamsize>(n))) {
+      return false;
+    }
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+    return true;
+  }
+
+  template <typename T>
+  bool ReadPod(T* v) {
+    return Read(v, sizeof(*v));
+  }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  std::ifstream* in_;
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+Status WriteCrawlLog(const WebGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+
+  HashingWriter w(&out);
+  w.WritePod<uint32_t>(kVersion);
+  w.WritePod<uint8_t>(static_cast<uint8_t>(graph.target_language()));
+  w.WritePod<uint64_t>(graph.generator_seed());
+  w.WritePod<uint32_t>(static_cast<uint32_t>(graph.num_hosts()));
+  w.WritePod<uint32_t>(static_cast<uint32_t>(graph.num_pages()));
+  w.WritePod<uint64_t>(graph.num_links());
+  w.WritePod<uint32_t>(static_cast<uint32_t>(graph.seeds().size()));
+
+  for (size_t h = 0; h < graph.num_hosts(); ++h) {
+    const HostRecord& host = graph.host(static_cast<uint32_t>(h));
+    w.WritePod<uint8_t>(static_cast<uint8_t>(host.language));
+    w.WritePod<uint32_t>(host.first_page);
+    w.WritePod<uint32_t>(host.num_pages);
+  }
+  for (PageId id = 0; id < graph.num_pages(); ++id) {
+    const PageRecord& p = graph.page(id);
+    w.WritePod<uint16_t>(p.http_status);
+    w.WritePod<uint8_t>(static_cast<uint8_t>(p.language));
+    w.WritePod<uint8_t>(static_cast<uint8_t>(p.true_encoding));
+    w.WritePod<uint8_t>(static_cast<uint8_t>(p.meta_charset));
+    w.WritePod<uint32_t>(p.host);
+    w.WritePod<uint16_t>(p.content_chars);
+  }
+  uint32_t offset = 0;
+  w.WritePod<uint32_t>(offset);
+  for (PageId id = 0; id < graph.num_pages(); ++id) {
+    offset += static_cast<uint32_t>(graph.outlinks(id).size());
+    w.WritePod<uint32_t>(offset);
+  }
+  for (PageId id = 0; id < graph.num_pages(); ++id) {
+    for (PageId t : graph.outlinks(id)) w.WritePod<uint32_t>(t);
+  }
+  for (PageId s : graph.seeds()) w.WritePod<uint32_t>(s);
+
+  const uint64_t checksum = w.hash();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<WebGraph> ReadCrawlLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad crawl log magic");
+  }
+
+  HashingReader r(&in);
+  uint32_t version;
+  uint8_t lang8;
+  uint64_t gen_seed;
+  uint32_t num_hosts, num_pages, num_seeds;
+  uint64_t num_links;
+  if (!r.ReadPod(&version) || version != kVersion) {
+    return Status::Corruption("unsupported crawl log version");
+  }
+  if (!r.ReadPod(&lang8) || !r.ReadPod(&gen_seed) || !r.ReadPod(&num_hosts) ||
+      !r.ReadPod(&num_pages) || !r.ReadPod(&num_links) ||
+      !r.ReadPod(&num_seeds)) {
+    return Status::Corruption("truncated crawl log header");
+  }
+  if (num_hosts == 0 || num_pages == 0 || num_hosts > num_pages) {
+    return Status::Corruption("implausible crawl log counts");
+  }
+
+  WebGraphBuilder builder;
+  builder.SetTargetLanguage(static_cast<Language>(lang8));
+  builder.SetGeneratorSeed(gen_seed);
+
+  struct HostHeader {
+    uint8_t lang;
+    uint32_t first;
+    uint32_t count;
+  };
+  std::vector<HostHeader> hosts(num_hosts);
+  for (auto& h : hosts) {
+    if (!r.ReadPod(&h.lang) || !r.ReadPod(&h.first) || !r.ReadPod(&h.count)) {
+      return Status::Corruption("truncated host table");
+    }
+  }
+  // Validate host layout: contiguous, covering [0, num_pages).
+  uint64_t expected_first = 0;
+  for (const auto& h : hosts) {
+    if (h.first != expected_first) {
+      return Status::Corruption("host table not contiguous");
+    }
+    expected_first += h.count;
+  }
+  if (expected_first != num_pages) {
+    return Status::Corruption("host table does not cover all pages");
+  }
+
+  for (const auto& h : hosts) builder.AddHost(static_cast<Language>(h.lang));
+
+  size_t host_index = 0;
+  uint32_t remaining_in_host = hosts.empty() ? 0 : hosts[0].count;
+  for (PageId id = 0; id < num_pages; ++id) {
+    while (remaining_in_host == 0) {
+      ++host_index;
+      remaining_in_host = hosts[host_index].count;
+    }
+    PageRecord p;
+    uint8_t lang, te, mc;
+    uint32_t host32;
+    if (!r.ReadPod(&p.http_status) || !r.ReadPod(&lang) || !r.ReadPod(&te) ||
+        !r.ReadPod(&mc) || !r.ReadPod(&host32) ||
+        !r.ReadPod(&p.content_chars)) {
+      return Status::Corruption("truncated page table");
+    }
+    if (host32 != host_index) {
+      return Status::Corruption("page/host assignment mismatch");
+    }
+    p.language = static_cast<Language>(lang);
+    p.true_encoding = static_cast<Encoding>(te);
+    p.meta_charset = static_cast<Encoding>(mc);
+    builder.AddPage(host32, p);
+    --remaining_in_host;
+  }
+
+  std::vector<uint32_t> offsets(static_cast<size_t>(num_pages) + 1);
+  for (auto& o : offsets) {
+    if (!r.ReadPod(&o)) return Status::Corruption("truncated offsets");
+  }
+  if (offsets.front() != 0 || offsets.back() != num_links) {
+    return Status::Corruption("offset table endpoints wrong");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::Corruption("offsets not monotonic");
+    }
+  }
+  for (PageId id = 0; id < num_pages; ++id) {
+    for (uint32_t k = offsets[id]; k < offsets[id + 1]; ++k) {
+      uint32_t target;
+      if (!r.ReadPod(&target)) return Status::Corruption("truncated targets");
+      if (target >= num_pages) return Status::Corruption("target id range");
+      builder.AddLink(id, target);
+    }
+  }
+  for (uint32_t i = 0; i < num_seeds; ++i) {
+    uint32_t seed;
+    if (!r.ReadPod(&seed)) return Status::Corruption("truncated seeds");
+    if (seed >= num_pages) return Status::Corruption("seed id range");
+    builder.AddSeed(seed);
+  }
+
+  const uint64_t computed = r.hash();
+  uint64_t stored;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in.good() && !in.eof()) return Status::Corruption("truncated checksum");
+  if (in.gcount() != sizeof(stored)) {
+    return Status::Corruption("truncated checksum");
+  }
+  if (stored != computed) return Status::Corruption("checksum mismatch");
+
+  return builder.Finish();
+}
+
+}  // namespace lswc

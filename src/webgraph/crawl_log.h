@@ -1,0 +1,35 @@
+#ifndef LSWC_WEBGRAPH_CRAWL_LOG_H_
+#define LSWC_WEBGRAPH_CRAWL_LOG_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "webgraph/graph.h"
+
+namespace lswc {
+
+/// Binary crawl-log format (the paper's "crawl logs" store that the
+/// trace-driven simulator replays).
+///
+/// Layout (little-endian):
+///   magic "LSWCLOG1" | version u32 | target_language u8 |
+///   generator_seed u64 | num_hosts u32 | num_pages u32 |
+///   num_links u64 | num_seeds u32 |
+///   hosts[]   (language u8, first_page u32, num_pages u32)
+///   pages[]   (http_status u16, language u8, true_encoding u8,
+///              meta_charset u8, host u32, content_chars u16)
+///   offsets[] u32 x (num_pages + 1)
+///   targets[] u32 x num_links
+///   seeds[]   u32 x num_seeds
+///   checksum  u64 (FNV-1a of everything after the magic)
+///
+/// Write + read round-trips a WebGraph exactly; readers validate counts,
+/// offsets monotonicity, id ranges, and the checksum, and fail with
+/// Corruption on any mismatch.
+Status WriteCrawlLog(const WebGraph& graph, const std::string& path);
+
+StatusOr<WebGraph> ReadCrawlLog(const std::string& path);
+
+}  // namespace lswc
+
+#endif  // LSWC_WEBGRAPH_CRAWL_LOG_H_

@@ -1,0 +1,396 @@
+#include "webgraph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace lswc {
+
+namespace {
+
+/// Fanout of the guaranteed intra-host link tree. Page k of a host links
+/// to pages 4k+1..4k+4 of the same host, so every page is reachable from
+/// the host root; internal tree nodes are forced to status 200 to keep
+/// the tree sound (dead leaves are fine — they are the 404s).
+constexpr uint32_t kTreeFanout = 4;
+
+bool IsInternalTreeNode(uint32_t index_in_host, uint32_t host_size) {
+  return static_cast<uint64_t>(index_in_host) * kTreeFanout + 1 < host_size;
+}
+
+Encoding PickEncoding(Language lang, double utf8_rate, Rng* rng) {
+  switch (lang) {
+    case Language::kThai: {
+      if (rng->Bernoulli(utf8_rate)) return Encoding::kUtf8;
+      const double r = rng->UniformDouble();
+      return r < 0.85 ? Encoding::kTis620 : Encoding::kWindows874;
+    }
+    case Language::kJapanese: {
+      if (rng->Bernoulli(utf8_rate)) return Encoding::kUtf8;
+      const double r = rng->UniformDouble();
+      if (r < 0.52) return Encoding::kEucJp;
+      if (r < 0.95) return Encoding::kShiftJis;
+      return Encoding::kIso2022Jp;
+    }
+    case Language::kOther:
+    case Language::kUnknown: {
+      const double r = rng->UniformDouble();
+      if (r < 0.35) return Encoding::kAscii;
+      if (r < 0.70) return Encoding::kLatin1;
+      return Encoding::kUtf8;
+    }
+  }
+  return Encoding::kAscii;
+}
+
+Encoding PickMislabel(Encoding true_encoding, Rng* rng) {
+  static constexpr Encoding kPool[] = {
+      Encoding::kLatin1,   Encoding::kAscii,  Encoding::kUtf8,
+      Encoding::kShiftJis, Encoding::kEucJp,  Encoding::kTis620,
+      Encoding::kWindows874,
+  };
+  while (true) {
+    const Encoding e = kPool[rng->UniformUint64(std::size(kPool))];
+    if (e != true_encoding) return e;
+  }
+}
+
+uint16_t PickNonOkStatus(Rng* rng) {
+  const double r = rng->UniformDouble();
+  if (r < 0.70) return 404;
+  if (r < 0.90) return 302;
+  return 500;
+}
+
+}  // namespace
+
+SyntheticWebOptions ThaiLikeOptions(uint32_t num_pages, uint64_t seed) {
+  SyntheticWebOptions o;
+  o.seed = seed;
+  o.num_pages = num_pages;
+  o.num_hosts = std::max<uint32_t>(64, num_pages / 50);
+  o.target_language = Language::kThai;
+  o.target_host_fraction = 0.315;
+  o.host_language_purity = 0.96;
+  o.same_language_bias = 0.85;
+  o.missing_meta_rate = 0.08;
+  o.mislabel_meta_rate = 0.02;
+  o.utf8_rate = 0.04;
+  return o;
+}
+
+SyntheticWebOptions JapaneseLikeOptions(uint32_t num_pages, uint64_t seed) {
+  SyntheticWebOptions o;
+  o.seed = seed;
+  o.num_pages = num_pages;
+  o.num_hosts = std::max<uint32_t>(64, num_pages / 50);
+  o.target_language = Language::kJapanese;
+  o.target_host_fraction = 0.80;
+  o.host_language_purity = 0.97;
+  o.same_language_bias = 0.90;
+  o.missing_meta_rate = 0.06;
+  o.mislabel_meta_rate = 0.01;
+  o.utf8_rate = 0.10;
+  return o;
+}
+
+StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
+  if (options.num_pages == 0) {
+    return Status::InvalidArgument("num_pages must be > 0");
+  }
+  if (options.num_hosts == 0 || options.num_hosts > options.num_pages) {
+    return Status::InvalidArgument("num_hosts must be in [1, num_pages]");
+  }
+  if (options.target_language == Language::kOther ||
+      options.target_language == Language::kUnknown) {
+    return Status::InvalidArgument("target language must be a real language");
+  }
+  if (options.mean_out_degree < 1.0) {
+    return Status::InvalidArgument("mean_out_degree must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  WebGraphBuilder builder;
+  builder.SetTargetLanguage(options.target_language);
+  builder.SetGeneratorSeed(options.seed);
+
+  const uint32_t num_pages = options.num_pages;
+  const uint32_t num_hosts = options.num_hosts;
+
+  // ---- Phase 1: hosts (Zipf sizes + language). -------------------------
+  std::vector<uint32_t> host_size(num_hosts, 1);  // Every host has a root.
+  {
+    ZipfDistribution host_zipf(options.host_size_exponent, num_hosts);
+    for (uint32_t i = 0; i < num_pages - num_hosts; ++i) {
+      ++host_size[host_zipf.Sample(&rng)];
+    }
+  }
+  // Language assignment is *page-weighted*: target_host_fraction is the
+  // fraction of pages (not hosts) living on target-language hosts, which
+  // is what fixes the dataset's Table 3 relevance ratio. A greedy
+  // controller walks the hosts in random order and assigns whichever
+  // language keeps the running page fraction closest to the goal. Host 0
+  // (the largest, the seed portal) is pinned to the target language and
+  // the controller compensates with the rest.
+  std::vector<Language> host_lang(num_hosts, Language::kOther);
+  {
+    std::vector<uint32_t> order(num_hosts - 1);
+    for (uint32_t i = 0; i < num_hosts - 1; ++i) order[i] = i + 1;
+    rng.Shuffle(&order);
+    host_lang[0] = options.target_language;
+    uint64_t target_pages = host_size[0];
+    uint64_t assigned_pages = host_size[0];
+    for (uint32_t h : order) {
+      assigned_pages += host_size[h];
+      if (static_cast<double>(target_pages + host_size[h]) <=
+          options.target_host_fraction * static_cast<double>(assigned_pages)) {
+        host_lang[h] = options.target_language;
+        target_pages += host_size[h];
+      } else if (static_cast<double>(target_pages) <
+                 options.target_host_fraction *
+                     static_cast<double>(assigned_pages)) {
+        // Crossing the goal: take the closer side.
+        const double with = static_cast<double>(target_pages + host_size[h]) /
+                            static_cast<double>(assigned_pages);
+        const double without = static_cast<double>(target_pages) /
+                               static_cast<double>(assigned_pages);
+        if (with - options.target_host_fraction <
+            options.target_host_fraction - without) {
+          host_lang[h] = options.target_language;
+          target_pages += host_size[h];
+        }
+      }
+    }
+  }
+  std::vector<PageId> host_first(num_hosts + 1, 0);
+  for (uint32_t h = 0; h < num_hosts; ++h) {
+    host_first[h + 1] = host_first[h] + host_size[h];
+  }
+
+  // ---- Phase 2: pages. --------------------------------------------------
+  std::vector<PageId> target_pages;  // Cross-host destination pools.
+  std::vector<PageId> other_pages;
+  target_pages.reserve(num_pages / 2);
+  other_pages.reserve(num_pages / 2);
+  std::vector<bool> page_ok(num_pages);
+  std::vector<Language> page_lang(num_pages);
+
+  // Only leaves of the intra-host tree may be non-OK; scale the leaf rate
+  // so the dataset-wide non-OK share matches options.non_ok_rate.
+  const double leaf_fraction = 1.0 - 1.0 / static_cast<double>(kTreeFanout);
+  const double leaf_non_ok_rate =
+      std::min(0.95, options.non_ok_rate / leaf_fraction);
+
+  for (uint32_t h = 0; h < num_hosts; ++h) {
+    const uint32_t host_id = builder.AddHost(host_lang[h]);
+    LSWC_CHECK_EQ(host_id, h);
+    for (uint32_t k = 0; k < host_size[h]; ++k) {
+      PageRecord rec;
+      // Language flows down the intra-host tree: the root takes the host
+      // language (with a small impurity chance) and every child keeps
+      // its tree-parent's language unless a subtree flip occurs. Flips
+      // create contiguous foreign-language sections inside hosts — the
+      // bilingual-site structure behind the paper's observation that
+      // some Thai pages are reachable only through non-Thai pages.
+      const Language flipped = (host_lang[h] == options.target_language)
+                                   ? Language::kOther
+                                   : options.target_language;
+      if (k == 0) {
+        rec.language = rng.Bernoulli(options.host_language_purity)
+                           ? host_lang[h]
+                           : flipped;
+      } else {
+        const PageId parent = host_first[h] + (k - 1) / kTreeFanout;
+        const Language parent_lang = page_lang[parent];
+        rec.language =
+            rng.Bernoulli(options.language_flip_rate)
+                ? (parent_lang == options.target_language ? Language::kOther
+                                                          : options
+                                                                .target_language)
+                : parent_lang;
+      }
+      if (h == 0 && k == 0) {
+        // The portal root anchors reachability and is always a live
+        // relevant seed.
+        rec.language = options.target_language;
+      }
+      rec.true_encoding = PickEncoding(rec.language, options.utf8_rate, &rng);
+      if (rng.Bernoulli(options.missing_meta_rate)) {
+        rec.meta_charset = Encoding::kUnknown;
+      } else if (rng.Bernoulli(options.mislabel_meta_rate)) {
+        rec.meta_charset = PickMislabel(rec.true_encoding, &rng);
+      } else {
+        rec.meta_charset = rec.true_encoding;
+      }
+      const bool internal = IsInternalTreeNode(k, host_size[h]);
+      const bool force_ok = internal || k == 0;  // Roots must answer.
+      rec.http_status = (!force_ok && rng.Bernoulli(leaf_non_ok_rate))
+                            ? PickNonOkStatus(&rng)
+                            : 200;
+      rec.content_chars = static_cast<uint16_t>(
+          options.min_content_chars +
+          rng.UniformUint64(1 + options.max_content_chars -
+                            options.min_content_chars));
+      const PageId id = builder.AddPage(h, rec);
+      page_ok[id] = rec.ok();
+      page_lang[id] = rec.language;
+      (rec.language == options.target_language ? target_pages : other_pages)
+          .push_back(id);
+    }
+  }
+
+  // ---- Phase 3: cross-host spine. ----------------------------------------
+  // Every host root is linked from an earlier OK page, so the whole log is
+  // reachable from the host-0 root — exactly the property of a log captured
+  // by a real crawl (the paper's datasets were collected that way).
+  std::vector<std::pair<PageId, PageId>> spine;
+  spine.reserve(num_hosts - 1);
+  for (uint32_t h = 1; h < num_hosts; ++h) {
+    PageId src = 0;
+    do {
+      // Uniform over earlier *hosts* (then root-biased within the host):
+      // the language mix of discovery edges matches the host-language
+      // mix independent of host size, which is what creates relevant
+      // regions reachable only through irrelevant referrers (the paper's
+      // tunneling observation).
+      const uint32_t src_host = static_cast<uint32_t>(rng.UniformUint64(h));
+      const double u = rng.UniformDouble();
+      uint32_t k = static_cast<uint32_t>(
+          u * u * static_cast<double>(host_size[src_host]));
+      if (k >= host_size[src_host]) k = host_size[src_host] - 1;
+      src = host_first[src_host] + k;
+    } while (!page_ok[src]);
+    spine.emplace_back(src, host_first[h]);
+  }
+  std::sort(spine.begin(), spine.end());
+
+  // ---- Phase 4: links. ----------------------------------------------------
+  const double extra_mean =
+      std::max(1.0, options.mean_out_degree - kTreeFanout);
+  const double extra_p = 1.0 / (1.0 + extra_mean);
+  size_t spine_pos = 0;
+
+  // Cross-host destinations follow a host-level popularity law: the
+  // destination host is drawn Zipf over the hosts of the wanted language
+  // (host ids are size-ranked, so big hosts soak up most in-links and
+  // gain many redundant entry points), and the page within the host is
+  // strongly root-biased. Small hosts are left with their single
+  // discovery edge — the structural reason hard-focused crawling
+  // permanently loses regions (paper Fig 3b) while limited-distance
+  // recovers them gradually as N grows (Fig 6c).
+  std::vector<uint32_t> target_hosts;
+  std::vector<uint32_t> other_hosts;
+  for (uint32_t h = 0; h < num_hosts; ++h) {
+    (host_lang[h] == options.target_language ? target_hosts : other_hosts)
+        .push_back(h);
+  }
+  const ZipfDistribution target_host_zipf(
+      options.in_link_zipf_exponent,
+      std::max<uint64_t>(1, target_hosts.size()));
+  const ZipfDistribution other_host_zipf(
+      options.in_link_zipf_exponent, std::max<uint64_t>(1, other_hosts.size()));
+  auto pick_cross_target = [&](Language lang) -> PageId {
+    bool is_target = (lang == options.target_language);
+    // Tiny graphs can have an empty class; fall back to the other pool.
+    if ((is_target ? target_hosts : other_hosts).empty()) {
+      is_target = !is_target;
+    }
+    const std::vector<uint32_t>& hosts = is_target ? target_hosts : other_hosts;
+    const auto& zipf = is_target ? target_host_zipf : other_host_zipf;
+    const uint32_t h = hosts[zipf.Sample(&rng)];
+    // Geometric root concentration: deep links ("deep linking") exist
+    // but are rare; interior pages form the in-degree-1 periphery.
+    uint32_t k = static_cast<uint32_t>(rng.Geometric(0.45));
+    if (k >= host_size[h]) k = 0;
+    return host_first[h] + k;
+  };
+
+  for (PageId p = 0; p < num_pages; ++p) {
+    // Spine links owned by this source (emitted even for pages that later
+    // lost the status lottery? No: spine sources are OK by construction).
+    while (spine_pos < spine.size() && spine[spine_pos].first == p) {
+      builder.AddLink(p, spine[spine_pos].second);
+      ++spine_pos;
+    }
+    if (!page_ok[p]) continue;  // Non-OK pages have no parsed content.
+
+    // Guaranteed intra-host tree children.
+    const uint32_t h = [&] {
+      // Binary search for the host containing p.
+      const auto it =
+          std::upper_bound(host_first.begin(), host_first.end(), p);
+      return static_cast<uint32_t>(it - host_first.begin() - 1);
+    }();
+    const uint32_t k = p - host_first[h];
+    for (uint32_t c = k * kTreeFanout + 1;
+         c <= k * kTreeFanout + kTreeFanout && c < host_size[h]; ++c) {
+      builder.AddLink(p, host_first[h] + c);
+    }
+
+    // Random extra links: geometric out-degree with occasional hub boost.
+    uint64_t extra = rng.Geometric(extra_p);
+    if (rng.Bernoulli(0.02)) extra *= 5;
+    extra = std::min<uint64_t>(extra, options.max_out_degree);
+    for (uint64_t i = 0; i < extra; ++i) {
+      if (rng.Bernoulli(options.intra_host_link_fraction) &&
+          host_size[h] > 1) {
+        // Intra-host extras are tree-local, the way real sites link
+        // within their own sections: mostly short descendant hops
+        // ("related pages"), sometimes a breadcrumb back to an ancestor.
+        // Locality matters: links that jumped uniformly across the host
+        // would tunnel around the language-section boundaries the
+        // limited-distance strategy is designed to cross.
+        if (rng.Bernoulli(0.3)) {
+          // Breadcrumb: a uniformly random ancestor (often the root).
+          uint32_t a = k;
+          const uint32_t hops = 1 + static_cast<uint32_t>(
+                                        rng.Geometric(0.4));
+          for (uint32_t s = 0; s < hops && a != 0; ++s) {
+            a = (a - 1) / kTreeFanout;
+          }
+          builder.AddLink(p, host_first[h] + a);
+        } else {
+          // Descendant hop of geometric depth.
+          uint32_t t = k;
+          for (;;) {
+            const uint32_t child = t * kTreeFanout + 1 +
+                                   static_cast<uint32_t>(
+                                       rng.UniformUint64(kTreeFanout));
+            if (child >= host_size[h]) break;
+            t = child;
+            if (rng.Bernoulli(0.5)) break;
+          }
+          builder.AddLink(p, host_first[h] + t);
+        }
+      } else {
+        const Language want = rng.Bernoulli(options.same_language_bias)
+                                  ? page_lang[p]
+                                  : (rng.Bernoulli(0.5)
+                                         ? options.target_language
+                                         : Language::kOther);
+        builder.AddLink(p, pick_cross_target(want));
+      }
+    }
+  }
+  LSWC_CHECK_EQ(spine_pos, spine.size());
+
+  // ---- Phase 5: seeds. ----------------------------------------------------
+  // The host-0 root plus roots of the next largest relevant hosts.
+  uint32_t seeds = 0;
+  for (uint32_t h = 0; h < num_hosts && seeds < options.num_seeds; ++h) {
+    const PageId root = host_first[h];
+    if (host_lang[h] == options.target_language && page_ok[root] &&
+        page_lang[root] == options.target_language) {
+      builder.AddSeed(root);
+      ++seeds;
+    }
+  }
+  if (seeds == 0) builder.AddSeed(0);
+
+  return builder.Finish();
+}
+
+}  // namespace lswc

@@ -1,0 +1,97 @@
+#ifndef LSWC_WEBGRAPH_GENERATOR_H_
+#define LSWC_WEBGRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+#include "webgraph/graph.h"
+
+namespace lswc {
+
+/// Parameters of the synthetic web-space generator.
+///
+/// The generator reproduces the properties the paper's strategies are
+/// sensitive to:
+///  - *language locality*: pages on a host share its language with
+///    probability `host_language_purity`, most links stay on-host, and
+///    cross-host links prefer same-language hosts (`same_language_bias`);
+///  - *relevance ratio* (Table 3): controlled by `target_host_fraction`
+///    and the purity;
+///  - *tunneling structure*: 1 - same_language_bias of cross-host links
+///    cross the language boundary, so some relevant regions hide behind
+///    irrelevant pages (the paper's observation 2 about Thai pages
+///    reachable only through non-Thai pages);
+///  - *classifier noise*: META charsets can be missing or mislabeled
+///    (observation 3: "Thai web pages mislabeled as non-Thai");
+///  - *web-like shape*: Zipf host sizes, Zipf-ish out-degrees,
+///    root-page-biased link targets, and a share of non-200 responses.
+struct SyntheticWebOptions {
+  uint64_t seed = 1;
+  uint32_t num_pages = 1'000'000;
+  uint32_t num_hosts = 20'000;
+  Language target_language = Language::kThai;
+
+  /// Fraction of hosts whose primary language is the target language.
+  double target_host_fraction = 0.22;
+  /// P(host-root page language == host language).
+  double host_language_purity = 0.97;
+  /// Per tree-edge probability that a page's language flips relative to
+  /// its intra-host parent, creating contiguous foreign-language
+  /// sections inside hosts (bilingual sites). Deep relevant sections
+  /// behind irrelevant index pages are what the limited-distance
+  /// strategy exists to reach.
+  double language_flip_rate = 0.03;
+  /// Zipf exponent of host sizes (pages per host).
+  double host_size_exponent = 0.95;
+
+  /// Out-degree = min draw of a shifted Zipf; mean ~ this value.
+  double mean_out_degree = 8.0;
+  uint32_t max_out_degree = 128;
+  /// Fraction of links that stay on the source host.
+  double intra_host_link_fraction = 0.62;
+  /// For cross-host links: P(destination host has the source *page's*
+  /// language). The rest go to a uniformly random host — this is the
+  /// language-boundary crossing rate.
+  double same_language_bias = 0.85;
+
+  /// Zipf exponent of the in-link popularity law: cross-host link
+  /// destination hosts are drawn Zipf(s) from the language's host list, giving the
+  /// web its popular head + in-degree-1 periphery.
+  double in_link_zipf_exponent = 1.2;
+
+  /// Probability a page has no META charset declaration.
+  double missing_meta_rate = 0.08;
+  /// Probability the declared META charset is wrong (a random encoding of
+  /// the *other* language class).
+  double mislabel_meta_rate = 0.02;
+  /// Probability a target-language page is authored in UTF-8 (charset
+  /// gives no language signal, so charset-driven classifiers miss it).
+  double utf8_rate = 0.04;
+  /// Probability of a non-200 response (split 70% 404 / 20% 302 / 10% 500).
+  double non_ok_rate = 0.06;
+
+  /// Number of seed pages (picked from the largest target-language hosts).
+  uint32_t num_seeds = 10;
+
+  /// Body length range (characters).
+  uint16_t min_content_chars = 120;
+  uint16_t max_content_chars = 1200;
+};
+
+/// Preset approximating the paper's Thai dataset: ~35% of OK pages
+/// relevant, low language specificity, visible tunneling structure.
+SyntheticWebOptions ThaiLikeOptions(uint32_t num_pages = 1'000'000,
+                                    uint64_t seed = 247);
+
+/// Preset approximating the paper's Japanese dataset: ~71% of OK pages
+/// relevant, high language specificity (the dataset was itself collected
+/// with a focused crawl, so its boundary is already language-biased).
+SyntheticWebOptions JapaneseLikeOptions(uint32_t num_pages = 1'000'000,
+                                        uint64_t seed = 237);
+
+/// Builds the synthetic web space. Deterministic in `options.seed`.
+StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options);
+
+}  // namespace lswc
+
+#endif  // LSWC_WEBGRAPH_GENERATOR_H_

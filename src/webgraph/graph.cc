@@ -1,0 +1,151 @@
+#include "webgraph/graph.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lswc {
+
+namespace {
+// Hostname suffix by language; gives datasets a national-domain flavor
+// and makes mixed-language hosts visible in examples.
+std::string_view HostSuffix(Language lang) {
+  switch (lang) {
+    case Language::kJapanese:
+      return "example-jp.test";
+    case Language::kThai:
+      return "example-th.test";
+    case Language::kOther:
+    case Language::kUnknown:
+      return "example.test";
+  }
+  return "example.test";
+}
+}  // namespace
+
+std::string WebGraph::HostName(uint32_t host_id) const {
+  return StringPrintf("www%u.%s", host_id,
+                      std::string(HostSuffix(hosts_[host_id].language)).c_str());
+}
+
+std::string WebGraph::UrlOf(PageId id) const {
+  const uint32_t host_id = pages_[id].host;
+  const uint32_t k = PageIndexInHost(id);
+  if (k == 0) return "http://" + HostName(host_id) + "/";
+  return StringPrintf("http://%s/p%u.html", HostName(host_id).c_str(), k);
+}
+
+DatasetStats WebGraph::ComputeStats() const {
+  DatasetStats stats;
+  stats.total_urls = pages_.size();
+  for (PageId id = 0; id < pages_.size(); ++id) {
+    const PageRecord& p = pages_[id];
+    if (!p.ok()) continue;
+    ++stats.ok_html_pages;
+    if (p.language == target_language_) {
+      ++stats.relevant_ok_pages;
+    } else {
+      ++stats.irrelevant_ok_pages;
+    }
+  }
+  return stats;
+}
+
+bool WebGraph::ResolveUrl(std::string_view url, PageId* out) const {
+  // Forms produced by UrlOf: http://www<h>.<suffix>/ and
+  // http://www<h>.<suffix>/p<k>.html
+  if (!StartsWith(url, "http://www")) return false;
+  std::string_view rest = url.substr(10);
+  const size_t dot = rest.find('.');
+  if (dot == std::string_view::npos) return false;
+  const auto host_id = ParseUint64(rest.substr(0, dot));
+  if (!host_id.has_value() || *host_id >= hosts_.size()) return false;
+  const HostRecord& host = hosts_[*host_id];
+  const size_t slash = rest.find('/', dot);
+  if (slash == std::string_view::npos) return false;
+  // Verify the suffix matches the host's language (catches cross-suffix
+  // fabrications).
+  if (rest.substr(dot + 1, slash - dot - 1) != HostSuffix(host.language)) {
+    return false;
+  }
+  std::string_view path = rest.substr(slash);
+  uint32_t k = 0;
+  if (path == "/") {
+    k = 0;
+  } else if (StartsWith(path, "/p") && EndsWith(path, ".html")) {
+    const auto idx = ParseUint64(path.substr(2, path.size() - 7));
+    if (!idx.has_value()) return false;
+    k = static_cast<uint32_t>(*idx);
+  } else {
+    return false;
+  }
+  if (k >= host.num_pages) return false;
+  *out = host.first_page + k;
+  return true;
+}
+
+uint32_t WebGraphBuilder::AddHost(Language language) {
+  HostRecord host;
+  host.language = language;
+  host.first_page = static_cast<uint32_t>(graph_.pages_.size());
+  host.num_pages = 0;
+  graph_.hosts_.push_back(host);
+  return static_cast<uint32_t>(graph_.hosts_.size() - 1);
+}
+
+PageId WebGraphBuilder::AddPage(uint32_t host, const PageRecord& record) {
+  LSWC_CHECK_LT(host, graph_.hosts_.size());
+  HostRecord& h = graph_.hosts_[host];
+  const PageId id = static_cast<PageId>(graph_.pages_.size());
+  if (h.num_pages == 0) {
+    h.first_page = id;
+  } else {
+    // Host contiguity invariant.
+    LSWC_CHECK_EQ(h.first_page + h.num_pages, id);
+  }
+  ++h.num_pages;
+  PageRecord r = record;
+  r.host = host;
+  graph_.pages_.push_back(r);
+  return id;
+}
+
+void WebGraphBuilder::AddLink(PageId from, PageId to) {
+  LSWC_CHECK_LT(from, graph_.pages_.size());
+  LSWC_CHECK_LT(to, graph_.pages_.size());
+  LSWC_CHECK_GE(from, last_link_from_);
+  // Close offset rows up to `from`.
+  while (graph_.offsets_.size() <= from) {
+    graph_.offsets_.push_back(static_cast<uint32_t>(graph_.targets_.size()));
+  }
+  last_link_from_ = from;
+  graph_.targets_.push_back(to);
+}
+
+void WebGraphBuilder::AddSeed(PageId seed) { graph_.seeds_.push_back(seed); }
+
+void WebGraphBuilder::SetTargetLanguage(Language lang) {
+  graph_.target_language_ = lang;
+}
+
+void WebGraphBuilder::SetGeneratorSeed(uint64_t seed) {
+  graph_.generator_seed_ = seed;
+}
+
+StatusOr<WebGraph> WebGraphBuilder::Finish() {
+  if (finished_) return Status::FailedPrecondition("Finish called twice");
+  finished_ = true;
+  while (graph_.offsets_.size() <= graph_.pages_.size()) {
+    graph_.offsets_.push_back(static_cast<uint32_t>(graph_.targets_.size()));
+  }
+  for (PageId seed : graph_.seeds_) {
+    if (seed >= graph_.pages_.size()) {
+      return Status::InvalidArgument("seed page out of range");
+    }
+  }
+  if (graph_.pages_.empty()) {
+    return Status::InvalidArgument("graph has no pages");
+  }
+  return std::move(graph_);
+}
+
+}  // namespace lswc

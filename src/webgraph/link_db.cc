@@ -1,0 +1,137 @@
+#include "webgraph/link_db.h"
+
+#include <cstring>
+
+namespace lswc {
+
+namespace {
+constexpr char kLinkMagic[8] = {'L', 'S', 'W', 'C', 'L', 'N', 'K', '1'};
+}  // namespace
+
+Status InMemoryLinkDb::GetOutlinks(PageId id, std::vector<PageId>* out) {
+  out->clear();
+  if (id >= graph_->num_pages()) return Status::NotFound("page id range");
+  const auto links = graph_->outlinks(id);
+  out->assign(links.begin(), links.end());
+  return Status::OK();
+}
+
+Status WriteLinkFile(const WebGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  out.write(kLinkMagic, sizeof(kLinkMagic));
+  const uint32_t num_pages = static_cast<uint32_t>(graph.num_pages());
+  const uint64_t num_links = graph.num_links();
+  out.write(reinterpret_cast<const char*>(&num_pages), sizeof(num_pages));
+  out.write(reinterpret_cast<const char*>(&num_links), sizeof(num_links));
+  uint64_t offset = 0;
+  out.write(reinterpret_cast<const char*>(&offset), sizeof(offset));
+  for (PageId id = 0; id < num_pages; ++id) {
+    offset += graph.outlinks(id).size();
+    out.write(reinterpret_cast<const char*>(&offset), sizeof(offset));
+  }
+  for (PageId id = 0; id < num_pages; ++id) {
+    const auto links = graph.outlinks(id);
+    out.write(reinterpret_cast<const char*>(links.data()),
+              static_cast<std::streamsize>(links.size() * sizeof(PageId)));
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<DiskLinkDb>> DiskLinkDb::Open(const std::string& path,
+                                                       Options options) {
+  if (options.block_words == 0 || options.max_cached_blocks == 0) {
+    return Status::InvalidArgument("block_words/max_cached_blocks must be >0");
+  }
+  auto db = std::unique_ptr<DiskLinkDb>(new DiskLinkDb());
+  db->options_ = options;
+  db->file_.open(path, std::ios::binary);
+  if (!db->file_.is_open()) return Status::IoError("cannot open " + path);
+
+  char magic[8];
+  db->file_.read(magic, sizeof(magic));
+  if (!db->file_.good() || std::memcmp(magic, kLinkMagic, 8) != 0) {
+    return Status::Corruption("bad link file magic");
+  }
+  uint32_t num_pages;
+  uint64_t num_links;
+  db->file_.read(reinterpret_cast<char*>(&num_pages), sizeof(num_pages));
+  db->file_.read(reinterpret_cast<char*>(&num_links), sizeof(num_links));
+  if (!db->file_.good()) return Status::Corruption("truncated link header");
+  db->num_pages_ = num_pages;
+  db->num_links_ = num_links;
+  db->offsets_.resize(static_cast<size_t>(num_pages) + 1);
+  db->file_.read(reinterpret_cast<char*>(db->offsets_.data()),
+                 static_cast<std::streamsize>(db->offsets_.size() *
+                                              sizeof(uint64_t)));
+  if (!db->file_.good()) return Status::Corruption("truncated offsets");
+  if (db->offsets_.front() != 0 || db->offsets_.back() != num_links) {
+    return Status::Corruption("offset endpoints wrong");
+  }
+  for (size_t i = 1; i < db->offsets_.size(); ++i) {
+    if (db->offsets_[i] < db->offsets_[i - 1]) {
+      return Status::Corruption("offsets not monotonic");
+    }
+  }
+  db->targets_base_ = static_cast<uint64_t>(db->file_.tellg());
+  return db;
+}
+
+StatusOr<const std::vector<PageId>*> DiskLinkDb::GetBlock(uint64_t index) {
+  auto it = cache_.find(index);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // Move to front.
+    return &it->second->words;
+  }
+  ++cache_misses_;
+  const uint64_t first_word = index * options_.block_words;
+  if (first_word >= num_links_) return Status::OutOfRange("block index");
+  const uint64_t n_words =
+      std::min<uint64_t>(options_.block_words, num_links_ - first_word);
+  CacheEntry entry;
+  entry.index = index;
+  entry.words.resize(n_words);
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(targets_base_ +
+                                          first_word * sizeof(PageId)));
+  file_.read(reinterpret_cast<char*>(entry.words.data()),
+             static_cast<std::streamsize>(n_words * sizeof(PageId)));
+  if (!file_.good() && !file_.eof()) {
+    return Status::IoError("read failed");
+  }
+  if (static_cast<uint64_t>(file_.gcount()) != n_words * sizeof(PageId)) {
+    return Status::Corruption("short read in targets section");
+  }
+  lru_.push_front(std::move(entry));
+  cache_[index] = lru_.begin();
+  if (cache_.size() > options_.max_cached_blocks) {
+    cache_.erase(lru_.back().index);
+    lru_.pop_back();
+  }
+  return &lru_.front().words;
+}
+
+Status DiskLinkDb::GetOutlinks(PageId id, std::vector<PageId>* out) {
+  out->clear();
+  if (id >= num_pages_) return Status::NotFound("page id range");
+  uint64_t begin = offsets_[id];
+  const uint64_t end = offsets_[id + 1];
+  while (begin < end) {
+    const uint64_t block = begin / options_.block_words;
+    auto block_or = GetBlock(block);
+    if (!block_or.ok()) return block_or.status();
+    const std::vector<PageId>& words = **block_or;
+    const uint64_t block_first = block * options_.block_words;
+    const uint64_t from = begin - block_first;
+    const uint64_t to = std::min<uint64_t>(end - block_first, words.size());
+    out->insert(out->end(), words.begin() + static_cast<ptrdiff_t>(from),
+                words.begin() + static_cast<ptrdiff_t>(to));
+    begin = block_first + to;
+  }
+  return Status::OK();
+}
+
+}  // namespace lswc

@@ -1,0 +1,104 @@
+#ifndef LSWC_WEBGRAPH_LINK_DB_H_
+#define LSWC_WEBGRAPH_LINK_DB_H_
+
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "webgraph/graph.h"
+
+namespace lswc {
+
+/// The simulator's link database (the "LinkDB" box in the paper's Fig 2):
+/// answers "outlinks of URL u" during trace replay.
+///
+/// Two implementations:
+///  - InMemoryLinkDb serves straight from a WebGraph;
+///  - DiskLinkDb serves from a link file with an LRU block cache, the
+///    shape a real 100M-URL link database needs (the paper's Japanese
+///    dataset has ~10^9 links; holding them resident is not a given).
+class LinkDb {
+ public:
+  virtual ~LinkDb() = default;
+
+  /// Appends the outlinks of `id` to `out` (cleared first). Returns
+  /// NotFound for out-of-range ids.
+  virtual Status GetOutlinks(PageId id, std::vector<PageId>* out) = 0;
+
+  virtual size_t num_pages() const = 0;
+};
+
+/// Zero-copy adapter over an in-memory WebGraph.
+class InMemoryLinkDb final : public LinkDb {
+ public:
+  /// The graph must outlive the LinkDb.
+  explicit InMemoryLinkDb(const WebGraph* graph) : graph_(graph) {}
+
+  Status GetOutlinks(PageId id, std::vector<PageId>* out) override;
+  size_t num_pages() const override { return graph_->num_pages(); }
+
+ private:
+  const WebGraph* graph_;
+};
+
+/// Writes the link-file representation of a graph:
+///   magic "LSWCLNK1" | num_pages u32 | num_links u64 |
+///   offsets u64 x (num_pages+1) | targets u32 x num_links
+Status WriteLinkFile(const WebGraph& graph, const std::string& path);
+
+/// Disk-backed LinkDb with an LRU cache of fixed-size target blocks.
+/// Cache geometry of DiskLinkDb.
+struct DiskLinkDbOptions {
+  /// Target words (u32 link entries) per cache block.
+  size_t block_words = 16384;  // 64 KiB blocks.
+  size_t max_cached_blocks = 256;
+};
+
+class DiskLinkDb final : public LinkDb {
+ public:
+  using Options = DiskLinkDbOptions;
+
+  static StatusOr<std::unique_ptr<DiskLinkDb>> Open(const std::string& path,
+                                                    Options options = {});
+
+  Status GetOutlinks(PageId id, std::vector<PageId>* out) override;
+  size_t num_pages() const override { return num_pages_; }
+
+  /// Cache observability for tests and benches.
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+  size_t cached_blocks() const { return cache_.size(); }
+
+ private:
+  DiskLinkDb() = default;
+
+  /// Returns the cached block `index`, loading (and possibly evicting)
+  /// as needed.
+  StatusOr<const std::vector<PageId>*> GetBlock(uint64_t index);
+
+  Options options_;
+  std::ifstream file_;
+  uint64_t targets_base_ = 0;  // File offset where targets begin.
+  size_t num_pages_ = 0;
+  uint64_t num_links_ = 0;
+  std::vector<uint64_t> offsets_;  // Resident (8 bytes/page).
+
+  // LRU: most-recent at front.
+  struct CacheEntry {
+    uint64_t index;
+    std::vector<PageId> words;
+  };
+  std::list<CacheEntry> lru_;
+  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_WEBGRAPH_LINK_DB_H_

@@ -1,0 +1,55 @@
+#ifndef LSWC_WEBGRAPH_PAGE_H_
+#define LSWC_WEBGRAPH_PAGE_H_
+
+#include <cstdint>
+
+#include "charset/encoding.h"
+
+namespace lswc {
+
+/// Dense page identifier; doubles as the UrlId of the page's canonical URL
+/// inside a WebGraph.
+using PageId = uint32_t;
+
+/// Everything the virtual web space knows about one crawled URL — the
+/// per-URL payload of a crawl log entry. 16 bytes; a 100M-page log fits
+/// in memory the way the paper's 110M-URL Japanese dataset had to.
+struct PageRecord {
+  /// HTTP response status (200, 302, 404, 500...). Only status-200 HTML
+  /// pages carry content and links ("pages with OK status" in Table 3).
+  uint16_t http_status = 200;
+
+  /// Ground-truth language of the page body.
+  Language language = Language::kOther;
+
+  /// Encoding the page bytes are actually written in.
+  Encoding true_encoding = Encoding::kAscii;
+
+  /// Charset declared in the HTML META tag: may be kUnknown (author
+  /// declared nothing) or differ from true_encoding (mislabeled page —
+  /// the paper explicitly observes such pages in the Thai dataset).
+  Encoding meta_charset = Encoding::kUnknown;
+
+  /// Which host the page lives on (index into the graph's host table).
+  uint32_t host = 0;
+
+  /// Approximate body length in characters; content rendering target.
+  uint16_t content_chars = 0;
+
+  bool ok() const { return http_status == 200; }
+};
+
+static_assert(sizeof(PageRecord) <= 20, "PageRecord must stay compact");
+
+/// Host metadata: synthetic hosts have a language and derive their name
+/// from the id ("www123.example.th").
+struct HostRecord {
+  Language language = Language::kOther;
+  /// First page of the host in the graph's host->pages index.
+  uint32_t first_page = 0;
+  uint32_t num_pages = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_WEBGRAPH_PAGE_H_

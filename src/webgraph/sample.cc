@@ -1,0 +1,87 @@
+#include "webgraph/sample.h"
+
+#include "url/url_table.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace lswc {
+
+StatusOr<WebGraph> SampleBfsSubgraph(const WebGraph& graph,
+                                     const SampleOptions& options) {
+  if (options.max_pages == 0) {
+    return Status::InvalidArgument("max_pages must be > 0");
+  }
+  if (graph.seeds().empty()) {
+    return Status::FailedPrecondition("graph has no seeds to sample from");
+  }
+
+  // Phase 1: BFS to select the page set, in discovery order.
+  std::vector<bool> selected(graph.num_pages(), false);
+  std::vector<PageId> order;
+  order.reserve(options.max_pages);
+  std::deque<PageId> queue;
+  for (PageId seed : graph.seeds()) {
+    if (selected[seed]) continue;
+    selected[seed] = true;
+    queue.push_back(seed);
+  }
+  while (!queue.empty() && order.size() < options.max_pages) {
+    const PageId p = queue.front();
+    queue.pop_front();
+    order.push_back(p);
+    if (!graph.page(p).ok()) continue;
+    for (PageId c : graph.outlinks(p)) {
+      if (selected[c]) continue;
+      selected[c] = true;
+      queue.push_back(c);
+    }
+  }
+  // Pages left in the queue were discovered but not visited: drop them
+  // (a truncated crawl never resolved them).
+  for (PageId p : queue) selected[p] = false;
+
+  // Phase 2: group the sample per original host (contiguity invariant)
+  // and renumber.
+  std::sort(order.begin(), order.end(), [&](PageId a, PageId b) {
+    if (graph.page(a).host != graph.page(b).host) {
+      return graph.page(a).host < graph.page(b).host;
+    }
+    return a < b;
+  });
+  std::vector<PageId> new_id(graph.num_pages(), kInvalidUrlId);
+  WebGraphBuilder builder;
+  builder.SetTargetLanguage(graph.target_language());
+  builder.SetGeneratorSeed(graph.generator_seed());
+  uint32_t current_host = UINT32_MAX;
+  uint32_t new_host = UINT32_MAX;
+  for (PageId p : order) {
+    const PageRecord& rec = graph.page(p);
+    if (rec.host != current_host) {
+      current_host = rec.host;
+      new_host = builder.AddHost(graph.host(rec.host).language);
+    }
+    new_id[p] = builder.AddPage(new_host, rec);
+  }
+
+  // Phase 3: links among selected pages, in new-id source order.
+  std::vector<PageId> by_new_id(order);
+  std::sort(by_new_id.begin(), by_new_id.end(),
+            [&](PageId a, PageId b) { return new_id[a] < new_id[b]; });
+  for (PageId p : by_new_id) {
+    if (!graph.page(p).ok()) continue;
+    for (PageId c : graph.outlinks(p)) {
+      if (new_id[c] != kInvalidUrlId) {
+        builder.AddLink(new_id[p], new_id[c]);
+      }
+    }
+  }
+  for (PageId seed : graph.seeds()) {
+    if (new_id[seed] != kInvalidUrlId) builder.AddSeed(new_id[seed]);
+  }
+  return builder.Finish();
+}
+
+}  // namespace lswc

@@ -1,0 +1,34 @@
+#ifndef LSWC_WEBGRAPH_SAMPLE_H_
+#define LSWC_WEBGRAPH_SAMPLE_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+#include "webgraph/graph.h"
+
+namespace lswc {
+
+/// Options for crawl-order subgraph sampling.
+struct SampleOptions {
+  /// Stop after this many pages (the sample's size). Selection is
+  /// breadth-first from the original seeds — the order an unbiased crawl
+  /// would discover the space in, so dataset statistics degrade
+  /// gracefully with size.
+  uint32_t max_pages = 100'000;
+};
+
+/// Extracts a self-contained subgraph of the first `max_pages` pages a
+/// breadth-first crawl from the log's seeds would visit. Hosts and pages
+/// are renumbered densely; links leaving the sample are dropped (exactly
+/// what a truncated crawl log would contain); the host-contiguity
+/// invariant is re-established by grouping sampled pages per host.
+///
+/// This is the workhorse for downscaling an imported multi-million-URL
+/// log to experiment-sized replicas, the way the paper's authors might
+/// have cut their 110M-URL Japanese log down for iteration.
+StatusOr<WebGraph> SampleBfsSubgraph(const WebGraph& graph,
+                                     const SampleOptions& options);
+
+}  // namespace lswc
+
+#endif  // LSWC_WEBGRAPH_SAMPLE_H_

@@ -1,0 +1,238 @@
+#include "webgraph/text_log.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace lswc {
+
+namespace {
+
+constexpr std::string_view kHeader = "!lswc-text-log 1";
+
+std::string_view LanguageToken(Language lang) {
+  switch (lang) {
+    case Language::kJapanese:
+      return "Japanese";
+    case Language::kThai:
+      return "Thai";
+    default:
+      return "other";
+  }
+}
+
+bool ParseLanguageToken(std::string_view token, Language* out) {
+  if (EqualsIgnoreCase(token, "japanese")) {
+    *out = Language::kJapanese;
+  } else if (EqualsIgnoreCase(token, "thai")) {
+    *out = Language::kThai;
+  } else if (EqualsIgnoreCase(token, "other")) {
+    *out = Language::kOther;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view EncodingToken(Encoding e) {
+  return e == Encoding::kUnknown ? std::string_view("-") : EncodingName(e);
+}
+
+bool ParseEncodingToken(std::string_view token, Encoding* out) {
+  if (token == "-") {
+    *out = Encoding::kUnknown;
+    return true;
+  }
+  *out = EncodingFromName(token);
+  return *out != Encoding::kUnknown;
+}
+
+Status LineError(size_t line, const std::string& what) {
+  return Status::Corruption(StringPrintf("line %zu: %s",
+                                         line, what.c_str()));
+}
+
+// Splits on runs of spaces/tabs, dropping the trailing comment.
+std::vector<std::string_view> Tokens(std::string_view line) {
+  const size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && IsAsciiSpace(line[i])) ++i;
+    const size_t start = i;
+    while (i < line.size() && !IsAsciiSpace(line[i])) ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WriteTextLog(const WebGraph& graph, std::ostream& out) {
+  out << kHeader << '\n';
+  out << "target " << LanguageToken(graph.target_language()) << '\n';
+  out << "generator-seed " << graph.generator_seed() << '\n';
+  uint32_t current_host = UINT32_MAX;
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    const PageRecord& rec = graph.page(p);
+    if (rec.host != current_host) {
+      current_host = rec.host;
+      out << "host " << current_host << ' '
+          << LanguageToken(graph.host(current_host).language) << '\n';
+    }
+    out << "page " << rec.http_status << ' ' << LanguageToken(rec.language)
+        << ' ' << EncodingToken(rec.true_encoding) << ' '
+        << EncodingToken(rec.meta_charset) << ' ' << rec.content_chars
+        << '\n';
+  }
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    const auto links = graph.outlinks(p);
+    if (links.empty()) continue;
+    out << "links " << p;
+    for (PageId t : links) out << ' ' << t;
+    out << '\n';
+  }
+  for (PageId s : graph.seeds()) out << "seed " << s << '\n';
+  if (!out.good()) return Status::IoError("text log write failed");
+  return Status::OK();
+}
+
+Status WriteTextLogFile(const WebGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  return WriteTextLog(graph, out);
+}
+
+StatusOr<WebGraph> ParseTextLog(std::istream& in) {
+  std::string line;
+  size_t line_no = 0;
+
+  // Header.
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    if (stripped != kHeader) {
+      return LineError(line_no, "expected header '!lswc-text-log 1'");
+    }
+    break;
+  }
+  if (line_no == 0) return Status::Corruption("empty text log");
+
+  WebGraphBuilder builder;
+  bool saw_target = false;
+  int declared_hosts = 0;
+  PageId num_pages = 0;
+  PageId last_link_source = 0;
+  bool in_links = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = Tokens(line);
+    if (tokens.empty()) continue;
+    const std::string_view verb = tokens[0];
+
+    if (verb == "target") {
+      if (tokens.size() != 2) return LineError(line_no, "target <language>");
+      Language lang;
+      if (!ParseLanguageToken(tokens[1], &lang) ||
+          lang == Language::kOther) {
+        return LineError(line_no, "target must be Japanese or Thai");
+      }
+      builder.SetTargetLanguage(lang);
+      saw_target = true;
+    } else if (verb == "generator-seed") {
+      if (tokens.size() != 2) return LineError(line_no, "generator-seed <n>");
+      const auto seed = ParseUint64(tokens[1]);
+      if (!seed.has_value()) return LineError(line_no, "bad seed");
+      builder.SetGeneratorSeed(*seed);
+    } else if (verb == "host") {
+      if (in_links) return LineError(line_no, "host after links section");
+      if (tokens.size() != 3) return LineError(line_no, "host <id> <lang>");
+      const auto id = ParseUint64(tokens[1]);
+      Language lang;
+      if (!id.has_value() || !ParseLanguageToken(tokens[2], &lang)) {
+        return LineError(line_no, "bad host id or language");
+      }
+      if (*id != static_cast<uint64_t>(declared_hosts)) {
+        return LineError(line_no, "host ids must be declared in order");
+      }
+      builder.AddHost(lang);
+      ++declared_hosts;
+    } else if (verb == "page") {
+      if (in_links) return LineError(line_no, "page after links section");
+      if (declared_hosts == 0) {
+        return LineError(line_no, "page before any host");
+      }
+      if (tokens.size() != 6) {
+        return LineError(line_no,
+                         "page <status> <lang> <true-enc> <meta-enc> <chars>");
+      }
+      PageRecord rec;
+      const auto status = ParseUint64(tokens[1]);
+      const auto chars = ParseUint64(tokens[5]);
+      Language lang;
+      if (!status.has_value() || *status < 100 || *status > 999 ||
+          !ParseLanguageToken(tokens[2], &lang) ||
+          !chars.has_value() || *chars > UINT16_MAX) {
+        return LineError(line_no, "bad page fields");
+      }
+      if (!ParseEncodingToken(tokens[3], &rec.true_encoding)) {
+        return LineError(line_no, "unknown true encoding");
+      }
+      if (!ParseEncodingToken(tokens[4], &rec.meta_charset)) {
+        return LineError(line_no, "unknown meta encoding");
+      }
+      rec.http_status = static_cast<uint16_t>(*status);
+      rec.language = lang;
+      rec.content_chars = static_cast<uint16_t>(*chars);
+      builder.AddPage(static_cast<uint32_t>(declared_hosts - 1), rec);
+      ++num_pages;
+    } else if (verb == "links") {
+      if (tokens.size() < 2) return LineError(line_no, "links <src> <t>...");
+      const auto src = ParseUint64(tokens[1]);
+      if (!src.has_value() || *src >= num_pages) {
+        return LineError(line_no, "link source out of range");
+      }
+      if (in_links && *src < last_link_source) {
+        return LineError(line_no, "link sources must be ascending");
+      }
+      in_links = true;
+      last_link_source = static_cast<PageId>(*src);
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        const auto dst = ParseUint64(tokens[i]);
+        if (!dst.has_value() || *dst >= num_pages) {
+          return LineError(line_no, "link target out of range");
+        }
+        builder.AddLink(static_cast<PageId>(*src),
+                        static_cast<PageId>(*dst));
+      }
+    } else if (verb == "seed") {
+      if (tokens.size() != 2) return LineError(line_no, "seed <page>");
+      const auto seed = ParseUint64(tokens[1]);
+      if (!seed.has_value() || *seed >= num_pages) {
+        return LineError(line_no, "seed out of range");
+      }
+      builder.AddSeed(static_cast<PageId>(*seed));
+    } else {
+      return LineError(line_no,
+                       "unknown directive '" + std::string(verb) + "'");
+    }
+  }
+  if (!saw_target) return Status::Corruption("missing 'target' directive");
+  auto graph = builder.Finish();
+  if (!graph.ok()) return graph.status();
+  return graph;
+}
+
+StatusOr<WebGraph> ReadTextLogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return ParseTextLog(in);
+}
+
+}  // namespace lswc

@@ -1,0 +1,42 @@
+#ifndef LSWC_WEBGRAPH_TEXT_LOG_H_
+#define LSWC_WEBGRAPH_TEXT_LOG_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "util/status.h"
+#include "webgraph/graph.h"
+
+namespace lswc {
+
+/// Human-readable crawl-log format: hand-authorable fixtures, diffable
+/// exports, and the import path for logs captured by external crawlers.
+///
+/// Line-based; '#' starts a comment; blank lines ignored:
+///
+///   !lswc-text-log 1
+///   target Thai
+///   generator-seed 247
+///   host 0 Thai                      # hosts in id order
+///   page 200 Thai TIS-620 TIS-620 350
+///   page 404 other - - 0             # status lang true-enc meta-enc chars
+///   host 1 other
+///   page 200 other US-ASCII - 120    # '-' = no META declaration
+///   links 0 1 2                      # source page, then its targets,
+///   links 2 0                        #   sources in ascending order
+///   seed 0
+///
+/// Pages belong to the most recently declared host (hosts are
+/// contiguous, as in the binary format). Encodings use the names/aliases
+/// of EncodingFromName; languages are "Japanese", "Thai", "other".
+Status WriteTextLog(const WebGraph& graph, std::ostream& out);
+Status WriteTextLogFile(const WebGraph& graph, const std::string& path);
+
+/// Parses a text log. Fails with Corruption carrying the line number on
+/// any malformed input.
+StatusOr<WebGraph> ParseTextLog(std::istream& in);
+StatusOr<WebGraph> ReadTextLogFile(const std::string& path);
+
+}  // namespace lswc
+
+#endif  // LSWC_WEBGRAPH_TEXT_LOG_H_

@@ -1,0 +1,197 @@
+#include "charset/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "charset/codec.h"
+#include "charset/text_gen.h"
+#include "util/random.h"
+
+namespace lswc {
+namespace {
+
+struct DetectCase {
+  Language lang;
+  Encoding encoding;
+};
+
+class DetectorRoundTripTest : public ::testing::TestWithParam<DetectCase> {};
+
+// Property: text generated in a language, encoded into one of its native
+// encodings, must be detected as that encoding (or at least as an
+// encoding of the same language) with confidence above the threshold.
+TEST_P(DetectorRoundTripTest, DetectsGeneratedProse) {
+  const auto [lang, encoding] = GetParam();
+  Rng rng(static_cast<uint64_t>(encoding) * 1000 + 5);
+  int exact = 0;
+  constexpr int kDocs = 40;
+  for (int i = 0; i < kDocs; ++i) {
+    const std::u32string text = GenerateText(lang, 400, &rng);
+    auto bytes = EncodeText(encoding, text);
+    ASSERT_TRUE(bytes.ok());
+    const DetectionResult result = DetectEncoding(*bytes);
+    EXPECT_EQ(LanguageOfEncoding(result.encoding), LanguageOfEncoding(encoding))
+        << "doc " << i << " detected " << EncodingName(result.encoding);
+    if (result.encoding == encoding) ++exact;
+  }
+  // The exact variant must be right nearly always (windows-874 without
+  // C1 bytes legitimately reports TIS-620, so Thai is checked at the
+  // language level above).
+  if (encoding != Encoding::kWindows874) {
+    EXPECT_GE(exact, kDocs * 9 / 10) << EncodingName(encoding);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NativeEncodings, DetectorRoundTripTest,
+    ::testing::Values(DetectCase{Language::kJapanese, Encoding::kEucJp},
+                      DetectCase{Language::kJapanese, Encoding::kShiftJis},
+                      DetectCase{Language::kJapanese, Encoding::kIso2022Jp},
+                      DetectCase{Language::kThai, Encoding::kTis620}));
+
+TEST(DetectorTest, PureAsciiIsAscii) {
+  const DetectionResult r = DetectEncoding("hello plain world 123");
+  EXPECT_EQ(r.encoding, Encoding::kAscii);
+  EXPECT_GT(r.confidence, 0.9);
+}
+
+TEST(DetectorTest, EmptyInputIsAscii) {
+  EXPECT_EQ(DetectEncoding("").encoding, Encoding::kAscii);
+}
+
+TEST(DetectorTest, Utf8JapaneseDetectedAsUtf8) {
+  Rng rng(3);
+  const std::string bytes =
+      EncodeUtf8(GenerateText(Language::kJapanese, 300, &rng));
+  const DetectionResult r = DetectEncoding(bytes);
+  EXPECT_EQ(r.encoding, Encoding::kUtf8);
+}
+
+TEST(DetectorTest, Utf8ThaiDetectedAsUtf8) {
+  Rng rng(4);
+  const std::string bytes =
+      EncodeUtf8(GenerateText(Language::kThai, 300, &rng));
+  EXPECT_EQ(DetectEncoding(bytes).encoding, Encoding::kUtf8);
+}
+
+TEST(DetectorTest, Iso2022JpByEscapeEvenWhenShort) {
+  auto bytes = EncodeText(Encoding::kIso2022Jp, U"あ");
+  ASSERT_TRUE(bytes.ok());
+  const DetectionResult r = DetectEncoding(*bytes);
+  EXPECT_EQ(r.encoding, Encoding::kIso2022Jp);
+  EXPECT_GT(r.confidence, 0.9);
+}
+
+TEST(DetectorTest, Windows874DetectedWhenC1BytesPresent) {
+  Rng rng(5);
+  std::u32string text = GenerateText(Language::kThai, 300, &rng);
+  text += U"“…”";  // windows-874 C1 punctuation.
+  auto bytes = EncodeText(Encoding::kWindows874, text);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(DetectEncoding(*bytes).encoding, Encoding::kWindows874);
+}
+
+TEST(DetectorTest, LatinFallbackForWesternBytes) {
+  // French-ish Latin-1 text defeats all CJK/Thai probers (0xE9 é is a
+  // valid Thai byte but the distribution is wrong).
+  const std::string text =
+      "r\xE9sum\xE9 caf\xE9 d\xE9j\xE0 vu \xE9l\xE8ve p\xE2t\xE9 "
+      "no\xEBl fran\xE7" "ais \xE9t\xE9 m\xEAme";
+  const DetectionResult r = DetectEncoding(text);
+  EXPECT_EQ(r.encoding, Encoding::kLatin1);
+}
+
+TEST(DetectorTest, EraAccurateModeDoesNotReportThai) {
+  // The paper: "some languages, such as Thai, are not supported by these
+  // tools" — with the Thai prober disabled the detector must never
+  // answer TIS-620/windows-874.
+  Rng rng(6);
+  const std::u32string text = GenerateText(Language::kThai, 300, &rng);
+  auto bytes = EncodeText(Encoding::kTis620, text);
+  ASSERT_TRUE(bytes.ok());
+  DetectorOptions options;
+  options.enable_thai = false;
+  CharsetDetector detector(options);
+  const DetectionResult r = detector.Detect(*bytes);
+  EXPECT_NE(r.encoding, Encoding::kTis620);
+  EXPECT_NE(r.encoding, Encoding::kWindows874);
+}
+
+TEST(DetectorTest, StreamingMatchesOneShot) {
+  Rng rng(7);
+  const std::u32string text = GenerateText(Language::kJapanese, 500, &rng);
+  auto bytes = EncodeText(Encoding::kEucJp, text);
+  ASSERT_TRUE(bytes.ok());
+  CharsetDetector one_shot;
+  const DetectionResult a = one_shot.Detect(*bytes);
+  CharsetDetector streaming;
+  streaming.Reset();
+  for (size_t i = 0; i < bytes->size(); i += 37) {
+    streaming.Feed(std::string_view(*bytes).substr(i, 37));
+  }
+  const DetectionResult b = streaming.Result();
+  EXPECT_EQ(a.encoding, b.encoding);
+  EXPECT_DOUBLE_EQ(a.confidence, b.confidence);
+}
+
+TEST(DetectorTest, MaxBytesLimitsExamination) {
+  // A document that is ASCII for 8 KiB then Japanese: the default
+  // prescan window stops before the Japanese and answers ASCII.
+  std::string bytes(9000, 'a');
+  Rng rng(8);
+  bytes += EncodeText(Encoding::kEucJp,
+                      GenerateText(Language::kJapanese, 200, &rng))
+               .value();
+  EXPECT_EQ(DetectEncoding(bytes).encoding, Encoding::kAscii);
+  DetectorOptions options;
+  options.max_bytes = 0;  // Unlimited.
+  CharsetDetector full(options);
+  EXPECT_EQ(full.Detect(bytes).encoding, Encoding::kEucJp);
+}
+
+TEST(DetectorTest, HtmlMarkupAroundJapaneseStillDetected) {
+  Rng rng(9);
+  std::string html = "<html><head><title>";
+  html += EncodeText(Encoding::kShiftJis,
+                     GenerateText(Language::kJapanese, 60, &rng))
+              .value();
+  html += "</title></head><body><p>more ascii</p></body></html>";
+  EXPECT_EQ(DetectEncoding(html).encoding, Encoding::kShiftJis);
+}
+
+TEST(DetectorTest, EucJpNotMistakenForThai) {
+  // EUC-JP prose must not be claimed by the Thai prober even though many
+  // EUC-JP bytes fall in the Thai letter range.
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    auto bytes = EncodeText(Encoding::kEucJp,
+                            GenerateText(Language::kJapanese, 400, &rng));
+    ASSERT_TRUE(bytes.ok());
+    const DetectionResult r = DetectEncoding(*bytes);
+    EXPECT_EQ(r.encoding, Encoding::kEucJp) << "doc " << i;
+  }
+}
+
+TEST(DetectorTest, ThaiNotMistakenForJapanese) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    auto bytes = EncodeText(Encoding::kTis620,
+                            GenerateText(Language::kThai, 400, &rng));
+    ASSERT_TRUE(bytes.ok());
+    const DetectionResult r = DetectEncoding(*bytes);
+    EXPECT_EQ(LanguageOfEncoding(r.encoding), Language::kThai) << "doc " << i;
+  }
+}
+
+TEST(DetectorTest, ConfidenceGrowsWithEvidence) {
+  Rng rng(12);
+  const std::u32string small = GenerateText(Language::kJapanese, 8, &rng);
+  const std::u32string large = GenerateText(Language::kJapanese, 400, &rng);
+  const double c_small =
+      DetectEncoding(EncodeText(Encoding::kEucJp, small).value()).confidence;
+  const double c_large =
+      DetectEncoding(EncodeText(Encoding::kEucJp, large).value()).confidence;
+  EXPECT_LT(c_small, c_large);
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,70 @@
+#include "charset/encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(EncodingNameTest, CanonicalNames) {
+  EXPECT_EQ(EncodingName(Encoding::kEucJp), "EUC-JP");
+  EXPECT_EQ(EncodingName(Encoding::kShiftJis), "Shift_JIS");
+  EXPECT_EQ(EncodingName(Encoding::kIso2022Jp), "ISO-2022-JP");
+  EXPECT_EQ(EncodingName(Encoding::kTis620), "TIS-620");
+  EXPECT_EQ(EncodingName(Encoding::kWindows874), "windows-874");
+  EXPECT_EQ(EncodingName(Encoding::kUtf8), "UTF-8");
+  EXPECT_EQ(EncodingName(Encoding::kUnknown), "unknown");
+}
+
+TEST(EncodingFromNameTest, CanonicalNamesRoundTrip) {
+  for (int e = 1; e < static_cast<int>(Encoding::kNumEncodings); ++e) {
+    const Encoding enc = static_cast<Encoding>(e);
+    EXPECT_EQ(EncodingFromName(EncodingName(enc)), enc)
+        << EncodingName(enc);
+  }
+}
+
+TEST(EncodingFromNameTest, AliasesAndCase) {
+  EXPECT_EQ(EncodingFromName("shift-jis"), Encoding::kShiftJis);
+  EXPECT_EQ(EncodingFromName("SJIS"), Encoding::kShiftJis);
+  EXPECT_EQ(EncodingFromName("x-sjis"), Encoding::kShiftJis);
+  EXPECT_EQ(EncodingFromName("cp932"), Encoding::kShiftJis);
+  EXPECT_EQ(EncodingFromName("x-euc-jp"), Encoding::kEucJp);
+  EXPECT_EQ(EncodingFromName("utf8"), Encoding::kUtf8);
+  EXPECT_EQ(EncodingFromName("ISO8859-1"), Encoding::kLatin1);
+  EXPECT_EQ(EncodingFromName("Windows-1252"), Encoding::kLatin1);
+  // The paper's Table 1 lists ISO-8859-11 for Thai.
+  EXPECT_EQ(EncodingFromName("ISO-8859-11"), Encoding::kTis620);
+  EXPECT_EQ(EncodingFromName("TIS-620.2533"), Encoding::kTis620);
+  EXPECT_EQ(EncodingFromName("CP874"), Encoding::kWindows874);
+}
+
+TEST(EncodingFromNameTest, UnknownLabels) {
+  EXPECT_EQ(EncodingFromName("klingon-7"), Encoding::kUnknown);
+  EXPECT_EQ(EncodingFromName(""), Encoding::kUnknown);
+}
+
+// The paper's Table 1: charset -> language mapping.
+TEST(LanguageOfEncodingTest, Table1Mapping) {
+  EXPECT_EQ(LanguageOfEncoding(Encoding::kEucJp), Language::kJapanese);
+  EXPECT_EQ(LanguageOfEncoding(Encoding::kShiftJis), Language::kJapanese);
+  EXPECT_EQ(LanguageOfEncoding(Encoding::kIso2022Jp), Language::kJapanese);
+  EXPECT_EQ(LanguageOfEncoding(Encoding::kTis620), Language::kThai);
+  EXPECT_EQ(LanguageOfEncoding(Encoding::kWindows874), Language::kThai);
+}
+
+TEST(LanguageOfEncodingTest, LanguageNeutralEncodings) {
+  EXPECT_EQ(LanguageOfEncoding(Encoding::kAscii), Language::kOther);
+  EXPECT_EQ(LanguageOfEncoding(Encoding::kUtf8), Language::kOther);
+  EXPECT_EQ(LanguageOfEncoding(Encoding::kLatin1), Language::kOther);
+  EXPECT_EQ(LanguageOfEncoding(Encoding::kUnknown), Language::kUnknown);
+}
+
+TEST(LanguageNameTest, Names) {
+  EXPECT_EQ(LanguageName(Language::kJapanese), "Japanese");
+  EXPECT_EQ(LanguageName(Language::kThai), "Thai");
+  EXPECT_EQ(LanguageName(Language::kOther), "other");
+  EXPECT_EQ(LanguageName(Language::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace lswc

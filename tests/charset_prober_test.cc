@@ -1,0 +1,195 @@
+// Direct unit tests for the individual probers (the composite detector
+// has its own suite in charset_detector_test.cc).
+
+#include <gtest/gtest.h>
+
+#include "charset/codec.h"
+#include "charset/escape_prober.h"
+#include "charset/mbcs_prober.h"
+#include "charset/text_gen.h"
+#include "charset/thai_prober.h"
+#include "charset/utf8_prober.h"
+#include "util/random.h"
+
+namespace lswc {
+namespace {
+
+std::string Japanese(Encoding e, int chars = 200, uint64_t seed = 1) {
+  Rng rng(seed);
+  return EncodeText(e, GenerateText(Language::kJapanese, chars, &rng))
+      .value();
+}
+
+std::string Thai(int chars = 200, uint64_t seed = 2) {
+  Rng rng(seed);
+  return EncodeText(Encoding::kTis620,
+                    GenerateText(Language::kThai, chars, &rng))
+      .value();
+}
+
+// ------------------------------------------------------------- UTF-8
+
+TEST(Utf8ProberTest, AcceptsValidMultibyte) {
+  Utf8Prober prober;
+  EXPECT_NE(prober.Feed("ascii \xE0\xB8\x81\xE3\x81\x82 tail"),
+            ProbeState::kNotMe);
+  EXPECT_GT(prober.Confidence(), 0.5);
+}
+
+TEST(Utf8ProberTest, PureAsciiIsWeakEvidence) {
+  Utf8Prober prober;
+  prober.Feed("just ascii");
+  EXPECT_LT(prober.Confidence(), 0.2);
+}
+
+TEST(Utf8ProberTest, RejectsLoneContinuation) {
+  Utf8Prober prober;
+  EXPECT_EQ(prober.Feed("\x80"), ProbeState::kNotMe);
+  EXPECT_EQ(prober.Confidence(), 0.0);
+}
+
+TEST(Utf8ProberTest, TruncatedTrailingSequenceScoresZero) {
+  Utf8Prober prober;
+  prober.Feed("\xE0\xB8\x81\xE0\xB8");  // One full char + truncation.
+  EXPECT_EQ(prober.Confidence(), 0.0);
+}
+
+TEST(Utf8ProberTest, SplitFeedAcrossSequenceBoundary) {
+  Utf8Prober prober;
+  prober.Feed("\xE0");
+  prober.Feed("\xB8");
+  prober.Feed("\x81");
+  EXPECT_NE(prober.state(), ProbeState::kNotMe);
+  EXPECT_GT(prober.Confidence(), 0.0);
+}
+
+TEST(Utf8ProberTest, ResetClearsState) {
+  Utf8Prober prober;
+  prober.Feed("\xFF");
+  ASSERT_EQ(prober.state(), ProbeState::kNotMe);
+  prober.Reset();
+  EXPECT_EQ(prober.state(), ProbeState::kDetecting);
+  prober.Feed("\xE0\xB8\x81");
+  EXPECT_GT(prober.Confidence(), 0.0);
+}
+
+// ------------------------------------------------------------ escape
+
+TEST(EscapeProberTest, FindsJisShiftIn) {
+  EscapeProber prober;
+  EXPECT_EQ(prober.Feed("text \x1b$B!!"), ProbeState::kFoundIt);
+  EXPECT_GT(prober.Confidence(), 0.9);
+}
+
+TEST(EscapeProberTest, RomanShiftAloneIsInconclusive) {
+  EscapeProber prober;
+  EXPECT_EQ(prober.Feed("\x1b(Bplain"), ProbeState::kDetecting);
+  EXPECT_EQ(prober.Confidence(), 0.0);
+}
+
+TEST(EscapeProberTest, EightBitByteRulesOut) {
+  EscapeProber prober;
+  EXPECT_EQ(prober.Feed("abc\xA4"), ProbeState::kNotMe);
+}
+
+TEST(EscapeProberTest, UnknownEscapeRulesOut) {
+  EscapeProber prober;
+  EXPECT_EQ(prober.Feed("\x1b%G"), ProbeState::kNotMe);
+}
+
+TEST(EscapeProberTest, EscapeSplitAcrossFeeds) {
+  EscapeProber prober;
+  prober.Feed("\x1b");
+  prober.Feed("$");
+  EXPECT_EQ(prober.Feed("B"), ProbeState::kFoundIt);
+}
+
+// -------------------------------------------------------------- MBCS
+
+TEST(EucJpProberTest, AcceptsGeneratedProse) {
+  EucJpProber prober;
+  prober.Feed(Japanese(Encoding::kEucJp));
+  EXPECT_NE(prober.state(), ProbeState::kNotMe);
+  EXPECT_GT(prober.Confidence(), 0.5);
+}
+
+TEST(EucJpProberTest, RejectsSjisBytes) {
+  EucJpProber prober;
+  prober.Feed(Japanese(Encoding::kShiftJis));
+  EXPECT_EQ(prober.state(), ProbeState::kNotMe);
+}
+
+TEST(EucJpProberTest, OddRunEndsMidCharacter) {
+  EucJpProber prober;
+  prober.Feed("\xA4\xA2\xA4");  // 1.5 characters.
+  EXPECT_EQ(prober.Confidence(), 0.0);
+}
+
+TEST(ShiftJisProberTest, AcceptsGeneratedProse) {
+  ShiftJisProber prober;
+  prober.Feed(Japanese(Encoding::kShiftJis));
+  EXPECT_NE(prober.state(), ProbeState::kNotMe);
+  EXPECT_GT(prober.Confidence(), 0.4);
+}
+
+TEST(ShiftJisProberTest, HalfWidthDominatedScoresLow) {
+  ShiftJisProber prober;
+  // Pure half-width katakana bytes: valid SJIS, but the signature of a
+  // misread, not of prose.
+  prober.Feed("\xB1\xB2\xB3\xB4\xB5\xB6\xB7\xB8\xB9\xBA");
+  EXPECT_NE(prober.state(), ProbeState::kNotMe);
+  EXPECT_LT(prober.Confidence(), 0.1);
+}
+
+TEST(ShiftJisProberTest, RejectsInvalidTrail) {
+  ShiftJisProber prober;
+  EXPECT_EQ(prober.Feed("\x82\x3F"), ProbeState::kNotMe);
+}
+
+TEST(MbcsProberTest, ConfidenceGrowsWithLength) {
+  EucJpProber short_prober, long_prober;
+  short_prober.Feed(Japanese(Encoding::kEucJp, 6, 3));
+  long_prober.Feed(Japanese(Encoding::kEucJp, 400, 3));
+  EXPECT_LT(short_prober.Confidence(), long_prober.Confidence());
+}
+
+// -------------------------------------------------------------- Thai
+
+TEST(ThaiProberTest, AcceptsGeneratedProse) {
+  ThaiProber prober;
+  prober.Feed(Thai());
+  EXPECT_NE(prober.state(), ProbeState::kNotMe);
+  EXPECT_GT(prober.Confidence(), 0.5);
+  EXPECT_EQ(prober.encoding(), Encoding::kTis620);
+}
+
+TEST(ThaiProberTest, SwitchesVariantOnC1Punctuation) {
+  ThaiProber prober;
+  prober.Feed("\x93");  // windows-874 left double quote.
+  prober.Feed(Thai());
+  EXPECT_EQ(prober.encoding(), Encoding::kWindows874);
+}
+
+TEST(ThaiProberTest, RejectsGapBytes) {
+  ThaiProber prober;
+  EXPECT_EQ(prober.Feed("\xDB"), ProbeState::kNotMe);
+}
+
+TEST(ThaiProberTest, IsolatedHighBytesScoreZero) {
+  // French-like pattern: one accented byte per word.
+  ThaiProber prober;
+  prober.Feed("caf\xE9 d\xE9j\xE0 r\xEAve no\xEBl \xE9t\xE9");
+  EXPECT_EQ(prober.Confidence(), 0.0);
+}
+
+TEST(ThaiProberTest, ResetRestoresVariantAndCounts) {
+  ThaiProber prober;
+  prober.Feed("\x93");
+  ASSERT_EQ(prober.encoding(), Encoding::kWindows874);
+  prober.Reset();
+  EXPECT_EQ(prober.encoding(), Encoding::kTis620);
+  EXPECT_EQ(prober.Confidence(), 0.0);
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/frontier.h"
+#include "core/simulator.h"
+#include "tests/test_util.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+TEST(BoundedFrontierTest, BehavesLikeBucketUnderCapacity) {
+  BoundedFrontier f(3, 100);
+  f.Push(1, 0);
+  f.Push(2, 2);
+  f.Push(3, 1);
+  EXPECT_EQ(f.Pop().value(), 2u);
+  EXPECT_EQ(f.Pop().value(), 3u);
+  EXPECT_EQ(f.Pop().value(), 1u);
+  EXPECT_EQ(f.dropped_count(), 0u);
+}
+
+TEST(BoundedFrontierTest, EvictsLowestLevelNewestOnOverflow) {
+  BoundedFrontier f(2, 2);
+  f.Push(1, 0);
+  f.Push(2, 0);
+  f.Push(3, 1);  // Full: evicts URL 2 (newest of lowest level).
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.dropped_count(), 1u);
+  EXPECT_EQ(f.Pop().value(), 3u);
+  EXPECT_EQ(f.Pop().value(), 1u);
+  EXPECT_FALSE(f.Pop().has_value());
+}
+
+TEST(BoundedFrontierTest, IncomingDroppedWhenNoBetterThanVictim) {
+  BoundedFrontier f(2, 2);
+  f.Push(1, 1);
+  f.Push(2, 1);
+  f.Push(3, 0);  // Incoming is the lowest: it is the victim.
+  EXPECT_EQ(f.dropped_count(), 1u);
+  EXPECT_EQ(f.Pop().value(), 1u);
+  EXPECT_EQ(f.Pop().value(), 2u);
+  EXPECT_FALSE(f.Pop().has_value());
+}
+
+TEST(BoundedFrontierTest, SameLevelIncomingDropped) {
+  BoundedFrontier f(1, 1);
+  f.Push(1, 0);
+  f.Push(2, 0);
+  EXPECT_EQ(f.dropped_count(), 1u);
+  EXPECT_EQ(f.Pop().value(), 1u);  // FIFO head survives.
+}
+
+TEST(BoundedFrontierTest, MaxSizeNeverExceedsCapacity) {
+  BoundedFrontier f(3, 10);
+  for (PageId p = 0; p < 100; ++p) f.Push(p, static_cast<int>(p % 3));
+  EXPECT_LE(f.max_size_seen(), 10u);
+  EXPECT_EQ(f.size(), 10u);
+  EXPECT_EQ(f.dropped_count(), 90u);
+}
+
+TEST(BoundedFrontierTest, RefillAfterEvictionKeepsOrder) {
+  BoundedFrontier f(2, 3);
+  f.Push(1, 1);
+  f.Push(2, 0);
+  f.Push(3, 0);
+  f.Push(4, 1);  // Evicts 3.
+  EXPECT_EQ(f.Pop().value(), 1u);
+  EXPECT_EQ(f.Pop().value(), 4u);
+  EXPECT_EQ(f.Pop().value(), 2u);
+}
+
+TEST(BoundedSimulationTest, CapBindsQueueAndReportsDrops) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(20000));
+  ASSERT_TRUE(g.ok());
+  MetaTagClassifier classifier(Language::kThai);
+  const SoftFocusedStrategy soft;
+
+  auto unbounded = RunSimulation(*g, &classifier, soft);
+  ASSERT_TRUE(unbounded.ok());
+  ASSERT_GT(unbounded->summary.max_queue_size, 2000u);
+  EXPECT_EQ(unbounded->summary.urls_dropped, 0u);
+
+  SimulationOptions capped;
+  capped.frontier_capacity = 1000;
+  auto bounded = RunSimulation(*g, &classifier, soft, RenderMode::kNone,
+                               capped);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_LE(bounded->summary.max_queue_size, 1000u);
+  EXPECT_GT(bounded->summary.urls_dropped, 0u);
+  // Shedding costs coverage relative to the unbounded run.
+  EXPECT_LT(bounded->summary.final_coverage_pct,
+            unbounded->summary.final_coverage_pct);
+  EXPECT_GT(bounded->summary.final_coverage_pct, 10.0);
+}
+
+TEST(BoundedSimulationTest, GenerousCapChangesNothing) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(10000));
+  ASSERT_TRUE(g.ok());
+  MetaTagClassifier classifier(Language::kThai);
+  const SoftFocusedStrategy soft;
+  auto unbounded = RunSimulation(*g, &classifier, soft);
+  SimulationOptions capped;
+  capped.frontier_capacity = g->num_pages();
+  auto bounded = RunSimulation(*g, &classifier, soft, RenderMode::kNone,
+                               capped);
+  ASSERT_TRUE(unbounded.ok());
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->summary.pages_crawled,
+            unbounded->summary.pages_crawled);
+  EXPECT_EQ(bounded->summary.urls_dropped, 0u);
+  EXPECT_DOUBLE_EQ(bounded->summary.final_coverage_pct,
+                   unbounded->summary.final_coverage_pct);
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,133 @@
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "charset/codec.h"
+#include "charset/text_gen.h"
+#include "util/random.h"
+
+namespace lswc {
+namespace {
+
+FetchResponse OkResponse(Encoding meta, Language true_lang = Language::kThai,
+                         Encoding true_enc = Encoding::kTis620) {
+  FetchResponse r;
+  r.http_status = 200;
+  r.meta_charset = meta;
+  r.true_language = true_lang;
+  r.true_encoding = true_enc;
+  return r;
+}
+
+TEST(MetaTagClassifierTest, RelevantWhenDeclaredCharsetMatchesLanguage) {
+  MetaTagClassifier c(Language::kThai);
+  EXPECT_TRUE(c.Judge(OkResponse(Encoding::kTis620)).relevant);
+  EXPECT_TRUE(c.Judge(OkResponse(Encoding::kWindows874)).relevant);
+  EXPECT_FALSE(c.Judge(OkResponse(Encoding::kEucJp)).relevant);
+  EXPECT_FALSE(c.Judge(OkResponse(Encoding::kLatin1)).relevant);
+}
+
+TEST(MetaTagClassifierTest, MissingDeclarationIsIrrelevant) {
+  MetaTagClassifier c(Language::kThai);
+  const RelevanceJudgment j = c.Judge(OkResponse(Encoding::kUnknown));
+  EXPECT_FALSE(j.relevant);
+  EXPECT_EQ(j.encoding, Encoding::kUnknown);
+}
+
+TEST(MetaTagClassifierTest, TrustsWrongDeclaration) {
+  // A mislabeled page (Thai content declaring Latin-1) is judged by the
+  // declaration — the paper's observation 3 failure mode.
+  MetaTagClassifier c(Language::kThai);
+  FetchResponse r = OkResponse(Encoding::kLatin1, Language::kThai);
+  EXPECT_FALSE(c.Judge(r).relevant);
+}
+
+TEST(MetaTagClassifierTest, NonOkPagesIrrelevant) {
+  MetaTagClassifier c(Language::kThai);
+  FetchResponse r = OkResponse(Encoding::kTis620);
+  r.http_status = 404;
+  EXPECT_FALSE(c.Judge(r).relevant);
+}
+
+TEST(MetaTagClassifierTest, ParsesDeclarationOutOfBodyBytes) {
+  MetaTagClassifier c(Language::kThai);
+  FetchResponse r = OkResponse(Encoding::kUnknown);
+  r.body =
+      "<html><head><meta http-equiv=\"Content-Type\" "
+      "content=\"text/html; charset=TIS-620\"></head><body></body></html>";
+  EXPECT_TRUE(c.Judge(r).relevant);
+}
+
+TEST(MetaTagClassifierTest, BodyWithoutDeclarationIrrelevant) {
+  MetaTagClassifier c(Language::kThai);
+  FetchResponse r = OkResponse(Encoding::kTis620);  // Record says Thai...
+  r.body = "<html><head></head><body>x</body></html>";  // ...bytes do not.
+  EXPECT_FALSE(c.Judge(r).relevant);
+}
+
+TEST(DetectorClassifierTest, DetectsFromBodyBytes) {
+  DetectorClassifier c(Language::kJapanese);
+  Rng rng(1);
+  FetchResponse r = OkResponse(Encoding::kUnknown, Language::kJapanese,
+                               Encoding::kEucJp);
+  r.body = EncodeText(Encoding::kEucJp,
+                      GenerateText(Language::kJapanese, 300, &rng))
+               .value();
+  const RelevanceJudgment j = c.Judge(r);
+  EXPECT_TRUE(j.relevant);
+  EXPECT_EQ(j.encoding, Encoding::kEucJp);
+  EXPECT_GT(j.confidence, 0.2);
+}
+
+TEST(DetectorClassifierTest, EmptyBodyIrrelevant) {
+  DetectorClassifier c(Language::kJapanese);
+  EXPECT_FALSE(c.Judge(OkResponse(Encoding::kEucJp)).relevant);
+}
+
+TEST(DetectorClassifierTest, IgnoresMetaDeclaration) {
+  // The detector judges bytes, not declarations: English body declaring
+  // EUC-JP stays irrelevant.
+  DetectorClassifier c(Language::kJapanese);
+  FetchResponse r = OkResponse(Encoding::kEucJp, Language::kOther,
+                               Encoding::kAscii);
+  r.body = "<html><body>plain english text here</body></html>";
+  EXPECT_FALSE(c.Judge(r).relevant);
+}
+
+TEST(CompositeClassifierTest, MetaWinsWhenPresent) {
+  CompositeClassifier c(Language::kThai);
+  FetchResponse r = OkResponse(Encoding::kTis620);
+  EXPECT_TRUE(c.Judge(r).relevant);
+}
+
+TEST(CompositeClassifierTest, FallsBackToDetector) {
+  CompositeClassifier c(Language::kThai);
+  Rng rng(2);
+  FetchResponse r = OkResponse(Encoding::kUnknown, Language::kThai,
+                               Encoding::kTis620);
+  r.body = EncodeText(Encoding::kTis620,
+                      GenerateText(Language::kThai, 300, &rng))
+               .value();
+  EXPECT_TRUE(c.Judge(r).relevant);
+}
+
+TEST(OracleClassifierTest, ReadsGroundTruth) {
+  OracleClassifier c(Language::kThai);
+  // Even a mislabeled, undeclared page is judged correctly.
+  FetchResponse r = OkResponse(Encoding::kUnknown, Language::kThai);
+  EXPECT_TRUE(c.Judge(r).relevant);
+  r.true_language = Language::kOther;
+  EXPECT_FALSE(c.Judge(r).relevant);
+}
+
+TEST(ClassifierNamesTest, Names) {
+  EXPECT_EQ(MetaTagClassifier(Language::kThai).name(), "meta-tag(Thai)");
+  EXPECT_EQ(DetectorClassifier(Language::kJapanese).name(),
+            "charset-detector(Japanese)");
+  EXPECT_EQ(CompositeClassifier(Language::kThai).name(),
+            "meta+detector(Thai)");
+  EXPECT_EQ(OracleClassifier(Language::kThai).name(), "oracle");
+}
+
+}  // namespace
+}  // namespace lswc

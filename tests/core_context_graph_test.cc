@@ -1,0 +1,120 @@
+#include "core/context_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "tests/test_util.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+using ::lswc::testing::MakeChain;
+using ::lswc::testing::MakeGraph;
+using ::lswc::testing::PageSpec;
+
+constexpr Language kThai = Language::kThai;
+constexpr Language kOther = Language::kOther;
+
+TEST(ContextLayersTest, ChainLayers) {
+  // O -> O -> T: layers 2, 1, 0.
+  const WebGraph g = MakeChain({kOther, kOther, kThai});
+  const auto layers = ComputeContextLayers(g);
+  EXPECT_EQ(layers[0], 2);
+  EXPECT_EQ(layers[1], 1);
+  EXPECT_EQ(layers[2], 0);
+}
+
+TEST(ContextLayersTest, UnreachablePagesMarked) {
+  // 0(T) -> 1(O); 1 has no path to any target.
+  const WebGraph g = MakeGraph(
+      {PageSpec{0, kThai}, PageSpec{0, kOther}}, {{0, 1}}, {0});
+  const auto layers = ComputeContextLayers(g);
+  EXPECT_EQ(layers[0], 0);
+  EXPECT_EQ(layers[1], kUnreachableLayer);
+}
+
+TEST(ContextLayersTest, ShortestPathWins) {
+  // 0(O) -> 1(T) and 0 -> 2(O) -> 3(T): layer(0) = 1 (via 1).
+  const WebGraph g = MakeGraph(
+      {PageSpec{0, kOther}, PageSpec{0, kThai}, PageSpec{0, kOther},
+       PageSpec{0, kThai}},
+      {{0, 1}, {0, 2}, {2, 3}}, {0});
+  const auto layers = ComputeContextLayers(g);
+  EXPECT_EQ(layers[0], 1);
+  EXPECT_EQ(layers[2], 1);
+}
+
+TEST(ContextLayersTest, NonOkTargetsAreNotLayerZero) {
+  const WebGraph g = MakeGraph(
+      {PageSpec{0, kThai, /*status=*/404}, PageSpec{0, kThai}}, {{1, 0}},
+      {1});
+  const auto layers = ComputeContextLayers(g);
+  EXPECT_EQ(layers[1], 0);
+  // The dead Thai page is not a target and nothing links toward targets
+  // through it.
+  EXPECT_EQ(layers[0], kUnreachableLayer);
+}
+
+TEST(ContextLayersTest, MaxLayerCapsBfs) {
+  const WebGraph g = MakeChain({kOther, kOther, kOther, kThai});
+  const auto layers = ComputeContextLayers(g, /*max_layer=*/2);
+  EXPECT_EQ(layers[3], 0);
+  EXPECT_EQ(layers[2], 1);
+  EXPECT_EQ(layers[1], 2);
+  EXPECT_EQ(layers[0], kUnreachableLayer);  // Beyond the cap.
+}
+
+TEST(ContextGraphStrategyTest, PrioritizesLowerLayers) {
+  std::vector<uint16_t> layers{0, 1, 2, kUnreachableLayer};
+  ContextGraphStrategy strategy(layers, /*max_layer=*/2);
+  EXPECT_EQ(strategy.OnLink(ParentInfo{}, 0).priority, 2);
+  EXPECT_EQ(strategy.OnLink(ParentInfo{}, 1).priority, 1);
+  EXPECT_EQ(strategy.OnLink(ParentInfo{}, 2).priority, 0);
+  EXPECT_FALSE(strategy.OnLink(ParentInfo{}, 3).enqueue);
+  EXPECT_EQ(strategy.num_priority_levels(), 3);
+}
+
+TEST(ContextGraphStrategyTest, DiscardsBeyondMaxLayer) {
+  std::vector<uint16_t> layers{0, 3};
+  ContextGraphStrategy strategy(layers, /*max_layer=*/2);
+  EXPECT_TRUE(strategy.OnLink(ParentInfo{}, 0).enqueue);
+  EXPECT_FALSE(strategy.OnLink(ParentInfo{}, 1).enqueue);
+}
+
+TEST(ContextGraphStrategyTest, CrawlIsNearPerfectlyOrdered) {
+  // With exact layers the context crawler fetches essentially only
+  // pages on shortest paths to targets: its harvest beats soft-focused
+  // at the same budget.
+  auto g = GenerateWebGraph(ThaiLikeOptions(20000));
+  ASSERT_TRUE(g.ok());
+  MetaTagClassifier classifier(kThai);
+  ContextGraphStrategy context(ComputeContextLayers(*g), /*max_layer=*/4);
+  SimulationOptions budget;
+  budget.max_pages = 5000;
+  auto ctx = RunSimulation(*g, &classifier, context, RenderMode::kNone,
+                           budget);
+  auto soft = RunSimulation(*g, &classifier, SoftFocusedStrategy(),
+                            RenderMode::kNone, budget);
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(soft.ok());
+  EXPECT_GE(ctx->summary.final_harvest_pct,
+            soft->summary.final_harvest_pct);
+}
+
+TEST(ContextGraphStrategyTest, TunnelsWhereHardCannot) {
+  // T -> O -> O -> T: hard-focused stops at the first O; the context
+  // crawler knows the O pages lead to a target and pushes through.
+  const WebGraph g = MakeChain({kThai, kOther, kOther, kThai});
+  MetaTagClassifier classifier(kThai);
+  ContextGraphStrategy context(ComputeContextLayers(g), /*max_layer=*/4);
+  auto ctx = RunSimulation(g, &classifier, context);
+  auto hard = RunSimulation(g, &classifier, HardFocusedStrategy());
+  ASSERT_TRUE(ctx.ok());
+  ASSERT_TRUE(hard.ok());
+  EXPECT_EQ(ctx->summary.relevant_crawled, 2u);
+  EXPECT_EQ(hard->summary.relevant_crawled, 1u);
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,133 @@
+#include "core/distiller.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "tests/test_util.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+using ::lswc::testing::MakeGraph;
+using ::lswc::testing::PageSpec;
+
+constexpr Language kThai = Language::kThai;
+
+// A classic bipartite hub/authority fixture: pages 0 and 1 are hubs
+// linking to authorities 2, 3, 4; page 5 is isolated.
+WebGraph HubFixture() {
+  return MakeGraph(
+      {PageSpec{0, kThai}, PageSpec{0, kThai}, PageSpec{0, kThai},
+       PageSpec{0, kThai}, PageSpec{0, kThai}, PageSpec{0, kThai}},
+      {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}}, {0});
+}
+
+TEST(HitsTest, HubsAndAuthoritiesSeparate) {
+  const WebGraph g = HubFixture();
+  std::vector<PageId> all{0, 1, 2, 3, 4, 5};
+  auto scores = ComputeHits(g, all);
+  ASSERT_TRUE(scores.ok());
+  // Page 0 links to all three authorities; page 1 to two: hub 0 > hub 1.
+  EXPECT_GT(scores->hub[0], scores->hub[1]);
+  EXPECT_GT(scores->hub[1], 0.0);
+  // Pure authorities have ~zero hub score.
+  EXPECT_NEAR(scores->hub[2], 0.0, 1e-9);
+  // Authorities 2,3 are cited by both hubs; 4 only by hub 0.
+  EXPECT_GT(scores->authority[2], scores->authority[4]);
+  EXPECT_NEAR(scores->authority[2], scores->authority[3], 1e-9);
+  // The isolated page scores zero on both axes.
+  EXPECT_NEAR(scores->hub[5], 0.0, 1e-9);
+  EXPECT_NEAR(scores->authority[5], 0.0, 1e-9);
+}
+
+TEST(HitsTest, ScoresAreNormalized) {
+  const WebGraph g = HubFixture();
+  auto scores = ComputeHits(g, {0, 1, 2, 3, 4});
+  ASSERT_TRUE(scores.ok());
+  double hub_sq = 0, auth_sq = 0;
+  for (PageId p = 0; p < 5; ++p) {
+    hub_sq += scores->hub[p] * scores->hub[p];
+    auth_sq += scores->authority[p] * scores->authority[p];
+  }
+  EXPECT_NEAR(hub_sq, 1.0, 1e-9);
+  EXPECT_NEAR(auth_sq, 1.0, 1e-9);
+}
+
+TEST(HitsTest, SubsetRestrictsAnalysis) {
+  const WebGraph g = HubFixture();
+  // Without the authorities in the set, the hubs have nothing to point
+  // at and everything collapses to zero hub weight after normalization
+  // of an all-zero vector (scores stay 0).
+  auto scores = ComputeHits(g, {0, 1});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR(scores->authority[2], 0.0, 1e-12);  // Outside the set.
+}
+
+TEST(HitsTest, EmptySetRejected) {
+  const WebGraph g = HubFixture();
+  EXPECT_FALSE(ComputeHits(g, {}).ok());
+}
+
+TEST(HitsTest, OutOfRangePageRejected) {
+  const WebGraph g = HubFixture();
+  EXPECT_FALSE(ComputeHits(g, {99}).ok());
+}
+
+TEST(HitsTest, ConvergesAndStops) {
+  const WebGraph g = HubFixture();
+  HitsOptions options;
+  options.max_iterations = 100;
+  auto scores = ComputeHits(g, {0, 1, 2, 3, 4}, options);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_LT(scores->iterations_run, 100);
+}
+
+TEST(TopHubsTest, OrderedAndCapped) {
+  const WebGraph g = HubFixture();
+  auto scores = ComputeHits(g, {0, 1, 2, 3, 4});
+  ASSERT_TRUE(scores.ok());
+  const auto top = TopHubs(*scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(HubBoostStrategyTest, BoostsHubChildren) {
+  HubBoostStrategy strategy(10, {3});
+  // Links from the hub get the top level regardless of relevance.
+  EXPECT_EQ(strategy.OnLink(ParentInfo{3, false, 0}, 7).priority, 2);
+  EXPECT_EQ(strategy.OnLink(ParentInfo{3, true, 0}, 7).priority, 2);
+  // Otherwise soft-focused grading.
+  EXPECT_EQ(strategy.OnLink(ParentInfo{4, true, 0}, 7).priority, 1);
+  EXPECT_EQ(strategy.OnLink(ParentInfo{4, false, 0}, 7).priority, 0);
+  EXPECT_TRUE(strategy.OnLink(ParentInfo{4, false, 0}, 7).enqueue);
+  EXPECT_TRUE(strategy.is_hub(3));
+  EXPECT_FALSE(strategy.is_hub(4));
+}
+
+TEST(HubBoostStrategyTest, EndToEndPilotThenBoostedCrawl) {
+  // The distiller workflow: pilot crawl -> HITS over the crawled
+  // relevant set -> boosted re-crawl. The boosted crawl must remain a
+  // soft-family strategy (full coverage) and run end to end.
+  auto g = GenerateWebGraph(ThaiLikeOptions(10000));
+  ASSERT_TRUE(g.ok());
+  MetaTagClassifier classifier(kThai);
+  // Pilot: plain soft-focused.
+  auto pilot = RunSimulation(*g, &classifier, SoftFocusedStrategy());
+  ASSERT_TRUE(pilot.ok());
+  // Distill hubs from the relevant pages.
+  std::vector<PageId> relevant;
+  for (PageId p = 0; p < g->num_pages(); ++p) {
+    if (g->IsRelevant(p)) relevant.push_back(p);
+  }
+  auto scores = ComputeHits(*g, relevant);
+  ASSERT_TRUE(scores.ok());
+  HubBoostStrategy boosted(g->num_pages(), TopHubs(*scores, 50));
+  auto result = RunSimulation(*g, &classifier, boosted);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->summary.final_coverage_pct, 100.0);
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,100 @@
+#include "core/frontier.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(FifoFrontierTest, FifoOrderIgnoresPriority) {
+  FifoFrontier f;
+  f.Push(1, 5);
+  f.Push(2, 0);
+  f.Push(3, 9);
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.Pop().value(), 1u);
+  EXPECT_EQ(f.Pop().value(), 2u);
+  EXPECT_EQ(f.Pop().value(), 3u);
+  EXPECT_FALSE(f.Pop().has_value());
+}
+
+TEST(FifoFrontierTest, MaxSizeHighWaterMark) {
+  FifoFrontier f;
+  f.Push(1, 0);
+  f.Push(2, 0);
+  f.Pop();
+  f.Pop();
+  f.Push(3, 0);
+  EXPECT_EQ(f.max_size_seen(), 2u);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(FifoFrontierTest, EmptyPop) {
+  FifoFrontier f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.Pop().has_value());
+}
+
+TEST(BucketFrontierTest, HigherLevelPopsFirst) {
+  BucketFrontier f(3);
+  f.Push(10, 0);
+  f.Push(11, 2);
+  f.Push(12, 1);
+  f.Push(13, 2);
+  EXPECT_EQ(f.Pop().value(), 11u);  // Level 2, FIFO.
+  EXPECT_EQ(f.Pop().value(), 13u);
+  EXPECT_EQ(f.Pop().value(), 12u);  // Level 1.
+  EXPECT_EQ(f.Pop().value(), 10u);  // Level 0.
+  EXPECT_FALSE(f.Pop().has_value());
+}
+
+TEST(BucketFrontierTest, FifoWithinLevel) {
+  BucketFrontier f(2);
+  for (PageId p = 0; p < 10; ++p) f.Push(p, 1);
+  for (PageId p = 0; p < 10; ++p) EXPECT_EQ(f.Pop().value(), p);
+}
+
+TEST(BucketFrontierTest, PriorityClamped) {
+  BucketFrontier f(2);
+  f.Push(1, 99);   // Clamps to level 1.
+  f.Push(2, -5);   // Clamps to level 0.
+  EXPECT_EQ(f.Pop().value(), 1u);
+  EXPECT_EQ(f.Pop().value(), 2u);
+}
+
+TEST(BucketFrontierTest, InterleavedPushPop) {
+  BucketFrontier f(3);
+  f.Push(1, 0);
+  EXPECT_EQ(f.Pop().value(), 1u);
+  f.Push(2, 2);
+  f.Push(3, 0);
+  EXPECT_EQ(f.Pop().value(), 2u);
+  f.Push(4, 1);
+  EXPECT_EQ(f.Pop().value(), 4u);
+  EXPECT_EQ(f.Pop().value(), 3u);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.max_size_seen(), 2u);
+}
+
+TEST(BucketFrontierTest, LevelSizeAccounting) {
+  BucketFrontier f(4);
+  f.Push(1, 3);
+  f.Push(2, 3);
+  f.Push(3, 0);
+  EXPECT_EQ(f.level_size(3), 2u);
+  EXPECT_EQ(f.level_size(0), 1u);
+  EXPECT_EQ(f.level_size(1), 0u);
+  EXPECT_EQ(f.size(), 3u);
+}
+
+TEST(BucketFrontierTest, RefillHigherLevelAfterDrain) {
+  BucketFrontier f(2);
+  f.Push(1, 1);
+  EXPECT_EQ(f.Pop().value(), 1u);
+  f.Push(2, 0);
+  f.Push(3, 1);  // Level 1 refilled after being drained.
+  EXPECT_EQ(f.Pop().value(), 3u);
+  EXPECT_EQ(f.Pop().value(), 2u);
+}
+
+}  // namespace
+}  // namespace lswc

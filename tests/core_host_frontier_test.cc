@@ -1,0 +1,99 @@
+#include "core/host_frontier.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(HostFrontierTest, EmptyBehaviour) {
+  HostFrontier f(4, 2);
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.PopReady(100.0).has_value());
+  EXPECT_FALSE(f.NextReadyTime().has_value());
+}
+
+TEST(HostFrontierTest, ServesReadyHostsOnly) {
+  HostFrontier f(2, 1);
+  f.Push(10, /*host=*/0, 0);
+  f.Push(20, /*host=*/1, 0);
+  f.SetHostNextFree(0, 5.0);
+  // At t=0 only host 1 is ready.
+  EXPECT_EQ(f.PopReady(0.0).value(), 20u);
+  EXPECT_FALSE(f.PopReady(0.0).has_value());
+  EXPECT_DOUBLE_EQ(f.NextReadyTime().value(), 5.0);
+  EXPECT_EQ(f.PopReady(5.0).value(), 10u);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(HostFrontierTest, EarliestReadyHostWins) {
+  HostFrontier f(3, 1);
+  f.Push(1, 0, 0);
+  f.Push(2, 1, 0);
+  f.Push(3, 2, 0);
+  f.SetHostNextFree(0, 3.0);
+  f.SetHostNextFree(1, 1.0);
+  f.SetHostNextFree(2, 2.0);
+  EXPECT_EQ(f.PopReady(10.0).value(), 2u);
+  EXPECT_EQ(f.PopReady(10.0).value(), 3u);
+  EXPECT_EQ(f.PopReady(10.0).value(), 1u);
+}
+
+TEST(HostFrontierTest, PriorityWithinHost) {
+  HostFrontier f(1, 3);
+  f.Push(1, 0, 0);
+  f.Push(2, 0, 2);
+  f.Push(3, 0, 1);
+  f.Push(4, 0, 2);
+  EXPECT_EQ(f.PopReady(0).value(), 2u);
+  EXPECT_EQ(f.PopReady(0).value(), 4u);
+  EXPECT_EQ(f.PopReady(0).value(), 3u);
+  EXPECT_EQ(f.PopReady(0).value(), 1u);
+}
+
+TEST(HostFrontierTest, ReadyTimeMonotoneUnderUpdates) {
+  HostFrontier f(1, 1);
+  f.Push(1, 0, 0);
+  f.SetHostNextFree(0, 4.0);
+  f.SetHostNextFree(0, 2.0);  // Cannot move backwards.
+  EXPECT_DOUBLE_EQ(f.NextReadyTime().value(), 4.0);
+}
+
+TEST(HostFrontierTest, SizeAndPendingHostsAccounting) {
+  HostFrontier f(4, 2);
+  f.Push(1, 0, 0);
+  f.Push(2, 0, 1);
+  f.Push(3, 3, 0);
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.pending_hosts(), 2u);
+  EXPECT_TRUE(f.PopReady(0).has_value());
+  EXPECT_TRUE(f.PopReady(0).has_value());
+  EXPECT_TRUE(f.PopReady(0).has_value());
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.pending_hosts(), 0u);
+  EXPECT_EQ(f.max_size_seen(), 3u);
+}
+
+TEST(HostFrontierTest, HostDrainsThenRefills) {
+  HostFrontier f(1, 1);
+  f.Push(1, 0, 0);
+  EXPECT_EQ(f.PopReady(0).value(), 1u);
+  EXPECT_TRUE(f.empty());
+  f.Push(2, 0, 0);
+  EXPECT_EQ(f.PopReady(0).value(), 2u);
+}
+
+TEST(HostFrontierTest, StaleHeapEntriesDoNotDuplicate) {
+  HostFrontier f(2, 1);
+  // Repeated ready-time updates create stale heap entries; the frontier
+  // must still pop each URL exactly once.
+  for (int i = 0; i < 100; ++i) {
+    f.Push(static_cast<PageId>(i), static_cast<uint32_t>(i % 2), 0);
+    f.SetHostNextFree(static_cast<uint32_t>(i % 2), 0.0);
+  }
+  int pops = 0;
+  while (f.PopReady(1e9).has_value()) ++pops;
+  EXPECT_EQ(pops, 100);
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,99 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(ConfusionCountsTest, PrecisionRecall) {
+  ConfusionCounts c;
+  c.true_positive = 8;
+  c.false_positive = 2;
+  c.false_negative = 4;
+  c.true_negative = 6;
+  EXPECT_EQ(c.total(), 20u);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.recall(), 8.0 / 12.0);
+}
+
+TEST(ConfusionCountsTest, EmptyIsZero) {
+  ConfusionCounts c;
+  EXPECT_EQ(c.precision(), 0.0);
+  EXPECT_EQ(c.recall(), 0.0);
+}
+
+TEST(MetricsRecorderTest, HarvestAndCoverage) {
+  MetricsRecorder m(/*total_relevant=*/10, /*sample_interval=*/1);
+  m.OnPageCrawled(true, true, true, 5);
+  m.OnPageCrawled(true, false, false, 5);
+  m.OnPageCrawled(true, true, true, 5);
+  m.OnPageCrawled(false, false, false, 5);  // Non-OK fetch.
+  EXPECT_EQ(m.pages_crawled(), 4u);
+  EXPECT_EQ(m.relevant_crawled(), 2u);
+  EXPECT_DOUBLE_EQ(m.harvest_pct(), 50.0);
+  EXPECT_DOUBLE_EQ(m.coverage_pct(), 20.0);
+}
+
+TEST(MetricsRecorderTest, ConfusionOnlyCountsOkPages) {
+  MetricsRecorder m(10, 1);
+  m.OnPageCrawled(true, true, true, 0);    // TP
+  m.OnPageCrawled(true, true, false, 0);   // FN
+  m.OnPageCrawled(true, false, true, 0);   // FP
+  m.OnPageCrawled(true, false, false, 0);  // TN
+  m.OnPageCrawled(false, false, false, 0); // Not counted.
+  const ConfusionCounts& c = m.confusion();
+  EXPECT_EQ(c.true_positive, 1u);
+  EXPECT_EQ(c.false_negative, 1u);
+  EXPECT_EQ(c.false_positive, 1u);
+  EXPECT_EQ(c.true_negative, 1u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(MetricsRecorderTest, SamplingInterval) {
+  MetricsRecorder m(100, /*sample_interval=*/10);
+  for (int i = 0; i < 25; ++i) m.OnPageCrawled(true, true, true, i);
+  m.Finish(99);
+  // Samples at 10, 20, plus the final partial at 25.
+  const Series& s = m.series();
+  ASSERT_EQ(s.num_rows(), 3u);
+  EXPECT_EQ(s.x(0), 10);
+  EXPECT_EQ(s.x(1), 20);
+  EXPECT_EQ(s.x(2), 25);
+  EXPECT_EQ(s.y(2, 2), 99);  // Final queue size.
+}
+
+TEST(MetricsRecorderTest, NoDoubleFinalSampleOnExactBoundary) {
+  MetricsRecorder m(100, 10);
+  for (int i = 0; i < 20; ++i) m.OnPageCrawled(true, false, false, 0);
+  m.Finish(0);
+  EXPECT_EQ(m.series().num_rows(), 2u);
+}
+
+TEST(MetricsRecorderTest, EmptyRunStillSamplesOnce) {
+  MetricsRecorder m(100, 10);
+  m.Finish(0);
+  EXPECT_EQ(m.series().num_rows(), 1u);
+  EXPECT_EQ(m.harvest_pct(), 0.0);
+}
+
+TEST(MetricsRecorderTest, ZeroTotalRelevantCoverageIsZero) {
+  MetricsRecorder m(0, 1);
+  m.OnPageCrawled(true, false, false, 0);
+  EXPECT_EQ(m.coverage_pct(), 0.0);
+}
+
+TEST(MetricsRecorderTest, SeriesColumnsAreHarvestCoverageQueue) {
+  MetricsRecorder m(4, 1);
+  m.OnPageCrawled(true, true, true, 7);
+  m.Finish(7);
+  const Series& s = m.series();
+  EXPECT_EQ(s.y_column(0).name, "harvest_pct");
+  EXPECT_EQ(s.y_column(1).name, "coverage_pct");
+  EXPECT_EQ(s.y_column(2).name, "queue_size");
+  EXPECT_DOUBLE_EQ(s.y(0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(s.y(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(s.y(0, 2), 7.0);
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,200 @@
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace lswc {
+namespace {
+
+using ::lswc::testing::MakeChain;
+using ::lswc::testing::MakeGraph;
+using ::lswc::testing::PageSpec;
+
+constexpr Language kThai = Language::kThai;
+constexpr Language kOther = Language::kOther;
+
+SimulationResult RunSim(const WebGraph& g, const CrawlStrategy& strategy,
+                     SimulationOptions options = {}) {
+  MetaTagClassifier classifier(kThai);
+  auto r = RunSimulation(g, &classifier, strategy, RenderMode::kNone,
+                         options);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(SimulatorTest, BreadthFirstCrawlsEverythingReachable) {
+  const WebGraph g = MakeChain({kThai, kOther, kOther, kThai, kOther});
+  const SimulationResult r = RunSim(g, BreadthFirstStrategy());
+  EXPECT_EQ(r.summary.pages_crawled, 5u);
+  EXPECT_EQ(r.summary.relevant_crawled, 2u);
+  EXPECT_DOUBLE_EQ(r.summary.final_coverage_pct, 100.0);
+  EXPECT_DOUBLE_EQ(r.summary.final_harvest_pct, 40.0);
+}
+
+TEST(SimulatorTest, HardFocusedCannotTunnel) {
+  // Thai -> Other -> Thai: hard-focused crawls the first Other page (its
+  // referrer is relevant) but discards its links, losing the Thai page
+  // behind it.
+  const WebGraph g = MakeChain({kThai, kOther, kThai});
+  const SimulationResult r = RunSim(g, HardFocusedStrategy());
+  EXPECT_EQ(r.summary.pages_crawled, 2u);
+  EXPECT_EQ(r.summary.relevant_crawled, 1u);
+  EXPECT_DOUBLE_EQ(r.summary.final_coverage_pct, 50.0);
+}
+
+TEST(SimulatorTest, SoftFocusedReachesFullCoverage) {
+  const WebGraph g = MakeChain({kThai, kOther, kOther, kOther, kThai});
+  const SimulationResult r = RunSim(g, SoftFocusedStrategy());
+  EXPECT_DOUBLE_EQ(r.summary.final_coverage_pct, 100.0);
+  EXPECT_EQ(r.summary.pages_crawled, 5u);
+}
+
+// The paper's Fig 1 semantics: a relevant page behind k consecutive
+// irrelevant pages is reached iff k <= N.
+class TunnelDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TunnelDepthTest, LimitedDistanceReachesExactlyDepthN) {
+  const int n = GetParam();
+  for (int depth = 0; depth <= 5; ++depth) {
+    std::vector<Language> chain{kThai};
+    for (int i = 0; i < depth; ++i) chain.push_back(kOther);
+    chain.push_back(kThai);
+    const WebGraph g = MakeChain(chain);
+    for (bool prioritized : {false, true}) {
+      const SimulationResult r =
+          RunSim(g, LimitedDistanceStrategy(n, prioritized));
+      const bool should_reach = depth <= n;
+      EXPECT_EQ(r.summary.relevant_crawled, should_reach ? 2u : 1u)
+          << "N=" << n << " depth=" << depth
+          << " prioritized=" << prioritized;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TunnelDepthTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(SimulatorTest, LimitedDistanceNZeroMatchesHardFocused) {
+  const WebGraph g = MakeChain({kThai, kOther, kThai, kOther, kOther, kThai});
+  const SimulationResult hard = RunSim(g, HardFocusedStrategy());
+  const SimulationResult n0 = RunSim(g, LimitedDistanceStrategy(0, false));
+  EXPECT_EQ(hard.summary.pages_crawled, n0.summary.pages_crawled);
+  EXPECT_EQ(hard.summary.relevant_crawled, n0.summary.relevant_crawled);
+}
+
+TEST(SimulatorTest, EachUrlCrawledOnce) {
+  // Diamond with a cycle: 0 -> {1, 2} -> 3 -> 0.
+  const WebGraph g = MakeGraph(
+      {PageSpec{0, kThai}, PageSpec{0, kThai}, PageSpec{0, kThai},
+       PageSpec{0, kThai}},
+      {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}}, {0});
+  const SimulationResult r = RunSim(g, BreadthFirstStrategy());
+  EXPECT_EQ(r.summary.pages_crawled, 4u);  // No revisits despite cycle.
+}
+
+TEST(SimulatorTest, SoftFocusedPopsRelevantReferrersFirst) {
+  // Seed links to an irrelevant and (via a relevant page) more relevant
+  // pages; soft-focused must front-load the relevant-referrer links.
+  // 0(T) -> 1(O), 0 -> 2(T); 2 -> 3(T); 1 -> 4(T).
+  const WebGraph g = MakeGraph(
+      {PageSpec{0, kThai}, PageSpec{0, kOther}, PageSpec{0, kThai},
+       PageSpec{0, kThai}, PageSpec{0, kThai}},
+      {{0, 1}, {0, 2}, {1, 4}, {2, 3}}, {0});
+  SimulationOptions options;
+  options.max_pages = 4;  // Stop before the low-priority tail.
+  options.sample_interval = 1;
+  const SimulationResult r = RunSim(g, SoftFocusedStrategy(), options);
+  // Crawled: 0, then 1 and 2 (both priority-high from relevant referrer,
+  // FIFO), then 3 (high, from relevant 2); 4 (low, from irrelevant 1)
+  // waits beyond the budget.
+  EXPECT_EQ(r.summary.pages_crawled, 4u);
+  EXPECT_EQ(r.summary.relevant_crawled, 3u);  // 0, 2, 3 — not 4.
+}
+
+TEST(SimulatorTest, MaxPagesStopsEarly) {
+  const WebGraph g = MakeChain({kThai, kThai, kThai, kThai, kThai});
+  SimulationOptions options;
+  options.max_pages = 2;
+  const SimulationResult r = RunSim(g, BreadthFirstStrategy(), options);
+  EXPECT_EQ(r.summary.pages_crawled, 2u);
+  EXPECT_LT(r.summary.final_coverage_pct, 100.0);
+}
+
+TEST(SimulatorTest, NonOkSeedsDoNotExpand) {
+  const WebGraph g = MakeGraph(
+      {PageSpec{0, kThai, /*status=*/404}, PageSpec{0, kThai}},
+      {{0, 1}}, {0});
+  const SimulationResult r = RunSim(g, BreadthFirstStrategy());
+  // Links of non-OK pages never enter the virtual web's response, so
+  // only the dead seed is fetched.
+  EXPECT_EQ(r.summary.pages_crawled, 1u);
+  EXPECT_EQ(r.summary.relevant_crawled, 0u);
+}
+
+TEST(SimulatorTest, MisjudgedParentBlocksHardFocus) {
+  // The relevant seed's child is relevant but carries no META charset:
+  // the classifier judges it irrelevant and hard-focus drops its links.
+  const WebGraph g = MakeGraph(
+      {
+          PageSpec{0, kThai},
+          PageSpec{0, kThai, 200, Encoding::kUnknown,
+                   /*meta_matches_truth=*/false},
+          PageSpec{0, kThai},
+      },
+      {{0, 1}, {1, 2}}, {0});
+  const SimulationResult r = RunSim(g, HardFocusedStrategy());
+  EXPECT_EQ(r.summary.pages_crawled, 2u);
+  EXPECT_EQ(r.summary.relevant_crawled, 2u);  // Ground truth counts it.
+  // Classifier confusion shows the false negative.
+  EXPECT_EQ(r.summary.classifier_confusion.false_negative, 1u);
+}
+
+TEST(SimulatorTest, PrioritizedModePropagatesBestAnnotation) {
+  // Two paths to page 4(O): a short irrelevant one (via 1) and a longer
+  // all-relevant one (0 -> 2 -> 3 -> 4). FIFO order discovers 4 through
+  // the irrelevant path first and freezes the bad run-length, so 5 dies
+  // at N=1; prioritized order re-pushes 4 with the better annotation
+  // before it is crawled, so 5 survives — the Fig 7 mechanism in
+  // miniature.
+  //
+  //   0(T) -> 1(O) -> 4(O) -> 5(T)
+  //   0(T) -> 2(T) -> 3(T) -> 4
+  const WebGraph g = MakeGraph(
+      {PageSpec{0, kThai}, PageSpec{0, kOther}, PageSpec{0, kThai},
+       PageSpec{0, kThai}, PageSpec{0, kOther}, PageSpec{0, kThai}},
+      {{0, 1}, {0, 2}, {1, 4}, {2, 3}, {3, 4}, {4, 5}}, {0});
+  const SimulationResult fifo = RunSim(g, LimitedDistanceStrategy(1, false));
+  const SimulationResult prio = RunSim(g, LimitedDistanceStrategy(1, true));
+  EXPECT_EQ(fifo.summary.relevant_crawled, 3u);  // 0, 2, 3 — not 5.
+  EXPECT_EQ(prio.summary.relevant_crawled, 4u);  // 0, 2, 3 and 5.
+}
+
+TEST(SimulatorTest, SeriesEndsAtFinalState) {
+  const WebGraph g = MakeChain({kThai, kOther, kThai});
+  const SimulationResult r = RunSim(g, SoftFocusedStrategy());
+  ASSERT_GT(r.series.num_rows(), 0u);
+  EXPECT_EQ(r.series.x(r.series.num_rows() - 1),
+            static_cast<double>(r.summary.pages_crawled));
+  EXPECT_DOUBLE_EQ(r.series.LastY(1), r.summary.final_coverage_pct);
+}
+
+TEST(SimulatorTest, NoSeedsFails) {
+  WebGraphBuilder b;
+  b.AddHost(kThai);
+  b.AddPage(0, PageRecord{});
+  auto g = b.Finish();
+  ASSERT_TRUE(g.ok());
+  MetaTagClassifier classifier(kThai);
+  EXPECT_FALSE(
+      RunSimulation(*g, &classifier, BreadthFirstStrategy()).ok());
+}
+
+TEST(SimulatorTest, DuplicateSeedsCollapse) {
+  WebGraph g = MakeGraph({PageSpec{0, kThai}}, {}, {0, 0, 0});
+  const SimulationResult r = RunSim(g, BreadthFirstStrategy());
+  EXPECT_EQ(r.summary.pages_crawled, 1u);
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,169 @@
+#include "core/spilling_frontier.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/frontier.h"
+#include "core/simulator.h"
+#include "webgraph/generator.h"
+
+#include "util/random.h"
+
+namespace lswc {
+namespace {
+
+SpillingFrontier::Options TinyOptions() {
+  SpillingFrontier::Options options;
+  options.memory_budget = 16;
+  options.chunk = 8;
+  options.spill_dir = ::testing::TempDir() + "/lswc_spill_test";
+  return options;
+}
+
+TEST(SpillingFrontierTest, RejectsBadOptions) {
+  SpillingFrontier::Options options = TinyOptions();
+  options.chunk = 0;
+  EXPECT_FALSE(SpillingFrontier::Create(2, options).ok());
+  options = TinyOptions();
+  options.memory_budget = options.chunk;  // < 2 * chunk.
+  EXPECT_FALSE(SpillingFrontier::Create(2, options).ok());
+  EXPECT_FALSE(SpillingFrontier::Create(0, TinyOptions()).ok());
+}
+
+TEST(SpillingFrontierTest, FifoWithinLevelAcrossSpills) {
+  auto f = SpillingFrontier::Create(1, TinyOptions());
+  ASSERT_TRUE(f.ok());
+  // 100 pushes against a 16-URL budget: most of them hit the disk.
+  for (PageId p = 0; p < 100; ++p) (*f)->Push(p, 0);
+  EXPECT_GT((*f)->spilled_urls(), 0u);
+  EXPECT_LE((*f)->in_memory(), TinyOptions().memory_budget);
+  EXPECT_EQ((*f)->size(), 100u);
+  for (PageId p = 0; p < 100; ++p) {
+    const auto got = (*f)->Pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p) << "FIFO order broken at " << p;
+  }
+  EXPECT_FALSE((*f)->Pop().has_value());
+}
+
+TEST(SpillingFrontierTest, PriorityAcrossLevelsPreserved) {
+  auto f = SpillingFrontier::Create(3, TinyOptions());
+  ASSERT_TRUE(f.ok());
+  for (PageId p = 0; p < 30; ++p) (*f)->Push(p, static_cast<int>(p % 3));
+  // All level-2 URLs pop before level-1 before level-0.
+  int last_level = 2;
+  for (int i = 0; i < 30; ++i) {
+    const PageId url = (*f)->Pop().value();
+    const int level = static_cast<int>(url % 3);
+    EXPECT_LE(level, last_level);
+    last_level = level;
+  }
+}
+
+TEST(SpillingFrontierTest, InterleavedMatchesBucketFrontier) {
+  // Property: against any operation sequence, the spilling frontier is
+  // observationally identical to the in-memory bucket frontier.
+  auto spill = SpillingFrontier::Create(4, TinyOptions());
+  ASSERT_TRUE(spill.ok());
+  BucketFrontier reference(4);
+  Rng rng(0x5b111);
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.Bernoulli(0.55) || reference.empty()) {
+      const PageId url = static_cast<PageId>(rng.UniformUint64(1 << 20));
+      const int priority = static_cast<int>(rng.UniformUint64(4));
+      (*spill)->Push(url, priority);
+      reference.Push(url, priority);
+    } else {
+      const auto a = (*spill)->Pop();
+      const auto b = reference.Pop();
+      ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+      if (a.has_value()) {
+        ASSERT_EQ(*a, *b) << "step " << step;
+      }
+    }
+    ASSERT_EQ((*spill)->size(), reference.size());
+  }
+  // Drain both.
+  while (true) {
+    const auto a = (*spill)->Pop();
+    const auto b = reference.Pop();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    ASSERT_EQ(*a, *b);
+  }
+  EXPECT_GT((*spill)->spilled_urls(), 0u) << "test never exercised spill";
+}
+
+TEST(SpillingFrontierTest, MemoryStaysBounded) {
+  SpillingFrontier::Options options = TinyOptions();
+  options.memory_budget = 64;
+  options.chunk = 16;
+  auto f = SpillingFrontier::Create(2, options);
+  ASSERT_TRUE(f.ok());
+  Rng rng(0x5b112);
+  for (int i = 0; i < 50000; ++i) {
+    (*f)->Push(static_cast<PageId>(i),
+               static_cast<int>(rng.UniformUint64(2)));
+    ASSERT_LE((*f)->in_memory(), options.memory_budget + options.chunk);
+  }
+  EXPECT_EQ((*f)->size(), 50000u);
+  EXPECT_EQ((*f)->max_size_seen(), 50000u);
+}
+
+TEST(SpillingFrontierTest, SpillFilesCleanedUpOnDestruction) {
+  const std::string dir = ::testing::TempDir() + "/lswc_spill_cleanup";
+  SpillingFrontier::Options options = TinyOptions();
+  options.spill_dir = dir;
+  {
+    auto f = SpillingFrontier::Create(1, options);
+    ASSERT_TRUE(f.ok());
+    for (PageId p = 0; p < 1000; ++p) (*f)->Push(p, 0);
+    ASSERT_GT((*f)->spilled_urls(), 0u);
+  }
+  size_t leftovers = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir)) {
+    ++leftovers;
+  }
+  EXPECT_EQ(leftovers, 0u);
+}
+
+TEST(SpillingSimulationTest, MatchesUnboundedRunExactly) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(15000));
+  ASSERT_TRUE(g.ok());
+  MetaTagClassifier classifier(Language::kThai);
+  const SoftFocusedStrategy soft;
+  auto unbounded = RunSimulation(*g, &classifier, soft);
+  ASSERT_TRUE(unbounded.ok());
+
+  SimulationOptions options;
+  options.frontier_memory_budget = 256;  // Far below the peak queue.
+  options.spill_dir = ::testing::TempDir() + "/lswc_spill_sim";
+  auto spilled = RunSimulation(*g, &classifier, soft, RenderMode::kNone,
+                               options);
+  ASSERT_TRUE(spilled.ok()) << spilled.status();
+  // Lossless spilling: identical crawl, identical metrics.
+  EXPECT_EQ(spilled->summary.pages_crawled,
+            unbounded->summary.pages_crawled);
+  EXPECT_EQ(spilled->summary.relevant_crawled,
+            unbounded->summary.relevant_crawled);
+  EXPECT_EQ(spilled->summary.max_queue_size,
+            unbounded->summary.max_queue_size);
+  EXPECT_DOUBLE_EQ(spilled->summary.final_coverage_pct, 100.0);
+}
+
+TEST(SpillingSimulationTest, ExclusiveWithCapacity) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(500));
+  ASSERT_TRUE(g.ok());
+  MetaTagClassifier classifier(Language::kThai);
+  const SoftFocusedStrategy soft;
+  SimulationOptions options;
+  options.frontier_memory_budget = 256;
+  options.frontier_capacity = 256;
+  auto r = RunSimulation(*g, &classifier, soft, RenderMode::kNone, options);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,129 @@
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+constexpr ParentInfo RelevantParent(uint8_t annotation = 0) {
+  return ParentInfo{1, true, annotation};
+}
+constexpr ParentInfo IrrelevantParent(uint8_t annotation = 0) {
+  return ParentInfo{1, false, annotation};
+}
+
+TEST(BreadthFirstTest, AlwaysEnqueuesAtOneLevel) {
+  BreadthFirstStrategy s;
+  EXPECT_TRUE(s.OnLink(RelevantParent(), 9).enqueue);
+  EXPECT_TRUE(s.OnLink(IrrelevantParent(), 9).enqueue);
+  EXPECT_EQ(s.OnLink(RelevantParent(), 9).priority, 0);
+  EXPECT_EQ(s.num_priority_levels(), 1);
+}
+
+// Table 2, hard-focused row.
+TEST(HardFocusedTest, Table2Semantics) {
+  HardFocusedStrategy s;
+  EXPECT_TRUE(s.OnLink(RelevantParent(), 9).enqueue);
+  EXPECT_FALSE(s.OnLink(IrrelevantParent(), 9).enqueue);
+}
+
+// Table 2, soft-focused row.
+TEST(SoftFocusedTest, Table2Semantics) {
+  SoftFocusedStrategy s;
+  const LinkDecision from_relevant = s.OnLink(RelevantParent(), 9);
+  const LinkDecision from_irrelevant = s.OnLink(IrrelevantParent(), 9);
+  EXPECT_TRUE(from_relevant.enqueue);
+  EXPECT_TRUE(from_irrelevant.enqueue);
+  EXPECT_GT(from_relevant.priority, from_irrelevant.priority);
+  EXPECT_EQ(s.num_priority_levels(), 2);
+  EXPECT_EQ(s.seed_priority(), 1);
+}
+
+TEST(LimitedDistanceTest, RelevantParentResetsRun) {
+  LimitedDistanceStrategy s(2, /*prioritized=*/false);
+  const LinkDecision d = s.OnLink(RelevantParent(/*annotation=*/200), 9);
+  EXPECT_TRUE(d.enqueue);
+  EXPECT_EQ(d.annotation, 0);
+}
+
+TEST(LimitedDistanceTest, IrrelevantParentExtendsRun) {
+  LimitedDistanceStrategy s(3, false);
+  const LinkDecision d = s.OnLink(IrrelevantParent(/*annotation=*/1), 9);
+  EXPECT_TRUE(d.enqueue);
+  EXPECT_EQ(d.annotation, 2);
+}
+
+TEST(LimitedDistanceTest, RunBeyondNDiscards) {
+  LimitedDistanceStrategy s(2, false);
+  EXPECT_TRUE(s.OnLink(IrrelevantParent(0), 9).enqueue);   // Run 1.
+  EXPECT_TRUE(s.OnLink(IrrelevantParent(1), 9).enqueue);   // Run 2 == N.
+  EXPECT_FALSE(s.OnLink(IrrelevantParent(2), 9).enqueue);  // Run 3 > N.
+}
+
+TEST(LimitedDistanceTest, NZeroEqualsHardFocused) {
+  LimitedDistanceStrategy limited(0, false);
+  HardFocusedStrategy hard;
+  for (uint8_t a : {uint8_t{0}, uint8_t{1}, uint8_t{5}}) {
+    EXPECT_EQ(limited.OnLink(RelevantParent(a), 9).enqueue,
+              hard.OnLink(RelevantParent(a), 9).enqueue);
+    EXPECT_EQ(limited.OnLink(IrrelevantParent(a), 9).enqueue,
+              hard.OnLink(IrrelevantParent(a), 9).enqueue);
+  }
+}
+
+TEST(LimitedDistanceTest, NonPrioritizedUsesOneLevel) {
+  LimitedDistanceStrategy s(4, false);
+  EXPECT_EQ(s.num_priority_levels(), 1);
+  EXPECT_EQ(s.OnLink(RelevantParent(), 9).priority, 0);
+  EXPECT_EQ(s.OnLink(IrrelevantParent(2), 9).priority, 0);
+}
+
+TEST(LimitedDistanceTest, PrioritizedOrdersByDistance) {
+  LimitedDistanceStrategy s(3, /*prioritized=*/true);
+  EXPECT_EQ(s.num_priority_levels(), 4);
+  EXPECT_EQ(s.seed_priority(), 3);
+  // Closer to a relevant page -> higher priority.
+  EXPECT_EQ(s.OnLink(RelevantParent(), 9).priority, 3);
+  EXPECT_EQ(s.OnLink(IrrelevantParent(0), 9).priority, 2);
+  EXPECT_EQ(s.OnLink(IrrelevantParent(1), 9).priority, 1);
+  EXPECT_EQ(s.OnLink(IrrelevantParent(2), 9).priority, 0);
+  EXPECT_FALSE(s.OnLink(IrrelevantParent(3), 9).enqueue);
+}
+
+TEST(StrategyNamesTest, Names) {
+  EXPECT_EQ(BreadthFirstStrategy().name(), "breadth-first");
+  EXPECT_EQ(HardFocusedStrategy().name(), "hard-focused");
+  EXPECT_EQ(SoftFocusedStrategy().name(), "soft-focused");
+  EXPECT_EQ(LimitedDistanceStrategy(2, false).name(),
+            "limited-distance(N=2)");
+  EXPECT_EQ(LimitedDistanceStrategy(2, true).name(),
+            "prioritized-limited-distance(N=2)");
+}
+
+// Property sweep: for every N, the annotation a link carries equals the
+// number of consecutive irrelevant pages on its path, never exceeding N.
+class LimitedDistancePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LimitedDistancePropertyTest, AnnotationBoundedByN) {
+  const int n = GetParam();
+  LimitedDistanceStrategy s(n, true);
+  // Walk a fully irrelevant chain; it must die after exactly N hops.
+  uint8_t annotation = 0;
+  int hops = 0;
+  while (true) {
+    const LinkDecision d = s.OnLink(ParentInfo{0, false, annotation}, 9);
+    if (!d.enqueue) break;
+    annotation = d.annotation;
+    ++hops;
+    ASSERT_LE(hops, n);
+    EXPECT_EQ(annotation, hops);
+    EXPECT_EQ(d.priority, n - hops);
+  }
+  EXPECT_EQ(hops, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LimitedDistancePropertyTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace lswc

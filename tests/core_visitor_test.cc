@@ -1,0 +1,122 @@
+#include "core/visitor.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "util/series.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+using ::lswc::testing::MakeGraph;
+using ::lswc::testing::PageSpec;
+
+constexpr Language kThai = Language::kThai;
+
+class VisitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = GenerateWebGraph(ThaiLikeOptions(2000));
+    ASSERT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+  }
+  WebGraph graph_;
+};
+
+TEST_F(VisitorTest, TraceModeServesLinkDbLinks) {
+  InMemoryLinkDb db(&graph_);
+  VirtualWebSpace web(&graph_, &db, RenderMode::kNone);
+  MetaTagClassifier classifier(kThai);
+  Visitor visitor(&web, &classifier);
+  VisitResult result;
+  PageId ok_page = 0;
+  while (!graph_.page(ok_page).ok()) ++ok_page;
+  ASSERT_TRUE(visitor.Visit(ok_page, &result).ok());
+  const auto expected = graph_.outlinks(ok_page);
+  ASSERT_EQ(result.links.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.links[i], expected[i]);
+  }
+  EXPECT_EQ(visitor.visit_count(), 1u);
+}
+
+TEST_F(VisitorTest, ParseModeResolvesEveryRenderedAnchor) {
+  InMemoryLinkDb db(&graph_);
+  VirtualWebSpace web(&graph_, &db, RenderMode::kFull);
+  MetaTagClassifier classifier(kThai);
+  Visitor visitor(&web, &classifier, /*parse_html=*/true);
+  VisitResult result;
+  int checked = 0;
+  for (PageId p = 0; p < graph_.num_pages() && checked < 100; ++p) {
+    if (!graph_.page(p).ok()) continue;
+    ++checked;
+    ASSERT_TRUE(visitor.Visit(p, &result).ok()) << p;
+    const auto expected = graph_.outlinks(p);
+    ASSERT_EQ(result.links.size(), expected.size()) << "page " << p;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result.links[i], expected[i]) << "page " << p;
+    }
+  }
+  EXPECT_EQ(visitor.unresolved_links(), 0u);
+}
+
+TEST_F(VisitorTest, ParseModeWithoutFullRenderFails) {
+  InMemoryLinkDb db(&graph_);
+  VirtualWebSpace web(&graph_, &db, RenderMode::kHead);
+  MetaTagClassifier classifier(kThai);
+  Visitor visitor(&web, &classifier, /*parse_html=*/true);
+  VisitResult result;
+  PageId ok_page = 0;
+  while (!graph_.page(ok_page).ok()) ++ok_page;
+  EXPECT_EQ(visitor.Visit(ok_page, &result).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VisitorTest, OutOfRangePageIsNotFound) {
+  InMemoryLinkDb db(&graph_);
+  VirtualWebSpace web(&graph_, &db, RenderMode::kNone);
+  MetaTagClassifier classifier(kThai);
+  Visitor visitor(&web, &classifier);
+  VisitResult result;
+  EXPECT_EQ(visitor.Visit(static_cast<PageId>(graph_.num_pages()), &result)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(VisitorSmallGraphTest, NonOkPageYieldsNoLinksAndNoJudgment) {
+  const WebGraph g = MakeGraph(
+      {PageSpec{0, kThai, /*status=*/404}, PageSpec{0, kThai}}, {{1, 0}},
+      {1});
+  InMemoryLinkDb db(&g);
+  VirtualWebSpace web(&g, &db, RenderMode::kNone);
+  MetaTagClassifier classifier(kThai);
+  Visitor visitor(&web, &classifier);
+  VisitResult result;
+  ASSERT_TRUE(visitor.Visit(0, &result).ok());
+  EXPECT_FALSE(result.response.ok());
+  EXPECT_TRUE(result.links.empty());
+  EXPECT_FALSE(result.judgment.relevant);
+}
+
+TEST(MergeSeriesTest, ResamplesWithHeldFinalValues) {
+  Series a("x", {"v"});
+  a.AddRow(10, {1});
+  a.AddRow(20, {2});
+  Series b("x", {"v"});
+  b.AddRow(10, {5});
+  b.AddRow(40, {9});
+  const Series merged =
+      MergeSeriesColumns({{"a", &a}, {"b", &b}}, 0, "x", /*points=*/4);
+  ASSERT_EQ(merged.num_rows(), 4u);
+  EXPECT_EQ(merged.x(3), 40);
+  // a ended at x=20 and holds its last value through the tail.
+  EXPECT_EQ(merged.y(3, 0), 2);
+  EXPECT_EQ(merged.y(3, 1), 9);
+  // At x=10 both have their first sample.
+  EXPECT_EQ(merged.y(0, 0), 1);
+  EXPECT_EQ(merged.y(0, 1), 5);
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,182 @@
+// Deterministic fuzz-style robustness properties: the byte-facing layers
+// (tokenizer, link extractor, META prescan, charset detector, codecs,
+// URL parser) must never crash, hang, or emit out-of-contract values on
+// arbitrary input. Inputs are pseudo-random from fixed seeds, so any
+// failure is exactly reproducible.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "charset/codec.h"
+#include "charset/detector.h"
+#include "html/entity.h"
+#include "html/link_extractor.h"
+#include "html/meta_charset.h"
+#include "html/tokenizer.h"
+#include "url/url.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace lswc {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  std::string out;
+  const size_t len = rng->UniformUint64(max_len + 1);
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->UniformUint64(256)));
+  }
+  return out;
+}
+
+// Random soup biased toward markup-looking bytes to reach deeper
+// tokenizer states.
+std::string RandomMarkupish(Rng* rng, size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "<>=\"'/ abcdefghij-!&#;\xA1\xC3\x82\xE0\x1B$B";
+  std::string out;
+  const size_t len = rng->UniformUint64(max_len + 1);
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->UniformUint64(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+TEST(FuzzTokenizerTest, NeverHangsOrCrashesOnRandomBytes) {
+  Rng rng(0xF0221);
+  for (int doc = 0; doc < 300; ++doc) {
+    const std::string html =
+        doc % 2 == 0 ? RandomBytes(&rng, 2048) : RandomMarkupish(&rng, 2048);
+    HtmlTokenizer tok(html);
+    size_t last_pos = 0;
+    size_t stuck = 0;
+    while (true) {
+      const HtmlToken& t = tok.Next();
+      if (t.type == HtmlTokenType::kEndOfFile) break;
+      // Progress guarantee: position must advance (a few zero-width
+      // states are fine, but never unboundedly many).
+      if (tok.position() == last_pos) {
+        ASSERT_LT(++stuck, 4u) << "tokenizer stuck at " << last_pos
+                               << " in doc " << doc;
+      } else {
+        stuck = 0;
+      }
+      last_pos = tok.position();
+      ASSERT_LE(last_pos, html.size());
+    }
+    // EOF is stable.
+    EXPECT_EQ(tok.Next().type, HtmlTokenType::kEndOfFile);
+  }
+}
+
+TEST(FuzzLinkExtractorTest, OutputsAreAlwaysCanonicalHttpUrls) {
+  Rng rng(0xF0222);
+  for (int doc = 0; doc < 200; ++doc) {
+    const std::string html = RandomMarkupish(&rng, 4096);
+    const auto links = ExtractLinks("http://base.test/dir/x.html", html);
+    for (const ExtractedLink& link : links) {
+      auto parsed = ParseUrl(link.url);
+      ASSERT_TRUE(parsed.ok()) << link.url;
+      EXPECT_TRUE(parsed->IsAbsolute()) << link.url;
+      EXPECT_TRUE(parsed->scheme == "http" || parsed->scheme == "https")
+          << link.url;
+      EXPECT_FALSE(parsed->has_fragment) << link.url;
+    }
+  }
+}
+
+TEST(FuzzMetaCharsetTest, NeverCrashes) {
+  Rng rng(0xF0223);
+  for (int doc = 0; doc < 200; ++doc) {
+    const auto charset = ExtractMetaCharset(RandomMarkupish(&rng, 2048));
+    if (charset.has_value()) {
+      EXPECT_FALSE(charset->empty());
+    }
+  }
+}
+
+TEST(FuzzEntityTest, DecodeNeverGrowsUnboundedly) {
+  Rng rng(0xF0224);
+  for (int doc = 0; doc < 200; ++doc) {
+    const std::string text = RandomMarkupish(&rng, 1024);
+    const std::string decoded = DecodeHtmlEntities(text);
+    // Numeric references shrink or stay put; nothing can explode.
+    EXPECT_LE(decoded.size(), text.size() + 4);
+  }
+}
+
+TEST(FuzzDetectorTest, ConfidenceAlwaysInRange) {
+  Rng rng(0xF0225);
+  CharsetDetector detector;
+  for (int doc = 0; doc < 400; ++doc) {
+    const DetectionResult r = detector.Detect(RandomBytes(&rng, 4096));
+    EXPECT_GE(r.confidence, 0.0);
+    EXPECT_LE(r.confidence, 1.0);
+    if (r.confidence > 0) {
+      EXPECT_NE(r.encoding, Encoding::kUnknown);
+    }
+  }
+}
+
+TEST(FuzzCodecTest, DecodeEitherFailsOrYieldsEncodableRepertoire) {
+  Rng rng(0xF0226);
+  const Encoding encodings[] = {
+      Encoding::kEucJp,  Encoding::kShiftJis,   Encoding::kIso2022Jp,
+      Encoding::kTis620, Encoding::kWindows874, Encoding::kUtf8,
+      Encoding::kAscii,  Encoding::kLatin1,
+  };
+  for (int doc = 0; doc < 200; ++doc) {
+    const std::string bytes = RandomBytes(&rng, 512);
+    for (Encoding e : encodings) {
+      auto text = DecodeText(e, bytes);
+      if (!text.ok()) continue;  // Rejection is a fine outcome.
+      // Whatever decoded must be encodable in UTF-8 (i.e. valid scalar
+      // values) — the invariant the decode contract promises.
+      for (char32_t cp : *text) {
+        EXPECT_TRUE(CanEncode(Encoding::kUtf8, cp))
+            << "encoding " << EncodingName(e) << " produced invalid cp "
+            << static_cast<uint32_t>(cp);
+      }
+    }
+  }
+}
+
+TEST(FuzzUrlTest, CanonicalizationIsIdempotent) {
+  Rng rng(0xF0227);
+  static constexpr char kUrlAlphabet[] =
+      "abcXYZ019:/?#[]@!$&'()*+,;=-._~% {}\\^|\"<>";
+  int successes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = "http://";
+    const size_t len = rng.UniformUint64(64);
+    for (size_t k = 0; k < len; ++k) {
+      text.push_back(
+          kUrlAlphabet[rng.UniformUint64(sizeof(kUrlAlphabet) - 1)]);
+    }
+    auto once = CanonicalizeUrl(text);
+    if (!once.ok()) continue;
+    ++successes;
+    auto twice = CanonicalizeUrl(*once);
+    ASSERT_TRUE(twice.ok()) << *once;
+    EXPECT_EQ(*twice, *once) << "not idempotent for input: " << text;
+  }
+  EXPECT_GT(successes, 100);  // The generator must exercise the success path.
+}
+
+TEST(FuzzUrlTest, ResolveNeverCrashesOnRandomReferences) {
+  Rng rng(0xF0228);
+  const auto base = ParseUrl("http://host.test/a/b/c?q").value();
+  for (int i = 0; i < 2000; ++i) {
+    const std::string ref = RandomMarkupish(&rng, 64);
+    auto resolved = ResolveUrl(base, ref);
+    if (resolved.ok()) {
+      EXPECT_TRUE(resolved->IsAbsolute());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,66 @@
+#include "html/entity.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(AppendUtf8Test, AllWidths) {
+  std::string out;
+  AppendUtf8('A', &out);
+  EXPECT_EQ(out, "A");
+  out.clear();
+  AppendUtf8(0xE9, &out);  // é
+  EXPECT_EQ(out, "\xC3\xA9");
+  out.clear();
+  AppendUtf8(0x0E01, &out);  // ก
+  EXPECT_EQ(out, "\xE0\xB8\x81");
+  out.clear();
+  AppendUtf8(0x1F600, &out);  // 4-byte emoji.
+  EXPECT_EQ(out, "\xF0\x9F\x98\x80");
+}
+
+TEST(AppendUtf8Test, InvalidCodepointsBecomeReplacement) {
+  std::string out;
+  AppendUtf8(0xD800, &out);  // Surrogate.
+  AppendUtf8(0x110000, &out);  // Beyond max.
+  EXPECT_EQ(out, "\xEF\xBF\xBD\xEF\xBF\xBD");
+}
+
+TEST(DecodeEntitiesTest, NamedCore) {
+  EXPECT_EQ(DecodeHtmlEntities("a &amp; b"), "a & b");
+  EXPECT_EQ(DecodeHtmlEntities("&lt;tag&gt;"), "<tag>");
+  EXPECT_EQ(DecodeHtmlEntities("&quot;x&quot;"), "\"x\"");
+  EXPECT_EQ(DecodeHtmlEntities("&copy;"), "\xC2\xA9");
+}
+
+TEST(DecodeEntitiesTest, NumericDecimalAndHex) {
+  EXPECT_EQ(DecodeHtmlEntities("&#65;"), "A");
+  EXPECT_EQ(DecodeHtmlEntities("&#x41;"), "A");
+  EXPECT_EQ(DecodeHtmlEntities("&#X41;"), "A");
+  EXPECT_EQ(DecodeHtmlEntities("&#3585;"), "\xE0\xB8\x81");  // Thai ก.
+}
+
+TEST(DecodeEntitiesTest, MissingSemicolonOnNumericTolerated) {
+  EXPECT_EQ(DecodeHtmlEntities("&#65 x"), "A x");
+}
+
+TEST(DecodeEntitiesTest, UnknownOrMalformedPassThrough) {
+  EXPECT_EQ(DecodeHtmlEntities("&unknown;"), "&unknown;");
+  EXPECT_EQ(DecodeHtmlEntities("&amp x"), "&amp x");  // No semicolon: named needs it.
+  EXPECT_EQ(DecodeHtmlEntities("a&"), "a&");
+  EXPECT_EQ(DecodeHtmlEntities("&#;"), "&#;");
+  EXPECT_EQ(DecodeHtmlEntities("100% &&&"), "100% &&&");
+}
+
+TEST(DecodeEntitiesTest, NoEntitiesFastPath) {
+  const std::string plain = "just ordinary text without ampersands";
+  EXPECT_EQ(DecodeHtmlEntities(plain), plain);
+}
+
+TEST(DecodeEntitiesTest, EntityInUrlQuery) {
+  EXPECT_EQ(DecodeHtmlEntities("/p?a=1&amp;b=2"), "/p?a=1&b=2");
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,126 @@
+#include "html/link_extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+constexpr char kBase[] = "http://host.test/dir/page.html";
+
+TEST(LinkExtractorTest, AnchorsResolveAndNormalize) {
+  const auto links = ExtractLinks(
+      kBase,
+      "<a href=\"other.html\">x</a>"
+      "<a href=\"/abs.html\">y</a>"
+      "<a href=\"http://ext.test:80/e#frag\">z</a>");
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links[0].url, "http://host.test/dir/other.html");
+  EXPECT_EQ(links[1].url, "http://host.test/abs.html");
+  EXPECT_EQ(links[2].url, "http://ext.test/e");  // Port+fragment dropped.
+}
+
+TEST(LinkExtractorTest, AnchorText) {
+  const auto links =
+      ExtractLinks(kBase, "<a href=\"x\">  Hello   <b>World</b>! </a>");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].anchor_text, "Hello World!");
+}
+
+TEST(LinkExtractorTest, AnchorTextDisabled) {
+  LinkExtractorOptions options;
+  options.collect_anchor_text = false;
+  const auto links = ExtractLinks(kBase, "<a href=\"x\">text</a>", options);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_TRUE(links[0].anchor_text.empty());
+}
+
+TEST(LinkExtractorTest, FramesAreasAndNavLinks) {
+  const auto links = ExtractLinks(
+      kBase,
+      "<frame src=\"f.html\"><iframe src=\"i.html\"></iframe>"
+      "<area href=\"a.html\">"
+      "<link rel=\"next\" href=\"n.html\">"
+      "<link rel=\"stylesheet\" href=\"style.css\">");
+  ASSERT_EQ(links.size(), 4u);  // Stylesheet excluded.
+  EXPECT_EQ(links[0].source, LinkSource::kFrame);
+  EXPECT_EQ(links[1].source, LinkSource::kFrame);
+  EXPECT_EQ(links[2].source, LinkSource::kArea);
+  EXPECT_EQ(links[3].source, LinkSource::kLink);
+}
+
+TEST(LinkExtractorTest, MetaRefresh) {
+  const auto links = ExtractLinks(
+      kBase,
+      "<meta http-equiv=\"refresh\" content=\"5; url=/landing.html\">");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].url, "http://host.test/landing.html");
+  EXPECT_EQ(links[0].source, LinkSource::kMetaRefresh);
+}
+
+TEST(LinkExtractorTest, MetaRefreshQuotedUrl) {
+  const auto links = ExtractLinks(
+      kBase, "<meta http-equiv=refresh content=\"0;URL='next.html'\">");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].url, "http://host.test/dir/next.html");
+}
+
+TEST(LinkExtractorTest, BaseHrefRebasesSubsequentLinks) {
+  const auto links = ExtractLinks(
+      kBase,
+      "<base href=\"http://cdn.test/assets/\">"
+      "<a href=\"x.html\">x</a>");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].url, "http://cdn.test/assets/x.html");
+}
+
+TEST(LinkExtractorTest, NonHttpSchemesSkipped) {
+  const auto links = ExtractLinks(
+      kBase,
+      "<a href=\"javascript:void(0)\">j</a>"
+      "<a href=\"mailto:x@y.test\">m</a>"
+      "<a href=\"ftp://f.test/x\">f</a>"
+      "<a href=\"real.html\">r</a>");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].url, "http://host.test/dir/real.html");
+}
+
+TEST(LinkExtractorTest, EntitiesInHrefDecoded) {
+  const auto links =
+      ExtractLinks(kBase, "<a href=\"p?a=1&amp;b=2\">x</a>");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].url, "http://host.test/dir/p?a=1&b=2");
+}
+
+TEST(LinkExtractorTest, EmptyAndWhitespaceHrefsSkipped) {
+  const auto links = ExtractLinks(
+      kBase, "<a href=\"\">x</a><a href=\"   \">y</a><a>no href</a>");
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(LinkExtractorTest, MaxLinksCap) {
+  LinkExtractorOptions options;
+  options.max_links = 2;
+  const auto links = ExtractLinks(
+      kBase, "<a href=a><a href=b><a href=c><a href=d>", options);
+  EXPECT_EQ(links.size(), 2u);
+}
+
+TEST(LinkExtractorTest, MalformedBaseUrlYieldsNothing) {
+  const auto links = ExtractLinks("not a url", "<a href=x>y</a>");
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(LinkExtractorTest, LinksInsideCommentsIgnored) {
+  const auto links =
+      ExtractLinks(kBase, "<!-- <a href=ghost.html>x</a> -->");
+  EXPECT_TRUE(links.empty());
+}
+
+TEST(LinkExtractorTest, LinksInsideScriptIgnored) {
+  const auto links = ExtractLinks(
+      kBase, "<script>document.write('<a href=gen.html>');</script>");
+  EXPECT_TRUE(links.empty());
+}
+
+}  // namespace
+}  // namespace lswc

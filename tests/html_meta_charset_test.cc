@@ -1,0 +1,90 @@
+#include "html/meta_charset.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(CharsetFromContentTypeTest, Basic) {
+  EXPECT_EQ(CharsetFromContentType("text/html; charset=EUC-JP").value(),
+            "EUC-JP");
+  EXPECT_EQ(CharsetFromContentType("text/html;charset=tis-620").value(),
+            "tis-620");
+  EXPECT_EQ(
+      CharsetFromContentType("text/html; CHARSET = \"Shift_JIS\"").value(),
+      "Shift_JIS");
+  EXPECT_FALSE(CharsetFromContentType("text/html").has_value());
+  EXPECT_FALSE(CharsetFromContentType("text/html; charset=").has_value());
+}
+
+TEST(CharsetFromContentTypeTest, MultipleParameters) {
+  EXPECT_EQ(CharsetFromContentType(
+                "text/html; boundary=x; charset=utf-8; foo=bar")
+                .value(),
+            "utf-8");
+}
+
+TEST(ExtractMetaCharsetTest, Html4HttpEquiv) {
+  const char* html =
+      "<html><head>"
+      "<META http-equiv=\"Content-Type\" "
+      "content=\"text/html; charset=EUC-JP\">"
+      "</head><body>x</body></html>";
+  EXPECT_EQ(ExtractMetaCharset(html).value(), "EUC-JP");
+}
+
+TEST(ExtractMetaCharsetTest, Html5MetaCharset) {
+  EXPECT_EQ(
+      ExtractMetaCharset("<meta charset=\"utf-8\"><title>t</title>").value(),
+      "utf-8");
+}
+
+TEST(ExtractMetaCharsetTest, FirstDeclarationWins) {
+  const char* html =
+      "<meta charset=\"tis-620\">"
+      "<meta http-equiv=content-type content=\"text/html; charset=utf-8\">";
+  EXPECT_EQ(ExtractMetaCharset(html).value(), "tis-620");
+}
+
+TEST(ExtractMetaCharsetTest, NoDeclaration) {
+  EXPECT_FALSE(
+      ExtractMetaCharset("<html><head><title>x</title></head></html>")
+          .has_value());
+}
+
+TEST(ExtractMetaCharsetTest, HttpEquivCaseInsensitive) {
+  const char* html =
+      "<meta HTTP-EQUIV=\"content-TYPE\" "
+      "CONTENT=\"text/html; charset=windows-874\">";
+  EXPECT_EQ(ExtractMetaCharset(html).value(), "windows-874");
+}
+
+TEST(ExtractMetaCharsetTest, DeclarationAfterBodyIgnored) {
+  const char* html =
+      "<html><head></head><body>"
+      "<meta charset=\"utf-8\"></body></html>";
+  EXPECT_FALSE(ExtractMetaCharset(html).has_value());
+}
+
+TEST(ExtractMetaCharsetTest, OtherHttpEquivIgnored) {
+  EXPECT_FALSE(ExtractMetaCharset(
+                   "<meta http-equiv=\"refresh\" content=\"5; url=x\">")
+                   .has_value());
+}
+
+TEST(ExtractMetaCharsetTest, EmptyCharsetAttributeSkipped) {
+  EXPECT_FALSE(ExtractMetaCharset("<meta charset=\"\">").has_value());
+}
+
+TEST(ExtractMetaCharsetTest, WorksOnLegacyEncodedBytes) {
+  // The declaration itself is ASCII even when the body is TIS-620.
+  std::string html =
+      "<head><meta http-equiv=\"Content-Type\" "
+      "content=\"text/html; charset=TIS-620\"><title>";
+  html += "\xA1\xD2\xC3";  // Thai bytes.
+  html += "</title></head>";
+  EXPECT_EQ(ExtractMetaCharset(html).value(), "TIS-620");
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,144 @@
+#include "html/tokenizer.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+std::vector<HtmlToken> TokenizeAll(std::string_view html) {
+  HtmlTokenizer tok(html);
+  std::vector<HtmlToken> out;
+  while (true) {
+    const HtmlToken& t = tok.Next();
+    if (t.type == HtmlTokenType::kEndOfFile) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+TEST(TokenizerTest, SimpleDocument) {
+  const auto tokens = TokenizeAll("<html><body>Hello</body></html>");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].type, HtmlTokenType::kStartTag);
+  EXPECT_EQ(tokens[0].name, "html");
+  EXPECT_EQ(tokens[2].type, HtmlTokenType::kText);
+  EXPECT_EQ(tokens[2].text, "Hello");
+  EXPECT_EQ(tokens[3].type, HtmlTokenType::kEndTag);
+  EXPECT_EQ(tokens[3].name, "body");
+}
+
+TEST(TokenizerTest, TagNamesAreLowercased) {
+  const auto tokens = TokenizeAll("<A HREF=x>y</A>");
+  EXPECT_EQ(tokens[0].name, "a");
+  EXPECT_EQ(tokens[2].name, "a");
+}
+
+TEST(TokenizerTest, AttributeForms) {
+  const auto tokens =
+      TokenizeAll("<a href=\"double\" alt='single' id=bare checked>");
+  ASSERT_EQ(tokens.size(), 1u);
+  const HtmlToken& t = tokens[0];
+  ASSERT_EQ(t.attributes.size(), 4u);
+  EXPECT_EQ(*t.FindAttribute("href"), "double");
+  EXPECT_EQ(*t.FindAttribute("alt"), "single");
+  EXPECT_EQ(*t.FindAttribute("id"), "bare");
+  ASSERT_NE(t.FindAttribute("checked"), nullptr);
+  EXPECT_FALSE(t.attributes[3].has_value);
+  EXPECT_EQ(t.FindAttribute("missing"), nullptr);
+}
+
+TEST(TokenizerTest, AttributeNamesCaseFoldedValuesNot) {
+  const auto tokens = TokenizeAll("<META HTTP-EQUIV=\"Content-Type\">");
+  EXPECT_EQ(*tokens[0].FindAttribute("http-equiv"), "Content-Type");
+}
+
+TEST(TokenizerTest, SelfClosingTag) {
+  const auto tokens = TokenizeAll("<br/><img src=x />");
+  EXPECT_TRUE(tokens[0].self_closing);
+  EXPECT_TRUE(tokens[1].self_closing);
+  EXPECT_EQ(*tokens[1].FindAttribute("src"), "x");
+}
+
+TEST(TokenizerTest, Comments) {
+  const auto tokens = TokenizeAll("a<!-- <a href=x> not a link -->b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, HtmlTokenType::kComment);
+  EXPECT_EQ(tokens[1].text, " <a href=x> not a link ");
+}
+
+TEST(TokenizerTest, UnterminatedCommentConsumesRest) {
+  const auto tokens = TokenizeAll("a<!-- open forever <b>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].type, HtmlTokenType::kComment);
+}
+
+TEST(TokenizerTest, Doctype) {
+  const auto tokens = TokenizeAll("<!DOCTYPE html><p>");
+  EXPECT_EQ(tokens[0].type, HtmlTokenType::kDoctype);
+  EXPECT_EQ(tokens[1].name, "p");
+}
+
+TEST(TokenizerTest, ScriptContentIsNotParsed) {
+  const auto tokens =
+      TokenizeAll("<script>if (a<b) { x = \"<a href='fake'>\"; }</script>ok");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].name, "script");
+  EXPECT_EQ(tokens[1].type, HtmlTokenType::kText);
+  EXPECT_NE(tokens[1].text.find("fake"), std::string_view::npos);
+  EXPECT_EQ(tokens[2].type, HtmlTokenType::kEndTag);
+}
+
+TEST(TokenizerTest, ScriptEndTagCaseInsensitive) {
+  const auto tokens = TokenizeAll("<SCRIPT>x</ScRiPt>done");
+  EXPECT_EQ(tokens.back().type, HtmlTokenType::kText);
+  EXPECT_EQ(tokens.back().text, "done");
+}
+
+TEST(TokenizerTest, UnterminatedScriptIsAllText) {
+  const auto tokens = TokenizeAll("<script>never ends");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].type, HtmlTokenType::kText);
+  EXPECT_EQ(tokens[1].text, "never ends");
+}
+
+TEST(TokenizerTest, LoneLessThanIsText) {
+  const auto tokens = TokenizeAll("a < b and c<1");
+  for (const auto& t : tokens) EXPECT_EQ(t.type, HtmlTokenType::kText);
+}
+
+TEST(TokenizerTest, TrailingLessThanAtEof) {
+  const auto tokens = TokenizeAll("abc<");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].text, "<");
+}
+
+TEST(TokenizerTest, UnterminatedTagAtEof) {
+  const auto tokens = TokenizeAll("<a href=\"x");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(*tokens[0].FindAttribute("href"), "x");
+}
+
+TEST(TokenizerTest, BogusBangMarkupSkipped) {
+  const auto tokens = TokenizeAll("<![CDATA[junk]]>after");
+  EXPECT_EQ(tokens.back().type, HtmlTokenType::kText);
+  EXPECT_EQ(tokens.back().text, "after");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  HtmlTokenizer tok("");
+  EXPECT_EQ(tok.Next().type, HtmlTokenType::kEndOfFile);
+  EXPECT_EQ(tok.Next().type, HtmlTokenType::kEndOfFile);  // Stable at EOF.
+}
+
+TEST(TokenizerTest, HighBytesPassThroughText) {
+  // TIS-620 Thai bytes in text must survive tokenization untouched.
+  const std::string html = "<p>\xA1\xD2\xC3</p>";
+  const auto tokens = TokenizeAll(html);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "\xA1\xD2\xC3");
+}
+
+}  // namespace
+}  // namespace lswc

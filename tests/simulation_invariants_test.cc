@@ -1,0 +1,100 @@
+// Cross-strategy invariants over randomly generated web spaces,
+// parameterized over seeds — the property-test layer above the
+// hand-crafted simulator tests.
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+class InvariantTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    auto options = ThaiLikeOptions(15000, GetParam());
+    auto g = GenerateWebGraph(options);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+  }
+
+  SimulationResult Run(const CrawlStrategy& strategy) {
+    MetaTagClassifier classifier(Language::kThai);
+    auto r = RunSimulation(graph_, &classifier, strategy);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+
+  WebGraph graph_;
+};
+
+// Soft-focused never discards, the log is seed-reachable by
+// construction: coverage must be exactly 100% for every seed.
+TEST_P(InvariantTest, SoftFocusedAlwaysFullCoverage) {
+  const SimulationResult soft = Run(SoftFocusedStrategy());
+  EXPECT_DOUBLE_EQ(soft.summary.final_coverage_pct, 100.0);
+  EXPECT_EQ(soft.summary.pages_crawled, graph_.num_pages());
+}
+
+// Soft-focused and breadth-first crawl the same set (everything), so
+// their final harvest must agree exactly.
+TEST_P(InvariantTest, SoftAndBfsSameFinalHarvest) {
+  const SimulationResult soft = Run(SoftFocusedStrategy());
+  const SimulationResult bfs = Run(BreadthFirstStrategy());
+  EXPECT_DOUBLE_EQ(soft.summary.final_harvest_pct,
+                   bfs.summary.final_harvest_pct);
+  EXPECT_EQ(soft.summary.pages_crawled, bfs.summary.pages_crawled);
+}
+
+// Prioritized limited distance computes minimal irrelevant-run closures,
+// which grow monotonically with N; hard-focused (N = 0 semantics) is the
+// floor and soft-focused the ceiling.
+TEST_P(InvariantTest, PrioritizedCoverageMonotoneInN) {
+  const SimulationResult hard = Run(HardFocusedStrategy());
+  double prev = hard.summary.final_coverage_pct;
+  uint64_t prev_crawled = hard.summary.pages_crawled;
+  for (int n = 1; n <= 4; ++n) {
+    const SimulationResult cur = Run(LimitedDistanceStrategy(n, true));
+    EXPECT_GE(cur.summary.final_coverage_pct, prev) << "N=" << n;
+    EXPECT_GE(cur.summary.pages_crawled, prev_crawled) << "N=" << n;
+    prev = cur.summary.final_coverage_pct;
+    prev_crawled = cur.summary.pages_crawled;
+  }
+  EXPECT_LE(prev, 100.0);
+}
+
+// Harvest can never exceed 100 nor fall below the dataset's base rate
+// at full coverage; queue high-water marks are bounded by pages.
+TEST_P(InvariantTest, MetricsStayInRange) {
+  for (int n = 0; n <= 3; ++n) {
+    const SimulationResult r = Run(LimitedDistanceStrategy(n, false));
+    EXPECT_GE(r.summary.final_harvest_pct, 0.0);
+    EXPECT_LE(r.summary.final_harvest_pct, 100.0);
+    EXPECT_GE(r.summary.final_coverage_pct, 0.0);
+    EXPECT_LE(r.summary.final_coverage_pct, 100.0);
+    EXPECT_LE(r.summary.max_queue_size, graph_.num_pages());
+    EXPECT_LE(r.summary.relevant_crawled, r.summary.pages_crawled);
+    // Coverage series is non-decreasing.
+    for (size_t i = 1; i < r.series.num_rows(); ++i) {
+      ASSERT_GE(r.series.y(i, 1), r.series.y(i - 1, 1)) << "row " << i;
+    }
+  }
+}
+
+// The crawled count equals relevant + irrelevant fetches and never
+// exceeds the dataset.
+TEST_P(InvariantTest, AccountingAddsUp) {
+  const SimulationResult r = Run(LimitedDistanceStrategy(2, true));
+  EXPECT_LE(r.summary.pages_crawled, graph_.num_pages());
+  EXPECT_LE(r.summary.ok_pages_crawled, r.summary.pages_crawled);
+  const ConfusionCounts& c = r.summary.classifier_confusion;
+  EXPECT_EQ(c.total(), r.summary.ok_pages_crawled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantTest,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull,
+                                           55ull));
+
+}  // namespace
+}  // namespace lswc

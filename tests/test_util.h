@@ -1,0 +1,85 @@
+#ifndef LSWC_TESTS_TEST_UTIL_H_
+#define LSWC_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "webgraph/graph.h"
+
+namespace lswc::testing {
+
+/// Terse page spec for hand-built graphs. One host per `host` value, in
+/// first-appearance order; pages listed host-contiguously.
+struct PageSpec {
+  uint32_t host = 0;
+  Language lang = Language::kOther;
+  uint16_t status = 200;
+  /// Declared META charset; kUnknown = none. The true encoding is picked
+  /// to match the language (TIS-620 / EUC-JP / ASCII).
+  Encoding meta = Encoding::kAscii;
+  bool meta_matches_truth = true;
+};
+
+/// Builds a WebGraph from page specs + links + seeds. Host languages are
+/// taken from each host's first page. The target language defaults to
+/// Thai.
+///
+/// Link pairs must be sorted by source (builder CSR order) — keep them
+/// in page order in the test.
+inline WebGraph MakeGraph(
+    std::vector<PageSpec> pages,
+    std::vector<std::pair<PageId, PageId>> links,
+    std::vector<PageId> seeds, Language target = Language::kThai) {
+  WebGraphBuilder builder;
+  builder.SetTargetLanguage(target);
+  builder.SetGeneratorSeed(42);
+  uint32_t current_host = UINT32_MAX;
+  for (const PageSpec& spec : pages) {
+    if (spec.host != current_host) {
+      current_host = spec.host;
+      builder.AddHost(spec.lang);
+    }
+    PageRecord rec;
+    rec.http_status = spec.status;
+    rec.language = spec.lang;
+    switch (spec.lang) {
+      case Language::kThai:
+        rec.true_encoding = Encoding::kTis620;
+        break;
+      case Language::kJapanese:
+        rec.true_encoding = Encoding::kEucJp;
+        break;
+      default:
+        rec.true_encoding = Encoding::kAscii;
+        break;
+    }
+    rec.meta_charset =
+        spec.meta_matches_truth ? rec.true_encoding : spec.meta;
+    rec.content_chars = 200;
+    builder.AddPage(spec.host, rec);
+  }
+  for (const auto& [from, to] : links) builder.AddLink(from, to);
+  for (PageId seed : seeds) builder.AddSeed(seed);
+  auto graph = builder.Finish();
+  return std::move(graph).value();
+}
+
+/// A chain of pages languages[0] -> languages[1] -> ... on one host,
+/// seeded at page 0. The canonical tunneling fixture.
+inline WebGraph MakeChain(std::vector<Language> languages,
+                          Language target = Language::kThai) {
+  std::vector<PageSpec> pages;
+  std::vector<std::pair<PageId, PageId>> links;
+  for (size_t i = 0; i < languages.size(); ++i) {
+    pages.push_back(PageSpec{0, languages[i]});
+    if (i + 1 < languages.size()) {
+      links.emplace_back(static_cast<PageId>(i), static_cast<PageId>(i + 1));
+    }
+  }
+  return MakeGraph(std::move(pages), std::move(links), {0}, target);
+}
+
+}  // namespace lswc::testing
+
+#endif  // LSWC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,34 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(LoggingTest, LevelNamesAndThreshold) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kFatal), "FATAL");
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ LSWC_CHECK(1 == 2) << "impossible"; }, "Check failed");
+  EXPECT_DEATH({ LSWC_CHECK_EQ(3, 4); }, "Check failed");
+  EXPECT_DEATH({ LSWC_CHECK_LT(5, 4); }, "Check failed");
+}
+
+TEST(LoggingTest, PassingChecksAreSilentNoops) {
+  LSWC_CHECK(true) << "never evaluated";
+  LSWC_CHECK_EQ(1, 1);
+  LSWC_CHECK_GE(2, 2);
+  LSWC_CHECK_NE(1, 2);
+  LSWC_CHECK_LE(1, 2);
+  LSWC_CHECK_GT(2, 1);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,152 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 6000; ++i) ++counts[rng.UniformUint64(6)];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 800) << "residue " << v;
+    EXPECT_LT(c, 1200) << "residue " << v;
+  }
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(17);
+  // Mean of failures-before-success is (1-p)/p = 4 for p = 0.2.
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Geometric(0.2));
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Mix64Test, DeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+  // Avalanche sanity: flipping one input bit flips ~half the output bits.
+  int total = 0;
+  for (uint64_t k = 0; k < 64; ++k) {
+    total += __builtin_popcountll(Mix64(1) ^ Mix64(1 ^ (1ull << k)));
+  }
+  EXPECT_GT(total / 64, 20);
+  EXPECT_LT(total / 64, 44);
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, RanksAreInRangeAndMonotonicallyPopular) {
+  const double s = GetParam();
+  Rng rng(31);
+  ZipfDistribution zipf(s, 1000);
+  std::vector<int> counts(1000, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t r = zipf.Sample(&rng);
+    ASSERT_LT(r, 1000u);
+    ++counts[r];
+  }
+  // Rank 0 strictly most popular; counts decay.
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[9], counts[99]);
+  // Check the frequency ratio against the power law within tolerance:
+  // count(r) ~ r^-s, so count(1)/count(7) ~ 8^s (ranks are 0-based).
+  const double expected = std::pow(8.0, s);
+  const double actual =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[7]);
+  EXPECT_NEAR(actual / expected, 1.0, 0.25) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfTest,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5, 2.0));
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  Rng rng(37);
+  ZipfDistribution zipf(1.1, 1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace lswc

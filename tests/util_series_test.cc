@@ -1,0 +1,74 @@
+#include "util/series.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(SeriesTest, RowsAndAccessors) {
+  Series s("x", {"a", "b"});
+  s.AddRow(1, {10, 100});
+  s.AddRow(2, {20, 200});
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.x(1), 2);
+  EXPECT_EQ(s.y(1, 1), 200);
+  EXPECT_EQ(s.y_column(0).name, "a");
+  EXPECT_EQ(s.LastY(0), 20);
+  EXPECT_EQ(s.MaxY(1), 200);
+}
+
+TEST(SeriesTest, EmptySeries) {
+  Series s("x", {"a"});
+  EXPECT_EQ(s.LastY(0), 0.0);
+  EXPECT_EQ(s.MaxY(0), 0.0);
+  EXPECT_EQ(s.num_rows(), 0u);
+}
+
+TEST(SeriesTest, WriteDatFormat) {
+  Series s("pages", {"harvest", "coverage"});
+  s.AddRow(1000, {60.5, 10.25});
+  std::ostringstream os;
+  s.WriteDat(os);
+  EXPECT_EQ(os.str(), "# pages harvest coverage\n1000 60.5 10.25\n");
+}
+
+TEST(SeriesTest, WriteDatFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lswc_series_test.dat")
+          .string();
+  Series s("x", {"y"});
+  s.AddRow(1, {2});
+  ASSERT_TRUE(s.WriteDatFile(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# x y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1 2");
+  std::remove(path.c_str());
+}
+
+TEST(SeriesTest, WriteDatFileFailsOnBadPath) {
+  Series s("x", {"y"});
+  EXPECT_FALSE(s.WriteDatFile("/nonexistent-dir/foo.dat").ok());
+}
+
+TEST(SeriesTest, ToTableStrideKeepsLastRow) {
+  Series s("x", {"y"});
+  for (int i = 0; i < 10; ++i) s.AddRow(i, {static_cast<double>(i * i)});
+  const std::string table = s.ToTable(4);
+  // Header + rows 0, 4, 8 + final row 9.
+  EXPECT_NE(table.find("81"), std::string::npos);  // Last row present.
+  int lines = 0;
+  for (char c : table) lines += (c == '\n');
+  EXPECT_EQ(lines, 5);
+}
+
+}  // namespace
+}  // namespace lswc

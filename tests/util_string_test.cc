@@ -1,0 +1,98 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(StringUtilTest, AsciiCase) {
+  EXPECT_EQ(AsciiToLower('A'), 'a');
+  EXPECT_EQ(AsciiToLower('z'), 'z');
+  EXPECT_EQ(AsciiToLower('0'), '0');
+  EXPECT_EQ(AsciiToUpper('a'), 'A');
+  EXPECT_EQ(AsciiStrToLower("Shift_JIS"), "shift_jis");
+  EXPECT_EQ(AsciiStrToUpper("euc-jp"), "EUC-JP");
+}
+
+TEST(StringUtilTest, NonAsciiBytesUntouchedByCaseFolding) {
+  // 0xC3 0x89 is UTF-8 'É'; ASCII folding must not mangle it.
+  const std::string s = "\xC3\x89";
+  EXPECT_EQ(AsciiStrToLower(s), s);
+}
+
+TEST(StringUtilTest, CharClasses) {
+  EXPECT_TRUE(IsAsciiSpace(' '));
+  EXPECT_TRUE(IsAsciiSpace('\t'));
+  EXPECT_TRUE(IsAsciiSpace('\r'));
+  EXPECT_FALSE(IsAsciiSpace('x'));
+  EXPECT_TRUE(IsAsciiDigit('7'));
+  EXPECT_FALSE(IsAsciiDigit('a'));
+  EXPECT_TRUE(IsAsciiAlpha('Q'));
+  EXPECT_TRUE(IsAsciiAlnum('9'));
+  EXPECT_TRUE(IsAsciiHexDigit('f'));
+  EXPECT_TRUE(IsAsciiHexDigit('B'));
+  EXPECT_FALSE(IsAsciiHexDigit('g'));
+  EXPECT_EQ(HexDigitValue('a'), 10);
+  EXPECT_EQ(HexDigitValue('F'), 15);
+  EXPECT_EQ(HexDigitValue('z'), -1);
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("EUC-JP", "euc-jp"));
+  EXPECT_FALSE(EqualsIgnoreCase("EUC-JP", "euc-jp2"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://x", "http://"));
+  EXPECT_TRUE(EndsWith("page.html", ".html"));
+  EXPECT_FALSE(EndsWith("page.htm", ".html"));
+  EXPECT_TRUE(StartsWithIgnoreCase("HTTP://X", "http://"));
+}
+
+TEST(StringUtilTest, Strip) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyTokens) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  EXPECT_EQ(ParseUint64("0").value(), 0u);
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(), UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());  // Overflow.
+  EXPECT_FALSE(ParseUint64("").has_value());
+  EXPECT_FALSE(ParseUint64("12x").has_value());
+  EXPECT_FALSE(ParseUint64("-1").has_value());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").value(), -2000.0);
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("p%u.html", 42u), "p42.html");
+  EXPECT_EQ(StringPrintf("%.1f%%", 12.34), "12.3%");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,112 @@
+#include "webgraph/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+using ::lswc::testing::MakeGraph;
+using ::lswc::testing::PageSpec;
+
+constexpr Language kThai = Language::kThai;
+constexpr Language kOther = Language::kOther;
+
+// 0(T) -> 1(T), 0 -> 2(O), 2 -> 3(T), 2 -> 2(O self).
+WebGraph Fixture() {
+  return MakeGraph(
+      {PageSpec{0, kThai}, PageSpec{0, kThai}, PageSpec{0, kOther},
+       PageSpec{0, kThai}},
+      {{0, 1}, {0, 2}, {2, 2}, {2, 3}}, {0});
+}
+
+TEST(LocalityTest, CountsByParentChildClass) {
+  const LocalityStats s = ComputeLocality(Fixture());
+  EXPECT_EQ(s.rel_to_rel, 1u);  // 0->1.
+  EXPECT_EQ(s.rel_to_irr, 1u);  // 0->2.
+  EXPECT_EQ(s.irr_to_rel, 1u);  // 2->3.
+  EXPECT_EQ(s.irr_to_irr, 1u);  // 2->2.
+  EXPECT_DOUBLE_EQ(s.p_rel_given_rel(), 0.5);
+  EXPECT_DOUBLE_EQ(s.p_rel_given_irr(), 0.5);
+  EXPECT_DOUBLE_EQ(s.p_rel_base(), 0.5);
+  EXPECT_EQ(s.total(), 4u);
+}
+
+TEST(LocalityTest, DeadParentsDoNotCount) {
+  const WebGraph g = MakeGraph(
+      {PageSpec{0, kThai, /*status=*/404}, PageSpec{0, kThai}}, {{1, 0}},
+      {1});
+  const LocalityStats s = ComputeLocality(g);
+  // Only 1->0 counts; the dead page's (empty) outlinks contribute none.
+  EXPECT_EQ(s.total(), 1u);
+  // Link target 0 is Thai *by language*, even though it is dead.
+  EXPECT_EQ(s.rel_to_rel, 1u);
+}
+
+TEST(InlinkTest, ClassifiesRelevantPagesByReferrers) {
+  const InlinkStats s = ComputeInlinkStats(Fixture());
+  EXPECT_EQ(s.relevant_pages, 3u);           // 0, 1, 3.
+  EXPECT_EQ(s.no_referrers, 1u);             // 0 (the seed).
+  EXPECT_EQ(s.with_relevant_referrer, 1u);   // 1.
+  EXPECT_EQ(s.only_irrelevant_referrers, 1u);  // 3, behind page 2.
+}
+
+TEST(InlinkTest, HistogramCountsAllPages) {
+  const InlinkStats s = ComputeInlinkStats(Fixture());
+  uint64_t total = 0;
+  for (uint64_t c : s.in_degree_histogram) total += c;
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(s.in_degree_histogram[0], 1u);  // Page 0.
+  EXPECT_EQ(s.in_degree_histogram[1], 2u);  // Pages 1 and 3.
+  EXPECT_EQ(s.in_degree_histogram[2], 1u);  // Page 2 (0->2 and self).
+}
+
+TEST(DeclarationTest, SplitsDeclaredUndeclaredMislabeled) {
+  const WebGraph g = MakeGraph(
+      {
+          PageSpec{0, kThai},  // Correctly declared TIS-620.
+          PageSpec{0, kThai, 200, Encoding::kUnknown, false},  // Undeclared.
+          PageSpec{0, kThai, 200, Encoding::kLatin1, false},   // Mislabeled.
+          PageSpec{0, kOther},                                 // Not counted.
+          PageSpec{0, kThai, 404},                             // Dead.
+      },
+      {}, {0});
+  const DeclarationStats s = ComputeDeclarationStats(g);
+  EXPECT_EQ(s.relevant_pages, 3u);
+  EXPECT_EQ(s.correctly_declared, 1u);
+  EXPECT_EQ(s.undeclared, 1u);
+  EXPECT_EQ(s.mislabeled, 1u);
+  EXPECT_EQ(s.language_neutral_encoding, 0u);
+}
+
+TEST(DegreeTest, MeansAndMaxima) {
+  const DegreeStats s = ComputeDegreeStats(Fixture());
+  EXPECT_DOUBLE_EQ(s.mean_out_degree, 1.0);  // 4 links / 4 OK pages.
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_in_degree, 2u);  // Page 2: from 0 and itself.
+  EXPECT_DOUBLE_EQ(s.mean_in_degree, 1.0);
+  EXPECT_DOUBLE_EQ(s.in_degree_one_fraction, 0.5);  // Pages 1 and 3.
+}
+
+TEST(AnalysisOnGeneratedGraphTest, Section3ObservationsHold) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(50000));
+  ASSERT_TRUE(g.ok());
+  // Observation 1: Thai pages mostly linked by Thai pages.
+  const LocalityStats loc = ComputeLocality(*g);
+  EXPECT_GT(loc.p_rel_given_rel(), loc.p_rel_base() + 0.2);
+  // Observation 2: some Thai pages reachable only via non-Thai pages.
+  const InlinkStats in = ComputeInlinkStats(*g);
+  EXPECT_GT(in.only_irrelevant_referrers, 0u);
+  EXPECT_GT(in.with_relevant_referrer, in.only_irrelevant_referrers);
+  // Observation 3: some Thai pages mislabeled / undeclared.
+  const DeclarationStats decl = ComputeDeclarationStats(*g);
+  EXPECT_GT(decl.mislabeled, 0u);
+  EXPECT_GT(decl.undeclared, 0u);
+  EXPECT_GT(decl.correctly_declared,
+            decl.mislabeled + decl.undeclared);
+}
+
+}  // namespace
+}  // namespace lswc

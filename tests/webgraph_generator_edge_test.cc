@@ -1,0 +1,158 @@
+// Generator behaviour at the edges of its option space: every extreme
+// must still produce a structurally valid, seed-reachable crawl log.
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+// Structural validation shared by all edge cases.
+void ExpectValid(const SyntheticWebOptions& options) {
+  auto g = GenerateWebGraph(options);
+  ASSERT_TRUE(g.ok()) << g.status();
+  ASSERT_EQ(g->num_pages(), options.num_pages);
+  ASSERT_FALSE(g->seeds().empty());
+  // Links in range, non-OK pages linkless.
+  for (PageId p = 0; p < g->num_pages(); ++p) {
+    if (!g->page(p).ok()) {
+      ASSERT_TRUE(g->outlinks(p).empty()) << p;
+    }
+    for (PageId c : g->outlinks(p)) ASSERT_LT(c, g->num_pages());
+  }
+  // Reachability from the seeds (the crawl-log property).
+  std::vector<bool> reached(g->num_pages(), false);
+  std::deque<PageId> queue;
+  for (PageId s : g->seeds()) {
+    reached[s] = true;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const PageId p = queue.front();
+    queue.pop_front();
+    if (!g->page(p).ok()) continue;
+    for (PageId c : g->outlinks(p)) {
+      if (!reached[c]) {
+        reached[c] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  for (PageId p = 0; p < g->num_pages(); ++p) {
+    ASSERT_TRUE(reached[p]) << "page " << p << " unreachable";
+  }
+}
+
+TEST(GeneratorEdgeTest, SingleHost) {
+  SyntheticWebOptions o;
+  o.num_pages = 500;
+  o.num_hosts = 1;
+  ExpectValid(o);
+}
+
+TEST(GeneratorEdgeTest, OnePagePerHost) {
+  SyntheticWebOptions o;
+  o.num_pages = 200;
+  o.num_hosts = 200;
+  ExpectValid(o);
+}
+
+TEST(GeneratorEdgeTest, EveryPageUtf8) {
+  SyntheticWebOptions o;
+  o.num_pages = 2000;
+  o.num_hosts = 50;
+  o.utf8_rate = 1.0;
+  auto g = GenerateWebGraph(o);
+  ASSERT_TRUE(g.ok());
+  for (PageId p = 0; p < g->num_pages(); ++p) {
+    if (g->page(p).language == o.target_language) {
+      EXPECT_EQ(g->page(p).true_encoding, Encoding::kUtf8) << p;
+    }
+  }
+}
+
+TEST(GeneratorEdgeTest, NoMetaAnywhere) {
+  SyntheticWebOptions o;
+  o.num_pages = 2000;
+  o.num_hosts = 50;
+  o.missing_meta_rate = 1.0;
+  auto g = GenerateWebGraph(o);
+  ASSERT_TRUE(g.ok());
+  for (PageId p = 0; p < g->num_pages(); ++p) {
+    EXPECT_EQ(g->page(p).meta_charset, Encoding::kUnknown) << p;
+  }
+}
+
+TEST(GeneratorEdgeTest, NoDeadPages) {
+  SyntheticWebOptions o;
+  o.num_pages = 2000;
+  o.num_hosts = 50;
+  o.non_ok_rate = 0.0;
+  auto g = GenerateWebGraph(o);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ComputeStats().ok_html_pages, g->num_pages());
+}
+
+TEST(GeneratorEdgeTest, MinimumOutDegree) {
+  SyntheticWebOptions o;
+  o.num_pages = 2000;
+  o.num_hosts = 50;
+  o.mean_out_degree = 1.0;
+  ExpectValid(o);
+}
+
+TEST(GeneratorEdgeTest, AllHostsTargetLanguage) {
+  SyntheticWebOptions o;
+  o.num_pages = 2000;
+  o.num_hosts = 50;
+  o.target_host_fraction = 1.0;
+  auto g = GenerateWebGraph(o);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->ComputeStats().relevance_ratio(), 0.80);
+}
+
+TEST(GeneratorEdgeTest, NoTargetHostsBeyondThePinnedPortal) {
+  SyntheticWebOptions o;
+  o.num_pages = 2000;
+  o.num_hosts = 50;
+  o.target_host_fraction = 0.0;
+  auto g = GenerateWebGraph(o);
+  ASSERT_TRUE(g.ok());
+  // Host 0 stays pinned to the target language (the seed anchor), so a
+  // small relevant core remains.
+  const double ratio = g->ComputeStats().relevance_ratio();
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LT(ratio, 0.5);
+}
+
+TEST(GeneratorEdgeTest, MaxFlipRate) {
+  SyntheticWebOptions o;
+  o.num_pages = 2000;
+  o.num_hosts = 50;
+  o.language_flip_rate = 0.5;
+  ExpectValid(o);
+}
+
+TEST(GeneratorEdgeTest, JapaneseTarget) {
+  SyntheticWebOptions o;
+  o.num_pages = 2000;
+  o.num_hosts = 50;
+  o.target_language = Language::kJapanese;
+  auto g = GenerateWebGraph(o);
+  ASSERT_TRUE(g.ok());
+  for (PageId p = 0; p < g->num_pages(); ++p) {
+    if (g->page(p).language == Language::kJapanese) {
+      const Language enc_lang =
+          LanguageOfEncoding(g->page(p).true_encoding);
+      EXPECT_TRUE(enc_lang == Language::kJapanese ||
+                  g->page(p).true_encoding == Encoding::kUtf8)
+          << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,209 @@
+#include "webgraph/generator.h"
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+WebGraph Generate(const SyntheticWebOptions& options) {
+  auto g = GenerateWebGraph(options);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(GeneratorTest, RejectsBadOptions) {
+  SyntheticWebOptions o;
+  o.num_pages = 0;
+  EXPECT_FALSE(GenerateWebGraph(o).ok());
+  o = SyntheticWebOptions{};
+  o.num_hosts = o.num_pages + 1;
+  EXPECT_FALSE(GenerateWebGraph(o).ok());
+  o = SyntheticWebOptions{};
+  o.target_language = Language::kOther;
+  EXPECT_FALSE(GenerateWebGraph(o).ok());
+  o = SyntheticWebOptions{};
+  o.mean_out_degree = 0.5;
+  EXPECT_FALSE(GenerateWebGraph(o).ok());
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  auto o = ThaiLikeOptions(20000);
+  const WebGraph a = Generate(o);
+  const WebGraph b = Generate(o);
+  ASSERT_EQ(a.num_pages(), b.num_pages());
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (PageId p = 0; p < a.num_pages(); p += 97) {
+    EXPECT_EQ(a.page(p).language, b.page(p).language);
+    EXPECT_EQ(a.page(p).true_encoding, b.page(p).true_encoding);
+    EXPECT_EQ(a.page(p).http_status, b.page(p).http_status);
+    const auto la = a.outlinks(p);
+    const auto lb = b.outlinks(p);
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i) EXPECT_EQ(la[i], lb[i]);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto o1 = ThaiLikeOptions(20000, /*seed=*/1);
+  auto o2 = ThaiLikeOptions(20000, /*seed=*/2);
+  const WebGraph a = Generate(o1);
+  const WebGraph b = Generate(o2);
+  int diffs = 0;
+  for (PageId p = 0; p < 1000; ++p) {
+    diffs += (a.page(p).language != b.page(p).language) ? 1 : 0;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(GeneratorTest, ThaiPresetHitsTable3RelevanceRatio) {
+  const WebGraph g = Generate(ThaiLikeOptions(200000));
+  const DatasetStats stats = g.ComputeStats();
+  // Paper Table 3: Thai dataset ~35% relevant among OK pages.
+  EXPECT_NEAR(stats.relevance_ratio(), 0.35, 0.03);
+}
+
+TEST(GeneratorTest, JapanesePresetHitsTable3RelevanceRatio) {
+  const WebGraph g = Generate(JapaneseLikeOptions(200000));
+  const DatasetStats stats = g.ComputeStats();
+  // Paper Table 3: Japanese dataset ~71% relevant among OK pages.
+  EXPECT_NEAR(stats.relevance_ratio(), 0.71, 0.03);
+}
+
+TEST(GeneratorTest, EncodingsMatchLanguages) {
+  const WebGraph g = Generate(ThaiLikeOptions(30000));
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    const PageRecord& rec = g.page(p);
+    const Language enc_lang = LanguageOfEncoding(rec.true_encoding);
+    if (rec.language == Language::kThai) {
+      EXPECT_TRUE(enc_lang == Language::kThai || enc_lang == Language::kOther)
+          << "page " << p;
+    } else {
+      // Non-Thai pages never carry Thai encodings here (no Japanese
+      // pages exist in the Thai-like preset).
+      EXPECT_EQ(enc_lang, Language::kOther) << "page " << p;
+    }
+  }
+}
+
+TEST(GeneratorTest, SeedsAreRelevantOkPages) {
+  const WebGraph g = Generate(ThaiLikeOptions(30000));
+  ASSERT_FALSE(g.seeds().empty());
+  for (PageId seed : g.seeds()) {
+    EXPECT_TRUE(g.IsRelevant(seed)) << "seed " << seed;
+    EXPECT_EQ(g.PageIndexInHost(seed), 0u) << "seeds are host roots";
+  }
+}
+
+TEST(GeneratorTest, EveryOkPageReachableFromFirstSeed) {
+  // The crawl-log property: the log only contains URLs the original
+  // crawl resolved, so everything must be reachable from the seed.
+  const WebGraph g = Generate(ThaiLikeOptions(30000));
+  std::vector<bool> reached(g.num_pages(), false);
+  std::deque<PageId> queue;
+  for (PageId seed : g.seeds()) {
+    reached[seed] = true;
+    queue.push_back(seed);
+  }
+  while (!queue.empty()) {
+    const PageId p = queue.front();
+    queue.pop_front();
+    if (!g.page(p).ok()) continue;
+    for (PageId c : g.outlinks(p)) {
+      if (!reached[c]) {
+        reached[c] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    EXPECT_TRUE(reached[p]) << "page " << p << " unreachable";
+  }
+}
+
+TEST(GeneratorTest, NonOkPagesHaveNoOutlinks) {
+  const WebGraph g = Generate(ThaiLikeOptions(30000));
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    if (!g.page(p).ok()) {
+      EXPECT_TRUE(g.outlinks(p).empty()) << "page " << p;
+    }
+  }
+}
+
+TEST(GeneratorTest, NonOkRateApproximatelyMatches) {
+  auto o = ThaiLikeOptions(100000);
+  const WebGraph g = Generate(o);
+  const DatasetStats stats = g.ComputeStats();
+  const double non_ok =
+      1.0 - static_cast<double>(stats.ok_html_pages) /
+                static_cast<double>(stats.total_urls);
+  EXPECT_NEAR(non_ok, o.non_ok_rate, 0.02);
+}
+
+TEST(GeneratorTest, MeanOutDegreeInRange) {
+  auto o = ThaiLikeOptions(100000);
+  const WebGraph g = Generate(o);
+  const DatasetStats stats = g.ComputeStats();
+  const double mean_degree = static_cast<double>(g.num_links()) /
+                             static_cast<double>(stats.ok_html_pages);
+  EXPECT_GT(mean_degree, o.mean_out_degree * 0.5);
+  EXPECT_LT(mean_degree, o.mean_out_degree * 1.5);
+}
+
+TEST(GeneratorTest, MetaNoiseRatesApproximatelyMatch) {
+  auto o = ThaiLikeOptions(100000);
+  const WebGraph g = Generate(o);
+  uint64_t missing = 0, wrong = 0;
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    const PageRecord& rec = g.page(p);
+    if (rec.meta_charset == Encoding::kUnknown) {
+      ++missing;
+    } else if (rec.meta_charset != rec.true_encoding) {
+      ++wrong;
+    }
+  }
+  const double n = static_cast<double>(g.num_pages());
+  EXPECT_NEAR(missing / n, o.missing_meta_rate, 0.01);
+  EXPECT_NEAR(wrong / n, o.mislabel_meta_rate * (1 - o.missing_meta_rate),
+              0.01);
+}
+
+TEST(GeneratorTest, LanguageLocalityExists) {
+  // The premise of the whole paper: relevant pages are predominantly
+  // linked from relevant pages.
+  const WebGraph g = Generate(ThaiLikeOptions(50000));
+  uint64_t rel_to_rel = 0, rel_out = 0, all_to_rel = 0, all_out = 0;
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    if (!g.page(p).ok()) continue;
+    for (PageId c : g.outlinks(p)) {
+      const bool child_rel = g.page(c).language == Language::kThai;
+      ++all_out;
+      all_to_rel += child_rel ? 1 : 0;
+      if (g.page(p).language == Language::kThai) {
+        ++rel_out;
+        rel_to_rel += child_rel ? 1 : 0;
+      }
+    }
+  }
+  const double p_rel_given_rel =
+      static_cast<double>(rel_to_rel) / static_cast<double>(rel_out);
+  const double p_rel_overall =
+      static_cast<double>(all_to_rel) / static_cast<double>(all_out);
+  EXPECT_GT(p_rel_given_rel, p_rel_overall + 0.2)
+      << "no language locality: P(rel child | rel parent)="
+      << p_rel_given_rel << " vs base " << p_rel_overall;
+}
+
+TEST(GeneratorTest, TinyGraphStillValid) {
+  SyntheticWebOptions o;
+  o.num_pages = 10;
+  o.num_hosts = 3;
+  o.num_seeds = 2;
+  const WebGraph g = Generate(o);
+  EXPECT_EQ(g.num_pages(), 10u);
+  EXPECT_FALSE(g.seeds().empty());
+}
+
+}  // namespace
+}  // namespace lswc

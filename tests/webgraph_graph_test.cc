@@ -1,0 +1,139 @@
+#include "webgraph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "url/url_table.h"
+
+namespace lswc {
+namespace {
+
+using ::lswc::testing::MakeGraph;
+using ::lswc::testing::PageSpec;
+
+TEST(WebGraphBuilderTest, BuildsSmallGraph) {
+  WebGraph g = MakeGraph(
+      {
+          PageSpec{0, Language::kThai},
+          PageSpec{0, Language::kThai},
+          PageSpec{1, Language::kOther},
+      },
+      {{0, 1}, {0, 2}, {1, 2}}, {0});
+  EXPECT_EQ(g.num_pages(), 3u);
+  EXPECT_EQ(g.num_hosts(), 2u);
+  EXPECT_EQ(g.num_links(), 3u);
+  ASSERT_EQ(g.outlinks(0).size(), 2u);
+  EXPECT_EQ(g.outlinks(0)[0], 1u);
+  EXPECT_EQ(g.outlinks(1).size(), 1u);
+  EXPECT_EQ(g.outlinks(2).size(), 0u);
+  EXPECT_EQ(g.seeds().size(), 1u);
+}
+
+TEST(WebGraphBuilderTest, EmptyGraphRejected) {
+  WebGraphBuilder b;
+  EXPECT_FALSE(b.Finish().ok());
+}
+
+TEST(WebGraphBuilderTest, OutOfRangeSeedRejected) {
+  WebGraphBuilder b;
+  b.AddHost(Language::kThai);
+  PageRecord rec;
+  b.AddPage(0, rec);
+  b.AddSeed(5);
+  EXPECT_FALSE(b.Finish().ok());
+}
+
+TEST(WebGraphBuilderTest, FinishTwiceRejected) {
+  WebGraphBuilder b;
+  b.AddHost(Language::kThai);
+  b.AddPage(0, PageRecord{});
+  ASSERT_TRUE(b.Finish().ok());
+  EXPECT_FALSE(b.Finish().ok());
+}
+
+TEST(WebGraphTest, HostNamesEncodeLanguage) {
+  WebGraph g = MakeGraph(
+      {PageSpec{0, Language::kThai}, PageSpec{1, Language::kJapanese},
+       PageSpec{2, Language::kOther}},
+      {}, {0});
+  EXPECT_EQ(g.HostName(0), "www0.example-th.test");
+  EXPECT_EQ(g.HostName(1), "www1.example-jp.test");
+  EXPECT_EQ(g.HostName(2), "www2.example.test");
+}
+
+TEST(WebGraphTest, UrlOfRootAndInterior) {
+  WebGraph g = MakeGraph(
+      {PageSpec{0, Language::kThai}, PageSpec{0, Language::kThai},
+       PageSpec{0, Language::kThai}},
+      {}, {0});
+  EXPECT_EQ(g.UrlOf(0), "http://www0.example-th.test/");
+  EXPECT_EQ(g.UrlOf(2), "http://www0.example-th.test/p2.html");
+}
+
+TEST(WebGraphTest, ResolveUrlRoundTrip) {
+  WebGraph g = MakeGraph(
+      {PageSpec{0, Language::kThai}, PageSpec{0, Language::kThai},
+       PageSpec{1, Language::kOther}},
+      {}, {0});
+  for (PageId p = 0; p < g.num_pages(); ++p) {
+    PageId back = kInvalidUrlId;
+    ASSERT_TRUE(g.ResolveUrl(g.UrlOf(p), &back)) << g.UrlOf(p);
+    EXPECT_EQ(back, p);
+  }
+}
+
+TEST(WebGraphTest, ResolveUrlRejectsForeignUrls) {
+  WebGraph g = MakeGraph({PageSpec{0, Language::kThai}}, {}, {0});
+  PageId out;
+  EXPECT_FALSE(g.ResolveUrl("http://elsewhere.test/", &out));
+  EXPECT_FALSE(g.ResolveUrl("http://www9.example-th.test/", &out));   // No host 9.
+  EXPECT_FALSE(g.ResolveUrl("http://www0.example-th.test/p7.html", &out));
+  EXPECT_FALSE(g.ResolveUrl("http://www0.example-jp.test/", &out));  // Wrong suffix.
+  EXPECT_FALSE(g.ResolveUrl("http://www0.example-th.test/x", &out));
+  EXPECT_FALSE(g.ResolveUrl("ftp://www0.example-th.test/", &out));
+}
+
+TEST(WebGraphTest, IsRelevantNeedsOkAndLanguage) {
+  WebGraph g = MakeGraph(
+      {
+          PageSpec{0, Language::kThai},                     // Relevant.
+          PageSpec{0, Language::kThai, /*status=*/404},     // Dead.
+          PageSpec{0, Language::kOther},                    // Wrong language.
+      },
+      {}, {0});
+  EXPECT_TRUE(g.IsRelevant(0));
+  EXPECT_FALSE(g.IsRelevant(1));
+  EXPECT_FALSE(g.IsRelevant(2));
+}
+
+TEST(WebGraphTest, ComputeStatsMatchesTable3Semantics) {
+  WebGraph g = MakeGraph(
+      {
+          PageSpec{0, Language::kThai},
+          PageSpec{0, Language::kThai, 404},
+          PageSpec{0, Language::kOther},
+          PageSpec{0, Language::kOther, 302},
+          PageSpec{0, Language::kThai},
+      },
+      {}, {0});
+  const DatasetStats stats = g.ComputeStats();
+  EXPECT_EQ(stats.total_urls, 5u);
+  EXPECT_EQ(stats.ok_html_pages, 3u);
+  EXPECT_EQ(stats.relevant_ok_pages, 2u);
+  EXPECT_EQ(stats.irrelevant_ok_pages, 1u);
+  EXPECT_NEAR(stats.relevance_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(WebGraphTest, PageIndexInHost) {
+  WebGraph g = MakeGraph(
+      {PageSpec{0, Language::kThai}, PageSpec{0, Language::kThai},
+       PageSpec{1, Language::kOther}, PageSpec{1, Language::kOther}},
+      {}, {0});
+  EXPECT_EQ(g.PageIndexInHost(0), 0u);
+  EXPECT_EQ(g.PageIndexInHost(1), 1u);
+  EXPECT_EQ(g.PageIndexInHost(2), 0u);
+  EXPECT_EQ(g.PageIndexInHost(3), 1u);
+}
+
+}  // namespace
+}  // namespace lswc

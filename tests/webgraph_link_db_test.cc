@@ -1,0 +1,112 @@
+#include "webgraph/link_db.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+class LinkDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = GenerateWebGraph(ThaiLikeOptions(5000));
+    ASSERT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+    path_ = (std::filesystem::temp_directory_path() / "lswc_links_test.lnk")
+                .string();
+    ASSERT_TRUE(WriteLinkFile(graph_, path_).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  WebGraph graph_;
+  std::string path_;
+};
+
+TEST_F(LinkDbTest, InMemoryServesGraphLinks) {
+  InMemoryLinkDb db(&graph_);
+  EXPECT_EQ(db.num_pages(), graph_.num_pages());
+  std::vector<PageId> out;
+  for (PageId p = 0; p < 200; ++p) {
+    ASSERT_TRUE(db.GetOutlinks(p, &out).ok());
+    const auto expected = graph_.outlinks(p);
+    ASSERT_EQ(out.size(), expected.size()) << p;
+    for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], expected[i]);
+  }
+}
+
+TEST_F(LinkDbTest, InMemoryRejectsOutOfRange) {
+  InMemoryLinkDb db(&graph_);
+  std::vector<PageId> out;
+  EXPECT_EQ(db.GetOutlinks(static_cast<PageId>(graph_.num_pages()), &out)
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(LinkDbTest, DiskMatchesInMemoryEverywhere) {
+  auto db_or = DiskLinkDb::Open(path_);
+  ASSERT_TRUE(db_or.ok()) << db_or.status();
+  auto& disk = **db_or;
+  std::vector<PageId> out;
+  for (PageId p = 0; p < graph_.num_pages(); ++p) {
+    ASSERT_TRUE(disk.GetOutlinks(p, &out).ok()) << p;
+    const auto expected = graph_.outlinks(p);
+    ASSERT_EQ(out.size(), expected.size()) << p;
+    for (size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], expected[i]);
+  }
+}
+
+TEST_F(LinkDbTest, TinyBlocksSpanBoundaries) {
+  DiskLinkDbOptions options;
+  options.block_words = 7;  // Force every lookup across block seams.
+  options.max_cached_blocks = 3;
+  auto db_or = DiskLinkDb::Open(path_, options);
+  ASSERT_TRUE(db_or.ok());
+  auto& disk = **db_or;
+  std::vector<PageId> out;
+  for (PageId p = 0; p < 500; ++p) {
+    ASSERT_TRUE(disk.GetOutlinks(p, &out).ok());
+    const auto expected = graph_.outlinks(p);
+    ASSERT_EQ(out.size(), expected.size()) << p;
+    for (size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], expected[i]);
+  }
+  EXPECT_LE(disk.cached_blocks(), options.max_cached_blocks);
+}
+
+TEST_F(LinkDbTest, LruCachesHotBlocks) {
+  DiskLinkDbOptions options;
+  options.block_words = 1024;
+  options.max_cached_blocks = 4;
+  auto db_or = DiskLinkDb::Open(path_, options);
+  ASSERT_TRUE(db_or.ok());
+  auto& disk = **db_or;
+  std::vector<PageId> out;
+  // Repeated access to one page must hit the cache after the first miss.
+  ASSERT_TRUE(disk.GetOutlinks(1, &out).ok());
+  const uint64_t misses_after_first = disk.cache_misses();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(disk.GetOutlinks(1, &out).ok());
+  }
+  EXPECT_EQ(disk.cache_misses(), misses_after_first);
+  EXPECT_GE(disk.cache_hits(), 100u);
+}
+
+TEST_F(LinkDbTest, OpenRejectsGarbage) {
+  const std::string bad =
+      (std::filesystem::temp_directory_path() / "lswc_bad.lnk").string();
+  std::ofstream(bad, std::ios::binary) << "JUNKJUNKJUNK";
+  EXPECT_FALSE(DiskLinkDb::Open(bad).ok());
+  std::remove(bad.c_str());
+}
+
+TEST_F(LinkDbTest, OpenRejectsBadOptions) {
+  DiskLinkDbOptions options;
+  options.block_words = 0;
+  EXPECT_FALSE(DiskLinkDb::Open(path_, options).ok());
+}
+
+}  // namespace
+}  // namespace lswc

@@ -1,0 +1,102 @@
+#include "webgraph/sample.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "tests/test_util.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+using ::lswc::testing::MakeChain;
+
+constexpr Language kThai = Language::kThai;
+constexpr Language kOther = Language::kOther;
+
+TEST(SampleTest, RejectsBadInput) {
+  const WebGraph g = MakeChain({kThai, kThai});
+  SampleOptions options;
+  options.max_pages = 0;
+  EXPECT_FALSE(SampleBfsSubgraph(g, options).ok());
+}
+
+TEST(SampleTest, ChainTruncatesInBfsOrder) {
+  const WebGraph g = MakeChain({kThai, kOther, kThai, kOther, kThai});
+  SampleOptions options;
+  options.max_pages = 3;
+  auto s = SampleBfsSubgraph(g, options);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_pages(), 3u);
+  // The first three chain pages, same host, links preserved.
+  EXPECT_EQ(s->num_links(), 2u);
+  EXPECT_EQ(s->page(0).language, kThai);
+  EXPECT_EQ(s->page(1).language, kOther);
+  EXPECT_EQ(s->seeds().size(), 1u);
+}
+
+TEST(SampleTest, FullSampleIsIsomorphic) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(5000));
+  ASSERT_TRUE(g.ok());
+  SampleOptions options;
+  options.max_pages = static_cast<uint32_t>(g->num_pages());
+  auto s = SampleBfsSubgraph(*g, options);
+  ASSERT_TRUE(s.ok()) << s.status();
+  // Everything is reachable, so the full sample keeps every page and
+  // link (ids permuted).
+  EXPECT_EQ(s->num_pages(), g->num_pages());
+  EXPECT_EQ(s->num_links(), g->num_links());
+  const DatasetStats a = g->ComputeStats();
+  const DatasetStats b = s->ComputeStats();
+  EXPECT_EQ(a.relevant_ok_pages, b.relevant_ok_pages);
+  EXPECT_EQ(a.ok_html_pages, b.ok_html_pages);
+}
+
+TEST(SampleTest, StatisticsDegradeGracefully) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(50000));
+  ASSERT_TRUE(g.ok());
+  SampleOptions options;
+  options.max_pages = 10000;
+  auto s = SampleBfsSubgraph(*g, options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_pages(), 10000u);
+  // A BFS prefix from relevant seeds over-represents the relevant core,
+  // but must stay in a sane band.
+  const double ratio = s->ComputeStats().relevance_ratio();
+  EXPECT_GT(ratio, 0.25);
+  EXPECT_LT(ratio, 0.95);
+}
+
+TEST(SampleTest, SampleSupportsSimulation) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(20000));
+  ASSERT_TRUE(g.ok());
+  SampleOptions options;
+  options.max_pages = 5000;
+  auto s = SampleBfsSubgraph(*g, options);
+  ASSERT_TRUE(s.ok());
+  MetaTagClassifier classifier(kThai);
+  auto soft = RunSimulation(*s, &classifier, SoftFocusedStrategy());
+  ASSERT_TRUE(soft.ok());
+  // The sample is itself a valid crawl log: BFS-selected pages are all
+  // reachable from the sampled seeds, so soft coverage is 100%.
+  EXPECT_DOUBLE_EQ(soft->summary.final_coverage_pct, 100.0);
+}
+
+TEST(SampleTest, HostContiguityHolds) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(20000));
+  ASSERT_TRUE(g.ok());
+  SampleOptions options;
+  options.max_pages = 3000;
+  auto s = SampleBfsSubgraph(*g, options);
+  ASSERT_TRUE(s.ok());
+  // Pages of each host occupy one contiguous id range (UrlOf/ResolveUrl
+  // depend on this).
+  for (PageId p = 0; p < s->num_pages(); ++p) {
+    PageId back;
+    ASSERT_TRUE(s->ResolveUrl(s->UrlOf(p), &back)) << p;
+    ASSERT_EQ(back, p);
+  }
+}
+
+}  // namespace
+}  // namespace lswc

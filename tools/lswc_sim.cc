@@ -1,0 +1,331 @@
+// lswc_sim — the command-line front end to the whole library: pick a
+// dataset (preset generator or a crawl-log file), a classifier, a
+// strategy and a fidelity mode, run one simulation, and get the summary
+// plus a gnuplot-ready series.
+//
+//   lswc_sim --dataset=thai --pages=1000000 --strategy=plimited:2
+//   lswc_sim --log=crawl.log --classifier=detector --render=head
+//            --strategy=soft --out=run.dat
+//   lswc_sim --dataset=thai --strategy=soft --politeness=16,1.0
+//
+// Strategies: bfs | hard | soft | limited:N | plimited:N | context:L |
+//             hub:K (pilot crawl + HITS + boosted crawl).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/context_graph.h"
+#include "core/distiller.h"
+#include "core/politeness.h"
+#include "core/simulator.h"
+#include "util/string_util.h"
+#include "webgraph/crawl_log.h"
+#include "webgraph/generator.h"
+#include "webgraph/text_log.h"
+
+namespace lswc {
+namespace {
+
+struct Args {
+  std::string dataset = "thai";
+  std::string log_path;
+  uint32_t pages = 200'000;
+  uint64_t seed = 0;
+  std::string classifier = "meta";
+  std::string strategy = "soft";
+  std::string render = "auto";
+  bool parse_html = false;
+  uint64_t max_pages = 0;
+  size_t frontier_capacity = 0;
+  std::string out_path;
+  bool politeness = false;
+  int connections = 16;
+  double interval_sec = 1.0;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --dataset=thai|japanese      preset synthetic dataset (default thai)\n"
+      "  --pages=N                    dataset size (default 200000)\n"
+      "  --seed=N                     generator seed (default preset)\n"
+      "  --log=FILE                   replay a crawl log (binary or text)\n"
+      "  --classifier=meta|detector|composite|oracle\n"
+      "  --strategy=bfs|hard|soft|limited:N|plimited:N|context:L|hub:K\n"
+      "  --render=auto|none|head|full page-byte fidelity\n"
+      "  --parse-html                 extract links from rendered HTML\n"
+      "  --max-pages=N                crawl budget (default: exhaust)\n"
+      "  --frontier-capacity=N        bounded URL queue (default: unlimited)\n"
+      "  --politeness=CONNS,INTERVAL  timed simulation (e.g. 16,1.0)\n"
+      "  --out=FILE                   write the metric series as .dat\n",
+      argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    auto value = [&](std::string_view prefix) -> std::optional<std::string_view> {
+      if (!StartsWith(a, prefix)) return std::nullopt;
+      return a.substr(prefix.size());
+    };
+    if (auto v = value("--dataset=")) {
+      args->dataset = std::string(*v);
+    } else if (auto v = value("--pages=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n == 0 || *n > UINT32_MAX) return false;
+      args->pages = static_cast<uint32_t>(*n);
+    } else if (auto v = value("--seed=")) {
+      const auto n = ParseUint64(*v);
+      if (!n) return false;
+      args->seed = *n;
+    } else if (auto v = value("--log=")) {
+      args->log_path = std::string(*v);
+    } else if (auto v = value("--classifier=")) {
+      args->classifier = std::string(*v);
+    } else if (auto v = value("--strategy=")) {
+      args->strategy = std::string(*v);
+    } else if (auto v = value("--render=")) {
+      args->render = std::string(*v);
+    } else if (a == "--parse-html") {
+      args->parse_html = true;
+    } else if (auto v = value("--max-pages=")) {
+      const auto n = ParseUint64(*v);
+      if (!n) return false;
+      args->max_pages = *n;
+    } else if (auto v = value("--frontier-capacity=")) {
+      const auto n = ParseUint64(*v);
+      if (!n) return false;
+      args->frontier_capacity = *n;
+    } else if (auto v = value("--politeness=")) {
+      args->politeness = true;
+      const auto parts = Split(*v, ',');
+      if (parts.size() != 2) return false;
+      const auto conns = ParseUint64(parts[0]);
+      const auto interval = ParseDouble(parts[1]);
+      if (!conns || !interval || *conns == 0) return false;
+      args->connections = static_cast<int>(*conns);
+      args->interval_sec = *interval;
+    } else if (auto v = value("--out=")) {
+      args->out_path = std::string(*v);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<WebGraph> LoadGraph(const Args& args) {
+  if (!args.log_path.empty()) {
+    auto binary = ReadCrawlLog(args.log_path);
+    if (binary.ok()) return binary;
+    return ReadTextLogFile(args.log_path);
+  }
+  SyntheticWebOptions options = args.dataset == "japanese"
+                                    ? JapaneseLikeOptions(args.pages)
+                                    : ThaiLikeOptions(args.pages);
+  if (args.dataset != "japanese" && args.dataset != "thai") {
+    return Status::InvalidArgument("unknown dataset " + args.dataset);
+  }
+  if (args.seed != 0) options.seed = args.seed;
+  return GenerateWebGraph(options);
+}
+
+StatusOr<std::unique_ptr<Classifier>> MakeClassifier(const Args& args,
+                                                     Language target) {
+  if (args.classifier == "meta") {
+    return std::unique_ptr<Classifier>(new MetaTagClassifier(target));
+  }
+  if (args.classifier == "detector") {
+    return std::unique_ptr<Classifier>(new DetectorClassifier(target));
+  }
+  if (args.classifier == "composite") {
+    return std::unique_ptr<Classifier>(new CompositeClassifier(target));
+  }
+  if (args.classifier == "oracle") {
+    return std::unique_ptr<Classifier>(new OracleClassifier(target));
+  }
+  return Status::InvalidArgument("unknown classifier " + args.classifier);
+}
+
+StatusOr<std::unique_ptr<CrawlStrategy>> MakeStrategy(
+    const Args& args, const WebGraph& graph, Classifier* classifier) {
+  const std::string& s = args.strategy;
+  if (s == "bfs") return std::unique_ptr<CrawlStrategy>(new BreadthFirstStrategy());
+  if (s == "hard") return std::unique_ptr<CrawlStrategy>(new HardFocusedStrategy());
+  if (s == "soft") return std::unique_ptr<CrawlStrategy>(new SoftFocusedStrategy());
+  const size_t colon = s.find(':');
+  const std::string kind = s.substr(0, colon);
+  std::optional<uint64_t> param;
+  if (colon != std::string::npos) {
+    param = ParseUint64(std::string_view(s).substr(colon + 1));
+  }
+  if (kind == "limited" || kind == "plimited") {
+    if (!param || *param > 254) {
+      return Status::InvalidArgument("strategy needs :N in [0,254]");
+    }
+    return std::unique_ptr<CrawlStrategy>(new LimitedDistanceStrategy(
+        static_cast<int>(*param), kind == "plimited"));
+  }
+  if (kind == "context") {
+    if (!param || *param == 0 || *param > 64) {
+      return Status::InvalidArgument("context needs :L in [1,64]");
+    }
+    return std::unique_ptr<CrawlStrategy>(new ContextGraphStrategy(
+        ComputeContextLayers(graph), static_cast<int>(*param)));
+  }
+  if (kind == "hub") {
+    if (!param || *param == 0) {
+      return Status::InvalidArgument("hub needs :K > 0");
+    }
+    // Pilot crawl to collect the relevant set, then distill.
+    const SoftFocusedStrategy pilot;
+    auto pilot_run = RunSimulation(graph, classifier, pilot);
+    if (!pilot_run.ok()) return pilot_run.status();
+    std::vector<PageId> relevant;
+    for (PageId p = 0; p < graph.num_pages(); ++p) {
+      if (graph.IsRelevant(p)) relevant.push_back(p);
+    }
+    auto scores = ComputeHits(graph, relevant);
+    if (!scores.ok()) return scores.status();
+    return std::unique_ptr<CrawlStrategy>(new HubBoostStrategy(
+        graph.num_pages(), TopHubs(*scores, *param)));
+  }
+  return Status::InvalidArgument("unknown strategy " + s);
+}
+
+int Run(const Args& args) {
+  auto graph_or = LoadGraph(args);
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 graph_or.status().ToString().c_str());
+    return 1;
+  }
+  const WebGraph& graph = *graph_or;
+  const DatasetStats stats = graph.ComputeStats();
+  std::printf("dataset: %zu URLs, %zu hosts, %zu links; %.1f%% of %llu OK "
+              "pages relevant (%s)\n",
+              graph.num_pages(), graph.num_hosts(), graph.num_links(),
+              100.0 * stats.relevance_ratio(),
+              static_cast<unsigned long long>(stats.ok_html_pages),
+              std::string(LanguageName(graph.target_language())).c_str());
+
+  auto classifier = MakeClassifier(args, graph.target_language());
+  if (!classifier.ok()) {
+    std::fprintf(stderr, "%s\n", classifier.status().ToString().c_str());
+    return 1;
+  }
+  auto strategy = MakeStrategy(args, graph, classifier->get());
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "%s\n", strategy.status().ToString().c_str());
+    return 1;
+  }
+
+  RenderMode render = RenderMode::kNone;
+  if (args.render == "auto") {
+    render = (args.classifier == "detector" || args.classifier == "composite")
+                 ? RenderMode::kHead
+                 : RenderMode::kNone;
+    if (args.parse_html) render = RenderMode::kFull;
+  } else if (args.render == "none") {
+    render = RenderMode::kNone;
+  } else if (args.render == "head") {
+    render = RenderMode::kHead;
+  } else if (args.render == "full") {
+    render = RenderMode::kFull;
+  } else {
+    std::fprintf(stderr, "unknown render mode %s\n", args.render.c_str());
+    return 1;
+  }
+
+  InMemoryLinkDb link_db(&graph);
+  VirtualWebSpace web(&graph, &link_db, render);
+
+  if (args.politeness) {
+    PolitenessOptions options;
+    options.num_connections = args.connections;
+    options.min_access_interval_sec = args.interval_sec;
+    options.max_pages = args.max_pages;
+    PolitenessSimulator sim(&web, classifier->get(), strategy->get(),
+                            options);
+    auto r = sim.Run();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    const PolitenessSummary& s = r->summary;
+    std::printf("strategy %s: crawled %llu in %.0fs sim time "
+                "(%.1f pages/s, stall %.1f%%)\n",
+                (*strategy)->name().c_str(),
+                static_cast<unsigned long long>(s.pages_crawled),
+                s.sim_time_sec, s.pages_per_sec,
+                100.0 * s.politeness_stall_fraction);
+    std::printf("harvest %.1f%% | coverage %.1f%% | max queue %zu\n",
+                s.final_harvest_pct, s.final_coverage_pct,
+                s.max_queue_size);
+    if (!args.out_path.empty()) {
+      if (Status st = r->series.WriteDatFile(args.out_path); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("series -> %s\n", args.out_path.c_str());
+    }
+    return 0;
+  }
+
+  SimulationOptions options;
+  options.max_pages = args.max_pages;
+  options.parse_html = args.parse_html;
+  options.frontier_capacity = args.frontier_capacity;
+  Simulator sim(&web, classifier->get(), strategy->get(), options);
+  auto r = sim.Run();
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  const SimulationSummary& s = r->summary;
+  std::printf("strategy %s with %s classifier:\n",
+              (*strategy)->name().c_str(), (*classifier)->name().c_str());
+  std::printf("crawled %llu | harvest %.1f%% | coverage %.1f%% | max queue "
+              "%zu%s\n",
+              static_cast<unsigned long long>(s.pages_crawled),
+              s.final_harvest_pct, s.final_coverage_pct, s.max_queue_size,
+              s.urls_dropped != 0
+                  ? StringPrintf(" | dropped %llu",
+                                 static_cast<unsigned long long>(
+                                     s.urls_dropped))
+                        .c_str()
+                  : "");
+  if (s.classifier_confusion.total() > 0 && args.classifier != "oracle") {
+    std::printf("classifier precision %.3f recall %.3f\n",
+                s.classifier_confusion.precision(),
+                s.classifier_confusion.recall());
+  }
+  if (!args.out_path.empty()) {
+    if (Status st = r->series.WriteDatFile(args.out_path); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("series -> %s\n", args.out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lswc
+
+namespace lswc {
+namespace {
+int Main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  return Run(args);
+}
+}  // namespace
+}  // namespace lswc
+
+int main(int argc, char** argv) { return lswc::Main(argc, argv); }
