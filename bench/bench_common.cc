@@ -63,22 +63,46 @@ WebGraph BuildJapaneseDataset(const BenchArgs& args) {
   return Build(JapaneseLikeOptions(args.pages), args);
 }
 
+namespace {
+/// Counts link-expansion outcomes over the engine's event bus; re-push
+/// and drop volume is diagnostic output the summary line reports per
+/// strategy.
+class LinkTrafficObserver final : public CrawlObserver {
+ public:
+  bool wants_link_events() const override { return true; }
+  void OnRePush(PageId, const LinkDecision&) override { ++repushed_; }
+  void OnDrop(PageId, LinkDropReason) override { ++dropped_; }
+
+  uint64_t repushed() const { return repushed_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  uint64_t repushed_ = 0;
+  uint64_t dropped_ = 0;
+};
+}  // namespace
+
 SimulationResult RunStrategy(const WebGraph& graph, Classifier* classifier,
                              const CrawlStrategy& strategy,
                              RenderMode render_mode) {
+  LinkTrafficObserver traffic;
+  SimulationOptions options;
+  options.observers.push_back(&traffic);
   const auto t0 = std::chrono::steady_clock::now();
-  auto result = RunSimulation(graph, classifier, strategy, render_mode);
+  auto result = RunSimulation(graph, classifier, strategy, render_mode,
+                              options);
   LSWC_CHECK(result.ok()) << result.status();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   const SimulationSummary& s = result->summary;
   std::printf("%-38s crawled %9llu | harvest %5.1f%% | coverage %5.1f%% | "
-              "max queue %9zu | %6.2fs\n",
+              "max queue %9zu | repush %8llu | drop %9llu | %6.2fs\n",
               strategy.name().c_str(),
               static_cast<unsigned long long>(s.pages_crawled),
               s.final_harvest_pct, s.final_coverage_pct, s.max_queue_size,
-              secs);
+              static_cast<unsigned long long>(traffic.repushed()),
+              static_cast<unsigned long long>(traffic.dropped()), secs);
   return std::move(result).value();
 }
 

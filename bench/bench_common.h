@@ -29,7 +29,10 @@ struct BenchArgs {
 WebGraph BuildThaiDataset(const BenchArgs& args);
 WebGraph BuildJapaneseDataset(const BenchArgs& args);
 
-/// Runs one strategy and prints its one-line summary.
+/// Runs one strategy and prints its one-line summary, including the
+/// engine's link-traffic counters (re-pushes and drops, collected by a
+/// CrawlObserver on the event bus) — re-push volume is the cost of the
+/// better-referrer rule that each figure's prioritized runs rely on.
 SimulationResult RunStrategy(const WebGraph& graph, Classifier* classifier,
                              const CrawlStrategy& strategy,
                              RenderMode render_mode = RenderMode::kNone);

@@ -1,4 +1,5 @@
-// Extending the library with a custom priority-assignment strategy.
+// Extending the library with a custom priority-assignment strategy and
+// a custom crawl observer.
 //
 // CrawlStrategy is the paper's "observer" extension point: implement
 // OnLink and the simulator does the rest. The GradedFocusStrategy below
@@ -9,6 +10,12 @@
 // three shows exactly what the cutoff N buys (queue control) and costs
 // (coverage of deep pockets).
 //
+// CrawlObserver is the engine-side extension point: attach one through
+// SimulationOptions::observers to watch the crawl without touching the
+// loop. The RePushMeter below counts how often the better-referrer rule
+// re-pushes a pending URL — the hidden work behind each strategy's
+// priority discipline.
+//
 // Run:  custom_strategy [pages]
 
 #include <algorithm>
@@ -16,6 +23,7 @@
 #include <cstdlib>
 
 #include "core/classifier.h"
+#include "core/crawl_observer.h"
 #include "core/simulator.h"
 #include "core/strategy.h"
 #include "webgraph/generator.h"
@@ -50,6 +58,20 @@ class GradedFocusStrategy final : public lswc::CrawlStrategy {
   int levels_;
 };
 
+/// Counts better-referrer re-pushes. Opting into link events is what
+/// makes the engine forward the per-link callbacks to this observer.
+class RePushMeter final : public lswc::CrawlObserver {
+ public:
+  bool wants_link_events() const override { return true; }
+  void OnRePush(lswc::PageId, const lswc::LinkDecision&) override {
+    ++repushes_;
+  }
+  uint64_t repushes() const { return repushes_; }
+
+ private:
+  uint64_t repushes_ = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,21 +89,27 @@ int main(int argc, char** argv) {
   const LimitedDistanceStrategy limited(3, /*prioritized=*/true);
   const GradedFocusStrategy graded(4);
 
-  std::printf("%-38s %9s %9s %9s %10s\n", "strategy", "crawled", "harvest%",
-              "coverage%", "max queue");
+  std::printf("%-38s %9s %9s %9s %10s %10s\n", "strategy", "crawled",
+              "harvest%", "coverage%", "max queue", "re-pushes");
   for (const CrawlStrategy* strategy :
        {static_cast<const CrawlStrategy*>(&soft),
         static_cast<const CrawlStrategy*>(&limited),
         static_cast<const CrawlStrategy*>(&graded)}) {
-    auto result = RunSimulation(*graph, &classifier, *strategy);
+    RePushMeter meter;
+    SimulationOptions options;
+    options.observers.push_back(&meter);
+    auto result = RunSimulation(*graph, &classifier, *strategy,
+                                RenderMode::kNone, options);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
     }
     const SimulationSummary& s = result->summary;
-    std::printf("%-38s %9llu %9.1f %9.1f %10zu\n", strategy->name().c_str(),
+    std::printf("%-38s %9llu %9.1f %9.1f %10zu %10llu\n",
+                strategy->name().c_str(),
                 static_cast<unsigned long long>(s.pages_crawled),
-                s.final_harvest_pct, s.final_coverage_pct, s.max_queue_size);
+                s.final_harvest_pct, s.final_coverage_pct, s.max_queue_size,
+                static_cast<unsigned long long>(meter.repushes()));
   }
   std::printf("\ngraded-focus keeps soft-focused coverage (it never "
               "discards) while front-loading near-relevant URLs; the "

@@ -1,0 +1,129 @@
+#include "core/crawl_engine.h"
+
+#include <algorithm>
+
+namespace lswc {
+
+namespace {
+uint64_t ResolveSampleInterval(uint64_t requested, uint64_t max_pages,
+                               size_t num_pages) {
+  if (requested != 0) return requested;
+  const uint64_t horizon = max_pages != 0 ? max_pages : num_pages;
+  return std::max<uint64_t>(1, horizon / 400);
+}
+}  // namespace
+
+CrawlEngine::CrawlEngine(VirtualWebSpace* web, Classifier* classifier,
+                         const CrawlStrategy* strategy,
+                         FrontierScheduler* scheduler,
+                         CrawlEngineOptions options)
+    : web_(web),
+      strategy_(strategy),
+      scheduler_(scheduler),
+      options_(options),
+      visitor_(web, classifier, options.parse_html),
+      state_(web->graph().num_pages()),
+      sample_interval_(ResolveSampleInterval(options.sample_interval,
+                                             options.max_pages,
+                                             web->graph().num_pages())),
+      metrics_(web->graph().ComputeStats().relevant_ok_pages,
+               sample_interval_) {
+  AddObserver(&metrics_);
+}
+
+void CrawlEngine::AddObserver(CrawlObserver* observer) {
+  observers_.push_back(observer);
+  if (observer->wants_link_events()) link_observers_.push_back(observer);
+}
+
+Status CrawlEngine::Run() {
+  const WebGraph& graph = web_->graph();
+  if (graph.seeds().empty()) {
+    return Status::FailedPrecondition("graph has no seed URLs");
+  }
+  for (PageId seed : graph.seeds()) {
+    if (!state_.EnqueueSeed(seed, strategy_->seed_priority())) continue;
+    scheduler_->Push(seed, strategy_->seed_priority());
+  }
+
+  VisitResult visit;
+  while (true) {
+    if (options_.max_pages != 0 && pages_crawled_ >= options_.max_pages) {
+      break;
+    }
+    if (scheduler_->StopRequested()) break;
+    const auto next = scheduler_->Next(state_);
+    if (!next.has_value()) break;
+    if (state_.crawled(*next)) continue;  // Stale duplicate from a re-push.
+    LSWC_RETURN_IF_ERROR(CrawlOne(*next, &visit));
+  }
+  if (pages_crawled_ % sample_interval_ != 0 || pages_crawled_ == 0) {
+    NotifySample(/*is_final=*/true);
+  }
+  return Status::OK();
+}
+
+Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
+  state_.MarkCrawled(url);
+  LSWC_RETURN_IF_ERROR(visitor_.Visit(url, visit));
+  const bool ok = visit->response.ok();
+
+  if (ok) {
+    const ParentInfo parent{url, visit->judgment.relevant,
+                            state_.annotation(url)};
+    for (PageId child : visit->links) {
+      if (state_.crawled(child)) {
+        for (CrawlObserver* o : link_observers_) {
+          o->OnDrop(child, LinkDropReason::kAlreadyCrawled);
+        }
+        continue;
+      }
+      const LinkDecision d = strategy_->OnLink(parent, child);
+      if (!d.enqueue) {
+        for (CrawlObserver* o : link_observers_) {
+          o->OnDrop(child, LinkDropReason::kStrategyDiscard);
+        }
+        continue;
+      }
+      switch (state_.OfferLink(child, d)) {
+        case CrawlState::Offer::kIgnored:
+          for (CrawlObserver* o : link_observers_) {
+            o->OnDrop(child, LinkDropReason::kNotBetter);
+          }
+          break;
+        case CrawlState::Offer::kFirst:
+          scheduler_->Push(child, d.priority);
+          for (CrawlObserver* o : link_observers_) o->OnEnqueue(child, d);
+          break;
+        case CrawlState::Offer::kBetter:
+          scheduler_->Push(child, d.priority);
+          for (CrawlObserver* o : link_observers_) o->OnRePush(child, d);
+          break;
+      }
+    }
+  }
+
+  ++pages_crawled_;
+  FetchEvent event;
+  event.url = url;
+  event.ok = ok;
+  event.truly_relevant = web_->graph().IsRelevant(url);
+  event.judged_relevant = visit->judgment.relevant;
+  event.frontier_size = scheduler_->size();
+  event.pages_crawled = pages_crawled_;
+  for (CrawlObserver* o : observers_) o->OnFetch(event);
+  if (pages_crawled_ % sample_interval_ == 0) {
+    NotifySample(/*is_final=*/false);
+  }
+  return Status::OK();
+}
+
+void CrawlEngine::NotifySample(bool is_final) {
+  SampleEvent event;
+  event.pages_crawled = pages_crawled_;
+  event.frontier_size = scheduler_->size();
+  event.is_final = is_final;
+  for (CrawlObserver* o : observers_) o->OnSample(event);
+}
+
+}  // namespace lswc

@@ -1,0 +1,137 @@
+#ifndef LSWC_CORE_CRAWL_ENGINE_H_
+#define LSWC_CORE_CRAWL_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/crawl_observer.h"
+#include "core/crawl_state.h"
+#include "core/frontier.h"
+#include "core/metrics.h"
+#include "core/strategy.h"
+#include "core/virtual_web.h"
+#include "core/visitor.h"
+
+namespace lswc {
+
+/// The engine's port to a frontier implementation: the engine pushes
+/// seeds and expanded links through `Push` and asks `Next` for the URL
+/// to fetch. A scheduler may be a plain priority queue (Simulator) or a
+/// time-aware per-host event scheduler (PolitenessSimulator) — the crawl
+/// loop itself does not change.
+class FrontierScheduler {
+ public:
+  virtual ~FrontierScheduler() = default;
+
+  /// Enqueues `url` at `priority` (higher pops first).
+  virtual void Push(PageId url, int priority) = 0;
+
+  /// Returns the next URL to fetch, or nullopt when the frontier is
+  /// exhausted. `state` lets a time-aware scheduler skip already-crawled
+  /// (stale re-push) entries without occupying fetch slots; the engine
+  /// re-checks `state.crawled` on the returned URL either way.
+  virtual std::optional<PageId> Next(const CrawlState& state) = 0;
+
+  /// Pending URLs (the paper's queue-size metric).
+  virtual size_t size() const = 0;
+
+  /// Scheduler-specific stop condition checked once per loop iteration
+  /// (e.g. a simulated-time budget). Default: never.
+  virtual bool StopRequested() const { return false; }
+};
+
+/// Adapts a plain Frontier to the scheduler port (Pop order only, no
+/// timing) — what Simulator runs on.
+class FrontierPopScheduler final : public FrontierScheduler {
+ public:
+  explicit FrontierPopScheduler(Frontier* frontier) : frontier_(frontier) {}
+
+  void Push(PageId url, int priority) override {
+    frontier_->Push(url, priority);
+  }
+  std::optional<PageId> Next(const CrawlState& state) override {
+    (void)state;
+    return frontier_->Pop();
+  }
+  size_t size() const override { return frontier_->size(); }
+
+ private:
+  Frontier* frontier_;
+};
+
+/// Engine knobs — the subset of SimulationOptions the crawl loop itself
+/// consumes.
+struct CrawlEngineOptions {
+  /// Stop after this many crawled URLs (0 = run until the frontier
+  /// empties, the paper's termination condition).
+  uint64_t max_pages = 0;
+  /// Metric sampling step in crawled pages (0 = auto: ~400 samples over
+  /// the run's horizon).
+  uint64_t sample_interval = 0;
+  /// Extract links by parsing rendered HTML instead of replaying the
+  /// link database (requires the web space to render kFull).
+  bool parse_html = false;
+};
+
+/// The crawl loop of the paper's Fig 2, extracted so that every driver
+/// (Simulator, PolitenessSimulator, future sharded/checkpointing
+/// drivers) runs the *same* seed-push / fetch / judge / expand /
+/// re-push cycle over the same CrawlState, differing only in the
+/// FrontierScheduler they plug in and the CrawlObservers they attach.
+///
+/// The engine owns the per-URL CrawlState and a MetricsRecorder (the
+/// §3.4 metrics), which is attached to the observer bus like any other
+/// observer — drivers read it from `metrics()` after Run.
+class CrawlEngine {
+ public:
+  /// Pointers are not owned and must outlive the engine. The
+  /// MetricsRecorder is constructed here (coverage denominator from the
+  /// graph's stats, resolved sampling interval) and auto-attached as the
+  /// first observer, so observers added later may read it during their
+  /// own callbacks.
+  CrawlEngine(VirtualWebSpace* web, Classifier* classifier,
+              const CrawlStrategy* strategy, FrontierScheduler* scheduler,
+              CrawlEngineOptions options);
+
+  /// Attaches an observer (not owned). Callbacks fire in attach order.
+  void AddObserver(CrawlObserver* observer);
+
+  /// Seeds the frontier and runs the crawl to completion: frontier
+  /// exhausted, `max_pages` reached, or the scheduler requested a stop.
+  /// Emits the final tail sample before returning.
+  Status Run();
+
+  const MetricsRecorder& metrics() const { return metrics_; }
+  const CrawlState& state() const { return state_; }
+  uint64_t pages_crawled() const { return pages_crawled_; }
+  /// The resolved sampling step (never 0).
+  uint64_t sample_interval() const { return sample_interval_; }
+
+ private:
+  /// Fetches one URL, judges it, expands its links through the strategy
+  /// and the better-referrer rule, and notifies observers.
+  Status CrawlOne(PageId url, VisitResult* visit);
+
+  void NotifySample(bool is_final);
+
+  VirtualWebSpace* web_;
+  const CrawlStrategy* strategy_;
+  FrontierScheduler* scheduler_;
+  CrawlEngineOptions options_;
+  Visitor visitor_;
+  CrawlState state_;
+  uint64_t sample_interval_;
+  MetricsRecorder metrics_;
+  uint64_t pages_crawled_ = 0;
+  std::vector<CrawlObserver*> observers_;
+  /// Subset of observers_ that opted into per-link callbacks; kept
+  /// separately so the per-link hot path costs nothing when (as in the
+  /// default metrics-only setup) nobody listens.
+  std::vector<CrawlObserver*> link_observers_;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_CRAWL_ENGINE_H_

@@ -1,0 +1,94 @@
+#ifndef LSWC_CORE_CRAWL_OBSERVER_H_
+#define LSWC_CORE_CRAWL_OBSERVER_H_
+
+#include <cstdint>
+
+#include "core/strategy.h"
+#include "webgraph/page.h"
+
+namespace lswc {
+
+/// One completed fetch, reported after link expansion.
+struct FetchEvent {
+  PageId url = 0;
+  /// HTTP-level success of the fetch.
+  bool ok = false;
+  /// Ground-truth relevance from the crawl log.
+  bool truly_relevant = false;
+  /// The classifier's verdict (meaningful only for OK pages).
+  bool judged_relevant = false;
+  /// Pending URLs after this page's links were expanded.
+  size_t frontier_size = 0;
+  /// Crawled count including this fetch.
+  uint64_t pages_crawled = 0;
+};
+
+/// One periodic (or final) sampling point of the crawl.
+struct SampleEvent {
+  uint64_t pages_crawled = 0;
+  size_t frontier_size = 0;
+  /// True for the single tail sample emitted when the crawl ends off the
+  /// sampling cadence (mirrors MetricsRecorder::Finish semantics).
+  bool is_final = false;
+};
+
+/// Why an extracted link did not enter the frontier.
+enum class LinkDropReason {
+  /// The child was already fetched.
+  kAlreadyCrawled,
+  /// The strategy discarded the link (LinkDecision::enqueue == false).
+  kStrategyDiscard,
+  /// The child is already pending via a referrer at least as good — no
+  /// re-push (the lazy-decrease-key "better" test failed).
+  kNotBetter,
+};
+
+/// Event bus of the crawl loop. CrawlEngine notifies every attached
+/// observer at each lifecycle point; MetricsRecorder is itself an
+/// observer, as are the bench harnesses' diagnostic counters — new
+/// tracing / accounting / checkpointing hooks attach the same way
+/// instead of patching the loop.
+///
+/// Per-link callbacks (OnEnqueue / OnRePush / OnDrop) fire once per
+/// extracted link and are therefore the hot path of a multi-million-page
+/// run. They are only dispatched to observers that opt in via
+/// `wants_link_events()`, so purely per-fetch observers cost nothing
+/// per link.
+class CrawlObserver {
+ public:
+  virtual ~CrawlObserver() = default;
+
+  /// A page was fetched, judged, and its links expanded.
+  virtual void OnFetch(const FetchEvent& event) { (void)event; }
+
+  /// Periodic sampling point (every `sample_interval` fetches), plus at
+  /// most one final tail sample with `is_final` set.
+  virtual void OnSample(const SampleEvent& event) { (void)event; }
+
+  /// Opt-in gate for the three per-link callbacks below.
+  virtual bool wants_link_events() const { return false; }
+
+  /// A URL entered the frontier for the first time.
+  virtual void OnEnqueue(PageId url, const LinkDecision& decision) {
+    (void)url;
+    (void)decision;
+  }
+
+  /// A pending URL was re-pushed through a better referrer (higher
+  /// priority or smaller annotation); the stale entry will be skipped at
+  /// pop time.
+  virtual void OnRePush(PageId url, const LinkDecision& decision) {
+    (void)url;
+    (void)decision;
+  }
+
+  /// An extracted link was not enqueued.
+  virtual void OnDrop(PageId url, LinkDropReason reason) {
+    (void)url;
+    (void)reason;
+  }
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_CRAWL_OBSERVER_H_

@@ -1,0 +1,94 @@
+#ifndef LSWC_CORE_CRAWL_STATE_H_
+#define LSWC_CORE_CRAWL_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/strategy.h"
+#include "webgraph/page.h"
+
+namespace lswc {
+
+/// Per-URL crawl state shared by every simulator: the crawled / enqueued
+/// bitmaps plus the annotation and priority each pending URL was last
+/// enqueued with. A URL is fetched at most once; while it waits in the
+/// queue, a better referrer (higher priority or a shorter irrelevant-run
+/// annotation) may re-push it — the stale entry is skipped at pop time.
+/// This lazy-decrease-key is what lets the *prioritized* limited-distance
+/// mode propagate minimal distances (near-relevant URLs pop first, so
+/// their children inherit the best annotations), while FIFO orders cannot
+/// exploit it — the mechanism behind Fig 7's N-invariance.
+///
+/// Priorities are stored as int16_t: context-graph layers and
+/// limited-distance runs legally reach 254 priority levels, which
+/// overflowed the original int8_t storage to negative values and made
+/// the "better referrer" comparison re-push through *worse* referrers,
+/// corrupting annotations (see the >127-level regression test).
+class CrawlState {
+ public:
+  explicit CrawlState(size_t num_pages)
+      : crawled_(num_pages, false),
+        enqueued_(num_pages, false),
+        annotation_(num_pages, 0),
+        priority_(num_pages, 0) {}
+
+  /// Outcome of offering a link decision for a child URL.
+  enum class Offer {
+    /// First sighting: the child must be pushed to the frontier.
+    kFirst,
+    /// Already pending, but this referrer is better: push again (the old
+    /// frontier entry becomes stale).
+    kBetter,
+    /// Already pending via a referrer at least as good: do nothing.
+    kIgnored,
+  };
+
+  /// Applies the better-referrer rule for one enqueue-able link and
+  /// records the decision's annotation/priority when it wins. The caller
+  /// must have checked `crawled(child)` already.
+  Offer OfferLink(PageId child, const LinkDecision& decision) {
+    const bool first = !enqueued_[child];
+    if (!first && decision.annotation >= annotation_[child] &&
+        decision.priority <= priority_[child]) {
+      return Offer::kIgnored;
+    }
+    enqueued_[child] = true;
+    annotation_[child] = decision.annotation;
+    priority_[child] = ClampPriority(decision.priority);
+    return first ? Offer::kFirst : Offer::kBetter;
+  }
+
+  /// Marks a seed URL pending. Returns false when it was already seeded
+  /// (duplicate seed list entries collapse).
+  bool EnqueueSeed(PageId seed, int priority) {
+    if (enqueued_[seed]) return false;
+    enqueued_[seed] = true;
+    annotation_[seed] = 0;
+    priority_[seed] = ClampPriority(priority);
+    return true;
+  }
+
+  bool crawled(PageId url) const { return crawled_[url]; }
+  void MarkCrawled(PageId url) { crawled_[url] = true; }
+
+  bool enqueued(PageId url) const { return enqueued_[url]; }
+  uint8_t annotation(PageId url) const { return annotation_[url]; }
+  int16_t priority(PageId url) const { return priority_[url]; }
+  size_t num_pages() const { return crawled_.size(); }
+
+ private:
+  static int16_t ClampPriority(int priority) {
+    if (priority > INT16_MAX) return INT16_MAX;
+    if (priority < INT16_MIN) return INT16_MIN;
+    return static_cast<int16_t>(priority);
+  }
+
+  std::vector<bool> crawled_;
+  std::vector<bool> enqueued_;
+  std::vector<uint8_t> annotation_;
+  std::vector<int16_t> priority_;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_CRAWL_STATE_H_

@@ -1,0 +1,36 @@
+#include "core/frontier_factory.h"
+
+#include <algorithm>
+
+namespace lswc {
+
+StatusOr<FrontierSelection> MakeFrontier(const CrawlStrategy& strategy,
+                                         const FrontierOptions& options) {
+  if (options.capacity > 0 && options.memory_budget > 0) {
+    return Status::InvalidArgument(
+        "frontier_capacity and frontier_memory_budget are exclusive");
+  }
+  const int levels = std::max(1, strategy.num_priority_levels());
+  FrontierSelection selection;
+  if (options.memory_budget > 0) {
+    SpillingFrontier::Options spill;
+    spill.memory_budget = options.memory_budget;
+    spill.chunk = std::min<size_t>(4096, spill.memory_budget / 2);
+    spill.spill_dir = options.spill_dir;
+    auto f = SpillingFrontier::Create(levels, spill);
+    if (!f.ok()) return f.status();
+    selection.spilling = f->get();
+    selection.frontier = std::move(f).value();
+  } else if (options.capacity > 0) {
+    auto b = std::make_unique<BoundedFrontier>(levels, options.capacity);
+    selection.bounded = b.get();
+    selection.frontier = std::move(b);
+  } else if (levels <= 1) {
+    selection.frontier = std::make_unique<FifoFrontier>();
+  } else {
+    selection.frontier = std::make_unique<BucketFrontier>(levels);
+  }
+  return selection;
+}
+
+}  // namespace lswc

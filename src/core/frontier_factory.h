@@ -1,0 +1,51 @@
+#ifndef LSWC_CORE_FRONTIER_FACTORY_H_
+#define LSWC_CORE_FRONTIER_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/frontier.h"
+#include "core/spilling_frontier.h"
+#include "core/strategy.h"
+#include "util/status.h"
+
+namespace lswc {
+
+/// Frontier sizing knobs, shared by every driver that builds a frontier
+/// from user options (SimulationOptions carries the same fields).
+struct FrontierOptions {
+  /// Hard cap on pending URLs (0 = unlimited): BoundedFrontier.
+  size_t capacity = 0;
+  /// In-memory URL budget for a disk-spilling frontier (0 = keep all
+  /// pending URLs in memory): SpillingFrontier. Mutually exclusive with
+  /// `capacity`.
+  size_t memory_budget = 0;
+  /// Directory for spill files when `memory_budget` is set.
+  std::string spill_dir = "/tmp";
+};
+
+/// A constructed frontier plus typed views onto its optional diagnostic
+/// surfaces (drop counts, spill counters). Exactly one of the raw
+/// pointers is non-null when the corresponding implementation was
+/// chosen; both are null for the plain FIFO/bucket frontiers.
+struct FrontierSelection {
+  std::unique_ptr<Frontier> frontier;
+  BoundedFrontier* bounded = nullptr;
+  SpillingFrontier* spilling = nullptr;
+};
+
+/// Centralizes the frontier choice every crawl driver used to inline:
+///
+///   - `memory_budget` set  -> disk-spilling bucket queue (lossless),
+///   - `capacity` set       -> capacity-bounded bucket queue (shedding),
+///   - single-level strategy-> FIFO,
+///   - otherwise            -> bucket queue with the strategy's levels.
+///
+/// Fails with InvalidArgument when both budgets are set, or with the
+/// spilling frontier's error when the spill directory is unusable.
+StatusOr<FrontierSelection> MakeFrontier(const CrawlStrategy& strategy,
+                                         const FrontierOptions& options);
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_FRONTIER_FACTORY_H_

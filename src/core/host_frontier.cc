@@ -11,8 +11,12 @@ HostFrontier::HostFrontier(uint32_t num_hosts, int num_levels)
 
 void HostFrontier::PushHeap(uint32_t host) {
   HostState& state = hosts_[host];
+  LSWC_CHECK_GE(state.best_level, 0);
   state.heap_stamp = ++stamp_counter_;
-  heap_.push(HeapEntry{state.ready, host, state.heap_stamp});
+  heap_.push(HeapEntry{
+      state.ready, state.best_level,
+      state.levels[static_cast<size_t>(state.best_level)].front().seq, host,
+      state.heap_stamp});
 }
 
 void HostFrontier::Push(PageId url, uint32_t host, int priority) {
@@ -22,12 +26,14 @@ void HostFrontier::Push(PageId url, uint32_t host, int priority) {
     state.levels.resize(static_cast<size_t>(num_levels_));
   }
   const int level = std::clamp(priority, 0, num_levels_ - 1);
-  state.levels[static_cast<size_t>(level)].push_back(url);
-  if (state.pending == 0) {
-    ++pending_hosts_;
-    PushHeap(host);
-  }
+  state.levels[static_cast<size_t>(level)].push_back(
+      Entry{url, ++seq_counter_});
+  if (state.pending == 0) ++pending_hosts_;
   ++state.pending;
+  state.best_level = std::max(state.best_level, level);
+  // Re-key unconditionally: a push can raise the host's best level, so
+  // the published (ready, best_level, front_seq) entry may be stale.
+  PushHeap(host);
   ++size_;
   max_size_ = std::max(max_size_, size_);
 }
@@ -46,18 +52,19 @@ std::optional<double> HostFrontier::NextReadyTime() {
 }
 
 PageId HostFrontier::PopFromHost(HostState* state) {
-  for (auto it = state->levels.rbegin(); it != state->levels.rend(); ++it) {
-    if (!it->empty()) {
-      const PageId url = it->front();
-      it->pop_front();
-      --state->pending;
-      --size_;
-      if (state->pending == 0) --pending_hosts_;
-      return url;
-    }
+  LSWC_CHECK_GE(state->best_level, 0);
+  std::deque<Entry>& level =
+      state->levels[static_cast<size_t>(state->best_level)];
+  const PageId url = level.front().url;
+  level.pop_front();
+  while (state->best_level >= 0 &&
+         state->levels[static_cast<size_t>(state->best_level)].empty()) {
+    --state->best_level;
   }
-  LSWC_CHECK(false) << "host marked pending but all levels empty";
-  return 0;
+  --state->pending;
+  --size_;
+  if (state->pending == 0) --pending_hosts_;
+  return url;
 }
 
 std::optional<PageId> HostFrontier::PopReady(double now) {

@@ -18,6 +18,14 @@ namespace lswc {
 /// and carries a politeness ready-time. The scheduler always serves the
 /// earliest-ready host, so no amount of pending URLs on a hot host can
 /// starve the rest of the frontier.
+///
+/// Ties between simultaneously-ready hosts are broken by (a) the highest
+/// pending strategy priority across the tied hosts, then (b) global
+/// enqueue order within that priority level. This serves the most
+/// promising ready host first, makes scheduling fully deterministic,
+/// and — when every politeness delay is zero — collapses the pop order
+/// to exactly the global bucket-queue order of the timeless simulator
+/// (the property the engine-parity test pins down).
 class HostFrontier {
  public:
   /// `num_hosts` sizes the host table; `num_levels` the per-host
@@ -47,19 +55,36 @@ class HostFrontier {
   size_t pending_hosts() const { return pending_hosts_; }
 
  private:
+  /// One pending URL; `seq` is the global enqueue order used for
+  /// cross-host FIFO tie-breaking.
+  struct Entry {
+    PageId url;
+    uint64_t seq;
+  };
   struct HostState {
-    std::vector<std::deque<PageId>> levels;
+    std::vector<std::deque<Entry>> levels;
     size_t pending = 0;
     double ready = 0.0;
+    int best_level = -1;      // Highest non-empty level, -1 when empty.
     uint64_t heap_stamp = 0;  // Matches the live heap entry.
   };
   struct HeapEntry {
     double ready;
+    int best_level;
+    uint64_t front_seq;
     uint32_t host;
     uint64_t stamp;
-    bool operator>(const HeapEntry& o) const { return ready > o.ready; }
+    /// Min-heap order: earliest ready, then highest best level, then
+    /// oldest front entry.
+    bool operator>(const HeapEntry& o) const {
+      if (ready != o.ready) return ready > o.ready;
+      if (best_level != o.best_level) return best_level < o.best_level;
+      return front_seq > o.front_seq;
+    }
   };
 
+  /// (Re-)publishes `host`'s current scheduling key; the previous heap
+  /// entry becomes stale via the stamp.
   void PushHeap(uint32_t host);
   PageId PopFromHost(HostState* state);
 
@@ -72,6 +97,7 @@ class HostFrontier {
   size_t max_size_ = 0;
   size_t pending_hosts_ = 0;
   uint64_t stamp_counter_ = 0;
+  uint64_t seq_counter_ = 0;
 };
 
 }  // namespace lswc

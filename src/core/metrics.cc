@@ -30,8 +30,8 @@ void MetricsRecorder::Sample(size_t queue_size) {
                   static_cast<double>(queue_size)});
 }
 
-void MetricsRecorder::OnPageCrawled(bool ok_page, bool truly_relevant,
-                                    bool judged_relevant, size_t queue_size) {
+void MetricsRecorder::RecordFetch(bool ok_page, bool truly_relevant,
+                                  bool judged_relevant) {
   LSWC_CHECK(!finished_);
   ++pages_crawled_;
   if (truly_relevant) ++relevant_crawled_;
@@ -46,6 +46,11 @@ void MetricsRecorder::OnPageCrawled(bool ok_page, bool truly_relevant,
       ++confusion_.true_negative;
     }
   }
+}
+
+void MetricsRecorder::OnPageCrawled(bool ok_page, bool truly_relevant,
+                                    bool judged_relevant, size_t queue_size) {
+  RecordFetch(ok_page, truly_relevant, judged_relevant);
   if (pages_crawled_ % sample_interval_ == 0) Sample(queue_size);
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/crawl_observer.h"
 #include "util/series.h"
 
 namespace lswc {
@@ -37,16 +38,37 @@ struct ConfusionCounts {
 ///
 /// each sampled as a series against pages crawled, which is exactly the
 /// x-axis of Figures 3-7.
-class MetricsRecorder {
+///
+/// The recorder is a CrawlObserver: attached to a CrawlEngine it counts
+/// each fetch (OnFetch) and appends a series row at each sampling point
+/// (OnSample) — the engine drives the cadence. The explicit
+/// OnPageCrawled / Finish entry points remain for standalone use (the
+/// same counters and cadence, self-driven).
+class MetricsRecorder : public CrawlObserver {
  public:
   /// `total_relevant` is the dataset-wide relevant-page count (coverage
   /// denominator); `sample_interval` is the series sampling step in
   /// crawled pages.
   MetricsRecorder(uint64_t total_relevant, uint64_t sample_interval);
 
-  /// Records one crawled URL. `truly_relevant` is ground truth;
-  /// `judged_relevant` is the classifier's verdict (only meaningful for
-  /// OK pages); `queue_size` is the frontier size after link expansion.
+  // CrawlObserver:
+  void OnFetch(const FetchEvent& event) override {
+    RecordFetch(event.ok, event.truly_relevant, event.judged_relevant);
+  }
+  void OnSample(const SampleEvent& event) override {
+    Sample(event.frontier_size);
+  }
+
+  /// Counts one crawled URL without sampling. `truly_relevant` is ground
+  /// truth; `judged_relevant` is the classifier's verdict (only
+  /// meaningful for OK pages).
+  void RecordFetch(bool ok_page, bool truly_relevant, bool judged_relevant);
+
+  /// Appends one series row at the current crawled count.
+  void Sample(size_t queue_size);
+
+  /// Standalone-use convenience: RecordFetch plus a cadence-driven
+  /// Sample, `queue_size` being the frontier size after link expansion.
   void OnPageCrawled(bool ok_page, bool truly_relevant, bool judged_relevant,
                      size_t queue_size);
 
@@ -63,8 +85,6 @@ class MetricsRecorder {
   const Series& series() const { return series_; }
 
  private:
-  void Sample(size_t queue_size);
-
   uint64_t total_relevant_;
   uint64_t sample_interval_;
   uint64_t pages_crawled_ = 0;

@@ -1,12 +1,12 @@
 #include "core/politeness.h"
-#include <algorithm>
 
 #include <queue>
+#include <utility>
 #include <vector>
 
+#include "core/crawl_engine.h"
 #include "core/host_frontier.h"
 #include "core/metrics.h"
-#include "core/visitor.h"
 
 namespace lswc {
 
@@ -32,6 +32,120 @@ uint64_t EstimateTransferBytes(const PageRecord& record) {
   return 600 + static_cast<uint64_t>(record.content_chars * bytes_per_char);
 }
 
+namespace {
+
+/// The event-driven half of the politeness simulator behind the engine's
+/// scheduler port: per-server queues (the component the paper's first
+/// simulator omitted — URLs wait in their host's queue, hosts become
+/// eligible as their access interval elapses, the scheduler always
+/// serves the earliest-ready host), `num_connections` in-flight fetch
+/// slots, and the simulated clock. Strategy priorities order URLs within
+/// a host; the crawl loop itself lives in CrawlEngine.
+class PolitenessScheduler final : public FrontierScheduler {
+ public:
+  PolitenessScheduler(const WebGraph* graph, int num_levels,
+                      const PolitenessOptions& options)
+      : graph_(graph),
+        options_(options),
+        frontier_(static_cast<uint32_t>(graph->num_hosts()), num_levels),
+        slots_(static_cast<size_t>(options.num_connections)) {}
+
+  void Push(PageId url, int priority) override {
+    frontier_.Push(url, graph_->page(url).host, priority);
+  }
+
+  std::optional<PageId> Next(const CrawlState& state) override {
+    while (true) {
+      // Fill idle slots with URLs whose hosts are ready now.
+      while (active_.size() < slots_) {
+        const auto next = frontier_.PopReady(now_);
+        if (!next.has_value()) break;
+        const PageId url = *next;
+        if (state.crawled(url)) continue;  // Stale duplicate from a re-push.
+        const uint32_t host = graph_->page(url).host;
+        frontier_.SetHostNextFree(host,
+                                  now_ + options_.min_access_interval_sec);
+        const double transfer =
+            options_.base_latency_sec +
+            static_cast<double>(EstimateTransferBytes(graph_->page(url))) /
+                options_.bandwidth_bytes_per_sec;
+        active_.emplace(now_ + transfer, url);
+      }
+
+      if (active_.empty()) {
+        const auto next_ready = frontier_.NextReadyTime();
+        if (!next_ready.has_value()) return std::nullopt;  // Truly done.
+        AdvanceTo(*next_ready);
+        continue;
+      }
+
+      // Complete the earliest in-flight fetch; the engine skips the URL
+      // if a duplicate of it already finished.
+      const auto [finish, url] = active_.top();
+      active_.pop();
+      AdvanceTo(finish);
+      return url;
+    }
+  }
+
+  size_t size() const override { return frontier_.size(); }
+
+  bool StopRequested() const override {
+    return options_.max_sim_time_sec > 0 && now_ >= options_.max_sim_time_sec;
+  }
+
+  double now() const { return now_; }
+  double idle_slot_seconds() const { return idle_slot_seconds_; }
+  size_t max_size_seen() const { return frontier_.max_size_seen(); }
+  size_t slots() const { return slots_; }
+
+ private:
+  using Event = std::pair<double, PageId>;  // (finish time, url), min-heap.
+
+  /// Advances the clock, charging idle slot-time against the politeness
+  /// stall account.
+  void AdvanceTo(double t) {
+    if (t <= now_) return;
+    idle_slot_seconds_ +=
+        (t - now_) * static_cast<double>(slots_ - active_.size());
+    now_ = t;
+  }
+
+  const WebGraph* graph_;
+  const PolitenessOptions& options_;
+  HostFrontier frontier_;
+  const size_t slots_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> active_;
+  double now_ = 0.0;
+  double idle_slot_seconds_ = 0.0;
+};
+
+/// Observer that extends the engine's metric samples with the simulated
+/// clock: one row per sampling point in the politeness result series.
+class TimedSeriesObserver final : public CrawlObserver {
+ public:
+  TimedSeriesObserver(Series* series, const PolitenessScheduler* scheduler,
+                      const MetricsRecorder* metrics)
+      : series_(series), scheduler_(scheduler), metrics_(metrics) {}
+
+  void OnSample(const SampleEvent& event) override {
+    // The driver appends the final row unconditionally; skip the tail
+    // sample to avoid doubling it.
+    if (event.is_final) return;
+    series_->AddRow(static_cast<double>(event.pages_crawled),
+                    {scheduler_->now(), metrics_->harvest_pct(),
+                     metrics_->coverage_pct(),
+                     static_cast<double>(event.frontier_size)});
+  }
+
+ private:
+  Series* series_;
+  const PolitenessScheduler* scheduler_;
+  const MetricsRecorder* metrics_;
+};
+
+}  // namespace
+
 PolitenessSimulator::PolitenessSimulator(VirtualWebSpace* web,
                                          Classifier* classifier,
                                          const CrawlStrategy* strategy,
@@ -42,143 +156,43 @@ PolitenessSimulator::PolitenessSimulator(VirtualWebSpace* web,
       options_(options) {}
 
 StatusOr<PolitenessResult> PolitenessSimulator::Run() {
-  const WebGraph& graph = web_->graph();
-  const size_t num_pages = graph.num_pages();
-  if (graph.seeds().empty()) {
-    return Status::FailedPrecondition("graph has no seed URLs");
-  }
   if (options_.num_connections <= 0 || options_.bandwidth_bytes_per_sec <= 0) {
     return Status::InvalidArgument("bad politeness options");
   }
+  PolitenessScheduler scheduler(&web_->graph(),
+                                strategy_->num_priority_levels(), options_);
 
-  // Per-server queues (the component the paper's first simulator
-  // omitted): URLs wait in their host's queue, hosts become eligible as
-  // their access interval elapses, and the scheduler always serves the
-  // earliest-ready host. Strategy priorities order URLs within a host.
-  HostFrontier frontier(static_cast<uint32_t>(graph.num_hosts()),
-                        strategy_->num_priority_levels());
-  Visitor visitor(web_, classifier_, /*parse_html=*/false);
-
-  uint64_t sample_interval = options_.sample_interval;
-  if (sample_interval == 0) {
-    const uint64_t horizon =
-        options_.max_pages != 0 ? options_.max_pages : num_pages;
-    sample_interval = std::max<uint64_t>(1, horizon / 400);
-  }
-  const DatasetStats stats = graph.ComputeStats();
-  MetricsRecorder metrics(stats.relevant_ok_pages, sample_interval);
+  CrawlEngineOptions engine_options;
+  engine_options.max_pages = options_.max_pages;
+  engine_options.sample_interval = options_.sample_interval;
+  CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
+                     engine_options);
   Series series("pages_crawled",
                 {"sim_time_sec", "harvest_pct", "coverage_pct", "queue_size"});
-
-  // Same lazy-decrease-key state as Simulator::Run (see simulator.cc).
-  std::vector<bool> crawled(num_pages, false);
-  std::vector<bool> enqueued(num_pages, false);
-  std::vector<uint8_t> annotation(num_pages, 0);
-  std::vector<int8_t> priority(num_pages, 0);
-
-  for (PageId seed : graph.seeds()) {
-    if (enqueued[seed]) continue;
-    enqueued[seed] = true;
-    priority[seed] = static_cast<int8_t>(strategy_->seed_priority());
-    frontier.Push(seed, graph.page(seed).host, strategy_->seed_priority());
+  TimedSeriesObserver series_observer(&series, &scheduler, &engine.metrics());
+  engine.AddObserver(&series_observer);
+  for (CrawlObserver* observer : options_.observers) {
+    engine.AddObserver(observer);
   }
+  LSWC_RETURN_IF_ERROR(engine.Run());
 
-  using Event = std::pair<double, PageId>;  // (finish time, url), min-heap.
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> active;
-
-  double now = 0.0;
-  double idle_slot_seconds = 0.0;
-  const size_t slots = static_cast<size_t>(options_.num_connections);
-
-  // Advances the clock, charging idle slot-time against the politeness
-  // stall account.
-  auto advance_to = [&](double t) {
-    if (t <= now) return;
-    idle_slot_seconds +=
-        (t - now) * static_cast<double>(slots - active.size());
-    now = t;
-  };
-
-  VisitResult visit;
-  while (true) {
-    if (options_.max_pages != 0 &&
-        metrics.pages_crawled() >= options_.max_pages) {
-      break;
-    }
-    if (options_.max_sim_time_sec > 0 && now >= options_.max_sim_time_sec) {
-      break;
-    }
-
-    // Fill idle slots with URLs whose hosts are ready now.
-    while (active.size() < slots) {
-      const auto next = frontier.PopReady(now);
-      if (!next.has_value()) break;
-      const PageId url = *next;
-      if (crawled[url]) continue;  // Stale duplicate from a re-push.
-      const uint32_t host = graph.page(url).host;
-      frontier.SetHostNextFree(host,
-                               now + options_.min_access_interval_sec);
-      const double transfer =
-          options_.base_latency_sec +
-          static_cast<double>(EstimateTransferBytes(graph.page(url))) /
-              options_.bandwidth_bytes_per_sec;
-      active.emplace(now + transfer, url);
-    }
-
-    if (active.empty()) {
-      const auto next_ready = frontier.NextReadyTime();
-      if (!next_ready.has_value()) break;  // Truly done.
-      advance_to(*next_ready);
-      continue;
-    }
-
-    // Complete the earliest in-flight fetch.
-    const auto [finish, url] = active.top();
-    active.pop();
-    advance_to(finish);
-    if (crawled[url]) continue;
-    crawled[url] = true;
-
-    LSWC_RETURN_IF_ERROR(visitor.Visit(url, &visit));
-    const bool ok = visit.response.ok();
-    if (ok) {
-      const ParentInfo parent{url, visit.judgment.relevant, annotation[url]};
-      for (PageId child : visit.links) {
-        if (crawled[child]) continue;
-        const LinkDecision d = strategy_->OnLink(parent, child);
-        if (!d.enqueue) continue;
-        const bool better = !enqueued[child] ||
-                            d.annotation < annotation[child] ||
-                            d.priority > priority[child];
-        if (!better) continue;
-        enqueued[child] = true;
-        annotation[child] = d.annotation;
-        priority[child] = static_cast<int8_t>(d.priority);
-        frontier.Push(child, graph.page(child).host, d.priority);
-      }
-    }
-    metrics.OnPageCrawled(ok, graph.IsRelevant(url), visit.judgment.relevant,
-                          frontier.size());
-    if (metrics.pages_crawled() % sample_interval == 0) {
-      series.AddRow(static_cast<double>(metrics.pages_crawled()),
-                    {now, metrics.harvest_pct(), metrics.coverage_pct(),
-                     static_cast<double>(frontier.size())});
-    }
-  }
-  metrics.Finish(frontier.size());
+  const MetricsRecorder& metrics = engine.metrics();
+  const double now = scheduler.now();
   series.AddRow(static_cast<double>(metrics.pages_crawled()),
                 {now, metrics.harvest_pct(), metrics.coverage_pct(),
-                 static_cast<double>(frontier.size())});
+                 static_cast<double>(scheduler.size())});
 
-  PolitenessResult result{PolitenessSummary{}, series};
+  PolitenessResult result{PolitenessSummary{}, std::move(series)};
   result.summary.pages_crawled = metrics.pages_crawled();
   result.summary.relevant_crawled = metrics.relevant_crawled();
   result.summary.sim_time_sec = now;
   result.summary.pages_per_sec =
       now > 0 ? static_cast<double>(metrics.pages_crawled()) / now : 0.0;
   result.summary.politeness_stall_fraction =
-      now > 0 ? idle_slot_seconds / (now * static_cast<double>(slots)) : 0.0;
-  result.summary.max_queue_size = frontier.max_size_seen();
+      now > 0 ? scheduler.idle_slot_seconds() /
+                    (now * static_cast<double>(scheduler.slots()))
+              : 0.0;
+  result.summary.max_queue_size = scheduler.max_size_seen();
   result.summary.final_harvest_pct = metrics.harvest_pct();
   result.summary.final_coverage_pct = metrics.coverage_pct();
   return result;

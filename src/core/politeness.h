@@ -2,8 +2,10 @@
 #define LSWC_CORE_POLITENESS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/classifier.h"
+#include "core/crawl_observer.h"
 #include "core/strategy.h"
 #include "core/virtual_web.h"
 #include "util/series.h"
@@ -29,6 +31,10 @@ struct PolitenessOptions {
   double max_sim_time_sec = 0.0;
   /// Series sampling step in crawled pages (0 = auto).
   uint64_t sample_interval = 0;
+  /// Additional crawl observers (not owned; must outlive the run). The
+  /// engine's MetricsRecorder and the timed-series recorder are always
+  /// attached first.
+  std::vector<CrawlObserver*> observers;
 };
 
 struct PolitenessSummary {

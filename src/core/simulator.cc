@@ -1,8 +1,7 @@
 #include "core/simulator.h"
 
-#include "core/spilling_frontier.h"
-
-#include <vector>
+#include "core/crawl_engine.h"
+#include "core/frontier_factory.h"
 
 namespace lswc {
 
@@ -15,111 +14,26 @@ Simulator::Simulator(VirtualWebSpace* web, Classifier* classifier,
       options_(options) {}
 
 StatusOr<SimulationResult> Simulator::Run() {
-  const WebGraph& graph = web_->graph();
-  const size_t num_pages = graph.num_pages();
-  if (graph.seeds().empty()) {
-    return Status::FailedPrecondition("graph has no seed URLs");
+  FrontierOptions frontier_options;
+  frontier_options.capacity = options_.frontier_capacity;
+  frontier_options.memory_budget = options_.frontier_memory_budget;
+  frontier_options.spill_dir = options_.spill_dir;
+  auto selection = MakeFrontier(*strategy_, frontier_options);
+  if (!selection.ok()) return selection.status();
+  FrontierPopScheduler scheduler(selection->frontier.get());
+
+  CrawlEngineOptions engine_options;
+  engine_options.max_pages = options_.max_pages;
+  engine_options.sample_interval = options_.sample_interval;
+  engine_options.parse_html = options_.parse_html;
+  CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
+                     engine_options);
+  for (CrawlObserver* observer : options_.observers) {
+    engine.AddObserver(observer);
   }
+  LSWC_RETURN_IF_ERROR(engine.Run());
 
-  // Frontier: FIFO when the strategy uses a single level; bounded or
-  // disk-spilling bucket queue when the caller set a budget.
-  std::unique_ptr<Frontier> frontier;
-  BoundedFrontier* bounded = nullptr;
-  if (options_.frontier_capacity > 0 &&
-      options_.frontier_memory_budget > 0) {
-    return Status::InvalidArgument(
-        "frontier_capacity and frontier_memory_budget are exclusive");
-  }
-  if (options_.frontier_memory_budget > 0) {
-    SpillingFrontier::Options spill;
-    spill.memory_budget = options_.frontier_memory_budget;
-    spill.chunk = std::min<size_t>(4096, spill.memory_budget / 2);
-    spill.spill_dir = options_.spill_dir;
-    auto f = SpillingFrontier::Create(
-        std::max(1, strategy_->num_priority_levels()), spill);
-    if (!f.ok()) return f.status();
-    frontier = std::move(f).value();
-  } else if (options_.frontier_capacity > 0) {
-    auto b = std::make_unique<BoundedFrontier>(
-        std::max(1, strategy_->num_priority_levels()),
-        options_.frontier_capacity);
-    bounded = b.get();
-    frontier = std::move(b);
-  } else if (strategy_->num_priority_levels() <= 1) {
-    frontier = std::make_unique<FifoFrontier>();
-  } else {
-    frontier = std::make_unique<BucketFrontier>(
-        strategy_->num_priority_levels());
-  }
-
-  Visitor visitor(web_, classifier_, options_.parse_html);
-
-  uint64_t sample_interval = options_.sample_interval;
-  if (sample_interval == 0) {
-    const uint64_t horizon =
-        options_.max_pages != 0 ? options_.max_pages : num_pages;
-    sample_interval = std::max<uint64_t>(1, horizon / 400);
-  }
-  const DatasetStats stats = graph.ComputeStats();
-  MetricsRecorder metrics(stats.relevant_ok_pages, sample_interval);
-
-  // Per-URL crawl state. A URL is fetched at most once; while it waits in
-  // the queue, a better referrer (higher priority or a shorter
-  // irrelevant-run annotation) may re-push it — the stale entry is
-  // skipped at pop time. This lazy-decrease-key is what lets the
-  // *prioritized* limited-distance mode propagate minimal distances
-  // (near-relevant URLs pop first, so their children inherit the best
-  // annotations), while FIFO orders cannot exploit it — the mechanism
-  // behind Fig 7's N-invariance.
-  std::vector<bool> crawled(num_pages, false);
-  std::vector<bool> enqueued(num_pages, false);
-  std::vector<uint8_t> annotation(num_pages, 0);
-  std::vector<int8_t> priority(num_pages, 0);
-
-  for (PageId seed : graph.seeds()) {
-    if (enqueued[seed]) continue;
-    enqueued[seed] = true;
-    annotation[seed] = 0;
-    priority[seed] = static_cast<int8_t>(strategy_->seed_priority());
-    frontier->Push(seed, strategy_->seed_priority());
-  }
-
-  VisitResult visit;
-  while (true) {
-    if (options_.max_pages != 0 &&
-        metrics.pages_crawled() >= options_.max_pages) {
-      break;
-    }
-    const auto next = frontier->Pop();
-    if (!next.has_value()) break;
-    const PageId url = *next;
-    if (crawled[url]) continue;  // Stale duplicate from a re-push.
-    crawled[url] = true;
-
-    LSWC_RETURN_IF_ERROR(visitor.Visit(url, &visit));
-    const bool ok = visit.response.ok();
-
-    if (ok) {
-      const ParentInfo parent{url, visit.judgment.relevant, annotation[url]};
-      for (PageId child : visit.links) {
-        if (crawled[child]) continue;
-        const LinkDecision d = strategy_->OnLink(parent, child);
-        if (!d.enqueue) continue;
-        const bool better = !enqueued[child] ||
-                            d.annotation < annotation[child] ||
-                            d.priority > priority[child];
-        if (!better) continue;
-        enqueued[child] = true;
-        annotation[child] = d.annotation;
-        priority[child] = static_cast<int8_t>(d.priority);
-        frontier->Push(child, d.priority);
-      }
-    }
-    metrics.OnPageCrawled(ok, graph.IsRelevant(url), visit.judgment.relevant,
-                          frontier->size());
-  }
-  metrics.Finish(frontier->size());
-
+  const MetricsRecorder& metrics = engine.metrics();
   SimulationResult result{
       SimulationSummary{},
       metrics.series(),
@@ -127,9 +41,9 @@ StatusOr<SimulationResult> Simulator::Run() {
   result.summary.pages_crawled = metrics.pages_crawled();
   result.summary.ok_pages_crawled = metrics.confusion().total();
   result.summary.relevant_crawled = metrics.relevant_crawled();
-  result.summary.max_queue_size = frontier->max_size_seen();
-  if (bounded != nullptr) {
-    result.summary.urls_dropped = bounded->dropped_count();
+  result.summary.max_queue_size = selection->frontier->max_size_seen();
+  if (selection->bounded != nullptr) {
+    result.summary.urls_dropped = selection->bounded->dropped_count();
   }
   result.summary.final_harvest_pct = metrics.harvest_pct();
   result.summary.final_coverage_pct = metrics.coverage_pct();

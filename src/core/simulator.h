@@ -3,8 +3,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/classifier.h"
+#include "core/crawl_observer.h"
 #include "core/frontier.h"
 #include "core/metrics.h"
 #include "core/strategy.h"
@@ -36,6 +38,10 @@ struct SimulationOptions {
   /// order. Mutually exclusive with frontier_capacity.
   size_t frontier_memory_budget = 0;
   std::string spill_dir = "/tmp";
+  /// Additional crawl observers notified from the engine's event bus
+  /// (not owned; must outlive the run). The MetricsRecorder is always
+  /// attached first, so these may read it during their own callbacks.
+  std::vector<CrawlObserver*> observers;
 };
 
 /// Aggregate outcome of a run.
@@ -58,8 +64,10 @@ struct SimulationResult {
 };
 
 /// The simulation driver of the paper's Fig 2: wires the virtual web
-/// space, visitor, classifier, observer (strategy) and URL queue, runs
-/// the crawl loop, and collects the §3.4 metrics.
+/// space, visitor, classifier, observer (strategy) and URL queue, and
+/// runs the shared CrawlEngine loop over a frontier built by
+/// MakeFrontier; the §3.4 metrics arrive through the engine's
+/// CrawlObserver bus.
 ///
 /// One Simulator instance runs one crawl. The frontier implementation is
 /// chosen from the strategy's priority-level count (FIFO for one level,

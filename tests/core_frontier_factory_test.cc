@@ -1,0 +1,81 @@
+#include "core/frontier_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+
+namespace lswc {
+namespace {
+
+TEST(FrontierFactoryTest, SingleLevelStrategyGetsFifo) {
+  BreadthFirstStrategy strategy;  // 1 priority level.
+  auto s = MakeFrontier(strategy, FrontierOptions{});
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_NE(dynamic_cast<FifoFrontier*>(s->frontier.get()), nullptr);
+  EXPECT_EQ(s->bounded, nullptr);
+  EXPECT_EQ(s->spilling, nullptr);
+}
+
+TEST(FrontierFactoryTest, MultiLevelStrategyGetsBucketQueue) {
+  LimitedDistanceStrategy strategy(3, /*prioritized=*/true);  // 4 levels.
+  auto s = MakeFrontier(strategy, FrontierOptions{});
+  ASSERT_TRUE(s.ok()) << s.status();
+  auto* bucket = dynamic_cast<BucketFrontier*>(s->frontier.get());
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->num_levels(), 4);
+}
+
+TEST(FrontierFactoryTest, CapacityGetsBoundedFrontier) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options;
+  options.capacity = 128;
+  auto s = MakeFrontier(strategy, options);
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_NE(s->bounded, nullptr);
+  EXPECT_EQ(s->bounded, s->frontier.get());
+  EXPECT_EQ(s->bounded->capacity(), 128u);
+  EXPECT_EQ(s->bounded->num_levels(), 2);
+}
+
+TEST(FrontierFactoryTest, MemoryBudgetGetsSpillingFrontier) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options;
+  options.memory_budget = 1024;
+  options.spill_dir = ::testing::TempDir();
+  auto s = MakeFrontier(strategy, options);
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_NE(s->spilling, nullptr);
+  EXPECT_EQ(s->spilling, s->frontier.get());
+}
+
+TEST(FrontierFactoryTest, CapacityAndMemoryBudgetAreExclusive) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options;
+  options.capacity = 128;
+  options.memory_budget = 1024;
+  auto s = MakeFrontier(strategy, options);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.status().ToString().find("exclusive"), std::string::npos);
+}
+
+TEST(FrontierFactoryTest, BadSpillDirPropagatesError) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options;
+  options.memory_budget = 1024;
+  options.spill_dir = "/dev/null/not-a-directory";
+  EXPECT_FALSE(MakeFrontier(strategy, options).ok());
+}
+
+// The factory clamps degenerate level counts the way the inlined code
+// did: a bounded frontier for a one-level strategy still works.
+TEST(FrontierFactoryTest, BoundedFrontierWithSingleLevelStrategy) {
+  HardFocusedStrategy strategy;
+  FrontierOptions options;
+  options.capacity = 4;
+  auto s = MakeFrontier(strategy, options);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->bounded->num_levels(), 1);
+}
+
+}  // namespace
+}  // namespace lswc
