@@ -9,6 +9,7 @@
 // focused crawler (Chakrabarti et al., §2.1) as a third point.
 
 #include <cstdio>
+#include <deque>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -20,31 +21,40 @@ int main(int argc, char** argv) {
   using namespace lswc::bench;
   BenchArgs args = BenchArgs::Parse(argc, argv);
   if (args.pages > 300'000) args.pages = 300'000;
+  BenchReport report = MakeReport("ablation_tunneling", args);
 
   std::printf("=== Ablation: tunneling approaches, Thai dataset ===\n");
   const WebGraph graph = BuildThaiDataset(args);
   PrintDatasetStats("Thai", graph);
-  MetaTagClassifier classifier(Language::kThai);
+  const ClassifierFactory classifier =
+      ClassifierOf<MetaTagClassifier>(Language::kThai);
 
   // The paper's contenders.
   std::printf("\n-- the paper's strategies --\n");
-  const SimulationResult hard =
-      RunStrategy(graph, &classifier, HardFocusedStrategy());
-  const SimulationResult soft =
-      RunStrategy(graph, &classifier, SoftFocusedStrategy());
+  const HardFocusedStrategy hard;
+  const SoftFocusedStrategy soft_strategy;
+  std::deque<LimitedDistanceStrategy> limited;
+  std::vector<GridRun> paper_grid{GridRun{"hard-focused", &hard},
+                                  GridRun{"soft-focused", &soft_strategy}};
   for (int n : {1, 2, 3}) {
-    RunStrategy(graph, &classifier, LimitedDistanceStrategy(n, true));
+    limited.emplace_back(n, true);
+    paper_grid.push_back(GridRun{limited.back().name(), &limited.back()});
   }
-  (void)hard;
+  const std::vector<GridResult> paper_runs =
+      RunGrid(args, graph, classifier, std::move(paper_grid), &report);
+  const GridResult& soft = paper_runs[1];
 
   // Context-focused crawler with an ideal "search engine" (exact
   // layers); sweep the layer budget like N.
   std::printf("\n-- context-focused crawler (ideal reverse-link oracle) --\n");
   const auto layers = ComputeContextLayers(graph);
+  std::deque<ContextGraphStrategy> context;
+  std::vector<GridRun> context_grid;
   for (int max_layer : {1, 2, 3}) {
-    ContextGraphStrategy context(layers, max_layer);
-    RunStrategy(graph, &classifier, context);
+    context.emplace_back(layers, max_layer);
+    context_grid.push_back(GridRun{context.back().name(), &context.back()});
   }
+  RunGrid(args, graph, classifier, std::move(context_grid), &report);
 
   // Distiller-style hub boost: pilot soft crawl, HITS over its relevant
   // pages, boosted re-crawl.
@@ -58,10 +68,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
     return 1;
   }
+  std::deque<HubBoostStrategy> boosted;
+  std::vector<GridRun> hub_grid;
   for (size_t hubs : {50, 500}) {
-    HubBoostStrategy boosted(graph.num_pages(), TopHubs(*scores, hubs));
-    RunStrategy(graph, &classifier, boosted);
+    boosted.emplace_back(graph.num_pages(), TopHubs(*scores, hubs));
+    hub_grid.push_back(GridRun{boosted.back().name(), &boosted.back()});
   }
+  RunGrid(args, graph, classifier, std::move(hub_grid), &report);
 
   std::printf("\nreading: with a perfect reverse-link oracle the context "
               "crawler dominates (it only fetches pages on shortest paths "
@@ -69,6 +82,7 @@ int main(int argc, char** argv) {
               "dependency the paper's limited-distance strategy avoids "
               "while keeping most of the coverage at comparable queue "
               "size. Soft peak queue for scale: %zu URLs.\n",
-              soft.summary.max_queue_size);
+              soft.result.summary.max_queue_size);
+  WriteReport(args, report);
   return 0;
 }

@@ -7,8 +7,13 @@
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace lswc::bench {
+
+unsigned BenchArgs::resolved_jobs() const {
+  return jobs != 0 ? jobs : ThreadPool::DefaultThreadCount();
+}
 
 BenchArgs BenchArgs::Parse(int argc, char** argv) {
   BenchArgs args;
@@ -29,13 +34,38 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     } else if (StartsWith(arg, "--out-dir=")) {
       args.out_dir = std::string(arg.substr(10));
       continue;
+    } else if (StartsWith(arg, "--jobs=")) {
+      const auto v = ParseUint64(arg.substr(7));
+      if (v.has_value() && *v > 0 && *v <= 1024) {
+        args.jobs = static_cast<unsigned>(*v);
+        continue;
+      }
     }
-    std::fprintf(stderr,
-                 "usage: %s [--pages=N] [--seed=N] [--out-dir=DIR]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s [--pages=N] [--seed=N] [--out-dir=DIR] [--jobs=N]\n",
+        argv[0]);
     std::exit(2);
   }
   return args;
+}
+
+BenchReport MakeReport(std::string name, const BenchArgs& args) {
+  BenchReport report(std::move(name));
+  report.set_pages(args.pages);
+  report.set_seed(args.seed);
+  report.set_jobs(args.resolved_jobs());
+  return report;
+}
+
+void WriteReport(const BenchArgs& args, const BenchReport& report) {
+  const Status status = report.WriteFile(args.out_dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("# wrote %s/BENCH_%s.json\n", args.out_dir.c_str(),
+              report.name().c_str());
 }
 
 namespace {
@@ -63,47 +93,66 @@ WebGraph BuildJapaneseDataset(const BenchArgs& args) {
   return Build(JapaneseLikeOptions(args.pages), args);
 }
 
-namespace {
-/// Counts link-expansion outcomes over the engine's event bus; re-push
-/// and drop volume is diagnostic output the summary line reports per
-/// strategy.
-class LinkTrafficObserver final : public CrawlObserver {
- public:
-  bool wants_link_events() const override { return true; }
-  void OnRePush(PageId, const LinkDecision&) override { ++repushed_; }
-  void OnDrop(PageId, LinkDropReason) override { ++dropped_; }
+std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
+                                ClassifierFactory default_classifier,
+                                std::vector<GridRun> runs, BenchReport* report,
+                                bool print) {
+  ExperimentRunner::Options options;
+  options.jobs = args.jobs;
+  ExperimentRunner runner(options);
+  const int dataset = runner.AddDataset(&graph);
 
-  uint64_t repushed() const { return repushed_; }
-  uint64_t dropped() const { return dropped_; }
+  std::vector<RunSpec> specs;
+  specs.reserve(runs.size());
+  for (GridRun& run : runs) {
+    RunSpec spec;
+    spec.name = run.name.empty() ? run.strategy->name() : run.name;
+    spec.dataset = dataset;
+    spec.strategy = run.strategy;
+    spec.classifier =
+        run.classifier ? std::move(run.classifier) : default_classifier;
+    spec.render_mode = run.render_mode;
+    spec.options = std::move(run.options);
+    specs.push_back(std::move(spec));
+  }
 
- private:
-  uint64_t repushed_ = 0;
-  uint64_t dropped_ = 0;
-};
-}  // namespace
-
-SimulationResult RunStrategy(const WebGraph& graph, Classifier* classifier,
-                             const CrawlStrategy& strategy,
-                             RenderMode render_mode) {
-  LinkTrafficObserver traffic;
-  SimulationOptions options;
-  options.observers.push_back(&traffic);
-  const auto t0 = std::chrono::steady_clock::now();
-  auto result = RunSimulation(graph, classifier, strategy, render_mode,
-                              options);
-  LSWC_CHECK(result.ok()) << result.status();
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  const SimulationSummary& s = result->summary;
-  std::printf("%-38s crawled %9llu | harvest %5.1f%% | coverage %5.1f%% | "
-              "max queue %9zu | repush %8llu | drop %9llu | %6.2fs\n",
-              strategy.name().c_str(),
-              static_cast<unsigned long long>(s.pages_crawled),
-              s.final_harvest_pct, s.final_coverage_pct, s.max_queue_size,
-              static_cast<unsigned long long>(traffic.repushed()),
-              static_cast<unsigned long long>(traffic.dropped()), secs);
-  return std::move(result).value();
+  std::vector<RunResult> results = runner.Run(specs);
+  std::vector<GridResult> out;
+  out.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    RunResult& r = results[i];
+    LSWC_CHECK(r.status.ok()) << specs[i].name << ": " << r.status;
+    const SimulationSummary& s = r.result->summary;
+    if (print) {
+      std::printf("%-38s crawled %9llu | harvest %5.1f%% | coverage %5.1f%% "
+                  "| max queue %9zu | repush %8llu | drop %9llu | %6.2fs\n",
+                  specs[i].strategy->name().c_str(),
+                  static_cast<unsigned long long>(s.pages_crawled),
+                  s.final_harvest_pct, s.final_coverage_pct,
+                  s.max_queue_size,
+                  static_cast<unsigned long long>(r.repushed),
+                  static_cast<unsigned long long>(r.dropped),
+                  r.wall_time_sec);
+    }
+    if (report != nullptr) {
+      BenchRunEntry entry;
+      entry.name = specs[i].name;
+      entry.wall_time_sec = r.wall_time_sec;
+      entry.pages_crawled = s.pages_crawled;
+      entry.relevant_crawled = s.relevant_crawled;
+      entry.harvest_pct = s.final_harvest_pct;
+      entry.coverage_pct = s.final_coverage_pct;
+      entry.max_queue_size = s.max_queue_size;
+      entry.repushed = r.repushed;
+      entry.dropped = r.dropped;
+      entry.series_rows = r.result->series.num_rows();
+      entry.series_hash = Fnv1aHash(r.result->series);
+      report->AddRun(entry);
+    }
+    out.push_back(GridResult{specs[i].name, std::move(*r.result),
+                             r.wall_time_sec, r.repushed, r.dropped});
+  }
+  return out;
 }
 
 void PrintDatasetStats(const char* name, const WebGraph& graph) {
@@ -128,8 +177,18 @@ Series MergeColumn(const std::vector<std::pair<std::string,
   return MergeSeriesColumns(inputs, column, x_name);
 }
 
+Series MergeColumn(const std::vector<GridResult>& runs, size_t column,
+                   const std::string& x_name) {
+  std::vector<SeriesInput> inputs;
+  inputs.reserve(runs.size());
+  for (const GridResult& run : runs) {
+    inputs.push_back(SeriesInput{run.name, &run.result.series});
+  }
+  return MergeSeriesColumns(inputs, column, x_name);
+}
+
 void EmitSeries(const BenchArgs& args, const std::string& file,
-                const Series& series) {
+                const Series& series, BenchReport* report) {
   std::error_code ec;
   std::filesystem::create_directories(args.out_dir, ec);
   const std::string path = args.out_dir + "/" + file;
@@ -138,6 +197,10 @@ void EmitSeries(const BenchArgs& args, const std::string& file,
     std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
   } else {
     std::printf("# wrote %s\n", path.c_str());
+  }
+  if (report != nullptr) {
+    report->AddSeries(
+        BenchSeriesEntry{file, series.num_rows(), Fnv1aHash(series)});
   }
   std::fputs(series.ToTable(series.num_rows() / 16 + 1).c_str(), stdout);
 }

@@ -3,39 +3,97 @@
 
 // Shared plumbing for the figure/table reproduction harnesses. Each
 // harness binary regenerates one table or figure of the paper: it runs
-// the simulation(s), prints the same rows/series the paper reports, and
-// drops gnuplot-ready .dat files under --out-dir.
+// the simulation(s), prints the same rows/series the paper reports,
+// drops gnuplot-ready .dat files under --out-dir, and writes a
+// machine-readable BENCH_<name>.json next to them (CI's perf gate
+// consumes it; see EXPERIMENTS.md for the schema).
+//
+// Grids of independent runs go through core::ExperimentRunner: --jobs=N
+// fans the cells across a thread pool, and results come back in grid
+// order, so the printed rows and emitted series are bit-identical to
+// the serial run (--jobs=1 is exactly the historical execution).
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/experiment_runner.h"
 #include "core/simulator.h"
+#include "util/bench_report.h"
 #include "util/series.h"
 #include "webgraph/generator.h"
 
 namespace lswc::bench {
 
-/// Common command-line flags: --pages=N --seed=N --out-dir=DIR.
+/// Common command-line flags: --pages=N --seed=N --out-dir=DIR --jobs=N.
 /// Unknown flags abort with a usage message.
 struct BenchArgs {
   uint32_t pages = 1'000'000;
   uint64_t seed = 0;  // 0 = preset default.
   std::string out_dir = "bench_out";
+  unsigned jobs = 0;  // 0 = all hardware threads; 1 = serial.
+
+  /// The worker count a runner built from these args will use.
+  unsigned resolved_jobs() const;
 
   static BenchArgs Parse(int argc, char** argv);
 };
+
+/// Creates the binary's BENCH report with name/pages/seed/jobs
+/// prefilled. Construct it before building datasets: the report's wall
+/// time runs from construction to WriteReport.
+BenchReport MakeReport(std::string name, const BenchArgs& args);
+
+/// Writes <out_dir>/BENCH_<name>.json and prints the path.
+void WriteReport(const BenchArgs& args, const BenchReport& report);
 
 /// Builds the graph for one experiment, logging dataset stats.
 WebGraph BuildThaiDataset(const BenchArgs& args);
 WebGraph BuildJapaneseDataset(const BenchArgs& args);
 
-/// Runs one strategy and prints its one-line summary, including the
-/// engine's link-traffic counters (re-pushes and drops, collected by a
-/// CrawlObserver on the event bus) — re-push volume is the cost of the
-/// better-referrer rule that each figure's prioritized runs rely on.
-SimulationResult RunStrategy(const WebGraph& graph, Classifier* classifier,
-                             const CrawlStrategy& strategy,
-                             RenderMode render_mode = RenderMode::kNone);
+/// Factory for per-run classifier instances (Judge() is stateful, so
+/// every parallel run needs its own copy).
+template <typename C>
+ClassifierFactory ClassifierOf(Language language) {
+  return [language] { return std::unique_ptr<Classifier>(new C(language)); };
+}
+
+/// One cell of a figure/table grid.
+struct GridRun {
+  GridRun() = default;
+  GridRun(std::string name, const CrawlStrategy* strategy)
+      : name(std::move(name)), strategy(strategy) {}
+
+  /// Series/report label; empty = strategy->name().
+  std::string name;
+  const CrawlStrategy* strategy = nullptr;
+  /// Overrides the grid's default classifier factory when set.
+  ClassifierFactory classifier;
+  RenderMode render_mode = RenderMode::kNone;
+  SimulationOptions options;
+};
+
+/// Outcome of one grid cell, in grid order.
+struct GridResult {
+  std::string name;
+  SimulationResult result;
+  double wall_time_sec = 0.0;
+  uint64_t repushed = 0;  // Better-referrer re-pushes (link bus).
+  uint64_t dropped = 0;   // Links not enqueued (link bus).
+};
+
+/// Runs the grid across args.jobs workers and returns results in grid
+/// order. When `print`, each cell's one-line summary (the historical
+/// RunStrategy line, including the engine's link-traffic counters) is
+/// printed — after all runs finish, in grid order, so the output does
+/// not depend on worker scheduling. When `report`, one BenchRunEntry
+/// per cell is appended.
+std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
+                                ClassifierFactory default_classifier,
+                                std::vector<GridRun> runs, BenchReport* report,
+                                bool print = true);
 
 /// Prints the Table 3-style header for a dataset.
 void PrintDatasetStats(const char* name, const WebGraph& graph);
@@ -46,11 +104,14 @@ void PrintDatasetStats(const char* name, const WebGraph& graph);
 Series MergeColumn(const std::vector<std::pair<std::string,
                                                const SimulationResult*>>& runs,
                    size_t column, const std::string& x_name);
+Series MergeColumn(const std::vector<GridResult>& runs, size_t column,
+                   const std::string& x_name);
 
 /// Writes `series` to <out_dir>/<file>, creating the directory, and
-/// prints the table (strided to ~20 rows) to stdout.
+/// prints the table (strided to ~20 rows) to stdout. When `report`, the
+/// artifact is recorded with its row count and content hash.
 void EmitSeries(const BenchArgs& args, const std::string& file,
-                const Series& series);
+                const Series& series, BenchReport* report = nullptr);
 
 }  // namespace lswc::bench
 

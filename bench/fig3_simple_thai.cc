@@ -17,30 +17,28 @@ int main(int argc, char** argv) {
   using namespace lswc;
   using namespace lswc::bench;
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report = MakeReport("fig3_simple_thai", args);
 
   std::printf("=== Figure 3: simple strategies, Thai dataset ===\n");
   const WebGraph graph = BuildThaiDataset(args);
   PrintDatasetStats("Thai", graph);
 
-  MetaTagClassifier classifier(Language::kThai);
   const BreadthFirstStrategy bfs;
   const HardFocusedStrategy hard;
   const SoftFocusedStrategy soft;
+  const std::vector<GridResult> runs = RunGrid(
+      args, graph, ClassifierOf<MetaTagClassifier>(Language::kThai),
+      {GridRun{"breadth-first", &bfs},
+       GridRun{"hard-focused", &hard},
+       GridRun{"soft-focused", &soft}},
+      &report);
 
-  const SimulationResult r_bfs = RunStrategy(graph, &classifier, bfs);
-  const SimulationResult r_hard = RunStrategy(graph, &classifier, hard);
-  const SimulationResult r_soft = RunStrategy(graph, &classifier, soft);
-
-  const std::vector<std::pair<std::string, const SimulationResult*>> runs{
-      {"breadth-first", &r_bfs},
-      {"hard-focused", &r_hard},
-      {"soft-focused", &r_soft},
-  };
   std::printf("\n--- Fig 3(a): harvest rate [%%] ---\n");
   EmitSeries(args, "fig3a_harvest.dat",
-             MergeColumn(runs, 0, "pages_crawled"));
+             MergeColumn(runs, 0, "pages_crawled"), &report);
   std::printf("\n--- Fig 3(b): coverage [%%] ---\n");
   EmitSeries(args, "fig3b_coverage.dat",
-             MergeColumn(runs, 1, "pages_crawled"));
+             MergeColumn(runs, 1, "pages_crawled"), &report);
+  WriteReport(args, report);
   return 0;
 }

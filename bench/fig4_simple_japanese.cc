@@ -18,38 +18,41 @@ int main(int argc, char** argv) {
   using namespace lswc;
   using namespace lswc::bench;
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report = MakeReport("fig4_simple_japanese", args);
 
   std::printf("=== Figure 4: simple strategies, Japanese dataset ===\n");
   const WebGraph graph = BuildJapaneseDataset(args);
   PrintDatasetStats("Japanese", graph);
 
-  DetectorClassifier classifier(Language::kJapanese);
   const BreadthFirstStrategy bfs;
   const HardFocusedStrategy hard;
   const SoftFocusedStrategy soft;
-
-  const SimulationResult r_bfs =
-      RunStrategy(graph, &classifier, bfs, RenderMode::kHead);
-  const SimulationResult r_hard =
-      RunStrategy(graph, &classifier, hard, RenderMode::kHead);
-  const SimulationResult r_soft =
-      RunStrategy(graph, &classifier, soft, RenderMode::kHead);
+  std::vector<GridRun> grid;
+  for (const auto& [name, strategy] :
+       {std::pair<const char*, const CrawlStrategy*>{"breadth-first", &bfs},
+        {"hard-focused", &hard},
+        {"soft-focused", &soft}}) {
+    GridRun run;
+    run.name = name;
+    run.strategy = strategy;
+    run.render_mode = RenderMode::kHead;
+    grid.push_back(std::move(run));
+  }
+  const std::vector<GridResult> runs = RunGrid(
+      args, graph, ClassifierOf<DetectorClassifier>(Language::kJapanese),
+      std::move(grid), &report);
 
   std::printf("detector confusion on soft crawl: precision %.3f recall "
               "%.3f\n",
-              r_soft.summary.classifier_confusion.precision(),
-              r_soft.summary.classifier_confusion.recall());
+              runs[2].result.summary.classifier_confusion.precision(),
+              runs[2].result.summary.classifier_confusion.recall());
 
-  const std::vector<std::pair<std::string, const SimulationResult*>> runs{
-      {"breadth-first", &r_bfs},
-      {"hard-focused", &r_hard},
-      {"soft-focused", &r_soft},
-  };
   std::printf("\n--- Fig 4(a): harvest rate [%%] ---\n");
   EmitSeries(args, "fig4a_harvest.dat",
-             MergeColumn(runs, 0, "pages_crawled"));
+             MergeColumn(runs, 0, "pages_crawled"), &report);
   std::printf("\n--- Fig 4(b): coverage [%%] ---\n");
   EmitSeries(args, "fig4b_coverage.dat",
-             MergeColumn(runs, 1, "pages_crawled"));
+             MergeColumn(runs, 1, "pages_crawled"), &report);
+  WriteReport(args, report);
   return 0;
 }

@@ -6,6 +6,7 @@
 // dataset) — the memory argument that motivates the limited-distance
 // strategy.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -14,28 +15,30 @@ int main(int argc, char** argv) {
   using namespace lswc;
   using namespace lswc::bench;
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report = MakeReport("fig5_queue_size", args);
 
   std::printf("=== Figure 5: URL queue size, simple strategies, Thai ===\n");
   const WebGraph graph = BuildThaiDataset(args);
   PrintDatasetStats("Thai", graph);
 
-  MetaTagClassifier classifier(Language::kThai);
   const HardFocusedStrategy hard;
   const SoftFocusedStrategy soft;
-  const SimulationResult r_hard = RunStrategy(graph, &classifier, hard);
-  const SimulationResult r_soft = RunStrategy(graph, &classifier, soft);
+  const std::vector<GridResult> runs = RunGrid(
+      args, graph, ClassifierOf<MetaTagClassifier>(Language::kThai),
+      {GridRun{"hard-focused", &hard}, GridRun{"soft-focused", &soft}},
+      &report);
+  const SimulationSummary& s_hard = runs[0].result.summary;
+  const SimulationSummary& s_soft = runs[1].result.summary;
 
   std::printf("\npeak queue: soft %zu vs hard %zu (ratio %.1fx)\n",
-              r_soft.summary.max_queue_size, r_hard.summary.max_queue_size,
-              static_cast<double>(r_soft.summary.max_queue_size) /
+              s_soft.max_queue_size, s_hard.max_queue_size,
+              static_cast<double>(s_soft.max_queue_size) /
                   static_cast<double>(
-                      std::max<size_t>(1, r_hard.summary.max_queue_size)));
+                      std::max<size_t>(1, s_hard.max_queue_size)));
 
-  const std::vector<std::pair<std::string, const SimulationResult*>> runs{
-      {"hard-focused", &r_hard},
-      {"soft-focused", &r_soft},
-  };
   std::printf("\n--- Fig 5: URL queue size [URLs] ---\n");
-  EmitSeries(args, "fig5_queue.dat", MergeColumn(runs, 2, "pages_crawled"));
+  EmitSeries(args, "fig5_queue.dat", MergeColumn(runs, 2, "pages_crawled"),
+             &report);
+  WriteReport(args, report);
   return 0;
 }

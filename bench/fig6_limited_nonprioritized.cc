@@ -10,6 +10,7 @@
 // beneficial".
 
 #include <cstdio>
+#include <deque>
 
 #include "bench/bench_common.h"
 #include "util/string_util.h"
@@ -18,32 +19,32 @@ int main(int argc, char** argv) {
   using namespace lswc;
   using namespace lswc::bench;
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report = MakeReport("fig6_limited_nonprioritized", args);
 
   std::printf(
       "=== Figure 6: non-prioritized limited distance, Thai, N=1..4 ===\n");
   const WebGraph graph = BuildThaiDataset(args);
   PrintDatasetStats("Thai", graph);
 
-  MetaTagClassifier classifier(Language::kThai);
-  std::vector<SimulationResult> results;
-  std::vector<std::string> names;
+  std::deque<LimitedDistanceStrategy> strategies;
+  std::vector<GridRun> grid;
   for (int n = 1; n <= 4; ++n) {
-    const LimitedDistanceStrategy strategy(n, /*prioritized=*/false);
-    results.push_back(RunStrategy(graph, &classifier, strategy));
-    names.push_back(StringPrintf("N=%d", n));
+    strategies.emplace_back(n, /*prioritized=*/false);
+    grid.push_back(GridRun{StringPrintf("N=%d", n), &strategies.back()});
   }
+  const std::vector<GridResult> runs = RunGrid(
+      args, graph, ClassifierOf<MetaTagClassifier>(Language::kThai),
+      std::move(grid), &report);
 
-  std::vector<std::pair<std::string, const SimulationResult*>> runs;
-  for (size_t i = 0; i < results.size(); ++i) {
-    runs.emplace_back(names[i], &results[i]);
-  }
   std::printf("\n--- Fig 6(a): URL queue size [URLs] ---\n");
-  EmitSeries(args, "fig6a_queue.dat", MergeColumn(runs, 2, "pages_crawled"));
+  EmitSeries(args, "fig6a_queue.dat", MergeColumn(runs, 2, "pages_crawled"),
+             &report);
   std::printf("\n--- Fig 6(b): harvest rate [%%] ---\n");
   EmitSeries(args, "fig6b_harvest.dat",
-             MergeColumn(runs, 0, "pages_crawled"));
+             MergeColumn(runs, 0, "pages_crawled"), &report);
   std::printf("\n--- Fig 6(c): coverage [%%] ---\n");
   EmitSeries(args, "fig6c_coverage.dat",
-             MergeColumn(runs, 1, "pages_crawled"));
+             MergeColumn(runs, 1, "pages_crawled"), &report);
+  WriteReport(args, report);
   return 0;
 }

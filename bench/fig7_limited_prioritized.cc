@@ -12,7 +12,9 @@
 // trajectory spread at a common crawl budget to make the invariance
 // checkable at a glance.
 
+#include <algorithm>
 #include <cstdio>
+#include <deque>
 
 #include "bench/bench_common.h"
 #include "util/string_util.h"
@@ -21,31 +23,30 @@ int main(int argc, char** argv) {
   using namespace lswc;
   using namespace lswc::bench;
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report = MakeReport("fig7_limited_prioritized", args);
 
   std::printf(
       "=== Figure 7: prioritized limited distance, Thai, N=1..4 ===\n");
   const WebGraph graph = BuildThaiDataset(args);
   PrintDatasetStats("Thai", graph);
 
-  MetaTagClassifier classifier(Language::kThai);
-  std::vector<SimulationResult> results;
-  std::vector<std::string> names;
+  std::deque<LimitedDistanceStrategy> strategies;
+  std::vector<GridRun> grid;
   for (int n = 1; n <= 4; ++n) {
-    const LimitedDistanceStrategy strategy(n, /*prioritized=*/true);
-    results.push_back(RunStrategy(graph, &classifier, strategy));
-    names.push_back(StringPrintf("PRIOR-N=%d", n));
+    strategies.emplace_back(n, /*prioritized=*/true);
+    grid.push_back(
+        GridRun{StringPrintf("PRIOR-N=%d", n), &strategies.back()});
   }
+  const std::vector<GridResult> runs = RunGrid(
+      args, graph, ClassifierOf<MetaTagClassifier>(Language::kThai),
+      std::move(grid), &report);
 
-  std::vector<std::pair<std::string, const SimulationResult*>> runs;
-  for (size_t i = 0; i < results.size(); ++i) {
-    runs.emplace_back(names[i], &results[i]);
-  }
   const Series harvest = MergeColumn(runs, 0, "pages_crawled");
   // Invariance check at the shortest run's horizon: max spread across N.
   double min_final_x = harvest.x(harvest.num_rows() - 1);
-  for (const auto& [name, r] : runs) {
-    min_final_x =
-        std::min(min_final_x, r->series.x(r->series.num_rows() - 1));
+  for (const GridResult& r : runs) {
+    min_final_x = std::min(
+        min_final_x, r.result.series.x(r.result.series.num_rows() - 1));
   }
   size_t row = 0;
   while (row + 1 < harvest.num_rows() && harvest.x(row + 1) <= min_final_x) {
@@ -61,11 +62,13 @@ int main(int argc, char** argv) {
               harvest.x(row), hi - lo);
 
   std::printf("\n--- Fig 7(a): URL queue size [URLs] ---\n");
-  EmitSeries(args, "fig7a_queue.dat", MergeColumn(runs, 2, "pages_crawled"));
+  EmitSeries(args, "fig7a_queue.dat", MergeColumn(runs, 2, "pages_crawled"),
+             &report);
   std::printf("\n--- Fig 7(b): harvest rate [%%] ---\n");
-  EmitSeries(args, "fig7b_harvest.dat", harvest);
+  EmitSeries(args, "fig7b_harvest.dat", harvest, &report);
   std::printf("\n--- Fig 7(c): coverage [%%] ---\n");
   EmitSeries(args, "fig7c_coverage.dat",
-             MergeColumn(runs, 1, "pages_crawled"));
+             MergeColumn(runs, 1, "pages_crawled"), &report);
+  WriteReport(args, report);
   return 0;
 }

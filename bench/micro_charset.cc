@@ -96,4 +96,5 @@ BENCHMARK(BM_GenerateText);
 }  // namespace
 }  // namespace lswc
 
-BENCHMARK_MAIN();
+#include "bench/micro_main.h"
+LSWC_MICRO_MAIN("micro_charset")

@@ -71,4 +71,5 @@ BENCHMARK(BM_ExtractMetaCharset);
 }  // namespace
 }  // namespace lswc
 
-BENCHMARK_MAIN();
+#include "bench/micro_main.h"
+LSWC_MICRO_MAIN("micro_html")

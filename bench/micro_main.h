@@ -1,0 +1,64 @@
+#ifndef LSWC_BENCH_MICRO_MAIN_H_
+#define LSWC_BENCH_MICRO_MAIN_H_
+
+// Drop-in replacement for BENCHMARK_MAIN() in the micro_* binaries:
+// unless the caller passes --benchmark_out themselves, route
+// google-benchmark's native JSON report to
+// <out-dir>/BENCH_<name>.json (default out-dir: bench_out; override
+// with --out-dir=DIR, which is consumed here and not forwarded).
+// Unlike the harness BENCH files, these are google-benchmark schema —
+// CI archives both kinds as artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace lswc::bench {
+
+inline int MicroMain(const char* name, int argc, char** argv) {
+  std::string out_dir = "bench_out";
+  bool has_out = false;
+  std::vector<std::string> kept;
+  kept.reserve(static_cast<size_t>(argc) + 2);
+  kept.push_back(argv[0] != nullptr ? argv[0] : name);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out-dir=", 0) == 0) {
+      out_dir = arg.substr(10);
+      continue;
+    }
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+    kept.push_back(arg);
+  }
+  if (!has_out) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    kept.push_back("--benchmark_out=" + out_dir + "/BENCH_" + name +
+                   ".json");
+    kept.push_back("--benchmark_out_format=json");
+  }
+
+  std::vector<char*> args;
+  args.reserve(kept.size());
+  for (std::string& arg : kept) args.push_back(arg.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace lswc::bench
+
+#define LSWC_MICRO_MAIN(name)                       \
+  int main(int argc, char** argv) {                 \
+    return lswc::bench::MicroMain(name, argc, argv); \
+  }
+
+#endif  // LSWC_BENCH_MICRO_MAIN_H_

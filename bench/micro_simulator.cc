@@ -94,4 +94,5 @@ BENCHMARK(BM_BucketFrontier)->Arg(2)->Arg(5);
 }  // namespace
 }  // namespace lswc
 
-BENCHMARK_MAIN();
+#include "bench/micro_main.h"
+LSWC_MICRO_MAIN("micro_simulator")

@@ -66,4 +66,5 @@ BENCHMARK(BM_UrlTableInternHit);
 }  // namespace
 }  // namespace lswc
 
-BENCHMARK_MAIN();
+#include "bench/micro_main.h"
+LSWC_MICRO_MAIN("micro_url")

@@ -1,13 +1,15 @@
 // Section 3 of the paper: before adapting focused crawling the authors
 // sample the Thai dataset and report three observations that justify the
 // language-locality assumption. This harness recomputes all three over
-// the whole dataset (not a sample) plus the degree shape behind them.
+// the whole dataset (not a sample) plus the degree shape behind them,
+// fanning the four analyses across --jobs workers.
 //
 //   1) "In most cases, Thai web pages are linked by other Thai pages."
 //   2) "In some cases, Thai pages are reachable only through non-Thai
 //       web pages."
 //   3) "In some cases, Thai pages are mislabeled as non-Thai pages."
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -17,12 +19,63 @@ int main(int argc, char** argv) {
   using namespace lswc;
   using namespace lswc::bench;
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report = MakeReport("section3_observations", args);
 
   std::printf("=== Section 3: language-locality evidence, Thai dataset ===\n");
   const WebGraph graph = BuildThaiDataset(args);
   PrintDatasetStats("Thai", graph);
 
-  const LocalityStats loc = ComputeLocality(graph);
+  LocalityStats loc;
+  InlinkStats in;
+  DeclarationStats decl;
+  DegreeStats deg;
+  ExperimentRunner::Options runner_options;
+  runner_options.jobs = args.jobs;
+  ExperimentRunner runner(runner_options);
+  const int dataset = runner.AddDataset(&graph);
+  struct Analysis {
+    const char* name;
+    CustomRunFn run;
+  };
+  const Analysis analyses[] = {
+      {"locality", [&loc](const RunContext& c) {
+         loc = ComputeLocality(*c.graph);
+         return Status::OK();
+       }},
+      {"inlinks", [&in](const RunContext& c) {
+         in = ComputeInlinkStats(*c.graph);
+         return Status::OK();
+       }},
+      {"declarations", [&decl](const RunContext& c) {
+         decl = ComputeDeclarationStats(*c.graph);
+         return Status::OK();
+       }},
+      {"degrees", [&deg](const RunContext& c) {
+         deg = ComputeDegreeStats(*c.graph);
+         return Status::OK();
+       }},
+  };
+  std::vector<RunSpec> specs;
+  for (const Analysis& analysis : analyses) {
+    RunSpec spec;
+    spec.name = analysis.name;
+    spec.dataset = dataset;
+    spec.custom = analysis.run;
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<RunResult> results = runner.Run(specs);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", specs[i].name.c_str(),
+                   results[i].status.ToString().c_str());
+      return 1;
+    }
+    BenchRunEntry entry;
+    entry.name = specs[i].name;
+    entry.wall_time_sec = results[i].wall_time_sec;
+    report.AddRun(entry);
+  }
+
   std::printf("\nobservation 1 — link-level locality:\n");
   std::printf("  P(child Thai | parent Thai)     = %.3f\n",
               loc.p_rel_given_rel());
@@ -36,7 +89,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(loc.irr_to_rel),
               static_cast<unsigned long long>(loc.irr_to_irr));
 
-  const InlinkStats in = ComputeInlinkStats(graph);
   std::printf("\nobservation 2 — Thai pages behind non-Thai referrers:\n");
   std::printf("  Thai pages with a Thai referrer        %10llu (%.1f%%)\n",
               static_cast<unsigned long long>(in.with_relevant_referrer),
@@ -49,7 +101,6 @@ int main(int argc, char** argv) {
   std::printf("  Thai pages with no referrers (seeds)   %10llu\n",
               static_cast<unsigned long long>(in.no_referrers));
 
-  const DeclarationStats decl = ComputeDeclarationStats(graph);
   std::printf("\nobservation 3 — charset declarations on Thai pages:\n");
   std::printf("  correctly declared Thai charset %10llu (%.1f%%)\n",
               static_cast<unsigned long long>(decl.correctly_declared),
@@ -68,7 +119,6 @@ int main(int argc, char** argv) {
               100.0 * decl.language_neutral_encoding /
                   std::max<uint64_t>(1, decl.relevant_pages));
 
-  const DegreeStats deg = ComputeDegreeStats(graph);
   std::printf("\ngraph shape:\n");
   std::printf("  mean out-degree %.2f (max %u), mean in-degree %.2f "
               "(max %u)\n",
@@ -76,5 +126,6 @@ int main(int argc, char** argv) {
               deg.max_in_degree);
   std::printf("  in-degree-1 periphery: %.1f%% of pages\n",
               100.0 * deg.in_degree_one_fraction);
+  WriteReport(args, report);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "core/strategy.h"
 
 namespace {
@@ -24,8 +25,11 @@ std::string Cell(const lswc::CrawlStrategy& strategy, bool relevant) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lswc;
+  using namespace lswc::bench;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report = MakeReport("table2_simple_strategy_matrix", args);
   std::printf("=== Table 2: simple strategy ===\n");
   std::printf("%-14s | %-34s | %-34s\n", "mode", "relevant referrer",
               "irrelevant referrer");
@@ -51,5 +55,6 @@ int main() {
   const LinkDecision dead = limited.OnLink(ParentInfo{0, false, 3}, 1);
   std::printf("  referrer run=3 -> %s\n",
               dead.enqueue ? "enqueue" : "discard");
+  WriteReport(args, report);
   return 0;
 }

@@ -6,7 +6,8 @@
 // 3,886,944 (≈35% relevant); Japanese 67,983,623 / 27,200,355 /
 // 95,183,978 (≈71% relevant). The synthetic datasets reproduce the
 // *ratios* at a configurable scale (--pages), which is what the crawling
-// dynamics depend on.
+// dynamics depend on. With --jobs>=2 the two datasets are generated on
+// separate workers.
 
 #include <cstdio>
 
@@ -16,12 +17,49 @@ int main(int argc, char** argv) {
   using namespace lswc;
   using namespace lswc::bench;
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report = MakeReport("table3_dataset_stats", args);
 
   std::printf("=== Table 3: characteristics of experimental datasets ===\n");
-  const WebGraph thai = BuildThaiDataset(args);
-  const WebGraph japanese = BuildJapaneseDataset(args);
-  const DatasetStats t = thai.ComputeStats();
-  const DatasetStats j = japanese.ComputeStats();
+  SyntheticWebOptions thai_options = ThaiLikeOptions(args.pages);
+  SyntheticWebOptions japanese_options = JapaneseLikeOptions(args.pages);
+  if (args.seed != 0) {
+    thai_options.seed = args.seed;
+    japanese_options.seed = args.seed;
+  }
+
+  ExperimentRunner::Options runner_options;
+  runner_options.jobs = args.jobs;
+  ExperimentRunner runner(runner_options);
+  const int datasets[] = {runner.AddDataset(thai_options),
+                          runner.AddDataset(japanese_options)};
+  DatasetStats stats[2];
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < 2; ++i) {
+    RunSpec spec;
+    spec.name = i == 0 ? "thai" : "japanese";
+    spec.dataset = datasets[i];
+    spec.custom = [&stats, i](const RunContext& context) {
+      stats[i] = context.graph->ComputeStats();
+      return Status::OK();
+    };
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<RunResult> results = runner.Run(specs);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", specs[i].name.c_str(),
+                   results[i].status.ToString().c_str());
+      return 1;
+    }
+    BenchRunEntry entry;
+    entry.name = specs[i].name;
+    entry.wall_time_sec = results[i].wall_time_sec;
+    entry.pages_crawled = stats[i].ok_html_pages;
+    entry.relevant_crawled = stats[i].relevant_ok_pages;
+    report.AddRun(entry);
+  }
+  const DatasetStats& t = stats[0];
+  const DatasetStats& j = stats[1];
 
   std::printf("\n%-26s %14s %14s\n", "", "Thai", "Japanese");
   std::printf("%-26s %14llu %14llu\n", "Relevant HTML pages",
@@ -41,5 +79,6 @@ int main(int argc, char** argv) {
               "Thai total %llu, Japanese total %llu)\n",
               static_cast<unsigned long long>(t.total_urls),
               static_cast<unsigned long long>(j.total_urls));
+  WriteReport(args, report);
   return 0;
 }

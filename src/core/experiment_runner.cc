@@ -1,0 +1,137 @@
+#include "core/experiment_runner.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/crawl_observer.h"
+#include "webgraph/link_db.h"
+
+namespace lswc {
+
+namespace {
+/// Counts link-expansion outcomes over the engine's event bus; one
+/// instance per run (observers are worker-thread-local).
+class LinkTrafficCounter final : public CrawlObserver {
+ public:
+  bool wants_link_events() const override { return true; }
+  void OnRePush(PageId, const LinkDecision&) override { ++repushed_; }
+  void OnDrop(PageId, LinkDropReason) override { ++dropped_; }
+
+  uint64_t repushed() const { return repushed_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  uint64_t repushed_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+ExperimentRunner::ExperimentRunner() : ExperimentRunner(Options()) {}
+
+ExperimentRunner::ExperimentRunner(Options options)
+    : jobs_(options.jobs != 0 ? options.jobs
+                              : ThreadPool::DefaultThreadCount()) {}
+
+ExperimentRunner::~ExperimentRunner() = default;
+
+int ExperimentRunner::AddDataset(const WebGraph* graph) {
+  auto dataset = std::make_unique<Dataset>();
+  dataset->prebuilt = graph;
+  datasets_.push_back(std::move(dataset));
+  return static_cast<int>(datasets_.size()) - 1;
+}
+
+int ExperimentRunner::AddDataset(SyntheticWebOptions options) {
+  auto dataset = std::make_unique<Dataset>();
+  dataset->generate = options;
+  datasets_.push_back(std::move(dataset));
+  return static_cast<int>(datasets_.size()) - 1;
+}
+
+StatusOr<const WebGraph*> ExperimentRunner::dataset(int id) {
+  if (id < 0 || static_cast<size_t>(id) >= datasets_.size()) {
+    return Status::InvalidArgument("unknown dataset id");
+  }
+  Dataset& dataset = *datasets_[static_cast<size_t>(id)];
+  if (dataset.prebuilt != nullptr) return dataset.prebuilt;
+  // Generated: build exactly once, even when several workers race here.
+  std::call_once(dataset.once, [&dataset] {
+    dataset.built.emplace(GenerateWebGraph(*dataset.generate));
+  });
+  if (!dataset.built->ok()) return dataset.built->status();
+  return &dataset.built->value();
+}
+
+RunResult ExperimentRunner::RunOne(const RunSpec& spec) {
+  RunResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const WebGraph* graph = nullptr;
+  if (spec.dataset >= 0) {
+    auto resolved = dataset(spec.dataset);
+    if (!resolved.ok()) {
+      out.status = resolved.status();
+      out.wall_time_sec = SecondsSince(t0);
+      return out;
+    }
+    graph = *resolved;
+  }
+
+  Rng rng(spec.seed != 0 ? spec.seed : 0x853c49e6748fea9bULL);
+  if (spec.custom) {
+    RunContext context{graph, &rng};
+    out.status = spec.custom(context);
+    out.wall_time_sec = SecondsSince(t0);
+    return out;
+  }
+
+  if (graph == nullptr || spec.strategy == nullptr || !spec.classifier) {
+    out.status = Status::InvalidArgument(
+        "spec '" + spec.name +
+        "' needs a dataset, a strategy, and a classifier factory");
+    out.wall_time_sec = SecondsSince(t0);
+    return out;
+  }
+
+  std::unique_ptr<Classifier> classifier = spec.classifier();
+  InMemoryLinkDb link_db(graph);
+  VirtualWebSpace web(graph, &link_db, spec.render_mode);
+  LinkTrafficCounter traffic;
+  SimulationOptions options = spec.options;
+  options.observers.push_back(&traffic);
+  Simulator simulator(&web, classifier.get(), spec.strategy, options);
+  auto result = simulator.Run();
+  if (!result.ok()) {
+    out.status = result.status();
+  } else {
+    out.result.emplace(std::move(result).value());
+  }
+  out.repushed = traffic.repushed();
+  out.dropped = traffic.dropped();
+  out.wall_time_sec = SecondsSince(t0);
+  return out;
+}
+
+std::vector<RunResult> ExperimentRunner::Run(
+    const std::vector<RunSpec>& specs) {
+  std::vector<RunResult> results(specs.size());
+  if (jobs_ == 1) {
+    for (size_t i = 0; i < specs.size(); ++i) results[i] = RunOne(specs[i]);
+    return results;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(jobs_);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    pool_->Submit([this, &specs, &results, i] {
+      results[i] = RunOne(specs[i]);
+    });
+  }
+  pool_->Wait();
+  return results;
+}
+
+}  // namespace lswc

@@ -1,0 +1,145 @@
+#ifndef LSWC_CORE_EXPERIMENT_RUNNER_H_
+#define LSWC_CORE_EXPERIMENT_RUNNER_H_
+
+// Parallel experiment execution. Every figure/table/ablation harness
+// replays a strategy × seed × dataset grid of *independent* simulation
+// runs; the ExperimentRunner fans that grid out across a fixed
+// util::ThreadPool and merges results back in spec order, so the output
+// of a parallel run is bit-identical to the serial one — only faster.
+//
+// Isolation contract (what makes parallelism safe AND deterministic):
+//  - the dataset (WebGraph) is shared, const, and never mutated;
+//  - each run builds its own VirtualWebSpace view + InMemoryLinkDb
+//    (both carry per-run mutable state such as fetch counters);
+//  - each run constructs its own Classifier through the spec's factory
+//    (Judge() is non-const: detector classifiers keep scratch state);
+//  - each run gets a private RNG stream seeded from its own spec —
+//    never drawn from a shared generator, so permuting or parallelizing
+//    specs cannot change any individual run's stream;
+//  - the MetricsRecorder lives inside the run's CrawlEngine as always.
+// CrawlStrategy instances are shared across runs: OnLink is const and
+// the implementations are pure.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/simulator.h"
+#include "core/strategy.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+
+/// Builds a fresh classifier for one run. Called once per spec, on the
+/// worker thread that executes the spec.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// Per-run context handed to custom run functions: the resolved dataset
+/// (if the spec names one) and the run's private RNG stream.
+struct RunContext {
+  const WebGraph* graph = nullptr;
+  Rng* rng = nullptr;
+};
+
+/// A function run instead of the standard simulation pipeline — the
+/// escape hatch for grid cells that are not one plain Simulator run
+/// (politeness-timed runs, per-cell graph builds, detector sweeps). It
+/// must confine its effects to caller-owned per-spec storage; it runs
+/// concurrently with other specs.
+using CustomRunFn = std::function<Status(const RunContext&)>;
+
+/// One cell of an experiment grid.
+struct RunSpec {
+  /// Label used in reports and result matching.
+  std::string name;
+  /// Dataset id from ExperimentRunner::AddDataset (-1 = none; required
+  /// for the standard pipeline, optional for custom runs).
+  int dataset = -1;
+  /// Strategy to run (not owned; shared across runs — OnLink is const).
+  const CrawlStrategy* strategy = nullptr;
+  /// Fresh classifier per run; required for the standard pipeline.
+  ClassifierFactory classifier;
+  RenderMode render_mode = RenderMode::kNone;
+  /// Per-run simulation knobs. Observers listed here must be private to
+  /// this spec (they are invoked from the worker thread).
+  SimulationOptions options;
+  /// Seed of this run's private RNG stream (standard simulation runs
+  /// are deterministic and ignore it; custom runs draw via RunContext).
+  uint64_t seed = 0;
+  /// When set, runs instead of the standard pipeline.
+  CustomRunFn custom;
+};
+
+/// Outcome of one spec, in spec order.
+struct RunResult {
+  Status status;               // Not OK => `result` is empty.
+  std::optional<SimulationResult> result;  // Empty for custom specs.
+  double wall_time_sec = 0.0;  // This run alone, on its worker.
+  /// Link-traffic counters from the engine's observer bus (standard
+  /// pipeline only): better-referrer re-pushes and non-enqueued links.
+  uint64_t repushed = 0;
+  uint64_t dropped = 0;
+};
+
+/// Fans a grid of RunSpecs out across a thread pool and returns results
+/// in spec order. `jobs = 1` executes the specs inline on the calling
+/// thread in spec order — exactly the historical serial path.
+class ExperimentRunner {
+ public:
+  struct Options {
+    /// Worker count; 0 = ThreadPool::DefaultThreadCount()
+    /// (hardware_concurrency).
+    unsigned jobs = 0;
+  };
+
+  ExperimentRunner();
+  explicit ExperimentRunner(Options options);
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  /// Registers a caller-owned, pre-built dataset. Returns its id.
+  int AddDataset(const WebGraph* graph);
+
+  /// Registers a generated dataset, materialized at most once — lazily,
+  /// on the first worker that needs it (other workers needing the same
+  /// dataset block; workers on other specs proceed). Returns its id.
+  int AddDataset(SyntheticWebOptions options);
+
+  /// Materializes (if needed) and returns dataset `id`.
+  StatusOr<const WebGraph*> dataset(int id);
+
+  /// Runs every spec and returns results in spec order, regardless of
+  /// completion order. May be called repeatedly; the pool is reused.
+  std::vector<RunResult> Run(const std::vector<RunSpec>& specs);
+
+  /// The resolved worker count (never 0).
+  unsigned jobs() const { return jobs_; }
+
+ private:
+  struct Dataset {
+    const WebGraph* prebuilt = nullptr;
+    std::optional<SyntheticWebOptions> generate;
+    std::once_flag once;
+    std::optional<StatusOr<WebGraph>> built;
+  };
+
+  RunResult RunOne(const RunSpec& spec);
+
+  unsigned jobs_;
+  std::vector<std::unique_ptr<Dataset>> datasets_;
+  std::unique_ptr<ThreadPool> pool_;  // Created on first parallel Run.
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_EXPERIMENT_RUNNER_H_

@@ -1,0 +1,118 @@
+#include "util/bench_report.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace lswc {
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HexHash(uint64_t h) {
+  return StringPrintf("%016llx", static_cast<unsigned long long>(h));
+}
+}  // namespace
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+std::string BenchReport::ToJson(double wall_time_sec) const {
+  uint64_t total_crawled = 0;
+  uint64_t peak_frontier = 0;
+  for (const BenchRunEntry& run : runs_) {
+    total_crawled += run.pages_crawled;
+    peak_frontier = std::max(peak_frontier, run.max_queue_size);
+  }
+  const double pages_per_sec =
+      wall_time_sec > 0.0 ? static_cast<double>(total_crawled) / wall_time_sec
+                          : 0.0;
+
+  std::string json = "{\n";
+  json += "  \"schema_version\": 1,\n";
+  json += StringPrintf("  \"name\": \"%s\",\n", JsonEscape(name_).c_str());
+  json += StringPrintf("  \"jobs\": %u,\n", jobs_);
+  json += StringPrintf("  \"pages\": %llu,\n",
+                       static_cast<unsigned long long>(pages_));
+  json += StringPrintf("  \"seed\": %llu,\n",
+                       static_cast<unsigned long long>(seed_));
+  json += StringPrintf("  \"wall_time_sec\": %.6f,\n", wall_time_sec);
+  json += StringPrintf("  \"pages_crawled\": %llu,\n",
+                       static_cast<unsigned long long>(total_crawled));
+  json += StringPrintf("  \"pages_per_sec\": %.3f,\n", pages_per_sec);
+  json += StringPrintf("  \"peak_frontier_size\": %llu,\n",
+                       static_cast<unsigned long long>(peak_frontier));
+  json += "  \"runs\": [";
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const BenchRunEntry& r = runs_[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {";
+    json += StringPrintf("\"name\": \"%s\", ", JsonEscape(r.name).c_str());
+    json += StringPrintf("\"wall_time_sec\": %.6f, ", r.wall_time_sec);
+    json += StringPrintf("\"pages_crawled\": %llu, ",
+                         static_cast<unsigned long long>(r.pages_crawled));
+    json += StringPrintf("\"relevant_crawled\": %llu, ",
+                         static_cast<unsigned long long>(r.relevant_crawled));
+    json += StringPrintf("\"harvest_pct\": %.6f, ", r.harvest_pct);
+    json += StringPrintf("\"coverage_pct\": %.6f, ", r.coverage_pct);
+    json += StringPrintf("\"max_queue_size\": %llu, ",
+                         static_cast<unsigned long long>(r.max_queue_size));
+    json += StringPrintf("\"repushed\": %llu, ",
+                         static_cast<unsigned long long>(r.repushed));
+    json += StringPrintf("\"dropped\": %llu, ",
+                         static_cast<unsigned long long>(r.dropped));
+    json += StringPrintf("\"series_rows\": %llu, ",
+                         static_cast<unsigned long long>(r.series_rows));
+    json += StringPrintf("\"series_hash\": \"%s\"}",
+                         HexHash(r.series_hash).c_str());
+  }
+  json += runs_.empty() ? "],\n" : "\n  ],\n";
+  json += "  \"series\": [";
+  for (size_t i = 0; i < series_.size(); ++i) {
+    const BenchSeriesEntry& s = series_[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += StringPrintf(
+        "    {\"file\": \"%s\", \"rows\": %llu, \"hash\": \"%s\"}",
+        JsonEscape(s.file).c_str(), static_cast<unsigned long long>(s.rows),
+        HexHash(s.hash).c_str());
+  }
+  json += series_.empty() ? "]\n" : "\n  ]\n";
+  json += "}\n";
+  return json;
+}
+
+Status BenchReport::WriteFile(const std::string& dir) const {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream f(path);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  f << ToJson(wall);
+  if (!f.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace lswc

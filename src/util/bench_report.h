@@ -1,0 +1,81 @@
+#ifndef LSWC_UTIL_BENCH_REPORT_H_
+#define LSWC_UTIL_BENCH_REPORT_H_
+
+// Machine-readable benchmark reporting: every bench harness writes a
+// BENCH_<name>.json next to its .dat output. The files seed the repo's
+// performance trajectory (wall time, pages/sec) and pin determinism
+// (per-run series hashes), and CI's perf-smoke job gates on them
+// against the checked-in bench_out/baseline/. The schema is documented
+// field by field in EXPERIMENTS.md ("BENCH_*.json schema").
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lswc {
+
+/// One simulation run inside a report (one grid cell).
+struct BenchRunEntry {
+  std::string name;             // Grid label, e.g. "soft-focused".
+  double wall_time_sec = 0.0;   // This run alone, on its worker thread.
+  uint64_t pages_crawled = 0;
+  uint64_t relevant_crawled = 0;
+  double harvest_pct = 0.0;
+  double coverage_pct = 0.0;
+  uint64_t max_queue_size = 0;  // Peak frontier size of this run.
+  uint64_t repushed = 0;        // Better-referrer re-pushes (link bus).
+  uint64_t dropped = 0;         // Links not enqueued (link bus).
+  uint64_t series_rows = 0;
+  uint64_t series_hash = 0;     // Fnv1aHash over the run's full series.
+};
+
+/// One emitted .dat artifact (a merged figure series).
+struct BenchSeriesEntry {
+  std::string file;   // File name under --out-dir, e.g. "fig3a_harvest.dat".
+  uint64_t rows = 0;
+  uint64_t hash = 0;  // Fnv1aHash over the merged series.
+};
+
+/// Collects one bench binary's results and serializes them as JSON.
+/// Wall time runs from construction to WriteFile (so dataset generation
+/// counts — it is part of what the binary costs).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void set_jobs(unsigned jobs) { jobs_ = jobs; }
+  void set_pages(uint64_t pages) { pages_ = pages; }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+
+  void AddRun(const BenchRunEntry& run) { runs_.push_back(run); }
+  void AddSeries(const BenchSeriesEntry& series) {
+    series_.push_back(series);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<BenchRunEntry>& runs() const { return runs_; }
+
+  /// Serializes the report; `wall_time_sec` is the binary-level elapsed
+  /// time the aggregate pages/sec is computed over.
+  std::string ToJson(double wall_time_sec) const;
+
+  /// Writes <dir>/BENCH_<name>.json (creating `dir`), with wall time
+  /// measured from construction until this call.
+  Status WriteFile(const std::string& dir) const;
+
+ private:
+  std::string name_;
+  unsigned jobs_ = 1;
+  uint64_t pages_ = 0;
+  uint64_t seed_ = 0;
+  std::vector<BenchRunEntry> runs_;
+  std::vector<BenchSeriesEntry> series_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_UTIL_BENCH_REPORT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <utility>
 
@@ -77,6 +78,24 @@ std::string Series::ToTable(size_t stride) const {
     out += '\n';
   }
   return out;
+}
+
+uint64_t Fnv1aHash(const Series& series) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (size_t r = 0; r < series.num_rows(); ++r) {
+    mix(series.x(r));
+    for (size_t c = 0; c < series.num_columns(); ++c) mix(series.y(r, c));
+  }
+  return h;
 }
 
 Series MergeSeriesColumns(const std::vector<SeriesInput>& inputs,

@@ -54,6 +54,12 @@ class Series {
   std::vector<SeriesColumn> ys_;
 };
 
+/// FNV-1a over the bit patterns of every stored double, row-major
+/// (x, then each y column). This is the series fingerprint pinned by the
+/// crawl-engine characterization tests and emitted in BENCH_*.json
+/// reports: two runs produced the same series iff the hashes match.
+uint64_t Fnv1aHash(const Series& series);
+
 /// One input to MergeSeriesColumns: a name (the output column label) and
 /// the series it comes from.
 struct SeriesInput {

@@ -1,0 +1,64 @@
+#ifndef LSWC_UTIL_THREAD_POOL_H_
+#define LSWC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lswc {
+
+/// Fixed-size thread pool over one FIFO task queue. No work stealing:
+/// experiment grids are coarse-grained (whole simulation runs), so a
+/// single shared queue sees negligible contention and keeps the
+/// execution model easy to reason about — tasks start in submission
+/// order, exactly one thread runs each task.
+///
+/// Shutdown semantics (what ExperimentRunner relies on): the destructor
+/// *drains* the queue — every task submitted before destruction runs to
+/// completion before the workers join. Submitted work is never dropped.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Runs all queued tasks to completion, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (the library is no-throw;
+  /// fallible work reports through captured Status slots).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Safe to call
+  /// repeatedly; new tasks may be submitted afterwards.
+  void Wait();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1 (the
+  /// standard allows it to return 0 when undeterminable).
+  static unsigned DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Signals workers: task or shutdown.
+  std::condition_variable idle_cv_;  // Signals Wait(): pending_ hit zero.
+  std::deque<std::function<void()>> queue_;
+  uint64_t pending_ = 0;  // Queued + currently running tasks.
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_UTIL_THREAD_POOL_H_

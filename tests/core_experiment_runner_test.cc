@@ -1,0 +1,299 @@
+// ExperimentRunner: parallel fan-out must be invisible in the results.
+// The tests pin (a) bit-identical series hashes between --jobs=1 and
+// --jobs=4 across a 12-spec grid — including the exact characterization
+// hashes that core_crawl_engine_test pins for the serial engine — (b)
+// per-spec RNG stream isolation (permuting the grid cannot change any
+// run), and (c) ThreadPool shutdown draining queued work without
+// deadlock.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment_runner.h"
+#include "util/series.h"
+#include "util/thread_pool.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksWithoutDeadlock) {
+  std::atomic<int> count{0};
+  {
+    // 2 workers, 64 slow-ish tasks: most are still queued when the pool
+    // is destroyed. The destructor must run them all, then join.
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&count] { ++count; });
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentRunner
+
+/// The characterization fixture shared with core_crawl_engine_test:
+/// Thai-like 20000-page graph, generator seed 7, META-tag classifier.
+const WebGraph& SharedGraph() {
+  static const WebGraph* graph = [] {
+    auto g = GenerateWebGraph(ThaiLikeOptions(20000, /*seed=*/7));
+    return new WebGraph(std::move(g).value());
+  }();
+  return *graph;
+}
+
+ClassifierFactory ThaiMeta() {
+  return [] { return std::make_unique<MetaTagClassifier>(Language::kThai); };
+}
+
+struct Strategies {
+  BreadthFirstStrategy bfs;
+  HardFocusedStrategy hard;
+  SoftFocusedStrategy soft;
+  LimitedDistanceStrategy p1{1, true}, p2{2, true}, p3{3, true}, p4{4, true};
+  LimitedDistanceStrategy n1{1, false}, n2{2, false}, n3{3, false},
+      n4{4, false};
+};
+
+/// The fixed 12-spec grid: the 7 characterized strategies followed by
+/// the 4 non-prioritized limited-distance runs and a repeated bfs cell
+/// (same strategy object on two workers — strategies are shared and
+/// must stay pure).
+std::vector<RunSpec> MakeGrid(ExperimentRunner& runner,
+                              const Strategies& strategies) {
+  const int dataset = runner.AddDataset(&SharedGraph());
+  const CrawlStrategy* order[] = {
+      &strategies.bfs, &strategies.hard, &strategies.soft, &strategies.p1,
+      &strategies.p2,  &strategies.p3,   &strategies.p4,   &strategies.n1,
+      &strategies.n2,  &strategies.n3,   &strategies.n4,   &strategies.bfs};
+  std::vector<RunSpec> specs;
+  for (const CrawlStrategy* strategy : order) {
+    RunSpec spec;
+    spec.name = strategy->name();
+    spec.dataset = dataset;
+    spec.strategy = strategy;
+    spec.classifier = ThaiMeta();
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+struct Golden {
+  uint64_t pages_crawled;
+  uint64_t relevant_crawled;
+  size_t max_queue_size;
+  size_t series_rows;
+  uint64_t series_hash;
+};
+
+// The serial-engine characterization values pinned by
+// core_crawl_engine_test (same graph, classifier, and FNV-1a hash) for
+// the first 7 grid cells.
+const Golden kGolden[] = {
+    {20000, 7127, 6069, 400, 15743984519801078086ull},  // breadth-first
+    {4964, 4315, 1414, 100, 6310386566933041546ull},    // hard-focused
+    {20000, 7127, 5019, 400, 2334370632168096454ull},   // soft-focused
+    {8626, 6302, 2618, 173, 7395945938940880717ull},    // plimited N=1
+    {12623, 6788, 3566, 253, 12093792697655121282ull},  // plimited N=2
+    {17477, 7046, 4929, 350, 12094443813074163390ull},  // plimited N=3
+    {19896, 7125, 4940, 398, 1907275703385427400ull},   // plimited N=4
+};
+
+std::vector<RunResult> RunGridWithJobs(unsigned jobs) {
+  ExperimentRunner::Options options;
+  options.jobs = jobs;
+  ExperimentRunner runner(options);
+  Strategies strategies;
+  return runner.Run(MakeGrid(runner, strategies));
+}
+
+TEST(ExperimentRunnerTest, ParallelGridIsBitIdenticalToSerial) {
+  const std::vector<RunResult> serial = RunGridWithJobs(1);
+  const std::vector<RunResult> parallel = RunGridWithJobs(4);
+  ASSERT_EQ(serial.size(), 12u);
+  ASSERT_EQ(parallel.size(), 12u);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].status.ok()) << serial[i].status;
+    ASSERT_TRUE(parallel[i].status.ok()) << parallel[i].status;
+    const SimulationSummary& a = serial[i].result->summary;
+    const SimulationSummary& b = parallel[i].result->summary;
+    EXPECT_EQ(a.pages_crawled, b.pages_crawled) << "spec " << i;
+    EXPECT_EQ(a.relevant_crawled, b.relevant_crawled) << "spec " << i;
+    EXPECT_EQ(a.max_queue_size, b.max_queue_size) << "spec " << i;
+    EXPECT_EQ(serial[i].repushed, parallel[i].repushed) << "spec " << i;
+    EXPECT_EQ(serial[i].dropped, parallel[i].dropped) << "spec " << i;
+    EXPECT_EQ(Fnv1aHash(serial[i].result->series),
+              Fnv1aHash(parallel[i].result->series))
+        << "spec " << i;
+  }
+  // The repeated bfs cell reproduces the first cell exactly.
+  EXPECT_EQ(Fnv1aHash(parallel[11].result->series),
+            Fnv1aHash(parallel[0].result->series));
+}
+
+TEST(ExperimentRunnerTest, ParallelGridMatchesEngineCharacterization) {
+  const std::vector<RunResult> results = RunGridWithJobs(4);
+  for (size_t i = 0; i < std::size(kGolden); ++i) {
+    ASSERT_TRUE(results[i].status.ok()) << results[i].status;
+    const SimulationSummary& s = results[i].result->summary;
+    EXPECT_EQ(s.pages_crawled, kGolden[i].pages_crawled) << "spec " << i;
+    EXPECT_EQ(s.relevant_crawled, kGolden[i].relevant_crawled)
+        << "spec " << i;
+    EXPECT_EQ(s.max_queue_size, kGolden[i].max_queue_size) << "spec " << i;
+    EXPECT_EQ(results[i].result->series.num_rows(), kGolden[i].series_rows)
+        << "spec " << i;
+    EXPECT_EQ(Fnv1aHash(results[i].result->series), kGolden[i].series_hash)
+        << "spec " << i;
+  }
+}
+
+TEST(ExperimentRunnerTest, PermutingSpecsDoesNotChangeAnyRun) {
+  ExperimentRunner::Options options;
+  options.jobs = 4;
+
+  ExperimentRunner forward_runner(options);
+  Strategies strategies;
+  std::vector<RunSpec> forward = MakeGrid(forward_runner, strategies);
+  const std::vector<RunResult> baseline = forward_runner.Run(forward);
+
+  ExperimentRunner reversed_runner(options);
+  std::vector<RunSpec> reversed = MakeGrid(reversed_runner, strategies);
+  std::reverse(reversed.begin(), reversed.end());
+  const std::vector<RunResult> permuted = reversed_runner.Run(reversed);
+
+  ASSERT_EQ(baseline.size(), permuted.size());
+  const size_t n = baseline.size();
+  for (size_t i = 0; i < n; ++i) {
+    const RunResult& a = baseline[i];
+    const RunResult& b = permuted[n - 1 - i];
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    EXPECT_EQ(a.result->summary.pages_crawled,
+              b.result->summary.pages_crawled);
+    EXPECT_EQ(Fnv1aHash(a.result->series), Fnv1aHash(b.result->series));
+  }
+}
+
+TEST(ExperimentRunnerTest, CustomSpecsGetIsolatedRngStreams) {
+  // Each custom spec draws from its own seeded stream; the draw must
+  // depend only on the spec's seed, not on spec order or scheduling.
+  auto draws_for = [](bool reversed) {
+    ExperimentRunner::Options options;
+    options.jobs = 4;
+    ExperimentRunner runner(options);
+    uint64_t draws[8] = {0};
+    std::vector<RunSpec> specs;
+    for (size_t i = 0; i < 8; ++i) {
+      RunSpec spec;
+      spec.name = "rng-" + std::to_string(i);
+      spec.seed = 1000 + i;
+      uint64_t* slot = &draws[i];
+      spec.custom = [slot](const RunContext& context) {
+        // A little work first, so workers interleave.
+        uint64_t x = 0;
+        for (int j = 0; j < 1000; ++j) x ^= context.rng->UniformUint64(1u << 30);
+        *slot = x;
+        return Status::OK();
+      };
+      specs.push_back(std::move(spec));
+    }
+    if (reversed) std::reverse(specs.begin(), specs.end());
+    for (const RunResult& r : runner.Run(specs)) {
+      EXPECT_TRUE(r.status.ok()) << r.status;
+    }
+    return std::vector<uint64_t>(draws, draws + 8);
+  };
+
+  const std::vector<uint64_t> forward = draws_for(false);
+  const std::vector<uint64_t> reversed = draws_for(true);
+  EXPECT_EQ(forward, reversed);
+  // Distinct seeds produce distinct streams.
+  for (size_t i = 1; i < forward.size(); ++i) {
+    EXPECT_NE(forward[0], forward[i]) << i;
+  }
+}
+
+TEST(ExperimentRunnerTest, GeneratedDatasetMaterializesOnce) {
+  ExperimentRunner::Options options;
+  options.jobs = 4;
+  ExperimentRunner runner(options);
+  const int dataset = runner.AddDataset(ThaiLikeOptions(2000, /*seed=*/11));
+  const WebGraph* seen[6] = {nullptr};
+  std::vector<RunSpec> specs;
+  for (size_t i = 0; i < 6; ++i) {
+    RunSpec spec;
+    spec.name = "dataset-" + std::to_string(i);
+    spec.dataset = dataset;
+    const WebGraph** slot = &seen[i];
+    spec.custom = [slot](const RunContext& context) {
+      *slot = context.graph;
+      return Status::OK();
+    };
+    specs.push_back(std::move(spec));
+  }
+  for (const RunResult& r : runner.Run(specs)) {
+    ASSERT_TRUE(r.status.ok()) << r.status;
+  }
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_NE(seen[i], nullptr) << i;
+    EXPECT_EQ(seen[i], seen[0]) << i;  // One shared materialization.
+  }
+}
+
+TEST(ExperimentRunnerTest, InvalidSpecsReportErrorsInOrder) {
+  ExperimentRunner runner;
+  RunSpec missing_everything;
+  missing_everything.name = "incomplete";
+  RunSpec bad_dataset;
+  bad_dataset.name = "bad-dataset";
+  bad_dataset.dataset = 99;
+  bad_dataset.custom = [](const RunContext&) { return Status::OK(); };
+  std::vector<RunSpec> specs;
+  specs.push_back(std::move(missing_everything));
+  specs.push_back(std::move(bad_dataset));
+  const std::vector<RunResult> results = runner.Run(specs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].status.ok());
+  EXPECT_FALSE(results[1].status.ok());
+  EXPECT_FALSE(results[0].result.has_value());
+}
+
+}  // namespace
+}  // namespace lswc

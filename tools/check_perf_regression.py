@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_*.json reports.
+
+Compares every BENCH_<name>.json present in --baseline against the same
+file in --current and fails (exit 1) when either:
+
+  * aggregate pages/sec regressed by more than --max-regression
+    (fractional, default 0.30 = 30%), or
+  * any per-run or per-series content hash differs — the simulation is
+    deterministic, so a hash mismatch is a correctness change, not noise,
+    and is never tolerated.
+
+Baseline files live in bench_out/baseline/ in the repository; refresh
+them with the procedure in EXPERIMENTS.md ("Refreshing the perf
+baseline") whenever an intentional behavior or performance change lands.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_reports(directory):
+    reports = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        with open(path) as f:
+            reports[path.name] = json.load(f)
+    return reports
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory of checked-in BENCH_*.json files")
+    parser.add_argument("--current", required=True,
+                        help="directory of freshly generated BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="max tolerated fractional pages/sec drop")
+    args = parser.parse_args()
+
+    baseline = load_reports(args.baseline)
+    current = load_reports(args.current)
+    if not baseline:
+        print(f"error: no BENCH_*.json under {args.baseline}")
+        return 1
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from {args.current}")
+            continue
+        cur = current[name]
+
+        base_pps = base.get("pages_per_sec", 0.0)
+        cur_pps = cur.get("pages_per_sec", 0.0)
+        floor = base_pps * (1.0 - args.max_regression)
+        verdict = "ok"
+        if base_pps > 0 and cur_pps < floor:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: pages/sec {cur_pps:.0f} < floor {floor:.0f} "
+                f"(baseline {base_pps:.0f}, max regression "
+                f"{args.max_regression:.0%})")
+        print(f"{name}: pages/sec baseline {base_pps:.0f} -> current "
+              f"{cur_pps:.0f} [{verdict}]")
+
+        base_runs = {r["name"]: r for r in base.get("runs", [])}
+        cur_runs = {r["name"]: r for r in cur.get("runs", [])}
+        for run_name, base_run in base_runs.items():
+            cur_run = cur_runs.get(run_name)
+            if cur_run is None:
+                failures.append(f"{name}: run '{run_name}' missing")
+                continue
+            if base_run.get("series_hash") != cur_run.get("series_hash"):
+                failures.append(
+                    f"{name}: run '{run_name}' series hash changed "
+                    f"{base_run.get('series_hash')} -> "
+                    f"{cur_run.get('series_hash')} (determinism break)")
+
+        base_series = {s["file"]: s for s in base.get("series", [])}
+        cur_series = {s["file"]: s for s in cur.get("series", [])}
+        for file_name, base_entry in base_series.items():
+            cur_entry = cur_series.get(file_name)
+            if cur_entry is None:
+                failures.append(f"{name}: series '{file_name}' missing")
+                continue
+            if base_entry.get("hash") != cur_entry.get("hash"):
+                failures.append(
+                    f"{name}: series '{file_name}' hash changed "
+                    f"{base_entry.get('hash')} -> {cur_entry.get('hash')}")
+
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf gate passed "
+          f"({len(baseline)} report(s), max regression "
+          f"{args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,28 +1,36 @@
 // lswc_sim — the command-line front end to the whole library: pick a
-// dataset (preset generator or a crawl-log file), a classifier, a
-// strategy and a fidelity mode, run one simulation, and get the summary
-// plus a gnuplot-ready series.
+// dataset (preset generator or a crawl-log file), a classifier, one or
+// more strategies and a fidelity mode, run the simulation(s), and get
+// the summary plus a gnuplot-ready series.
 //
 //   lswc_sim --dataset=thai --pages=1000000 --strategy=plimited:2
 //   lswc_sim --log=crawl.log --classifier=detector --render=head
 //            --strategy=soft --out=run.dat
+//   lswc_sim --dataset=thai --strategy=bfs,hard,soft --jobs=3
 //   lswc_sim --dataset=thai --strategy=soft --politeness=16,1.0
 //
 // Strategies: bfs | hard | soft | limited:N | plimited:N | context:L |
-//             hub:K (pilot crawl + HITS + boosted crawl).
+//             hub:K (pilot crawl + HITS + boosted crawl). A
+//             comma-separated list runs each strategy as an independent
+//             simulation, fanned across --jobs workers; summaries print
+//             in list order and --out writes per-strategy suffixed
+//             files.
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/context_graph.h"
 #include "core/distiller.h"
+#include "core/experiment_runner.h"
 #include "core/politeness.h"
 #include "core/simulator.h"
 #include "util/string_util.h"
 #include "webgraph/crawl_log.h"
 #include "webgraph/generator.h"
+#include "webgraph/link_db.h"
 #include "webgraph/text_log.h"
 
 namespace lswc {
@@ -43,6 +51,7 @@ struct Args {
   bool politeness = false;
   int connections = 16;
   double interval_sec = 1.0;
+  unsigned jobs = 0;  // 0 = all hardware threads.
 };
 
 int Usage(const char* argv0) {
@@ -55,11 +64,13 @@ int Usage(const char* argv0) {
       "  --log=FILE                   replay a crawl log (binary or text)\n"
       "  --classifier=meta|detector|composite|oracle\n"
       "  --strategy=bfs|hard|soft|limited:N|plimited:N|context:L|hub:K\n"
+      "                               (comma-separated list fans out runs)\n"
       "  --render=auto|none|head|full page-byte fidelity\n"
       "  --parse-html                 extract links from rendered HTML\n"
       "  --max-pages=N                crawl budget (default: exhaust)\n"
       "  --frontier-capacity=N        bounded URL queue (default: unlimited)\n"
       "  --politeness=CONNS,INTERVAL  timed simulation (e.g. 16,1.0)\n"
+      "  --jobs=N                     worker threads for strategy lists\n"
       "  --out=FILE                   write the metric series as .dat\n",
       argv0);
   return 2;
@@ -109,6 +120,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!conns || !interval || *conns == 0) return false;
       args->connections = static_cast<int>(*conns);
       args->interval_sec = *interval;
+    } else if (auto v = value("--jobs=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n == 0 || *n > 1024) return false;
+      args->jobs = static_cast<unsigned>(*n);
     } else if (auto v = value("--out=")) {
       args->out_path = std::string(*v);
     } else {
@@ -153,8 +168,7 @@ StatusOr<std::unique_ptr<Classifier>> MakeClassifier(const Args& args,
 }
 
 StatusOr<std::unique_ptr<CrawlStrategy>> MakeStrategy(
-    const Args& args, const WebGraph& graph, Classifier* classifier) {
-  const std::string& s = args.strategy;
+    const std::string& s, const WebGraph& graph, Classifier* classifier) {
   if (s == "bfs") return std::unique_ptr<CrawlStrategy>(new BreadthFirstStrategy());
   if (s == "hard") return std::unique_ptr<CrawlStrategy>(new HardFocusedStrategy());
   if (s == "soft") return std::unique_ptr<CrawlStrategy>(new SoftFocusedStrategy());
@@ -198,6 +212,114 @@ StatusOr<std::unique_ptr<CrawlStrategy>> MakeStrategy(
   return Status::InvalidArgument("unknown strategy " + s);
 }
 
+StatusOr<RenderMode> ResolveRender(const Args& args) {
+  if (args.render == "auto") {
+    RenderMode render =
+        (args.classifier == "detector" || args.classifier == "composite")
+            ? RenderMode::kHead
+            : RenderMode::kNone;
+    if (args.parse_html) render = RenderMode::kFull;
+    return render;
+  }
+  if (args.render == "none") return RenderMode::kNone;
+  if (args.render == "head") return RenderMode::kHead;
+  if (args.render == "full") return RenderMode::kFull;
+  return Status::InvalidArgument("unknown render mode " + args.render);
+}
+
+/// The series path for strategy `index` of `count`: --out verbatim for
+/// a single strategy, "run.dat" -> "run.plimited-2.dat" for lists.
+std::string OutPathFor(const Args& args, const std::string& strategy,
+                       size_t count) {
+  if (args.out_path.empty() || count == 1) return args.out_path;
+  std::string tag = strategy;
+  for (char& c : tag) {
+    if (c == ':' || c == '/') c = '-';
+  }
+  const size_t dot = args.out_path.rfind('.');
+  const size_t slash = args.out_path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return args.out_path + "." + tag;
+  }
+  return args.out_path.substr(0, dot) + "." + tag +
+         args.out_path.substr(dot);
+}
+
+/// Runs one strategy spec end to end (own classifier, strategy, web
+/// view) and appends the human-readable summary to `*output`. Safe to
+/// call concurrently for different specs.
+Status RunOneStrategy(const Args& args, const WebGraph& graph,
+                      const std::string& strategy_spec,
+                      const std::string& out_path, std::string* output) {
+  auto classifier = MakeClassifier(args, graph.target_language());
+  LSWC_RETURN_IF_ERROR(classifier.status());
+  auto strategy = MakeStrategy(strategy_spec, graph, classifier->get());
+  LSWC_RETURN_IF_ERROR(strategy.status());
+  auto render = ResolveRender(args);
+  LSWC_RETURN_IF_ERROR(render.status());
+
+  InMemoryLinkDb link_db(&graph);
+  VirtualWebSpace web(&graph, &link_db, *render);
+
+  if (args.politeness) {
+    PolitenessOptions options;
+    options.num_connections = args.connections;
+    options.min_access_interval_sec = args.interval_sec;
+    options.max_pages = args.max_pages;
+    PolitenessSimulator sim(&web, classifier->get(), strategy->get(),
+                            options);
+    auto r = sim.Run();
+    LSWC_RETURN_IF_ERROR(r.status());
+    const PolitenessSummary& s = r->summary;
+    *output += StringPrintf(
+        "strategy %s: crawled %llu in %.0fs sim time "
+        "(%.1f pages/s, stall %.1f%%)\n",
+        (*strategy)->name().c_str(),
+        static_cast<unsigned long long>(s.pages_crawled), s.sim_time_sec,
+        s.pages_per_sec, 100.0 * s.politeness_stall_fraction);
+    *output += StringPrintf(
+        "harvest %.1f%% | coverage %.1f%% | max queue %zu\n",
+        s.final_harvest_pct, s.final_coverage_pct, s.max_queue_size);
+    if (!out_path.empty()) {
+      LSWC_RETURN_IF_ERROR(r->series.WriteDatFile(out_path));
+      *output += StringPrintf("series -> %s\n", out_path.c_str());
+    }
+    return Status::OK();
+  }
+
+  SimulationOptions options;
+  options.max_pages = args.max_pages;
+  options.parse_html = args.parse_html;
+  options.frontier_capacity = args.frontier_capacity;
+  Simulator sim(&web, classifier->get(), strategy->get(), options);
+  auto r = sim.Run();
+  LSWC_RETURN_IF_ERROR(r.status());
+  const SimulationSummary& s = r->summary;
+  *output += StringPrintf("strategy %s with %s classifier:\n",
+                          (*strategy)->name().c_str(),
+                          (*classifier)->name().c_str());
+  *output += StringPrintf(
+      "crawled %llu | harvest %.1f%% | coverage %.1f%% | max queue %zu%s\n",
+      static_cast<unsigned long long>(s.pages_crawled), s.final_harvest_pct,
+      s.final_coverage_pct, s.max_queue_size,
+      s.urls_dropped != 0
+          ? StringPrintf(" | dropped %llu", static_cast<unsigned long long>(
+                                                s.urls_dropped))
+                .c_str()
+          : "");
+  if (s.classifier_confusion.total() > 0 && args.classifier != "oracle") {
+    *output += StringPrintf("classifier precision %.3f recall %.3f\n",
+                            s.classifier_confusion.precision(),
+                            s.classifier_confusion.recall());
+  }
+  if (!out_path.empty()) {
+    LSWC_RETURN_IF_ERROR(r->series.WriteDatFile(out_path));
+    *output += StringPrintf("series -> %s\n", out_path.c_str());
+  }
+  return Status::OK();
+}
+
 int Run(const Args& args) {
   auto graph_or = LoadGraph(args);
   if (!graph_or.ok()) {
@@ -214,105 +336,47 @@ int Run(const Args& args) {
               static_cast<unsigned long long>(stats.ok_html_pages),
               std::string(LanguageName(graph.target_language())).c_str());
 
-  auto classifier = MakeClassifier(args, graph.target_language());
-  if (!classifier.ok()) {
-    std::fprintf(stderr, "%s\n", classifier.status().ToString().c_str());
-    return 1;
+  std::vector<std::string> strategy_list;
+  for (const auto& part : Split(args.strategy, ',')) {
+    if (!part.empty()) strategy_list.emplace_back(part);
   }
-  auto strategy = MakeStrategy(args, graph, classifier->get());
-  if (!strategy.ok()) {
-    std::fprintf(stderr, "%s\n", strategy.status().ToString().c_str());
-    return 1;
-  }
-
-  RenderMode render = RenderMode::kNone;
-  if (args.render == "auto") {
-    render = (args.classifier == "detector" || args.classifier == "composite")
-                 ? RenderMode::kHead
-                 : RenderMode::kNone;
-    if (args.parse_html) render = RenderMode::kFull;
-  } else if (args.render == "none") {
-    render = RenderMode::kNone;
-  } else if (args.render == "head") {
-    render = RenderMode::kHead;
-  } else if (args.render == "full") {
-    render = RenderMode::kFull;
-  } else {
-    std::fprintf(stderr, "unknown render mode %s\n", args.render.c_str());
+  if (strategy_list.empty()) {
+    std::fprintf(stderr, "no strategy given\n");
     return 1;
   }
 
-  InMemoryLinkDb link_db(&graph);
-  VirtualWebSpace web(&graph, &link_db, render);
+  ExperimentRunner::Options runner_options;
+  runner_options.jobs = args.jobs;
+  ExperimentRunner runner(runner_options);
+  const int dataset = runner.AddDataset(&graph);
+  std::vector<std::string> outputs(strategy_list.size());
+  std::vector<RunSpec> specs;
+  for (size_t i = 0; i < strategy_list.size(); ++i) {
+    RunSpec spec;
+    spec.name = strategy_list[i];
+    spec.dataset = dataset;
+    const std::string out_path =
+        OutPathFor(args, strategy_list[i], strategy_list.size());
+    spec.custom = [&args, &strategy_list, &outputs, out_path,
+                   i](const RunContext& context) {
+      return RunOneStrategy(args, *context.graph, strategy_list[i],
+                            out_path, &outputs[i]);
+    };
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<RunResult> results = runner.Run(specs);
 
-  if (args.politeness) {
-    PolitenessOptions options;
-    options.num_connections = args.connections;
-    options.min_access_interval_sec = args.interval_sec;
-    options.max_pages = args.max_pages;
-    PolitenessSimulator sim(&web, classifier->get(), strategy->get(),
-                            options);
-    auto r = sim.Run();
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
+  int exit_code = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) std::printf("\n");
+    std::fputs(outputs[i].c_str(), stdout);
+    if (!results[i].status.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   results[i].status.ToString().c_str());
+      exit_code = 1;
     }
-    const PolitenessSummary& s = r->summary;
-    std::printf("strategy %s: crawled %llu in %.0fs sim time "
-                "(%.1f pages/s, stall %.1f%%)\n",
-                (*strategy)->name().c_str(),
-                static_cast<unsigned long long>(s.pages_crawled),
-                s.sim_time_sec, s.pages_per_sec,
-                100.0 * s.politeness_stall_fraction);
-    std::printf("harvest %.1f%% | coverage %.1f%% | max queue %zu\n",
-                s.final_harvest_pct, s.final_coverage_pct,
-                s.max_queue_size);
-    if (!args.out_path.empty()) {
-      if (Status st = r->series.WriteDatFile(args.out_path); !st.ok()) {
-        std::fprintf(stderr, "%s\n", st.ToString().c_str());
-        return 1;
-      }
-      std::printf("series -> %s\n", args.out_path.c_str());
-    }
-    return 0;
   }
-
-  SimulationOptions options;
-  options.max_pages = args.max_pages;
-  options.parse_html = args.parse_html;
-  options.frontier_capacity = args.frontier_capacity;
-  Simulator sim(&web, classifier->get(), strategy->get(), options);
-  auto r = sim.Run();
-  if (!r.ok()) {
-    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-    return 1;
-  }
-  const SimulationSummary& s = r->summary;
-  std::printf("strategy %s with %s classifier:\n",
-              (*strategy)->name().c_str(), (*classifier)->name().c_str());
-  std::printf("crawled %llu | harvest %.1f%% | coverage %.1f%% | max queue "
-              "%zu%s\n",
-              static_cast<unsigned long long>(s.pages_crawled),
-              s.final_harvest_pct, s.final_coverage_pct, s.max_queue_size,
-              s.urls_dropped != 0
-                  ? StringPrintf(" | dropped %llu",
-                                 static_cast<unsigned long long>(
-                                     s.urls_dropped))
-                        .c_str()
-                  : "");
-  if (s.classifier_confusion.total() > 0 && args.classifier != "oracle") {
-    std::printf("classifier precision %.3f recall %.3f\n",
-                s.classifier_confusion.precision(),
-                s.classifier_confusion.recall());
-  }
-  if (!args.out_path.empty()) {
-    if (Status st = r->series.WriteDatFile(args.out_path); !st.ok()) {
-      std::fprintf(stderr, "%s\n", st.ToString().c_str());
-      return 1;
-    }
-    std::printf("series -> %s\n", args.out_path.c_str());
-  }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
