@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "core/checkpoint.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -40,11 +41,29 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
         args.jobs = static_cast<unsigned>(*v);
         continue;
       }
+    } else if (StartsWith(arg, "--checkpoint-every=")) {
+      const auto v = ParseUint64(arg.substr(19));
+      if (v.has_value() && *v > 0) {
+        args.checkpoint_every = *v;
+        continue;
+      }
+    } else if (StartsWith(arg, "--snapshot-dir=")) {
+      args.snapshot_dir = std::string(arg.substr(15));
+      if (!args.snapshot_dir.empty()) continue;
+    } else if (StartsWith(arg, "--resume=")) {
+      args.resume_dir = std::string(arg.substr(9));
+      if (!args.resume_dir.empty()) continue;
     }
     std::fprintf(
         stderr,
-        "usage: %s [--pages=N] [--seed=N] [--out-dir=DIR] [--jobs=N]\n",
+        "usage: %s [--pages=N] [--seed=N] [--out-dir=DIR] [--jobs=N]\n"
+        "          [--checkpoint-every=N --snapshot-dir=DIR] [--resume=DIR]\n",
         argv[0]);
+    std::exit(2);
+  }
+  if (args.checkpoint_every != 0 && args.snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "%s: --checkpoint-every requires --snapshot-dir\n", argv[0]);
     std::exit(2);
   }
   return args;
@@ -102,6 +121,12 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
   ExperimentRunner runner(options);
   const int dataset = runner.AddDataset(&graph);
 
+  if (!args.snapshot_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.snapshot_dir, ec);
+    LSWC_CHECK(!ec) << "cannot create snapshot dir " << args.snapshot_dir;
+  }
+
   std::vector<RunSpec> specs;
   specs.reserve(runs.size());
   for (GridRun& run : runs) {
@@ -113,6 +138,19 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
         run.classifier ? std::move(run.classifier) : default_classifier;
     spec.render_mode = run.render_mode;
     spec.options = std::move(run.options);
+    spec.options.checkpoint_every_pages = args.checkpoint_every;
+    spec.options.snapshot_dir = args.snapshot_dir;
+    if (!args.resume_dir.empty()) {
+      // Resume-if-exists: cells whose snapshot survived the crash pick
+      // up mid-run; the rest start fresh.
+      const std::string candidate = args.resume_dir + "/" +
+                                    SanitizeSnapshotLabel(spec.name) + ".snap";
+      if (std::filesystem::exists(candidate)) {
+        spec.options.resume_path = candidate;
+        std::printf("# resuming %s from %s\n", spec.name.c_str(),
+                    candidate.c_str());
+      }
+    }
     specs.push_back(std::move(spec));
   }
 

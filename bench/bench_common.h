@@ -27,13 +27,24 @@
 
 namespace lswc::bench {
 
-/// Common command-line flags: --pages=N --seed=N --out-dir=DIR --jobs=N.
-/// Unknown flags abort with a usage message.
+/// Common command-line flags: --pages=N --seed=N --out-dir=DIR --jobs=N
+/// plus the checkpoint/resume trio --checkpoint-every=N --snapshot-dir=DIR
+/// --resume=DIR. Unknown flags abort with a usage message.
 struct BenchArgs {
   uint32_t pages = 1'000'000;
   uint64_t seed = 0;  // 0 = preset default.
   std::string out_dir = "bench_out";
   unsigned jobs = 0;  // 0 = all hardware threads; 1 = serial.
+  /// Snapshot the full run state every N crawled pages (0 = never);
+  /// requires snapshot_dir. Each grid cell writes its own rolling
+  /// <snapshot_dir>/<cell-name>.snap.
+  uint64_t checkpoint_every = 0;
+  std::string snapshot_dir;
+  /// Resume each grid cell from <resume_dir>/<cell-name>.snap when that
+  /// file exists (cells without a snapshot start fresh) — the
+  /// crash-recovery path: rerun the same command with --resume pointing
+  /// at the snapshot directory of the killed run.
+  std::string resume_dir;
 
   /// The worker count a runner built from these args will use.
   unsigned resolved_jobs() const;

@@ -1,0 +1,50 @@
+#include "core/checkpoint.h"
+
+#include <utility>
+
+namespace lswc {
+
+std::string SanitizeSnapshotLabel(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (c == ':' || c == '/' || c == '\\') c = '-';
+  }
+  return out;
+}
+
+CheckpointObserver::CheckpointObserver(CrawlEngine* engine,
+                                       uint64_t every_n_pages,
+                                       std::string path)
+    : engine_(engine),
+      every_n_pages_(every_n_pages == 0 ? 1 : every_n_pages),
+      path_(std::move(path)) {}
+
+void CheckpointObserver::OnFetch(const FetchEvent& event) {
+  if (event.pages_crawled % every_n_pages_ != 0) return;
+  if (event.pages_crawled % engine_->sample_interval() == 0) {
+    // This fetch is also a sampling point: the metrics row for it has
+    // not been appended yet (OnSample fires after OnFetch). Defer so
+    // the snapshot includes the row.
+    pending_ = true;
+    return;
+  }
+  SaveNow();
+}
+
+void CheckpointObserver::OnSample(const SampleEvent& event) {
+  (void)event;
+  if (!pending_) return;
+  pending_ = false;
+  SaveNow();
+}
+
+void CheckpointObserver::SaveNow() {
+  const Status s = engine_->SaveSnapshot(path_);
+  if (s.ok()) {
+    ++snapshots_written_;
+  } else if (status_.ok()) {
+    status_ = s;
+  }
+}
+
+}  // namespace lswc

@@ -1,0 +1,63 @@
+#ifndef LSWC_CORE_CHECKPOINT_H_
+#define LSWC_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/crawl_engine.h"
+#include "core/crawl_observer.h"
+#include "util/status.h"
+
+namespace lswc {
+
+/// Makes a string safe to use as a snapshot file name: path separators
+/// and the strategy-spec ':' become '-'. "plimited:3" -> "plimited-3".
+std::string SanitizeSnapshotLabel(const std::string& label);
+
+/// The checkpoint policy, implemented as just another CrawlObserver on
+/// the engine's bus: every `every_n_pages` crawled pages, write the full
+/// run state to `path` (one rolling file — the atomic temp+rename write
+/// means the file always holds the latest *complete* checkpoint, so a
+/// crash mid-write loses at most one checkpoint interval).
+///
+/// Timing subtlety: a checkpoint that falls on a sampling boundary must
+/// be deferred until *after* the metrics observer appends its series row
+/// (OnFetch fires before OnSample), otherwise the resumed run would be
+/// missing that row and diverge from the straight run. The observer
+/// therefore saves in OnFetch only off-boundary, and from OnSample when
+/// the due page is also a sample point — metrics is attached first, so
+/// its row is already recorded by the time this observer runs.
+///
+/// Save failures don't abort the crawl (the crawl itself is fine; only
+/// durability is degraded) — the first error is kept and surfaced by the
+/// driver after Run() via `status()`.
+class CheckpointObserver final : public CrawlObserver {
+ public:
+  /// `engine` is not owned and must outlive the observer. Attach this
+  /// observer *after* any observer whose state the snapshot captures.
+  CheckpointObserver(CrawlEngine* engine, uint64_t every_n_pages,
+                     std::string path);
+
+  void OnFetch(const FetchEvent& event) override;
+  void OnSample(const SampleEvent& event) override;
+
+  /// First save error, or OK.
+  const Status& status() const { return status_; }
+  /// Snapshots successfully written.
+  uint64_t snapshots_written() const { return snapshots_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void SaveNow();
+
+  CrawlEngine* engine_;
+  uint64_t every_n_pages_;
+  std::string path_;
+  bool pending_ = false;
+  uint64_t snapshots_written_ = 0;
+  Status status_;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_CHECKPOINT_H_

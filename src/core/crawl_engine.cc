@@ -1,6 +1,9 @@
 #include "core/crawl_engine.h"
 
 #include <algorithm>
+#include <array>
+
+#include "snapshot/snapshot_file.h"
 
 namespace lswc {
 
@@ -27,7 +30,8 @@ CrawlEngine::CrawlEngine(VirtualWebSpace* web, Classifier* classifier,
                                              options.max_pages,
                                              web->graph().num_pages())),
       metrics_(web->graph().ComputeStats().relevant_ok_pages,
-               sample_interval_) {
+               sample_interval_),
+      classifier_name_(classifier->name()) {
   AddObserver(&metrics_);
 }
 
@@ -41,9 +45,11 @@ Status CrawlEngine::Run() {
   if (graph.seeds().empty()) {
     return Status::FailedPrecondition("graph has no seed URLs");
   }
-  for (PageId seed : graph.seeds()) {
-    if (!state_.EnqueueSeed(seed, strategy_->seed_priority())) continue;
-    scheduler_->Push(seed, strategy_->seed_priority());
+  if (!resumed_) {
+    for (PageId seed : graph.seeds()) {
+      if (!state_.EnqueueSeed(seed, strategy_->seed_priority())) continue;
+      scheduler_->Push(seed, strategy_->seed_priority());
+    }
   }
 
   VisitResult visit;
@@ -124,6 +130,114 @@ void CrawlEngine::NotifySample(bool is_final) {
   event.frontier_size = scheduler_->size();
   event.is_final = is_final;
   for (CrawlObserver* o : observers_) o->OnSample(event);
+}
+
+snapshot::CrawlFingerprint CrawlEngine::Fingerprint() const {
+  const WebGraph& graph = web_->graph();
+  snapshot::CrawlFingerprint fp;
+  fp.num_pages = graph.num_pages();
+  fp.num_hosts = graph.num_hosts();
+  fp.num_links = graph.num_links();
+  fp.generator_seed = graph.generator_seed();
+  fp.target_language = static_cast<uint8_t>(graph.target_language());
+  fp.strategy_name = strategy_->name();
+  fp.num_priority_levels =
+      static_cast<uint64_t>(strategy_->num_priority_levels());
+  fp.seed_priority = static_cast<uint64_t>(strategy_->seed_priority());
+  fp.classifier_name = classifier_name_;
+  fp.sample_interval = sample_interval_;
+  fp.parse_html = options_.parse_html;
+  fp.scheduler_kind = scheduler_->SnapshotKind();
+  return fp;
+}
+
+Status CrawlEngine::SaveSnapshot(const std::string& path) const {
+  snapshot::SnapshotWriter writer;
+
+  snapshot::SectionWriter fingerprint;
+  Fingerprint().Save(&fingerprint);
+  writer.AddSection(snapshot::SectionId::kFingerprint, fingerprint);
+
+  snapshot::SectionWriter engine;
+  engine.U64(pages_crawled_);
+  writer.AddSection(snapshot::SectionId::kEngine, engine);
+
+  snapshot::SectionWriter crawl_state;
+  state_.Save(&crawl_state);
+  writer.AddSection(snapshot::SectionId::kCrawlState, crawl_state);
+
+  snapshot::SectionWriter frontier;
+  LSWC_RETURN_IF_ERROR(scheduler_->SaveState(&frontier));
+  writer.AddSection(snapshot::SectionId::kFrontier, frontier);
+
+  snapshot::SectionWriter metrics;
+  LSWC_RETURN_IF_ERROR(metrics_.Save(&metrics));
+  writer.AddSection(snapshot::SectionId::kMetrics, metrics);
+
+  if (rng_ != nullptr) {
+    snapshot::SectionWriter rng;
+    for (uint64_t word : rng_->state()) rng.U64(word);
+    writer.AddSection(snapshot::SectionId::kRng, rng);
+  }
+
+  return writer.WriteFile(path);
+}
+
+Status CrawlEngine::ResumeFromSnapshot(const std::string& path) {
+  StatusOr<snapshot::SnapshotReader> file = snapshot::SnapshotReader::Open(path);
+  LSWC_RETURN_IF_ERROR(file.status());
+
+  // Fingerprint first: refuse to touch state if the snapshot came from a
+  // different dataset / strategy / classifier / scheduler configuration.
+  {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kFingerprint);
+    LSWC_RETURN_IF_ERROR(section.status());
+    StatusOr<snapshot::CrawlFingerprint> fp =
+        snapshot::CrawlFingerprint::Load(&*section);
+    LSWC_RETURN_IF_ERROR(fp.status());
+    LSWC_RETURN_IF_ERROR(section->Finish());
+    LSWC_RETURN_IF_ERROR(Fingerprint().Match(*fp));
+  }
+  {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kEngine);
+    LSWC_RETURN_IF_ERROR(section.status());
+    pages_crawled_ = section->U64();
+    LSWC_RETURN_IF_ERROR(section->Finish());
+  }
+  {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kCrawlState);
+    LSWC_RETURN_IF_ERROR(section.status());
+    LSWC_RETURN_IF_ERROR(state_.Restore(&*section));
+    LSWC_RETURN_IF_ERROR(section->Finish());
+  }
+  {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kFrontier);
+    LSWC_RETURN_IF_ERROR(section.status());
+    LSWC_RETURN_IF_ERROR(scheduler_->RestoreState(&*section));
+    LSWC_RETURN_IF_ERROR(section->Finish());
+  }
+  {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kMetrics);
+    LSWC_RETURN_IF_ERROR(section.status());
+    LSWC_RETURN_IF_ERROR(metrics_.Restore(&*section));
+    LSWC_RETURN_IF_ERROR(section->Finish());
+  }
+  if (rng_ != nullptr && file->HasSection(snapshot::SectionId::kRng)) {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kRng);
+    LSWC_RETURN_IF_ERROR(section.status());
+    std::array<uint64_t, 4> state;
+    for (uint64_t& word : state) word = section->U64();
+    LSWC_RETURN_IF_ERROR(section->Finish());
+    rng_->set_state(state);
+  }
+  resumed_ = true;
+  return Status::OK();
 }
 
 }  // namespace lswc

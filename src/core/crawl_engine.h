@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/classifier.h"
@@ -13,6 +14,9 @@
 #include "core/strategy.h"
 #include "core/virtual_web.h"
 #include "core/visitor.h"
+#include "snapshot/fingerprint.h"
+#include "snapshot/section.h"
+#include "util/random.h"
 
 namespace lswc {
 
@@ -40,6 +44,21 @@ class FrontierScheduler {
   /// Scheduler-specific stop condition checked once per loop iteration
   /// (e.g. a simulated-time budget). Default: never.
   virtual bool StopRequested() const { return false; }
+
+  /// Snapshot port. `SnapshotKind` is the stable identifier recorded in
+  /// the snapshot fingerprint; `SaveState`/`RestoreState` serialize the
+  /// scheduler's complete pending state (frontier contents, clocks,
+  /// in-flight work). Schedulers that do not override these cannot be
+  /// checkpointed — attempting to returns Unimplemented, never crashes.
+  virtual std::string SnapshotKind() const { return "unsupported"; }
+  virtual Status SaveState(snapshot::SectionWriter* w) const {
+    (void)w;
+    return Status::Unimplemented("this scheduler does not support snapshots");
+  }
+  virtual Status RestoreState(snapshot::SectionReader* r) {
+    (void)r;
+    return Status::Unimplemented("this scheduler does not support snapshots");
+  }
 };
 
 /// Adapts a plain Frontier to the scheduler port (Pop order only, no
@@ -56,6 +75,14 @@ class FrontierPopScheduler final : public FrontierScheduler {
     return frontier_->Pop();
   }
   size_t size() const override { return frontier_->size(); }
+
+  std::string SnapshotKind() const override { return frontier_->kind_name(); }
+  Status SaveState(snapshot::SectionWriter* w) const override {
+    return frontier_->Save(w);
+  }
+  Status RestoreState(snapshot::SectionReader* r) override {
+    return frontier_->Restore(r);
+  }
 
  private:
   Frontier* frontier_;
@@ -98,10 +125,27 @@ class CrawlEngine {
   /// Attaches an observer (not owned). Callbacks fire in attach order.
   void AddObserver(CrawlObserver* observer);
 
-  /// Seeds the frontier and runs the crawl to completion: frontier
-  /// exhausted, `max_pages` reached, or the scheduler requested a stop.
-  /// Emits the final tail sample before returning.
+  /// Registers the run's RNG stream (not owned) so snapshots capture and
+  /// restore it. Optional: runs whose strategies never draw randomness
+  /// need no RNG in the checkpoint.
+  void AttachRng(Rng* rng) { rng_ = rng; }
+
+  /// Seeds the frontier (unless resumed from a snapshot) and runs the
+  /// crawl to completion: frontier exhausted, `max_pages` reached, or the
+  /// scheduler requested a stop. Emits the final tail sample before
+  /// returning.
   Status Run();
+
+  /// Writes the complete run state to `path` (atomic temp+rename): crawl
+  /// bitmaps, scheduler/frontier contents, metrics series so far, RNG
+  /// stream (if attached), and a fingerprint of the configuration.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Restores the engine from a snapshot written by SaveSnapshot under
+  /// the same configuration. Fails with FailedPrecondition (fingerprint
+  /// mismatch) or Corruption (damaged file) without starting the crawl;
+  /// on success the next Run() continues mid-stream instead of seeding.
+  Status ResumeFromSnapshot(const std::string& path);
 
   const MetricsRecorder& metrics() const { return metrics_; }
   const CrawlState& state() const { return state_; }
@@ -116,6 +160,10 @@ class CrawlEngine {
 
   void NotifySample(bool is_final);
 
+  /// This run's configuration identity, compared against the one stored
+  /// in a snapshot before any state is restored.
+  snapshot::CrawlFingerprint Fingerprint() const;
+
   VirtualWebSpace* web_;
   const CrawlStrategy* strategy_;
   FrontierScheduler* scheduler_;
@@ -124,6 +172,9 @@ class CrawlEngine {
   CrawlState state_;
   uint64_t sample_interval_;
   MetricsRecorder metrics_;
+  std::string classifier_name_;
+  Rng* rng_ = nullptr;
+  bool resumed_ = false;
   uint64_t pages_crawled_ = 0;
   std::vector<CrawlObserver*> observers_;
   /// Subset of observers_ that opted into per-link callbacks; kept

@@ -2,9 +2,13 @@
 #define LSWC_CORE_CRAWL_STATE_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/strategy.h"
+#include "snapshot/section.h"
+#include "util/status.h"
 #include "webgraph/page.h"
 
 namespace lswc {
@@ -75,6 +79,39 @@ class CrawlState {
   uint8_t annotation(PageId url) const { return annotation_[url]; }
   int16_t priority(PageId url) const { return priority_[url]; }
   size_t num_pages() const { return crawled_.size(); }
+
+  /// Snapshot support: the bitmaps and per-URL annotations are the bulk
+  /// of a checkpoint (a few bytes per page).
+  void Save(snapshot::SectionWriter* w) const {
+    w->U64(num_pages());
+    w->BoolVec(crawled_);
+    w->BoolVec(enqueued_);
+    w->U8Vec(annotation_);
+    w->I16Vec(priority_);
+  }
+  Status Restore(snapshot::SectionReader* r) {
+    const uint64_t num_pages = r->U64();
+    LSWC_RETURN_IF_ERROR(r->status());
+    if (num_pages != crawled_.size()) {
+      return Status::FailedPrecondition(
+          "snapshot crawl state covers " + std::to_string(num_pages) +
+          " pages but this run has " + std::to_string(crawled_.size()));
+    }
+    std::vector<bool> crawled = r->BoolVec();
+    std::vector<bool> enqueued = r->BoolVec();
+    std::vector<uint8_t> annotation = r->U8Vec();
+    std::vector<int16_t> priority = r->I16Vec();
+    LSWC_RETURN_IF_ERROR(r->status());
+    if (crawled.size() != num_pages || enqueued.size() != num_pages ||
+        annotation.size() != num_pages || priority.size() != num_pages) {
+      return Status::Corruption("crawl state snapshot arrays truncated");
+    }
+    crawled_ = std::move(crawled);
+    enqueued_ = std::move(enqueued);
+    annotation_ = std::move(annotation);
+    priority_ = std::move(priority);
+    return Status::OK();
+  }
 
  private:
   static int16_t ClampPriority(int priority) {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/checkpoint.h"
 #include "core/crawl_observer.h"
 #include "webgraph/link_db.h"
 
@@ -104,6 +105,12 @@ RunResult ExperimentRunner::RunOne(const RunSpec& spec) {
   LinkTrafficCounter traffic;
   SimulationOptions options = spec.options;
   options.observers.push_back(&traffic);
+  options.rng = &rng;
+  // Each grid cell checkpoints under its own (sanitized) spec name, so
+  // one snapshot directory serves a whole grid.
+  if (!options.snapshot_dir.empty() && options.snapshot_label.empty()) {
+    options.snapshot_label = SanitizeSnapshotLabel(spec.name);
+  }
   Simulator simulator(&web, classifier.get(), spec.strategy, options);
   auto result = simulator.Run();
   if (!result.ok()) {

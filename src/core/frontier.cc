@@ -6,6 +6,49 @@
 
 namespace lswc {
 
+namespace {
+
+// Shared level-list encoding for the bucket-style frontiers: a U32Vec
+// per level, highest level first (the pop order, which makes snapshots
+// easy to eyeball in a hex dump).
+void SaveLevels(const std::vector<std::deque<PageId>>& levels,
+                snapshot::SectionWriter* w) {
+  w->U64(levels.size());
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    std::vector<uint32_t> ids(it->begin(), it->end());
+    w->U32Vec(ids);
+  }
+}
+
+Status RestoreLevels(snapshot::SectionReader* r, const std::string& kind,
+                     std::vector<std::deque<PageId>>* levels, size_t* size,
+                     int* highest_nonempty) {
+  const uint64_t num_levels = r->U64();
+  LSWC_RETURN_IF_ERROR(r->status());
+  if (num_levels != levels->size()) {
+    return Status::FailedPrecondition(
+        "snapshot " + kind + " frontier has " + std::to_string(num_levels) +
+        " levels but this run uses " + std::to_string(levels->size()));
+  }
+  std::vector<std::vector<uint32_t>> loaded(levels->size());
+  for (size_t i = 0; i < levels->size(); ++i) {
+    loaded[levels->size() - 1 - i] = r->U32Vec();
+  }
+  LSWC_RETURN_IF_ERROR(r->status());
+  *size = 0;
+  *highest_nonempty = -1;
+  for (size_t level = 0; level < levels->size(); ++level) {
+    (*levels)[level].assign(loaded[level].begin(), loaded[level].end());
+    *size += loaded[level].size();
+    if (!loaded[level].empty()) {
+      *highest_nonempty = static_cast<int>(level);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 void FifoFrontier::Push(PageId url, int priority) {
   (void)priority;  // Single level.
   queue_.push_back(url);
@@ -17,6 +60,22 @@ std::optional<PageId> FifoFrontier::Pop() {
   const PageId url = queue_.front();
   queue_.pop_front();
   return url;
+}
+
+Status FifoFrontier::Save(snapshot::SectionWriter* w) const {
+  w->U64(max_size_);
+  std::vector<uint32_t> ids(queue_.begin(), queue_.end());
+  w->U32Vec(ids);
+  return Status::OK();
+}
+
+Status FifoFrontier::Restore(snapshot::SectionReader* r) {
+  const uint64_t max_size = r->U64();
+  const std::vector<uint32_t> ids = r->U32Vec();
+  LSWC_RETURN_IF_ERROR(r->status());
+  max_size_ = static_cast<size_t>(max_size);
+  queue_.assign(ids.begin(), ids.end());
+  return Status::OK();
 }
 
 BucketFrontier::BucketFrontier(int num_levels) {
@@ -43,6 +102,21 @@ std::optional<PageId> BucketFrontier::Pop() {
   level.pop_front();
   --size_;
   return url;
+}
+
+Status BucketFrontier::Save(snapshot::SectionWriter* w) const {
+  w->U64(max_size_);
+  SaveLevels(levels_, w);
+  return Status::OK();
+}
+
+Status BucketFrontier::Restore(snapshot::SectionReader* r) {
+  const uint64_t max_size = r->U64();
+  LSWC_RETURN_IF_ERROR(r->status());
+  LSWC_RETURN_IF_ERROR(
+      RestoreLevels(r, kind_name(), &levels_, &size_, &highest_nonempty_));
+  max_size_ = static_cast<size_t>(max_size);
+  return Status::OK();
 }
 
 BoundedFrontier::BoundedFrontier(int num_levels, size_t capacity)
@@ -83,6 +157,31 @@ std::optional<PageId> BoundedFrontier::Pop() {
   level.pop_front();
   --size_;
   return url;
+}
+
+Status BoundedFrontier::Save(snapshot::SectionWriter* w) const {
+  w->U64(capacity_);
+  w->U64(max_size_);
+  w->U64(dropped_);
+  SaveLevels(levels_, w);
+  return Status::OK();
+}
+
+Status BoundedFrontier::Restore(snapshot::SectionReader* r) {
+  const uint64_t capacity = r->U64();
+  const uint64_t max_size = r->U64();
+  const uint64_t dropped = r->U64();
+  LSWC_RETURN_IF_ERROR(r->status());
+  if (capacity != capacity_) {
+    return Status::FailedPrecondition(
+        "snapshot bounded frontier capacity " + std::to_string(capacity) +
+        " does not match this run's " + std::to_string(capacity_));
+  }
+  LSWC_RETURN_IF_ERROR(
+      RestoreLevels(r, kind_name(), &levels_, &size_, &highest_nonempty_));
+  max_size_ = static_cast<size_t>(max_size);
+  dropped_ = dropped;
+  return Status::OK();
 }
 
 }  // namespace lswc

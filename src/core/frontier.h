@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "snapshot/section.h"
+#include "util/status.h"
 #include "webgraph/page.h"
 
 namespace lswc {
@@ -34,6 +37,27 @@ class Frontier {
 
   /// Largest size() ever observed.
   virtual size_t max_size_seen() const = 0;
+
+  /// Stable identifier of the concrete frontier kind ("fifo", "bucket",
+  /// ...). Recorded in the snapshot fingerprint so a checkpoint taken
+  /// with one frontier refuses to restore into another.
+  virtual std::string kind_name() const { return "unknown"; }
+
+  /// Serializes the full pending state (including configuration used for
+  /// validation on restore) into `w`. Restore replaces this frontier's
+  /// contents from a payload written by the same kind; it validates the
+  /// stored configuration against this instance and fails without
+  /// modifying state on mismatch or corruption.
+  virtual Status Save(snapshot::SectionWriter* w) const {
+    (void)w;
+    return Status::Unimplemented("frontier kind '" + kind_name() +
+                                 "' does not support snapshots");
+  }
+  virtual Status Restore(snapshot::SectionReader* r) {
+    (void)r;
+    return Status::Unimplemented("frontier kind '" + kind_name() +
+                                 "' does not support snapshots");
+  }
 };
 
 /// Single-level FIFO: breadth-first crawling and the non-prioritized
@@ -44,6 +68,10 @@ class FifoFrontier final : public Frontier {
   std::optional<PageId> Pop() override;
   size_t size() const override { return queue_.size(); }
   size_t max_size_seen() const override { return max_size_; }
+
+  std::string kind_name() const override { return "fifo"; }
+  Status Save(snapshot::SectionWriter* w) const override;
+  Status Restore(snapshot::SectionReader* r) override;
 
  private:
   std::deque<PageId> queue_;
@@ -66,6 +94,10 @@ class BucketFrontier final : public Frontier {
   int num_levels() const { return static_cast<int>(levels_.size()); }
   /// Pending URLs at one level (tests / diagnostics).
   size_t level_size(int level) const { return levels_[level].size(); }
+
+  std::string kind_name() const override { return "bucket"; }
+  Status Save(snapshot::SectionWriter* w) const override;
+  Status Restore(snapshot::SectionReader* r) override;
 
  private:
   std::vector<std::deque<PageId>> levels_;
@@ -95,6 +127,10 @@ class BoundedFrontier final : public Frontier {
   size_t capacity() const { return capacity_; }
   /// URLs shed because the queue was full.
   uint64_t dropped_count() const { return dropped_; }
+
+  std::string kind_name() const override { return "bounded"; }
+  Status Save(snapshot::SectionWriter* w) const override;
+  Status Restore(snapshot::SectionReader* r) override;
 
  private:
   std::vector<std::deque<PageId>> levels_;

@@ -91,4 +91,120 @@ void HostFrontier::SetHostNextFree(uint32_t host, double next_free) {
   if (state.pending > 0) PushHeap(host);
 }
 
+Status HostFrontier::Save(snapshot::SectionWriter* w) const {
+  w->U64(static_cast<uint64_t>(num_levels_));
+  w->U64(hosts_.size());
+  w->U64(max_size_);
+  w->U64(seq_counter_);
+  // Only hosts with observable state: pending URLs or a politeness
+  // ready time that has not yet passed into irrelevance (ready times
+  // only ever matter relative to the saved clock, which the scheduler
+  // stores alongside this payload).
+  uint64_t saved_hosts = 0;
+  for (const HostState& state : hosts_) {
+    if (state.pending > 0 || state.ready != 0.0) ++saved_hosts;
+  }
+  w->U64(saved_hosts);
+  for (uint32_t host = 0; host < hosts_.size(); ++host) {
+    const HostState& state = hosts_[host];
+    if (state.pending == 0 && state.ready == 0.0) continue;
+    w->U32(host);
+    w->F64(state.ready);
+    w->U64(state.levels.size());
+    for (const std::deque<Entry>& level : state.levels) {
+      std::vector<uint32_t> urls;
+      std::vector<uint64_t> seqs;
+      urls.reserve(level.size());
+      seqs.reserve(level.size());
+      for (const Entry& e : level) {
+        urls.push_back(e.url);
+        seqs.push_back(e.seq);
+      }
+      w->U32Vec(urls);
+      w->U64Vec(seqs);
+    }
+  }
+  return Status::OK();
+}
+
+Status HostFrontier::Restore(snapshot::SectionReader* r) {
+  const uint64_t num_levels = r->U64();
+  const uint64_t num_hosts = r->U64();
+  const uint64_t max_size = r->U64();
+  const uint64_t seq_counter = r->U64();
+  const uint64_t saved_hosts = r->U64();
+  LSWC_RETURN_IF_ERROR(r->status());
+  if (num_levels != static_cast<uint64_t>(num_levels_) ||
+      num_hosts != hosts_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot host frontier shape (" + std::to_string(num_hosts) +
+        " hosts x " + std::to_string(num_levels) +
+        " levels) does not match this run (" + std::to_string(hosts_.size()) +
+        " x " + std::to_string(num_levels_) + ")");
+  }
+  // Decode fully before mutating, so corrupt payloads leave state intact.
+  struct LoadedHost {
+    uint32_t host;
+    double ready;
+    std::vector<std::vector<Entry>> levels;
+  };
+  std::vector<LoadedHost> loaded;
+  loaded.reserve(static_cast<size_t>(saved_hosts));
+  for (uint64_t i = 0; i < saved_hosts && r->status().ok(); ++i) {
+    LoadedHost lh;
+    lh.host = r->U32();
+    lh.ready = r->F64();
+    const uint64_t level_count = r->U64();
+    if (!r->status().ok()) break;
+    if (lh.host >= hosts_.size() ||
+        (level_count != 0 && level_count != static_cast<uint64_t>(num_levels_))) {
+      return Status::Corruption("host frontier snapshot has invalid host " +
+                                std::to_string(lh.host));
+    }
+    for (uint64_t level = 0; level < level_count && r->status().ok(); ++level) {
+      const std::vector<uint32_t> urls = r->U32Vec();
+      const std::vector<uint64_t> seqs = r->U64Vec();
+      if (urls.size() != seqs.size()) {
+        return Status::Corruption(
+            "host frontier snapshot url/seq length mismatch");
+      }
+      std::vector<Entry> entries(urls.size());
+      for (size_t j = 0; j < urls.size(); ++j) {
+        entries[j] = Entry{urls[j], seqs[j]};
+      }
+      lh.levels.push_back(std::move(entries));
+    }
+    loaded.push_back(std::move(lh));
+  }
+  LSWC_RETURN_IF_ERROR(r->status());
+
+  hosts_.assign(hosts_.size(), HostState{});
+  heap_ = {};
+  size_ = 0;
+  pending_hosts_ = 0;
+  stamp_counter_ = 0;
+  for (const LoadedHost& lh : loaded) {
+    HostState& state = hosts_[lh.host];
+    state.ready = lh.ready;
+    if (lh.levels.empty()) continue;
+    state.levels.resize(static_cast<size_t>(num_levels_));
+    for (size_t level = 0; level < lh.levels.size(); ++level) {
+      state.levels[level].assign(lh.levels[level].begin(),
+                                 lh.levels[level].end());
+      state.pending += lh.levels[level].size();
+      if (!lh.levels[level].empty()) {
+        state.best_level = static_cast<int>(level);
+      }
+    }
+    size_ += state.pending;
+    if (state.pending > 0) {
+      ++pending_hosts_;
+      PushHeap(lh.host);
+    }
+  }
+  max_size_ = static_cast<size_t>(max_size);
+  seq_counter_ = seq_counter;
+  return Status::OK();
+}
+
 }  // namespace lswc

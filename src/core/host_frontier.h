@@ -7,6 +7,8 @@
 #include <queue>
 #include <vector>
 
+#include "snapshot/section.h"
+#include "util/status.h"
 #include "webgraph/page.h"
 
 namespace lswc {
@@ -53,6 +55,16 @@ class HostFrontier {
   size_t max_size_seen() const { return max_size_; }
   /// Hosts that currently have pending URLs.
   size_t pending_hosts() const { return pending_hosts_; }
+
+  /// Serializes the full scheduling state: every host with pending URLs
+  /// or a future ready time, plus the global enqueue counter. The
+  /// ready-heap itself is not stored — it is rebuilt on Restore, which
+  /// is safe because the heap keys (ready, best_level, front_seq) are
+  /// derived from the stored state and globally unique (seq numbers
+  /// never repeat), so the rebuilt pop order is identical; stamps and
+  /// stale entries are unobservable bookkeeping.
+  Status Save(snapshot::SectionWriter* w) const;
+  Status Restore(snapshot::SectionReader* r);
 
  private:
   /// One pending URL; `seq` is the global enqueue order used for

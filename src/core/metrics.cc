@@ -1,5 +1,8 @@
 #include "core/metrics.h"
 
+#include <string>
+
+#include "snapshot/series_io.h"
 #include "util/logging.h"
 
 namespace lswc {
@@ -60,6 +63,53 @@ void MetricsRecorder::Finish(size_t queue_size) {
   if (pages_crawled_ % sample_interval_ != 0 || pages_crawled_ == 0) {
     Sample(queue_size);
   }
+}
+
+Status MetricsRecorder::Save(snapshot::SectionWriter* w) const {
+  w->U64(total_relevant_);
+  w->U64(sample_interval_);
+  w->U64(pages_crawled_);
+  w->U64(relevant_crawled_);
+  w->U64(confusion_.true_positive);
+  w->U64(confusion_.false_positive);
+  w->U64(confusion_.true_negative);
+  w->U64(confusion_.false_negative);
+  w->U8(finished_ ? 1 : 0);
+  snapshot::SaveSeries(series_, w);
+  return Status::OK();
+}
+
+Status MetricsRecorder::Restore(snapshot::SectionReader* r) {
+  const uint64_t total_relevant = r->U64();
+  const uint64_t sample_interval = r->U64();
+  LSWC_RETURN_IF_ERROR(r->status());
+  if (total_relevant != total_relevant_) {
+    return Status::FailedPrecondition(
+        "snapshot metrics use a coverage denominator of " +
+        std::to_string(total_relevant) + " relevant pages but this run has " +
+        std::to_string(total_relevant_));
+  }
+  if (sample_interval != sample_interval_) {
+    return Status::FailedPrecondition(
+        "snapshot metrics sample every " + std::to_string(sample_interval) +
+        " pages but this run samples every " +
+        std::to_string(sample_interval_));
+  }
+  const uint64_t pages_crawled = r->U64();
+  const uint64_t relevant_crawled = r->U64();
+  ConfusionCounts confusion;
+  confusion.true_positive = r->U64();
+  confusion.false_positive = r->U64();
+  confusion.true_negative = r->U64();
+  confusion.false_negative = r->U64();
+  const bool finished = r->U8() != 0;
+  LSWC_RETURN_IF_ERROR(r->status());
+  LSWC_RETURN_IF_ERROR(snapshot::LoadSeriesInto(r, &series_));
+  pages_crawled_ = pages_crawled;
+  relevant_crawled_ = relevant_crawled;
+  confusion_ = confusion;
+  finished_ = finished;
+  return Status::OK();
 }
 
 }  // namespace lswc

@@ -4,7 +4,9 @@
 #include <cstdint>
 
 #include "core/crawl_observer.h"
+#include "snapshot/section.h"
 #include "util/series.h"
+#include "util/status.h"
 
 namespace lswc {
 
@@ -83,6 +85,13 @@ class MetricsRecorder : public CrawlObserver {
 
   /// Series columns: harvest_pct, coverage_pct, queue_size.
   const Series& series() const { return series_; }
+
+  /// Snapshot support: counters, confusion matrix, and the series rows
+  /// recorded so far. Restore validates the coverage denominator and
+  /// sampling cadence so a snapshot cannot resume into a recorder that
+  /// would produce differently-shaped output.
+  Status Save(snapshot::SectionWriter* w) const;
+  Status Restore(snapshot::SectionReader* r);
 
  private:
   uint64_t total_relevant_;

@@ -1,12 +1,15 @@
 #include "core/politeness.h"
 
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/crawl_engine.h"
 #include "core/host_frontier.h"
 #include "core/metrics.h"
+#include "snapshot/series_io.h"
 
 namespace lswc {
 
@@ -99,6 +102,84 @@ class PolitenessScheduler final : public FrontierScheduler {
   size_t max_size_seen() const { return frontier_.max_size_seen(); }
   size_t slots() const { return slots_; }
 
+  /// Includes the driver's timed series in this scheduler's snapshot
+  /// payload (the series lives in the driver, but its rows are part of
+  /// the politeness run state).
+  void RegisterTimedSeries(Series* series) { timed_series_ = series; }
+
+  std::string SnapshotKind() const override { return "politeness"; }
+
+  Status SaveState(snapshot::SectionWriter* w) const override {
+    // Timing parameters: a resume under different politeness timing
+    // would silently produce a different schedule.
+    w->U64(slots_);
+    w->F64(options_.base_latency_sec);
+    w->F64(options_.bandwidth_bytes_per_sec);
+    w->F64(options_.min_access_interval_sec);
+    w->F64(now_);
+    w->F64(idle_slot_seconds_);
+    // In-flight fetches, earliest finish first (copy-and-drain: the
+    // priority queue has no iteration order of its own).
+    auto active = active_;
+    w->U64(active.size());
+    while (!active.empty()) {
+      w->F64(active.top().first);
+      w->U32(active.top().second);
+      active.pop();
+    }
+    LSWC_RETURN_IF_ERROR(frontier_.Save(w));
+    w->U8(timed_series_ != nullptr ? 1 : 0);
+    if (timed_series_ != nullptr) {
+      snapshot::SaveSeries(*timed_series_, w);
+    }
+    return Status::OK();
+  }
+
+  Status RestoreState(snapshot::SectionReader* r) override {
+    const uint64_t saved_slots = r->U64();
+    const double base_latency = r->F64();
+    const double bandwidth = r->F64();
+    const double min_interval = r->F64();
+    const double now = r->F64();
+    const double idle_slot_seconds = r->F64();
+    LSWC_RETURN_IF_ERROR(r->status());
+    if (saved_slots != slots_ || base_latency != options_.base_latency_sec ||
+        bandwidth != options_.bandwidth_bytes_per_sec ||
+        min_interval != options_.min_access_interval_sec) {
+      return Status::FailedPrecondition(
+          "snapshot politeness timing parameters do not match this run");
+    }
+    const uint64_t active_count = r->U64();
+    LSWC_RETURN_IF_ERROR(r->status());
+    if (active_count > slots_) {
+      return Status::Corruption("snapshot has more in-flight fetches than "
+                                "connection slots");
+    }
+    std::vector<Event> events;
+    events.reserve(static_cast<size_t>(active_count));
+    for (uint64_t i = 0; i < active_count; ++i) {
+      const double finish = r->F64();
+      const PageId url = r->U32();
+      events.emplace_back(finish, url);
+    }
+    LSWC_RETURN_IF_ERROR(r->status());
+    LSWC_RETURN_IF_ERROR(frontier_.Restore(r));
+    const bool has_series = r->U8() != 0;
+    LSWC_RETURN_IF_ERROR(r->status());
+    if (has_series) {
+      if (timed_series_ == nullptr) {
+        return Status::FailedPrecondition(
+            "snapshot carries a timed series but none is registered");
+      }
+      LSWC_RETURN_IF_ERROR(snapshot::LoadSeriesInto(r, timed_series_));
+    }
+    active_ = {};
+    for (const Event& e : events) active_.push(e);
+    now_ = now;
+    idle_slot_seconds_ = idle_slot_seconds;
+    return Status::OK();
+  }
+
  private:
   using Event = std::pair<double, PageId>;  // (finish time, url), min-heap.
 
@@ -118,6 +199,7 @@ class PolitenessScheduler final : public FrontierScheduler {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> active_;
   double now_ = 0.0;
   double idle_slot_seconds_ = 0.0;
+  Series* timed_series_ = nullptr;
 };
 
 /// Observer that extends the engine's metric samples with the simulated
@@ -169,12 +251,32 @@ StatusOr<PolitenessResult> PolitenessSimulator::Run() {
                      engine_options);
   Series series("pages_crawled",
                 {"sim_time_sec", "harvest_pct", "coverage_pct", "queue_size"});
+  scheduler.RegisterTimedSeries(&series);
   TimedSeriesObserver series_observer(&series, &scheduler, &engine.metrics());
   engine.AddObserver(&series_observer);
   for (CrawlObserver* observer : options_.observers) {
     engine.AddObserver(observer);
   }
+  std::unique_ptr<CheckpointObserver> checkpoint;
+  if (options_.checkpoint_every_pages != 0) {
+    if (options_.snapshot_dir.empty()) {
+      return Status::InvalidArgument(
+          "checkpoint_every_pages requires snapshot_dir");
+    }
+    const std::string label = SanitizeSnapshotLabel(
+        options_.snapshot_label.empty() ? "crawl" : options_.snapshot_label);
+    checkpoint = std::make_unique<CheckpointObserver>(
+        &engine, options_.checkpoint_every_pages,
+        options_.snapshot_dir + "/" + label + ".snap");
+    engine.AddObserver(checkpoint.get());
+  }
+  if (!options_.resume_path.empty()) {
+    LSWC_RETURN_IF_ERROR(engine.ResumeFromSnapshot(options_.resume_path));
+  }
   LSWC_RETURN_IF_ERROR(engine.Run());
+  if (checkpoint != nullptr) {
+    LSWC_RETURN_IF_ERROR(checkpoint->status());
+  }
 
   const MetricsRecorder& metrics = engine.metrics();
   const double now = scheduler.now();

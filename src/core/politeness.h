@@ -35,6 +35,15 @@ struct PolitenessOptions {
   /// engine's MetricsRecorder and the timed-series recorder are always
   /// attached first.
   std::vector<CrawlObserver*> observers;
+  /// Checkpoint / resume, mirroring SimulationOptions: write a rolling
+  /// full-state snapshot (`<snapshot_dir>/<snapshot_label>.snap`) every
+  /// N crawled pages; resume_path restores one before the run starts.
+  /// Politeness snapshots additionally capture the simulated clock, the
+  /// in-flight fetch slots, and every per-host ready time.
+  uint64_t checkpoint_every_pages = 0;
+  std::string snapshot_dir;
+  std::string snapshot_label;
+  std::string resume_path;
 };
 
 struct PolitenessSummary {

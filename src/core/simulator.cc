@@ -1,5 +1,8 @@
 #include "core/simulator.h"
 
+#include <memory>
+
+#include "core/checkpoint.h"
 #include "core/crawl_engine.h"
 #include "core/frontier_factory.h"
 
@@ -28,10 +31,33 @@ StatusOr<SimulationResult> Simulator::Run() {
   engine_options.parse_html = options_.parse_html;
   CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
                      engine_options);
+  if (options_.rng != nullptr) engine.AttachRng(options_.rng);
   for (CrawlObserver* observer : options_.observers) {
     engine.AddObserver(observer);
   }
+  // Checkpointing attaches last so every other observer's contribution
+  // to the run state (metrics above all) is recorded before the save.
+  std::unique_ptr<CheckpointObserver> checkpoint;
+  if (options_.checkpoint_every_pages != 0) {
+    if (options_.snapshot_dir.empty()) {
+      return Status::InvalidArgument(
+          "checkpoint_every_pages requires snapshot_dir");
+    }
+    const std::string label = SanitizeSnapshotLabel(
+        options_.snapshot_label.empty() ? "crawl" : options_.snapshot_label);
+    checkpoint = std::make_unique<CheckpointObserver>(
+        &engine, options_.checkpoint_every_pages,
+        options_.snapshot_dir + "/" + label + ".snap");
+    engine.AddObserver(checkpoint.get());
+  }
+  if (!options_.resume_path.empty()) {
+    LSWC_RETURN_IF_ERROR(engine.ResumeFromSnapshot(options_.resume_path));
+  }
   LSWC_RETURN_IF_ERROR(engine.Run());
+  if (checkpoint != nullptr) {
+    // A failed save never aborts the crawl mid-run; it surfaces here.
+    LSWC_RETURN_IF_ERROR(checkpoint->status());
+  }
 
   const MetricsRecorder& metrics = engine.metrics();
   SimulationResult result{

@@ -12,6 +12,7 @@
 #include "core/strategy.h"
 #include "core/virtual_web.h"
 #include "core/visitor.h"
+#include "util/random.h"
 
 namespace lswc {
 
@@ -42,6 +43,21 @@ struct SimulationOptions {
   /// (not owned; must outlive the run). The MetricsRecorder is always
   /// attached first, so these may read it during their own callbacks.
   std::vector<CrawlObserver*> observers;
+  /// Write a full-state snapshot every N crawled pages (0 = never).
+  /// Requires `snapshot_dir`; the snapshot is one rolling file
+  /// `<snapshot_dir>/<snapshot_label>.snap`, replaced atomically.
+  uint64_t checkpoint_every_pages = 0;
+  std::string snapshot_dir;
+  /// File stem for this run's snapshot ("crawl" when empty); sanitized
+  /// via SanitizeSnapshotLabel.
+  std::string snapshot_label;
+  /// Resume from this snapshot file instead of seeding (empty = fresh
+  /// run). The snapshot's fingerprint must match the run configuration.
+  std::string resume_path;
+  /// The run's RNG stream (not owned; may be null). When set, snapshots
+  /// capture it and a resume restores it, so strategies that draw
+  /// randomness stay bit-deterministic across a resume.
+  Rng* rng = nullptr;
 };
 
 /// Aggregate outcome of a run.

@@ -131,6 +131,104 @@ void SpillingFrontier::Push(PageId url, int priority) {
   EnforceBudget();
 }
 
+Status SpillingFrontier::Save(snapshot::SectionWriter* w) const {
+  w->U64(options_.memory_budget);
+  w->U64(options_.chunk);
+  w->U64(max_size_);
+  w->U64(spilled_urls_);
+  w->U64(levels_.size());
+  for (const Level& level : levels_) {
+    w->U32Vec(std::vector<uint32_t>(level.head.begin(), level.head.end()));
+    // The on-disk middle segment, read back without consuming it. The
+    // spill IO paths (SpillTail/RefillHead) always seek before acting,
+    // so moving the file position here is invisible to them.
+    std::vector<uint32_t> disk(static_cast<size_t>(level.on_disk()));
+    if (!disk.empty()) {
+      if (std::fseek(level.file,
+                     static_cast<long>(level.file_read * sizeof(PageId)),
+                     SEEK_SET) != 0 ||
+          std::fread(disk.data(), sizeof(PageId), disk.size(), level.file) !=
+              disk.size()) {
+        return Status::IoError("cannot read back spill file " + level.path);
+      }
+    }
+    w->U32Vec(disk);
+    w->U32Vec(std::vector<uint32_t>(level.tail.begin(), level.tail.end()));
+  }
+  return Status::OK();
+}
+
+Status SpillingFrontier::Restore(snapshot::SectionReader* r) {
+  const uint64_t memory_budget = r->U64();
+  const uint64_t chunk = r->U64();
+  const uint64_t max_size = r->U64();
+  const uint64_t spilled_urls = r->U64();
+  const uint64_t num_levels = r->U64();
+  LSWC_RETURN_IF_ERROR(r->status());
+  if (memory_budget != options_.memory_budget || chunk != options_.chunk) {
+    return Status::FailedPrecondition(
+        "snapshot spilling frontier used budget=" +
+        std::to_string(memory_budget) + " chunk=" + std::to_string(chunk) +
+        " but this run uses budget=" + std::to_string(options_.memory_budget) +
+        " chunk=" + std::to_string(options_.chunk));
+  }
+  if (num_levels != levels_.size()) {
+    return Status::FailedPrecondition(
+        "snapshot spilling frontier has " + std::to_string(num_levels) +
+        " levels but this run uses " + std::to_string(levels_.size()));
+  }
+  // Decode everything before touching live state, so a corrupt payload
+  // leaves the frontier unchanged.
+  struct LoadedLevel {
+    std::vector<uint32_t> head, disk, tail;
+  };
+  std::vector<LoadedLevel> loaded(levels_.size());
+  for (LoadedLevel& level : loaded) {
+    level.head = r->U32Vec();
+    level.disk = r->U32Vec();
+    level.tail = r->U32Vec();
+  }
+  LSWC_RETURN_IF_ERROR(r->status());
+
+  size_ = 0;
+  highest_nonempty_ = -1;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    Level& level = levels_[i];
+    level.head.assign(loaded[i].head.begin(), loaded[i].head.end());
+    level.tail.assign(loaded[i].tail.begin(), loaded[i].tail.end());
+    // Rewrite the spill file from the snapshot's embedded segment.
+    if (level.file != nullptr) {
+      LSWC_CHECK(std::freopen(level.path.c_str(), "wb+", level.file) !=
+                 nullptr);
+    }
+    level.file_read = 0;
+    level.file_written = 0;
+    if (!loaded[i].disk.empty()) {
+      if (level.file == nullptr) {
+        level.path = StringPrintf("%s/lswc_spill_%p_%zd.bin",
+                                  options_.spill_dir.c_str(),
+                                  static_cast<void*>(this),
+                                  static_cast<ssize_t>(i));
+        level.file = std::fopen(level.path.c_str(), "wb+");
+        if (level.file == nullptr) {
+          return Status::IoError("cannot create spill file " + level.path);
+        }
+      }
+      if (std::fwrite(loaded[i].disk.data(), sizeof(PageId),
+                      loaded[i].disk.size(), level.file) !=
+          loaded[i].disk.size()) {
+        return Status::IoError("cannot rewrite spill file " + level.path);
+      }
+      level.file_written = loaded[i].disk.size();
+    }
+    size_ += level.total();
+    if (level.total() > 0) highest_nonempty_ = static_cast<int>(i);
+  }
+  max_size_ = static_cast<size_t>(max_size);
+  spilled_urls_ = spilled_urls;
+  return Status::OK();
+}
+
 std::optional<PageId> SpillingFrontier::Pop() {
   if (size_ == 0) return std::nullopt;
   while (highest_nonempty_ >= 0 &&

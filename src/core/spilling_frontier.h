@@ -54,6 +54,14 @@ class SpillingFrontier final : public Frontier {
   /// Total URLs ever written to spill files (diagnostics).
   uint64_t spilled_urls() const { return spilled_urls_; }
 
+  std::string kind_name() const override { return "spilling"; }
+  /// Captures the complete pending set, including the segment of each
+  /// level that currently lives in its on-disk spill file — a snapshot
+  /// is self-contained, never a reference to spill files that a crash
+  /// or restart would have destroyed.
+  Status Save(snapshot::SectionWriter* w) const override;
+  Status Restore(snapshot::SectionReader* r) override;
+
  private:
   struct Level {
     std::deque<PageId> head;   // Oldest; pop side.

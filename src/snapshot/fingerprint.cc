@@ -1,0 +1,94 @@
+#include "snapshot/fingerprint.h"
+
+namespace lswc::snapshot {
+
+void CrawlFingerprint::Save(SectionWriter* w) const {
+  w->U64(num_pages);
+  w->U64(num_hosts);
+  w->U64(num_links);
+  w->U64(generator_seed);
+  w->U8(target_language);
+  w->Str(strategy_name);
+  w->U64(num_priority_levels);
+  w->U64(seed_priority);
+  w->Str(classifier_name);
+  w->U64(sample_interval);
+  w->U8(parse_html ? 1 : 0);
+  w->Str(scheduler_kind);
+}
+
+StatusOr<CrawlFingerprint> CrawlFingerprint::Load(SectionReader* r) {
+  CrawlFingerprint fp;
+  fp.num_pages = r->U64();
+  fp.num_hosts = r->U64();
+  fp.num_links = r->U64();
+  fp.generator_seed = r->U64();
+  fp.target_language = r->U8();
+  fp.strategy_name = r->Str();
+  fp.num_priority_levels = r->U64();
+  fp.seed_priority = r->U64();
+  fp.classifier_name = r->Str();
+  fp.sample_interval = r->U64();
+  fp.parse_html = r->U8() != 0;
+  fp.scheduler_kind = r->Str();
+  LSWC_RETURN_IF_ERROR(r->status());
+  return fp;
+}
+
+namespace {
+Status Mismatch(const std::string& field, const std::string& snapshot_value,
+                const std::string& run_value) {
+  return Status::FailedPrecondition(
+      "snapshot fingerprint mismatch: " + field + " is " + snapshot_value +
+      " in the snapshot but " + run_value + " in this run");
+}
+}  // namespace
+
+Status CrawlFingerprint::Match(const CrawlFingerprint& other) const {
+  const auto u = [](uint64_t v) { return std::to_string(v); };
+  if (num_pages != other.num_pages) {
+    return Mismatch("dataset num_pages", u(other.num_pages), u(num_pages));
+  }
+  if (num_hosts != other.num_hosts) {
+    return Mismatch("dataset num_hosts", u(other.num_hosts), u(num_hosts));
+  }
+  if (num_links != other.num_links) {
+    return Mismatch("dataset num_links", u(other.num_links), u(num_links));
+  }
+  if (generator_seed != other.generator_seed) {
+    return Mismatch("dataset generator_seed", u(other.generator_seed),
+                    u(generator_seed));
+  }
+  if (target_language != other.target_language) {
+    return Mismatch("target_language", u(other.target_language),
+                    u(target_language));
+  }
+  if (strategy_name != other.strategy_name) {
+    return Mismatch("strategy", other.strategy_name, strategy_name);
+  }
+  if (num_priority_levels != other.num_priority_levels) {
+    return Mismatch("strategy num_priority_levels",
+                    u(other.num_priority_levels), u(num_priority_levels));
+  }
+  if (seed_priority != other.seed_priority) {
+    return Mismatch("strategy seed_priority", u(other.seed_priority),
+                    u(seed_priority));
+  }
+  if (classifier_name != other.classifier_name) {
+    return Mismatch("classifier", other.classifier_name, classifier_name);
+  }
+  if (sample_interval != other.sample_interval) {
+    return Mismatch("sample_interval", u(other.sample_interval),
+                    u(sample_interval));
+  }
+  if (parse_html != other.parse_html) {
+    return Mismatch("parse_html", other.parse_html ? "true" : "false",
+                    parse_html ? "true" : "false");
+  }
+  if (scheduler_kind != other.scheduler_kind) {
+    return Mismatch("scheduler kind", other.scheduler_kind, scheduler_kind);
+  }
+  return Status::OK();
+}
+
+}  // namespace lswc::snapshot

@@ -1,0 +1,52 @@
+#ifndef LSWC_SNAPSHOT_FINGERPRINT_H_
+#define LSWC_SNAPSHOT_FINGERPRINT_H_
+
+// Identity of the run configuration a snapshot was taken under. A
+// snapshot only makes sense against the exact dataset / strategy /
+// classifier / cadence it was captured with — resuming a Thai crawl's
+// frontier against a Japanese graph would silently produce garbage
+// series. The fingerprint is saved as the first section and checked
+// before any state is restored; a mismatch is a FailedPrecondition
+// naming the first field that differs.
+
+#include <cstdint>
+#include <string>
+
+#include "snapshot/section.h"
+#include "util/status.h"
+
+namespace lswc::snapshot {
+
+struct CrawlFingerprint {
+  // Dataset identity.
+  uint64_t num_pages = 0;
+  uint64_t num_hosts = 0;
+  uint64_t num_links = 0;
+  uint64_t generator_seed = 0;
+  uint8_t target_language = 0;
+
+  // Strategy / classifier identity.
+  std::string strategy_name;
+  uint64_t num_priority_levels = 0;
+  uint64_t seed_priority = 0;
+  std::string classifier_name;
+
+  // Engine configuration that changes the observable series.
+  uint64_t sample_interval = 0;
+  bool parse_html = false;
+
+  // Which scheduler kind produced the kFrontier section ("fifo",
+  // "bucket", "bounded", "spilling", "politeness", ...).
+  std::string scheduler_kind;
+
+  void Save(SectionWriter* w) const;
+  static StatusOr<CrawlFingerprint> Load(SectionReader* r);
+
+  /// OK iff `other` (from a snapshot) matches this run's configuration;
+  /// otherwise FailedPrecondition naming the mismatched field.
+  Status Match(const CrawlFingerprint& other) const;
+};
+
+}  // namespace lswc::snapshot
+
+#endif  // LSWC_SNAPSHOT_FINGERPRINT_H_

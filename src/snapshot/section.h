@@ -1,0 +1,207 @@
+#ifndef LSWC_SNAPSHOT_SECTION_H_
+#define LSWC_SNAPSHOT_SECTION_H_
+
+// Typed byte-stream encoding for snapshot sections. A SectionWriter is
+// an append-only buffer with fixed little-endian primitive encodings; a
+// SectionReader is a bounds-checked cursor over a section's payload.
+//
+// The reader uses a *sticky* error: the first malformed read (underrun,
+// oversized length prefix) records a Corruption status and every later
+// read returns a zero value without touching memory. Restore code can
+// therefore decode a whole section linearly and check `status()` once
+// at the end — no per-field error plumbing, and no way for corrupt
+// length fields to drive allocations past the section's real size.
+// (In practice the per-section CRC catches corruption first; the sticky
+// bounds checks are the defense in depth that keeps even a CRC collision
+// from turning into undefined behavior.)
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lswc::snapshot {
+
+class SectionWriter {
+ public:
+  void U8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(std::string_view s) {
+    U64(s.size());
+    buffer_.append(s.data(), s.size());
+  }
+
+  /// Vectors: a U64 element count followed by the elements.
+  void U32Vec(const std::vector<uint32_t>& v) {
+    U64(v.size());
+    for (uint32_t e : v) U32(e);
+  }
+  void U64Vec(const std::vector<uint64_t>& v) {
+    U64(v.size());
+    for (uint64_t e : v) U64(e);
+  }
+  void F64Vec(const std::vector<double>& v) {
+    U64(v.size());
+    for (double e : v) F64(e);
+  }
+  void U8Vec(const std::vector<uint8_t>& v) {
+    U64(v.size());
+    for (uint8_t e : v) U8(e);
+  }
+  void I16Vec(const std::vector<int16_t>& v) {
+    U64(v.size());
+    for (int16_t e : v) {
+      const auto u = static_cast<uint16_t>(e);
+      U8(static_cast<uint8_t>(u));
+      U8(static_cast<uint8_t>(u >> 8));
+    }
+  }
+  /// std::vector<bool>, packed 8 flags per byte.
+  void BoolVec(const std::vector<bool>& v) {
+    U64(v.size());
+    uint8_t byte = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (v[i]) byte |= static_cast<uint8_t>(1u << (i % 8));
+      if (i % 8 == 7) {
+        U8(byte);
+        byte = 0;
+      }
+    }
+    if (v.size() % 8 != 0) U8(byte);
+  }
+
+  const std::string& data() const { return buffer_; }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+class SectionReader {
+ public:
+  SectionReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const uint64_t n = Len(1);
+    std::string s;
+    if (!status_.ok()) return s;
+    s.assign(reinterpret_cast<const char*>(data_ + pos_),
+             static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+
+  std::vector<uint32_t> U32Vec() { return Vec<uint32_t>(4, [this] { return U32(); }); }
+  std::vector<uint64_t> U64Vec() { return Vec<uint64_t>(8, [this] { return U64(); }); }
+  std::vector<double> F64Vec() { return Vec<double>(8, [this] { return F64(); }); }
+  std::vector<uint8_t> U8Vec() { return Vec<uint8_t>(1, [this] { return U8(); }); }
+  std::vector<int16_t> I16Vec() {
+    return Vec<int16_t>(2, [this] {
+      const uint16_t lo = U8();
+      const uint16_t hi = U8();
+      return static_cast<int16_t>(static_cast<uint16_t>(lo | (hi << 8)));
+    });
+  }
+  std::vector<bool> BoolVec() {
+    const uint64_t n = U64();
+    std::vector<bool> v;
+    if (!status_.ok() || !Need((n + 7) / 8)) return v;
+    v.resize(static_cast<size_t>(n));
+    uint8_t byte = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i % 8 == 0) byte = data_[pos_++];
+      v[i] = (byte >> (i % 8)) & 1;
+    }
+    return v;
+  }
+
+  const Status& status() const { return status_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  /// OK iff every read succeeded and the payload was fully consumed.
+  Status Finish() const {
+    if (!status_.ok()) return status_;
+    if (!AtEnd()) {
+      return Status::Corruption("section has trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// Validates that `n` more bytes exist; sets the sticky error if not.
+  bool Need(uint64_t n) {
+    if (!status_.ok()) return false;
+    if (n > size_ - pos_) {
+      status_ = Status::Corruption("section underrun at byte " +
+                                   std::to_string(pos_));
+      return false;
+    }
+    return true;
+  }
+  /// Reads a length prefix and validates it against the remaining bytes
+  /// at `elem_size` bytes per element, so corrupt lengths cannot drive
+  /// allocations beyond the section's actual size.
+  uint64_t Len(size_t elem_size) {
+    const uint64_t n = U64();
+    if (!status_.ok()) return 0;
+    if (!Need(n * static_cast<uint64_t>(elem_size))) return 0;
+    return n;
+  }
+  template <typename T, typename Fn>
+  std::vector<T> Vec(size_t elem_size, Fn read_one) {
+    const uint64_t n = Len(elem_size);
+    std::vector<T> v;
+    if (!status_.ok()) return v;
+    v.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) v.push_back(read_one());
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace lswc::snapshot
+
+#endif  // LSWC_SNAPSHOT_SECTION_H_

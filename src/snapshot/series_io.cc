@@ -1,0 +1,80 @@
+#include "snapshot/series_io.h"
+
+#include <utility>
+#include <vector>
+
+namespace lswc::snapshot {
+
+void SaveSeries(const Series& series, SectionWriter* w) {
+  w->Str(series.x_name());
+  w->U64(series.num_columns());
+  for (size_t c = 0; c < series.num_columns(); ++c) {
+    w->Str(series.y_column(c).name);
+  }
+  std::vector<double> x(series.num_rows());
+  for (size_t r = 0; r < series.num_rows(); ++r) x[r] = series.x(r);
+  w->F64Vec(x);
+  for (size_t c = 0; c < series.num_columns(); ++c) {
+    w->F64Vec(series.y_column(c).values);
+  }
+}
+
+StatusOr<Series> LoadSeries(SectionReader* r) {
+  const std::string x_name = r->Str();
+  const uint64_t num_columns = r->U64();
+  LSWC_RETURN_IF_ERROR(r->status());
+  // Column count is bounded by the remaining payload (each column is at
+  // least an empty Str + empty F64Vec = 16 bytes), so a corrupt count
+  // cannot drive an unbounded loop; the sticky reader fails first.
+  std::vector<std::string> y_names;
+  for (uint64_t c = 0; c < num_columns && r->status().ok(); ++c) {
+    y_names.push_back(r->Str());
+  }
+  LSWC_RETURN_IF_ERROR(r->status());
+  Series series(x_name, y_names);
+  const std::vector<double> x = r->F64Vec();
+  std::vector<std::vector<double>> ys;
+  for (uint64_t c = 0; c < num_columns && r->status().ok(); ++c) {
+    ys.push_back(r->F64Vec());
+  }
+  LSWC_RETURN_IF_ERROR(r->status());
+  for (const auto& col : ys) {
+    if (col.size() != x.size()) {
+      return Status::Corruption("series column length mismatch in snapshot");
+    }
+  }
+  std::vector<double> row(y_names.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t c = 0; c < ys.size(); ++c) row[c] = ys[c][i];
+    series.AddRow(x[i], row);
+  }
+  return series;
+}
+
+Status LoadSeriesInto(SectionReader* r, Series* out) {
+  StatusOr<Series> loaded = LoadSeries(r);
+  LSWC_RETURN_IF_ERROR(loaded.status());
+  if (loaded->x_name() != out->x_name()) {
+    return Status::FailedPrecondition(
+        "snapshot series x column is '" + loaded->x_name() +
+        "' but this run records '" + out->x_name() + "'");
+  }
+  if (loaded->num_columns() != out->num_columns()) {
+    return Status::FailedPrecondition(
+        "snapshot series has " + std::to_string(loaded->num_columns()) +
+        " y columns but this run records " +
+        std::to_string(out->num_columns()));
+  }
+  for (size_t c = 0; c < out->num_columns(); ++c) {
+    if (loaded->y_column(c).name != out->y_column(c).name) {
+      return Status::FailedPrecondition(
+          "snapshot series column " + std::to_string(c) + " is '" +
+          loaded->y_column(c).name + "' but this run records '" +
+          out->y_column(c).name + "'");
+    }
+  }
+  *out = *std::move(loaded);
+  return Status::OK();
+}
+
+}  // namespace lswc::snapshot

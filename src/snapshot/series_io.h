@@ -1,0 +1,28 @@
+#ifndef LSWC_SNAPSHOT_SERIES_IO_H_
+#define LSWC_SNAPSHOT_SERIES_IO_H_
+
+// Self-describing Series serialization for snapshots: column names are
+// stored with the data so a restore can verify the snapshot's series
+// shape matches the run it is being loaded into.
+
+#include "snapshot/section.h"
+#include "util/series.h"
+#include "util/status.h"
+
+namespace lswc::snapshot {
+
+/// Appends `series` (x name, y names, all values) to `w`.
+void SaveSeries(const Series& series, SectionWriter* w);
+
+/// Reads a series saved by SaveSeries. Fails with Corruption on malformed
+/// data (column length mismatch, reader underrun).
+StatusOr<Series> LoadSeries(SectionReader* r);
+
+/// Reads a series and replaces `*out` with it, requiring the stored x/y
+/// column names to match `out`'s — FailedPrecondition otherwise. Used to
+/// restore a live recorder's series in place.
+Status LoadSeriesInto(SectionReader* r, Series* out);
+
+}  // namespace lswc::snapshot
+
+#endif  // LSWC_SNAPSHOT_SERIES_IO_H_

@@ -1,0 +1,21 @@
+#ifndef LSWC_UTIL_CRC32_H_
+#define LSWC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lswc {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant).
+/// Used as the per-section integrity checksum of the snapshot format:
+/// cheap enough to run over multi-megabyte frontier dumps and strong
+/// enough to catch every single-bit flip and truncation a torn write or
+/// bad disk can produce.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace lswc
+
+#endif  // LSWC_UTIL_CRC32_H_

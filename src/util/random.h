@@ -1,6 +1,7 @@
 #ifndef LSWC_UTIL_RANDOM_H_
 #define LSWC_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -63,6 +64,14 @@ class Rng {
       size_t j = static_cast<size_t>(UniformUint64(i));
       std::swap((*v)[i - 1], (*v)[j]);
     }
+  }
+
+  /// The raw xoshiro256** state, for checkpointing a stream mid-run.
+  /// Restoring a captured state resumes the stream at exactly the next
+  /// draw — the snapshot subsystem round-trips it bit-for-bit.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
   }
 
  private:

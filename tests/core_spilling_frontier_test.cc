@@ -6,6 +6,7 @@
 
 #include "core/frontier.h"
 #include "core/simulator.h"
+#include "snapshot/section.h"
 #include "webgraph/generator.h"
 
 #include "util/random.h"
@@ -127,6 +128,106 @@ TEST(SpillingFrontierTest, SpillFilesCleanedUpOnDestruction) {
     ++leftovers;
   }
   EXPECT_EQ(leftovers, 0u);
+}
+
+TEST(SpillingFrontierTest, UnusableSpillDirFailsCreate) {
+  // A path component that is a regular file makes the directory
+  // uncreatable; Create must surface that as a Status, not crash later
+  // in Push.
+  const std::string blocker = ::testing::TempDir() + "/lswc_spill_blocker";
+  std::FILE* f = std::fopen(blocker.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  SpillingFrontier::Options options = TinyOptions();
+  options.spill_dir = blocker + "/sub";
+  const auto frontier = SpillingFrontier::Create(1, options);
+  EXPECT_FALSE(frontier.ok());
+  EXPECT_EQ(frontier.status().code(), StatusCode::kIoError)
+      << frontier.status();
+  std::remove(blocker.c_str());
+}
+
+TEST(SpillingFrontierTest, SpillFilesCleanedUpMidDrain) {
+  // Destroy the frontier while a spill file still holds pending URLs
+  // (partial drain): the file must not outlive the frontier.
+  const std::string dir = ::testing::TempDir() + "/lswc_spill_middrain";
+  SpillingFrontier::Options options = TinyOptions();
+  options.spill_dir = dir;
+  {
+    auto f = SpillingFrontier::Create(1, options);
+    ASSERT_TRUE(f.ok());
+    for (PageId p = 0; p < 1000; ++p) (*f)->Push(p, 0);
+    ASSERT_GT((*f)->spilled_urls(), 0u);
+    for (int i = 0; i < 100; ++i) ASSERT_TRUE((*f)->Pop().has_value());
+    ASSERT_EQ((*f)->size(), 900u);
+  }
+  size_t leftovers = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir)) {
+    ++leftovers;
+  }
+  EXPECT_EQ(leftovers, 0u);
+}
+
+TEST(SpillingFrontierTest, SaveRestoreRoundtripsSpilledState) {
+  // Snapshot a frontier whose middle segment lives on disk, restore it
+  // into a fresh instance, and verify the pop sequence is identical.
+  auto original = SpillingFrontier::Create(3, TinyOptions());
+  ASSERT_TRUE(original.ok());
+  Rng rng(0x5b113);
+  for (int i = 0; i < 500; ++i) {
+    (*original)->Push(static_cast<PageId>(i),
+                      static_cast<int>(rng.UniformUint64(3)));
+  }
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE((*original)->Pop().has_value());
+  ASSERT_GT((*original)->spilled_urls(), 0u);
+
+  snapshot::SectionWriter w;
+  ASSERT_TRUE((*original)->Save(&w).ok());
+  snapshot::SectionReader r(w.data().data(), w.size());
+  auto restored = SpillingFrontier::Create(3, TinyOptions());
+  ASSERT_TRUE(restored.ok());
+  const Status status = (*restored)->Restore(&r);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_TRUE(r.Finish().ok());
+
+  EXPECT_EQ((*restored)->size(), (*original)->size());
+  EXPECT_EQ((*restored)->max_size_seen(), (*original)->max_size_seen());
+  EXPECT_EQ((*restored)->spilled_urls(), (*original)->spilled_urls());
+  while (true) {
+    const auto a = (*original)->Pop();
+    const auto b = (*restored)->Pop();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    ASSERT_EQ(*a, *b);
+  }
+}
+
+TEST(SpillingFrontierTest, RestoreRejectsMismatchedGeometry) {
+  auto original = SpillingFrontier::Create(2, TinyOptions());
+  ASSERT_TRUE(original.ok());
+  for (PageId p = 0; p < 100; ++p) (*original)->Push(p, 0);
+  snapshot::SectionWriter w;
+  ASSERT_TRUE((*original)->Save(&w).ok());
+
+  {
+    // Different level count.
+    snapshot::SectionReader r(w.data().data(), w.size());
+    auto other = SpillingFrontier::Create(3, TinyOptions());
+    ASSERT_TRUE(other.ok());
+    const Status status = (*other)->Restore(&r);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  }
+  {
+    // Different memory budget.
+    snapshot::SectionReader r(w.data().data(), w.size());
+    SpillingFrontier::Options options = TinyOptions();
+    options.memory_budget = 32;
+    auto other = SpillingFrontier::Create(2, options);
+    ASSERT_TRUE(other.ok());
+    const Status status = (*other)->Restore(&r);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  }
 }
 
 TEST(SpillingSimulationTest, MatchesUnboundedRunExactly) {

@@ -1,0 +1,255 @@
+// Split-run determinism: a crawl snapshotted mid-run and resumed in a
+// fresh process state must reproduce the straight (uninterrupted) run
+// bit-identically — same summary, same FNV-1a series hash. The straight
+// run's hashes are themselves pinned by the crawl-engine
+// characterization tests, so agreeing with the straight run anchors the
+// resumed run to the same pinned behavior.
+//
+// Covered frontier kinds: fifo (bfs), bucket (soft-focused), bounded
+// (frontier_capacity), spilling (frontier_memory_budget), and the
+// politeness scheduler's HostFrontier.
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/politeness.h"
+#include "core/simulator.h"
+#include "core/strategy.h"
+#include "util/series.h"
+#include "webgraph/generator.h"
+#include "webgraph/link_db.h"
+
+namespace lswc {
+namespace {
+
+WebGraph MakeGraph(uint32_t pages = 6000) {
+  auto graph = GenerateWebGraph(ThaiLikeOptions(pages));
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+std::string SnapshotDirFor(const std::string& label) {
+  const std::string dir = ::testing::TempDir() + "/lswc_resume_" + label;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Runs `strategy` straight through, then again split in two (checkpoint
+/// at ~50%, resume from the snapshot), and asserts the split run is
+/// indistinguishable from the straight one.
+void ExpectSplitRunMatches(const WebGraph& graph,
+                           const CrawlStrategy& strategy,
+                           SimulationOptions base, const std::string& label) {
+  base.sample_interval = 50;
+
+  MetaTagClassifier straight_classifier(Language::kThai);
+  auto straight = RunSimulation(graph, &straight_classifier, strategy,
+                                RenderMode::kNone, base);
+  ASSERT_TRUE(straight.ok()) << straight.status();
+  ASSERT_GT(straight->summary.pages_crawled, 500u);
+
+  const std::string dir = SnapshotDirFor(label);
+  SimulationOptions first_half = base;
+  first_half.max_pages = straight->summary.pages_crawled / 2;
+  first_half.checkpoint_every_pages = 250;
+  first_half.snapshot_dir = dir;
+  first_half.snapshot_label = label;
+  MetaTagClassifier first_classifier(Language::kThai);
+  auto first = RunSimulation(graph, &first_classifier, strategy,
+                             RenderMode::kNone, first_half);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const std::string snap = dir + "/" + label + ".snap";
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  SimulationOptions second_half = base;
+  second_half.resume_path = snap;
+  MetaTagClassifier resumed_classifier(Language::kThai);
+  auto resumed = RunSimulation(graph, &resumed_classifier, strategy,
+                               RenderMode::kNone, second_half);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+
+  EXPECT_EQ(resumed->summary.pages_crawled, straight->summary.pages_crawled);
+  EXPECT_EQ(resumed->summary.ok_pages_crawled,
+            straight->summary.ok_pages_crawled);
+  EXPECT_EQ(resumed->summary.relevant_crawled,
+            straight->summary.relevant_crawled);
+  EXPECT_EQ(resumed->summary.max_queue_size, straight->summary.max_queue_size);
+  EXPECT_EQ(resumed->summary.urls_dropped, straight->summary.urls_dropped);
+  EXPECT_EQ(resumed->summary.final_harvest_pct,
+            straight->summary.final_harvest_pct);
+  EXPECT_EQ(resumed->summary.final_coverage_pct,
+            straight->summary.final_coverage_pct);
+  EXPECT_EQ(resumed->series.num_rows(), straight->series.num_rows());
+  EXPECT_EQ(Fnv1aHash(resumed->series), Fnv1aHash(straight->series))
+      << "resumed series diverged from the straight run";
+}
+
+TEST(SnapshotResumeTest, FifoFrontierSplitRunIsBitIdentical) {
+  const WebGraph graph = MakeGraph();
+  const BreadthFirstStrategy bfs;
+  ExpectSplitRunMatches(graph, bfs, SimulationOptions{}, "fifo");
+}
+
+TEST(SnapshotResumeTest, BucketFrontierSplitRunIsBitIdentical) {
+  const WebGraph graph = MakeGraph();
+  const SoftFocusedStrategy soft;
+  ExpectSplitRunMatches(graph, soft, SimulationOptions{}, "bucket");
+}
+
+TEST(SnapshotResumeTest, BoundedFrontierSplitRunIsBitIdentical) {
+  const WebGraph graph = MakeGraph();
+  const SoftFocusedStrategy soft;
+  SimulationOptions options;
+  options.frontier_capacity = 300;  // Force drops.
+  ExpectSplitRunMatches(graph, soft, options, "bounded");
+}
+
+TEST(SnapshotResumeTest, SpillingFrontierSplitRunIsBitIdentical) {
+  const WebGraph graph = MakeGraph();
+  const SoftFocusedStrategy soft;
+  SimulationOptions options;
+  options.frontier_memory_budget = 256;  // Force disk spills.
+  options.spill_dir = ::testing::TempDir() + "/lswc_resume_spill_files";
+  ExpectSplitRunMatches(graph, soft, options, "spilling");
+}
+
+TEST(SnapshotResumeTest, PolitenessSplitRunIsBitIdentical) {
+  const WebGraph graph = MakeGraph(4000);
+  InMemoryLinkDb link_db(&graph);
+  VirtualWebSpace web(&graph, &link_db, RenderMode::kNone);
+  const SoftFocusedStrategy soft;
+
+  PolitenessOptions base;
+  base.num_connections = 8;
+  base.min_access_interval_sec = 0.5;
+  base.sample_interval = 50;
+
+  MetaTagClassifier straight_classifier(Language::kThai);
+  PolitenessSimulator straight_sim(&web, &straight_classifier, &soft, base);
+  auto straight = straight_sim.Run();
+  ASSERT_TRUE(straight.ok()) << straight.status();
+  ASSERT_GT(straight->summary.pages_crawled, 500u);
+
+  const std::string dir = SnapshotDirFor("politeness");
+  PolitenessOptions first_half = base;
+  first_half.max_pages = straight->summary.pages_crawled / 2;
+  first_half.checkpoint_every_pages = 250;
+  first_half.snapshot_dir = dir;
+  first_half.snapshot_label = "politeness";
+  MetaTagClassifier first_classifier(Language::kThai);
+  PolitenessSimulator first_sim(&web, &first_classifier, &soft, first_half);
+  auto first = first_sim.Run();
+  ASSERT_TRUE(first.ok()) << first.status();
+  const std::string snap = dir + "/politeness.snap";
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  PolitenessOptions second_half = base;
+  second_half.resume_path = snap;
+  MetaTagClassifier resumed_classifier(Language::kThai);
+  PolitenessSimulator resumed_sim(&web, &resumed_classifier, &soft,
+                                  second_half);
+  auto resumed = resumed_sim.Run();
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+
+  EXPECT_EQ(resumed->summary.pages_crawled, straight->summary.pages_crawled);
+  EXPECT_EQ(resumed->summary.relevant_crawled,
+            straight->summary.relevant_crawled);
+  EXPECT_EQ(resumed->summary.sim_time_sec, straight->summary.sim_time_sec);
+  EXPECT_EQ(resumed->summary.max_queue_size, straight->summary.max_queue_size);
+  EXPECT_EQ(Fnv1aHash(resumed->series), Fnv1aHash(straight->series))
+      << "resumed politeness series diverged from the straight run";
+}
+
+/// Writes one checkpointed half-run and returns the snapshot path.
+std::string MakeSnapshot(const WebGraph& graph, const std::string& label) {
+  const std::string dir = SnapshotDirFor(label);
+  const SoftFocusedStrategy soft;
+  SimulationOptions options;
+  options.sample_interval = 50;
+  options.max_pages = 2000;
+  options.checkpoint_every_pages = 250;
+  options.snapshot_dir = dir;
+  options.snapshot_label = label;
+  MetaTagClassifier classifier(Language::kThai);
+  auto run = RunSimulation(graph, &classifier, soft, RenderMode::kNone,
+                           options);
+  EXPECT_TRUE(run.ok()) << run.status();
+  return dir + "/" + label + ".snap";
+}
+
+Status TryResume(const WebGraph& graph, const CrawlStrategy& strategy,
+                 Classifier* classifier, SimulationOptions options,
+                 const std::string& snap) {
+  options.resume_path = snap;
+  return RunSimulation(graph, classifier, strategy, RenderMode::kNone,
+                       options).status();
+}
+
+TEST(SnapshotResumeTest, FingerprintRejectsMismatchedConfig) {
+  const WebGraph graph = MakeGraph();
+  const std::string snap = MakeSnapshot(graph, "fingerprint");
+  const SoftFocusedStrategy soft;
+  SimulationOptions matching;
+  matching.sample_interval = 50;
+
+  {
+    // Different strategy.
+    const BreadthFirstStrategy bfs;
+    MetaTagClassifier classifier(Language::kThai);
+    const Status status = TryResume(graph, bfs, &classifier, matching, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  }
+  {
+    // Different classifier.
+    OracleClassifier classifier(Language::kThai);
+    const Status status = TryResume(graph, soft, &classifier, matching, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  }
+  {
+    // Different sample cadence.
+    SimulationOptions options = matching;
+    options.sample_interval = 100;
+    MetaTagClassifier classifier(Language::kThai);
+    const Status status = TryResume(graph, soft, &classifier, options, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  }
+  {
+    // Different frontier kind (bucket snapshot into a spilling run).
+    SimulationOptions options = matching;
+    options.frontier_memory_budget = 256;
+    options.spill_dir = ::testing::TempDir() + "/lswc_resume_kind_mismatch";
+    MetaTagClassifier classifier(Language::kThai);
+    const Status status = TryResume(graph, soft, &classifier, options, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  }
+  {
+    // Different dataset.
+    const WebGraph other = MakeGraph(3000);
+    MetaTagClassifier classifier(Language::kThai);
+    const Status status = TryResume(other, soft, &classifier, matching, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  }
+  {
+    // Sanity: the matching configuration does resume.
+    MetaTagClassifier classifier(Language::kThai);
+    const Status status = TryResume(graph, soft, &classifier, matching, snap);
+    EXPECT_TRUE(status.ok()) << status;
+  }
+}
+
+TEST(SnapshotResumeTest, ResumeFromMissingFileFails) {
+  const WebGraph graph = MakeGraph(2000);
+  const SoftFocusedStrategy soft;
+  MetaTagClassifier classifier(Language::kThai);
+  SimulationOptions options;
+  options.resume_path = ::testing::TempDir() + "/lswc_no_such.snap";
+  const auto run = RunSimulation(graph, &classifier, soft, RenderMode::kNone,
+                                 options);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kIoError) << run.status();
+}
+
+}  // namespace
+}  // namespace lswc

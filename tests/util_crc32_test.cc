@@ -1,0 +1,57 @@
+#include "util/crc32.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lswc {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE check value every CRC-32 implementation must reproduce.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc", 3), 0x352441C2u);
+  const std::string quick = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(Crc32(quick.data(), quick.size()), 0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the snapshot payload, fed in uneven pieces";
+  const uint32_t expected = Crc32(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32Update(0, data.data(), split);
+    crc = Crc32Update(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, expected) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsEverySingleBitFlip) {
+  std::vector<uint8_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  const uint32_t clean = Crc32(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(Crc32(data.data(), data.size()), clean)
+          << "missed flip at byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(Crc32Test, DetectsTruncation) {
+  std::vector<uint8_t> data(128, 0xA5);
+  const uint32_t clean = Crc32(data.data(), data.size());
+  for (size_t len = 0; len < data.size(); ++len) {
+    EXPECT_NE(Crc32(data.data(), len), clean) << "missed truncation to " << len;
+  }
+}
+
+}  // namespace
+}  // namespace lswc

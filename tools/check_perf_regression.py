@@ -8,7 +8,10 @@ file in --current and fails (exit 1) when either:
     (fractional, default 0.30 = 30%), or
   * any per-run or per-series content hash differs — the simulation is
     deterministic, so a hash mismatch is a correctness change, not noise,
-    and is never tolerated.
+    and is never tolerated, or
+  * a BENCH report exists in --current with no baseline counterpart — a
+    new benchmark must land together with its baseline, otherwise it runs
+    ungated forever.
 
 Baseline files live in bench_out/baseline/ in the repository; refresh
 them with the procedure in EXPERIMENTS.md ("Refreshing the perf
@@ -89,6 +92,12 @@ def main():
                 failures.append(
                     f"{name}: series '{file_name}' hash changed "
                     f"{base_entry.get('hash')} -> {cur_entry.get('hash')}")
+
+    for name in sorted(current):
+        if name not in baseline:
+            failures.append(
+                f"{name}: present in {args.current} but has no baseline in "
+                f"{args.baseline}; check in a baseline for new benchmarks")
 
     if failures:
         print("\nPERF GATE FAILED:")

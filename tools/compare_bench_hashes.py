@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Assert two BENCH_*.json reports describe bit-identical simulations.
+
+Used by the crash-recovery CI job: a run that was SIGKILLed mid-crawl and
+resumed from its latest snapshot must reproduce the exact per-run and
+per-series content hashes of an uninterrupted run. Wall-clock numbers
+(pages/sec, wall_time) are ignored — only determinism-bearing fields are
+compared:
+
+  * the set of run names, and each run's series_hash, pages_crawled,
+    relevant_crawled, max_queue_size;
+  * the set of series files, and each one's row count and content hash.
+
+Exit 0 when everything matches, 1 with a per-field diff otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+RUN_FIELDS = ("series_hash", "pages_crawled", "relevant_crawled",
+              "max_queue_size")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("expected", help="BENCH json of the straight run")
+    parser.add_argument("actual", help="BENCH json of the resumed run")
+    args = parser.parse_args()
+
+    expected = load(args.expected)
+    actual = load(args.actual)
+    failures = []
+
+    exp_runs = {r["name"]: r for r in expected.get("runs", [])}
+    act_runs = {r["name"]: r for r in actual.get("runs", [])}
+    if sorted(exp_runs) != sorted(act_runs):
+        failures.append(
+            f"run sets differ: {sorted(exp_runs)} vs {sorted(act_runs)}")
+    for name in sorted(set(exp_runs) & set(act_runs)):
+        for field in RUN_FIELDS:
+            exp_value = exp_runs[name].get(field)
+            act_value = act_runs[name].get(field)
+            if exp_value != act_value:
+                failures.append(
+                    f"run '{name}': {field} {exp_value} != {act_value}")
+
+    exp_series = {s["file"]: s for s in expected.get("series", [])}
+    act_series = {s["file"]: s for s in actual.get("series", [])}
+    if sorted(exp_series) != sorted(act_series):
+        failures.append(
+            f"series sets differ: {sorted(exp_series)} vs "
+            f"{sorted(act_series)}")
+    for file_name in sorted(set(exp_series) & set(act_series)):
+        for field in ("rows", "hash"):
+            exp_value = exp_series[file_name].get(field)
+            act_value = act_series[file_name].get(field)
+            if exp_value != act_value:
+                failures.append(
+                    f"series '{file_name}': {field} {exp_value} != "
+                    f"{act_value}")
+
+    if failures:
+        print(f"HASH MISMATCH between {args.expected} and {args.actual}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"{args.actual} matches {args.expected}: "
+          f"{len(exp_runs)} run(s), {len(exp_series)} series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/context_graph.h"
 #include "core/distiller.h"
 #include "core/experiment_runner.h"
@@ -52,6 +54,11 @@ struct Args {
   int connections = 16;
   double interval_sec = 1.0;
   unsigned jobs = 0;  // 0 = all hardware threads.
+  uint64_t checkpoint_every = 0;  // Pages between snapshots (0 = never).
+  std::string snapshot_dir;
+  /// Snapshot file to resume from, or a directory holding per-strategy
+  /// <strategy>.snap files (resume-if-exists).
+  std::string resume;
 };
 
 int Usage(const char* argv0) {
@@ -71,7 +78,14 @@ int Usage(const char* argv0) {
       "  --frontier-capacity=N        bounded URL queue (default: unlimited)\n"
       "  --politeness=CONNS,INTERVAL  timed simulation (e.g. 16,1.0)\n"
       "  --jobs=N                     worker threads for strategy lists\n"
-      "  --out=FILE                   write the metric series as .dat\n",
+      "  --out=FILE                   write the metric series as .dat\n"
+      "  --checkpoint-every=N         snapshot the run state every N pages\n"
+      "                               (requires --snapshot-dir)\n"
+      "  --snapshot-dir=DIR           rolling per-strategy DIR/<name>.snap\n"
+      "  --resume=PATH                resume from a snapshot file, or from\n"
+      "                               DIR/<strategy>.snap when PATH is a\n"
+      "                               directory (strategies without a\n"
+      "                               snapshot start fresh)\n",
       argv0);
   return 2;
 }
@@ -126,10 +140,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->jobs = static_cast<unsigned>(*n);
     } else if (auto v = value("--out=")) {
       args->out_path = std::string(*v);
+    } else if (auto v = value("--checkpoint-every=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n == 0) return false;
+      args->checkpoint_every = *n;
+    } else if (auto v = value("--snapshot-dir=")) {
+      if (v->empty()) return false;
+      args->snapshot_dir = std::string(*v);
+    } else if (auto v = value("--resume=")) {
+      if (v->empty()) return false;
+      args->resume = std::string(*v);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       return false;
     }
+  }
+  if (args->checkpoint_every != 0 && args->snapshot_dir.empty()) {
+    std::fprintf(stderr, "--checkpoint-every requires --snapshot-dir\n");
+    return false;
   }
   return true;
 }
@@ -262,11 +290,31 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   InMemoryLinkDb link_db(&graph);
   VirtualWebSpace web(&graph, &link_db, *render);
 
+  // Checkpoint/resume plumbing shared by both simulator kinds: each
+  // strategy snapshots to (and resumes from) its own sanitized label.
+  const std::string label = SanitizeSnapshotLabel(strategy_spec);
+  std::string resume_path;
+  if (!args.resume.empty()) {
+    if (std::filesystem::is_directory(args.resume)) {
+      const std::string candidate = args.resume + "/" + label + ".snap";
+      if (std::filesystem::exists(candidate)) {
+        resume_path = candidate;
+        *output += StringPrintf("resuming from %s\n", candidate.c_str());
+      }
+    } else {
+      resume_path = args.resume;
+    }
+  }
+
   if (args.politeness) {
     PolitenessOptions options;
     options.num_connections = args.connections;
     options.min_access_interval_sec = args.interval_sec;
     options.max_pages = args.max_pages;
+    options.checkpoint_every_pages = args.checkpoint_every;
+    options.snapshot_dir = args.snapshot_dir;
+    options.snapshot_label = label;
+    options.resume_path = resume_path;
     PolitenessSimulator sim(&web, classifier->get(), strategy->get(),
                             options);
     auto r = sim.Run();
@@ -292,6 +340,10 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   options.max_pages = args.max_pages;
   options.parse_html = args.parse_html;
   options.frontier_capacity = args.frontier_capacity;
+  options.checkpoint_every_pages = args.checkpoint_every;
+  options.snapshot_dir = args.snapshot_dir;
+  options.snapshot_label = label;
+  options.resume_path = resume_path;
   Simulator sim(&web, classifier->get(), strategy->get(), options);
   auto r = sim.Run();
   LSWC_RETURN_IF_ERROR(r.status());
@@ -343,6 +395,22 @@ int Run(const Args& args) {
   if (strategy_list.empty()) {
     std::fprintf(stderr, "no strategy given\n");
     return 1;
+  }
+  if (strategy_list.size() > 1 && !args.resume.empty() &&
+      !std::filesystem::is_directory(args.resume)) {
+    std::fprintf(stderr,
+                 "--resume=FILE needs a single strategy; pass a snapshot "
+                 "directory to resume a strategy list\n");
+    return 1;
+  }
+  if (!args.snapshot_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.snapshot_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create snapshot dir %s\n",
+                   args.snapshot_dir.c_str());
+      return 1;
+    }
   }
 
   ExperimentRunner::Options runner_options;
