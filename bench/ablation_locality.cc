@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
 
   ExperimentRunner::Options runner_options;
   runner_options.jobs = args.jobs;
+  ConfigureObs(args, &runner_options);
   ExperimentRunner runner(runner_options);
   std::vector<RunSpec> specs;
   for (size_t i = 0; i < std::size(flips); ++i) {
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
     Row* row = &rows[i];
     RunSpec spec;
     spec.name = StringPrintf("flip=%.2f", flip);
-    spec.custom = [flip, row, &args](const RunContext&) -> Status {
+    spec.custom = [flip, row, &args](const RunContext& context) -> Status {
       SyntheticWebOptions options = ThaiLikeOptions(args.pages);
       if (args.seed != 0) options.seed = args.seed;
       options.language_flip_rate = flip;
@@ -74,14 +75,20 @@ int main(int argc, char** argv) {
       MetaTagClassifier classifier(Language::kThai);
       SimulationOptions budget;
       budget.max_pages = graph->num_pages() / 10;
+      budget.obs = context.obs;
+      budget.progress_every = args.progress_every;
       auto bfs = RunSimulation(*graph, &classifier, BreadthFirstStrategy(),
                                RenderMode::kNone, budget);
       LSWC_RETURN_IF_ERROR(bfs.status());
       auto hard = RunSimulation(*graph, &classifier, HardFocusedStrategy(),
                                 RenderMode::kNone, budget);
       LSWC_RETURN_IF_ERROR(hard.status());
-      auto hard_full =
-          RunSimulation(*graph, &classifier, HardFocusedStrategy());
+      SimulationOptions full;
+      full.obs = context.obs;
+      full.progress_every = args.progress_every;
+      auto hard_full = RunSimulation(*graph, &classifier,
+                                     HardFocusedStrategy(),
+                                     RenderMode::kNone, full);
       LSWC_RETURN_IF_ERROR(hard_full.status());
 
       row->flip = flip;
@@ -96,7 +103,8 @@ int main(int argc, char** argv) {
     specs.push_back(std::move(spec));
   }
 
-  const std::vector<RunResult> results = runner.Run(specs);
+  std::vector<RunResult> results = runner.Run(specs);
+  AccumulateObs(&results, &report);
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].status.ok()) {
       std::fprintf(stderr, "error: %s\n",

@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "core/checkpoint.h"
+#include "obs/run_obs.h"
+#include "obs/trace_sink.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -53,11 +56,25 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     } else if (StartsWith(arg, "--resume=")) {
       args.resume_dir = std::string(arg.substr(9));
       if (!args.resume_dir.empty()) continue;
+    } else if (StartsWith(arg, "--stats-json=")) {
+      args.stats_json = std::string(arg.substr(13));
+      if (!args.stats_json.empty()) continue;
+    } else if (StartsWith(arg, "--trace-out=")) {
+      args.trace_out = std::string(arg.substr(12));
+      if (!args.trace_out.empty()) continue;
+    } else if (StartsWith(arg, "--progress-every=")) {
+      const auto v = ParseUint64(arg.substr(17));
+      if (v.has_value() && *v > 0) {
+        args.progress_every = *v;
+        continue;
+      }
     }
     std::fprintf(
         stderr,
         "usage: %s [--pages=N] [--seed=N] [--out-dir=DIR] [--jobs=N]\n"
-        "          [--checkpoint-every=N --snapshot-dir=DIR] [--resume=DIR]\n",
+        "          [--checkpoint-every=N --snapshot-dir=DIR] [--resume=DIR]\n"
+        "          [--stats-json=FILE] [--trace-out=FILE]"
+        " [--progress-every=N]\n",
         argv[0]);
     std::exit(2);
   }
@@ -67,6 +84,85 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     std::exit(2);
   }
   return args;
+}
+
+namespace {
+/// Binary-wide obs state: harnesses may run several grids (fig5 runs
+/// Thai and Japanese), so per-grid bundles are folded into one merged
+/// view here, and traced bundles are kept alive until WriteReport emits
+/// the trace file. next_tid keeps every run of the binary on its own
+/// trace track.
+struct ObsAccumulator {
+  obs::RunObs merged;
+  std::vector<std::unique_ptr<obs::RunObs>> traced;
+  int next_tid = 0;
+};
+
+ObsAccumulator& Accumulator() {
+  static ObsAccumulator* acc = new ObsAccumulator();
+  return *acc;
+}
+
+void FlushObsFiles(const BenchArgs& args) {
+  ObsAccumulator& acc = Accumulator();
+  if (!args.stats_json.empty()) {
+    if (acc.merged.enabled) {
+      const auto parent = std::filesystem::path(args.stats_json).parent_path();
+      if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+      }
+      std::ofstream f(args.stats_json);
+      if (f.is_open()) {
+        f << acc.merged.StatsJson(/*include_times=*/true);
+        std::printf("# wrote %s\n", args.stats_json.c_str());
+      } else {
+        std::fprintf(stderr, "warning: cannot open %s\n",
+                     args.stats_json.c_str());
+      }
+    } else {
+      std::fprintf(stderr,
+                   "warning: --stats-json ignored (obs disabled)\n");
+    }
+  }
+  if (!args.trace_out.empty()) {
+    std::vector<const obs::TraceSink*> sinks;
+    sinks.reserve(acc.traced.size());
+    for (const auto& bundle : acc.traced) {
+      if (bundle->trace != nullptr) sinks.push_back(bundle->trace.get());
+    }
+    if (sinks.empty()) {
+      std::fprintf(stderr,
+                   "warning: --trace-out ignored (obs disabled)\n");
+    } else {
+      const Status status = obs::TraceSink::WriteFile(args.trace_out, sinks);
+      if (!status.ok()) {
+        std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+      } else {
+        std::printf("# wrote %s\n", args.trace_out.c_str());
+      }
+    }
+  }
+}
+}  // namespace
+
+void ConfigureObs(const BenchArgs& args, ExperimentRunner::Options* options) {
+  options->trace = !args.trace_out.empty();
+  options->trace_tid_base = Accumulator().next_tid;
+}
+
+void AccumulateObs(std::vector<RunResult>* results, BenchReport* report) {
+  ObsAccumulator& acc = Accumulator();
+  MergeRunObs(*results, &acc.merged);
+  acc.next_tid += static_cast<int>(results->size());
+  for (RunResult& result : *results) {
+    if (result.obs != nullptr && result.obs->trace != nullptr) {
+      acc.traced.push_back(std::move(result.obs));
+    }
+  }
+  if (report != nullptr && acc.merged.enabled) {
+    report->set_obs_json(acc.merged.StatsJson(/*include_times=*/true));
+  }
 }
 
 BenchReport MakeReport(std::string name, const BenchArgs& args) {
@@ -85,6 +181,7 @@ void WriteReport(const BenchArgs& args, const BenchReport& report) {
   }
   std::printf("# wrote %s/BENCH_%s.json\n", args.out_dir.c_str(),
               report.name().c_str());
+  FlushObsFiles(args);
 }
 
 namespace {
@@ -118,6 +215,7 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
                                 bool print) {
   ExperimentRunner::Options options;
   options.jobs = args.jobs;
+  ConfigureObs(args, &options);
   ExperimentRunner runner(options);
   const int dataset = runner.AddDataset(&graph);
 
@@ -140,6 +238,7 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
     spec.options = std::move(run.options);
     spec.options.checkpoint_every_pages = args.checkpoint_every;
     spec.options.snapshot_dir = args.snapshot_dir;
+    spec.options.progress_every = args.progress_every;
     if (!args.resume_dir.empty()) {
       // Resume-if-exists: cells whose snapshot survived the crash pick
       // up mid-run; the rest start fresh.
@@ -155,6 +254,7 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
   }
 
   std::vector<RunResult> results = runner.Run(specs);
+  AccumulateObs(&results, report);
   std::vector<GridResult> out;
   out.reserve(results.size());
   for (size_t i = 0; i < results.size(); ++i) {

@@ -29,7 +29,9 @@ namespace lswc::bench {
 
 /// Common command-line flags: --pages=N --seed=N --out-dir=DIR --jobs=N
 /// plus the checkpoint/resume trio --checkpoint-every=N --snapshot-dir=DIR
-/// --resume=DIR. Unknown flags abort with a usage message.
+/// --resume=DIR and the observability trio --stats-json=FILE
+/// --trace-out=FILE --progress-every=N. Unknown flags abort with a
+/// usage message.
 struct BenchArgs {
   uint32_t pages = 1'000'000;
   uint64_t seed = 0;  // 0 = preset default.
@@ -45,6 +47,15 @@ struct BenchArgs {
   /// crash-recovery path: rerun the same command with --resume pointing
   /// at the snapshot directory of the killed run.
   std::string resume_dir;
+  /// Write the binary-wide merged obs stats (stages + registry) to this
+  /// JSON file. The same document is embedded in BENCH_<name>.json as
+  /// the schema-v2 "obs" block regardless.
+  std::string stats_json;
+  /// Write a Chrome trace-event file (chrome://tracing / Perfetto) with
+  /// one track per grid run. Opt-in: tracing buffers events in memory.
+  std::string trace_out;
+  /// Print a per-run progress line to stderr every N crawled pages.
+  uint64_t progress_every = 0;
 
   /// The worker count a runner built from these args will use.
   unsigned resolved_jobs() const;
@@ -57,8 +68,21 @@ struct BenchArgs {
 /// time runs from construction to WriteReport.
 BenchReport MakeReport(std::string name, const BenchArgs& args);
 
-/// Writes <out_dir>/BENCH_<name>.json and prints the path.
+/// Writes <out_dir>/BENCH_<name>.json and prints the path. Also flushes
+/// the binary-wide obs accumulator: --stats-json and --trace-out files
+/// are written here, after every grid has contributed.
 void WriteReport(const BenchArgs& args, const BenchReport& report);
+
+/// Applies the obs flags to runner options (trace on/off, tid
+/// numbering). RunGrid does this itself; harnesses that drive
+/// ExperimentRunner directly call it before constructing the runner.
+void ConfigureObs(const BenchArgs& args, ExperimentRunner::Options* options);
+
+/// Folds each result's obs bundle into the binary-wide accumulator
+/// (merged registry/profiler; trace sinks kept alive for --trace-out)
+/// and embeds the merged stats into `report` (may be null) as the
+/// schema-v2 obs block. Call once per ExperimentRunner::Run.
+void AccumulateObs(std::vector<RunResult>* results, BenchReport* report);
 
 /// Builds the graph for one experiment, logging dataset stats.
 WebGraph BuildThaiDataset(const BenchArgs& args);

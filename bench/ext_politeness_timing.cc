@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
 
   ExperimentRunner::Options runner_options;
   runner_options.jobs = args.jobs;
+  ConfigureObs(args, &runner_options);
   ExperimentRunner runner(runner_options);
   const int dataset = runner.AddDataset(&graph);
   std::vector<RunSpec> specs;
@@ -72,13 +73,15 @@ int main(int argc, char** argv) {
                              cell.connections);
     spec.dataset = dataset;
     Cell* c = &cell;
-    spec.custom = [c](const RunContext& context) -> Status {
+    spec.custom = [c, &args](const RunContext& context) -> Status {
       MetaTagClassifier classifier(Language::kThai);
       InMemoryLinkDb link_db(context.graph);
       VirtualWebSpace web(context.graph, &link_db, RenderMode::kNone);
       PolitenessOptions options;
       options.num_connections = c->connections;
       options.min_access_interval_sec = 1.0;
+      options.obs = context.obs;
+      options.progress_every = args.progress_every;
       PolitenessSimulator sim(&web, &classifier, c->strategy, options);
       auto r = sim.Run();
       LSWC_RETURN_IF_ERROR(r.status());
@@ -88,7 +91,8 @@ int main(int argc, char** argv) {
     };
     specs.push_back(std::move(spec));
   }
-  const std::vector<RunResult> results = runner.Run(specs);
+  std::vector<RunResult> results = runner.Run(specs);
+  AccumulateObs(&results, &report);
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].status.ok()) {
       std::fprintf(stderr, "%s\n", results[i].status.ToString().c_str());

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   DegreeStats deg;
   ExperimentRunner::Options runner_options;
   runner_options.jobs = args.jobs;
+  ConfigureObs(args, &runner_options);
   ExperimentRunner runner(runner_options);
   const int dataset = runner.AddDataset(&graph);
   struct Analysis {
@@ -63,7 +64,8 @@ int main(int argc, char** argv) {
     spec.custom = analysis.run;
     specs.push_back(std::move(spec));
   }
-  const std::vector<RunResult> results = runner.Run(specs);
+  std::vector<RunResult> results = runner.Run(specs);
+  AccumulateObs(&results, &report);
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].status.ok()) {
       std::fprintf(stderr, "%s: %s\n", specs[i].name.c_str(),

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
 
   ExperimentRunner::Options runner_options;
   runner_options.jobs = args.jobs;
+  ConfigureObs(args, &runner_options);
   ExperimentRunner runner(runner_options);
   std::vector<RunSpec> specs;
   for (size_t i = 0; i < std::size(rows); ++i) {
@@ -102,7 +103,8 @@ int main(int argc, char** argv) {
     specs.push_back(std::move(spec));
   }
 
-  const std::vector<RunResult> results = runner.Run(specs);
+  std::vector<RunResult> results = runner.Run(specs);
+  AccumulateObs(&results, &report);
   for (size_t i = 0; i < results.size(); ++i) {
     if (!results[i].status.ok()) {
       std::fprintf(stderr, "%s: %s\n", specs[i].name.c_str(),

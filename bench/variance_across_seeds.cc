@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
 
   ExperimentRunner::Options runner_options;
   runner_options.jobs = args.jobs;
+  ConfigureObs(args, &runner_options);
   ExperimentRunner runner(runner_options);
   std::vector<int> datasets;
   std::vector<RunSpec> specs;
@@ -64,11 +65,13 @@ int main(int argc, char** argv) {
       spec.dataset = datasets.back();
       spec.strategy = strategies[i];
       spec.classifier = ClassifierOf<MetaTagClassifier>(Language::kThai);
+      spec.options.progress_every = args.progress_every;
       specs.push_back(std::move(spec));
     }
   }
 
-  const std::vector<RunResult> results = runner.Run(specs);
+  std::vector<RunResult> results = runner.Run(specs);
+  AccumulateObs(&results, &report);
   for (size_t s = 0; s < std::size(kSeeds); ++s) {
     auto graph = runner.dataset(datasets[s]);
     if (!graph.ok()) {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/run_obs.h"
+
 namespace lswc {
 
 std::string SanitizeSnapshotLabel(const std::string& label) {
@@ -18,6 +20,15 @@ CheckpointObserver::CheckpointObserver(CrawlEngine* engine,
     : engine_(engine),
       every_n_pages_(every_n_pages == 0 ? 1 : every_n_pages),
       path_(std::move(path)) {}
+
+void CheckpointObserver::AttachObs(obs::RunObs* obs) {
+  if (obs == nullptr || !obs->enabled) return;
+  obs_written_ = obs->registry.counter("checkpoint.written");
+  obs_bytes_ = obs->registry.histogram("checkpoint.bytes");
+  obs_write_us_ = obs->registry.histogram("checkpoint.write_us");
+  obs_last_pages_ = obs->registry.gauge("checkpoint.last_pages_crawled");
+  obs_trace_ = obs->trace.get();
+}
 
 void CheckpointObserver::OnFetch(const FetchEvent& event) {
   if (event.pages_crawled % every_n_pages_ != 0) return;
@@ -39,9 +50,20 @@ void CheckpointObserver::OnSample(const SampleEvent& event) {
 }
 
 void CheckpointObserver::SaveNow() {
-  const Status s = engine_->SaveSnapshot(path_);
+  uint64_t bytes = 0;
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  const Status s = engine_->SaveSnapshot(path_, &bytes);
   if (s.ok()) {
     ++snapshots_written_;
+    if (obs_written_ != nullptr) {
+      obs_written_->Increment();
+      obs_bytes_->Record(bytes);
+      // Wall time — outside the determinism contract, like stage
+      // total_ns.
+      obs_write_us_->Record((obs::MonotonicNowNs() - start_ns) / 1000);
+      obs_last_pages_->Set(engine_->pages_crawled());
+    }
+    if (obs_trace_ != nullptr) obs_trace_->Instant("checkpoint");
   } else if (status_.ok()) {
     status_ = s;
   }

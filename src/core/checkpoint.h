@@ -6,6 +6,7 @@
 
 #include "core/crawl_engine.h"
 #include "core/crawl_observer.h"
+#include "obs/obs_fwd.h"
 #include "util/status.h"
 
 namespace lswc {
@@ -41,6 +42,14 @@ class CheckpointObserver final : public CrawlObserver {
   void OnFetch(const FetchEvent& event) override;
   void OnSample(const SampleEvent& event) override;
 
+  /// Leaves a visible record of every checkpoint landing in `obs` (may
+  /// be null / disabled): counter `checkpoint.written`, histograms
+  /// `checkpoint.bytes` and `checkpoint.write_us`, gauge
+  /// `checkpoint.last_pages_crawled`, plus a "checkpoint" trace
+  /// instant. Without this, successful checkpoints were silent — only a
+  /// member counter nobody surfaced.
+  void AttachObs(obs::RunObs* obs);
+
   /// First save error, or OK.
   const Status& status() const { return status_; }
   /// Snapshots successfully written.
@@ -56,6 +65,11 @@ class CheckpointObserver final : public CrawlObserver {
   bool pending_ = false;
   uint64_t snapshots_written_ = 0;
   Status status_;
+  obs::Counter* obs_written_ = nullptr;
+  obs::Histogram* obs_bytes_ = nullptr;
+  obs::Histogram* obs_write_us_ = nullptr;
+  obs::Gauge* obs_last_pages_ = nullptr;
+  obs::TraceSink* obs_trace_ = nullptr;
 };
 
 }  // namespace lswc

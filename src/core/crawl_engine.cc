@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/run_obs.h"
 #include "snapshot/snapshot_file.h"
 
 namespace lswc {
@@ -33,6 +34,16 @@ CrawlEngine::CrawlEngine(VirtualWebSpace* web, Classifier* classifier,
                sample_interval_),
       classifier_name_(classifier->name()) {
   AddObserver(&metrics_);
+  if (options.obs != nullptr && options.obs->enabled) {
+    obs::RunObs* obs = options.obs;
+    profiler_ = &obs->profiler;
+    visitor_.set_profiler(profiler_);
+    frontier_depth_ = obs->registry.histogram("frontier.depth");
+    push_level_ = obs->registry.histogram("frontier.push_level");
+    pushes_ = obs->registry.counter("crawl.pushes");
+    repushes_ = obs->registry.counter("crawl.repushes");
+    link_drops_ = obs->registry.counter("crawl.link_drops");
+  }
 }
 
 void CrawlEngine::AddObserver(CrawlObserver* observer) {
@@ -75,10 +86,12 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
   const bool ok = visit->response.ok();
 
   if (ok) {
+    obs::ScopedStage strategy_stage(profiler_, obs::Stage::kStrategy);
     const ParentInfo parent{url, visit->judgment.relevant,
                             state_.annotation(url)};
     for (PageId child : visit->links) {
       if (state_.crawled(child)) {
+        if (link_drops_ != nullptr) link_drops_->Increment();
         for (CrawlObserver* o : link_observers_) {
           o->OnDrop(child, LinkDropReason::kAlreadyCrawled);
         }
@@ -86,6 +99,7 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
       }
       const LinkDecision d = strategy_->OnLink(parent, child);
       if (!d.enqueue) {
+        if (link_drops_ != nullptr) link_drops_->Increment();
         for (CrawlObserver* o : link_observers_) {
           o->OnDrop(child, LinkDropReason::kStrategyDiscard);
         }
@@ -93,18 +107,33 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
       }
       switch (state_.OfferLink(child, d)) {
         case CrawlState::Offer::kIgnored:
+          if (link_drops_ != nullptr) link_drops_->Increment();
           for (CrawlObserver* o : link_observers_) {
             o->OnDrop(child, LinkDropReason::kNotBetter);
           }
           break;
-        case CrawlState::Offer::kFirst:
+        case CrawlState::Offer::kFirst: {
+          obs::ScopedStage push_stage(profiler_, obs::Stage::kFrontierPush);
           scheduler_->Push(child, d.priority);
+          if (pushes_ != nullptr) {
+            pushes_->Increment();
+            push_level_->Record(
+                static_cast<uint64_t>(std::max(d.priority, 0)));
+          }
           for (CrawlObserver* o : link_observers_) o->OnEnqueue(child, d);
           break;
-        case CrawlState::Offer::kBetter:
+        }
+        case CrawlState::Offer::kBetter: {
+          obs::ScopedStage push_stage(profiler_, obs::Stage::kFrontierPush);
           scheduler_->Push(child, d.priority);
+          if (repushes_ != nullptr) {
+            repushes_->Increment();
+            push_level_->Record(
+                static_cast<uint64_t>(std::max(d.priority, 0)));
+          }
           for (CrawlObserver* o : link_observers_) o->OnRePush(child, d);
           break;
+        }
       }
     }
   }
@@ -117,6 +146,7 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
   event.judged_relevant = visit->judgment.relevant;
   event.frontier_size = scheduler_->size();
   event.pages_crawled = pages_crawled_;
+  if (frontier_depth_ != nullptr) frontier_depth_->Record(event.frontier_size);
   for (CrawlObserver* o : observers_) o->OnFetch(event);
   if (pages_crawled_ % sample_interval_ == 0) {
     NotifySample(/*is_final=*/false);
@@ -125,6 +155,7 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
 }
 
 void CrawlEngine::NotifySample(bool is_final) {
+  obs::ScopedStage stage(profiler_, obs::Stage::kSample);
   SampleEvent event;
   event.pages_crawled = pages_crawled_;
   event.frontier_size = scheduler_->size();
@@ -151,7 +182,9 @@ snapshot::CrawlFingerprint CrawlEngine::Fingerprint() const {
   return fp;
 }
 
-Status CrawlEngine::SaveSnapshot(const std::string& path) const {
+Status CrawlEngine::SaveSnapshot(const std::string& path,
+                                 uint64_t* bytes_written) const {
+  obs::ScopedStage stage(profiler_, obs::Stage::kCheckpoint);
   snapshot::SnapshotWriter writer;
 
   snapshot::SectionWriter fingerprint;
@@ -180,7 +213,7 @@ Status CrawlEngine::SaveSnapshot(const std::string& path) const {
     writer.AddSection(snapshot::SectionId::kRng, rng);
   }
 
-  return writer.WriteFile(path);
+  return writer.WriteFile(path, bytes_written);
 }
 
 Status CrawlEngine::ResumeFromSnapshot(const std::string& path) {

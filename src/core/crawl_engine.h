@@ -14,6 +14,7 @@
 #include "core/strategy.h"
 #include "core/virtual_web.h"
 #include "core/visitor.h"
+#include "obs/obs_fwd.h"
 #include "snapshot/fingerprint.h"
 #include "snapshot/section.h"
 #include "util/random.h"
@@ -100,6 +101,9 @@ struct CrawlEngineOptions {
   /// Extract links by parsing rendered HTML instead of replaying the
   /// link database (requires the web space to render kFull).
   bool parse_html = false;
+  /// Per-run observability bundle (not owned; may be null). A disabled
+  /// bundle is treated exactly like null — no probes fire.
+  obs::RunObs* obs = nullptr;
 };
 
 /// The crawl loop of the paper's Fig 2, extracted so that every driver
@@ -139,7 +143,9 @@ class CrawlEngine {
   /// Writes the complete run state to `path` (atomic temp+rename): crawl
   /// bitmaps, scheduler/frontier contents, metrics series so far, RNG
   /// stream (if attached), and a fingerprint of the configuration.
-  Status SaveSnapshot(const std::string& path) const;
+  /// `bytes_written` (optional) receives the snapshot's on-disk size.
+  Status SaveSnapshot(const std::string& path,
+                      uint64_t* bytes_written = nullptr) const;
 
   /// Restores the engine from a snapshot written by SaveSnapshot under
   /// the same configuration. Fails with FailedPrecondition (fingerprint
@@ -176,6 +182,14 @@ class CrawlEngine {
   Rng* rng_ = nullptr;
   bool resumed_ = false;
   uint64_t pages_crawled_ = 0;
+  /// Obs handles, cached at construction; all null when the run has no
+  /// (enabled) bundle, so every probe below is a null check.
+  obs::StageProfiler* profiler_ = nullptr;
+  obs::Histogram* frontier_depth_ = nullptr;
+  obs::Histogram* push_level_ = nullptr;
+  obs::Counter* pushes_ = nullptr;
+  obs::Counter* repushes_ = nullptr;
+  obs::Counter* link_drops_ = nullptr;
   std::vector<CrawlObserver*> observers_;
   /// Subset of observers_ that opted into per-link callbacks; kept
   /// separately so the per-link hot path costs nothing when (as in the

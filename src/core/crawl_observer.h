@@ -17,8 +17,10 @@ struct FetchEvent {
   bool truly_relevant = false;
   /// The classifier's verdict (meaningful only for OK pages).
   bool judged_relevant = false;
-  /// Pending URLs after this page's links were expanded.
-  size_t frontier_size = 0;
+  /// Pending URLs after this page's links were expanded. uint64_t (not
+  /// size_t) so event payloads, series rows, and obs gauges agree
+  /// across platforms.
+  uint64_t frontier_size = 0;
   /// Crawled count including this fetch.
   uint64_t pages_crawled = 0;
 };
@@ -26,7 +28,7 @@ struct FetchEvent {
 /// One periodic (or final) sampling point of the crawl.
 struct SampleEvent {
   uint64_t pages_crawled = 0;
-  size_t frontier_size = 0;
+  uint64_t frontier_size = 0;
   /// True for the single tail sample emitted when the crawl ends off the
   /// sampling cadence (mirrors MetricsRecorder::Finish semantics).
   bool is_final = false;

@@ -32,10 +32,17 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 }
 }  // namespace
 
+void MergeRunObs(const std::vector<RunResult>& results, obs::RunObs* into) {
+  for (const RunResult& result : results) {
+    if (result.obs != nullptr) into->MergeFrom(*result.obs);
+  }
+}
+
 ExperimentRunner::ExperimentRunner() : ExperimentRunner(Options()) {}
 
 ExperimentRunner::ExperimentRunner(Options options)
-    : jobs_(options.jobs != 0 ? options.jobs
+    : options_(options),
+      jobs_(options.jobs != 0 ? options.jobs
                               : ThreadPool::DefaultThreadCount()) {}
 
 ExperimentRunner::~ExperimentRunner() = default;
@@ -68,9 +75,16 @@ StatusOr<const WebGraph*> ExperimentRunner::dataset(int id) {
   return &dataset.built->value();
 }
 
-RunResult ExperimentRunner::RunOne(const RunSpec& spec) {
+RunResult ExperimentRunner::RunOne(const RunSpec& spec, size_t spec_index) {
   RunResult out;
   const auto t0 = std::chrono::steady_clock::now();
+  if (options_.collect_obs) {
+    out.obs = std::make_unique<obs::RunObs>();
+    if (options_.trace) {
+      out.obs->EnableTrace(
+          options_.trace_tid_base + static_cast<int>(spec_index), spec.name);
+    }
+  }
 
   const WebGraph* graph = nullptr;
   if (spec.dataset >= 0) {
@@ -85,7 +99,7 @@ RunResult ExperimentRunner::RunOne(const RunSpec& spec) {
 
   Rng rng(spec.seed != 0 ? spec.seed : 0x853c49e6748fea9bULL);
   if (spec.custom) {
-    RunContext context{graph, &rng};
+    RunContext context{graph, &rng, out.obs.get()};
     out.status = spec.custom(context);
     out.wall_time_sec = SecondsSince(t0);
     return out;
@@ -106,6 +120,7 @@ RunResult ExperimentRunner::RunOne(const RunSpec& spec) {
   SimulationOptions options = spec.options;
   options.observers.push_back(&traffic);
   options.rng = &rng;
+  options.obs = out.obs.get();
   // Each grid cell checkpoints under its own (sanitized) spec name, so
   // one snapshot directory serves a whole grid.
   if (!options.snapshot_dir.empty() && options.snapshot_label.empty()) {
@@ -128,13 +143,15 @@ std::vector<RunResult> ExperimentRunner::Run(
     const std::vector<RunSpec>& specs) {
   std::vector<RunResult> results(specs.size());
   if (jobs_ == 1) {
-    for (size_t i = 0; i < specs.size(); ++i) results[i] = RunOne(specs[i]);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      results[i] = RunOne(specs[i], i);
+    }
     return results;
   }
   if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(jobs_);
   for (size_t i = 0; i < specs.size(); ++i) {
     pool_->Submit([this, &specs, &results, i] {
-      results[i] = RunOne(specs[i]);
+      results[i] = RunOne(specs[i], i);
     });
   }
   pool_->Wait();

@@ -31,6 +31,7 @@
 #include "core/classifier.h"
 #include "core/simulator.h"
 #include "core/strategy.h"
+#include "obs/run_obs.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -47,6 +48,10 @@ using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
 struct RunContext {
   const WebGraph* graph = nullptr;
   Rng* rng = nullptr;
+  /// This run's observability bundle (null when the runner does not
+  /// collect obs). Custom runs should pass it into whatever simulator
+  /// they drive so their metrics land in the merged report.
+  obs::RunObs* obs = nullptr;
 };
 
 /// A function run instead of the standard simulation pipeline — the
@@ -87,7 +92,18 @@ struct RunResult {
   /// pipeline only): better-referrer re-pushes and non-enqueued links.
   uint64_t repushed = 0;
   uint64_t dropped = 0;
+  /// The run's observability bundle (registry + profiler + optional
+  /// trace sink), owned here so callers can merge and serialize after
+  /// the grid completes. Null when obs collection is off (or disabled
+  /// by environment/build).
+  std::unique_ptr<obs::RunObs> obs;
 };
+
+/// Folds every run's obs bundle into `into`, in spec order. Registry
+/// merge operations are commutative and associative, so the merged
+/// deterministic subset is bit-identical however the runs were
+/// scheduled — the jobs=N == jobs=1 contract.
+void MergeRunObs(const std::vector<RunResult>& results, obs::RunObs* into);
 
 /// Fans a grid of RunSpecs out across a thread pool and returns results
 /// in spec order. `jobs = 1` executes the specs inline on the calling
@@ -98,6 +114,16 @@ class ExperimentRunner {
     /// Worker count; 0 = ThreadPool::DefaultThreadCount()
     /// (hardware_concurrency).
     unsigned jobs = 0;
+    /// Hand each run a private RunObs bundle, returned in its
+    /// RunResult. Costs the engine's probe overhead per run; leave on —
+    /// the bundles no-op themselves when obs is disabled by environment
+    /// or build.
+    bool collect_obs = true;
+    /// Give each run's bundle a trace sink (tid = trace_tid_base +
+    /// spec index, track name = spec name). Off by default: tracing
+    /// buffers events in memory and is meant for --trace-out runs.
+    bool trace = false;
+    int trace_tid_base = 0;
   };
 
   ExperimentRunner();
@@ -133,8 +159,9 @@ class ExperimentRunner {
     std::optional<StatusOr<WebGraph>> built;
   };
 
-  RunResult RunOne(const RunSpec& spec);
+  RunResult RunOne(const RunSpec& spec, size_t spec_index);
 
+  Options options_;
   unsigned jobs_;
   std::vector<std::unique_ptr<Dataset>> datasets_;
   std::unique_ptr<ThreadPool> pool_;  // Created on first parallel Run.

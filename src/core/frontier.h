@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs_fwd.h"
 #include "snapshot/section.h"
 #include "util/status.h"
 #include "webgraph/page.h"
@@ -42,6 +43,16 @@ class Frontier {
   /// ...). Recorded in the snapshot fingerprint so a checkpoint taken
   /// with one frontier refuses to restore into another.
   virtual std::string kind_name() const { return "unknown"; }
+
+  /// Registers obs instrumentation (either pointer may be null). The
+  /// base frontier has no internal machinery worth metering, so the
+  /// default ignores the handles; kinds with hidden work (disk spill)
+  /// override to export counters and trace instants.
+  virtual void AttachObs(obs::MetricsRegistry* registry,
+                         obs::TraceSink* trace) {
+    (void)registry;
+    (void)trace;
+  }
 
   /// Serializes the full pending state (including configuration used for
   /// validation on restore) into `w`. Restore replaces this frontier's

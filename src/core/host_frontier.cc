@@ -1,13 +1,23 @@
 #include "core/host_frontier.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "obs/metrics_registry.h"
 #include "util/logging.h"
 
 namespace lswc {
 
 HostFrontier::HostFrontier(uint32_t num_hosts, int num_levels)
     : num_levels_(std::max(1, num_levels)), hosts_(num_hosts) {}
+
+void HostFrontier::AttachObs(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  obs_pushes_ = registry->counter("host_frontier.pushes");
+  obs_pops_ = registry->counter("host_frontier.pops");
+  obs_wait_us_ = registry->histogram("host_frontier.wait_us");
+  obs_pending_hosts_ = registry->gauge("host_frontier.pending_hosts");
+}
 
 void HostFrontier::PushHeap(uint32_t host) {
   HostState& state = hosts_[host];
@@ -36,6 +46,10 @@ void HostFrontier::Push(PageId url, uint32_t host, int priority) {
   PushHeap(host);
   ++size_;
   max_size_ = std::max(max_size_, size_);
+  if (obs_pushes_ != nullptr) {
+    obs_pushes_->Increment();
+    obs_pending_hosts_->Set(pending_hosts_);
+  }
 }
 
 std::optional<double> HostFrontier::NextReadyTime() {
@@ -78,6 +92,14 @@ std::optional<PageId> HostFrontier::PopReady(double now) {
     if (top.ready > now) return std::nullopt;  // Nothing eligible yet.
     heap_.pop();
     const PageId url = PopFromHost(&state);
+    if (obs_pops_ != nullptr) {
+      obs_pops_->Increment();
+      // Simulated time the host sat ready before being served; both
+      // clocks are simulated seconds, so this is deterministic.
+      obs_wait_us_->Record(
+          static_cast<uint64_t>(std::llround((now - top.ready) * 1e6)));
+      obs_pending_hosts_->Set(pending_hosts_);
+    }
     if (state.pending > 0) PushHeap(top.host);
     return url;
   }

@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/obs_fwd.h"
 #include "snapshot/section.h"
 #include "util/status.h"
 #include "webgraph/page.h"
@@ -55,6 +56,13 @@ class HostFrontier {
   size_t max_size_seen() const { return max_size_; }
   /// Hosts that currently have pending URLs.
   size_t pending_hosts() const { return pending_hosts_; }
+
+  /// Exports scheduling activity into `registry` (may be null):
+  /// counters `host_frontier.pushes` / `host_frontier.pops`, histogram
+  /// `host_frontier.wait_us` (simulated µs a ready host waited before
+  /// being served — deterministic, derived from the simulated clock),
+  /// and gauge `host_frontier.pending_hosts`.
+  void AttachObs(obs::MetricsRegistry* registry);
 
   /// Serializes the full scheduling state: every host with pending URLs
   /// or a future ready time, plus the global enqueue counter. The
@@ -110,6 +118,10 @@ class HostFrontier {
   size_t pending_hosts_ = 0;
   uint64_t stamp_counter_ = 0;
   uint64_t seq_counter_ = 0;
+  obs::Counter* obs_pushes_ = nullptr;
+  obs::Counter* obs_pops_ = nullptr;
+  obs::Histogram* obs_wait_us_ = nullptr;
+  obs::Gauge* obs_pending_hosts_ = nullptr;
 };
 
 }  // namespace lswc

@@ -27,7 +27,7 @@ double MetricsRecorder::coverage_pct() const {
                    static_cast<double>(total_relevant_);
 }
 
-void MetricsRecorder::Sample(size_t queue_size) {
+void MetricsRecorder::Sample(uint64_t queue_size) {
   series_.AddRow(static_cast<double>(pages_crawled_),
                  {harvest_pct(), coverage_pct(),
                   static_cast<double>(queue_size)});
@@ -52,12 +52,13 @@ void MetricsRecorder::RecordFetch(bool ok_page, bool truly_relevant,
 }
 
 void MetricsRecorder::OnPageCrawled(bool ok_page, bool truly_relevant,
-                                    bool judged_relevant, size_t queue_size) {
+                                    bool judged_relevant,
+                                    uint64_t queue_size) {
   RecordFetch(ok_page, truly_relevant, judged_relevant);
   if (pages_crawled_ % sample_interval_ == 0) Sample(queue_size);
 }
 
-void MetricsRecorder::Finish(size_t queue_size) {
+void MetricsRecorder::Finish(uint64_t queue_size) {
   if (finished_) return;
   finished_ = true;
   if (pages_crawled_ % sample_interval_ != 0 || pages_crawled_ == 0) {

@@ -67,15 +67,15 @@ class MetricsRecorder : public CrawlObserver {
   void RecordFetch(bool ok_page, bool truly_relevant, bool judged_relevant);
 
   /// Appends one series row at the current crawled count.
-  void Sample(size_t queue_size);
+  void Sample(uint64_t queue_size);
 
   /// Standalone-use convenience: RecordFetch plus a cadence-driven
   /// Sample, `queue_size` being the frontier size after link expansion.
   void OnPageCrawled(bool ok_page, bool truly_relevant, bool judged_relevant,
-                     size_t queue_size);
+                     uint64_t queue_size);
 
   /// Appends the final partial sample (call once, when the crawl ends).
-  void Finish(size_t queue_size);
+  void Finish(uint64_t queue_size);
 
   uint64_t pages_crawled() const { return pages_crawled_; }
   uint64_t relevant_crawled() const { return relevant_crawled_; }

@@ -1,0 +1,64 @@
+#ifndef LSWC_CORE_OBS_OBSERVERS_H_
+#define LSWC_CORE_OBS_OBSERVERS_H_
+
+// CrawlObservers that surface a run while it happens: ProgressObserver
+// prints the periodic one-line status (pages/sec, harvest, queue size,
+// top stages) and TraceEventObserver mirrors bus events into a
+// TraceSink as instants and counter tracks. Both are attached by the
+// drivers only when the run carries an enabled obs bundle, so a
+// disabled run never pays for them — not even the observer dispatch.
+
+#include <cstdint>
+#include <string>
+
+#include "core/crawl_observer.h"
+#include "obs/obs_fwd.h"
+
+namespace lswc {
+
+/// Prints one status line to stderr every `every_pages` fetches:
+///
+///   [fig3] 40000 pages | 812345 pages/sec | harvest 23.1% | queue
+///   51234 | fetch 62% classify 21% strategy 9%
+///
+/// stderr on purpose: stdout carries the harnesses' deterministic
+/// summary lines, which golden tests and CI hashes compare.
+class ProgressObserver final : public CrawlObserver {
+ public:
+  /// `profiler` (may be null) supplies the top-stages tail of the line.
+  ProgressObserver(uint64_t every_pages, std::string label,
+                   const obs::StageProfiler* profiler);
+
+  void OnFetch(const FetchEvent& event) override;
+
+ private:
+  uint64_t every_pages_;
+  std::string label_;
+  const obs::StageProfiler* profiler_;
+  uint64_t relevant_ = 0;
+  uint64_t last_pages_ = 0;
+  uint64_t last_ns_ = 0;
+};
+
+/// Mirrors bus events into the run's trace: "re-push" instants, a
+/// subsampled "drop" instant (1 in 64 — drops dominate a focused
+/// crawl's link traffic and would swamp the trace), and a
+/// "frontier_size" counter track sampled at each metrics sampling
+/// point.
+class TraceEventObserver final : public CrawlObserver {
+ public:
+  explicit TraceEventObserver(obs::TraceSink* sink) : sink_(sink) {}
+
+  bool wants_link_events() const override { return true; }
+  void OnRePush(PageId url, const LinkDecision& decision) override;
+  void OnDrop(PageId url, LinkDropReason reason) override;
+  void OnSample(const SampleEvent& event) override;
+
+ private:
+  obs::TraceSink* sink_;
+  uint64_t drops_seen_ = 0;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_OBS_OBSERVERS_H_

@@ -5,10 +5,14 @@
 #include <utility>
 #include <vector>
 
+#include <cmath>
+
 #include "core/checkpoint.h"
 #include "core/crawl_engine.h"
 #include "core/host_frontier.h"
 #include "core/metrics.h"
+#include "core/obs_observers.h"
+#include "obs/run_obs.h"
 #include "snapshot/series_io.h"
 
 namespace lswc {
@@ -53,6 +57,14 @@ class PolitenessScheduler final : public FrontierScheduler {
         frontier_(static_cast<uint32_t>(graph->num_hosts()), num_levels),
         slots_(static_cast<size_t>(options.num_connections)) {}
 
+  /// Exports the host frontier's scheduling metrics and the simulated
+  /// per-fetch latency histogram into `registry` (may be null).
+  void AttachObs(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    frontier_.AttachObs(registry);
+    obs_fetch_latency_us_ = registry->histogram("politeness.fetch_latency_us");
+  }
+
   void Push(PageId url, int priority) override {
     frontier_.Push(url, graph_->page(url).host, priority);
   }
@@ -72,6 +84,12 @@ class PolitenessScheduler final : public FrontierScheduler {
             options_.base_latency_sec +
             static_cast<double>(EstimateTransferBytes(graph_->page(url))) /
                 options_.bandwidth_bytes_per_sec;
+        if (obs_fetch_latency_us_ != nullptr) {
+          // Simulated ticks (µs of simulated time), not wall time —
+          // deterministic like everything else in the registry.
+          obs_fetch_latency_us_->Record(
+              static_cast<uint64_t>(std::llround(transfer * 1e6)));
+        }
         active_.emplace(now_ + transfer, url);
       }
 
@@ -200,6 +218,7 @@ class PolitenessScheduler final : public FrontierScheduler {
   double now_ = 0.0;
   double idle_slot_seconds_ = 0.0;
   Series* timed_series_ = nullptr;
+  obs::Histogram* obs_fetch_latency_us_ = nullptr;
 };
 
 /// Observer that extends the engine's metric samples with the simulated
@@ -244,9 +263,14 @@ StatusOr<PolitenessResult> PolitenessSimulator::Run() {
   PolitenessScheduler scheduler(&web_->graph(),
                                 strategy_->num_priority_levels(), options_);
 
+  obs::RunObs* obs =
+      options_.obs != nullptr && options_.obs->enabled ? options_.obs
+                                                       : nullptr;
+  if (obs != nullptr) scheduler.AttachObs(&obs->registry);
   CrawlEngineOptions engine_options;
   engine_options.max_pages = options_.max_pages;
   engine_options.sample_interval = options_.sample_interval;
+  engine_options.obs = obs;
   CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
                      engine_options);
   Series series("pages_crawled",
@@ -254,6 +278,21 @@ StatusOr<PolitenessResult> PolitenessSimulator::Run() {
   scheduler.RegisterTimedSeries(&series);
   TimedSeriesObserver series_observer(&series, &scheduler, &engine.metrics());
   engine.AddObserver(&series_observer);
+  std::unique_ptr<ProgressObserver> progress;
+  std::unique_ptr<TraceEventObserver> trace_events;
+  if (obs != nullptr) {
+    if (options_.progress_every != 0) {
+      progress = std::make_unique<ProgressObserver>(
+          options_.progress_every,
+          options_.snapshot_label.empty() ? "crawl" : options_.snapshot_label,
+          &obs->profiler);
+      engine.AddObserver(progress.get());
+    }
+    if (obs->trace != nullptr) {
+      trace_events = std::make_unique<TraceEventObserver>(obs->trace.get());
+      engine.AddObserver(trace_events.get());
+    }
+  }
   for (CrawlObserver* observer : options_.observers) {
     engine.AddObserver(observer);
   }
@@ -268,6 +307,7 @@ StatusOr<PolitenessResult> PolitenessSimulator::Run() {
     checkpoint = std::make_unique<CheckpointObserver>(
         &engine, options_.checkpoint_every_pages,
         options_.snapshot_dir + "/" + label + ".snap");
+    checkpoint->AttachObs(obs);
     engine.AddObserver(checkpoint.get());
   }
   if (!options_.resume_path.empty()) {

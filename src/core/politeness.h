@@ -8,6 +8,7 @@
 #include "core/crawl_observer.h"
 #include "core/strategy.h"
 #include "core/virtual_web.h"
+#include "obs/obs_fwd.h"
 #include "util/series.h"
 #include "util/status.h"
 
@@ -44,6 +45,14 @@ struct PolitenessOptions {
   std::string snapshot_dir;
   std::string snapshot_label;
   std::string resume_path;
+  /// Per-run observability bundle (not owned; may be null). Adds the
+  /// engine's stage probes plus politeness-specific metrics: the
+  /// `politeness.fetch_latency_us` histogram (simulated transfer time
+  /// per fetch) and the host frontier's push/pop/wait instrumentation.
+  obs::RunObs* obs = nullptr;
+  /// Print a progress line to stderr every N crawled pages (0 = never;
+  /// needs an enabled `obs` bundle).
+  uint64_t progress_every = 0;
 };
 
 struct PolitenessSummary {

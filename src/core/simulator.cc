@@ -5,6 +5,8 @@
 #include "core/checkpoint.h"
 #include "core/crawl_engine.h"
 #include "core/frontier_factory.h"
+#include "core/obs_observers.h"
+#include "obs/run_obs.h"
 
 namespace lswc {
 
@@ -25,13 +27,33 @@ StatusOr<SimulationResult> Simulator::Run() {
   if (!selection.ok()) return selection.status();
   FrontierPopScheduler scheduler(selection->frontier.get());
 
+  obs::RunObs* obs =
+      options_.obs != nullptr && options_.obs->enabled ? options_.obs
+                                                       : nullptr;
   CrawlEngineOptions engine_options;
   engine_options.max_pages = options_.max_pages;
   engine_options.sample_interval = options_.sample_interval;
   engine_options.parse_html = options_.parse_html;
+  engine_options.obs = obs;
   CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
                      engine_options);
   if (options_.rng != nullptr) engine.AttachRng(options_.rng);
+  std::unique_ptr<ProgressObserver> progress;
+  std::unique_ptr<TraceEventObserver> trace_events;
+  if (obs != nullptr) {
+    selection->frontier->AttachObs(&obs->registry, obs->trace.get());
+    if (options_.progress_every != 0) {
+      progress = std::make_unique<ProgressObserver>(
+          options_.progress_every,
+          options_.snapshot_label.empty() ? "crawl" : options_.snapshot_label,
+          &obs->profiler);
+      engine.AddObserver(progress.get());
+    }
+    if (obs->trace != nullptr) {
+      trace_events = std::make_unique<TraceEventObserver>(obs->trace.get());
+      engine.AddObserver(trace_events.get());
+    }
+  }
   for (CrawlObserver* observer : options_.observers) {
     engine.AddObserver(observer);
   }
@@ -48,6 +70,7 @@ StatusOr<SimulationResult> Simulator::Run() {
     checkpoint = std::make_unique<CheckpointObserver>(
         &engine, options_.checkpoint_every_pages,
         options_.snapshot_dir + "/" + label + ".snap");
+    checkpoint->AttachObs(obs);
     engine.AddObserver(checkpoint.get());
   }
   if (!options_.resume_path.empty()) {

@@ -12,6 +12,7 @@
 #include "core/strategy.h"
 #include "core/virtual_web.h"
 #include "core/visitor.h"
+#include "obs/obs_fwd.h"
 #include "util/random.h"
 
 namespace lswc {
@@ -58,6 +59,14 @@ struct SimulationOptions {
   /// capture it and a resume restores it, so strategies that draw
   /// randomness stay bit-deterministic across a resume.
   Rng* rng = nullptr;
+  /// Per-run observability bundle (not owned; may be null). When
+  /// enabled, the engine's stage probes and registry metrics are live,
+  /// the frontier exports its internals, and — if the bundle carries a
+  /// trace sink — bus events are mirrored into the trace.
+  obs::RunObs* obs = nullptr;
+  /// Print a progress line to stderr every N crawled pages (0 = never;
+  /// needs an enabled `obs` bundle).
+  uint64_t progress_every = 0;
 };
 
 /// Aggregate outcome of a run.

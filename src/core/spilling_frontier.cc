@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <filesystem>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace_sink.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -46,6 +48,16 @@ SpillingFrontier::~SpillingFrontier() {
   }
 }
 
+void SpillingFrontier::AttachObs(obs::MetricsRegistry* registry,
+                                 obs::TraceSink* trace) {
+  if (registry != nullptr) {
+    obs_spill_bytes_ = registry->counter("spill.bytes_written");
+    obs_spill_urls_ = registry->counter("spill.urls");
+    obs_refills_ = registry->counter("spill.refills");
+  }
+  obs_trace_ = trace;
+}
+
 size_t SpillingFrontier::in_memory() const {
   size_t n = 0;
   for (const Level& level : levels_) {
@@ -72,6 +84,11 @@ void SpillingFrontier::SpillTail(Level* level) {
   LSWC_CHECK_EQ(written, buffer.size()) << "spill write failed";
   level->file_written += buffer.size();
   spilled_urls_ += buffer.size();
+  if (obs_spill_urls_ != nullptr) {
+    obs_spill_urls_->Add(buffer.size());
+    obs_spill_bytes_->Add(buffer.size() * sizeof(PageId));
+  }
+  if (obs_trace_ != nullptr) obs_trace_->Instant("spill");
   level->tail.clear();
 }
 
@@ -90,6 +107,7 @@ void SpillingFrontier::RefillHead(Level* level) {
         std::fread(buffer.data(), sizeof(PageId), want, level->file);
     LSWC_CHECK_EQ(got, want) << "spill read failed";
     level->file_read += got;
+    if (obs_refills_ != nullptr) obs_refills_->Increment();
     level->head.insert(level->head.end(), buffer.begin(), buffer.end());
     if (level->on_disk() == 0) {
       // File fully drained: truncate it for reuse.

@@ -55,6 +55,11 @@ class SpillingFrontier final : public Frontier {
   uint64_t spilled_urls() const { return spilled_urls_; }
 
   std::string kind_name() const override { return "spilling"; }
+  /// Exports spill activity: counters `spill.bytes_written`,
+  /// `spill.urls`, `spill.refills`, plus a "spill" trace instant per
+  /// tail eviction when a sink is attached.
+  void AttachObs(obs::MetricsRegistry* registry,
+                 obs::TraceSink* trace) override;
   /// Captures the complete pending set, including the segment of each
   /// level that currently lives in its on-disk spill file — a snapshot
   /// is self-contained, never a reference to spill files that a crash
@@ -92,6 +97,10 @@ class SpillingFrontier final : public Frontier {
   size_t max_size_ = 0;
   uint64_t spilled_urls_ = 0;
   int highest_nonempty_ = -1;
+  obs::Counter* obs_spill_bytes_ = nullptr;
+  obs::Counter* obs_spill_urls_ = nullptr;
+  obs::Counter* obs_refills_ = nullptr;
+  obs::TraceSink* obs_trace_ = nullptr;
 };
 
 }  // namespace lswc

@@ -2,6 +2,7 @@
 
 #include "charset/codec.h"
 #include "html/link_extractor.h"
+#include "obs/stage_profiler.h"
 
 namespace lswc {
 
@@ -12,10 +13,17 @@ Visitor::Visitor(VirtualWebSpace* web, Classifier* classifier,
 Status Visitor::Visit(PageId id, VisitResult* out) {
   ++visit_count_;
   out->links.clear();
-  LSWC_RETURN_IF_ERROR(web_->Fetch(id, &out->response));
-  out->judgment = classifier_->Judge(out->response);
+  {
+    obs::ScopedStage stage(profiler_, obs::Stage::kFetch);
+    LSWC_RETURN_IF_ERROR(web_->Fetch(id, &out->response));
+  }
+  {
+    obs::ScopedStage stage(profiler_, obs::Stage::kClassify);
+    out->judgment = classifier_->Judge(out->response);
+  }
   if (!out->response.ok()) return Status::OK();
 
+  obs::ScopedStage stage(profiler_, obs::Stage::kExtract);
   if (parse_html_) {
     if (web_->render_mode() != RenderMode::kFull) {
       return Status::FailedPrecondition(

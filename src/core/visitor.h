@@ -5,6 +5,7 @@
 
 #include "core/classifier.h"
 #include "core/virtual_web.h"
+#include "obs/obs_fwd.h"
 
 namespace lswc {
 
@@ -36,6 +37,10 @@ class Visitor {
 
   Status Visit(PageId id, VisitResult* out);
 
+  /// Registers the stage profiler (may be null / not owned). When set,
+  /// Visit meters its fetch / classify / extract phases.
+  void set_profiler(obs::StageProfiler* profiler) { profiler_ = profiler; }
+
   /// Pages visited so far.
   uint64_t visit_count() const { return visit_count_; }
   /// Parse-mode diagnostics: links that did not resolve to log entries.
@@ -48,6 +53,7 @@ class Visitor {
   VirtualWebSpace* web_;
   Classifier* classifier_;
   bool parse_html_;
+  obs::StageProfiler* profiler_ = nullptr;
   uint64_t visit_count_ = 0;
   uint64_t unresolved_links_ = 0;
 };

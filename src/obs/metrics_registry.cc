@@ -1,0 +1,159 @@
+#include "obs/metrics_registry.h"
+
+#include <bit>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace lswc::obs {
+
+int Histogram::BucketIndex(uint64_t value) {
+  return value == 0 ? 0 : std::bit_width(value);
+}
+
+uint64_t Histogram::BucketLowerBound(int index) {
+  return index == 0 ? 0 : uint64_t{1} << (index - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+namespace {
+
+/// Registration path shared by the three kinds: find-or-create the
+/// handle under the lock, checking the name is not already claimed by
+/// another kind (`elsewhere1`/`elsewhere2` are the other two indexes).
+template <typename T, typename Index, typename O1, typename O2>
+T* FindOrCreate(std::string_view name, std::deque<T>* storage, Index* index,
+                const O1& elsewhere1, const O2& elsewhere2) {
+  const auto it = index->find(name);
+  if (it != index->end()) return it->second;
+  LSWC_CHECK(elsewhere1.find(name) == elsewhere1.end() &&
+             elsewhere2.find(name) == elsewhere2.end())
+      << "metric name '" << std::string(name)
+      << "' already registered as a different kind";
+  storage->emplace_back();
+  T* handle = &storage->back();
+  index->emplace(std::string(name), handle);
+  return handle;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(name, &counters_, &counter_index_, gauge_index_,
+                      histogram_index_);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(name, &gauges_, &gauge_index_, counter_index_,
+                      histogram_index_);
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(name, &histograms_, &histogram_index_, counter_index_,
+                      gauge_index_);
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  if (&other == this) return;
+  // Snapshot the other registry's indexes under its lock, then fold in.
+  // The handles themselves are single-writer and the writer has joined
+  // by the time anyone merges, so reading the values is safe.
+  std::lock_guard<std::mutex> other_lock(other.mu_);
+  for (const auto& [name, handle] : other.counter_index_) {
+    counter(name)->Add(handle->value());
+  }
+  for (const auto& [name, handle] : other.gauge_index_) {
+    Gauge* mine = gauge(name);
+    mine->Set(std::max(mine->value(), handle->value()));
+    mine->Set(std::max(mine->max_seen(), handle->max_seen()));
+  }
+  for (const auto& [name, handle] : other.histogram_index_) {
+    histogram(name)->Merge(*handle);
+  }
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counter_index_.empty() && gauge_index_.empty() &&
+         histogram_index_.empty();
+}
+
+void MetricsRegistry::AppendJsonBody(std::string* out,
+                                     const std::string& indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out += indent + "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, handle] : counter_index_) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += StringPrintf("%s  \"%s\": %llu", indent.c_str(), name.c_str(),
+                         static_cast<unsigned long long>(handle->value()));
+  }
+  *out += counter_index_.empty() ? "},\n" : "\n" + indent + "},\n";
+
+  *out += indent + "\"gauges\": {";
+  first = true;
+  for (const auto& [name, handle] : gauge_index_) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += StringPrintf("%s  \"%s\": {\"value\": %llu, \"max\": %llu}",
+                         indent.c_str(), name.c_str(),
+                         static_cast<unsigned long long>(handle->value()),
+                         static_cast<unsigned long long>(handle->max_seen()));
+  }
+  *out += gauge_index_.empty() ? "},\n" : "\n" + indent + "},\n";
+
+  *out += indent + "\"histograms\": {";
+  first = true;
+  for (const auto& [name, handle] : histogram_index_) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += StringPrintf(
+        "%s  \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+        "\"max\": %llu, \"buckets\": [",
+        indent.c_str(), name.c_str(),
+        static_cast<unsigned long long>(handle->count()),
+        static_cast<unsigned long long>(handle->sum()),
+        static_cast<unsigned long long>(handle->min()),
+        static_cast<unsigned long long>(handle->max()));
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (handle->bucket(i) == 0) continue;
+      if (!first_bucket) *out += ", ";
+      first_bucket = false;
+      *out += StringPrintf(
+          "[%llu, %llu]",
+          static_cast<unsigned long long>(Histogram::BucketLowerBound(i)),
+          static_cast<unsigned long long>(handle->bucket(i)));
+    }
+    *out += "]}";
+  }
+  *out += histogram_index_.empty() ? "}\n" : "\n" + indent + "}\n";
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n";
+  AppendJsonBody(&out, "  ");
+  out += "}";
+  return out;
+}
+
+}  // namespace lswc::obs

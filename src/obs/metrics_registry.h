@@ -1,0 +1,131 @@
+#ifndef LSWC_OBS_METRICS_REGISTRY_H_
+#define LSWC_OBS_METRICS_REGISTRY_H_
+
+// Named runtime metrics for the crawler: counters, gauges, and
+// fixed-bucket log2 histograms. The design splits registration from
+// mutation so the crawl loop stays lock-free:
+//
+//  - registration (`counter("x")` / `gauge("x")` / `histogram("x")`) is
+//    mutex-guarded and returns a handle whose address is stable for the
+//    registry's lifetime (deque-backed storage, never reallocated);
+//  - mutation through a handle is a plain store/add — no locks, no
+//    atomics. A registry therefore belongs to exactly one run (one
+//    worker thread); cross-run aggregation goes through Merge, which
+//    the ExperimentRunner calls after the workers have joined.
+//
+// Every quantity here is deterministic (counts, depths, simulated
+// ticks — never wall time), so merged registry output is part of the
+// jobs=N == jobs=1 bit-identity contract. Serialization sorts by name.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace lswc::obs {
+
+/// Monotonically increasing event count. Merge: sum.
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(uint64_t delta) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-set value plus its high-water mark. Merge: max of both (the
+/// cross-run aggregate of a level is its peak, not a sum).
+class Gauge {
+ public:
+  void Set(uint64_t value) {
+    value_ = value;
+    if (value > max_seen_) max_seen_ = value;
+  }
+  uint64_t value() const { return value_; }
+  uint64_t max_seen() const { return max_seen_; }
+
+ private:
+  uint64_t value_ = 0;
+  uint64_t max_seen_ = 0;
+};
+
+/// Fixed-bucket log2 histogram over uint64 samples. Bucket 0 holds
+/// zeros; bucket i (i >= 1) holds values in [2^(i-1), 2^i). 65 buckets
+/// cover the full uint64 range, so Record never clamps or drops.
+/// Merge: bucket-wise sum (order-independent).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  /// 0 -> 0; otherwise 1 + floor(log2(value)).
+  static int BucketIndex(uint64_t value);
+  /// Smallest value landing in `index` (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLowerBound(int index);
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  /// 0 when the histogram is empty.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(int index) const { return buckets_[index]; }
+
+ private:
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+/// The per-run metric namespace. Handles returned by the lookup methods
+/// stay valid (and at a stable address) for the registry's lifetime.
+/// Looking up the same name twice returns the same handle; a name names
+/// one kind only (re-requesting "x" as a different kind aborts —
+/// that is a programming error, not a runtime condition).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Folds `other` into this registry: counters sum, gauges max,
+  /// histograms bucket-wise sum. Every operation is commutative and
+  /// associative, so merging N per-run registries yields the same
+  /// result in any order — the property the ExperimentRunner's
+  /// jobs=N == jobs=1 bit-identity rests on.
+  void Merge(const MetricsRegistry& other);
+
+  bool empty() const;
+
+  /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`, keys
+  /// sorted by name; histograms list only their non-empty buckets as
+  /// [lower_bound, count] pairs. Deterministic for deterministic input.
+  std::string ToJson() const;
+  /// The three maps without the enclosing braces, for embedding into a
+  /// larger JSON object. `indent` prefixes every emitted line.
+  void AppendJsonBody(std::string* out, const std::string& indent) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*, std::less<>> counter_index_;
+  std::map<std::string, Gauge*, std::less<>> gauge_index_;
+  std::map<std::string, Histogram*, std::less<>> histogram_index_;
+};
+
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,18 @@
+#ifndef LSWC_OBS_OBS_FWD_H_
+#define LSWC_OBS_OBS_FWD_H_
+
+// Forward declarations for headers that only carry obs pointers (the
+// options structs and cached handles in core). Implementation files
+// include the real obs headers.
+
+namespace lswc::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class StageProfiler;
+class TraceSink;
+struct RunObs;
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_OBS_FWD_H_

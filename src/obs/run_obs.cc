@@ -1,0 +1,50 @@
+#include "obs/run_obs.h"
+
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+namespace lswc::obs {
+
+bool ObsDisabledByEnv() {
+  const char* value = std::getenv("LSWC_OBS_DISABLED");
+  if (value == nullptr) return false;
+  const std::string_view v = value;
+  return !v.empty() && v != "0";
+}
+
+RunObs::RunObs() {
+#ifdef LSWC_OBS_DISABLED
+  enabled = false;
+#else
+  enabled = !ObsDisabledByEnv();
+#endif
+  profiler.set_enabled(enabled);
+}
+
+void RunObs::EnableTrace(int tid, std::string thread_name) {
+  EnableTrace(tid, std::move(thread_name), TraceSink::Options());
+}
+
+void RunObs::EnableTrace(int tid, std::string thread_name,
+                         TraceSink::Options options) {
+  if (!enabled) return;
+  trace = std::make_unique<TraceSink>(tid, options);
+  trace->set_thread_name(std::move(thread_name));
+  profiler.AttachTrace(trace.get());
+}
+
+void RunObs::MergeFrom(const RunObs& other) {
+  registry.Merge(other.registry);
+  profiler.Merge(other.profiler);
+}
+
+std::string RunObs::StatsJson(bool include_times) const {
+  std::string out = "{\n";
+  out += "  \"stages\": " + profiler.ToJson(include_times) + ",\n";
+  registry.AppendJsonBody(&out, "  ");
+  out += "}";
+  return out;
+}
+
+}  // namespace lswc::obs

@@ -1,0 +1,60 @@
+#ifndef LSWC_OBS_RUN_OBS_H_
+#define LSWC_OBS_RUN_OBS_H_
+
+// The per-run observability bundle: one MetricsRegistry + one
+// StageProfiler (+ optionally one TraceSink) owned together and handed
+// to a run by pointer (SimulationOptions::obs, PolitenessOptions::obs,
+// CrawlEngineOptions::obs). Null pointer = no instrumentation; a
+// non-null bundle with `enabled` false (the LSWC_OBS_DISABLED
+// environment variable, or a -DLSWC_OBS_DISABLED build) is treated as
+// null by every instrumentation point — that is the "same binary,
+// runtime-disabled" switch CI's overhead gate flips.
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "obs/stage_profiler.h"
+#include "obs/trace_sink.h"
+
+namespace lswc::obs {
+
+/// True when the LSWC_OBS_DISABLED environment variable is set to a
+/// non-empty value other than "0" (read once per query — cheap enough,
+/// and tests can flip it between runs).
+bool ObsDisabledByEnv();
+
+struct RunObs {
+  RunObs();
+
+  /// False when obs is compiled out or disabled by environment; every
+  /// consumer treats the bundle as absent then.
+  bool enabled = true;
+
+  MetricsRegistry registry;
+  StageProfiler profiler;
+  /// Created by EnableTrace; null when this run is not traced.
+  std::unique_ptr<TraceSink> trace;
+
+  /// Creates the run's trace sink (track id `tid`, labeled
+  /// `thread_name`) and attaches it to the profiler. No-op when the
+  /// bundle is disabled.
+  void EnableTrace(int tid, std::string thread_name);
+  void EnableTrace(int tid, std::string thread_name,
+                   TraceSink::Options options);
+
+  /// Folds another run's registry and profiler into this one (trace
+  /// sinks are written side by side, not merged). Order-independent.
+  void MergeFrom(const RunObs& other);
+
+  /// The combined stats document:
+  /// `{"stages": {...}, "counters": {...}, "gauges": {...},
+  ///   "histograms": {...}}`.
+  /// `include_times` false omits the wall-time fields (stage total_ns),
+  /// leaving only deterministic quantities.
+  std::string StatsJson(bool include_times = true) const;
+};
+
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_RUN_OBS_H_

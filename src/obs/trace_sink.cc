@@ -1,0 +1,141 @@
+#include "obs/trace_sink.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/stage_profiler.h"
+#include "util/string_util.h"
+
+namespace lswc::obs {
+
+namespace {
+/// Minimal JSON string escape for run labels (event names are literals
+/// and never need it).
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+TraceSink::TraceSink(int tid) : TraceSink(tid, Options()) {}
+
+TraceSink::TraceSink(int tid, Options options)
+    : tid_(tid), options_(options) {
+  events_.reserve(1024);
+}
+
+bool TraceSink::Admit() {
+  if (events_.size() >= options_.max_events) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void TraceSink::Span(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  if (!Admit()) return;
+  events_.push_back(Event{name, start_ns, end_ns - start_ns, Phase::kSpan});
+}
+
+void TraceSink::Instant(const char* name) {
+  if (!Admit()) return;
+  events_.push_back(Event{name, MonotonicNowNs(), 0, Phase::kInstant});
+}
+
+void TraceSink::CounterValue(const char* name, uint64_t value) {
+  if (!Admit()) return;
+  events_.push_back(Event{name, MonotonicNowNs(), value, Phase::kCounter});
+}
+
+void TraceSink::AppendEventsJson(std::string* out, bool* first) const {
+  // Timestamps are microseconds in the trace-event format; keep the
+  // nanosecond precision as a fraction.
+  const auto us = [](uint64_t ns) {
+    return StringPrintf("%llu.%03u",
+                        static_cast<unsigned long long>(ns / 1000),
+                        static_cast<unsigned>(ns % 1000));
+  };
+  if (!thread_name_.empty()) {
+    *out += *first ? "\n" : ",\n";
+    *first = false;
+    *out += StringPrintf(
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+        tid_, EscapeLabel(thread_name_).c_str());
+  }
+  for (const Event& e : events_) {
+    *out += *first ? "\n" : ",\n";
+    *first = false;
+    switch (e.phase) {
+      case Phase::kSpan:
+        *out += StringPrintf(
+            "{\"name\": \"%s\", \"cat\": \"stage\", \"ph\": \"X\", "
+            "\"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": %d}",
+            e.name, us(e.ts_ns).c_str(), us(e.dur_or_value).c_str(), tid_);
+        break;
+      case Phase::kInstant:
+        *out += StringPrintf(
+            "{\"name\": \"%s\", \"cat\": \"event\", \"ph\": \"i\", "
+            "\"s\": \"t\", \"ts\": %s, \"pid\": 1, \"tid\": %d}",
+            e.name, us(e.ts_ns).c_str(), tid_);
+        break;
+      case Phase::kCounter:
+        *out += StringPrintf(
+            "{\"name\": \"%s\", \"cat\": \"counter\", \"ph\": \"C\", "
+            "\"ts\": %s, \"pid\": 1, \"tid\": %d, "
+            "\"args\": {\"value\": %llu}}",
+            e.name, us(e.ts_ns).c_str(), tid_,
+            static_cast<unsigned long long>(e.dur_or_value));
+        break;
+    }
+  }
+  if (dropped_ != 0) {
+    *out += *first ? "\n" : ",\n";
+    *first = false;
+    *out += StringPrintf(
+        "{\"name\": \"trace-events-dropped\", \"cat\": \"event\", "
+        "\"ph\": \"i\", \"s\": \"t\", \"ts\": %s, \"pid\": 1, "
+        "\"tid\": %d, \"args\": {\"dropped\": %llu}}",
+        us(MonotonicNowNs()).c_str(), tid_,
+        static_cast<unsigned long long>(dropped_));
+  }
+}
+
+Status TraceSink::WriteFile(const std::string& path,
+                            const std::vector<const TraceSink*>& sinks) {
+  std::string json = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceSink* sink : sinks) {
+    if (sink != nullptr) sink->AppendEventsJson(&json, &first);
+  }
+  json += first ? "]}\n" : "\n]}\n";
+
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open trace file: " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+Status TraceSink::WriteFile(const std::string& path) const {
+  return WriteFile(path, {this});
+}
+
+}  // namespace lswc::obs

@@ -1,0 +1,86 @@
+#ifndef LSWC_OBS_TRACE_SINK_H_
+#define LSWC_OBS_TRACE_SINK_H_
+
+// Chrome trace-event JSON export (the format chrome://tracing and
+// Perfetto load: https://ui.perfetto.dev, "Open trace file"). A sink
+// buffers one run's events in memory — stage spans ("X" complete
+// events, mirrored from the StageProfiler), instant markers ("i":
+// re-push / drop / spill / checkpoint), and counter tracks ("C":
+// frontier size at each sampling point) — and serializes them to one
+// {"traceEvents": [...]} file. Multi-run harnesses give each run its
+// own sink (own tid) and write all sinks into a single file, so a grid
+// shows up as parallel tracks on one timeline.
+//
+// Event names must be string literals (or otherwise outlive the sink):
+// the sink stores the pointer, not a copy — tracing must not allocate
+// per event beyond the vector slot.
+//
+// Tracing is opt-in (--trace-out) and explicitly outside the overhead
+// contract: a run with a sink attached pays for the buffering. The
+// event cap bounds memory on runs larger than the trace is useful for;
+// events past the cap are counted, not stored, and the count is
+// reported in the file's metadata.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lswc::obs {
+
+class TraceSink {
+ public:
+  struct Options {
+    /// Events buffered before further events are dropped (counted).
+    size_t max_events = 1'000'000;
+  };
+
+  explicit TraceSink(int tid = 0);
+  TraceSink(int tid, Options options);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  int tid() const { return tid_; }
+  /// Label for this sink's track in the trace viewer (run name).
+  void set_thread_name(std::string name) { thread_name_ = std::move(name); }
+
+  /// A completed stage span ("X"), timestamps from MonotonicNowNs.
+  void Span(const char* name, uint64_t start_ns, uint64_t end_ns);
+  /// An instant marker ("i") stamped now.
+  void Instant(const char* name);
+  /// A counter-track sample ("C") stamped now.
+  void CounterValue(const char* name, uint64_t value);
+
+  size_t num_events() const { return events_.size(); }
+  uint64_t dropped_events() const { return dropped_; }
+
+  /// Writes `{"traceEvents": [...]}` with the events of every sink (in
+  /// the given order) plus one thread_name metadata record per sink.
+  static Status WriteFile(const std::string& path,
+                          const std::vector<const TraceSink*>& sinks);
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  enum class Phase : uint8_t { kSpan, kInstant, kCounter };
+  struct Event {
+    const char* name;
+    uint64_t ts_ns;
+    uint64_t dur_or_value;  // Span duration / counter value; 0 for "i".
+    Phase phase;
+  };
+
+  bool Admit();
+  void AppendEventsJson(std::string* out, bool* first) const;
+
+  int tid_;
+  Options options_;
+  std::string thread_name_;
+  std::vector<Event> events_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_TRACE_SINK_H_

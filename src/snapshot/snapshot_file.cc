@@ -39,6 +39,11 @@ void SnapshotWriter::AddSection(SectionId id, const SectionWriter& payload) {
 }
 
 Status SnapshotWriter::WriteFile(const std::string& path) const {
+  return WriteFile(path, nullptr);
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path,
+                                 uint64_t* bytes_written) const {
   std::string blob;
   blob.append(kSnapshotMagic, sizeof(kSnapshotMagic));
   AppendU32(&blob, kFormatVersion);
@@ -79,6 +84,7 @@ Status SnapshotWriter::WriteFile(const std::string& path) const {
     return Status::IoError("cannot rename snapshot into place: " + path +
                            ": " + ec.message());
   }
+  if (bytes_written != nullptr) *bytes_written = blob.size();
   return Status::OK();
 }
 

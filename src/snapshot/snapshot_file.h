@@ -59,7 +59,10 @@ class SnapshotWriter {
 
   /// Serializes all sections and atomically replaces `path` (temp file in
   /// the same directory + rename). The parent directory must exist.
+  /// `bytes_written` (optional) receives the file's total size — the
+  /// number obs reports as checkpoint bytes.
   Status WriteFile(const std::string& path) const;
+  Status WriteFile(const std::string& path, uint64_t* bytes_written) const;
 
  private:
   std::map<uint32_t, std::string> sections_;

@@ -49,7 +49,10 @@ std::string BenchReport::ToJson(double wall_time_sec) const {
                           : 0.0;
 
   std::string json = "{\n";
-  json += "  \"schema_version\": 1,\n";
+  // Version 2 = version 1 plus the additive "obs" block; readers that
+  // only know version 1 fields still parse everything they expect.
+  json += obs_json_.empty() ? "  \"schema_version\": 1,\n"
+                            : "  \"schema_version\": 2,\n";
   json += StringPrintf("  \"name\": \"%s\",\n", JsonEscape(name_).c_str());
   json += StringPrintf("  \"jobs\": %u,\n", jobs_);
   json += StringPrintf("  \"pages\": %llu,\n",
@@ -96,7 +99,19 @@ std::string BenchReport::ToJson(double wall_time_sec) const {
         JsonEscape(s.file).c_str(), static_cast<unsigned long long>(s.rows),
         HexHash(s.hash).c_str());
   }
-  json += series_.empty() ? "]\n" : "\n  ]\n";
+  if (obs_json_.empty()) {
+    json += series_.empty() ? "]\n" : "\n  ]\n";
+  } else {
+    json += series_.empty() ? "],\n" : "\n  ],\n";
+    // Re-indent the pre-rendered obs document to sit one level deep.
+    std::string obs = obs_json_;
+    size_t pos = 0;
+    while ((pos = obs.find('\n', pos)) != std::string::npos) {
+      obs.insert(pos + 1, "  ");
+      pos += 3;
+    }
+    json += "  \"obs\": " + obs + "\n";
+  }
   json += "}\n";
   return json;
 }

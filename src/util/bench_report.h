@@ -55,6 +55,12 @@ class BenchReport {
     series_.push_back(series);
   }
 
+  /// Embeds a pre-rendered observability document (the RunObs StatsJson
+  /// object: stages/counters/gauges/histograms). A report with an obs
+  /// block serializes as schema_version 2; readers of version 1 reports
+  /// must keep working (the block is additive — see EXPERIMENTS.md).
+  void set_obs_json(std::string obs_json) { obs_json_ = std::move(obs_json); }
+
   const std::string& name() const { return name_; }
   const std::vector<BenchRunEntry>& runs() const { return runs_; }
 
@@ -73,6 +79,7 @@ class BenchReport {
   uint64_t seed_ = 0;
   std::vector<BenchRunEntry> runs_;
   std::vector<BenchSeriesEntry> series_;
+  std::string obs_json_;
   std::chrono::steady_clock::time_point start_;
 };
 

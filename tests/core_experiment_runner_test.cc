@@ -184,6 +184,32 @@ TEST(ExperimentRunnerTest, ParallelGridMatchesEngineCharacterization) {
   }
 }
 
+TEST(ExperimentRunnerTest, MergedObsIsBitIdenticalAcrossJobCounts) {
+  // The deterministic subset of the merged obs output (stage call
+  // counts, registry counters/gauges/histograms — everything except
+  // wall-time fields) must not depend on the worker count. The grid is
+  // checkpoint-free, so no wall-time-fed histogram is populated and the
+  // whole registry is deterministic.
+  auto merged_stats = [](unsigned jobs) {
+    ExperimentRunner::Options options;
+    options.jobs = jobs;
+    ExperimentRunner runner(options);
+    Strategies strategies;
+    std::vector<RunResult> results = runner.Run(MakeGrid(runner, strategies));
+    obs::RunObs merged;
+    MergeRunObs(results, &merged);
+    return merged.StatsJson(/*include_times=*/false);
+  };
+  obs::RunObs probe;
+  if (!probe.enabled) GTEST_SKIP() << "obs disabled in this environment";
+  const std::string serial = merged_stats(1);
+  const std::string parallel = merged_stats(4);
+  EXPECT_EQ(serial, parallel);
+  // The merged block actually carries engine metrics, not just zeros.
+  EXPECT_NE(serial.find("\"crawl.pushes\""), std::string::npos) << serial;
+  EXPECT_NE(serial.find("\"frontier.depth\""), std::string::npos) << serial;
+}
+
 TEST(ExperimentRunnerTest, PermutingSpecsDoesNotChangeAnyRun) {
   ExperimentRunner::Options options;
   options.jobs = 4;

@@ -1,0 +1,166 @@
+// TraceSink + StageProfiler + RunObs behavior at the C++ layer: event
+// admission and the drop cap, multi-sink file layout, profiler
+// accumulation/merge, and the deterministic StatsJson subset. The
+// emitted file's JSON well-formedness and span nesting are validated by
+// tools/check_trace.py, which ctest runs against a real crawl.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/run_obs.h"
+#include "obs/stage_profiler.h"
+#include "obs/trace_sink.h"
+
+namespace lswc::obs {
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceSinkTest, BuffersSpansInstantsAndCounters) {
+  TraceSink sink(3);
+  sink.Span("fetch", 100, 250);
+  sink.Instant("checkpoint");
+  sink.CounterValue("frontier_size", 42);
+  EXPECT_EQ(sink.num_events(), 3u);
+  EXPECT_EQ(sink.dropped_events(), 0u);
+  EXPECT_EQ(sink.tid(), 3);
+}
+
+TEST(TraceSinkTest, CapDropsAndCounts) {
+  TraceSink::Options options;
+  options.max_events = 2;
+  TraceSink sink(0, options);
+  sink.Span("a", 0, 1);
+  sink.Span("b", 1, 2);
+  sink.Span("c", 2, 3);
+  sink.Instant("d");
+  EXPECT_EQ(sink.num_events(), 2u);
+  EXPECT_EQ(sink.dropped_events(), 2u);
+}
+
+TEST(TraceSinkTest, WriteFileEmitsAllSinksWithThreadNames) {
+  TraceSink run0(0);
+  run0.set_thread_name("bfs");
+  run0.Span("fetch", 10, 20);
+  TraceSink run1(1);
+  run1.set_thread_name("soft \"quoted\"");
+  run1.Instant("spill");
+
+  const std::string path = TempPath("obs_trace_test_multi.json");
+  ASSERT_TRUE(TraceSink::WriteFile(path, {&run0, &run1}).ok());
+  const std::string content = ReadWholeFile(path);
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"fetch\""), std::string::npos);
+  EXPECT_NE(content.find("\"spill\""), std::string::npos);
+  EXPECT_NE(content.find("thread_name"), std::string::npos);
+  EXPECT_NE(content.find("bfs"), std::string::npos);
+  // Quotes in track labels must be escaped, not emitted raw.
+  EXPECT_NE(content.find("\\\"quoted\\\""), std::string::npos) << content;
+  std::remove(path.c_str());
+}
+
+TEST(StageProfilerTest, RecordAccumulatesPerStage) {
+  StageProfiler profiler;
+  profiler.Record(Stage::kFetch, 100, 150);
+  profiler.Record(Stage::kFetch, 200, 210);
+  profiler.Record(Stage::kClassify, 0, 30);
+  EXPECT_EQ(profiler.calls(Stage::kFetch), 2u);
+  EXPECT_EQ(profiler.total_ns(Stage::kFetch), 60u);
+  EXPECT_EQ(profiler.calls(Stage::kClassify), 1u);
+  EXPECT_EQ(profiler.calls(Stage::kCheckpoint), 0u);
+}
+
+TEST(StageProfilerTest, ScopedStageRespectsRuntimeDisable) {
+  StageProfiler profiler;
+  profiler.set_enabled(false);
+  { ScopedStage probe(&profiler, Stage::kFetch); }
+  EXPECT_EQ(profiler.calls(Stage::kFetch), 0u);
+  profiler.set_enabled(true);
+  { ScopedStage probe(&profiler, Stage::kFetch); }
+#ifndef LSWC_OBS_DISABLED
+  EXPECT_EQ(profiler.calls(Stage::kFetch), 1u);
+#endif
+  // A null profiler is always safe.
+  { ScopedStage probe(nullptr, Stage::kSample); }
+}
+
+TEST(StageProfilerTest, MergeSumsAndMirrorsIntoTrace) {
+  StageProfiler a, b;
+  a.Record(Stage::kStrategy, 0, 5);
+  b.Record(Stage::kStrategy, 0, 7);
+  b.Record(Stage::kSample, 0, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.calls(Stage::kStrategy), 2u);
+  EXPECT_EQ(a.total_ns(Stage::kStrategy), 12u);
+  EXPECT_EQ(a.calls(Stage::kSample), 1u);
+
+  TraceSink sink(0);
+  StageProfiler traced;
+  traced.AttachTrace(&sink);
+  traced.Record(Stage::kFetch, 10, 20);
+  EXPECT_EQ(sink.num_events(), 1u);
+}
+
+TEST(StageProfilerTest, JsonSubsetsAndTopStages) {
+  StageProfiler profiler;
+  EXPECT_EQ(profiler.TopStagesLine(), "");
+  profiler.Record(Stage::kFetch, 0, 600);
+  profiler.Record(Stage::kClassify, 0, 300);
+  profiler.Record(Stage::kStrategy, 0, 100);
+  profiler.Record(Stage::kSample, 0, 1);
+
+  const std::string full = profiler.ToJson(/*include_times=*/true);
+  EXPECT_NE(full.find("total_ns"), std::string::npos);
+  const std::string deterministic = profiler.ToJson(/*include_times=*/false);
+  EXPECT_EQ(deterministic.find("total_ns"), std::string::npos);
+  EXPECT_NE(deterministic.find("\"fetch\""), std::string::npos);
+
+  const std::string top = profiler.TopStagesLine(3);
+  EXPECT_NE(top.find("fetch"), std::string::npos) << top;
+  EXPECT_NE(top.find("classify"), std::string::npos) << top;
+  EXPECT_EQ(top.find("sample"), std::string::npos) << top;
+}
+
+TEST(RunObsTest, EnableTraceWiresProfilerMirror) {
+  RunObs obs;
+  if (!obs.enabled) GTEST_SKIP() << "obs disabled in this environment";
+  EXPECT_EQ(obs.trace, nullptr);
+  obs.EnableTrace(5, "fig3");
+  ASSERT_NE(obs.trace, nullptr);
+  EXPECT_EQ(obs.trace->tid(), 5);
+  EXPECT_EQ(obs.profiler.trace(), obs.trace.get());
+}
+
+TEST(RunObsTest, MergeFromFoldsRegistryAndProfiler) {
+  RunObs a, b;
+  if (!a.enabled) GTEST_SKIP() << "obs disabled in this environment";
+  a.registry.counter("crawl.pushes")->Add(10);
+  b.registry.counter("crawl.pushes")->Add(32);
+  a.profiler.Record(Stage::kFetch, 0, 4);
+  b.profiler.Record(Stage::kFetch, 0, 6);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.registry.counter("crawl.pushes")->value(), 42u);
+  EXPECT_EQ(a.profiler.calls(Stage::kFetch), 2u);
+
+  const std::string stats = a.StatsJson(/*include_times=*/false);
+  EXPECT_NE(stats.find("\"stages\""), std::string::npos);
+  EXPECT_NE(stats.find("\"counters\""), std::string::npos);
+  EXPECT_NE(stats.find("\"crawl.pushes\": 42"), std::string::npos) << stats;
+  EXPECT_EQ(stats.find("total_ns"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lswc::obs

@@ -10,6 +10,8 @@
 // politeness scheduler's HostFrontier.
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -17,6 +19,7 @@
 #include "core/politeness.h"
 #include "core/simulator.h"
 #include "core/strategy.h"
+#include "obs/run_obs.h"
 #include "util/series.h"
 #include "webgraph/generator.h"
 #include "webgraph/link_db.h"
@@ -84,6 +87,46 @@ void ExpectSplitRunMatches(const WebGraph& graph,
   EXPECT_EQ(resumed->series.num_rows(), straight->series.num_rows());
   EXPECT_EQ(Fnv1aHash(resumed->series), Fnv1aHash(straight->series))
       << "resumed series diverged from the straight run";
+}
+
+TEST(SnapshotResumeTest, CheckpointLandingsAreObservable) {
+  // Every checkpoint the CheckpointObserver lands must leave a visible
+  // record: the checkpoint.* registry metrics and a "checkpoint"
+  // instant event on the trace. Before the obs wiring, snapshots were
+  // written with no externally visible count at all.
+  obs::RunObs obs;
+  if (!obs.enabled) GTEST_SKIP() << "obs disabled in this environment";
+  obs.EnableTrace(0, "checkpoint-obs");
+
+  const WebGraph graph = MakeGraph();
+  const BreadthFirstStrategy bfs;
+  SimulationOptions options;
+  options.checkpoint_every_pages = 250;
+  options.snapshot_dir = SnapshotDirFor("obs_counts");
+  options.snapshot_label = "obs_counts";
+  options.obs = &obs;
+  MetaTagClassifier classifier(Language::kThai);
+  auto run = RunSimulation(graph, &classifier, bfs, RenderMode::kNone,
+                           options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_GT(run->summary.pages_crawled, 500u);
+
+  const uint64_t written = obs.registry.counter("checkpoint.written")->value();
+  EXPECT_GE(written, run->summary.pages_crawled / 250) << "too few landings";
+  EXPECT_EQ(obs.registry.histogram("checkpoint.bytes")->count(), written);
+  EXPECT_EQ(obs.registry.histogram("checkpoint.write_us")->count(), written);
+  EXPECT_GT(obs.registry.histogram("checkpoint.bytes")->sum(), 0u);
+  EXPECT_GE(obs.registry.gauge("checkpoint.last_pages_crawled")->max_seen(),
+            250u);
+
+  // The trace carries one "checkpoint" instant per landing.
+  const std::string trace_path =
+      SnapshotDirFor("obs_counts") + "/checkpoint_trace.json";
+  ASSERT_TRUE(obs.trace->WriteFile(trace_path).ok());
+  std::ifstream f(trace_path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"checkpoint\""), std::string::npos);
 }
 
 TEST(SnapshotResumeTest, FifoFrontierSplitRunIsBitIdentical) {

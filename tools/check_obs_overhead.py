@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Overhead gate: instrumented vs obs-disabled throughput.
+
+Compares the aggregate pages/sec of two BENCH_*.json reports from the
+SAME binary on the SAME workload — one run normally (registry +
+profiler active, no tracing), one with LSWC_OBS_DISABLED=1 — and fails
+when the instrumented run is more than --max-overhead slower. This is
+the overhead contract from docs/ARCHITECTURE.md: always-on probes must
+cost < 5% of throughput (tracing is opt-in and exempt).
+
+Also asserts the two runs' per-run series hashes are identical:
+flipping observability must never change what the crawler does.
+
+Usage: check_obs_overhead.py --instrumented=BENCH.json
+                             --disabled=BENCH.json [--max-overhead=0.05]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instrumented", required=True,
+                        help="BENCH report from the normal (obs-on) run")
+    parser.add_argument("--disabled", required=True,
+                        help="BENCH report from the LSWC_OBS_DISABLED=1 run")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="max tolerated fractional pages/sec cost")
+    args = parser.parse_args()
+
+    with open(args.instrumented) as f:
+        instrumented = json.load(f)
+    with open(args.disabled) as f:
+        disabled = json.load(f)
+
+    failures = []
+    on_hashes = {r["name"]: r.get("series_hash")
+                 for r in instrumented.get("runs", [])}
+    off_hashes = {r["name"]: r.get("series_hash")
+                  for r in disabled.get("runs", [])}
+    if on_hashes != off_hashes:
+        failures.append(
+            f"series hashes differ between obs-on and obs-off runs: "
+            f"{on_hashes} vs {off_hashes} — observability changed crawl "
+            f"behavior")
+
+    on_pps = instrumented.get("pages_per_sec", 0.0)
+    off_pps = disabled.get("pages_per_sec", 0.0)
+    floor = off_pps * (1.0 - args.max_overhead)
+    overhead = 1.0 - on_pps / off_pps if off_pps > 0 else 0.0
+    print(f"pages/sec: instrumented {on_pps:.0f}, disabled {off_pps:.0f} "
+          f"(overhead {overhead:+.1%}, budget {args.max_overhead:.0%})")
+    if off_pps > 0 and on_pps < floor:
+        failures.append(
+            f"instrumented pages/sec {on_pps:.0f} < floor {floor:.0f} "
+            f"({args.max_overhead:.0%} of disabled {off_pps:.0f})")
+
+    if failures:
+        print("OBS OVERHEAD GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("obs overhead gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

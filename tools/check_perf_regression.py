@@ -32,6 +32,32 @@ def load_reports(directory):
     return reports
 
 
+def stage_growth(base, cur):
+    """Attributes a throughput regression to crawl stages using the
+    schema-v2 obs block: per-stage share of total crawl time, baseline
+    vs current, sorted by growth. Returns [] when either report has no
+    usable obs block (schema-v1 baselines stay supported)."""
+    def shares(report):
+        stages = report.get("obs", {}).get("stages", {})
+        totals = {name: stage.get("total_ns", 0)
+                  for name, stage in stages.items()}
+        overall = sum(totals.values())
+        if overall <= 0:
+            return None
+        return {name: ns / overall for name, ns in totals.items()}
+
+    base_shares = shares(base)
+    cur_shares = shares(cur)
+    if base_shares is None or cur_shares is None:
+        return []
+    growth = [(cur_shares.get(name, 0.0) - base_shares.get(name, 0.0), name)
+              for name in set(base_shares) | set(cur_shares)]
+    growth.sort(reverse=True)
+    return [f"stage '{name}' share {base_shares.get(name, 0.0):.1%} -> "
+            f"{cur_shares.get(name, 0.0):.1%} ({delta:+.1%})"
+            for delta, name in growth[:3] if delta > 0]
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -65,6 +91,10 @@ def main():
                 f"{name}: pages/sec {cur_pps:.0f} < floor {floor:.0f} "
                 f"(baseline {base_pps:.0f}, max regression "
                 f"{args.max_regression:.0%})")
+            # Point at the stage whose time share grew most (needs obs
+            # blocks on both sides; silently absent for v1 reports).
+            for line in stage_growth(base, cur):
+                failures.append(f"{name}:   {line}")
         print(f"{name}: pages/sec baseline {base_pps:.0f} -> current "
               f"{cur_pps:.0f} [{verdict}]")
 

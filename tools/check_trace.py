@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event file written by --trace-out.
+
+Checks, failing (exit 1) on the first violation:
+
+  * the file is well-formed JSON with a "traceEvents" array;
+  * it contains at least --min-stages distinct stage-span names
+    (ph == "X", cat == "stage") — the crawl phases the StageProfiler
+    instruments;
+  * spans on the same track (tid) are properly nested: any two spans
+    either nest or are disjoint. The probes are RAII scopes on one
+    thread, so a partial overlap means broken span emission;
+  * instant and counter events carry the fields Perfetto needs
+    (ts, pid, tid; "s" scope on instants).
+
+Usage: check_trace.py TRACE_JSON [--min-stages=N]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def check(trace, min_stages):
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["no traceEvents array"]
+    errors = []
+
+    stage_names = set()
+    spans_by_tid = defaultdict(list)
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph not in ("X", "i", "C", "M"):
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        for field in ("name", "ts", "pid", "tid"):
+            if field not in event:
+                errors.append(f"event {i} ({ph}): missing {field!r}")
+        if ph == "X":
+            if "dur" not in event:
+                errors.append(f"event {i}: span missing dur")
+                continue
+            if event.get("cat") == "stage":
+                stage_names.add(event["name"])
+            start = float(event["ts"])
+            spans_by_tid[event["tid"]].append(
+                (start, start + float(event["dur"]), event["name"]))
+        elif ph == "i" and event.get("s") not in ("t", "p", "g"):
+            errors.append(f"event {i}: instant missing scope 's'")
+
+    if len(stage_names) < min_stages:
+        errors.append(
+            f"only {len(stage_names)} distinct stage span names "
+            f"({sorted(stage_names)}), need >= {min_stages}")
+
+    for tid, spans in sorted(spans_by_tid.items()):
+        # Sort by start, longest first, and sweep with a stack: a span
+        # must close before (or exactly when) every enclosing span does.
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for start, end, name in spans:
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                errors.append(
+                    f"tid {tid}: span '{name}' [{start}, {end}) partially "
+                    f"overlaps '{stack[-1][2]}' [{stack[-1][0]}, "
+                    f"{stack[-1][1]}) — spans must nest")
+                break
+            stack.append((start, end, name))
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--min-stages", type=int, default=6,
+                        help="distinct stage span names required")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {args.trace}: {e}")
+        return 1
+
+    errors = check(trace, args.min_stages)
+    if errors:
+        print(f"TRACE CHECK FAILED: {args.trace}")
+        for error in errors[:20]:
+            print(f"  - {error}")
+        return 1
+    events = trace["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    print(f"trace ok: {args.trace} ({len(events)} events, {spans} spans, "
+          f"nesting verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,8 @@
 #include "core/experiment_runner.h"
 #include "core/politeness.h"
 #include "core/simulator.h"
+#include "obs/run_obs.h"
+#include "obs/trace_sink.h"
 #include "util/string_util.h"
 #include "webgraph/crawl_log.h"
 #include "webgraph/generator.h"
@@ -59,6 +62,12 @@ struct Args {
   /// Snapshot file to resume from, or a directory holding per-strategy
   /// <strategy>.snap files (resume-if-exists).
   std::string resume;
+  /// Write the merged obs stats (stages + registry) as JSON.
+  std::string stats_json;
+  /// Write a Chrome trace-event file (one track per strategy).
+  std::string trace_out;
+  /// Print a progress line to stderr every N crawled pages.
+  uint64_t progress_every = 0;
 };
 
 int Usage(const char* argv0) {
@@ -85,7 +94,12 @@ int Usage(const char* argv0) {
       "  --resume=PATH                resume from a snapshot file, or from\n"
       "                               DIR/<strategy>.snap when PATH is a\n"
       "                               directory (strategies without a\n"
-      "                               snapshot start fresh)\n",
+      "                               snapshot start fresh)\n"
+      "  --stats-json=FILE            write merged obs stats (stage timings\n"
+      "                               + counters/histograms) as JSON\n"
+      "  --trace-out=FILE             write a Chrome trace-event file (load\n"
+      "                               in Perfetto / chrome://tracing)\n"
+      "  --progress-every=N           progress line to stderr every N pages\n",
       argv0);
   return 2;
 }
@@ -150,6 +164,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (auto v = value("--resume=")) {
       if (v->empty()) return false;
       args->resume = std::string(*v);
+    } else if (auto v = value("--stats-json=")) {
+      if (v->empty()) return false;
+      args->stats_json = std::string(*v);
+    } else if (auto v = value("--trace-out=")) {
+      if (v->empty()) return false;
+      args->trace_out = std::string(*v);
+    } else if (auto v = value("--progress-every=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n == 0) return false;
+      args->progress_every = *n;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       return false;
@@ -279,7 +303,8 @@ std::string OutPathFor(const Args& args, const std::string& strategy,
 /// call concurrently for different specs.
 Status RunOneStrategy(const Args& args, const WebGraph& graph,
                       const std::string& strategy_spec,
-                      const std::string& out_path, std::string* output) {
+                      const std::string& out_path, obs::RunObs* obs,
+                      std::string* output) {
   auto classifier = MakeClassifier(args, graph.target_language());
   LSWC_RETURN_IF_ERROR(classifier.status());
   auto strategy = MakeStrategy(strategy_spec, graph, classifier->get());
@@ -315,6 +340,8 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
     options.snapshot_dir = args.snapshot_dir;
     options.snapshot_label = label;
     options.resume_path = resume_path;
+    options.obs = obs;
+    options.progress_every = args.progress_every;
     PolitenessSimulator sim(&web, classifier->get(), strategy->get(),
                             options);
     auto r = sim.Run();
@@ -344,6 +371,8 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   options.snapshot_dir = args.snapshot_dir;
   options.snapshot_label = label;
   options.resume_path = resume_path;
+  options.obs = obs;
+  options.progress_every = args.progress_every;
   Simulator sim(&web, classifier->get(), strategy->get(), options);
   auto r = sim.Run();
   LSWC_RETURN_IF_ERROR(r.status());
@@ -415,6 +444,7 @@ int Run(const Args& args) {
 
   ExperimentRunner::Options runner_options;
   runner_options.jobs = args.jobs;
+  runner_options.trace = !args.trace_out.empty();
   ExperimentRunner runner(runner_options);
   const int dataset = runner.AddDataset(&graph);
   std::vector<std::string> outputs(strategy_list.size());
@@ -428,7 +458,7 @@ int Run(const Args& args) {
     spec.custom = [&args, &strategy_list, &outputs, out_path,
                    i](const RunContext& context) {
       return RunOneStrategy(args, *context.graph, strategy_list[i],
-                            out_path, &outputs[i]);
+                            out_path, context.obs, &outputs[i]);
     };
     specs.push_back(std::move(spec));
   }
@@ -442,6 +472,47 @@ int Run(const Args& args) {
       std::fprintf(stderr, "%s\n",
                    results[i].status.ToString().c_str());
       exit_code = 1;
+    }
+  }
+
+  if (!args.stats_json.empty()) {
+    obs::RunObs merged;
+    MergeRunObs(results, &merged);
+    if (merged.enabled) {
+      const auto parent = std::filesystem::path(args.stats_json).parent_path();
+      if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+      }
+      std::ofstream f(args.stats_json);
+      if (f.is_open()) {
+        f << merged.StatsJson(/*include_times=*/true);
+        std::printf("obs stats -> %s\n", args.stats_json.c_str());
+      } else {
+        std::fprintf(stderr, "cannot open %s\n", args.stats_json.c_str());
+        exit_code = 1;
+      }
+    } else {
+      std::fprintf(stderr, "--stats-json ignored (obs disabled)\n");
+    }
+  }
+  if (!args.trace_out.empty()) {
+    std::vector<const obs::TraceSink*> sinks;
+    for (const RunResult& r : results) {
+      if (r.obs != nullptr && r.obs->trace != nullptr) {
+        sinks.push_back(r.obs->trace.get());
+      }
+    }
+    if (sinks.empty()) {
+      std::fprintf(stderr, "--trace-out ignored (obs disabled)\n");
+    } else {
+      const Status status = obs::TraceSink::WriteFile(args.trace_out, sinks);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        exit_code = 1;
+      } else {
+        std::printf("trace -> %s\n", args.trace_out.c_str());
+      }
     }
   }
   return exit_code;

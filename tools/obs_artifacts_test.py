@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""ctest driver for the observability surface of a bench harness.
+
+Runs the given harness binary (fig3 in ctest) twice over a small
+workload:
+
+  1. with --trace-out + --stats-json, then validates the trace with
+     check_trace.py (well-formed, >= 6 distinct stage spans, nesting),
+     the stats with check_obs_stats.py, and the BENCH report's
+     schema-v2 obs block;
+  2. with LSWC_OBS_DISABLED=1, then asserts the BENCH report degrades
+     to schema v1 with no obs block and — the determinism half of the
+     overhead contract — per-run series hashes identical to run 1's.
+
+Usage: obs_artifacts_test.py HARNESS_BINARY TOOLS_DIR
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run(cmd, env=None):
+    print("+", " ".join(str(c) for c in cmd))
+    merged = dict(os.environ)
+    if env:
+        merged.update(env)
+    result = subprocess.run(cmd, env=merged, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    if result.returncode != 0:
+        print(result.stdout[-4000:])
+        raise SystemExit(f"command failed ({result.returncode}): {cmd[0]}")
+    return result.stdout
+
+
+def load_bench(out_dir):
+    reports = list(pathlib.Path(out_dir).glob("BENCH_*.json"))
+    if len(reports) != 1:
+        raise SystemExit(f"expected one BENCH report in {out_dir}, "
+                         f"found {reports}")
+    with open(reports[0]) as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    harness, tools_dir = sys.argv[1], pathlib.Path(sys.argv[2])
+    workload = ["--pages=15000", "--jobs=2"]
+
+    with tempfile.TemporaryDirectory(prefix="lswc_obs_artifacts_") as tmp:
+        on_dir = os.path.join(tmp, "on")
+        trace = os.path.join(tmp, "trace.json")
+        stats = os.path.join(tmp, "stats.json")
+        run([harness, *workload, f"--out-dir={on_dir}",
+             f"--trace-out={trace}", f"--stats-json={stats}"])
+        run([sys.executable, tools_dir / "check_trace.py", trace,
+             "--min-stages=6"])
+        run([sys.executable, tools_dir / "check_obs_stats.py", stats,
+             "--require-counter", "crawl.pushes"])
+        bench_on = load_bench(on_dir)
+        if bench_on.get("schema_version") != 2 or "obs" not in bench_on:
+            raise SystemExit("obs-on BENCH report is not schema v2 with an "
+                             "obs block")
+
+        off_dir = os.path.join(tmp, "off")
+        run([harness, *workload, f"--out-dir={off_dir}"],
+            env={"LSWC_OBS_DISABLED": "1"})
+        bench_off = load_bench(off_dir)
+        if bench_off.get("schema_version") != 1 or "obs" in bench_off:
+            raise SystemExit("LSWC_OBS_DISABLED BENCH report must stay "
+                             "schema v1 without an obs block")
+
+        on_hashes = {r["name"]: r["series_hash"] for r in bench_on["runs"]}
+        off_hashes = {r["name"]: r["series_hash"] for r in bench_off["runs"]}
+        if on_hashes != off_hashes:
+            raise SystemExit(f"series hashes changed when obs was disabled: "
+                             f"{on_hashes} vs {off_hashes}")
+
+    print("obs artifacts test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
