@@ -44,6 +44,12 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
         args.jobs = static_cast<unsigned>(*v);
         continue;
       }
+    } else if (StartsWith(arg, "--shards=")) {
+      const auto v = ParseUint64(arg.substr(9));
+      if (v.has_value() && *v <= 256) {
+        args.shards = static_cast<unsigned>(*v);
+        continue;
+      }
     } else if (StartsWith(arg, "--checkpoint-every=")) {
       const auto v = ParseUint64(arg.substr(19));
       if (v.has_value() && *v > 0) {
@@ -72,6 +78,7 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s [--pages=N] [--seed=N] [--out-dir=DIR] [--jobs=N]\n"
+        "          [--shards=N]\n"
         "          [--checkpoint-every=N --snapshot-dir=DIR] [--resume=DIR]\n"
         "          [--stats-json=FILE] [--trace-out=FILE]"
         " [--progress-every=N]\n",
@@ -129,7 +136,7 @@ void FlushObsFiles(const BenchArgs& args) {
     std::vector<const obs::TraceSink*> sinks;
     sinks.reserve(acc.traced.size());
     for (const auto& bundle : acc.traced) {
-      if (bundle->trace != nullptr) sinks.push_back(bundle->trace.get());
+      bundle->CollectTraceSinks(&sinks);
     }
     if (sinks.empty()) {
       std::fprintf(stderr,
@@ -156,7 +163,8 @@ void AccumulateObs(std::vector<RunResult>* results, BenchReport* report) {
   MergeRunObs(*results, &acc.merged);
   acc.next_tid += static_cast<int>(results->size());
   for (RunResult& result : *results) {
-    if (result.obs != nullptr && result.obs->trace != nullptr) {
+    if (result.obs != nullptr &&
+        (result.obs->trace != nullptr || !result.obs->shard_traces.empty())) {
       acc.traced.push_back(std::move(result.obs));
     }
   }
@@ -170,6 +178,7 @@ BenchReport MakeReport(std::string name, const BenchArgs& args) {
   report.set_pages(args.pages);
   report.set_seed(args.seed);
   report.set_jobs(args.resolved_jobs());
+  report.set_shards(args.shards);
   return report;
 }
 
@@ -236,6 +245,7 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
         run.classifier ? std::move(run.classifier) : default_classifier;
     spec.render_mode = run.render_mode;
     spec.options = std::move(run.options);
+    if (args.shards != 0) spec.options.shards = args.shards;
     spec.options.checkpoint_every_pages = args.checkpoint_every;
     spec.options.snapshot_dir = args.snapshot_dir;
     spec.options.progress_every = args.progress_every;

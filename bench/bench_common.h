@@ -37,6 +37,11 @@ struct BenchArgs {
   uint64_t seed = 0;  // 0 = preset default.
   std::string out_dir = "bench_out";
   unsigned jobs = 0;  // 0 = all hardware threads; 1 = serial.
+  /// Host-partitioned worker shards per simulation (0 = the serial
+  /// engine). Any N produces bit-identical output; the BENCH report
+  /// records the value so hash comparisons across shard counts are a
+  /// meaningful determinism gate.
+  unsigned shards = 0;
   /// Snapshot the full run state every N crawled pages (0 = never);
   /// requires snapshot_dir. Each grid cell writes its own rolling
   /// <snapshot_dir>/<cell-name>.snap.

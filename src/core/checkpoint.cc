@@ -14,7 +14,7 @@ std::string SanitizeSnapshotLabel(const std::string& label) {
   return out;
 }
 
-CheckpointObserver::CheckpointObserver(CrawlEngine* engine,
+CheckpointObserver::CheckpointObserver(Checkpointable* engine,
                                        uint64_t every_n_pages,
                                        std::string path)
     : engine_(engine),

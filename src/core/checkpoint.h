@@ -4,12 +4,29 @@
 #include <cstdint>
 #include <string>
 
-#include "core/crawl_engine.h"
 #include "core/crawl_observer.h"
 #include "obs/obs_fwd.h"
 #include "util/status.h"
 
 namespace lswc {
+
+/// What the checkpoint policy needs from an engine: the ability to write
+/// a complete snapshot, plus the two counters that drive the cadence.
+/// Both CrawlEngine and ShardedCrawlEngine implement this, so one
+/// CheckpointObserver serves every driver.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Writes the complete run state to `path` (atomic temp+rename).
+  /// `bytes_written` (optional) receives the snapshot's on-disk size.
+  virtual Status SaveSnapshot(const std::string& path,
+                              uint64_t* bytes_written = nullptr) const = 0;
+
+  virtual uint64_t pages_crawled() const = 0;
+  /// The resolved sampling step (never 0).
+  virtual uint64_t sample_interval() const = 0;
+};
 
 /// Makes a string safe to use as a snapshot file name: path separators
 /// and the strategy-spec ':' become '-'. "plimited:3" -> "plimited-3".
@@ -36,7 +53,7 @@ class CheckpointObserver final : public CrawlObserver {
  public:
   /// `engine` is not owned and must outlive the observer. Attach this
   /// observer *after* any observer whose state the snapshot captures.
-  CheckpointObserver(CrawlEngine* engine, uint64_t every_n_pages,
+  CheckpointObserver(Checkpointable* engine, uint64_t every_n_pages,
                      std::string path);
 
   void OnFetch(const FetchEvent& event) override;
@@ -59,7 +76,7 @@ class CheckpointObserver final : public CrawlObserver {
  private:
   void SaveNow();
 
-  CrawlEngine* engine_;
+  Checkpointable* engine_;
   uint64_t every_n_pages_;
   std::string path_;
   bool pending_ = false;

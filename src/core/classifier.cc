@@ -37,7 +37,7 @@ std::string MetaTagClassifier::name() const {
 
 DetectorClassifier::DetectorClassifier(Language target,
                                        DetectorOptions options)
-    : target_(target), detector_(options) {}
+    : target_(target), options_(options), detector_(options) {}
 
 RelevanceJudgment DetectorClassifier::Judge(const FetchResponse& response) {
   if (!response.ok() || response.body.empty()) return RelevanceJudgment{};
@@ -51,7 +51,10 @@ std::string DetectorClassifier::name() const {
 
 CompositeClassifier::CompositeClassifier(Language target,
                                          DetectorOptions options)
-    : meta_(target), detector_(target, options), target_(target) {}
+    : meta_(target),
+      detector_(target, options),
+      target_(target),
+      options_(options) {}
 
 RelevanceJudgment CompositeClassifier::Judge(const FetchResponse& response) {
   const RelevanceJudgment by_meta = meta_.Judge(response);

@@ -33,6 +33,15 @@ class Classifier {
 
   /// Human-readable name for reports.
   virtual std::string name() const = 0;
+
+  /// A fresh, independent copy for an additional worker thread (the
+  /// sharded engine gives each shard its own classifier so parallel
+  /// Judge() calls never share mutable detector state). Classifiers that
+  /// cannot clone return nullptr; the caller then shares the single
+  /// instance behind a mutex instead. Clones must judge identically to
+  /// the original for the same response — per-page determinism is part
+  /// of the engine's reproducibility contract.
+  virtual std::unique_ptr<Classifier> Clone() const { return nullptr; }
 };
 
 /// Method 1 (§3.2): trust the charset declared in the HTML META tag.
@@ -46,6 +55,9 @@ class MetaTagClassifier final : public Classifier {
   RelevanceJudgment Judge(const FetchResponse& response) override;
   Language target_language() const override { return target_; }
   std::string name() const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<MetaTagClassifier>(target_);
+  }
 
  private:
   Language target_;
@@ -63,9 +75,13 @@ class DetectorClassifier final : public Classifier {
   RelevanceJudgment Judge(const FetchResponse& response) override;
   Language target_language() const override { return target_; }
   std::string name() const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<DetectorClassifier>(target_, options_);
+  }
 
  private:
   Language target_;
+  DetectorOptions options_;  // Kept so Clone() rebuilds the detector.
   CharsetDetector detector_;
 };
 
@@ -78,11 +94,15 @@ class CompositeClassifier final : public Classifier {
   RelevanceJudgment Judge(const FetchResponse& response) override;
   Language target_language() const override { return target_; }
   std::string name() const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<CompositeClassifier>(target_, options_);
+  }
 
  private:
   MetaTagClassifier meta_;
   DetectorClassifier detector_;
   Language target_;
+  DetectorOptions options_;  // Kept so Clone() rebuilds the detector.
 };
 
 /// Upper-bound classifier that reads the log's ground truth; used for
@@ -95,6 +115,9 @@ class OracleClassifier final : public Classifier {
   RelevanceJudgment Judge(const FetchResponse& response) override;
   Language target_language() const override { return target_; }
   std::string name() const override { return "oracle"; }
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<OracleClassifier>(target_);
+  }
 
  private:
   Language target_;

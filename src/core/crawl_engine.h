@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/classifier.h"
 #include "core/crawl_observer.h"
 #include "core/crawl_state.h"
@@ -115,7 +116,7 @@ struct CrawlEngineOptions {
 /// The engine owns the per-URL CrawlState and a MetricsRecorder (the
 /// §3.4 metrics), which is attached to the observer bus like any other
 /// observer — drivers read it from `metrics()` after Run.
-class CrawlEngine {
+class CrawlEngine : public Checkpointable {
  public:
   /// Pointers are not owned and must outlive the engine. The
   /// MetricsRecorder is constructed here (coverage denominator from the
@@ -145,7 +146,7 @@ class CrawlEngine {
   /// stream (if attached), and a fingerprint of the configuration.
   /// `bytes_written` (optional) receives the snapshot's on-disk size.
   Status SaveSnapshot(const std::string& path,
-                      uint64_t* bytes_written = nullptr) const;
+                      uint64_t* bytes_written = nullptr) const override;
 
   /// Restores the engine from a snapshot written by SaveSnapshot under
   /// the same configuration. Fails with FailedPrecondition (fingerprint
@@ -155,9 +156,9 @@ class CrawlEngine {
 
   const MetricsRecorder& metrics() const { return metrics_; }
   const CrawlState& state() const { return state_; }
-  uint64_t pages_crawled() const { return pages_crawled_; }
+  uint64_t pages_crawled() const override { return pages_crawled_; }
   /// The resolved sampling step (never 0).
-  uint64_t sample_interval() const { return sample_interval_; }
+  uint64_t sample_interval() const override { return sample_interval_; }
 
  private:
   /// Fetches one URL, judges it, expands its links through the strategy

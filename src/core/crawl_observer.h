@@ -23,6 +23,9 @@ struct FetchEvent {
   uint64_t frontier_size = 0;
   /// Crawled count including this fetch.
   uint64_t pages_crawled = 0;
+  /// Shard that owns this URL's host in the sharded engine; 0 in the
+  /// serial engine (which is a single implicit shard).
+  uint32_t shard = 0;
 };
 
 /// One periodic (or final) sampling point of the crawl.

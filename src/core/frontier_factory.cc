@@ -8,7 +8,11 @@ StatusOr<FrontierSelection> MakeFrontier(const CrawlStrategy& strategy,
                                          const FrontierOptions& options) {
   if (options.capacity > 0 && options.memory_budget > 0) {
     return Status::InvalidArgument(
-        "frontier_capacity and frontier_memory_budget are exclusive");
+        "frontier_capacity (=" + std::to_string(options.capacity) +
+        ") and frontier_memory_budget (=" +
+        std::to_string(options.memory_budget) +
+        ") are mutually exclusive: a frontier is either capacity-bounded "
+        "or disk-spilling, not both");
   }
   const int levels = std::max(1, strategy.num_priority_levels());
   FrontierSelection selection;
@@ -31,6 +35,35 @@ StatusOr<FrontierSelection> MakeFrontier(const CrawlStrategy& strategy,
     selection.frontier = std::make_unique<BucketFrontier>(levels);
   }
   return selection;
+}
+
+StatusOr<std::vector<std::unique_ptr<ShardFrontier>>> MakeShardFrontiers(
+    const CrawlStrategy& strategy, const FrontierOptions& options,
+    uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument(
+        "MakeShardFrontiers needs at least one shard");
+  }
+  if (options.capacity > 0) {
+    return Status::InvalidArgument(
+        "frontier_capacity (=" + std::to_string(options.capacity) +
+        ") is incompatible with sharded crawling: the cross-shard merge "
+        "needs the exact global frontier contents, and a capacity-bounded "
+        "frontier sheds URLs");
+  }
+  if (options.memory_budget > 0) {
+    return Status::InvalidArgument(
+        "frontier_memory_budget (=" + std::to_string(options.memory_budget) +
+        ") is incompatible with sharded crawling: the disk-spilling "
+        "frontier has no per-shard slice layout");
+  }
+  const int levels = std::max(1, strategy.num_priority_levels());
+  std::vector<std::unique_ptr<ShardFrontier>> shards;
+  shards.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards.push_back(std::make_unique<ShardFrontier>(levels));
+  }
+  return shards;
 }
 
 }  // namespace lswc

@@ -3,8 +3,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/frontier.h"
+#include "core/shard.h"
 #include "core/spilling_frontier.h"
 #include "core/strategy.h"
 #include "util/status.h"
@@ -45,6 +47,16 @@ struct FrontierSelection {
 /// spilling frontier's error when the spill directory is unusable.
 StatusOr<FrontierSelection> MakeFrontier(const CrawlStrategy& strategy,
                                          const FrontierOptions& options);
+
+/// Per-shard construction path for the sharded engine: `num_shards`
+/// sequence-tagged frontier slices with the strategy's level count.
+/// Sharding keeps every pending URL (the merge contract needs the exact
+/// global frontier contents), so the bounded and spilling variants are
+/// not available — a set `capacity` or `memory_budget` fails with an
+/// InvalidArgument naming the conflicting option.
+StatusOr<std::vector<std::unique_ptr<ShardFrontier>>> MakeShardFrontiers(
+    const CrawlStrategy& strategy, const FrontierOptions& options,
+    uint32_t num_shards);
 
 }  // namespace lswc
 

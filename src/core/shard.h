@@ -1,0 +1,113 @@
+#ifndef LSWC_CORE_SHARD_H_
+#define LSWC_CORE_SHARD_H_
+
+// Building blocks of the sharded crawl engine (sharded_engine.h):
+//
+//  - ShardRouter: the stable host -> shard partitioning rule. A URL is
+//    owned by the shard of its host (FNV-1a over the host *name*, mod
+//    the shard count), so the assignment survives dataset regeneration
+//    with different host counts and never depends on page ids.
+//  - ShardFrontier: one shard's slice of the global frontier. Entries
+//    carry the global push sequence number assigned by the serial
+//    commit loop; the engine recovers the exact serial pop order by
+//    merging shard heads on (priority level desc, sequence asc). Within
+//    a level a shard's deque is sequence-sorted by construction (all
+//    pushes happen in sequence order), so the head of each level is the
+//    shard's best candidate at that level.
+//
+// See docs/ARCHITECTURE.md "Sharded crawl pipeline" for the full merge
+// contract and why this reproduces the serial engine bit-for-bit.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "snapshot/section.h"
+#include "util/status.h"
+#include "webgraph/graph.h"
+#include "webgraph/page.h"
+
+namespace lswc {
+
+/// Stable shard assignment: FNV-1a over the host name, mod `num_shards`.
+uint32_t ShardOfHostName(const std::string& host_name, uint32_t num_shards);
+
+/// Precomputed host -> shard map for one graph. Cheap value type.
+class ShardRouter {
+ public:
+  ShardRouter(const WebGraph& graph, uint32_t num_shards);
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint32_t shard_of_host(uint32_t host_id) const {
+    return host_shard_[host_id];
+  }
+  /// The shard that owns `url` (== the shard of its host).
+  uint32_t owner(PageId url) const {
+    return host_shard_[graph_->page(url).host];
+  }
+
+ private:
+  const WebGraph* graph_;
+  uint32_t num_shards_;
+  std::vector<uint32_t> host_shard_;
+};
+
+/// One shard's frontier slice: per-priority-level deques of
+/// (sequence, url) entries, mirroring BucketFrontier's level semantics
+/// (priorities clamped to [0, num_levels), pops from the highest
+/// non-empty level). `seq` is the global push sequence; deques stay
+/// sequence-sorted because every push happens in the serial commit loop.
+class ShardFrontier {
+ public:
+  struct Entry {
+    uint64_t seq;
+    PageId url;
+  };
+  /// The shard's best candidate: front of its highest non-empty level.
+  struct Head {
+    int level;
+    uint64_t seq;
+    PageId url;
+  };
+
+  explicit ShardFrontier(int num_levels);
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Appends at the clamped priority level, exactly like
+  /// BucketFrontier::Push. `seq` must be strictly increasing across all
+  /// pushes into all shards of one crawl.
+  void Push(PageId url, int priority, uint64_t seq);
+
+  /// Best candidate, or nullopt when empty.
+  std::optional<Head> PeekHead() const;
+
+  /// Removes the entry PeekHead() returned. Precondition: non-empty.
+  void PopHead();
+
+  /// Entries at `level`, front = oldest (lowest sequence). Used by the
+  /// engine's plan cursors to walk the virtual global order.
+  const std::deque<Entry>& level_entries(int level) const {
+    return levels_[level];
+  }
+
+  /// Snapshot payload: level count, then each level highest-first as a
+  /// (seq, url) pair list.
+  void Save(snapshot::SectionWriter* w) const;
+  /// Restores a Save() payload; FailedPrecondition when the level count
+  /// does not match this frontier's construction.
+  Status Restore(snapshot::SectionReader* r);
+
+ private:
+  std::vector<std::deque<Entry>> levels_;
+  size_t size_ = 0;
+  int highest_nonempty_ = -1;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_SHARD_H_

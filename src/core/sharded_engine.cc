@@ -1,0 +1,603 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <array>
+
+#include "obs/run_obs.h"
+#include "snapshot/snapshot_file.h"
+
+namespace lswc {
+
+namespace {
+
+// Same auto-cadence as CrawlEngine: ~400 samples over the run horizon.
+uint64_t ResolveSampleInterval(uint64_t requested, uint64_t max_pages,
+                               size_t num_pages) {
+  if (requested != 0) return requested;
+  const uint64_t horizon = max_pages != 0 ? max_pages : num_pages;
+  return std::max<uint64_t>(1, horizon / 400);
+}
+
+/// Fallback for classifiers that cannot Clone(): every shard shares the
+/// single instance, serialized through one mutex. Correct (and
+/// TSan-clean) but slower than per-shard clones; Judge results stay
+/// deterministic because the underlying classifier is per-page
+/// deterministic.
+class LockedClassifier final : public Classifier {
+ public:
+  LockedClassifier(Classifier* base, std::mutex* mu) : base_(base), mu_(mu) {}
+
+  RelevanceJudgment Judge(const FetchResponse& response) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return base_->Judge(response);
+  }
+  Language target_language() const override {
+    return base_->target_language();
+  }
+  std::string name() const override { return base_->name(); }
+
+ private:
+  Classifier* base_;
+  std::mutex* mu_;
+};
+
+}  // namespace
+
+ShardedCrawlEngine::ShardedCrawlEngine(VirtualWebSpace* web,
+                                       Classifier* classifier,
+                                       const CrawlStrategy* strategy,
+                                       ShardedEngineOptions options)
+    : web_(web),
+      strategy_(strategy),
+      options_(options),
+      router_(web->graph(), options.num_shards),
+      sample_interval_(ResolveSampleInterval(options.sample_interval,
+                                             options.max_pages,
+                                             web->graph().num_pages())),
+      batch_size_(options.batch_size == 0 ? 256 : options.batch_size),
+      metrics_(web->graph().ComputeStats().relevant_ok_pages,
+               sample_interval_),
+      classifier_name_(classifier->name()) {
+  AddObserver(&metrics_);
+  if (options.obs != nullptr && options.obs->enabled) {
+    obs::RunObs* obs = options.obs;
+    profiler_ = &obs->profiler;
+    frontier_depth_ = obs->registry.histogram("frontier.depth");
+    push_level_ = obs->registry.histogram("frontier.push_level");
+    pushes_ = obs->registry.counter("crawl.pushes");
+    repushes_ = obs->registry.counter("crawl.repushes");
+    link_drops_ = obs->registry.counter("crawl.link_drops");
+  }
+}
+
+StatusOr<std::unique_ptr<ShardedCrawlEngine>> ShardedCrawlEngine::Create(
+    VirtualWebSpace* web, Classifier* classifier,
+    const CrawlStrategy* strategy, const FrontierOptions& frontier_options,
+    ShardedEngineOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("sharded engine needs num_shards >= 1");
+  }
+  auto frontiers =
+      MakeShardFrontiers(*strategy, frontier_options, options.num_shards);
+  LSWC_RETURN_IF_ERROR(frontiers.status());
+
+  std::unique_ptr<ShardedCrawlEngine> engine(
+      new ShardedCrawlEngine(web, classifier, strategy, options));
+  const WebGraph& graph = web->graph();
+  const uint32_t num_shards = engine->router_.num_shards();
+
+  // Global id -> (owner, local rank within owner, ascending page order).
+  std::vector<size_t> counts(num_shards, 0);
+  engine->local_id_.resize(graph.num_pages());
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    const uint32_t s = engine->router_.owner(p);
+    engine->local_id_[p] = static_cast<uint32_t>(counts[s]++);
+  }
+
+  const bool obs_on = options.obs != nullptr && options.obs->enabled;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>(
+        counts[s], Mix64(graph.generator_seed() ^ (uint64_t{s} + 1)));
+    shard->link_db = std::make_unique<InMemoryLinkDb>(&graph);
+    shard->web = std::make_unique<VirtualWebSpace>(&graph,
+                                                   shard->link_db.get(),
+                                                   web->render_mode());
+    std::unique_ptr<Classifier> clone = classifier->Clone();
+    if (clone != nullptr) {
+      shard->classifier = std::move(clone);
+    } else {
+      if (engine->classifier_mu_ == nullptr) {
+        engine->classifier_mu_ = std::make_unique<std::mutex>();
+      }
+      shard->classifier = std::make_unique<LockedClassifier>(
+          classifier, engine->classifier_mu_.get());
+    }
+    shard->visitor = std::make_unique<Visitor>(
+        shard->web.get(), shard->classifier.get(), options.parse_html);
+    shard->frontier = std::move((*frontiers)[s]);
+    if (obs_on) {
+      shard->obs = std::make_unique<obs::RunObs>();
+      shard->visitor->set_profiler(&shard->obs->profiler);
+    }
+    engine->shards_.push_back(std::move(shard));
+  }
+  return engine;
+}
+
+void ShardedCrawlEngine::AddObserver(CrawlObserver* observer) {
+  observers_.push_back(observer);
+  if (observer->wants_link_events()) link_observers_.push_back(observer);
+}
+
+void ShardedCrawlEngine::PushFrontier(PageId url, int priority) {
+  shards_[owner(url)]->frontier->Push(url, priority, next_seq_++);
+  ++global_size_;
+  global_max_size_ = std::max(global_max_size_, global_size_);
+}
+
+void ShardedCrawlEngine::PlanRound(
+    uint64_t visit_budget,
+    std::vector<std::vector<std::pair<PageId, CacheEntry*>>>* plans) {
+  const uint32_t num_shards = router_.num_shards();
+  // One virtual-pop cursor per shard: (level, offset into the level's
+  // deque). Advancing a cursor never mutates the frontier.
+  struct Cursor {
+    int level = -1;
+    size_t idx = 0;
+  };
+  std::vector<Cursor> cursor(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const ShardFrontier& f = *shards_[s]->frontier;
+    for (int level = f.num_levels() - 1; level >= 0; --level) {
+      if (!f.level_entries(level).empty()) {
+        cursor[s].level = level;
+        break;
+      }
+    }
+  }
+  const auto advance = [&](uint32_t s) {
+    const ShardFrontier& f = *shards_[s]->frontier;
+    Cursor& c = cursor[s];
+    ++c.idx;
+    while (c.level >= 0 && c.idx >= f.level_entries(c.level).size()) {
+      --c.level;
+      c.idx = 0;
+      while (c.level >= 0 && f.level_entries(c.level).empty()) --c.level;
+    }
+  };
+
+  uint64_t planned = 0;
+  while (planned < visit_budget) {
+    // The globally next entry: highest level, then lowest sequence —
+    // the same rule the commit loop's merge-pop applies.
+    int best_shard = -1;
+    int best_level = -1;
+    uint64_t best_seq = 0;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (cursor[s].level < 0) continue;
+      const ShardFrontier::Entry& e =
+          shards_[s]->frontier->level_entries(cursor[s].level)[cursor[s].idx];
+      if (best_shard < 0 || cursor[s].level > best_level ||
+          (cursor[s].level == best_level && e.seq < best_seq)) {
+        best_shard = static_cast<int>(s);
+        best_level = cursor[s].level;
+        best_seq = e.seq;
+      }
+    }
+    if (best_shard < 0) break;  // Every cursor exhausted.
+    const uint32_t s = static_cast<uint32_t>(best_shard);
+    const PageId url =
+        shards_[s]->frontier->level_entries(cursor[s].level)[cursor[s].idx]
+            .url;
+    advance(s);
+    if (crawled(url)) continue;          // Stale re-push entry.
+    if (cache_.count(url) != 0) continue;  // Already visited or planned.
+    CacheEntry* slot = &cache_[url];
+    (*plans)[s].emplace_back(url, slot);
+    ++planned;
+  }
+}
+
+Status ShardedCrawlEngine::CommitRound(uint64_t commit_budget,
+                                       bool* exhausted) {
+  *exhausted = false;
+  uint64_t committed = 0;
+  while (committed < commit_budget) {
+    if (options_.max_pages != 0 && pages_crawled_ >= options_.max_pages) {
+      return Status::OK();
+    }
+    PageId url = 0;
+    {
+      obs::ScopedStage merge_stage(profiler_, obs::Stage::kMerge);
+      int best_shard = -1;
+      int best_level = -1;
+      uint64_t best_seq = 0;
+      for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+        const auto head = shards_[s]->frontier->PeekHead();
+        if (!head.has_value()) continue;
+        if (best_shard < 0 || head->level > best_level ||
+            (head->level == best_level && head->seq < best_seq)) {
+          best_shard = static_cast<int>(s);
+          best_level = head->level;
+          best_seq = head->seq;
+        }
+      }
+      if (best_shard < 0) {
+        *exhausted = true;
+        return Status::OK();
+      }
+      ShardFrontier& f = *shards_[best_shard]->frontier;
+      url = f.PeekHead()->url;
+      f.PopHead();
+      --global_size_;
+    }
+    if (crawled(url)) continue;  // Stale duplicate from a re-push.
+    CacheEntry entry;
+    const auto it = cache_.find(url);
+    if (it != cache_.end()) {
+      entry = std::move(it->second);
+      cache_.erase(it);
+    } else {
+      // Speculation miss (a fresher push overtook the plan): visit
+      // inline, serially, on the owning shard's visitor.
+      entry.status = shards_[owner(url)]->visitor->Visit(url, &entry.visit);
+    }
+    LSWC_RETURN_IF_ERROR(CommitOne(url, std::move(entry)));
+    ++committed;
+  }
+  return Status::OK();
+}
+
+Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
+  Shard& shard = *shards_[owner(url)];
+  shard.state.MarkCrawled(local(url));
+  LSWC_RETURN_IF_ERROR(entry.status);
+  const VisitResult& visit = entry.visit;
+  const bool ok = visit.response.ok();
+
+  if (ok) {
+    obs::ScopedStage strategy_stage(profiler_, obs::Stage::kStrategy);
+    const ParentInfo parent{url, visit.judgment.relevant,
+                            shard.state.annotation(local(url))};
+    for (PageId child : visit.links) {
+      if (crawled(child)) {
+        if (link_drops_ != nullptr) link_drops_->Increment();
+        for (CrawlObserver* o : link_observers_) {
+          o->OnDrop(child, LinkDropReason::kAlreadyCrawled);
+        }
+        continue;
+      }
+      const LinkDecision d = strategy_->OnLink(parent, child);
+      if (!d.enqueue) {
+        if (link_drops_ != nullptr) link_drops_->Increment();
+        for (CrawlObserver* o : link_observers_) {
+          o->OnDrop(child, LinkDropReason::kStrategyDiscard);
+        }
+        continue;
+      }
+      obs::ScopedStage route_stage(profiler_, obs::Stage::kRoute);
+      Shard& child_shard = *shards_[owner(child)];
+      switch (child_shard.state.OfferLink(local(child), d)) {
+        case CrawlState::Offer::kIgnored:
+          if (link_drops_ != nullptr) link_drops_->Increment();
+          for (CrawlObserver* o : link_observers_) {
+            o->OnDrop(child, LinkDropReason::kNotBetter);
+          }
+          break;
+        case CrawlState::Offer::kFirst: {
+          obs::ScopedStage push_stage(profiler_, obs::Stage::kFrontierPush);
+          PushFrontier(child, d.priority);
+          if (pushes_ != nullptr) {
+            pushes_->Increment();
+            push_level_->Record(
+                static_cast<uint64_t>(std::max(d.priority, 0)));
+          }
+          for (CrawlObserver* o : link_observers_) o->OnEnqueue(child, d);
+          break;
+        }
+        case CrawlState::Offer::kBetter: {
+          obs::ScopedStage push_stage(profiler_, obs::Stage::kFrontierPush);
+          PushFrontier(child, d.priority);
+          if (repushes_ != nullptr) {
+            repushes_->Increment();
+            push_level_->Record(
+                static_cast<uint64_t>(std::max(d.priority, 0)));
+          }
+          for (CrawlObserver* o : link_observers_) o->OnRePush(child, d);
+          break;
+        }
+      }
+    }
+  }
+
+  ++pages_crawled_;
+  FetchEvent event;
+  event.url = url;
+  event.ok = ok;
+  event.truly_relevant = web_->graph().IsRelevant(url);
+  event.judged_relevant = visit.judgment.relevant;
+  event.frontier_size = global_size_;
+  event.pages_crawled = pages_crawled_;
+  event.shard = owner(url);
+  if (frontier_depth_ != nullptr) frontier_depth_->Record(event.frontier_size);
+  for (CrawlObserver* o : observers_) o->OnFetch(event);
+  if (pages_crawled_ % sample_interval_ == 0) {
+    NotifySample(/*is_final=*/false);
+  }
+  return Status::OK();
+}
+
+void ShardedCrawlEngine::NotifySample(bool is_final) {
+  obs::ScopedStage stage(profiler_, obs::Stage::kSample);
+  SampleEvent event;
+  event.pages_crawled = pages_crawled_;
+  event.frontier_size = global_size_;
+  event.is_final = is_final;
+  for (CrawlObserver* o : observers_) o->OnSample(event);
+}
+
+Status ShardedCrawlEngine::Run() {
+  const WebGraph& graph = web_->graph();
+  if (graph.seeds().empty()) {
+    MergeShardObs();
+    return Status::FailedPrecondition("graph has no seed URLs");
+  }
+  if (!resumed_) {
+    for (PageId seed : graph.seeds()) {
+      Shard& shard = *shards_[owner(seed)];
+      if (!shard.state.EnqueueSeed(local(seed), strategy_->seed_priority())) {
+        continue;
+      }
+      PushFrontier(seed, strategy_->seed_priority());
+    }
+  }
+
+  // Shard traces: one deterministic trace track per shard, derived from
+  // the parent track id, created lazily so drivers may EnableTrace on
+  // the bundle any time before Run.
+  if (options_.obs != nullptr && options_.obs->enabled &&
+      options_.obs->trace != nullptr) {
+    const int base = (options_.obs->trace->tid() + 1) * 1000;
+    for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+      if (shards_[s]->obs != nullptr && shards_[s]->obs->trace == nullptr) {
+        shards_[s]->obs->EnableTrace(base + static_cast<int>(s),
+                                     "shard-" + std::to_string(s));
+      }
+    }
+  }
+
+  pool_ = std::make_unique<ThreadPool>(router_.num_shards());
+  const uint32_t num_shards = router_.num_shards();
+  std::vector<std::vector<std::pair<PageId, CacheEntry*>>> plans(num_shards);
+  Status status = Status::OK();
+  while (true) {
+    if (options_.max_pages != 0 && pages_crawled_ >= options_.max_pages) {
+      break;
+    }
+    if (global_size_ == 0) break;
+    uint64_t budget = batch_size_;
+    if (options_.max_pages != 0) {
+      budget = std::min<uint64_t>(budget,
+                                  options_.max_pages - pages_crawled_);
+    }
+    for (auto& plan : plans) plan.clear();
+    {
+      obs::ScopedStage merge_stage(profiler_, obs::Stage::kMerge);
+      PlanRound(budget, &plans);
+    }
+    uint32_t tasks_in_round = 0;
+    for (const auto& plan : plans) {
+      if (!plan.empty()) ++tasks_in_round;
+    }
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (plans[s].empty()) continue;
+      const auto* plan = &plans[s];
+      pool_->Submit([this, s, plan, tasks_in_round] {
+        if (visit_start_hook_) visit_start_hook_(s, tasks_in_round);
+        Shard& shard = *shards_[s];
+        for (const auto& [url, slot] : *plan) {
+          slot->status = shard.visitor->Visit(url, &slot->visit);
+        }
+      });
+    }
+    pool_->Wait();
+    bool exhausted = false;
+    status = CommitRound(budget, &exhausted);
+    if (!status.ok()) break;
+    if (exhausted) break;
+  }
+  pool_.reset();
+  // Leftover speculative visits are discarded: a page the crawl never
+  // committed contributes nothing to any output.
+  cache_.clear();
+  if (status.ok() &&
+      (pages_crawled_ % sample_interval_ != 0 || pages_crawled_ == 0)) {
+    NotifySample(/*is_final=*/true);
+  }
+  MergeShardObs();
+  return status;
+}
+
+void ShardedCrawlEngine::MergeShardObs() {
+  if (obs_merged_) return;
+  obs_merged_ = true;
+  obs::RunObs* parent = options_.obs;
+  if (parent == nullptr || !parent->enabled) return;
+  for (auto& shard : shards_) {
+    if (shard->obs == nullptr) continue;
+    parent->MergeFrom(*shard->obs);
+    if (shard->obs->trace != nullptr) {
+      parent->shard_traces.push_back(std::move(shard->obs->trace));
+    }
+  }
+}
+
+std::string ShardedCrawlEngine::SchedulerKind() const {
+  const int levels = std::max(1, strategy_->num_priority_levels());
+  return levels <= 1 ? "sharded-fifo" : "sharded-bucket";
+}
+
+snapshot::CrawlFingerprint ShardedCrawlEngine::Fingerprint() const {
+  const WebGraph& graph = web_->graph();
+  snapshot::CrawlFingerprint fp;
+  fp.num_pages = graph.num_pages();
+  fp.num_hosts = graph.num_hosts();
+  fp.num_links = graph.num_links();
+  fp.generator_seed = graph.generator_seed();
+  fp.target_language = static_cast<uint8_t>(graph.target_language());
+  fp.strategy_name = strategy_->name();
+  fp.num_priority_levels =
+      static_cast<uint64_t>(strategy_->num_priority_levels());
+  fp.seed_priority = static_cast<uint64_t>(strategy_->seed_priority());
+  fp.classifier_name = classifier_name_;
+  fp.sample_interval = sample_interval_;
+  fp.parse_html = options_.parse_html;
+  fp.scheduler_kind = SchedulerKind();
+  fp.num_shards = router_.num_shards();
+  return fp;
+}
+
+Status ShardedCrawlEngine::SaveSnapshot(const std::string& path,
+                                        uint64_t* bytes_written) const {
+  obs::ScopedStage stage(profiler_, obs::Stage::kCheckpoint);
+  snapshot::SnapshotWriter writer;
+
+  snapshot::SectionWriter fingerprint;
+  Fingerprint().Save(&fingerprint);
+  writer.AddSection(snapshot::SectionId::kFingerprint, fingerprint);
+
+  snapshot::SectionWriter engine;
+  engine.U64(pages_crawled_);
+  writer.AddSection(snapshot::SectionId::kEngine, engine);
+
+  snapshot::SectionWriter shard_meta;
+  shard_meta.U64(router_.num_shards());
+  shard_meta.U64(next_seq_);
+  shard_meta.U64(global_size_);
+  shard_meta.U64(global_max_size_);
+  writer.AddSection(snapshot::SectionId::kShardMeta, shard_meta);
+
+  for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+    snapshot::SectionWriter frontier;
+    shards_[s]->frontier->Save(&frontier);
+    writer.AddSection(
+        snapshot::ShardSectionId(snapshot::kShardFrontierBase, s), frontier);
+
+    snapshot::SectionWriter state;
+    shards_[s]->state.Save(&state);
+    writer.AddSection(snapshot::ShardSectionId(snapshot::kShardStateBase, s),
+                      state);
+
+    snapshot::SectionWriter rng;
+    for (uint64_t word : shards_[s]->rng.state()) rng.U64(word);
+    writer.AddSection(snapshot::ShardSectionId(snapshot::kShardRngBase, s),
+                      rng);
+  }
+
+  snapshot::SectionWriter metrics;
+  LSWC_RETURN_IF_ERROR(metrics_.Save(&metrics));
+  writer.AddSection(snapshot::SectionId::kMetrics, metrics);
+
+  if (rng_ != nullptr) {
+    snapshot::SectionWriter rng;
+    for (uint64_t word : rng_->state()) rng.U64(word);
+    writer.AddSection(snapshot::SectionId::kRng, rng);
+  }
+
+  return writer.WriteFile(path, bytes_written);
+}
+
+Status ShardedCrawlEngine::ResumeFromSnapshot(const std::string& path) {
+  StatusOr<snapshot::SnapshotReader> file =
+      snapshot::SnapshotReader::Open(path);
+  LSWC_RETURN_IF_ERROR(file.status());
+
+  // Fingerprint first — a shard-count mismatch is rejected here, before
+  // any state is touched (num_shards is part of the fingerprint).
+  {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kFingerprint);
+    LSWC_RETURN_IF_ERROR(section.status());
+    StatusOr<snapshot::CrawlFingerprint> fp =
+        snapshot::CrawlFingerprint::Load(&*section);
+    LSWC_RETURN_IF_ERROR(fp.status());
+    LSWC_RETURN_IF_ERROR(section->Finish());
+    LSWC_RETURN_IF_ERROR(Fingerprint().Match(*fp));
+  }
+  {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kEngine);
+    LSWC_RETURN_IF_ERROR(section.status());
+    pages_crawled_ = section->U64();
+    LSWC_RETURN_IF_ERROR(section->Finish());
+  }
+  {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kShardMeta);
+    LSWC_RETURN_IF_ERROR(section.status());
+    const uint64_t saved_shards = section->U64();
+    next_seq_ = section->U64();
+    global_size_ = section->U64();
+    global_max_size_ = section->U64();
+    LSWC_RETURN_IF_ERROR(section->Finish());
+    if (saved_shards != router_.num_shards()) {
+      return Status::Corruption(
+          "shard meta claims " + std::to_string(saved_shards) +
+          " shards but the fingerprint matched " +
+          std::to_string(router_.num_shards()));
+    }
+  }
+  uint64_t restored_pending = 0;
+  for (uint32_t s = 0; s < router_.num_shards(); ++s) {
+    {
+      StatusOr<snapshot::SectionReader> section = file->Section(
+          snapshot::ShardSectionId(snapshot::kShardFrontierBase, s));
+      LSWC_RETURN_IF_ERROR(section.status());
+      LSWC_RETURN_IF_ERROR(shards_[s]->frontier->Restore(&*section));
+      LSWC_RETURN_IF_ERROR(section->Finish());
+      restored_pending += shards_[s]->frontier->size();
+    }
+    {
+      StatusOr<snapshot::SectionReader> section = file->Section(
+          snapshot::ShardSectionId(snapshot::kShardStateBase, s));
+      LSWC_RETURN_IF_ERROR(section.status());
+      LSWC_RETURN_IF_ERROR(shards_[s]->state.Restore(&*section));
+      LSWC_RETURN_IF_ERROR(section->Finish());
+    }
+    {
+      StatusOr<snapshot::SectionReader> section = file->Section(
+          snapshot::ShardSectionId(snapshot::kShardRngBase, s));
+      LSWC_RETURN_IF_ERROR(section.status());
+      std::array<uint64_t, 4> state;
+      for (uint64_t& word : state) word = section->U64();
+      LSWC_RETURN_IF_ERROR(section->Finish());
+      shards_[s]->rng.set_state(state);
+    }
+  }
+  if (restored_pending != global_size_) {
+    return Status::Corruption(
+        "shard frontiers hold " + std::to_string(restored_pending) +
+        " pending URLs but shard meta recorded " +
+        std::to_string(global_size_));
+  }
+  {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kMetrics);
+    LSWC_RETURN_IF_ERROR(section.status());
+    LSWC_RETURN_IF_ERROR(metrics_.Restore(&*section));
+    LSWC_RETURN_IF_ERROR(section->Finish());
+  }
+  if (rng_ != nullptr && file->HasSection(snapshot::SectionId::kRng)) {
+    StatusOr<snapshot::SectionReader> section =
+        file->Section(snapshot::SectionId::kRng);
+    LSWC_RETURN_IF_ERROR(section.status());
+    std::array<uint64_t, 4> state;
+    for (uint64_t& word : state) word = section->U64();
+    LSWC_RETURN_IF_ERROR(section->Finish());
+    rng_->set_state(state);
+  }
+  resumed_ = true;
+  return Status::OK();
+}
+
+}  // namespace lswc

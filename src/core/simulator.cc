@@ -6,6 +6,7 @@
 #include "core/crawl_engine.h"
 #include "core/frontier_factory.h"
 #include "core/obs_observers.h"
+#include "core/sharded_engine.h"
 #include "obs/run_obs.h"
 
 namespace lswc {
@@ -19,6 +20,7 @@ Simulator::Simulator(VirtualWebSpace* web, Classifier* classifier,
       options_(options) {}
 
 StatusOr<SimulationResult> Simulator::Run() {
+  if (options_.shards >= 1) return RunSharded();
   FrontierOptions frontier_options;
   frontier_options.capacity = options_.frontier_capacity;
   frontier_options.memory_budget = options_.frontier_memory_budget;
@@ -94,6 +96,82 @@ StatusOr<SimulationResult> Simulator::Run() {
   if (selection->bounded != nullptr) {
     result.summary.urls_dropped = selection->bounded->dropped_count();
   }
+  result.summary.final_harvest_pct = metrics.harvest_pct();
+  result.summary.final_coverage_pct = metrics.coverage_pct();
+  result.summary.classifier_confusion = metrics.confusion();
+  return result;
+}
+
+StatusOr<SimulationResult> Simulator::RunSharded() {
+  FrontierOptions frontier_options;
+  frontier_options.capacity = options_.frontier_capacity;
+  frontier_options.memory_budget = options_.frontier_memory_budget;
+  frontier_options.spill_dir = options_.spill_dir;
+
+  obs::RunObs* obs =
+      options_.obs != nullptr && options_.obs->enabled ? options_.obs
+                                                       : nullptr;
+  ShardedEngineOptions engine_options;
+  engine_options.num_shards = options_.shards;
+  engine_options.batch_size = options_.shard_batch;
+  engine_options.max_pages = options_.max_pages;
+  engine_options.sample_interval = options_.sample_interval;
+  engine_options.parse_html = options_.parse_html;
+  engine_options.obs = obs;
+  auto created = ShardedCrawlEngine::Create(web_, classifier_, strategy_,
+                                            frontier_options, engine_options);
+  if (!created.ok()) return created.status();
+  ShardedCrawlEngine& engine = **created;
+  if (options_.rng != nullptr) engine.AttachRng(options_.rng);
+  std::unique_ptr<ProgressObserver> progress;
+  std::unique_ptr<TraceEventObserver> trace_events;
+  if (obs != nullptr) {
+    if (options_.progress_every != 0) {
+      progress = std::make_unique<ProgressObserver>(
+          options_.progress_every,
+          options_.snapshot_label.empty() ? "crawl" : options_.snapshot_label,
+          &obs->profiler);
+      engine.AddObserver(progress.get());
+    }
+    if (obs->trace != nullptr) {
+      trace_events = std::make_unique<TraceEventObserver>(obs->trace.get());
+      engine.AddObserver(trace_events.get());
+    }
+  }
+  for (CrawlObserver* observer : options_.observers) {
+    engine.AddObserver(observer);
+  }
+  std::unique_ptr<CheckpointObserver> checkpoint;
+  if (options_.checkpoint_every_pages != 0) {
+    if (options_.snapshot_dir.empty()) {
+      return Status::InvalidArgument(
+          "checkpoint_every_pages requires snapshot_dir");
+    }
+    const std::string label = SanitizeSnapshotLabel(
+        options_.snapshot_label.empty() ? "crawl" : options_.snapshot_label);
+    checkpoint = std::make_unique<CheckpointObserver>(
+        &engine, options_.checkpoint_every_pages,
+        options_.snapshot_dir + "/" + label + ".snap");
+    checkpoint->AttachObs(obs);
+    engine.AddObserver(checkpoint.get());
+  }
+  if (!options_.resume_path.empty()) {
+    LSWC_RETURN_IF_ERROR(engine.ResumeFromSnapshot(options_.resume_path));
+  }
+  LSWC_RETURN_IF_ERROR(engine.Run());
+  if (checkpoint != nullptr) {
+    LSWC_RETURN_IF_ERROR(checkpoint->status());
+  }
+
+  const MetricsRecorder& metrics = engine.metrics();
+  SimulationResult result{
+      SimulationSummary{},
+      metrics.series(),
+  };
+  result.summary.pages_crawled = metrics.pages_crawled();
+  result.summary.ok_pages_crawled = metrics.confusion().total();
+  result.summary.relevant_crawled = metrics.relevant_crawled();
+  result.summary.max_queue_size = engine.max_frontier_size();
   result.summary.final_harvest_pct = metrics.harvest_pct();
   result.summary.final_coverage_pct = metrics.coverage_pct();
   result.summary.classifier_confusion = metrics.confusion();

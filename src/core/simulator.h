@@ -40,6 +40,16 @@ struct SimulationOptions {
   /// order. Mutually exclusive with frontier_capacity.
   size_t frontier_memory_budget = 0;
   std::string spill_dir = "/tmp";
+  /// Run the crawl on the sharded engine with this many host-partitioned
+  /// shards (0 = the classic serial CrawlEngine). Any value >= 1 selects
+  /// ShardedCrawlEngine; its output is bit-identical for every shard
+  /// count, so `shards = 1` is the reference the parallel runs must
+  /// match. Incompatible with frontier_capacity / frontier_memory_budget
+  /// (the cross-shard merge needs the exact global frontier contents).
+  uint32_t shards = 0;
+  /// Speculative visits planned per round in the sharded engine
+  /// (0 = default 256). Ignored when `shards` is 0.
+  uint32_t shard_batch = 0;
   /// Additional crawl observers notified from the engine's event bus
   /// (not owned; must outlive the run). The MetricsRecorder is always
   /// attached first, so these may read it during their own callbacks.
@@ -110,6 +120,10 @@ class Simulator {
   StatusOr<SimulationResult> Run();
 
  private:
+  /// The `options_.shards >= 1` path: same wiring as Run, on the
+  /// sharded engine.
+  StatusOr<SimulationResult> RunSharded();
+
   VirtualWebSpace* web_;
   Classifier* classifier_;
   const CrawlStrategy* strategy_;

@@ -39,6 +39,13 @@ void RunObs::MergeFrom(const RunObs& other) {
   profiler.Merge(other.profiler);
 }
 
+void RunObs::CollectTraceSinks(std::vector<const TraceSink*>* out) const {
+  if (trace != nullptr) out->push_back(trace.get());
+  for (const auto& sink : shard_traces) {
+    if (sink != nullptr) out->push_back(sink.get());
+  }
+}
+
 std::string RunObs::StatsJson(bool include_times) const {
   std::string out = "{\n";
   out += "  \"stages\": " + profiler.ToJson(include_times) + ",\n";

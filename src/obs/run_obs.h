@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/metrics_registry.h"
 #include "obs/stage_profiler.h"
@@ -35,6 +36,9 @@ struct RunObs {
   StageProfiler profiler;
   /// Created by EnableTrace; null when this run is not traced.
   std::unique_ptr<TraceSink> trace;
+  /// Per-shard trace sinks adopted from a sharded run's worker bundles
+  /// (one trace track per shard). Empty for serial runs.
+  std::vector<std::unique_ptr<TraceSink>> shard_traces;
 
   /// Creates the run's trace sink (track id `tid`, labeled
   /// `thread_name`) and attaches it to the profiler. No-op when the
@@ -46,6 +50,10 @@ struct RunObs {
   /// Folds another run's registry and profiler into this one (trace
   /// sinks are written side by side, not merged). Order-independent.
   void MergeFrom(const RunObs& other);
+
+  /// Appends every sink this bundle owns — the main trace first, then
+  /// the per-shard tracks — for TraceSink::WriteFile.
+  void CollectTraceSinks(std::vector<const TraceSink*>* out) const;
 
   /// The combined stats document:
   /// `{"stages": {...}, "counters": {...}, "gauges": {...},

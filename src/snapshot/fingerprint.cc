@@ -15,6 +15,7 @@ void CrawlFingerprint::Save(SectionWriter* w) const {
   w->U64(sample_interval);
   w->U8(parse_html ? 1 : 0);
   w->Str(scheduler_kind);
+  w->U64(num_shards);
 }
 
 StatusOr<CrawlFingerprint> CrawlFingerprint::Load(SectionReader* r) {
@@ -31,6 +32,7 @@ StatusOr<CrawlFingerprint> CrawlFingerprint::Load(SectionReader* r) {
   fp.sample_interval = r->U64();
   fp.parse_html = r->U8() != 0;
   fp.scheduler_kind = r->Str();
+  fp.num_shards = r->U64();
   LSWC_RETURN_IF_ERROR(r->status());
   return fp;
 }
@@ -87,6 +89,9 @@ Status CrawlFingerprint::Match(const CrawlFingerprint& other) const {
   }
   if (scheduler_kind != other.scheduler_kind) {
     return Mismatch("scheduler kind", other.scheduler_kind, scheduler_kind);
+  }
+  if (num_shards != other.num_shards) {
+    return Mismatch("num_shards", u(other.num_shards), u(num_shards));
   }
   return Status::OK();
 }

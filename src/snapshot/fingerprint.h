@@ -36,8 +36,16 @@ struct CrawlFingerprint {
   bool parse_html = false;
 
   // Which scheduler kind produced the kFrontier section ("fifo",
-  // "bucket", "bounded", "spilling", "politeness", ...).
+  // "bucket", "bounded", "spilling", "politeness", ...; the sharded
+  // engine prefixes its base kind, e.g. "sharded-bucket").
   std::string scheduler_kind;
+
+  // Shard count the per-shard sections were partitioned under. 0 = the
+  // serial engine's single-frontier layout. Resuming under a different
+  // shard count is rejected (frontier/state sections are per shard and
+  // silent re-partitioning would change nothing observable only by
+  // accident — see docs/ARCHITECTURE.md "Sharded crawl pipeline").
+  uint64_t num_shards = 0;
 
   void Save(SectionWriter* w) const;
   static StatusOr<CrawlFingerprint> Load(SectionReader* r);

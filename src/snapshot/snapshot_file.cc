@@ -143,9 +143,12 @@ StatusOr<SnapshotReader> SnapshotReader::Open(const std::string& path) {
     bool known = false;
     for (SectionId sid : {SectionId::kFingerprint, SectionId::kEngine,
                           SectionId::kCrawlState, SectionId::kFrontier,
-                          SectionId::kMetrics, SectionId::kRng}) {
+                          SectionId::kMetrics, SectionId::kRng,
+                          SectionId::kShardMeta}) {
       known |= static_cast<uint32_t>(sid) == id;
     }
+    // Per-shard sections live in reserved ranges (see snapshot_file.h).
+    known |= id >= kShardFrontierBase && id < kShardRngBase + kMaxShards;
     if (!known) {
       return Status::Corruption("unknown section id " + std::to_string(id) +
                                 " in " + path);

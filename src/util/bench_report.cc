@@ -55,6 +55,7 @@ std::string BenchReport::ToJson(double wall_time_sec) const {
                             : "  \"schema_version\": 2,\n";
   json += StringPrintf("  \"name\": \"%s\",\n", JsonEscape(name_).c_str());
   json += StringPrintf("  \"jobs\": %u,\n", jobs_);
+  if (shards_ != 0) json += StringPrintf("  \"shards\": %u,\n", shards_);
   json += StringPrintf("  \"pages\": %llu,\n",
                        static_cast<unsigned long long>(pages_));
   json += StringPrintf("  \"seed\": %llu,\n",

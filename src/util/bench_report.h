@@ -49,6 +49,10 @@ class BenchReport {
   void set_jobs(unsigned jobs) { jobs_ = jobs; }
   void set_pages(uint64_t pages) { pages_ = pages; }
   void set_seed(uint64_t seed) { seed_ = seed; }
+  /// Worker shards each simulation ran with (0 = serial engine). The
+  /// field is emitted only when nonzero, so baseline reports are
+  /// byte-unchanged.
+  void set_shards(unsigned shards) { shards_ = shards; }
 
   void AddRun(const BenchRunEntry& run) { runs_.push_back(run); }
   void AddSeries(const BenchSeriesEntry& series) {
@@ -75,6 +79,7 @@ class BenchReport {
  private:
   std::string name_;
   unsigned jobs_ = 1;
+  unsigned shards_ = 0;
   uint64_t pages_ = 0;
   uint64_t seed_ = 0;
   std::vector<BenchRunEntry> runs_;

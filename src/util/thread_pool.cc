@@ -36,6 +36,10 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
 }
 
 unsigned ThreadPool::DefaultThreadCount() {
@@ -52,9 +56,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (thrown && !first_exception_) first_exception_ = thrown;
       if (--pending_ == 0) idle_cv_.notify_all();
     }
   }

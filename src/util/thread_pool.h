@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,12 +32,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw (the library is no-throw;
-  /// fallible work reports through captured Status slots).
+  /// Enqueues a task. Fallible work should report through captured
+  /// Status slots; if a task does throw, the first exception is captured
+  /// and rethrown from the next Wait() call instead of terminating the
+  /// worker thread.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has finished. Safe to call
-  /// repeatedly; new tasks may be submitted afterwards.
+  /// Blocks until every task submitted so far has finished. If any task
+  /// threw since the last Wait(), rethrows the first captured exception
+  /// (later ones are dropped); the pool stays usable afterwards. Safe to
+  /// call repeatedly; new tasks may be submitted afterwards.
   void Wait();
 
   unsigned num_threads() const {
@@ -54,6 +59,7 @@ class ThreadPool {
   std::condition_variable work_cv_;  // Signals workers: task or shutdown.
   std::condition_variable idle_cv_;  // Signals Wait(): pending_ hit zero.
   std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_exception_;  // First task throw since last Wait().
   uint64_t pending_ = 0;  // Queued + currently running tasks.
   bool shutdown_ = false;
   std::vector<std::thread> threads_;

@@ -55,7 +55,57 @@ TEST(FrontierFactoryTest, CapacityAndMemoryBudgetAreExclusive) {
   options.memory_budget = 1024;
   auto s = MakeFrontier(strategy, options);
   EXPECT_FALSE(s.ok());
-  EXPECT_NE(s.status().ToString().find("exclusive"), std::string::npos);
+  // The error names both conflicting options, with their values, so a
+  // misconfigured experiment is diagnosable from the message alone.
+  const std::string message = s.status().ToString();
+  EXPECT_NE(message.find("exclusive"), std::string::npos) << message;
+  EXPECT_NE(message.find("frontier_capacity (=128)"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("frontier_memory_budget (=1024)"), std::string::npos)
+      << message;
+}
+
+TEST(FrontierFactoryTest, ShardFrontiersCarryTheStrategyLevels) {
+  LimitedDistanceStrategy strategy(3, /*prioritized=*/true);  // 4 levels.
+  auto frontiers = MakeShardFrontiers(strategy, FrontierOptions{}, 3);
+  ASSERT_TRUE(frontiers.ok()) << frontiers.status();
+  ASSERT_EQ(frontiers->size(), 3u);
+  for (const auto& frontier : *frontiers) {
+    ASSERT_NE(frontier, nullptr);
+    EXPECT_EQ(frontier->num_levels(), 4);
+    EXPECT_EQ(frontier->size(), 0u);
+  }
+}
+
+TEST(FrontierFactoryTest, ShardFrontiersNeedAtLeastOneShard) {
+  SoftFocusedStrategy strategy;
+  auto frontiers = MakeShardFrontiers(strategy, FrontierOptions{}, 0);
+  EXPECT_FALSE(frontiers.ok());
+  EXPECT_EQ(frontiers.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrontierFactoryTest, ShardFrontiersRejectCapacityByName) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options;
+  options.capacity = 64;
+  auto frontiers = MakeShardFrontiers(strategy, options, 2);
+  ASSERT_FALSE(frontiers.ok());
+  const std::string message = frontiers.status().ToString();
+  EXPECT_NE(message.find("frontier_capacity"), std::string::npos) << message;
+  EXPECT_NE(message.find("sharded"), std::string::npos) << message;
+}
+
+TEST(FrontierFactoryTest, ShardFrontiersRejectMemoryBudgetByName) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options;
+  options.memory_budget = 1024;
+  options.spill_dir = ::testing::TempDir();
+  auto frontiers = MakeShardFrontiers(strategy, options, 2);
+  ASSERT_FALSE(frontiers.ok());
+  const std::string message = frontiers.status().ToString();
+  EXPECT_NE(message.find("frontier_memory_budget"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("sharded"), std::string::npos) << message;
 }
 
 TEST(FrontierFactoryTest, BadSpillDirPropagatesError) {

@@ -282,6 +282,71 @@ TEST(SnapshotResumeTest, FingerprintRejectsMismatchedConfig) {
   }
 }
 
+TEST(SnapshotResumeTest, ShardedSplitRunIsBitIdentical) {
+  // The sharded engine's checkpoint saves per-shard frontier / state /
+  // RNG sections; a resumed sharded run must match the straight sharded
+  // run exactly — which the characterization tests in turn pin to the
+  // serial engine's numbers.
+  const WebGraph graph = MakeGraph();
+  const SoftFocusedStrategy soft;
+  SimulationOptions options;
+  options.shards = 3;
+  ExpectSplitRunMatches(graph, soft, options, "sharded");
+}
+
+TEST(SnapshotResumeTest, ShardCountIsPartOfTheFingerprint) {
+  // A sharded snapshot resumes only under the same shard count: the
+  // per-shard section layout (and the local-id mapping inside each
+  // CrawlState slice) is meaningless under any other partition.
+  const WebGraph graph = MakeGraph();
+  const std::string dir = SnapshotDirFor("shard_count");
+  const SoftFocusedStrategy soft;
+  SimulationOptions half;
+  half.shards = 2;
+  half.sample_interval = 50;
+  half.max_pages = 2000;
+  half.checkpoint_every_pages = 250;
+  half.snapshot_dir = dir;
+  half.snapshot_label = "shard_count";
+  MetaTagClassifier classifier(Language::kThai);
+  auto run = RunSimulation(graph, &classifier, soft, RenderMode::kNone, half);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const std::string snap = dir + "/shard_count.snap";
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  SimulationOptions matching;
+  matching.shards = 2;
+  matching.sample_interval = 50;
+  {
+    // Same shard count: accepted.
+    MetaTagClassifier resume_classifier(Language::kThai);
+    const Status status =
+        TryResume(graph, soft, &resume_classifier, matching, snap);
+    EXPECT_TRUE(status.ok()) << status;
+  }
+  {
+    // Different shard count: rejected, naming the mismatched field.
+    SimulationOptions mismatched = matching;
+    mismatched.shards = 3;
+    MetaTagClassifier resume_classifier(Language::kThai);
+    const Status status =
+        TryResume(graph, soft, &resume_classifier, mismatched, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+    EXPECT_NE(status.message().find("num_shards"), std::string::npos)
+        << status;
+  }
+  {
+    // A sharded snapshot cannot feed the serial engine either (their
+    // scheduler kinds and section layouts differ).
+    SimulationOptions serial;
+    serial.sample_interval = 50;
+    MetaTagClassifier resume_classifier(Language::kThai);
+    const Status status =
+        TryResume(graph, soft, &resume_classifier, serial, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  }
+}
+
 TEST(SnapshotResumeTest, ResumeFromMissingFileFails) {
   const WebGraph graph = MakeGraph(2000);
   const SoftFocusedStrategy soft;

@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace lswc {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+// Regression: a throwing task used to terminate the process (the
+// exception escaped the worker thread). The first exception must now
+// surface from Wait() in the submitting thread.
+TEST(ThreadPoolTest, WorkerExceptionPropagatesToWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("shard worker failed"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should have rethrown the worker exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "shard worker failed");
+  }
+}
+
+// Only the first exception is kept; later ones are dropped, and every
+// task still runs to completion before Wait() returns.
+TEST(ThreadPoolTest, FirstExceptionWinsAndAllTasksStillRun) {
+  ThreadPool pool(1);  // Single worker forces submission order.
+  std::atomic<int> count{0};
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::runtime_error("second"); });
+  pool.Submit([&count] { ++count; });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "first");
+  }
+  EXPECT_EQ(count.load(), 1);
+}
+
+// Wait() clears the captured exception: the pool remains usable and a
+// later Wait() with healthy tasks succeeds.
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&count] { ++count; });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(count.load(), 10);
+}
+
+// The destructor drains pending work without rethrowing — a stored
+// exception must never escape ~ThreadPool().
+TEST(ThreadPoolTest, DestructorSwallowsUnobservedException) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw std::runtime_error("never observed"); });
+    pool.Submit([&count] { ++count; });
+    // No Wait(): destruction drains the queue and discards the error.
+  }
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace lswc

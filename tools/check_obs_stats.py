@@ -5,8 +5,9 @@ block of a schema-v2 BENCH_*.json when given --from-bench).
 Checks:
 
   * the four sections exist: stages, counters, gauges, histograms;
-  * the stage set is exactly the profiler's seven crawl phases, each
-    with a non-negative integer call count;
+  * the stage set is exactly the profiler's nine crawl phases, each
+    with a non-negative integer call count (route/merge stay zero in
+    serial runs);
   * counters are non-negative integers; gauges carry value <= max;
   * every histogram's count equals the sum of its bucket counts, and
     min <= max when non-empty;
@@ -22,7 +23,8 @@ import json
 import sys
 
 EXPECTED_STAGES = ["fetch", "classify", "extract", "strategy",
-                   "frontier-push", "sample", "checkpoint"]
+                   "frontier-push", "sample", "checkpoint", "route",
+                   "merge"]
 
 
 def is_count(value):

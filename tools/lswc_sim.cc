@@ -52,6 +52,10 @@ struct Args {
   bool parse_html = false;
   uint64_t max_pages = 0;
   size_t frontier_capacity = 0;
+  /// Host-partitioned worker shards (0 = the serial engine). Output is
+  /// bit-identical for every value; N > 1 parallelizes the visit work.
+  uint32_t shards = 0;
+  uint32_t shard_batch = 0;  // Visits planned per round (0 = default).
   std::string out_path;
   bool politeness = false;
   int connections = 16;
@@ -85,6 +89,10 @@ int Usage(const char* argv0) {
       "  --parse-html                 extract links from rendered HTML\n"
       "  --max-pages=N                crawl budget (default: exhaust)\n"
       "  --frontier-capacity=N        bounded URL queue (default: unlimited)\n"
+      "  --shards=N                   run the host-sharded engine with N\n"
+      "                               worker shards (0 = serial engine;\n"
+      "                               output is bit-identical either way)\n"
+      "  --shard-batch=N              speculative visits per sharded round\n"
       "  --politeness=CONNS,INTERVAL  timed simulation (e.g. 16,1.0)\n"
       "  --jobs=N                     worker threads for strategy lists\n"
       "  --out=FILE                   write the metric series as .dat\n"
@@ -139,6 +147,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const auto n = ParseUint64(*v);
       if (!n) return false;
       args->frontier_capacity = *n;
+    } else if (auto v = value("--shards=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n > 256) return false;
+      args->shards = static_cast<uint32_t>(*n);
+    } else if (auto v = value("--shard-batch=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n == 0) return false;
+      args->shard_batch = static_cast<uint32_t>(*n);
     } else if (auto v = value("--politeness=")) {
       args->politeness = true;
       const auto parts = Split(*v, ',');
@@ -181,6 +197,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->checkpoint_every != 0 && args->snapshot_dir.empty()) {
     std::fprintf(stderr, "--checkpoint-every requires --snapshot-dir\n");
+    return false;
+  }
+  if (args->shards != 0 && args->politeness) {
+    std::fprintf(stderr,
+                 "--shards applies to the timeless simulator only; the "
+                 "politeness simulator has its own per-host scheduler\n");
     return false;
   }
   return true;
@@ -367,6 +389,8 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   options.max_pages = args.max_pages;
   options.parse_html = args.parse_html;
   options.frontier_capacity = args.frontier_capacity;
+  options.shards = args.shards;
+  options.shard_batch = args.shard_batch;
   options.checkpoint_every_pages = args.checkpoint_every;
   options.snapshot_dir = args.snapshot_dir;
   options.snapshot_label = label;
@@ -499,9 +523,7 @@ int Run(const Args& args) {
   if (!args.trace_out.empty()) {
     std::vector<const obs::TraceSink*> sinks;
     for (const RunResult& r : results) {
-      if (r.obs != nullptr && r.obs->trace != nullptr) {
-        sinks.push_back(r.obs->trace.get());
-      }
+      if (r.obs != nullptr) r.obs->CollectTraceSinks(&sinks);
     }
     if (sinks.empty()) {
       std::fprintf(stderr, "--trace-out ignored (obs disabled)\n");
