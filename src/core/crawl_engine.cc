@@ -89,6 +89,9 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
     obs::ScopedStage strategy_stage(profiler_, obs::Stage::kStrategy);
     const ParentInfo parent{url, visit->judgment.relevant,
                             state_.annotation(url)};
+    PushContext context;
+    context.parent_relevant = visit->judgment.relevant;
+    context.parent_confidence = visit->judgment.confidence;
     for (PageId child : visit->links) {
       if (state_.crawled(child)) {
         if (link_drops_ != nullptr) link_drops_->Increment();
@@ -114,7 +117,8 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
           break;
         case CrawlState::Offer::kFirst: {
           obs::ScopedStage push_stage(profiler_, obs::Stage::kFrontierPush);
-          scheduler_->Push(child, d.priority);
+          context.annotation = d.annotation;
+          scheduler_->PushScored(child, d.priority, context);
           if (pushes_ != nullptr) {
             pushes_->Increment();
             push_level_->Record(
@@ -125,7 +129,8 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
         }
         case CrawlState::Offer::kBetter: {
           obs::ScopedStage push_stage(profiler_, obs::Stage::kFrontierPush);
-          scheduler_->Push(child, d.priority);
+          context.annotation = d.annotation;
+          scheduler_->PushScored(child, d.priority, context);
           if (repushes_ != nullptr) {
             repushes_->Increment();
             push_level_->Record(
@@ -179,6 +184,8 @@ snapshot::CrawlFingerprint CrawlEngine::Fingerprint() const {
   fp.sample_interval = sample_interval_;
   fp.parse_html = options_.parse_html;
   fp.scheduler_kind = scheduler_->SnapshotKind();
+  fp.batch_k = options_.batch_k;
+  fp.scorer_spec = options_.scorer_spec;
   return fp;
 }
 

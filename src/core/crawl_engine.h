@@ -34,6 +34,15 @@ class FrontierScheduler {
   /// Enqueues `url` at `priority` (higher pops first).
   virtual void Push(PageId url, int priority) = 0;
 
+  /// Enqueues with link context for score-based frontiers. Pop-order
+  /// schedulers ignore the context (the priority already encodes the
+  /// strategy's verdict), so the default forwards to Push.
+  virtual void PushScored(PageId url, int priority,
+                          const PushContext& context) {
+    (void)context;
+    Push(url, priority);
+  }
+
   /// Returns the next URL to fetch, or nullopt when the frontier is
   /// exhausted. `state` lets a time-aware scheduler skip already-crawled
   /// (stale re-push) entries without occupying fetch slots; the engine
@@ -72,6 +81,10 @@ class FrontierPopScheduler final : public FrontierScheduler {
   void Push(PageId url, int priority) override {
     frontier_->Push(url, priority);
   }
+  void PushScored(PageId url, int priority,
+                  const PushContext& context) override {
+    frontier_->PushScored(url, priority, context);
+  }
   std::optional<PageId> Next(const CrawlState& state) override {
     (void)state;
     return frontier_->Pop();
@@ -105,6 +118,11 @@ struct CrawlEngineOptions {
   /// Per-run observability bundle (not owned; may be null). A disabled
   /// bundle is treated exactly like null — no probes fire.
   obs::RunObs* obs = nullptr;
+  /// Batch-regime identity, recorded in the snapshot fingerprint (0 /
+  /// empty outside the batch regime). The engine does not act on these;
+  /// the BatchFrontier does.
+  uint64_t batch_k = 0;
+  std::string scorer_spec;
 };
 
 /// The crawl loop of the paper's Fig 2, extracted so that every driver

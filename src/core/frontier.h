@@ -14,6 +14,16 @@
 
 namespace lswc {
 
+/// Link context captured with a push, for score-based frontiers: what
+/// the crawl knew about the referrer when it enqueued the URL. The
+/// defaults describe a seed URL (trusted, full confidence).
+struct PushContext {
+  bool parent_relevant = true;
+  double parent_confidence = 1.0;
+  /// Strategy annotation of the pushed URL (see LinkDecision).
+  uint8_t annotation = 0;
+};
+
 /// The URL queue of the paper's Fig 2. Stores pending URLs with an
 /// integer priority level; Pop returns the highest level, FIFO within a
 /// level (the order the paper's strategies assume). The queue tracks its
@@ -29,6 +39,16 @@ class Frontier {
   /// Enqueues `url` at `priority` (higher pops first). Priorities are
   /// clamped to the frontier's level range.
   virtual void Push(PageId url, int priority) = 0;
+
+  /// Enqueues with link context. The paper's pop-order frontiers ignore
+  /// the context (priority already encodes the strategy's verdict), so
+  /// the default forwards to Push; score-based frontiers override to
+  /// keep the context for rescoring.
+  virtual void PushScored(PageId url, int priority,
+                          const PushContext& context) {
+    (void)context;
+    Push(url, priority);
+  }
 
   /// Dequeues the next URL, or nullopt when empty.
   virtual std::optional<PageId> Pop() = 0;

@@ -2,20 +2,95 @@
 
 #include <algorithm>
 
+#include "core/scorer.h"
+
 namespace lswc {
+
+namespace {
+
+bool IsBatchKind(const FrontierOptions& options) {
+  return options.kind == "batch";
+}
+
+/// Cross-field validation shared by every construction path; each error
+/// names the exact conflicting option.
+Status ValidateOptions(const FrontierOptions& options) {
+  if (!options.kind.empty() && options.kind != "pop" &&
+      options.kind != "batch") {
+    return Status::InvalidArgument("unknown frontier kind '" + options.kind +
+                                   "'; expected 'pop' or 'batch'");
+  }
+  if (!IsBatchKind(options)) {
+    if (options.batch_k > 0) {
+      return Status::InvalidArgument(
+          "batch_k (=" + std::to_string(options.batch_k) +
+          ") requires the batch frontier (frontier kind 'batch'), not '" +
+          (options.kind.empty() ? "pop" : options.kind) + "'");
+    }
+    if (!options.scorers.empty()) {
+      return Status::InvalidArgument(
+          "scorers ('" + options.scorers +
+          "') require the batch frontier (frontier kind 'batch'), not '" +
+          (options.kind.empty() ? "pop" : options.kind) + "'");
+    }
+    if (options.capacity > 0 && options.memory_budget > 0) {
+      return Status::InvalidArgument(
+          "frontier_capacity (=" + std::to_string(options.capacity) +
+          ") and frontier_memory_budget (=" +
+          std::to_string(options.memory_budget) +
+          ") are mutually exclusive: a frontier is either capacity-bounded "
+          "or disk-spilling, not both");
+    }
+    return Status::OK();
+  }
+  if (options.capacity > 0) {
+    return Status::InvalidArgument(
+        "frontier_capacity (=" + std::to_string(options.capacity) +
+        ") is incompatible with the batch frontier: batch selection "
+        "rescores the complete pending set and never sheds URLs");
+  }
+  if (options.memory_budget > 0) {
+    return Status::InvalidArgument(
+        "frontier_memory_budget (=" + std::to_string(options.memory_budget) +
+        ") is incompatible with the batch frontier: the pending set must "
+        "stay in memory for rescoring");
+  }
+  if (options.graph == nullptr) {
+    return Status::InvalidArgument(
+        "the batch frontier needs a web graph for its scorers");
+  }
+  return Status::OK();
+}
+
+/// Builds the (shared) composite scorer of a batch frontier.
+StatusOr<std::shared_ptr<const Scorer>> MakeBatchScorer(
+    const FrontierOptions& options) {
+  ScorerEnv env;
+  env.graph = options.graph;
+  env.seed = options.scorer_seed;
+  const std::string& spec =
+      options.scorers.empty() ? kDefaultScorerSpec : options.scorers;
+  auto scorer = MakeCompositeScorer(spec, env);
+  if (!scorer.ok()) return scorer.status();
+  return std::shared_ptr<const Scorer>(std::move(scorer).value());
+}
+
+}  // namespace
 
 StatusOr<FrontierSelection> MakeFrontier(const CrawlStrategy& strategy,
                                          const FrontierOptions& options) {
-  if (options.capacity > 0 && options.memory_budget > 0) {
-    return Status::InvalidArgument(
-        "frontier_capacity (=" + std::to_string(options.capacity) +
-        ") and frontier_memory_budget (=" +
-        std::to_string(options.memory_budget) +
-        ") are mutually exclusive: a frontier is either capacity-bounded "
-        "or disk-spilling, not both");
+  LSWC_RETURN_IF_ERROR(ValidateOptions(options));
+  FrontierSelection selection;
+  if (IsBatchKind(options)) {
+    auto scorer = MakeBatchScorer(options);
+    if (!scorer.ok()) return scorer.status();
+    auto b = std::make_unique<BatchFrontier>(options.batch_k,
+                                             std::move(scorer).value());
+    selection.batch = b.get();
+    selection.frontier = std::move(b);
+    return selection;
   }
   const int levels = std::max(1, strategy.num_priority_levels());
-  FrontierSelection selection;
   if (options.memory_budget > 0) {
     SpillingFrontier::Options spill;
     spill.memory_budget = options.memory_budget;
@@ -37,6 +112,29 @@ StatusOr<FrontierSelection> MakeFrontier(const CrawlStrategy& strategy,
   return selection;
 }
 
+StatusOr<std::vector<std::unique_ptr<BatchFrontier>>> MakeBatchFrontiers(
+    const FrontierOptions& options, uint32_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument(
+        "MakeBatchFrontiers needs at least one shard");
+  }
+  if (!IsBatchKind(options)) {
+    return Status::InvalidArgument(
+        "MakeBatchFrontiers requires frontier kind 'batch', got '" +
+        options.kind + "'");
+  }
+  LSWC_RETURN_IF_ERROR(ValidateOptions(options));
+  auto scorer = MakeBatchScorer(options);
+  if (!scorer.ok()) return scorer.status();
+  std::vector<std::unique_ptr<BatchFrontier>> shards;
+  shards.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards.push_back(
+        std::make_unique<BatchFrontier>(options.batch_k, scorer.value()));
+  }
+  return shards;
+}
+
 StatusOr<std::vector<std::unique_ptr<ShardFrontier>>> MakeShardFrontiers(
     const CrawlStrategy& strategy, const FrontierOptions& options,
     uint32_t num_shards) {
@@ -44,6 +142,12 @@ StatusOr<std::vector<std::unique_ptr<ShardFrontier>>> MakeShardFrontiers(
     return Status::InvalidArgument(
         "MakeShardFrontiers needs at least one shard");
   }
+  if (IsBatchKind(options)) {
+    return Status::InvalidArgument(
+        "frontier kind 'batch' has its own per-shard construction path "
+        "(MakeBatchFrontiers); MakeShardFrontiers builds pop-order slices");
+  }
+  LSWC_RETURN_IF_ERROR(ValidateOptions(options));
   if (options.capacity > 0) {
     return Status::InvalidArgument(
         "frontier_capacity (=" + std::to_string(options.capacity) +

@@ -77,12 +77,36 @@ StatusOr<std::unique_ptr<ShardedCrawlEngine>> ShardedCrawlEngine::Create(
   if (options.num_shards == 0) {
     return Status::InvalidArgument("sharded engine needs num_shards >= 1");
   }
-  auto frontiers =
-      MakeShardFrontiers(*strategy, frontier_options, options.num_shards);
-  LSWC_RETURN_IF_ERROR(frontiers.status());
+  const bool batch = frontier_options.kind == "batch";
+  std::vector<std::unique_ptr<ShardFrontier>> pop_frontiers;
+  std::vector<std::unique_ptr<BatchFrontier>> batch_frontiers;
+  if (batch) {
+    auto f = MakeBatchFrontiers(frontier_options, options.num_shards);
+    LSWC_RETURN_IF_ERROR(f.status());
+    batch_frontiers = std::move(f).value();
+  } else {
+    auto f =
+        MakeShardFrontiers(*strategy, frontier_options, options.num_shards);
+    LSWC_RETURN_IF_ERROR(f.status());
+    pop_frontiers = std::move(f).value();
+  }
 
   std::unique_ptr<ShardedCrawlEngine> engine(
       new ShardedCrawlEngine(web, classifier, strategy, options));
+  if (batch) {
+    engine->batch_mode_ = true;
+    engine->select_k_ = batch_frontiers[0]->select_k();
+    // Canonical batch identity for the fingerprint: the constructed
+    // frontier's resolved values, not the raw caller options.
+    engine->options_.batch_k = engine->select_k_;
+    engine->options_.scorer_spec = batch_frontiers[0]->scorer().name();
+    if (options.obs != nullptr && options.obs->enabled) {
+      engine->rescore_rounds_ =
+          options.obs->registry.counter("frontier.rescore_rounds");
+      engine->selected_urls_ =
+          options.obs->registry.counter("frontier.selected_urls");
+    }
+  }
   const WebGraph& graph = web->graph();
   const uint32_t num_shards = engine->router_.num_shards();
 
@@ -114,10 +138,20 @@ StatusOr<std::unique_ptr<ShardedCrawlEngine>> ShardedCrawlEngine::Create(
     }
     shard->visitor = std::make_unique<Visitor>(
         shard->web.get(), shard->classifier.get(), options.parse_html);
-    shard->frontier = std::move((*frontiers)[s]);
+    if (batch) {
+      shard->batch_frontier = std::move(batch_frontiers[s]);
+    } else {
+      shard->frontier = std::move(pop_frontiers[s]);
+    }
     if (obs_on) {
       shard->obs = std::make_unique<obs::RunObs>();
       shard->visitor->set_profiler(&shard->obs->profiler);
+      if (batch) {
+        // frontier.scored_urls lands on the shard registry (incremented
+        // from the shard's rescore task) and is summed into the parent
+        // by MergeShardObs.
+        shard->batch_frontier->AttachObs(&shard->obs->registry, nullptr);
+      }
     }
     engine->shards_.push_back(std::move(shard));
   }
@@ -129,7 +163,22 @@ void ShardedCrawlEngine::AddObserver(CrawlObserver* observer) {
   if (observer->wants_link_events()) link_observers_.push_back(observer);
 }
 
-void ShardedCrawlEngine::PushFrontier(PageId url, int priority) {
+void ShardedCrawlEngine::PushFrontier(PageId url, int priority,
+                                      const PushContext& context) {
+  if (batch_mode_) {
+    // Mirrors the serial BatchFrontier: a URL in the current batch
+    // ignores pushes (and consumes no sequence number); a re-push of a
+    // pending URL updates its context in place without growing the
+    // frontier.
+    if (in_batch_.count(url) != 0) return;
+    if (shards_[owner(url)]->batch_frontier->PushWithSeq(url, priority,
+                                                         context, next_seq_)) {
+      ++next_seq_;
+      ++global_size_;
+      global_max_size_ = std::max(global_max_size_, global_size_);
+    }
+    return;
+  }
   shards_[owner(url)]->frontier->Push(url, priority, next_seq_++);
   ++global_size_;
   global_max_size_ = std::max(global_max_size_, global_size_);
@@ -248,6 +297,60 @@ Status ShardedCrawlEngine::CommitRound(uint64_t commit_budget,
   return Status::OK();
 }
 
+void ShardedCrawlEngine::RescoreRound() {
+  obs::ScopedStage stage(profiler_, obs::Stage::kRescore);
+  if (rescore_rounds_ != nullptr) rescore_rounds_->Increment();
+  const uint32_t num_shards = router_.num_shards();
+  // Parallel phase: each shard scores and ranks its own pending slice
+  // (pure reads of shard-local state plus shard-local obs counters).
+  std::vector<std::vector<BatchFrontier::Candidate>> tops(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (shards_[s]->batch_frontier->pending_size() == 0) continue;
+    pool_->Submit([this, s, &tops] {
+      tops[s] = shards_[s]->batch_frontier->TopCandidates(select_k_);
+    });
+  }
+  pool_->Wait();
+  // Serial merge on the same (score desc, seq asc) total order the
+  // per-shard rankings used; sequences are globally unique, so the
+  // global top-K is independent of the partitioning.
+  std::vector<BatchFrontier::Candidate> merged;
+  for (const auto& top : tops) {
+    merged.insert(merged.end(), top.begin(), top.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  if (merged.size() > select_k_) merged.resize(select_k_);
+  for (const BatchFrontier::Candidate& c : merged) {
+    shards_[owner(c.url)]->batch_frontier->Remove(c.url);
+    batch_queue_.push_back(c.url);
+    in_batch_.insert(c.url);
+  }
+  if (selected_urls_ != nullptr) selected_urls_->Add(merged.size());
+}
+
+Status ShardedCrawlEngine::CommitBatchRound(uint64_t budget) {
+  for (uint64_t i = 0; i < budget; ++i) {
+    if (options_.max_pages != 0 && pages_crawled_ >= options_.max_pages) {
+      return Status::OK();
+    }
+    if (batch_queue_.empty()) return Status::OK();
+    const PageId url = batch_queue_.front();
+    batch_queue_.pop_front();
+    in_batch_.erase(url);
+    --global_size_;
+    CacheEntry entry;
+    const auto it = cache_.find(url);
+    if (it != cache_.end()) {
+      entry = std::move(it->second);
+      cache_.erase(it);
+    } else {
+      entry.status = shards_[owner(url)]->visitor->Visit(url, &entry.visit);
+    }
+    LSWC_RETURN_IF_ERROR(CommitOne(url, std::move(entry)));
+  }
+  return Status::OK();
+}
+
 Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
   Shard& shard = *shards_[owner(url)];
   shard.state.MarkCrawled(local(url));
@@ -259,6 +362,9 @@ Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
     obs::ScopedStage strategy_stage(profiler_, obs::Stage::kStrategy);
     const ParentInfo parent{url, visit.judgment.relevant,
                             shard.state.annotation(local(url))};
+    PushContext context;
+    context.parent_relevant = visit.judgment.relevant;
+    context.parent_confidence = visit.judgment.confidence;
     for (PageId child : visit.links) {
       if (crawled(child)) {
         if (link_drops_ != nullptr) link_drops_->Increment();
@@ -286,7 +392,8 @@ Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
           break;
         case CrawlState::Offer::kFirst: {
           obs::ScopedStage push_stage(profiler_, obs::Stage::kFrontierPush);
-          PushFrontier(child, d.priority);
+          context.annotation = d.annotation;
+          PushFrontier(child, d.priority, context);
           if (pushes_ != nullptr) {
             pushes_->Increment();
             push_level_->Record(
@@ -297,7 +404,8 @@ Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
         }
         case CrawlState::Offer::kBetter: {
           obs::ScopedStage push_stage(profiler_, obs::Stage::kFrontierPush);
-          PushFrontier(child, d.priority);
+          context.annotation = d.annotation;
+          PushFrontier(child, d.priority, context);
           if (repushes_ != nullptr) {
             repushes_->Increment();
             push_level_->Record(
@@ -348,7 +456,7 @@ Status ShardedCrawlEngine::Run() {
       if (!shard.state.EnqueueSeed(local(seed), strategy_->seed_priority())) {
         continue;
       }
-      PushFrontier(seed, strategy_->seed_priority());
+      PushFrontier(seed, strategy_->seed_priority(), PushContext{});
     }
   }
 
@@ -369,22 +477,7 @@ Status ShardedCrawlEngine::Run() {
   pool_ = std::make_unique<ThreadPool>(router_.num_shards());
   const uint32_t num_shards = router_.num_shards();
   std::vector<std::vector<std::pair<PageId, CacheEntry*>>> plans(num_shards);
-  Status status = Status::OK();
-  while (true) {
-    if (options_.max_pages != 0 && pages_crawled_ >= options_.max_pages) {
-      break;
-    }
-    if (global_size_ == 0) break;
-    uint64_t budget = batch_size_;
-    if (options_.max_pages != 0) {
-      budget = std::min<uint64_t>(budget,
-                                  options_.max_pages - pages_crawled_);
-    }
-    for (auto& plan : plans) plan.clear();
-    {
-      obs::ScopedStage merge_stage(profiler_, obs::Stage::kMerge);
-      PlanRound(budget, &plans);
-    }
+  const auto submit_plans = [&] {
     uint32_t tasks_in_round = 0;
     for (const auto& plan : plans) {
       if (!plan.empty()) ++tasks_in_round;
@@ -401,10 +494,51 @@ Status ShardedCrawlEngine::Run() {
       });
     }
     pool_->Wait();
+  };
+  Status status = Status::OK();
+  while (!batch_mode_) {
+    if (options_.max_pages != 0 && pages_crawled_ >= options_.max_pages) {
+      break;
+    }
+    if (global_size_ == 0) break;
+    uint64_t budget = batch_size_;
+    if (options_.max_pages != 0) {
+      budget = std::min<uint64_t>(budget,
+                                  options_.max_pages - pages_crawled_);
+    }
+    for (auto& plan : plans) plan.clear();
+    {
+      obs::ScopedStage merge_stage(profiler_, obs::Stage::kMerge);
+      PlanRound(budget, &plans);
+    }
+    submit_plans();
     bool exhausted = false;
     status = CommitRound(budget, &exhausted);
     if (!status.ok()) break;
     if (exhausted) break;
+  }
+  while (batch_mode_) {
+    if (options_.max_pages != 0 && pages_crawled_ >= options_.max_pages) {
+      break;
+    }
+    if (batch_queue_.empty()) RescoreRound();
+    if (batch_queue_.empty()) break;  // Pending set exhausted too.
+    // One round commits the whole current batch (<= select_k_ URLs),
+    // capped by the remaining page budget — both are functions of
+    // global state only, so the visit work is partition-invariant.
+    uint64_t budget = batch_queue_.size();
+    if (options_.max_pages != 0) {
+      budget = std::min<uint64_t>(budget,
+                                  options_.max_pages - pages_crawled_);
+    }
+    for (auto& plan : plans) plan.clear();
+    for (uint64_t i = 0; i < budget; ++i) {
+      const PageId url = batch_queue_[i];
+      plans[owner(url)].emplace_back(url, &cache_[url]);
+    }
+    submit_plans();
+    status = CommitBatchRound(budget);
+    if (!status.ok()) break;
   }
   pool_.reset();
   // Leftover speculative visits are discarded: a page the crawl never
@@ -433,6 +567,7 @@ void ShardedCrawlEngine::MergeShardObs() {
 }
 
 std::string ShardedCrawlEngine::SchedulerKind() const {
+  if (batch_mode_) return "sharded-batch";
   const int levels = std::max(1, strategy_->num_priority_levels());
   return levels <= 1 ? "sharded-fifo" : "sharded-bucket";
 }
@@ -453,6 +588,8 @@ snapshot::CrawlFingerprint ShardedCrawlEngine::Fingerprint() const {
   fp.sample_interval = sample_interval_;
   fp.parse_html = options_.parse_html;
   fp.scheduler_kind = SchedulerKind();
+  fp.batch_k = options_.batch_k;
+  fp.scorer_spec = options_.scorer_spec;
   fp.num_shards = router_.num_shards();
   return fp;
 }
@@ -475,11 +612,21 @@ Status ShardedCrawlEngine::SaveSnapshot(const std::string& path,
   shard_meta.U64(next_seq_);
   shard_meta.U64(global_size_);
   shard_meta.U64(global_max_size_);
+  if (batch_mode_) {
+    // The in-flight global batch, in selection order (the membership
+    // set is rebuilt from it on restore).
+    std::vector<uint32_t> queued(batch_queue_.begin(), batch_queue_.end());
+    shard_meta.U32Vec(queued);
+  }
   writer.AddSection(snapshot::SectionId::kShardMeta, shard_meta);
 
   for (uint32_t s = 0; s < router_.num_shards(); ++s) {
     snapshot::SectionWriter frontier;
-    shards_[s]->frontier->Save(&frontier);
+    if (batch_mode_) {
+      LSWC_RETURN_IF_ERROR(shards_[s]->batch_frontier->Save(&frontier));
+    } else {
+      shards_[s]->frontier->Save(&frontier);
+    }
     writer.AddSection(
         snapshot::ShardSectionId(snapshot::kShardFrontierBase, s), frontier);
 
@@ -539,6 +686,19 @@ Status ShardedCrawlEngine::ResumeFromSnapshot(const std::string& path) {
     next_seq_ = section->U64();
     global_size_ = section->U64();
     global_max_size_ = section->U64();
+    if (batch_mode_) {
+      const std::vector<uint32_t> queued = section->U32Vec();
+      LSWC_RETURN_IF_ERROR(section->status());
+      batch_queue_.clear();
+      in_batch_.clear();
+      for (const uint32_t url : queued) {
+        if (!in_batch_.insert(url).second) {
+          return Status::Corruption(
+              "sharded batch queue snapshot repeats a URL");
+        }
+        batch_queue_.push_back(url);
+      }
+    }
     LSWC_RETURN_IF_ERROR(section->Finish());
     if (saved_shards != router_.num_shards()) {
       return Status::Corruption(
@@ -553,9 +713,14 @@ Status ShardedCrawlEngine::ResumeFromSnapshot(const std::string& path) {
       StatusOr<snapshot::SectionReader> section = file->Section(
           snapshot::ShardSectionId(snapshot::kShardFrontierBase, s));
       LSWC_RETURN_IF_ERROR(section.status());
-      LSWC_RETURN_IF_ERROR(shards_[s]->frontier->Restore(&*section));
+      if (batch_mode_) {
+        LSWC_RETURN_IF_ERROR(shards_[s]->batch_frontier->Restore(&*section));
+        restored_pending += shards_[s]->batch_frontier->size();
+      } else {
+        LSWC_RETURN_IF_ERROR(shards_[s]->frontier->Restore(&*section));
+        restored_pending += shards_[s]->frontier->size();
+      }
       LSWC_RETURN_IF_ERROR(section->Finish());
-      restored_pending += shards_[s]->frontier->size();
     }
     {
       StatusOr<snapshot::SectionReader> section = file->Section(
@@ -574,6 +739,8 @@ Status ShardedCrawlEngine::ResumeFromSnapshot(const std::string& path) {
       shards_[s]->rng.set_state(state);
     }
   }
+  // In batch mode the global size also covers the in-flight batch queue.
+  restored_pending += batch_queue_.size();
   if (restored_pending != global_size_) {
     return Status::Corruption(
         "shard frontiers hold " + std::to_string(restored_pending) +

@@ -27,14 +27,27 @@
 // and equal to the serial CrawlEngine's. The plan set is likewise a
 // function of global state, so speculative work is partition-invariant
 // too. See docs/ARCHITECTURE.md "Sharded crawl pipeline".
+//
+// Batch regime (frontier kind "batch"): each shard holds a BatchFrontier
+// pending slice, and a round becomes rescore -> visit -> commit. The
+// rescore phase runs each shard's TopCandidates in parallel (pure reads
+// of shard-local state), then serially merges the per-shard top-K lists
+// into the global top `batch_k` on (score desc, global sequence asc) —
+// the same total order the serial BatchFrontier applies — removes the
+// winners from their shards' pending slices, and queues them as the
+// round's batch. Selection is a pure function of the global pending set,
+// so the batch (and everything downstream) is bit-identical for every
+// shard count and equal to the serial batch engine's.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -74,6 +87,11 @@ struct ShardedEngineOptions {
   /// Per-run observability bundle (not owned; may be null). The engine
   /// creates one child bundle per shard and merges them back after Run.
   obs::RunObs* obs = nullptr;
+  /// Batch-regime identity for the snapshot fingerprint. Create()
+  /// overwrites both with the values resolved from the frontier options
+  /// when the batch regime is selected, so callers may leave them unset.
+  uint64_t batch_k = 0;
+  std::string scorer_spec;
 };
 
 class ShardedCrawlEngine final : public Checkpointable {
@@ -140,7 +158,10 @@ class ShardedCrawlEngine final : public Checkpointable {
     std::unique_ptr<VirtualWebSpace> web;
     std::unique_ptr<Classifier> classifier;  // Clone or locked wrapper.
     std::unique_ptr<Visitor> visitor;
+    /// Exactly one of the two frontier slices is set, matching the
+    /// regime: pop-order (`frontier`) or batch (`batch_frontier`).
     std::unique_ptr<ShardFrontier> frontier;
+    std::unique_ptr<BatchFrontier> batch_frontier;
     CrawlState state;  // Slice over this shard's pages (local ids).
     Rng rng;           // Per-shard stream, snapshotted with the shard.
     std::unique_ptr<obs::RunObs> obs;  // Child bundle; null when obs off.
@@ -176,7 +197,17 @@ class ShardedCrawlEngine final : public Checkpointable {
   /// One committed page: the sharded mirror of CrawlEngine::CrawlOne.
   Status CommitOne(PageId url, CacheEntry entry);
 
-  void PushFrontier(PageId url, int priority);
+  /// Batch regime: rescores every shard's pending slice in parallel,
+  /// merges the per-shard top-K lists into the global top `select_k_`,
+  /// and moves the winners into `batch_queue_`.
+  void RescoreRound();
+
+  /// Batch regime's commit phase: pops `budget` URLs off the batch
+  /// queue through CommitOne (every queued URL is uncrawled by the
+  /// batch invariant, so there is no stale-skip path).
+  Status CommitBatchRound(uint64_t budget);
+
+  void PushFrontier(PageId url, int priority, const PushContext& context);
   void NotifySample(bool is_final);
   snapshot::CrawlFingerprint Fingerprint() const;
   std::string SchedulerKind() const;
@@ -203,8 +234,15 @@ class ShardedCrawlEngine final : public Checkpointable {
   bool obs_merged_ = false;
   uint64_t pages_crawled_ = 0;
   uint64_t next_seq_ = 0;         // Global push sequence counter.
-  uint64_t global_size_ = 0;      // Sum of shard frontier sizes.
+  uint64_t global_size_ = 0;      // Pending across shards (+ batch queue).
   uint64_t global_max_size_ = 0;  // Peak of global_size_, updated on push.
+  /// Batch regime state: the current globally selected batch, in
+  /// selection order, plus its membership set (pushes for queued URLs
+  /// are ignored, mirroring the serial BatchFrontier).
+  bool batch_mode_ = false;
+  uint32_t select_k_ = 0;
+  std::deque<PageId> batch_queue_;
+  std::unordered_set<PageId> in_batch_;
   std::unordered_map<PageId, CacheEntry> cache_;
   std::unique_ptr<ThreadPool> pool_;
   std::function<void(uint32_t, uint32_t)> visit_start_hook_;
@@ -216,6 +254,10 @@ class ShardedCrawlEngine final : public Checkpointable {
   obs::Counter* pushes_ = nullptr;
   obs::Counter* repushes_ = nullptr;
   obs::Counter* link_drops_ = nullptr;
+  /// Batch-regime parent counters (the per-shard registries carry
+  /// frontier.scored_urls, incremented inside TopCandidates).
+  obs::Counter* rescore_rounds_ = nullptr;
+  obs::Counter* selected_urls_ = nullptr;
   std::vector<CrawlObserver*> observers_;
   std::vector<CrawlObserver*> link_observers_;
 };

@@ -11,6 +11,27 @@
 
 namespace lswc {
 
+namespace {
+
+/// The resolved batch identity of a run: (0, "") outside the batch
+/// regime, otherwise the defaults filled in. Recorded in the snapshot
+/// fingerprint, so defaults must resolve to one canonical form here.
+struct BatchIdentity {
+  uint64_t batch_k = 0;
+  std::string scorer_spec;
+};
+
+BatchIdentity ResolveBatchIdentity(const SimulationOptions& options) {
+  BatchIdentity id;
+  if (options.frontier_kind != "batch") return id;
+  id.batch_k = options.batch_k == 0 ? kDefaultBatchK : options.batch_k;
+  id.scorer_spec =
+      options.scorers.empty() ? kDefaultScorerSpec : options.scorers;
+  return id;
+}
+
+}  // namespace
+
 Simulator::Simulator(VirtualWebSpace* web, Classifier* classifier,
                      const CrawlStrategy* strategy,
                      SimulationOptions options)
@@ -21,10 +42,16 @@ Simulator::Simulator(VirtualWebSpace* web, Classifier* classifier,
 
 StatusOr<SimulationResult> Simulator::Run() {
   if (options_.shards >= 1) return RunSharded();
+  const BatchIdentity batch = ResolveBatchIdentity(options_);
   FrontierOptions frontier_options;
+  frontier_options.kind = options_.frontier_kind;
   frontier_options.capacity = options_.frontier_capacity;
   frontier_options.memory_budget = options_.frontier_memory_budget;
   frontier_options.spill_dir = options_.spill_dir;
+  frontier_options.batch_k = options_.batch_k;
+  frontier_options.scorers = options_.scorers;
+  frontier_options.scorer_seed = web_->graph().generator_seed();
+  frontier_options.graph = &web_->graph();
   auto selection = MakeFrontier(*strategy_, frontier_options);
   if (!selection.ok()) return selection.status();
   FrontierPopScheduler scheduler(selection->frontier.get());
@@ -37,6 +64,8 @@ StatusOr<SimulationResult> Simulator::Run() {
   engine_options.sample_interval = options_.sample_interval;
   engine_options.parse_html = options_.parse_html;
   engine_options.obs = obs;
+  engine_options.batch_k = batch.batch_k;
+  engine_options.scorer_spec = batch.scorer_spec;
   CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
                      engine_options);
   if (options_.rng != nullptr) engine.AttachRng(options_.rng);
@@ -44,6 +73,9 @@ StatusOr<SimulationResult> Simulator::Run() {
   std::unique_ptr<TraceEventObserver> trace_events;
   if (obs != nullptr) {
     selection->frontier->AttachObs(&obs->registry, obs->trace.get());
+    if (selection->batch != nullptr) {
+      selection->batch->set_profiler(&obs->profiler);
+    }
     if (options_.progress_every != 0) {
       progress = std::make_unique<ProgressObserver>(
           options_.progress_every,
@@ -103,10 +135,16 @@ StatusOr<SimulationResult> Simulator::Run() {
 }
 
 StatusOr<SimulationResult> Simulator::RunSharded() {
+  const BatchIdentity batch = ResolveBatchIdentity(options_);
   FrontierOptions frontier_options;
+  frontier_options.kind = options_.frontier_kind;
   frontier_options.capacity = options_.frontier_capacity;
   frontier_options.memory_budget = options_.frontier_memory_budget;
   frontier_options.spill_dir = options_.spill_dir;
+  frontier_options.batch_k = options_.batch_k;
+  frontier_options.scorers = options_.scorers;
+  frontier_options.scorer_seed = web_->graph().generator_seed();
+  frontier_options.graph = &web_->graph();
 
   obs::RunObs* obs =
       options_.obs != nullptr && options_.obs->enabled ? options_.obs
@@ -118,6 +156,8 @@ StatusOr<SimulationResult> Simulator::RunSharded() {
   engine_options.sample_interval = options_.sample_interval;
   engine_options.parse_html = options_.parse_html;
   engine_options.obs = obs;
+  engine_options.batch_k = batch.batch_k;
+  engine_options.scorer_spec = batch.scorer_spec;
   auto created = ShardedCrawlEngine::Create(web_, classifier_, strategy_,
                                             frontier_options, engine_options);
   if (!created.ok()) return created.status();

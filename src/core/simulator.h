@@ -40,6 +40,17 @@ struct SimulationOptions {
   /// order. Mutually exclusive with frontier_capacity.
   size_t frontier_memory_budget = 0;
   std::string spill_dir = "/tmp";
+  /// Frontier regime: "" or "pop" = the paper's pop-order frontiers;
+  /// "batch" = the batch-selection regime (rescore the pending set, pop
+  /// the top `batch_k` per iteration). See FrontierOptions::kind.
+  std::string frontier_kind;
+  /// Batch regime: URLs selected per rescore iteration (0 = default).
+  /// Requires frontier_kind == "batch".
+  uint32_t batch_k = 0;
+  /// Batch regime: composite scorer spec, e.g. "lang:1.0,indegree:0.5"
+  /// (empty = default). Requires frontier_kind == "batch". Scorer
+  /// randomness is seeded from the graph's generator seed.
+  std::string scorers;
   /// Run the crawl on the sharded engine with this many host-partitioned
   /// shards (0 = the classic serial CrawlEngine). Any value >= 1 selects
   /// ShardedCrawlEngine; its output is bit-identical for every shard

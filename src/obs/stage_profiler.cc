@@ -30,6 +30,7 @@ const char* StageName(Stage stage) {
     case Stage::kCheckpoint: return "checkpoint";
     case Stage::kRoute: return "route";
     case Stage::kMerge: return "merge";
+    case Stage::kRescore: return "rescore";
   }
   return "unknown";
 }

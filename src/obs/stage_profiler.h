@@ -48,8 +48,9 @@ enum class Stage : uint8_t {
   kCheckpoint,     // Snapshot writes.
   kRoute,          // Sharded engine: route a link to its owning shard.
   kMerge,          // Sharded engine: cross-shard deterministic merge-pop.
+  kRescore,        // Batch regime: rescore pending set + top-K selection.
 };
-inline constexpr int kNumStages = 9;
+inline constexpr int kNumStages = 10;
 
 const char* StageName(Stage stage);
 

@@ -15,6 +15,8 @@ void CrawlFingerprint::Save(SectionWriter* w) const {
   w->U64(sample_interval);
   w->U8(parse_html ? 1 : 0);
   w->Str(scheduler_kind);
+  w->U64(batch_k);
+  w->Str(scorer_spec);
   w->U64(num_shards);
 }
 
@@ -32,6 +34,8 @@ StatusOr<CrawlFingerprint> CrawlFingerprint::Load(SectionReader* r) {
   fp.sample_interval = r->U64();
   fp.parse_html = r->U8() != 0;
   fp.scheduler_kind = r->Str();
+  fp.batch_k = r->U64();
+  fp.scorer_spec = r->Str();
   fp.num_shards = r->U64();
   LSWC_RETURN_IF_ERROR(r->status());
   return fp;
@@ -89,6 +93,13 @@ Status CrawlFingerprint::Match(const CrawlFingerprint& other) const {
   }
   if (scheduler_kind != other.scheduler_kind) {
     return Mismatch("scheduler kind", other.scheduler_kind, scheduler_kind);
+  }
+  if (batch_k != other.batch_k) {
+    return Mismatch("batch_k", u(other.batch_k), u(batch_k));
+  }
+  if (scorer_spec != other.scorer_spec) {
+    return Mismatch("scorers", "'" + other.scorer_spec + "'",
+                    "'" + scorer_spec + "'");
   }
   if (num_shards != other.num_shards) {
     return Mismatch("num_shards", u(other.num_shards), u(num_shards));

@@ -40,6 +40,14 @@ struct CrawlFingerprint {
   // engine prefixes its base kind, e.g. "sharded-bucket").
   std::string scheduler_kind;
 
+  // Batch-selection regime identity: URLs selected per rescore
+  // iteration and the scorer spec (0 / empty outside the batch regime).
+  // A batch frontier's pending scores are a function of both, so a
+  // snapshot resumed under different values would select different
+  // batches.
+  uint64_t batch_k = 0;
+  std::string scorer_spec;
+
   // Shard count the per-shard sections were partitioned under. 0 = the
   // serial engine's single-frontier layout. Resuming under a different
   // shard count is rejected (frontier/state sections are per shard and

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/strategy.h"
+#include "webgraph/generator.h"
 
 namespace lswc {
 namespace {
@@ -125,6 +126,145 @@ TEST(FrontierFactoryTest, BoundedFrontierWithSingleLevelStrategy) {
   auto s = MakeFrontier(strategy, options);
   ASSERT_TRUE(s.ok()) << s.status();
   EXPECT_EQ(s->bounded->num_levels(), 1);
+}
+
+// --- Batch regime ---
+
+const WebGraph& TestGraph() {
+  static const WebGraph* graph = [] {
+    auto g = GenerateWebGraph(ThaiLikeOptions(1000, /*seed=*/3));
+    EXPECT_TRUE(g.ok()) << g.status();
+    return new WebGraph(std::move(g).value());
+  }();
+  return *graph;
+}
+
+FrontierOptions BatchOptions() {
+  FrontierOptions options;
+  options.kind = "batch";
+  options.graph = &TestGraph();
+  return options;
+}
+
+TEST(FrontierFactoryTest, BatchKindGetsBatchFrontier) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options = BatchOptions();
+  options.batch_k = 32;
+  options.scorers = "lang:1.0,indegree:0.5";
+  auto s = MakeFrontier(strategy, options);
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_NE(s->batch, nullptr);
+  EXPECT_EQ(s->batch, s->frontier.get());
+  EXPECT_EQ(s->bounded, nullptr);
+  EXPECT_EQ(s->spilling, nullptr);
+  EXPECT_EQ(s->batch->select_k(), 32u);
+  EXPECT_EQ(s->batch->scorer().name(), "lang:1.0,indegree:0.5");
+}
+
+TEST(FrontierFactoryTest, BatchDefaultsResolveKAndScorers) {
+  SoftFocusedStrategy strategy;
+  auto s = MakeFrontier(strategy, BatchOptions());
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_NE(s->batch, nullptr);
+  EXPECT_EQ(s->batch->select_k(), kDefaultBatchK);
+  EXPECT_EQ(s->batch->scorer().name(), kDefaultScorerSpec);
+}
+
+TEST(FrontierFactoryTest, UnknownKindIsRejectedByName) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options;
+  options.kind = "stack";
+  auto s = MakeFrontier(strategy, options);
+  ASSERT_FALSE(s.ok());
+  const std::string message = s.status().ToString();
+  EXPECT_NE(message.find("unknown frontier kind 'stack'"), std::string::npos)
+      << message;
+}
+
+TEST(FrontierFactoryTest, BatchKnobsWithoutBatchKindAreRejectedByName) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options;
+  options.batch_k = 64;
+  auto s = MakeFrontier(strategy, options);
+  ASSERT_FALSE(s.ok());
+  std::string message = s.status().ToString();
+  EXPECT_NE(message.find("batch_k (=64)"), std::string::npos) << message;
+
+  options = FrontierOptions{};
+  options.scorers = "lang";
+  s = MakeFrontier(strategy, options);
+  ASSERT_FALSE(s.ok());
+  message = s.status().ToString();
+  EXPECT_NE(message.find("scorers ('lang')"), std::string::npos) << message;
+}
+
+TEST(FrontierFactoryTest, BatchRejectsCapacityAndMemoryBudgetByName) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options = BatchOptions();
+  options.capacity = 128;
+  auto s = MakeFrontier(strategy, options);
+  ASSERT_FALSE(s.ok());
+  std::string message = s.status().ToString();
+  EXPECT_NE(message.find("frontier_capacity (=128)"), std::string::npos)
+      << message;
+
+  options = BatchOptions();
+  options.memory_budget = 1024;
+  s = MakeFrontier(strategy, options);
+  ASSERT_FALSE(s.ok());
+  message = s.status().ToString();
+  EXPECT_NE(message.find("frontier_memory_budget (=1024)"), std::string::npos)
+      << message;
+}
+
+TEST(FrontierFactoryTest, BatchNeedsAGraph) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options;
+  options.kind = "batch";
+  auto s = MakeFrontier(strategy, options);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().ToString().find("graph"), std::string::npos)
+      << s.status();
+}
+
+TEST(FrontierFactoryTest, BadScorerSpecPropagatesItsError) {
+  SoftFocusedStrategy strategy;
+  FrontierOptions options = BatchOptions();
+  options.scorers = "lang:1.0,nope";
+  auto s = MakeFrontier(strategy, options);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().ToString().find("unknown scorer 'nope'"),
+            std::string::npos)
+      << s.status();
+}
+
+TEST(FrontierFactoryTest, BatchFrontiersShareOneScorer) {
+  FrontierOptions options = BatchOptions();
+  options.batch_k = 16;
+  auto shards = MakeBatchFrontiers(options, 3);
+  ASSERT_TRUE(shards.ok()) << shards.status();
+  ASSERT_EQ(shards->size(), 3u);
+  for (const auto& shard : *shards) {
+    EXPECT_EQ(shard->select_k(), 16u);
+    // One shared instance, not three equivalent copies: the indegree
+    // precomputation must exist once.
+    EXPECT_EQ(&shard->scorer(), &(*shards)[0]->scorer());
+  }
+}
+
+TEST(FrontierFactoryTest, BatchFrontiersRequireBatchKind) {
+  auto shards = MakeBatchFrontiers(FrontierOptions{}, 2);
+  ASSERT_FALSE(shards.ok());
+  EXPECT_NE(shards.status().ToString().find("'batch'"), std::string::npos)
+      << shards.status();
+}
+
+TEST(FrontierFactoryTest, ShardFrontiersRejectBatchKindByName) {
+  SoftFocusedStrategy strategy;
+  auto shards = MakeShardFrontiers(strategy, BatchOptions(), 2);
+  ASSERT_FALSE(shards.ok());
+  const std::string message = shards.status().ToString();
+  EXPECT_NE(message.find("MakeBatchFrontiers"), std::string::npos) << message;
 }
 
 }  // namespace

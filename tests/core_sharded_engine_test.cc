@@ -278,6 +278,53 @@ class ShuffleBarrier {
   size_t next_ = 0;
 };
 
+// The batch regime's determinism contract: the serial BatchFrontier,
+// the one-shard engine, and a multi-shard engine must produce the same
+// crawl bit-for-bit — selection is a pure function of the global
+// pending set, so the partition must not matter.
+TEST(ShardedEngineTest, BatchRegimeIsIdenticalAcrossShardCounts) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(3000, /*seed=*/11));
+  ASSERT_TRUE(g.ok()) << g.status();
+  MetaTagClassifier classifier(kThai);
+  const SoftFocusedStrategy soft;
+
+  auto run = [&](uint32_t shards, std::string* stats) {
+    obs::RunObs obs;
+    SimulationOptions options;
+    options.shards = shards;
+    options.frontier_kind = "batch";
+    options.batch_k = 64;
+    options.scorers = "lang:1.0,indegree:0.5";
+    options.obs = &obs;
+    auto r = RunSimulation(*g, &classifier, soft, RenderMode::kNone, options);
+    if (r.ok() && stats != nullptr) {
+      *stats = obs.StatsJson(/*include_times=*/false);
+    }
+    return r;
+  };
+  auto serial = run(0, nullptr);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_GT(serial->summary.pages_crawled, 500u);
+
+  std::string stats1;
+  std::string stats4;
+  auto sharded1 = run(1, &stats1);
+  ASSERT_TRUE(sharded1.ok()) << sharded1.status();
+  auto sharded4 = run(4, &stats4);
+  ASSERT_TRUE(sharded4.ok()) << sharded4.status();
+
+  for (const auto* r : {&*sharded1, &*sharded4}) {
+    EXPECT_EQ(r->summary.pages_crawled, serial->summary.pages_crawled);
+    EXPECT_EQ(r->summary.relevant_crawled, serial->summary.relevant_crawled);
+    EXPECT_EQ(r->summary.max_queue_size, serial->summary.max_queue_size);
+    EXPECT_EQ(r->series.num_rows(), serial->series.num_rows());
+    EXPECT_EQ(HashSeries(r->series), HashSeries(serial->series));
+  }
+  // The deterministic obs quantities (rescore rounds, scored / selected
+  // URL counts above all) agree between shard counts too.
+  EXPECT_EQ(stats1, stats4);
+}
+
 TEST(ShardedEngineTest, ShuffledWorkerWakeupOrderNeverChangesOutput) {
   auto g = GenerateWebGraph(ThaiLikeOptions(3000, /*seed=*/11));
   ASSERT_TRUE(g.ok()) << g.status();

@@ -22,12 +22,22 @@
 namespace lswc {
 namespace {
 
+/// gtest_discover_tests registers every TEST as its own ctest entry, so
+/// under `ctest -j` the cases in this file run as concurrent processes.
+/// All scratch paths must therefore be unique per test, or one process's
+/// truncated mutant gets clobbered by another's full-length one between
+/// the write and the Open.
+std::string PerTestScratchName() {
+  return std::string("lswc_corruption_") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name();
+}
+
 /// Builds a real snapshot (checkpointed half-run over a small graph) and
 /// returns its raw bytes.
 std::string MakeSnapshotBlob() {
   auto graph = GenerateWebGraph(ThaiLikeOptions(800));
   EXPECT_TRUE(graph.ok());
-  const std::string dir = ::testing::TempDir() + "/lswc_corruption";
+  const std::string dir = ::testing::TempDir() + "/" + PerTestScratchName();
   std::filesystem::create_directories(dir);
   const SoftFocusedStrategy soft;
   MetaTagClassifier classifier(Language::kThai);
@@ -55,7 +65,8 @@ const std::string& SnapshotBlob() {
 }
 
 std::string WriteMutant(const std::string& bytes) {
-  const std::string path = ::testing::TempDir() + "/lswc_mutant.snap";
+  const std::string path =
+      ::testing::TempDir() + "/" + PerTestScratchName() + "_mutant.snap";
   std::FILE* f = std::fopen(path.c_str(), "wb");
   EXPECT_NE(f, nullptr);
   if (!bytes.empty()) {

@@ -215,6 +215,43 @@ TEST(FingerprintTest, RoundtripAndMatch) {
       << mismatch;
 }
 
+TEST(FingerprintTest, BatchIdentityRoundtripsAndMismatchesByName) {
+  CrawlFingerprint fp;
+  fp.num_pages = 1000;
+  fp.strategy_name = "soft-focused";
+  fp.classifier_name = "meta";
+  fp.scheduler_kind = "batch";
+  fp.batch_k = 64;
+  fp.scorer_spec = "lang:1.0,indegree:0.5";
+
+  SectionWriter w;
+  fp.Save(&w);
+  SectionReader r(w.data().data(), w.size());
+  auto loaded = CrawlFingerprint::Load(&r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(r.Finish().ok());
+  EXPECT_EQ(loaded->batch_k, 64u);
+  EXPECT_EQ(loaded->scorer_spec, "lang:1.0,indegree:0.5");
+  EXPECT_TRUE(loaded->Match(fp).ok());
+
+  CrawlFingerprint other_k = fp;
+  other_k.batch_k = 128;
+  Status mismatch = loaded->Match(other_k);
+  EXPECT_EQ(mismatch.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(mismatch.ToString().find("batch_k"), std::string::npos)
+      << mismatch;
+
+  CrawlFingerprint other_spec = fp;
+  other_spec.scorer_spec = "lang:1.0";
+  mismatch = loaded->Match(other_spec);
+  EXPECT_EQ(mismatch.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(mismatch.ToString().find("scorers"), std::string::npos)
+      << mismatch;
+  EXPECT_NE(mismatch.ToString().find("'lang:1.0,indegree:0.5'"),
+            std::string::npos)
+      << mismatch;
+}
+
 TEST(SeriesIoTest, RoundtripAndColumnValidation) {
   Series series("pages", {"harvest", "coverage"});
   series.AddRow(100, {10.0, 1.0});

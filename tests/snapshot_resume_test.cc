@@ -347,6 +347,95 @@ TEST(SnapshotResumeTest, ShardCountIsPartOfTheFingerprint) {
   }
 }
 
+TEST(SnapshotResumeTest, BatchFrontierSplitRunIsBitIdentical) {
+  const WebGraph graph = MakeGraph();
+  const SoftFocusedStrategy soft;
+  SimulationOptions options;
+  options.frontier_kind = "batch";
+  options.batch_k = 64;
+  ExpectSplitRunMatches(graph, soft, options, "batch");
+}
+
+TEST(SnapshotResumeTest, ShardedBatchSplitRunIsBitIdentical) {
+  // The sharded batch checkpoint additionally carries the global batch
+  // queue; a resume must pick up mid-batch and still match the straight
+  // run exactly.
+  const WebGraph graph = MakeGraph();
+  const SoftFocusedStrategy soft;
+  SimulationOptions options;
+  options.shards = 3;
+  options.frontier_kind = "batch";
+  options.batch_k = 64;
+  options.scorers = "lang:1.0,indegree:0.5";
+  ExpectSplitRunMatches(graph, soft, options, "sharded_batch");
+}
+
+TEST(SnapshotResumeTest, BatchIdentityIsPartOfTheFingerprint) {
+  // A batch snapshot resumes only under the same batch_k and scorer
+  // spec: the pending set's scores (and thus every future selection)
+  // depend on both.
+  const WebGraph graph = MakeGraph();
+  const std::string dir = SnapshotDirFor("batch_identity");
+  const SoftFocusedStrategy soft;
+  SimulationOptions half;
+  half.frontier_kind = "batch";
+  half.batch_k = 64;
+  half.sample_interval = 50;
+  half.max_pages = 2000;
+  half.checkpoint_every_pages = 250;
+  half.snapshot_dir = dir;
+  half.snapshot_label = "batch_identity";
+  MetaTagClassifier classifier(Language::kThai);
+  auto run = RunSimulation(graph, &classifier, soft, RenderMode::kNone, half);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const std::string snap = dir + "/batch_identity.snap";
+  ASSERT_TRUE(std::filesystem::exists(snap));
+
+  SimulationOptions matching;
+  matching.frontier_kind = "batch";
+  matching.batch_k = 64;
+  matching.sample_interval = 50;
+  {
+    // Same batch identity: accepted.
+    MetaTagClassifier resume_classifier(Language::kThai);
+    const Status status =
+        TryResume(graph, soft, &resume_classifier, matching, snap);
+    EXPECT_TRUE(status.ok()) << status;
+  }
+  {
+    // Different batch size: rejected, naming the field.
+    SimulationOptions mismatched = matching;
+    mismatched.batch_k = 128;
+    MetaTagClassifier resume_classifier(Language::kThai);
+    const Status status =
+        TryResume(graph, soft, &resume_classifier, mismatched, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+    EXPECT_NE(status.message().find("batch_k"), std::string::npos) << status;
+  }
+  {
+    // Different scorer spec: rejected, naming the field. The snapshot
+    // recorded the resolved default spec, so any explicit non-default
+    // spec mismatches it.
+    SimulationOptions mismatched = matching;
+    mismatched.scorers = "lang:1.0";
+    MetaTagClassifier resume_classifier(Language::kThai);
+    const Status status =
+        TryResume(graph, soft, &resume_classifier, mismatched, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+    EXPECT_NE(status.message().find("scorers"), std::string::npos) << status;
+  }
+  {
+    // A batch snapshot cannot feed the pop-order engine: the scheduler
+    // kinds differ.
+    SimulationOptions pop;
+    pop.sample_interval = 50;
+    MetaTagClassifier resume_classifier(Language::kThai);
+    const Status status =
+        TryResume(graph, soft, &resume_classifier, pop, snap);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  }
+}
+
 TEST(SnapshotResumeTest, ResumeFromMissingFileFails) {
   const WebGraph graph = MakeGraph(2000);
   const SoftFocusedStrategy soft;

@@ -22,7 +22,15 @@ class CrawlLogTest : public ::testing::Test {
     auto g = GenerateWebGraph(ThaiLikeOptions(8000));
     ASSERT_TRUE(g.ok());
     graph_ = std::move(g).value();
-    path_ = TempPath("lswc_crawl_log_test.log");
+    // gtest_discover_tests runs each case as its own concurrent ctest
+    // process, so the scratch log must be unique per test — a shared
+    // path lets one case rewrite the file mid-way through another's
+    // truncate-then-read sequence.
+    path_ = TempPath(
+        (std::string("lswc_crawl_log_") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         ".log")
+            .c_str());
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

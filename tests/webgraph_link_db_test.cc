@@ -16,8 +16,16 @@ class LinkDbTest : public ::testing::Test {
     auto g = GenerateWebGraph(ThaiLikeOptions(5000));
     ASSERT_TRUE(g.ok());
     graph_ = std::move(g).value();
-    path_ = (std::filesystem::temp_directory_path() / "lswc_links_test.lnk")
-                .string();
+    // Each case runs as its own concurrent ctest process
+    // (gtest_discover_tests), so the scratch file must be per-test: a
+    // shared path lets one process's SetUp rewrite or TearDown unlink
+    // race another's reads.
+    path_ =
+        (std::filesystem::temp_directory_path() /
+         (std::string("lswc_links_") +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+          ".lnk"))
+            .string();
     ASSERT_TRUE(WriteLinkFile(graph_, path_).ok());
   }
   void TearDown() override { std::remove(path_.c_str()); }

@@ -24,7 +24,7 @@ import sys
 
 EXPECTED_STAGES = ["fetch", "classify", "extract", "strategy",
                    "frontier-push", "sample", "checkpoint", "route",
-                   "merge"]
+                   "merge", "rescore"]
 
 
 def is_count(value):

@@ -52,6 +52,11 @@ struct Args {
   bool parse_html = false;
   uint64_t max_pages = 0;
   size_t frontier_capacity = 0;
+  /// Frontier regime: "pop" (the paper's priority queues, default) or
+  /// "batch" (rescore-and-select-top-K per iteration).
+  std::string frontier = "pop";
+  uint32_t batch_k = 0;       // URLs per batch iteration (0 = default).
+  std::string scorers;        // Composite scorer spec (empty = default).
   /// Host-partitioned worker shards (0 = the serial engine). Output is
   /// bit-identical for every value; N > 1 parallelizes the visit work.
   uint32_t shards = 0;
@@ -89,6 +94,15 @@ int Usage(const char* argv0) {
       "  --parse-html                 extract links from rendered HTML\n"
       "  --max-pages=N                crawl budget (default: exhaust)\n"
       "  --frontier-capacity=N        bounded URL queue (default: unlimited)\n"
+      "  --frontier=pop|batch         pop-order queues (default) or the\n"
+      "                               batch-selection regime: rescore all\n"
+      "                               pending URLs, crawl the top K, repeat\n"
+      "  --batch-k=N                  batch size per selection iteration\n"
+      "                               (default 256; needs --frontier=batch)\n"
+      "  --scorers=SPEC               weighted scorer spec for --frontier=\n"
+      "                               batch, e.g. lang:1.0,indegree:0.5\n"
+      "                               (scorers: lang parent indegree depth\n"
+      "                               random; default lang:1.0,parent:0.5)\n"
       "  --shards=N                   run the host-sharded engine with N\n"
       "                               worker shards (0 = serial engine;\n"
       "                               output is bit-identical either way)\n"
@@ -147,6 +161,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const auto n = ParseUint64(*v);
       if (!n) return false;
       args->frontier_capacity = *n;
+    } else if (auto v = value("--frontier=")) {
+      if (*v != "pop" && *v != "batch") {
+        std::fprintf(stderr, "--frontier must be pop or batch\n");
+        return false;
+      }
+      args->frontier = std::string(*v);
+    } else if (auto v = value("--batch-k=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n == 0 || *n > UINT32_MAX) return false;
+      args->batch_k = static_cast<uint32_t>(*n);
+    } else if (auto v = value("--scorers=")) {
+      if (v->empty()) return false;
+      args->scorers = std::string(*v);
     } else if (auto v = value("--shards=")) {
       const auto n = ParseUint64(*v);
       if (!n || *n > 256) return false;
@@ -204,6 +231,30 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                  "--shards applies to the timeless simulator only; the "
                  "politeness simulator has its own per-host scheduler\n");
     return false;
+  }
+  if (args->frontier != "batch") {
+    if (args->batch_k != 0) {
+      std::fprintf(stderr, "--batch-k requires --frontier=batch\n");
+      return false;
+    }
+    if (!args->scorers.empty()) {
+      std::fprintf(stderr, "--scorers requires --frontier=batch\n");
+      return false;
+    }
+  } else {
+    if (args->politeness) {
+      std::fprintf(stderr,
+                   "--frontier=batch applies to the timeless simulator "
+                   "only; --politeness pops from a per-host event queue\n");
+      return false;
+    }
+    if (args->frontier_capacity != 0) {
+      std::fprintf(stderr,
+                   "--frontier=batch is incompatible with "
+                   "--frontier-capacity: batch selection rescores the "
+                   "complete pending set and never sheds URLs\n");
+      return false;
+    }
   }
   return true;
 }
@@ -389,6 +440,9 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   options.max_pages = args.max_pages;
   options.parse_html = args.parse_html;
   options.frontier_capacity = args.frontier_capacity;
+  options.frontier_kind = args.frontier == "pop" ? "" : args.frontier;
+  options.batch_k = args.batch_k;
+  options.scorers = args.scorers;
   options.shards = args.shards;
   options.shard_batch = args.shard_batch;
   options.checkpoint_every_pages = args.checkpoint_every;

@@ -80,6 +80,53 @@ def main():
         check("resume from missing file fails", r.returncode != 0,
               f"exit {r.returncode}, stderr {r.stderr!r}")
 
+    # --- Batch regime flags -----------------------------------------------
+    expect_usage("frontier unknown kind", run(binary, "--frontier=stack"))
+
+    r = run(binary, "--batch-k=64")
+    expect_usage("batch-k without batch frontier", r)
+    check("batch-k without batch frontier message",
+          "--batch-k requires --frontier=batch" in r.stderr,
+          f"stderr: {r.stderr!r}")
+
+    r = run(binary, "--scorers=lang:1.0")
+    expect_usage("scorers without batch frontier", r)
+    check("scorers without batch frontier message",
+          "--scorers requires --frontier=batch" in r.stderr,
+          f"stderr: {r.stderr!r}")
+
+    expect_usage("batch with politeness",
+                 run(binary, "--frontier=batch", "--politeness=16,1.0"))
+    expect_usage("batch with frontier capacity",
+                 run(binary, "--frontier=batch", "--frontier-capacity=100"))
+
+    r = run(binary, "--dataset=thai", "--pages=1500", "--strategy=soft",
+            "--frontier=batch", "--batch-k=32", "--scorers=lang:1.0,nope")
+    check("unknown scorer exits 1", r.returncode == 1,
+          f"exit {r.returncode}, stderr {r.stderr!r}")
+    check("unknown scorer is named", "nope" in r.stderr,
+          f"stderr: {r.stderr!r}")
+
+    r = run(binary, "--dataset=thai", "--pages=1500", "--strategy=soft",
+            "--frontier=batch", "--batch-k=32",
+            "--scorers=lang:1.0,indegree:0.5")
+    check("batch run exits 0", r.returncode == 0,
+          f"exit {r.returncode}, stderr {r.stderr!r}")
+    check("batch run prints a summary", "strategy soft-focused" in r.stdout,
+          f"stdout: {r.stdout!r}")
+
+    # The batch regime is partition-invariant: sharded output equals the
+    # serial output for the same configuration.
+    sharded = run(binary, "--dataset=thai", "--pages=1500", "--strategy=soft",
+                  "--frontier=batch", "--batch-k=32",
+                  "--scorers=lang:1.0,indegree:0.5", "--shards=3")
+    check("sharded batch run exits 0", sharded.returncode == 0,
+          f"exit {sharded.returncode}, stderr {sharded.stderr!r}")
+    serial_summary = [l for l in r.stdout.splitlines() if "crawled" in l]
+    shard_summary = [l for l in sharded.stdout.splitlines() if "crawled" in l]
+    check("sharded batch matches serial", serial_summary == shard_summary,
+          f"serial {serial_summary!r} vs sharded {shard_summary!r}")
+
     # --- Comma-separated strategy lists fan out ---------------------------
     r = run(binary, "--dataset=thai", "--pages=1500",
             "--strategy=bfs,soft,plimited:2", "--jobs=2")
