@@ -38,6 +38,18 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     } else if (StartsWith(arg, "--out-dir=")) {
       args.out_dir = std::string(arg.substr(10));
       continue;
+    } else if (StartsWith(arg, "--dataset-file=")) {
+      args.dataset_file = std::string(arg.substr(15));
+      if (!args.dataset_file.empty()) continue;
+    } else if (StartsWith(arg, "--store=")) {
+      args.store = std::string(arg.substr(8));
+      if (args.store == "mmap" || args.store == "ram") continue;
+    } else if (StartsWith(arg, "--memory-budget-mb=")) {
+      const auto v = ParseUint64(arg.substr(19));
+      if (v.has_value() && *v > 0) {
+        args.memory_budget_mb = *v;
+        continue;
+      }
     } else if (StartsWith(arg, "--jobs=")) {
       const auto v = ParseUint64(arg.substr(7));
       if (v.has_value() && *v > 0 && *v <= 1024) {
@@ -78,7 +90,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s [--pages=N] [--seed=N] [--out-dir=DIR] [--jobs=N]\n"
-        "          [--shards=N]\n"
+        "          [--dataset-file=FILE] [--store=mmap|ram]\n"
+        "          [--memory-budget-mb=N] [--shards=N]\n"
         "          [--checkpoint-every=N --snapshot-dir=DIR] [--resume=DIR]\n"
         "          [--stats-json=FILE] [--trace-out=FILE]"
         " [--progress-every=N]\n",
@@ -194,7 +207,33 @@ void WriteReport(const BenchArgs& args, const BenchReport& report) {
 }
 
 namespace {
+/// Replays --dataset-file through the chosen backend: the mmap path
+/// returns a zero-copy view of the mapping (page-ins happen as the
+/// crawl touches records), the ram path pays all I/O up front.
+WebGraph OpenStored(const BenchArgs& args) {
+  const auto t0 = std::chrono::steady_clock::now();
+  WebGraph graph = [&args] {
+    if (args.store == "ram") {
+      auto ram = store::StoredWebGraph::ReadInRam(args.dataset_file);
+      LSWC_CHECK(ram.ok()) << ram.status();
+      return std::move(ram).value();
+    }
+    auto stored = store::StoredWebGraph::Open(args.dataset_file);
+    LSWC_CHECK(stored.ok()) << stored.status();
+    return (*stored)->NewView();
+  }();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("# replaying %s (%s store): %zu pages / %zu hosts / %zu links, "
+              "opened in %.2fs\n",
+              args.dataset_file.c_str(), args.store.c_str(),
+              graph.num_pages(), graph.num_hosts(), graph.num_links(), secs);
+  return graph;
+}
+
 WebGraph Build(SyntheticWebOptions options, const BenchArgs& args) {
+  if (!args.dataset_file.empty()) return OpenStored(args);
   if (args.seed != 0) options.seed = args.seed;
   const auto t0 = std::chrono::steady_clock::now();
   auto graph = GenerateWebGraph(options);
@@ -226,7 +265,14 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
   options.jobs = args.jobs;
   ConfigureObs(args, &options);
   ExperimentRunner runner(options);
-  const int dataset = runner.AddDataset(&graph);
+  // Mmap replays register the dataset *file* so every cell's link DB is
+  // served from the shared mapping (MmapLinkDb) instead of the in-RAM
+  // copy; reopening is cheap and happens once per runner (call_once).
+  // The ram backend — and generated graphs — use the prebuilt view.
+  const bool mmap_replay = !args.dataset_file.empty() && args.store == "mmap";
+  const int dataset =
+      mmap_replay ? runner.AddDataset(StoredDatasetSpec{args.dataset_file})
+                  : runner.AddDataset(&graph);
 
   if (!args.snapshot_dir.empty()) {
     std::error_code ec;
@@ -246,6 +292,10 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
     spec.render_mode = run.render_mode;
     spec.options = std::move(run.options);
     if (args.shards != 0) spec.options.shards = args.shards;
+    // Out-of-core identity: recorded in the snapshot fingerprint, and
+    // the budget sizes the spilling frontier for serial cells.
+    spec.options.dataset_file = args.dataset_file;
+    spec.options.memory_budget_mb = args.memory_budget_mb;
     spec.options.checkpoint_every_pages = args.checkpoint_every;
     spec.options.snapshot_dir = args.snapshot_dir;
     spec.options.progress_every = args.progress_every;

@@ -28,15 +28,29 @@
 namespace lswc::bench {
 
 /// Common command-line flags: --pages=N --seed=N --out-dir=DIR --jobs=N
-/// plus the checkpoint/resume trio --checkpoint-every=N --snapshot-dir=DIR
-/// --resume=DIR and the observability trio --stats-json=FILE
-/// --trace-out=FILE --progress-every=N. Unknown flags abort with a
-/// usage message.
+/// plus the out-of-core trio --dataset-file=FILE --store=mmap|ram
+/// --memory-budget-mb=N, the checkpoint/resume trio
+/// --checkpoint-every=N --snapshot-dir=DIR --resume=DIR and the
+/// observability trio --stats-json=FILE --trace-out=FILE
+/// --progress-every=N. Unknown flags abort with a usage message.
 struct BenchArgs {
   uint32_t pages = 1'000'000;
   uint64_t seed = 0;  // 0 = preset default.
   std::string out_dir = "bench_out";
   unsigned jobs = 0;  // 0 = all hardware threads; 1 = serial.
+  /// Replay this LSWCDS1 dataset file instead of generating the graph
+  /// (stream one with tools/lswc_dataset). --pages/--seed are ignored
+  /// for the replayed dataset; its own size and seed govern.
+  std::string dataset_file;
+  /// Dataset backend when --dataset-file is set: "mmap" (default)
+  /// serves the graph and per-run link DBs straight from one shared
+  /// mapping; "ram" copies the file into heap storage up front. Both
+  /// produce bit-identical series — CI's out-of-core determinism gate.
+  std::string store = "mmap";
+  /// Global memory budget in MiB (0 = unbudgeted). Makes the spilling
+  /// frontier the default and sizes it (plus any disk link cache) from
+  /// one store::PlanMemoryBudget pool.
+  uint64_t memory_budget_mb = 0;
   /// Host-partitioned worker shards per simulation (0 = the serial
   /// engine). Any N produces bit-identical output; the BENCH report
   /// records the value so hash comparisons across shard counts are a

@@ -186,6 +186,8 @@ snapshot::CrawlFingerprint CrawlEngine::Fingerprint() const {
   fp.scheduler_kind = scheduler_->SnapshotKind();
   fp.batch_k = options_.batch_k;
   fp.scorer_spec = options_.scorer_spec;
+  fp.dataset_file = options_.dataset_file;
+  fp.memory_budget_mb = options_.memory_budget_mb;
   return fp;
 }
 

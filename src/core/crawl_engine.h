@@ -123,6 +123,12 @@ struct CrawlEngineOptions {
   /// the BatchFrontier does.
   uint64_t batch_k = 0;
   std::string scorer_spec;
+  /// Out-of-core identity for the snapshot fingerprint: the dataset
+  /// file the run replays (empty = in-RAM graph) and the global memory
+  /// budget in MiB (0 = unbudgeted). The engine does not act on these;
+  /// the drivers size frontiers and link caches from the budget.
+  std::string dataset_file;
+  uint64_t memory_budget_mb = 0;
 };
 
 /// The crawl loop of the paper's Fig 2, extracted so that every driver

@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.h"
 #include "core/crawl_observer.h"
+#include "store/mmap_link_db.h"
 #include "webgraph/link_db.h"
 
 namespace lswc {
@@ -61,18 +62,51 @@ int ExperimentRunner::AddDataset(SyntheticWebOptions options) {
   return static_cast<int>(datasets_.size()) - 1;
 }
 
+int ExperimentRunner::AddDataset(StoredDatasetSpec spec) {
+  auto dataset = std::make_unique<Dataset>();
+  dataset->stored_spec = std::move(spec);
+  datasets_.push_back(std::move(dataset));
+  return static_cast<int>(datasets_.size()) - 1;
+}
+
 StatusOr<const WebGraph*> ExperimentRunner::dataset(int id) {
   if (id < 0 || static_cast<size_t>(id) >= datasets_.size()) {
     return Status::InvalidArgument("unknown dataset id");
   }
   Dataset& dataset = *datasets_[static_cast<size_t>(id)];
   if (dataset.prebuilt != nullptr) return dataset.prebuilt;
-  // Generated: build exactly once, even when several workers race here.
+  // Generated or stored: materialize exactly once, even when several
+  // workers race here.
   std::call_once(dataset.once, [&dataset] {
-    dataset.built.emplace(GenerateWebGraph(*dataset.generate));
+    if (dataset.generate.has_value()) {
+      dataset.built.emplace(GenerateWebGraph(*dataset.generate));
+      return;
+    }
+    const StoredDatasetSpec& spec = *dataset.stored_spec;
+    store::StoredWebGraph::Options open_options;
+    open_options.verify_checksums = spec.verify_checksums;
+    if (spec.backend == store::StoreBackend::kRam) {
+      dataset.built.emplace(
+          store::StoredWebGraph::ReadInRam(spec.path, open_options));
+      return;
+    }
+    auto stored = store::StoredWebGraph::Open(spec.path, open_options);
+    if (!stored.ok()) {
+      dataset.built.emplace(stored.status());
+      return;
+    }
+    dataset.stored = std::move(stored).value();
+    // The view's storage handle shares the mapping, so `built` is
+    // self-sufficient even though `stored` owns the StoredWebGraph.
+    dataset.built.emplace(dataset.stored->NewView());
   });
   if (!dataset.built->ok()) return dataset.built->status();
   return &dataset.built->value();
+}
+
+const store::StoredWebGraph* ExperimentRunner::stored_dataset(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= datasets_.size()) return nullptr;
+  return datasets_[static_cast<size_t>(id)]->stored.get();
 }
 
 RunResult ExperimentRunner::RunOne(const RunSpec& spec, size_t spec_index) {
@@ -114,8 +148,20 @@ RunResult ExperimentRunner::RunOne(const RunSpec& spec, size_t spec_index) {
   }
 
   std::unique_ptr<Classifier> classifier = spec.classifier();
-  InMemoryLinkDb link_db(graph);
-  VirtualWebSpace web(graph, &link_db, spec.render_mode);
+  // Mmap-backed datasets get a link DB sharing the mapping; everything
+  // else replays links from the (possibly view-backed) graph in memory.
+  const store::StoredWebGraph* stored = stored_dataset(spec.dataset);
+  std::unique_ptr<LinkDb> link_db;
+  if (stored != nullptr) {
+    link_db = std::make_unique<store::MmapLinkDb>(*stored);
+  } else {
+    link_db = std::make_unique<InMemoryLinkDb>(graph);
+  }
+  if (out.obs != nullptr && out.obs->enabled) {
+    link_db->AttachObs(&out.obs->registry);
+    if (stored != nullptr) stored->AttachObs(&out.obs->registry);
+  }
+  VirtualWebSpace web(graph, link_db.get(), spec.render_mode);
   LinkTrafficCounter traffic;
   SimulationOptions options = spec.options;
   options.observers.push_back(&traffic);

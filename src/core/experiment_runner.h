@@ -32,12 +32,26 @@
 #include "core/simulator.h"
 #include "core/strategy.h"
 #include "obs/run_obs.h"
+#include "store/format.h"
+#include "store/stored_web_graph.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "webgraph/generator.h"
 
 namespace lswc {
+
+/// A dataset replayed from an LSWCDS1 file instead of generated:
+/// kMmap serves the graph as a zero-copy view over one shared mapping
+/// (and gives every run an MmapLinkDb on that mapping); kRam copies the
+/// file into heap storage up front (runs keep InMemoryLinkDb). Both
+/// answers are bit-identical — that equivalence is CI's out-of-core
+/// determinism gate.
+struct StoredDatasetSpec {
+  std::string path;
+  store::StoreBackend backend = store::StoreBackend::kMmap;
+  bool verify_checksums = true;
+};
 
 /// Builds a fresh classifier for one run. Called once per spec, on the
 /// worker thread that executes the spec.
@@ -141,8 +155,18 @@ class ExperimentRunner {
   /// dataset block; workers on other specs proceed). Returns its id.
   int AddDataset(SyntheticWebOptions options);
 
+  /// Registers a stored dataset file, opened at most once (same
+  /// call_once discipline as generated datasets): every run of every
+  /// spec shares the single mapping. Returns its id.
+  int AddDataset(StoredDatasetSpec spec);
+
   /// Materializes (if needed) and returns dataset `id`.
   StatusOr<const WebGraph*> dataset(int id);
+
+  /// The StoredWebGraph behind dataset `id`, or null when `id` is not a
+  /// materialized mmap-backed dataset. Used by RunOne to hand runs an
+  /// MmapLinkDb sharing the mapping instead of an InMemoryLinkDb.
+  const store::StoredWebGraph* stored_dataset(int id) const;
 
   /// Runs every spec and returns results in spec order, regardless of
   /// completion order. May be called repeatedly; the pool is reused.
@@ -155,8 +179,12 @@ class ExperimentRunner {
   struct Dataset {
     const WebGraph* prebuilt = nullptr;
     std::optional<SyntheticWebOptions> generate;
+    std::optional<StoredDatasetSpec> stored_spec;
     std::once_flag once;
     std::optional<StatusOr<WebGraph>> built;
+    /// Holds the mapping for stored kMmap datasets; `built` then carries
+    /// a view whose storage handle shares it.
+    std::unique_ptr<store::StoredWebGraph> stored;
   };
 
   RunResult RunOne(const RunSpec& spec, size_t spec_index);

@@ -28,8 +28,10 @@ struct FrontierOptions {
   /// pending URLs in memory): SpillingFrontier. Mutually exclusive with
   /// `capacity`. Pop-order only.
   size_t memory_budget = 0;
-  /// Directory for spill files when `memory_budget` is set.
-  std::string spill_dir = "/tmp";
+  /// Directory for spill files when `memory_budget` is set. Empty = a
+  /// unique per-instance subdirectory under $TMPDIR (or /tmp), removed
+  /// when the frontier is destroyed.
+  std::string spill_dir;
   /// Batch regime: URLs selected per rescore iteration (0 = default
   /// kDefaultBatchK). Requires kind == "batch".
   uint32_t batch_k = 0;

@@ -591,6 +591,8 @@ snapshot::CrawlFingerprint ShardedCrawlEngine::Fingerprint() const {
   fp.batch_k = options_.batch_k;
   fp.scorer_spec = options_.scorer_spec;
   fp.num_shards = router_.num_shards();
+  fp.dataset_file = options_.dataset_file;
+  fp.memory_budget_mb = options_.memory_budget_mb;
   return fp;
 }
 

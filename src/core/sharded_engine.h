@@ -92,6 +92,10 @@ struct ShardedEngineOptions {
   /// when the batch regime is selected, so callers may leave them unset.
   uint64_t batch_k = 0;
   std::string scorer_spec;
+  /// Out-of-core identity for the snapshot fingerprint (see
+  /// CrawlEngineOptions).
+  std::string dataset_file;
+  uint64_t memory_budget_mb = 0;
 };
 
 class ShardedCrawlEngine final : public Checkpointable {

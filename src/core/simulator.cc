@@ -8,10 +8,27 @@
 #include "core/obs_observers.h"
 #include "core/sharded_engine.h"
 #include "obs/run_obs.h"
+#include "store/memory_budget.h"
 
 namespace lswc {
 
 namespace {
+
+/// Applies a global memory budget to the frontier knobs: under a budget
+/// the spilling frontier becomes the default, sized to the plan's
+/// frontier share. Explicit frontier settings and the regimes that need
+/// the complete pending set in memory (batch, sharded) are left alone.
+void ApplyMemoryBudget(const SimulationOptions& options,
+                       FrontierOptions* frontier) {
+  if (options.memory_budget_mb == 0) return;
+  if (options.shards != 0 || options.frontier_kind == "batch") return;
+  if (options.frontier_capacity != 0 || options.frontier_memory_budget != 0) {
+    return;
+  }
+  const store::MemoryBudgetPlan plan =
+      store::PlanMemoryBudget(options.memory_budget_mb);
+  frontier->memory_budget = plan.frontier_urls;
+}
 
 /// The resolved batch identity of a run: (0, "") outside the batch
 /// regime, otherwise the defaults filled in. Recorded in the snapshot
@@ -52,6 +69,7 @@ StatusOr<SimulationResult> Simulator::Run() {
   frontier_options.scorers = options_.scorers;
   frontier_options.scorer_seed = web_->graph().generator_seed();
   frontier_options.graph = &web_->graph();
+  ApplyMemoryBudget(options_, &frontier_options);
   auto selection = MakeFrontier(*strategy_, frontier_options);
   if (!selection.ok()) return selection.status();
   FrontierPopScheduler scheduler(selection->frontier.get());
@@ -66,6 +84,8 @@ StatusOr<SimulationResult> Simulator::Run() {
   engine_options.obs = obs;
   engine_options.batch_k = batch.batch_k;
   engine_options.scorer_spec = batch.scorer_spec;
+  engine_options.dataset_file = options_.dataset_file;
+  engine_options.memory_budget_mb = options_.memory_budget_mb;
   CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
                      engine_options);
   if (options_.rng != nullptr) engine.AttachRng(options_.rng);
@@ -158,6 +178,8 @@ StatusOr<SimulationResult> Simulator::RunSharded() {
   engine_options.obs = obs;
   engine_options.batch_k = batch.batch_k;
   engine_options.scorer_spec = batch.scorer_spec;
+  engine_options.dataset_file = options_.dataset_file;
+  engine_options.memory_budget_mb = options_.memory_budget_mb;
   auto created = ShardedCrawlEngine::Create(web_, classifier_, strategy_,
                                             frontier_options, engine_options);
   if (!created.ok()) return created.status();

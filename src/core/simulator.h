@@ -39,7 +39,24 @@ struct SimulationOptions {
   /// overflow URLs spill to files under `spill_dir` and stream back in
   /// order. Mutually exclusive with frontier_capacity.
   size_t frontier_memory_budget = 0;
-  std::string spill_dir = "/tmp";
+  /// Spill-file directory for the spilling frontier. Empty = a unique
+  /// per-instance subdirectory under $TMPDIR (or /tmp), removed when the
+  /// frontier is destroyed.
+  std::string spill_dir;
+  /// Global memory budget in MiB (0 = unbudgeted). One pool sized by
+  /// store::PlanMemoryBudget: half goes to the frontier's resident-URL
+  /// budget — making the disk-spilling frontier the default under a
+  /// budget — and a quarter to the link-database block cache (applied
+  /// by drivers that open a DiskLinkDb). Explicitly set
+  /// frontier_capacity / frontier_memory_budget win over the derived
+  /// split; the batch regime and the sharded engine keep their full
+  /// frontiers (their merges need the complete pending set) and take
+  /// only the identity, which is recorded in the snapshot fingerprint.
+  uint64_t memory_budget_mb = 0;
+  /// LSWCDS1 dataset file this run replays, when it was opened from one
+  /// (empty = generated / in-RAM graph). Identity only: recorded in the
+  /// snapshot fingerprint so a resume cannot cross datasets silently.
+  std::string dataset_file;
   /// Frontier regime: "" or "pop" = the paper's pop-order frontiers;
   /// "batch" = the batch-selection regime (rescore the pending set, pop
   /// the top `batch_k` per iteration). See FrontierOptions::kind.

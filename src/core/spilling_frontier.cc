@@ -1,8 +1,12 @@
 #include "core/spilling_frontier.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cinttypes>
+#include <cstdlib>
 #include <filesystem>
+
+#include <unistd.h>
 
 #include "obs/metrics_registry.h"
 #include "obs/trace_sink.h"
@@ -10,6 +14,23 @@
 #include "util/string_util.h"
 
 namespace lswc {
+
+namespace {
+/// A unique spill directory for one frontier instance: honors $TMPDIR,
+/// and the pid + process-wide sequence keep concurrent runs (and
+/// concurrent frontiers within a run) from ever sharing a directory —
+/// the cross-process collision a fixed "/tmp" default invites.
+std::string UniqueSpillDir() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string base =
+      (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  static std::atomic<uint64_t> sequence{0};
+  return StringPrintf("%s/lswc-spill-%lu-%llu", base.c_str(),
+                      static_cast<unsigned long>(::getpid()),
+                      static_cast<unsigned long long>(
+                          sequence.fetch_add(1, std::memory_order_relaxed)));
+}
+}  // namespace
 
 StatusOr<std::unique_ptr<SpillingFrontier>> SpillingFrontier::Create(
     int num_levels, const Options& options) {
@@ -19,20 +40,24 @@ StatusOr<std::unique_ptr<SpillingFrontier>> SpillingFrontier::Create(
   if (options.chunk == 0 || options.memory_budget < options.chunk * 2) {
     return Status::InvalidArgument("memory_budget must be >= 2 * chunk");
   }
+  Options resolved = options;
+  const bool owns_dir = resolved.spill_dir.empty();
+  if (owns_dir) resolved.spill_dir = UniqueSpillDir();
   std::error_code ec;
-  std::filesystem::create_directories(options.spill_dir, ec);
+  std::filesystem::create_directories(resolved.spill_dir, ec);
   if (ec) {
-    return Status::IoError("cannot create spill dir " + options.spill_dir);
+    return Status::IoError("cannot create spill dir " + resolved.spill_dir);
   }
   auto frontier =
-      std::unique_ptr<SpillingFrontier>(new SpillingFrontier(options));
+      std::unique_ptr<SpillingFrontier>(new SpillingFrontier(resolved));
+  frontier->owns_spill_dir_ = owns_dir;
   frontier->levels_.resize(static_cast<size_t>(num_levels));
   // Probe writability once up front so Push never has to report IO
   // errors (Frontier's interface is infallible by design).
-  const std::string probe = options.spill_dir + "/lswc_spill_probe";
+  const std::string probe = resolved.spill_dir + "/lswc_spill_probe";
   std::FILE* f = std::fopen(probe.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IoError("spill dir not writable: " + options.spill_dir);
+    return Status::IoError("spill dir not writable: " + resolved.spill_dir);
   }
   std::fclose(f);
   std::remove(probe.c_str());
@@ -45,6 +70,12 @@ SpillingFrontier::~SpillingFrontier() {
       std::fclose(level.file);
       std::remove(level.path.c_str());
     }
+  }
+  if (owns_spill_dir_) {
+    // The directory is exclusively ours; it is empty now that the level
+    // files are gone, so plain remove (never remove_all) suffices.
+    std::error_code ec;
+    std::filesystem::remove(options_.spill_dir, ec);
   }
 }
 

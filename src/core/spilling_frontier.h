@@ -31,8 +31,10 @@ class SpillingFrontier final : public Frontier {
     size_t memory_budget = 1 << 20;
     /// URLs moved per file read/write burst.
     size_t chunk = 4096;
-    /// Directory for spill files (created if missing).
-    std::string spill_dir = "/tmp";
+    /// Directory for spill files (created if missing). Empty = a unique
+    /// per-instance subdirectory under $TMPDIR (or /tmp), removed when
+    /// the frontier is destroyed — concurrent runs never collide.
+    std::string spill_dir;
   };
 
   /// Creates the frontier; fails if the spill directory is unusable.
@@ -53,6 +55,9 @@ class SpillingFrontier final : public Frontier {
   size_t in_memory() const;
   /// Total URLs ever written to spill files (diagnostics).
   uint64_t spilled_urls() const { return spilled_urls_; }
+  /// The resolved spill directory (the generated unique one when
+  /// Options::spill_dir was empty).
+  const std::string& spill_dir() const { return options_.spill_dir; }
 
   std::string kind_name() const override { return "spilling"; }
   /// Exports spill activity: counters `spill.bytes_written`,
@@ -92,6 +97,9 @@ class SpillingFrontier final : public Frontier {
   void EnforceBudget();
 
   Options options_;
+  /// True when the frontier created its own unique spill directory (an
+  /// empty Options::spill_dir) and must remove it on destruction.
+  bool owns_spill_dir_ = false;
   std::vector<Level> levels_;
   size_t size_ = 0;
   size_t max_size_ = 0;

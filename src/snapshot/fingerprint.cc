@@ -18,6 +18,8 @@ void CrawlFingerprint::Save(SectionWriter* w) const {
   w->U64(batch_k);
   w->Str(scorer_spec);
   w->U64(num_shards);
+  w->Str(dataset_file);
+  w->U64(memory_budget_mb);
 }
 
 StatusOr<CrawlFingerprint> CrawlFingerprint::Load(SectionReader* r) {
@@ -37,6 +39,8 @@ StatusOr<CrawlFingerprint> CrawlFingerprint::Load(SectionReader* r) {
   fp.batch_k = r->U64();
   fp.scorer_spec = r->Str();
   fp.num_shards = r->U64();
+  fp.dataset_file = r->Str();
+  fp.memory_budget_mb = r->U64();
   LSWC_RETURN_IF_ERROR(r->status());
   return fp;
 }
@@ -103,6 +107,14 @@ Status CrawlFingerprint::Match(const CrawlFingerprint& other) const {
   }
   if (num_shards != other.num_shards) {
     return Mismatch("num_shards", u(other.num_shards), u(num_shards));
+  }
+  if (dataset_file != other.dataset_file) {
+    return Mismatch("dataset_file", "'" + other.dataset_file + "'",
+                    "'" + dataset_file + "'");
+  }
+  if (memory_budget_mb != other.memory_budget_mb) {
+    return Mismatch("memory_budget_mb", u(other.memory_budget_mb),
+                    u(memory_budget_mb));
   }
   return Status::OK();
 }

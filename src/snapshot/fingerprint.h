@@ -55,6 +55,14 @@ struct CrawlFingerprint {
   // accident — see docs/ARCHITECTURE.md "Sharded crawl pipeline").
   uint64_t num_shards = 0;
 
+  // Out-of-core identity: the LSWCDS1 dataset file the run replays
+  // (empty = generated / in-RAM graph) and the global memory budget in
+  // MiB (0 = unbudgeted). The budget changes the frontier's spill
+  // schedule and the link cache geometry, so a snapshot resumed under a
+  // different budget would not replay the same scheduler state.
+  std::string dataset_file;
+  uint64_t memory_budget_mb = 0;
+
   void Save(SectionWriter* w) const;
   static StatusOr<CrawlFingerprint> Load(SectionReader* r);
 

@@ -1,0 +1,184 @@
+#include "store/dataset_writer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace lswc::store {
+
+StatusOr<std::unique_ptr<DatasetWriter>> DatasetWriter::Create(
+    const std::string& path) {
+  auto w = std::unique_ptr<DatasetWriter>(new DatasetWriter());
+  w->path_ = path;
+  w->tmp_path_ = path + ".tmp";
+  w->file_ = std::fopen(w->tmp_path_.c_str(), "wb");
+  if (w->file_ == nullptr) {
+    return Status::IoError("cannot create " + w->tmp_path_);
+  }
+  LSWC_RETURN_IF_ERROR(w->WriteRaw(kDatasetMagic, sizeof(kDatasetMagic)));
+  const uint32_t version = kFormatVersion;
+  const uint32_t flags = 0;
+  LSWC_RETURN_IF_ERROR(w->WriteRaw(&version, sizeof(version)));
+  LSWC_RETURN_IF_ERROR(w->WriteRaw(&flags, sizeof(flags)));
+  return w;
+}
+
+DatasetWriter::~DatasetWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    if (!finished_) std::remove(tmp_path_.c_str());
+  }
+}
+
+Status DatasetWriter::WriteRaw(const void* data, size_t size) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer closed");
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return Status::IoError("write failed: " + tmp_path_);
+  }
+  file_offset_ += size;
+  return Status::OK();
+}
+
+Status DatasetWriter::PadTo(uint64_t alignment) {
+  static constexpr char kZeros[64] = {};
+  while (file_offset_ % alignment != 0) {
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(alignment - file_offset_ % alignment,
+                           sizeof(kZeros)));
+    LSWC_RETURN_IF_ERROR(WriteRaw(kZeros, n));
+  }
+  return Status::OK();
+}
+
+Status DatasetWriter::BeginSection(uint32_t id) {
+  if (finished_) return Status::FailedPrecondition("writer finished");
+  if (in_section_) return Status::FailedPrecondition("section still open");
+  for (const SectionEntry& e : directory_) {
+    if (e.id == id) return Status::InvalidArgument("duplicate section id");
+  }
+  LSWC_RETURN_IF_ERROR(PadTo(kSectionAlignment));
+  current_ = SectionEntry{};
+  current_.id = id;
+  current_.offset = file_offset_;
+  in_section_ = true;
+  return Status::OK();
+}
+
+Status DatasetWriter::Append(const void* data, size_t size) {
+  if (!in_section_) return Status::FailedPrecondition("no open section");
+  LSWC_RETURN_IF_ERROR(WriteRaw(data, size));
+  current_.crc32 = Crc32Update(current_.crc32, data, size);
+  current_.size += size;
+  return Status::OK();
+}
+
+Status DatasetWriter::EndSection() {
+  if (!in_section_) return Status::FailedPrecondition("no open section");
+  in_section_ = false;
+  directory_.push_back(current_);
+  return Status::OK();
+}
+
+Status DatasetWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("Finish called twice");
+  if (in_section_) return Status::FailedPrecondition("section still open");
+  LSWC_RETURN_IF_ERROR(PadTo(alignof(SectionEntry)));
+  Trailer trailer;
+  trailer.directory_offset = file_offset_;
+  trailer.section_count = static_cast<uint32_t>(directory_.size());
+  trailer.directory_crc32 =
+      Crc32(directory_.data(), directory_.size() * sizeof(SectionEntry));
+  LSWC_RETURN_IF_ERROR(
+      WriteRaw(directory_.data(), directory_.size() * sizeof(SectionEntry)));
+  trailer.file_size = file_offset_ + sizeof(Trailer);
+  std::memcpy(trailer.magic, kDatasetMagic, sizeof(trailer.magic));
+  LSWC_RETURN_IF_ERROR(WriteRaw(&trailer, sizeof(trailer)));
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush failed: " + tmp_path_);
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IoError("close failed: " + tmp_path_);
+  }
+  file_ = nullptr;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    return Status::IoError("rename failed: " + path_);
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Status WriteDatasetFile(const WebGraph& graph, const std::string& path) {
+  auto writer_or = DatasetWriter::Create(path);
+  if (!writer_or.ok()) return writer_or.status();
+  DatasetWriter& w = **writer_or;
+
+  // Physical section order matches the streamed generator exactly
+  // (hosts and pages as soon as they exist, targets while offsets are
+  // still accumulating, bookkeeping at the end), so a dataset written
+  // from a materialized graph is byte-identical to one streamed by
+  // GenerateWebGraphToFile with the same seed.
+  LSWC_RETURN_IF_ERROR(w.BeginSection(kHostsSection));
+  for (size_t h = 0; h < graph.num_hosts(); ++h) {
+    LSWC_RETURN_IF_ERROR(w.AppendPod(graph.host(static_cast<uint32_t>(h))));
+  }
+  LSWC_RETURN_IF_ERROR(w.EndSection());
+
+  LSWC_RETURN_IF_ERROR(w.BeginSection(kPagesSection));
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    LSWC_RETURN_IF_ERROR(w.AppendPod(graph.page(p)));
+  }
+  LSWC_RETURN_IF_ERROR(w.EndSection());
+
+  LSWC_RETURN_IF_ERROR(w.BeginSection(kTargetsSection));
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    const auto links = graph.outlinks(p);
+    LSWC_RETURN_IF_ERROR(
+        w.Append(links.data(), links.size() * sizeof(PageId)));
+  }
+  LSWC_RETURN_IF_ERROR(w.EndSection());
+
+  LSWC_RETURN_IF_ERROR(w.BeginSection(kOffsetsSection));
+  uint32_t offset = 0;
+  LSWC_RETURN_IF_ERROR(w.AppendPod(offset));
+  for (PageId p = 0; p < graph.num_pages(); ++p) {
+    offset += static_cast<uint32_t>(graph.outlinks(p).size());
+    LSWC_RETURN_IF_ERROR(w.AppendPod(offset));
+  }
+  LSWC_RETURN_IF_ERROR(w.EndSection());
+
+  LSWC_RETURN_IF_ERROR(w.BeginSection(kSeedsSection));
+  for (PageId s : graph.seeds()) {
+    LSWC_RETURN_IF_ERROR(w.AppendPod(s));
+  }
+  LSWC_RETURN_IF_ERROR(w.EndSection());
+
+  const DatasetStats stats = graph.ComputeStats();
+  DatasetStatsRecord stats_record;
+  stats_record.total_urls = stats.total_urls;
+  stats_record.ok_html_pages = stats.ok_html_pages;
+  stats_record.relevant_ok_pages = stats.relevant_ok_pages;
+  stats_record.irrelevant_ok_pages = stats.irrelevant_ok_pages;
+  LSWC_RETURN_IF_ERROR(w.BeginSection(kStatsSection));
+  LSWC_RETURN_IF_ERROR(w.AppendPod(stats_record));
+  LSWC_RETURN_IF_ERROR(w.EndSection());
+
+  DatasetMeta meta;
+  meta.page_record_bytes = sizeof(PageRecord);
+  meta.host_record_bytes = sizeof(HostRecord);
+  meta.generator_seed = graph.generator_seed();
+  meta.num_pages = graph.num_pages();
+  meta.num_hosts = graph.num_hosts();
+  meta.num_links = graph.num_links();
+  meta.num_seeds = graph.seeds().size();
+  meta.target_language = static_cast<uint8_t>(graph.target_language());
+  LSWC_RETURN_IF_ERROR(w.BeginSection(kMetaSection));
+  LSWC_RETURN_IF_ERROR(w.AppendPod(meta));
+  LSWC_RETURN_IF_ERROR(w.EndSection());
+
+  return w.Finish();
+}
+
+}  // namespace lswc::store

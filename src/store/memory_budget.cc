@@ -1,0 +1,29 @@
+#include "store/memory_budget.h"
+
+#include <algorithm>
+
+namespace lswc::store {
+
+MemoryBudgetPlan PlanMemoryBudget(uint64_t budget_mb) {
+  MemoryBudgetPlan plan;
+  if (budget_mb == 0) return plan;
+  plan.budget_bytes = budget_mb * (uint64_t{1} << 20);
+
+  // Frontier half. A resident frontier URL costs ~8 bytes (the PageId
+  // plus deque/bookkeeping overhead); at least one spill chunk's worth
+  // so tiny budgets still make progress.
+  const uint64_t frontier_bytes = plan.budget_bytes / 2;
+  plan.frontier_urls =
+      std::max<size_t>(static_cast<size_t>(frontier_bytes / 8), 8192);
+
+  // Link-cache quarter, in DiskLinkDb's default 64 KiB blocks.
+  plan.link_cache_block_words = 16384;  // 64 KiB of u32 targets.
+  const uint64_t cache_bytes = plan.budget_bytes / 4;
+  plan.linkdb_cache_blocks = std::max<size_t>(
+      static_cast<size_t>(
+          cache_bytes / (plan.link_cache_block_words * sizeof(uint32_t))),
+      4);
+  return plan;
+}
+
+}  // namespace lswc::store

@@ -1,0 +1,40 @@
+#ifndef LSWC_STORE_MEMORY_BUDGET_H_
+#define LSWC_STORE_MEMORY_BUDGET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lswc::store {
+
+/// How one `--memory-budget-mb=` pool is carved up among the parts of a
+/// run that would otherwise grow without bound. The split is fixed and
+/// documented (ARCHITECTURE.md "Dataset store"):
+///
+///   50%  frontier     — in-memory URL window of the spilling frontier;
+///                       everything beyond it goes to the spill files.
+///   25%  link cache   — DiskLinkDb block-cache blocks.
+///   25%  headroom     — crawl state (seen bitmap, metrics, samples)
+///                       and allocator slack; not handed to anyone.
+///
+/// mmap-backed graph sections are deliberately outside the pool: the
+/// kernel already evicts those pages under pressure, so budgeting them
+/// would double-count.
+struct MemoryBudgetPlan {
+  /// 0 everywhere = unbudgeted (the pre-knob behavior).
+  uint64_t budget_bytes = 0;
+  /// SpillingFrontierOptions::memory_budget (URLs resident in RAM).
+  size_t frontier_urls = 0;
+  /// DiskLinkDbOptions::max_cached_blocks for `link_cache_block_words`
+  /// sized blocks.
+  size_t linkdb_cache_blocks = 0;
+  size_t link_cache_block_words = 0;
+};
+
+/// Plans a budget of `budget_mb` MiB. `budget_mb == 0` returns the
+/// unbudgeted plan. Every field is derived deterministically from the
+/// arguments, so the plan can sit in a snapshot fingerprint.
+MemoryBudgetPlan PlanMemoryBudget(uint64_t budget_mb);
+
+}  // namespace lswc::store
+
+#endif  // LSWC_STORE_MEMORY_BUDGET_H_

@@ -1,0 +1,83 @@
+#include "store/mmap_file.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LSWC_STORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace lswc::store {
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      fallback_(std::move(other.fallback_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    this->~MappedFile();
+    new (this) MappedFile(std::move(other));
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if LSWC_STORE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+#if LSWC_STORE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::Corruption("empty file: " + path);
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is
+  // only needed to create it.
+  ::close(fd);
+  if (addr == MAP_FAILED) return Status::IoError("mmap failed: " + path);
+  MappedFile f;
+  f.data_ = static_cast<const std::byte*>(addr);
+  f.size_ = size;
+  f.mapped_ = true;
+  return f;
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  const std::streamoff size = in.tellg();
+  if (size <= 0) return Status::Corruption("empty file: " + path);
+  MappedFile f;
+  f.fallback_.resize(static_cast<size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(f.fallback_.data()), size);
+  if (!in.good()) return Status::IoError("read failed: " + path);
+  f.data_ = f.fallback_.data();
+  f.size_ = f.fallback_.size();
+  f.mapped_ = false;
+  return f;
+#endif
+}
+
+}  // namespace lswc::store

@@ -1,0 +1,42 @@
+#ifndef LSWC_STORE_MMAP_FILE_H_
+#define LSWC_STORE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lswc::store {
+
+/// A read-only view of a whole file. On POSIX this is a real
+/// PROT_READ mapping — opening a 5 GB dataset costs no I/O until pages
+/// are touched, and untouched sections never enter RSS. Elsewhere it
+/// degrades to reading the file into a heap buffer so the rest of the
+/// store keeps working (is_mapped() tells the two apart).
+class MappedFile {
+ public:
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  ~MappedFile();
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> fallback_;  // Owns the bytes when !mapped_.
+};
+
+}  // namespace lswc::store
+
+#endif  // LSWC_STORE_MMAP_FILE_H_

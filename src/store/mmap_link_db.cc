@@ -1,0 +1,34 @@
+#include "store/mmap_link_db.h"
+
+namespace lswc::store {
+
+StatusOr<std::unique_ptr<MmapLinkDb>> MmapLinkDb::Open(
+    const std::string& path, StoredWebGraph::Options options) {
+  auto stored = StoredWebGraph::Open(path, options);
+  if (!stored.ok()) return stored.status();
+  return std::make_unique<MmapLinkDb>(**stored);
+}
+
+Status MmapLinkDb::GetOutlinks(PageId id, std::vector<PageId>* out) {
+  out->clear();
+  if (static_cast<size_t>(id) >= num_pages()) {
+    return Status::NotFound("page id range");
+  }
+  ++outlink_reads_;
+  const uint32_t begin = offsets_[id];
+  const uint32_t end = offsets_[id + 1];
+  out->assign(targets_.begin() + begin, targets_.begin() + end);
+  if (obs_reads_ != nullptr) {
+    obs_reads_->Increment();
+    obs_links_served_->Add(end - begin);
+  }
+  return Status::OK();
+}
+
+void MmapLinkDb::AttachObs(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  obs_reads_ = registry->counter("store.outlink_reads");
+  obs_links_served_ = registry->counter("store.links_served");
+}
+
+}  // namespace lswc::store

@@ -1,0 +1,51 @@
+#ifndef LSWC_STORE_MMAP_LINK_DB_H_
+#define LSWC_STORE_MMAP_LINK_DB_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "store/stored_web_graph.h"
+#include "util/status.h"
+#include "webgraph/link_db.h"
+
+namespace lswc::store {
+
+/// LinkDb sibling of DiskLinkDb serving CSR spans straight from an
+/// LSWCDS1 mapping: no resident offsets array, no block cache of its
+/// own — the OS page cache is the cache, so a 10^9-link database costs
+/// only the pages the crawl actually touches. Several of these (one per
+/// shard) can share one mapping for free.
+class MmapLinkDb final : public LinkDb {
+ public:
+  /// Shares `stored`'s mapping; the keep-alive handle means the link DB
+  /// stays valid even if `stored` is destroyed first.
+  explicit MmapLinkDb(const StoredWebGraph& stored)
+      : mapping_(stored.mapping()),
+        offsets_(stored.offsets()),
+        targets_(stored.targets()) {}
+
+  /// Opens a mapping of its own (standalone use, e.g. tools).
+  static StatusOr<std::unique_ptr<MmapLinkDb>> Open(
+      const std::string& path, StoredWebGraph::Options options = {});
+
+  Status GetOutlinks(PageId id, std::vector<PageId>* out) override;
+  size_t num_pages() const override { return offsets_.size() - 1; }
+
+  void AttachObs(obs::MetricsRegistry* registry) override;
+
+  uint64_t outlink_reads() const { return outlink_reads_; }
+
+ private:
+  std::shared_ptr<const void> mapping_;
+  std::span<const uint32_t> offsets_;
+  std::span<const PageId> targets_;
+  uint64_t outlink_reads_ = 0;
+  obs::Counter* obs_reads_ = nullptr;
+  obs::Counter* obs_links_served_ = nullptr;
+};
+
+}  // namespace lswc::store
+
+#endif  // LSWC_STORE_MMAP_LINK_DB_H_

@@ -1,0 +1,338 @@
+#include "store/stored_web_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/crc32.h"
+
+namespace lswc::store {
+
+namespace {
+
+/// The sections of a verified dataset file, as spans into the mapping.
+/// The directory entries ride along so the (optional) checksum pass can
+/// re-read each section from the file without consulting the mapping.
+struct ParsedDataset {
+  DatasetMeta meta;
+  DatasetStatsRecord stats;
+  std::span<const PageRecord> pages;
+  std::span<const HostRecord> hosts;
+  std::span<const uint32_t> offsets;
+  std::span<const PageId> targets;
+  std::span<const PageId> seeds;
+  SectionEntry meta_entry, hosts_entry, pages_entry, offsets_entry,
+      targets_entry, seeds_entry, stats_entry;
+};
+
+StatusOr<SectionEntry> FindSection(const std::span<const SectionEntry> dir,
+                                   uint32_t id, uint64_t payload_end) {
+  for (const SectionEntry& e : dir) {
+    if (e.id != id) continue;
+    if (e.offset % 4 != 0 || e.offset > payload_end ||
+        e.size > payload_end - e.offset) {
+      return Status::Corruption("section out of bounds");
+    }
+    return e;
+  }
+  return Status::Corruption("missing dataset section");
+}
+
+/// Structural validation of the file through the mapping: magic,
+/// trailer, directory checksum, section bounds/sizes, meta sanity, CSR
+/// endpoints, and seed ranges. Deliberately touches only a few KiB of
+/// the mapping (header, trailer, directory, meta, stats, seeds, the
+/// first and last offset page) so opening a multi-GiB dataset leaves it
+/// non-resident. The expensive whole-file checks — section CRCs, offset
+/// monotonicity, target and page->host ranges — live in
+/// VerifyDatasetStreaming below, which reads the file through a bounded
+/// buffer instead of the mapping.
+StatusOr<ParsedDataset> ParseDataset(const MappedFile& file) {
+  const std::byte* base = file.data();
+  const uint64_t size = file.size();
+  if (size < 16 + sizeof(Trailer)) {
+    return Status::Corruption("dataset file too small");
+  }
+  if (std::memcmp(base, kDatasetMagic, sizeof(kDatasetMagic)) != 0) {
+    return Status::Corruption("bad dataset magic");
+  }
+  uint32_t version;
+  std::memcpy(&version, base + 8, sizeof(version));
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported dataset version");
+  }
+  Trailer trailer;
+  std::memcpy(&trailer, base + size - sizeof(Trailer), sizeof(Trailer));
+  if (std::memcmp(trailer.magic, kDatasetMagic, sizeof(trailer.magic)) != 0) {
+    return Status::Corruption("bad trailer magic");
+  }
+  if (trailer.file_size != size) {
+    return Status::Corruption("dataset file truncated or grown");
+  }
+  const uint64_t payload_end = size - sizeof(Trailer);
+  const uint64_t dir_bytes =
+      static_cast<uint64_t>(trailer.section_count) * sizeof(SectionEntry);
+  if (trailer.directory_offset % alignof(SectionEntry) != 0 ||
+      trailer.directory_offset > payload_end ||
+      dir_bytes != payload_end - trailer.directory_offset) {
+    return Status::Corruption("directory out of bounds");
+  }
+  const std::byte* dir_base = base + trailer.directory_offset;
+  if (Crc32(dir_base, dir_bytes) != trailer.directory_crc32) {
+    return Status::Corruption("directory checksum mismatch");
+  }
+  const std::span<const SectionEntry> dir(
+      reinterpret_cast<const SectionEntry*>(dir_base), trailer.section_count);
+
+  ParsedDataset out;
+  struct Want {
+    uint32_t id;
+    SectionEntry* entry;
+  } wants[] = {
+      {kMetaSection, &out.meta_entry},
+      {kHostsSection, &out.hosts_entry},
+      {kPagesSection, &out.pages_entry},
+      {kOffsetsSection, &out.offsets_entry},
+      {kTargetsSection, &out.targets_entry},
+      {kSeedsSection, &out.seeds_entry},
+      {kStatsSection, &out.stats_entry},
+  };
+  for (const Want& want : wants) {
+    auto entry = FindSection(dir, want.id, trailer.directory_offset);
+    if (!entry.ok()) return entry.status();
+    *want.entry = entry.value();
+  }
+  const SectionEntry& meta_entry = out.meta_entry;
+  const SectionEntry& hosts_entry = out.hosts_entry;
+  const SectionEntry& pages_entry = out.pages_entry;
+  const SectionEntry& offsets_entry = out.offsets_entry;
+  const SectionEntry& targets_entry = out.targets_entry;
+  const SectionEntry& seeds_entry = out.seeds_entry;
+  const SectionEntry& stats_entry = out.stats_entry;
+
+  if (meta_entry.size != sizeof(DatasetMeta)) {
+    return Status::Corruption("bad meta section size");
+  }
+  std::memcpy(&out.meta, base + meta_entry.offset, sizeof(DatasetMeta));
+  const DatasetMeta& meta = out.meta;
+  if (meta.page_record_bytes != sizeof(PageRecord) ||
+      meta.host_record_bytes != sizeof(HostRecord)) {
+    return Status::Corruption("incompatible record layout");
+  }
+  if (meta.num_pages == 0) return Status::Corruption("dataset has no pages");
+  if (meta.num_pages > UINT32_MAX - 1 || meta.num_links > UINT32_MAX) {
+    return Status::Corruption("dataset exceeds 32-bit page/link ids");
+  }
+  if (meta.target_language > static_cast<uint8_t>(Language::kOther)) {
+    return Status::Corruption("bad target language");
+  }
+  if (stats_entry.size != sizeof(DatasetStatsRecord)) {
+    return Status::Corruption("bad stats section size");
+  }
+  std::memcpy(&out.stats, base + stats_entry.offset,
+              sizeof(DatasetStatsRecord));
+
+  if (hosts_entry.size != meta.num_hosts * sizeof(HostRecord) ||
+      pages_entry.size != meta.num_pages * sizeof(PageRecord) ||
+      offsets_entry.size != (meta.num_pages + 1) * sizeof(uint32_t) ||
+      targets_entry.size != meta.num_links * sizeof(PageId) ||
+      seeds_entry.size != meta.num_seeds * sizeof(PageId)) {
+    return Status::Corruption("section size disagrees with meta counts");
+  }
+  out.hosts = {reinterpret_cast<const HostRecord*>(base + hosts_entry.offset),
+               static_cast<size_t>(meta.num_hosts)};
+  out.pages = {reinterpret_cast<const PageRecord*>(base + pages_entry.offset),
+               static_cast<size_t>(meta.num_pages)};
+  out.offsets = {
+      reinterpret_cast<const uint32_t*>(base + offsets_entry.offset),
+      static_cast<size_t>(meta.num_pages) + 1};
+  out.targets = {reinterpret_cast<const PageId*>(base + targets_entry.offset),
+                 static_cast<size_t>(meta.num_links)};
+  out.seeds = {reinterpret_cast<const PageId*>(base + seeds_entry.offset),
+               static_cast<size_t>(meta.num_seeds)};
+
+  // CSR endpoints are non-negotiable; the full monotonicity, target and
+  // page->host scans ride with verify_checksums in
+  // VerifyDatasetStreaming (they are cheaper than the CRC pass they
+  // accompany).
+  if (out.offsets.front() != 0 ||
+      out.offsets.back() != static_cast<uint32_t>(meta.num_links)) {
+    return Status::Corruption("CSR offset endpoints wrong");
+  }
+  for (PageId s : out.seeds) {
+    if (s >= meta.num_pages) return Status::Corruption("seed out of range");
+  }
+  return out;
+}
+
+/// Streams one section's payload from `f` in bounded chunks (a multiple
+/// of `stride`, so fixed-size records never straddle a chunk boundary),
+/// accumulating the CRC and handing each chunk to `visit` for semantic
+/// checks. Reading through stdio instead of the mapping keeps verified
+/// bytes in the shared page cache, not in this process's RSS.
+template <typename Visit>
+Status ScanSection(std::FILE* f, const SectionEntry& entry, size_t stride,
+                   Visit visit) {
+  constexpr size_t kChunkBytes = size_t{1} << 20;
+  const size_t chunk = std::max(stride, kChunkBytes / stride * stride);
+  std::vector<std::byte> buf(chunk);
+  if (std::fseek(f, static_cast<long>(entry.offset), SEEK_SET) != 0) {
+    return Status::IoError("dataset seek failed during verification");
+  }
+  uint64_t remaining = entry.size;
+  uint32_t crc = 0;
+  while (remaining > 0) {
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(remaining, static_cast<uint64_t>(chunk)));
+    if (std::fread(buf.data(), 1, n, f) != n) {
+      return Status::IoError("dataset read failed during verification");
+    }
+    crc = Crc32Update(crc, buf.data(), n);
+    LSWC_RETURN_IF_ERROR(visit(buf.data(), n));
+    remaining -= n;
+  }
+  if (crc != entry.crc32) {
+    return Status::Corruption("section checksum mismatch");
+  }
+  return Status::OK();
+}
+
+/// The expensive open-time checks, via bounded buffered reads: every
+/// section's CRC32, CSR offset monotonicity, link targets < num_pages,
+/// and page->host < num_hosts. A single ~1 MiB buffer is the only
+/// allocation, so verifying a 100M-page dataset costs the same RSS as
+/// verifying a toy one.
+Status VerifyDatasetStreaming(const std::string& path,
+                              const ParsedDataset& p) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot reopen dataset for verification");
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  auto crc_only = [](const std::byte*, size_t) { return Status::OK(); };
+  LSWC_RETURN_IF_ERROR(ScanSection(f, p.meta_entry, 1, crc_only));
+  LSWC_RETURN_IF_ERROR(ScanSection(f, p.stats_entry, 1, crc_only));
+  LSWC_RETURN_IF_ERROR(ScanSection(f, p.hosts_entry, 1, crc_only));
+  LSWC_RETURN_IF_ERROR(ScanSection(f, p.seeds_entry, 1, crc_only));
+
+  const uint64_t num_pages = p.meta.num_pages;
+  const uint64_t num_hosts = p.meta.num_hosts;
+  uint32_t prev_offset = 0;
+  LSWC_RETURN_IF_ERROR(ScanSection(
+      f, p.offsets_entry, sizeof(uint32_t),
+      [&prev_offset](const std::byte* data, size_t n) {
+        const uint32_t* v = reinterpret_cast<const uint32_t*>(data);
+        for (size_t i = 0; i < n / sizeof(uint32_t); ++i) {
+          if (v[i] < prev_offset) {
+            return Status::Corruption("CSR offsets not monotonic");
+          }
+          prev_offset = v[i];
+        }
+        return Status::OK();
+      }));
+  LSWC_RETURN_IF_ERROR(ScanSection(
+      f, p.targets_entry, sizeof(PageId),
+      [num_pages](const std::byte* data, size_t n) {
+        const PageId* t = reinterpret_cast<const PageId*>(data);
+        for (size_t i = 0; i < n / sizeof(PageId); ++i) {
+          if (t[i] >= num_pages) {
+            return Status::Corruption("link target out of range");
+          }
+        }
+        return Status::OK();
+      }));
+  LSWC_RETURN_IF_ERROR(ScanSection(
+      f, p.pages_entry, sizeof(PageRecord),
+      [num_hosts](const std::byte* data, size_t n) {
+        const PageRecord* pages = reinterpret_cast<const PageRecord*>(data);
+        for (size_t i = 0; i < n / sizeof(PageRecord); ++i) {
+          if (pages[i].host >= num_hosts) {
+            return Status::Corruption("page host out of range");
+          }
+        }
+        return Status::OK();
+      }));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<StoredWebGraph>> StoredWebGraph::Open(
+    const std::string& path, Options options) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  auto mapping =
+      std::make_shared<const MappedFile>(std::move(file).value());
+  auto parsed = ParseDataset(*mapping);
+  if (!parsed.ok()) return parsed.status();
+  const ParsedDataset& p = parsed.value();
+  if (options.verify_checksums) {
+    LSWC_RETURN_IF_ERROR(VerifyDatasetStreaming(path, p));
+  }
+
+  auto stored = std::unique_ptr<StoredWebGraph>(new StoredWebGraph());
+  stored->path_ = path;
+  stored->mapping_ = mapping;
+  stored->offsets_ = p.offsets;
+  stored->targets_ = p.targets;
+  stored->stats_ = p.stats;
+  stored->mapped_bytes_ = mapping->size();
+  stored->graph_ = WebGraph::View(
+      p.pages, p.hosts, p.offsets, p.targets, p.seeds,
+      static_cast<Language>(p.meta.target_language), p.meta.generator_seed,
+      mapping);
+  return stored;
+}
+
+namespace {
+/// Heap home of a ReadInRam graph; referenced by the graph's storage
+/// pointer.
+struct RamDatasetStorage {
+  std::vector<PageRecord> pages;
+  std::vector<HostRecord> hosts;
+  std::vector<uint32_t> offsets;
+  std::vector<PageId> targets;
+  std::vector<PageId> seeds;
+};
+}  // namespace
+
+StatusOr<WebGraph> StoredWebGraph::ReadInRam(const std::string& path,
+                                             Options options) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  auto parsed = ParseDataset(file.value());
+  if (!parsed.ok()) return parsed.status();
+  const ParsedDataset& p = parsed.value();
+  if (options.verify_checksums) {
+    LSWC_RETURN_IF_ERROR(VerifyDatasetStreaming(path, p));
+  }
+  auto storage = std::make_shared<RamDatasetStorage>();
+  storage->pages.assign(p.pages.begin(), p.pages.end());
+  storage->hosts.assign(p.hosts.begin(), p.hosts.end());
+  storage->offsets.assign(p.offsets.begin(), p.offsets.end());
+  storage->targets.assign(p.targets.begin(), p.targets.end());
+  storage->seeds.assign(p.seeds.begin(), p.seeds.end());
+  return WebGraph::View(storage->pages, storage->hosts, storage->offsets,
+                        storage->targets, storage->seeds,
+                        static_cast<Language>(p.meta.target_language),
+                        p.meta.generator_seed, storage);
+}
+
+WebGraph StoredWebGraph::NewView() const {
+  return WebGraph::View(graph_.pages_, graph_.hosts_, graph_.offsets_,
+                        graph_.targets_, graph_.seeds_,
+                        graph_.target_language(), graph_.generator_seed(),
+                        mapping_);
+}
+
+void StoredWebGraph::AttachObs(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->gauge("store.bytes_mapped")->Set(mapped_bytes_);
+}
+
+}  // namespace lswc::store

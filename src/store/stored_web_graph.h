@@ -1,0 +1,86 @@
+#ifndef LSWC_STORE_STORED_WEB_GRAPH_H_
+#define LSWC_STORE_STORED_WEB_GRAPH_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "obs/metrics_registry.h"
+#include "store/format.h"
+#include "store/mmap_file.h"
+#include "util/status.h"
+#include "webgraph/graph.h"
+
+namespace lswc::store {
+
+/// An LSWCDS1 dataset served in place: Open() maps the file, verifies
+/// the directory (and, by default, every section checksum), and builds
+/// a WebGraph whose spans point straight into the mapping — zero parse
+/// cost, zero copies, and the OS page cache as the only resident state.
+///
+/// Ownership contract: graph() is a *view*, but a self-sufficient one.
+/// The mapping is held by a shared_ptr that the WebGraph's storage
+/// pointer also references, so the graph — and anything built on it
+/// (VirtualWebSpace, MmapLinkDb, per-shard link DBs) — stays valid even
+/// if the StoredWebGraph object itself is destroyed first.
+/// Open-time validation knobs (the DiskLinkDbOptions pattern: defined
+/// outside the class so `= {}` default arguments can use it).
+struct DatasetOpenOptions {
+  /// Verify every section's CRC32 (plus CSR monotonicity and id-range
+  /// scans) on open. One sequential buffered read of the file through a
+  /// ~1 MiB scratch buffer — never through the mapping, so even a
+  /// multi-GiB dataset stays non-resident. Disable when open latency
+  /// matters more than early corruption detection (the directory,
+  /// trailer, and structural bounds are always verified).
+  bool verify_checksums = true;
+};
+
+class StoredWebGraph {
+ public:
+  using Options = DatasetOpenOptions;
+
+  static StatusOr<std::unique_ptr<StoredWebGraph>> Open(
+      const std::string& path, Options options = {});
+
+  /// The --store=ram path: reads the same file but copies every section
+  /// into heap-owned storage, for baselines and for machines where
+  /// touching the mapping mid-crawl is slower than paying all I/O up
+  /// front.
+  static StatusOr<WebGraph> ReadInRam(const std::string& path,
+                                      Options options = {});
+
+  const WebGraph& graph() const { return graph_; }
+  /// A fresh self-sufficient view of the same dataset: same spans, own
+  /// keep-alive handle on the mapping. WebGraph is move-only, so callers
+  /// that want to *own* a graph by value (drivers returning WebGraph)
+  /// take a view from here instead of copying graph().
+  WebGraph NewView() const;
+  const std::string& path() const { return path_; }
+  uint64_t mapped_bytes() const { return mapped_bytes_; }
+  const DatasetStatsRecord& stats() const { return stats_; }
+
+  /// CSR spans for link serving (MmapLinkDb); backed by the mapping.
+  std::span<const uint32_t> offsets() const { return offsets_; }
+  std::span<const PageId> targets() const { return targets_; }
+  /// Keep-alive handle for objects that outlive this StoredWebGraph.
+  std::shared_ptr<const MappedFile> mapping() const { return mapping_; }
+
+  /// Reports `store.bytes_mapped` (gauge); merged across runs it keeps
+  /// the high-water mark.
+  void AttachObs(obs::MetricsRegistry* registry) const;
+
+ private:
+  StoredWebGraph() = default;
+
+  std::string path_;
+  std::shared_ptr<const MappedFile> mapping_;
+  WebGraph graph_;
+  std::span<const uint32_t> offsets_;
+  std::span<const PageId> targets_;
+  DatasetStatsRecord stats_;
+  uint64_t mapped_bytes_ = 0;
+};
+
+}  // namespace lswc::store
+
+#endif  // LSWC_STORE_STORED_WEB_GRAPH_H_

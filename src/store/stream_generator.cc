@@ -1,0 +1,217 @@
+#include "store/stream_generator.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "store/dataset_writer.h"
+#include "store/format.h"
+
+namespace lswc::store {
+
+namespace {
+
+/// WebGraphSink that forwards emission into a DatasetWriter, section by
+/// section. Sections open lazily at phase transitions (hosts -> pages
+/// -> targets); CSR offsets cannot go to the main file while targets
+/// stream, so they spool to a side file and are copied in as their own
+/// section at the end.
+class DatasetStreamSink final : public WebGraphSink {
+ public:
+  DatasetStreamSink(DatasetWriter* writer, std::string spool_path)
+      : writer_(writer), spool_path_(std::move(spool_path)) {}
+
+  ~DatasetStreamSink() override {
+    if (spool_ != nullptr) std::fclose(spool_);
+    std::remove(spool_path_.c_str());
+  }
+
+  Status Begin(Language target_language, uint64_t generator_seed,
+               uint32_t num_pages, uint32_t num_hosts) override {
+    meta_.page_record_bytes = sizeof(PageRecord);
+    meta_.host_record_bytes = sizeof(HostRecord);
+    meta_.generator_seed = generator_seed;
+    meta_.num_pages = num_pages;
+    meta_.num_hosts = num_hosts;
+    meta_.target_language = static_cast<uint8_t>(target_language);
+    // "wb+": written while targets stream, read back into the offsets
+    // section at End().
+    spool_ = std::fopen(spool_path_.c_str(), "wb+");
+    if (spool_ == nullptr) {
+      return Status::IoError("cannot create offsets spool " + spool_path_);
+    }
+    return writer_->BeginSection(kHostsSection);
+  }
+
+  Status AddHost(Language language, uint32_t num_pages_in_host) override {
+    if (phase_ != Phase::kHosts) {
+      return Status::FailedPrecondition("AddHost after pages began");
+    }
+    HostRecord host;
+    host.language = language;
+    host.first_page = next_first_page_;
+    host.num_pages = num_pages_in_host;
+    next_first_page_ += num_pages_in_host;
+    return writer_->AppendPod(host);
+  }
+
+  Status AddPage(uint32_t host, const PageRecord& record) override {
+    if (phase_ == Phase::kHosts) {
+      LSWC_RETURN_IF_ERROR(writer_->EndSection());
+      LSWC_RETURN_IF_ERROR(writer_->BeginSection(kPagesSection));
+      phase_ = Phase::kPages;
+    }
+    if (phase_ != Phase::kPages) {
+      return Status::FailedPrecondition("AddPage after links began");
+    }
+    if (host >= meta_.num_hosts || pages_emitted_ >= meta_.num_pages) {
+      return Status::InvalidArgument("page emission out of bounds");
+    }
+    PageRecord rec = record;
+    rec.host = host;
+    ++pages_emitted_;
+    ++stats_.total_urls;
+    if (rec.ok()) {
+      ++stats_.ok_html_pages;
+      if (static_cast<uint8_t>(rec.language) == meta_.target_language) {
+        ++stats_.relevant_ok_pages;
+      } else {
+        ++stats_.irrelevant_ok_pages;
+      }
+    }
+    return writer_->AppendPod(rec);
+  }
+
+  Status AddLink(PageId from, PageId to) override {
+    LSWC_RETURN_IF_ERROR(EnsureLinksPhase());
+    if (from >= pages_emitted_ || to >= pages_emitted_) {
+      return Status::InvalidArgument("link endpoint out of range");
+    }
+    if (from < last_link_from_) {
+      return Status::InvalidArgument("links not in CSR order");
+    }
+    last_link_from_ = from;
+    // Close CSR rows for every page up to and including `from` that has
+    // not started yet (same row-closing rule as WebGraphBuilder).
+    LSWC_RETURN_IF_ERROR(CloseOffsetRowsThrough(from));
+    if (links_emitted_ == UINT32_MAX) {
+      return Status::InvalidArgument("dataset exceeds 32-bit link count");
+    }
+    ++links_emitted_;
+    return writer_->AppendPod(to);
+  }
+
+  Status AddSeed(PageId seed) override {
+    if (seed >= pages_emitted_) {
+      return Status::InvalidArgument("seed out of range");
+    }
+    seeds_.push_back(seed);
+    return Status::OK();
+  }
+
+  Status End() override {
+    if (pages_emitted_ != meta_.num_pages) {
+      return Status::InvalidArgument("generator emitted wrong page count");
+    }
+    // A pathological config may produce no links at all; the sections
+    // must exist regardless.
+    LSWC_RETURN_IF_ERROR(EnsureLinksPhase());
+    LSWC_RETURN_IF_ERROR(CloseOffsetRowsThrough(meta_.num_pages));
+    LSWC_RETURN_IF_ERROR(writer_->EndSection());  // targets
+    meta_.num_links = links_emitted_;
+    LSWC_RETURN_IF_ERROR(CopySpoolIntoOffsetsSection());
+
+    LSWC_RETURN_IF_ERROR(writer_->BeginSection(kSeedsSection));
+    for (PageId s : seeds_) LSWC_RETURN_IF_ERROR(writer_->AppendPod(s));
+    LSWC_RETURN_IF_ERROR(writer_->EndSection());
+    meta_.num_seeds = seeds_.size();
+
+    LSWC_RETURN_IF_ERROR(writer_->BeginSection(kStatsSection));
+    LSWC_RETURN_IF_ERROR(writer_->AppendPod(stats_));
+    LSWC_RETURN_IF_ERROR(writer_->EndSection());
+
+    LSWC_RETURN_IF_ERROR(writer_->BeginSection(kMetaSection));
+    LSWC_RETURN_IF_ERROR(writer_->AppendPod(meta_));
+    return writer_->EndSection();
+  }
+
+ private:
+  enum class Phase { kHosts, kPages, kLinks };
+
+  Status EnsureLinksPhase() {
+    if (phase_ == Phase::kHosts) {
+      // No pages is a generator bug; fail loudly rather than emit an
+      // empty dataset.
+      return Status::FailedPrecondition("links before pages");
+    }
+    if (phase_ == Phase::kPages) {
+      LSWC_RETURN_IF_ERROR(writer_->EndSection());
+      LSWC_RETURN_IF_ERROR(writer_->BeginSection(kTargetsSection));
+      phase_ = Phase::kLinks;
+    }
+    return Status::OK();
+  }
+
+  /// Appends `links so far` to the spool for every unclosed row with
+  /// index <= `page`. Row i holds the link count before page i's links
+  /// begin; num_pages + 1 rows in total.
+  Status CloseOffsetRowsThrough(uint64_t page) {
+    while (offset_rows_written_ <= page) {
+      if (std::fwrite(&links_emitted_, sizeof(links_emitted_), 1, spool_) !=
+          1) {
+        return Status::IoError("offsets spool write failed");
+      }
+      ++offset_rows_written_;
+    }
+    return Status::OK();
+  }
+
+  Status CopySpoolIntoOffsetsSection() {
+    if (std::fflush(spool_) != 0 || std::fseek(spool_, 0, SEEK_SET) != 0) {
+      return Status::IoError("offsets spool flush failed");
+    }
+    LSWC_RETURN_IF_ERROR(writer_->BeginSection(kOffsetsSection));
+    std::vector<char> buf(1 << 20);
+    uint64_t copied = 0;
+    const uint64_t expect =
+        (meta_.num_pages + 1) * sizeof(uint32_t);
+    for (;;) {
+      const size_t n = std::fread(buf.data(), 1, buf.size(), spool_);
+      if (n == 0) break;
+      LSWC_RETURN_IF_ERROR(writer_->Append(buf.data(), n));
+      copied += n;
+    }
+    if (std::ferror(spool_) != 0) {
+      return Status::IoError("offsets spool read failed");
+    }
+    if (copied != expect) {
+      return Status::Internal("offsets spool size mismatch");
+    }
+    return writer_->EndSection();
+  }
+
+  DatasetWriter* writer_;
+  std::string spool_path_;
+  std::FILE* spool_ = nullptr;
+  Phase phase_ = Phase::kHosts;
+  DatasetMeta meta_;
+  DatasetStatsRecord stats_;
+  std::vector<PageId> seeds_;
+  uint32_t next_first_page_ = 0;
+  uint64_t pages_emitted_ = 0;
+  uint32_t links_emitted_ = 0;
+  uint64_t offset_rows_written_ = 0;
+  PageId last_link_from_ = 0;
+};
+
+}  // namespace
+
+Status GenerateWebGraphToFile(const SyntheticWebOptions& options,
+                              const std::string& path) {
+  auto writer_or = DatasetWriter::Create(path);
+  if (!writer_or.ok()) return writer_or.status();
+  DatasetStreamSink sink(writer_or->get(), path + ".offsets.tmp");
+  LSWC_RETURN_IF_ERROR(GenerateInto(options, &sink));
+  return (*writer_or)->Finish();
+}
+
+}  // namespace lswc::store

@@ -1,0 +1,29 @@
+#ifndef LSWC_STORE_STREAM_GENERATOR_H_
+#define LSWC_STORE_STREAM_GENERATOR_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "webgraph/generator.h"
+
+namespace lswc::store {
+
+/// Streams a synthetic web space straight into an LSWCDS1 dataset file
+/// without ever materializing the graph: peak memory is the generator's
+/// two bits per page plus O(num_hosts) arrays, so a 100M-page dataset
+/// generates comfortably on a laptop.
+///
+/// Bit-identity contract: for the same options this produces the exact
+/// bytes of WriteDatasetFile(GenerateWebGraph(options)) — the generator
+/// consumes its RNG identically for every sink, and the two writers
+/// emit sections in the same physical order.
+///
+/// Writes to `<path>.tmp` (plus a `<path>.offsets.tmp` CSR spool) and
+/// renames atomically on success, so an interrupted generation leaves
+/// no partial dataset under the final name and can simply be rerun.
+Status GenerateWebGraphToFile(const SyntheticWebOptions& options,
+                              const std::string& path);
+
+}  // namespace lswc::store
+
+#endif  // LSWC_STORE_STREAM_GENERATOR_H_

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "util/string_util.h"
+#include "util/sysinfo.h"
 
 namespace lswc {
 
@@ -64,6 +65,11 @@ std::string BenchReport::ToJson(double wall_time_sec) const {
   json += StringPrintf("  \"pages_crawled\": %llu,\n",
                        static_cast<unsigned long long>(total_crawled));
   json += StringPrintf("  \"pages_per_sec\": %.3f,\n", pages_per_sec);
+  // Process-wide high-water mark at serialization time (0 where the
+  // platform has no VmHWM). The out-of-core acceptance number: a
+  // budgeted replay must keep this flat as the dataset file grows.
+  json += StringPrintf("  \"peak_rss_bytes\": %llu,\n",
+                       static_cast<unsigned long long>(util::PeakRssBytes()));
   json += StringPrintf("  \"peak_frontier_size\": %llu,\n",
                        static_cast<unsigned long long>(peak_frontier));
   json += "  \"runs\": [";

@@ -1,0 +1,29 @@
+#include "util/sysinfo.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace lswc::util {
+
+uint64_t PeakRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  uint64_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // "VmHWM:     123456 kB" — the high-water mark of VmRSS.
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + 6, "%llu", &value) == 1) kib = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace lswc::util

@@ -1,0 +1,16 @@
+#ifndef LSWC_UTIL_SYSINFO_H_
+#define LSWC_UTIL_SYSINFO_H_
+
+#include <cstdint>
+
+namespace lswc::util {
+
+/// The process's peak resident set size in bytes (VmHWM from
+/// /proc/self/status), or 0 where the platform does not expose it.
+/// This is the number the out-of-core work is judged by: a 100M-page
+/// run must keep it bounded no matter how big the dataset file is.
+uint64_t PeakRssBytes();
+
+}  // namespace lswc::util
+
+#endif  // LSWC_UTIL_SYSINFO_H_

@@ -97,7 +97,7 @@ SyntheticWebOptions JapaneseLikeOptions(uint32_t num_pages, uint64_t seed) {
   return o;
 }
 
-StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
+Status GenerateInto(const SyntheticWebOptions& options, WebGraphSink* sink) {
   if (options.num_pages == 0) {
     return Status::InvalidArgument("num_pages must be > 0");
   }
@@ -113,9 +113,8 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
   }
 
   Rng rng(options.seed);
-  WebGraphBuilder builder;
-  builder.SetTargetLanguage(options.target_language);
-  builder.SetGeneratorSeed(options.seed);
+  LSWC_RETURN_IF_ERROR(sink->Begin(options.target_language, options.seed,
+                                   options.num_pages, options.num_hosts));
 
   const uint32_t num_pages = options.num_pages;
   const uint32_t num_hosts = options.num_hosts;
@@ -169,14 +168,19 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
   for (uint32_t h = 0; h < num_hosts; ++h) {
     host_first[h + 1] = host_first[h] + host_size[h];
   }
+  // Host sizes are final; the whole host table can be emitted before a
+  // single page exists (the streaming sink writes it to disk here).
+  for (uint32_t h = 0; h < num_hosts; ++h) {
+    LSWC_RETURN_IF_ERROR(sink->AddHost(host_lang[h], host_size[h]));
+  }
 
   // ---- Phase 2: pages. --------------------------------------------------
-  std::vector<PageId> target_pages;  // Cross-host destination pools.
-  std::vector<PageId> other_pages;
-  target_pages.reserve(num_pages / 2);
-  other_pages.reserve(num_pages / 2);
+  // Per-page working state is two bits: alive and is-target-language
+  // (page languages are binary — the target or kOther — by
+  // construction). At 100M pages that is 25 MB; the records themselves
+  // go to the sink and are never held.
   std::vector<bool> page_ok(num_pages);
-  std::vector<Language> page_lang(num_pages);
+  std::vector<bool> page_is_target(num_pages);
 
   // Only leaves of the intra-host tree may be non-OK; scale the leaf rate
   // so the dataset-wide non-OK share matches options.non_ok_rate.
@@ -185,8 +189,6 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
       std::min(0.95, options.non_ok_rate / leaf_fraction);
 
   for (uint32_t h = 0; h < num_hosts; ++h) {
-    const uint32_t host_id = builder.AddHost(host_lang[h]);
-    LSWC_CHECK_EQ(host_id, h);
     for (uint32_t k = 0; k < host_size[h]; ++k) {
       PageRecord rec;
       // Language flows down the intra-host tree: the root takes the host
@@ -204,7 +206,9 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
                            : flipped;
       } else {
         const PageId parent = host_first[h] + (k - 1) / kTreeFanout;
-        const Language parent_lang = page_lang[parent];
+        const Language parent_lang = page_is_target[parent]
+                                         ? options.target_language
+                                         : Language::kOther;
         rec.language =
             rng.Bernoulli(options.language_flip_rate)
                 ? (parent_lang == options.target_language ? Language::kOther
@@ -234,11 +238,10 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
           options.min_content_chars +
           rng.UniformUint64(1 + options.max_content_chars -
                             options.min_content_chars));
-      const PageId id = builder.AddPage(h, rec);
+      const PageId id = host_first[h] + k;
+      LSWC_RETURN_IF_ERROR(sink->AddPage(h, rec));
       page_ok[id] = rec.ok();
-      page_lang[id] = rec.language;
-      (rec.language == options.target_language ? target_pages : other_pages)
-          .push_back(id);
+      page_is_target[id] = rec.language == options.target_language;
     }
   }
 
@@ -312,7 +315,7 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
     // Spine links owned by this source (emitted even for pages that later
     // lost the status lottery? No: spine sources are OK by construction).
     while (spine_pos < spine.size() && spine[spine_pos].first == p) {
-      builder.AddLink(p, spine[spine_pos].second);
+      LSWC_RETURN_IF_ERROR(sink->AddLink(p, spine[spine_pos].second));
       ++spine_pos;
     }
     if (!page_ok[p]) continue;  // Non-OK pages have no parsed content.
@@ -327,7 +330,7 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
     const uint32_t k = p - host_first[h];
     for (uint32_t c = k * kTreeFanout + 1;
          c <= k * kTreeFanout + kTreeFanout && c < host_size[h]; ++c) {
-      builder.AddLink(p, host_first[h] + c);
+      LSWC_RETURN_IF_ERROR(sink->AddLink(p, host_first[h] + c));
     }
 
     // Random extra links: geometric out-degree with occasional hub boost.
@@ -351,7 +354,7 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
           for (uint32_t s = 0; s < hops && a != 0; ++s) {
             a = (a - 1) / kTreeFanout;
           }
-          builder.AddLink(p, host_first[h] + a);
+          LSWC_RETURN_IF_ERROR(sink->AddLink(p, host_first[h] + a));
         } else {
           // Descendant hop of geometric depth.
           uint32_t t = k;
@@ -363,15 +366,16 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
             t = child;
             if (rng.Bernoulli(0.5)) break;
           }
-          builder.AddLink(p, host_first[h] + t);
+          LSWC_RETURN_IF_ERROR(sink->AddLink(p, host_first[h] + t));
         }
       } else {
-        const Language want = rng.Bernoulli(options.same_language_bias)
-                                  ? page_lang[p]
-                                  : (rng.Bernoulli(0.5)
-                                         ? options.target_language
-                                         : Language::kOther);
-        builder.AddLink(p, pick_cross_target(want));
+        const Language want =
+            rng.Bernoulli(options.same_language_bias)
+                ? (page_is_target[p] ? options.target_language
+                                     : Language::kOther)
+                : (rng.Bernoulli(0.5) ? options.target_language
+                                      : Language::kOther);
+        LSWC_RETURN_IF_ERROR(sink->AddLink(p, pick_cross_target(want)));
       }
     }
   }
@@ -383,13 +387,57 @@ StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
   for (uint32_t h = 0; h < num_hosts && seeds < options.num_seeds; ++h) {
     const PageId root = host_first[h];
     if (host_lang[h] == options.target_language && page_ok[root] &&
-        page_lang[root] == options.target_language) {
-      builder.AddSeed(root);
+        page_is_target[root]) {
+      LSWC_RETURN_IF_ERROR(sink->AddSeed(root));
       ++seeds;
     }
   }
-  if (seeds == 0) builder.AddSeed(0);
+  if (seeds == 0) LSWC_RETURN_IF_ERROR(sink->AddSeed(0));
 
+  return sink->End();
+}
+
+namespace {
+
+/// The in-RAM path: forwards emission into a WebGraphBuilder.
+class BuilderSink final : public WebGraphSink {
+ public:
+  explicit BuilderSink(WebGraphBuilder* builder) : builder_(builder) {}
+
+  Status Begin(Language target_language, uint64_t generator_seed,
+               uint32_t /*num_pages*/, uint32_t /*num_hosts*/) override {
+    builder_->SetTargetLanguage(target_language);
+    builder_->SetGeneratorSeed(generator_seed);
+    return Status::OK();
+  }
+  Status AddHost(Language language, uint32_t /*num_pages_in_host*/) override {
+    builder_->AddHost(language);
+    return Status::OK();
+  }
+  Status AddPage(uint32_t host, const PageRecord& record) override {
+    builder_->AddPage(host, record);
+    return Status::OK();
+  }
+  Status AddLink(PageId from, PageId to) override {
+    builder_->AddLink(from, to);
+    return Status::OK();
+  }
+  Status AddSeed(PageId seed) override {
+    builder_->AddSeed(seed);
+    return Status::OK();
+  }
+  Status End() override { return Status::OK(); }
+
+ private:
+  WebGraphBuilder* builder_;
+};
+
+}  // namespace
+
+StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options) {
+  WebGraphBuilder builder;
+  BuilderSink sink(&builder);
+  LSWC_RETURN_IF_ERROR(GenerateInto(options, &sink));
   return builder.Finish();
 }
 

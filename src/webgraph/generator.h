@@ -89,7 +89,39 @@ SyntheticWebOptions ThaiLikeOptions(uint32_t num_pages = 1'000'000,
 SyntheticWebOptions JapaneseLikeOptions(uint32_t num_pages = 1'000'000,
                                         uint64_t seed = 237);
 
-/// Builds the synthetic web space. Deterministic in `options.seed`.
+/// Receives a web space as it is generated, in a fixed emission order:
+/// Begin, every host (with its final page count), every page in id
+/// order, every link in CSR order, every seed, End. The generator
+/// consumes its RNG identically no matter which sink listens, so a
+/// graph built in RAM (WebGraphBuilder behind GenerateWebGraph) and a
+/// dataset file streamed to disk (store::GenerateWebGraphToFile) are
+/// bit-identical for the same options.
+class WebGraphSink {
+ public:
+  virtual ~WebGraphSink() = default;
+
+  /// Called once before any emission.
+  virtual Status Begin(Language target_language, uint64_t generator_seed,
+                       uint32_t num_pages, uint32_t num_hosts) = 0;
+  /// Hosts arrive in id order, each with its final size — what lets a
+  /// streaming sink write the complete host table before page one.
+  virtual Status AddHost(Language language, uint32_t num_pages_in_host) = 0;
+  virtual Status AddPage(uint32_t host, const PageRecord& record) = 0;
+  /// Links arrive grouped by source in increasing id order (CSR).
+  virtual Status AddLink(PageId from, PageId to) = 0;
+  virtual Status AddSeed(PageId seed) = 0;
+  /// Called once after all emission.
+  virtual Status End() = 0;
+};
+
+/// Runs the generator against any sink. Deterministic in `options.seed`.
+/// Working memory is bounded: two bits per page plus O(num_hosts)
+/// arrays, never the graph itself — which is what lets a 100M-page
+/// space stream to disk from a laptop.
+Status GenerateInto(const SyntheticWebOptions& options, WebGraphSink* sink);
+
+/// Builds the synthetic web space in RAM. Deterministic in
+/// `options.seed`.
 StatusOr<WebGraph> GenerateWebGraph(const SyntheticWebOptions& options);
 
 }  // namespace lswc

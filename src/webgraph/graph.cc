@@ -83,19 +83,38 @@ bool WebGraph::ResolveUrl(std::string_view url, PageId* out) const {
   return true;
 }
 
+WebGraph WebGraph::View(std::span<const PageRecord> pages,
+                        std::span<const HostRecord> hosts,
+                        std::span<const uint32_t> offsets,
+                        std::span<const PageId> targets,
+                        std::span<const PageId> seeds,
+                        Language target_language, uint64_t generator_seed,
+                        std::shared_ptr<const void> storage) {
+  WebGraph g;
+  g.pages_ = pages;
+  g.hosts_ = hosts;
+  g.offsets_ = offsets;
+  g.targets_ = targets;
+  g.seeds_ = seeds;
+  g.target_language_ = target_language;
+  g.generator_seed_ = generator_seed;
+  g.storage_ = std::move(storage);
+  return g;
+}
+
 uint32_t WebGraphBuilder::AddHost(Language language) {
   HostRecord host;
   host.language = language;
-  host.first_page = static_cast<uint32_t>(graph_.pages_.size());
+  host.first_page = static_cast<uint32_t>(pages_.size());
   host.num_pages = 0;
-  graph_.hosts_.push_back(host);
-  return static_cast<uint32_t>(graph_.hosts_.size() - 1);
+  hosts_.push_back(host);
+  return static_cast<uint32_t>(hosts_.size() - 1);
 }
 
 PageId WebGraphBuilder::AddPage(uint32_t host, const PageRecord& record) {
-  LSWC_CHECK_LT(host, graph_.hosts_.size());
-  HostRecord& h = graph_.hosts_[host];
-  const PageId id = static_cast<PageId>(graph_.pages_.size());
+  LSWC_CHECK_LT(host, hosts_.size());
+  HostRecord& h = hosts_[host];
+  const PageId id = static_cast<PageId>(pages_.size());
   if (h.num_pages == 0) {
     h.first_page = id;
   } else {
@@ -105,47 +124,67 @@ PageId WebGraphBuilder::AddPage(uint32_t host, const PageRecord& record) {
   ++h.num_pages;
   PageRecord r = record;
   r.host = host;
-  graph_.pages_.push_back(r);
+  pages_.push_back(r);
   return id;
 }
 
 void WebGraphBuilder::AddLink(PageId from, PageId to) {
-  LSWC_CHECK_LT(from, graph_.pages_.size());
-  LSWC_CHECK_LT(to, graph_.pages_.size());
+  LSWC_CHECK_LT(from, pages_.size());
+  LSWC_CHECK_LT(to, pages_.size());
   LSWC_CHECK_GE(from, last_link_from_);
   // Close offset rows up to `from`.
-  while (graph_.offsets_.size() <= from) {
-    graph_.offsets_.push_back(static_cast<uint32_t>(graph_.targets_.size()));
+  while (offsets_.size() <= from) {
+    offsets_.push_back(static_cast<uint32_t>(targets_.size()));
   }
   last_link_from_ = from;
-  graph_.targets_.push_back(to);
+  targets_.push_back(to);
 }
 
-void WebGraphBuilder::AddSeed(PageId seed) { graph_.seeds_.push_back(seed); }
+void WebGraphBuilder::AddSeed(PageId seed) { seeds_.push_back(seed); }
 
 void WebGraphBuilder::SetTargetLanguage(Language lang) {
-  graph_.target_language_ = lang;
+  target_language_ = lang;
 }
 
 void WebGraphBuilder::SetGeneratorSeed(uint64_t seed) {
-  graph_.generator_seed_ = seed;
+  generator_seed_ = seed;
 }
+
+namespace {
+/// The heap block a built graph views into; kept alive by the graph's
+/// storage pointer.
+struct OwnedGraphStorage {
+  std::vector<PageRecord> pages;
+  std::vector<HostRecord> hosts;
+  std::vector<uint32_t> offsets;
+  std::vector<PageId> targets;
+  std::vector<PageId> seeds;
+};
+}  // namespace
 
 StatusOr<WebGraph> WebGraphBuilder::Finish() {
   if (finished_) return Status::FailedPrecondition("Finish called twice");
   finished_ = true;
-  while (graph_.offsets_.size() <= graph_.pages_.size()) {
-    graph_.offsets_.push_back(static_cast<uint32_t>(graph_.targets_.size()));
+  while (offsets_.size() <= pages_.size()) {
+    offsets_.push_back(static_cast<uint32_t>(targets_.size()));
   }
-  for (PageId seed : graph_.seeds_) {
-    if (seed >= graph_.pages_.size()) {
+  for (PageId seed : seeds_) {
+    if (seed >= pages_.size()) {
       return Status::InvalidArgument("seed page out of range");
     }
   }
-  if (graph_.pages_.empty()) {
+  if (pages_.empty()) {
     return Status::InvalidArgument("graph has no pages");
   }
-  return std::move(graph_);
+  auto storage = std::make_shared<OwnedGraphStorage>();
+  storage->pages = std::move(pages_);
+  storage->hosts = std::move(hosts_);
+  storage->offsets = std::move(offsets_);
+  storage->targets = std::move(targets_);
+  storage->seeds = std::move(seeds_);
+  return WebGraph::View(storage->pages, storage->hosts, storage->offsets,
+                        storage->targets, storage->seeds, target_language_,
+                        generator_seed_, storage);
 }
 
 }  // namespace lswc

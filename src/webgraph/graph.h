@@ -1,6 +1,7 @@
 #ifndef LSWC_WEBGRAPH_GRAPH_H_
 #define LSWC_WEBGRAPH_GRAPH_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -10,6 +11,10 @@
 #include "webgraph/page.h"
 
 namespace lswc {
+
+namespace store {
+class StoredWebGraph;
+}  // namespace store
 
 /// Dataset-level statistics, the rows of the paper's Table 3.
 struct DatasetStats {
@@ -32,6 +37,12 @@ struct DatasetStats {
 ///
 /// Page ids are dense [0, num_pages). Pages of one host are contiguous in
 /// the host->page index (hosts_[h].first_page .. +num_pages).
+///
+/// A WebGraph is a *view*: the record arrays are spans over storage held
+/// alive by `storage_`. WebGraphBuilder seals heap vectors behind the
+/// view; the dataset store (store::StoredWebGraph) points the same spans
+/// straight into a memory-mapped LSWCDS1 file, so every consumer taking
+/// a `const WebGraph*` works unchanged on an out-of-core dataset.
 class WebGraph {
  public:
   WebGraph() = default;
@@ -64,7 +75,7 @@ class WebGraph {
   std::string UrlOf(PageId id) const;
 
   /// Seed URLs chosen when the graph was built (crawl starting points).
-  const std::vector<PageId>& seeds() const { return seeds_; }
+  std::span<const PageId> seeds() const { return seeds_; }
 
   /// The target language the dataset was built for (what "relevant"
   /// means in its stats).
@@ -95,14 +106,30 @@ class WebGraph {
 
  private:
   friend class WebGraphBuilder;
+  friend class store::StoredWebGraph;
 
-  std::vector<PageRecord> pages_;
-  std::vector<HostRecord> hosts_;
-  std::vector<uint32_t> offsets_;  // size num_pages + 1.
-  std::vector<PageId> targets_;
-  std::vector<PageId> seeds_;
+  /// Assembles a view. `storage` must keep every span's backing memory
+  /// alive for the lifetime of the graph (and of any copies made of the
+  /// shared_ptr) — the builder hands over its sealed vectors, the store
+  /// hands over an open file mapping.
+  static WebGraph View(std::span<const PageRecord> pages,
+                       std::span<const HostRecord> hosts,
+                       std::span<const uint32_t> offsets,
+                       std::span<const PageId> targets,
+                       std::span<const PageId> seeds,
+                       Language target_language, uint64_t generator_seed,
+                       std::shared_ptr<const void> storage);
+
+  std::span<const PageRecord> pages_;
+  std::span<const HostRecord> hosts_;
+  std::span<const uint32_t> offsets_;  // size num_pages + 1.
+  std::span<const PageId> targets_;
+  std::span<const PageId> seeds_;
   Language target_language_ = Language::kOther;
   uint64_t generator_seed_ = 0;
+  /// Owner of the bytes behind the spans: a heap block of vectors for
+  /// built graphs, a file mapping for stored ones.
+  std::shared_ptr<const void> storage_;
 };
 
 /// Incremental builder. Usage: declare hosts, then pages (grouped by
@@ -131,7 +158,13 @@ class WebGraphBuilder {
   StatusOr<WebGraph> Finish();
 
  private:
-  WebGraph graph_;
+  std::vector<PageRecord> pages_;
+  std::vector<HostRecord> hosts_;
+  std::vector<uint32_t> offsets_;  // size num_pages + 1 after Finish.
+  std::vector<PageId> targets_;
+  std::vector<PageId> seeds_;
+  Language target_language_ = Language::kOther;
+  uint64_t generator_seed_ = 0;
   PageId last_link_from_ = 0;
   bool finished_ = false;
 };

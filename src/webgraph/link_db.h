@@ -14,6 +14,11 @@
 
 namespace lswc {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 /// The simulator's link database (the "LinkDB" box in the paper's Fig 2):
 /// answers "outlinks of URL u" during trace replay.
 ///
@@ -31,6 +36,11 @@ class LinkDb {
   virtual Status GetOutlinks(PageId id, std::vector<PageId>* out) = 0;
 
   virtual size_t num_pages() const = 0;
+
+  /// Exports implementation counters (block-cache hits/misses/evictions
+  /// for DiskLinkDb, read counts for MmapLinkDb) into the run's metrics
+  /// registry. Default: nothing to export.
+  virtual void AttachObs(obs::MetricsRegistry* /*registry*/) {}
 };
 
 /// Zero-copy adapter over an in-memory WebGraph.
@@ -63,6 +73,9 @@ class DiskLinkDb final : public LinkDb {
  public:
   using Options = DiskLinkDbOptions;
 
+  /// Accepts either a WriteLinkFile link file ("LSWCLNK1") or a full
+  /// LSWCDS1 dataset file, whose CSR sections it then serves through
+  /// the same block cache.
   static StatusOr<std::unique_ptr<DiskLinkDb>> Open(const std::string& path,
                                                     Options options = {});
 
@@ -72,10 +85,19 @@ class DiskLinkDb final : public LinkDb {
   /// Cache observability for tests and benches.
   uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
+  uint64_t cache_evictions() const { return cache_evictions_; }
   size_t cached_blocks() const { return cache_.size(); }
+
+  /// Exports linkdb.cache_hits / linkdb.cache_misses /
+  /// linkdb.cache_evictions. Misses double as the page-in proxy of the
+  /// out-of-core read path (`store.*` docs in ARCHITECTURE.md).
+  void AttachObs(obs::MetricsRegistry* registry) override;
 
  private:
   DiskLinkDb() = default;
+
+  Status OpenLinkFileHeader();
+  Status OpenDatasetHeader(const std::string& path);
 
   /// Returns the cached block `index`, loading (and possibly evicting)
   /// as needed.
@@ -97,6 +119,10 @@ class DiskLinkDb final : public LinkDb {
   std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
+  uint64_t cache_evictions_ = 0;
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
 };
 
 }  // namespace lswc

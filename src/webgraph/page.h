@@ -1,6 +1,7 @@
 #ifndef LSWC_WEBGRAPH_PAGE_H_
 #define LSWC_WEBGRAPH_PAGE_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "charset/encoding.h"
@@ -12,8 +13,11 @@ namespace lswc {
 using PageId = uint32_t;
 
 /// Everything the virtual web space knows about one crawled URL — the
-/// per-URL payload of a crawl log entry. 16 bytes; a 100M-page log fits
-/// in memory the way the paper's 110M-URL Japanese dataset had to.
+/// per-URL payload of a crawl log entry. 12 bytes with no padding, so a
+/// 100M-page log fits in memory the way the paper's 110M-URL Japanese
+/// dataset had to — and the dataset store can mmap page records straight
+/// from disk (every byte of the object representation is a named field,
+/// making file bytes deterministic and the layout a stable contract).
 struct PageRecord {
   /// HTTP response status (200, 302, 404, 500...). Only status-200 HTML
   /// pages carry content and links ("pages with OK status" in Table 3).
@@ -30,25 +34,45 @@ struct PageRecord {
   /// the paper explicitly observes such pages in the Thai dataset).
   Encoding meta_charset = Encoding::kUnknown;
 
-  /// Which host the page lives on (index into the graph's host table).
-  uint32_t host = 0;
+  /// Reserved; keeps the struct padding-free. Always 0.
+  uint8_t reserved = 0;
 
   /// Approximate body length in characters; content rendering target.
   uint16_t content_chars = 0;
 
+  /// Which host the page lives on (index into the graph's host table).
+  uint32_t host = 0;
+
   bool ok() const { return http_status == 200; }
 };
 
-static_assert(sizeof(PageRecord) <= 20, "PageRecord must stay compact");
+static_assert(sizeof(PageRecord) == 12, "PageRecord layout is a file format");
+static_assert(offsetof(PageRecord, http_status) == 0 &&
+                  offsetof(PageRecord, language) == 2 &&
+                  offsetof(PageRecord, true_encoding) == 3 &&
+                  offsetof(PageRecord, meta_charset) == 4 &&
+                  offsetof(PageRecord, reserved) == 5 &&
+                  offsetof(PageRecord, content_chars) == 6 &&
+                  offsetof(PageRecord, host) == 8,
+              "PageRecord layout is a file format");
 
 /// Host metadata: synthetic hosts have a language and derive their name
-/// from the id ("www123.example.th").
+/// from the id ("www123.example.th"). Padding-free for the same reason
+/// as PageRecord: host tables are stored and mmapped verbatim.
 struct HostRecord {
   Language language = Language::kOther;
+  /// Reserved; keeps the struct padding-free. Always 0.
+  uint8_t reserved[3] = {0, 0, 0};
   /// First page of the host in the graph's host->pages index.
   uint32_t first_page = 0;
   uint32_t num_pages = 0;
 };
+
+static_assert(sizeof(HostRecord) == 12, "HostRecord layout is a file format");
+static_assert(offsetof(HostRecord, language) == 0 &&
+                  offsetof(HostRecord, first_page) == 4 &&
+                  offsetof(HostRecord, num_pages) == 8,
+              "HostRecord layout is a file format");
 
 }  // namespace lswc
 

@@ -1,5 +1,6 @@
 #include "core/spilling_frontier.h"
 
+#include <cstdlib>
 #include <filesystem>
 
 #include <gtest/gtest.h>
@@ -228,6 +229,50 @@ TEST(SpillingFrontierTest, RestoreRejectsMismatchedGeometry) {
     const Status status = (*other)->Restore(&r);
     EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
   }
+}
+
+TEST(SpillingFrontierTest, EmptySpillDirResolvesUnderTmpdirAndCleansUp) {
+  // The default spill dir honors $TMPDIR, is unique per instance, and
+  // vanishes with the frontier.
+  const std::string tmpdir = ::testing::TempDir() + "/lswc_spill_env";
+  std::filesystem::create_directories(tmpdir);
+  setenv("TMPDIR", tmpdir.c_str(), /*overwrite=*/1);
+
+  SpillingFrontier::Options options = TinyOptions();
+  options.spill_dir.clear();
+  std::string dir_a, dir_b;
+  {
+    auto a = SpillingFrontier::Create(2, options);
+    ASSERT_TRUE(a.ok());
+    auto b = SpillingFrontier::Create(2, options);
+    ASSERT_TRUE(b.ok());
+    dir_a = (*a)->spill_dir();
+    dir_b = (*b)->spill_dir();
+    EXPECT_NE(dir_a, dir_b);
+    EXPECT_TRUE(dir_a.starts_with(tmpdir + "/")) << dir_a;
+    EXPECT_TRUE(std::filesystem::is_directory(dir_a));
+    EXPECT_TRUE(std::filesystem::is_directory(dir_b));
+    // Force actual spill files into the owned directory.
+    for (PageId p = 0; p < 200; ++p) (*a)->Push(p, 0);
+    EXPECT_GT((*a)->spilled_urls(), 0u);
+  }
+  EXPECT_FALSE(std::filesystem::exists(dir_a)) << dir_a;
+  EXPECT_FALSE(std::filesystem::exists(dir_b)) << dir_b;
+
+  unsetenv("TMPDIR");
+}
+
+TEST(SpillingFrontierTest, ExplicitSpillDirIsKept) {
+  const std::string dir = ::testing::TempDir() + "/lswc_spill_keep";
+  SpillingFrontier::Options options = TinyOptions();
+  options.spill_dir = dir;
+  {
+    auto f = SpillingFrontier::Create(1, options);
+    ASSERT_TRUE(f.ok());
+    for (PageId p = 0; p < 200; ++p) (*f)->Push(p, 0);
+  }
+  // Caller-provided directories survive (only the level files go).
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
 }
 
 TEST(SpillingSimulationTest, MatchesUnboundedRunExactly) {

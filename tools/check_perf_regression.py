@@ -13,6 +13,11 @@ file in --current and fails (exit 1) when either:
     new benchmark must land together with its baseline, otherwise it runs
     ungated forever.
 
+Peak RSS (schema field `peak_rss_bytes`, 0 on platforms without VmHWM)
+is additionally compared and WARNS — never fails — when it grew by more
+than --max-rss-growth (default 0.30): memory regressions are worth
+eyeballs but are too machine-dependent to gate merges on.
+
 Baseline files live in bench_out/baseline/ in the repository; refresh
 them with the procedure in EXPERIMENTS.md ("Refreshing the perf
 baseline") whenever an intentional behavior or performance change lands.
@@ -66,6 +71,9 @@ def main():
                         help="directory of freshly generated BENCH_*.json")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="max tolerated fractional pages/sec drop")
+    parser.add_argument("--max-rss-growth", type=float, default=0.30,
+                        help="fractional peak-RSS growth that triggers a "
+                             "warning (never a failure)")
     args = parser.parse_args()
 
     baseline = load_reports(args.baseline)
@@ -75,6 +83,7 @@ def main():
         return 1
 
     failures = []
+    warnings = []
     for name, base in sorted(baseline.items()):
         if name not in current:
             failures.append(f"{name}: missing from {args.current}")
@@ -97,6 +106,17 @@ def main():
                 failures.append(f"{name}:   {line}")
         print(f"{name}: pages/sec baseline {base_pps:.0f} -> current "
               f"{cur_pps:.0f} [{verdict}]")
+
+        # Memory trajectory: warn-only (old baselines lack the field,
+        # and RSS varies with allocator and kernel far more than the
+        # deterministic series do).
+        base_rss = base.get("peak_rss_bytes", 0)
+        cur_rss = cur.get("peak_rss_bytes", 0)
+        if base_rss > 0 and cur_rss > base_rss * (1.0 + args.max_rss_growth):
+            warnings.append(
+                f"{name}: peak RSS {cur_rss / 2**20:.0f} MiB > baseline "
+                f"{base_rss / 2**20:.0f} MiB by more than "
+                f"{args.max_rss_growth:.0%}")
 
         base_runs = {r["name"]: r for r in base.get("runs", [])}
         cur_runs = {r["name"]: r for r in cur.get("runs", [])}
@@ -128,6 +148,11 @@ def main():
             failures.append(
                 f"{name}: present in {args.current} but has no baseline in "
                 f"{args.baseline}; check in a baseline for new benchmarks")
+
+    if warnings:
+        print("\nWARNINGS (non-fatal):")
+        for warning in warnings:
+            print(f"  ! {warning}")
 
     if failures:
         print("\nPERF GATE FAILED:")

@@ -1,0 +1,133 @@
+// lswc_dataset — produce and inspect LSWCDS1 dataset files, the
+// out-of-core companion to lswc_sim:
+//
+//   lswc_dataset generate --dataset=thai --pages=100000000 --out=thai.ds
+//   lswc_dataset info thai.ds
+//   lswc_dataset verify thai.ds
+//
+// `generate` streams the synthetic web space straight to disk in
+// bounded memory (no in-RAM graph is ever built), `info` prints the
+// meta/stats sections from the trailer without touching the record
+// sections, and `verify` additionally checksums every section.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "store/stored_web_graph.h"
+#include "store/stream_generator.h"
+#include "util/string_util.h"
+#include "util/sysinfo.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s generate --out=FILE [--dataset=thai|japanese]\n"
+      "          [--pages=N] [--seed=N]\n"
+      "       %s info FILE\n"
+      "       %s verify FILE\n"
+      "  generate  stream a synthetic web space to an LSWCDS1 file in\n"
+      "            bounded memory (same bytes as the in-RAM generator)\n"
+      "  info      print the dataset's meta and stats sections\n"
+      "  verify    info + verify every section checksum\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+int Generate(int argc, char** argv) {
+  std::string dataset = "thai";
+  uint32_t pages = 1'000'000;
+  uint64_t seed = 0;
+  std::string out;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (StartsWith(a, "--dataset=")) {
+      dataset = std::string(a.substr(10));
+      if (dataset != "thai" && dataset != "japanese") return Usage(argv[0]);
+    } else if (StartsWith(a, "--pages=")) {
+      const auto n = ParseUint64(a.substr(8));
+      if (!n || *n == 0 || *n > UINT32_MAX) return Usage(argv[0]);
+      pages = static_cast<uint32_t>(*n);
+    } else if (StartsWith(a, "--seed=")) {
+      const auto n = ParseUint64(a.substr(7));
+      if (!n) return Usage(argv[0]);
+      seed = *n;
+    } else if (StartsWith(a, "--out=")) {
+      out = std::string(a.substr(6));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (out.empty()) return Usage(argv[0]);
+
+  SyntheticWebOptions options = dataset == "japanese"
+                                    ? JapaneseLikeOptions(pages)
+                                    : ThaiLikeOptions(pages);
+  if (seed != 0) options.seed = seed;
+  const Status status = store::GenerateWebGraphToFile(options, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "generate: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%s, %u pages, seed %llu)\n", out.c_str(),
+              dataset.c_str(), pages,
+              static_cast<unsigned long long>(options.seed));
+  const uint64_t rss = util::PeakRssBytes();
+  if (rss != 0) {
+    std::printf("peak rss: %.1f MiB\n",
+                static_cast<double>(rss) / (1024.0 * 1024.0));
+  }
+  return 0;
+}
+
+int Info(const char* argv0, const std::string& path, bool verify) {
+  store::StoredWebGraph::Options options;
+  options.verify_checksums = verify;
+  auto stored = store::StoredWebGraph::Open(path, options);
+  if (!stored.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 stored.status().ToString().c_str());
+    return 1;
+  }
+  (void)argv0;
+  const store::StoredWebGraph& ds = **stored;
+  const WebGraph& graph = ds.graph();
+  const store::DatasetStatsRecord& stats = ds.stats();
+  std::printf("%s: LSWCDS1, %.1f MiB mapped%s\n", path.c_str(),
+              static_cast<double>(ds.mapped_bytes()) / (1024.0 * 1024.0),
+              verify ? ", all section checksums OK" : "");
+  std::printf("  pages %zu | hosts %zu | links %zu | seeds %zu\n",
+              graph.num_pages(), graph.num_hosts(), graph.num_links(),
+              graph.seeds().size());
+  std::printf("  target language %s | generator seed %llu\n",
+              std::string(LanguageName(graph.target_language())).c_str(),
+              static_cast<unsigned long long>(graph.generator_seed()));
+  std::printf("  OK pages %llu | relevant %llu (%.1f%%) | irrelevant %llu\n",
+              static_cast<unsigned long long>(stats.ok_html_pages),
+              static_cast<unsigned long long>(stats.relevant_ok_pages),
+              stats.ok_html_pages != 0
+                  ? 100.0 * static_cast<double>(stats.relevant_ok_pages) /
+                        static_cast<double>(stats.ok_html_pages)
+                  : 0.0,
+              static_cast<unsigned long long>(stats.irrelevant_ok_pages));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string_view command = argv[1];
+  if (command == "generate") return Generate(argc, argv);
+  if ((command == "info" || command == "verify") && argc == 3) {
+    return Info(argv[0], argv[2], command == "verify");
+  }
+  return Usage(argv[0]);
+}
+
+}  // namespace
+}  // namespace lswc
+
+int main(int argc, char** argv) { return lswc::Main(argc, argv); }

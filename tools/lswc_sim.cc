@@ -32,6 +32,9 @@
 #include "core/simulator.h"
 #include "obs/run_obs.h"
 #include "obs/trace_sink.h"
+#include "store/memory_budget.h"
+#include "store/mmap_link_db.h"
+#include "store/stored_web_graph.h"
 #include "util/string_util.h"
 #include "webgraph/crawl_log.h"
 #include "webgraph/generator.h"
@@ -46,6 +49,18 @@ struct Args {
   std::string log_path;
   uint32_t pages = 200'000;
   uint64_t seed = 0;
+  /// Replay an LSWCDS1 dataset file (stream one with lswc_dataset)
+  /// instead of generating; --dataset/--pages/--seed are then ignored.
+  std::string dataset_file;
+  /// Backend for --dataset-file: "mmap" (graph + link DB from one
+  /// shared mapping, default), "ram" (copy everything to heap), or
+  /// "disk" (graph in RAM, links through DiskLinkDb's LRU block cache —
+  /// the cache is sized from --memory-budget-mb when given).
+  std::string store = "mmap";
+  /// Global memory budget in MiB (0 = unbudgeted): makes the spilling
+  /// frontier the default and sizes it — plus the --store=disk link
+  /// cache — from one store::PlanMemoryBudget pool.
+  uint64_t memory_budget_mb = 0;
   std::string classifier = "meta";
   std::string strategy = "soft";
   std::string render = "auto";
@@ -87,6 +102,13 @@ int Usage(const char* argv0) {
       "  --pages=N                    dataset size (default 200000)\n"
       "  --seed=N                     generator seed (default preset)\n"
       "  --log=FILE                   replay a crawl log (binary or text)\n"
+      "  --dataset-file=FILE          replay an LSWCDS1 dataset file\n"
+      "                               (stream one with lswc_dataset)\n"
+      "  --store=mmap|ram|disk        dataset backend: shared mapping\n"
+      "                               (default), heap copy, or DiskLinkDb\n"
+      "                               block cache for the links\n"
+      "  --memory-budget-mb=N         global budget: sizes the spilling\n"
+      "                               frontier and the disk link cache\n"
       "  --classifier=meta|detector|composite|oracle\n"
       "  --strategy=bfs|hard|soft|limited:N|plimited:N|context:L|hub:K\n"
       "                               (comma-separated list fans out runs)\n"
@@ -145,6 +167,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->seed = *n;
     } else if (auto v = value("--log=")) {
       args->log_path = std::string(*v);
+    } else if (auto v = value("--dataset-file=")) {
+      if (v->empty()) return false;
+      args->dataset_file = std::string(*v);
+    } else if (auto v = value("--store=")) {
+      if (*v != "mmap" && *v != "ram" && *v != "disk") {
+        std::fprintf(stderr, "--store must be mmap, ram, or disk\n");
+        return false;
+      }
+      args->store = std::string(*v);
+    } else if (auto v = value("--memory-budget-mb=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n == 0) return false;
+      args->memory_budget_mb = *n;
     } else if (auto v = value("--classifier=")) {
       args->classifier = std::string(*v);
     } else if (auto v = value("--strategy=")) {
@@ -226,6 +261,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "--checkpoint-every requires --snapshot-dir\n");
     return false;
   }
+  if (!args->dataset_file.empty() && !args->log_path.empty()) {
+    std::fprintf(stderr, "--dataset-file and --log are exclusive\n");
+    return false;
+  }
   if (args->shards != 0 && args->politeness) {
     std::fprintf(stderr,
                  "--shards applies to the timeless simulator only; the "
@@ -259,11 +298,33 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
-StatusOr<WebGraph> LoadGraph(const Args& args) {
+/// The graph plus, for --store=mmap replays, the StoredWebGraph that
+/// owns the mapping every per-strategy MmapLinkDb shares.
+struct LoadedDataset {
+  WebGraph graph;
+  std::unique_ptr<store::StoredWebGraph> stored;
+};
+
+StatusOr<LoadedDataset> LoadGraph(const Args& args) {
+  if (!args.dataset_file.empty()) {
+    if (args.store == "mmap") {
+      auto stored = store::StoredWebGraph::Open(args.dataset_file);
+      LSWC_RETURN_IF_ERROR(stored.status());
+      WebGraph graph = (*stored)->NewView();
+      return LoadedDataset{std::move(graph), std::move(stored).value()};
+    }
+    // "ram" and "disk" both hold the graph on the heap; disk differs
+    // only in serving links through DiskLinkDb (per strategy, below).
+    auto graph = store::StoredWebGraph::ReadInRam(args.dataset_file);
+    LSWC_RETURN_IF_ERROR(graph.status());
+    return LoadedDataset{std::move(graph).value(), nullptr};
+  }
   if (!args.log_path.empty()) {
     auto binary = ReadCrawlLog(args.log_path);
-    if (binary.ok()) return binary;
-    return ReadTextLogFile(args.log_path);
+    if (binary.ok()) return LoadedDataset{std::move(binary).value(), nullptr};
+    auto text = ReadTextLogFile(args.log_path);
+    LSWC_RETURN_IF_ERROR(text.status());
+    return LoadedDataset{std::move(text).value(), nullptr};
   }
   SyntheticWebOptions options = args.dataset == "japanese"
                                     ? JapaneseLikeOptions(args.pages)
@@ -272,7 +333,9 @@ StatusOr<WebGraph> LoadGraph(const Args& args) {
     return Status::InvalidArgument("unknown dataset " + args.dataset);
   }
   if (args.seed != 0) options.seed = args.seed;
-  return GenerateWebGraph(options);
+  auto generated = GenerateWebGraph(options);
+  LSWC_RETURN_IF_ERROR(generated.status());
+  return LoadedDataset{std::move(generated).value(), nullptr};
 }
 
 StatusOr<std::unique_ptr<Classifier>> MakeClassifier(const Args& args,
@@ -375,6 +438,7 @@ std::string OutPathFor(const Args& args, const std::string& strategy,
 /// view) and appends the human-readable summary to `*output`. Safe to
 /// call concurrently for different specs.
 Status RunOneStrategy(const Args& args, const WebGraph& graph,
+                      const store::StoredWebGraph* stored,
                       const std::string& strategy_spec,
                       const std::string& out_path, obs::RunObs* obs,
                       std::string* output) {
@@ -385,8 +449,32 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   auto render = ResolveRender(args);
   LSWC_RETURN_IF_ERROR(render.status());
 
-  InMemoryLinkDb link_db(&graph);
-  VirtualWebSpace web(&graph, &link_db, *render);
+  // Link DB per backend: mmap serves straight from the shared dataset
+  // mapping, disk streams target blocks through an LRU cache (sized
+  // from the budget plan when one is set), everything else replays from
+  // the in-memory graph.
+  std::unique_ptr<LinkDb> link_db;
+  if (stored != nullptr) {
+    link_db = std::make_unique<store::MmapLinkDb>(*stored);
+  } else if (!args.dataset_file.empty() && args.store == "disk") {
+    DiskLinkDb::Options cache;
+    if (args.memory_budget_mb != 0) {
+      const store::MemoryBudgetPlan plan =
+          store::PlanMemoryBudget(args.memory_budget_mb);
+      cache.block_words = plan.link_cache_block_words;
+      cache.max_cached_blocks = plan.linkdb_cache_blocks;
+    }
+    auto disk = DiskLinkDb::Open(args.dataset_file, cache);
+    LSWC_RETURN_IF_ERROR(disk.status());
+    link_db = std::move(disk).value();
+  } else {
+    link_db = std::make_unique<InMemoryLinkDb>(&graph);
+  }
+  if (obs != nullptr && obs->enabled) {
+    link_db->AttachObs(&obs->registry);
+    if (stored != nullptr) stored->AttachObs(&obs->registry);
+  }
+  VirtualWebSpace web(&graph, link_db.get(), *render);
 
   // Checkpoint/resume plumbing shared by both simulator kinds: each
   // strategy snapshots to (and resumes from) its own sanitized label.
@@ -445,6 +533,8 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   options.scorers = args.scorers;
   options.shards = args.shards;
   options.shard_batch = args.shard_batch;
+  options.dataset_file = args.dataset_file;
+  options.memory_budget_mb = args.memory_budget_mb;
   options.checkpoint_every_pages = args.checkpoint_every;
   options.snapshot_dir = args.snapshot_dir;
   options.snapshot_label = label;
@@ -480,14 +570,26 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
 }
 
 int Run(const Args& args) {
-  auto graph_or = LoadGraph(args);
-  if (!graph_or.ok()) {
+  auto loaded_or = LoadGraph(args);
+  if (!loaded_or.ok()) {
     std::fprintf(stderr, "dataset: %s\n",
-                 graph_or.status().ToString().c_str());
+                 loaded_or.status().ToString().c_str());
     return 1;
   }
-  const WebGraph& graph = *graph_or;
-  const DatasetStats stats = graph.ComputeStats();
+  const WebGraph& graph = loaded_or->graph;
+  const store::StoredWebGraph* stored = loaded_or->stored.get();
+  // Mapped replays read the precomputed stats section instead of
+  // scanning 100M page records (which would page the whole section in).
+  DatasetStats stats;
+  if (stored != nullptr) {
+    const store::DatasetStatsRecord& record = stored->stats();
+    stats.total_urls = record.total_urls;
+    stats.ok_html_pages = record.ok_html_pages;
+    stats.relevant_ok_pages = record.relevant_ok_pages;
+    stats.irrelevant_ok_pages = record.irrelevant_ok_pages;
+  } else {
+    stats = graph.ComputeStats();
+  }
   std::printf("dataset: %zu URLs, %zu hosts, %zu links; %.1f%% of %llu OK "
               "pages relevant (%s)\n",
               graph.num_pages(), graph.num_hosts(), graph.num_links(),
@@ -533,9 +635,9 @@ int Run(const Args& args) {
     spec.dataset = dataset;
     const std::string out_path =
         OutPathFor(args, strategy_list[i], strategy_list.size());
-    spec.custom = [&args, &strategy_list, &outputs, out_path,
+    spec.custom = [&args, &strategy_list, &outputs, out_path, stored,
                    i](const RunContext& context) {
-      return RunOneStrategy(args, *context.graph, strategy_list[i],
+      return RunOneStrategy(args, *context.graph, stored, strategy_list[i],
                             out_path, context.obs, &outputs[i]);
     };
     specs.push_back(std::move(spec));
