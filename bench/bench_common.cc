@@ -8,6 +8,7 @@
 
 #include "core/checkpoint.h"
 #include "obs/run_obs.h"
+#include "obs/telemetry_plane.h"
 #include "obs/trace_sink.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -17,6 +18,16 @@ namespace lswc::bench {
 
 unsigned BenchArgs::resolved_jobs() const {
   return jobs != 0 ? jobs : ThreadPool::DefaultThreadCount();
+}
+
+void ConfigureTelemetryPlane(const BenchArgs& args, const char* argv0) {
+  obs::TelemetryOptions options;
+  options.endpoint = args.telemetry;
+  options.watchdog_secs = args.watchdog_secs;
+  options.watchdog_abort = args.watchdog_abort;
+  options.flight_recorder_events = args.flight_recorder_events;
+  options.dump_path = args.telemetry_dump;
+  obs::ConfigureTelemetryPlaneFromFlags(options, argv0);
 }
 
 BenchArgs BenchArgs::Parse(int argc, char** argv) {
@@ -86,6 +97,27 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
         args.progress_every = *v;
         continue;
       }
+    } else if (StartsWith(arg, "--telemetry=")) {
+      args.telemetry = std::string(arg.substr(12));
+      if (!args.telemetry.empty()) continue;
+    } else if (StartsWith(arg, "--watchdog-secs=")) {
+      const auto v = ParseUint64(arg.substr(16));
+      if (v.has_value() && *v > 0) {
+        args.watchdog_secs = *v;
+        continue;
+      }
+    } else if (arg == "--watchdog-abort") {
+      args.watchdog_abort = true;
+      continue;
+    } else if (StartsWith(arg, "--flight-recorder-events=")) {
+      const auto v = ParseUint64(arg.substr(25));
+      if (v.has_value()) {
+        args.flight_recorder_events = *v;
+        continue;
+      }
+    } else if (StartsWith(arg, "--telemetry-dump=")) {
+      args.telemetry_dump = std::string(arg.substr(17));
+      if (!args.telemetry_dump.empty()) continue;
     }
     std::fprintf(
         stderr,
@@ -94,7 +126,11 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
         "          [--memory-budget-mb=N] [--shards=N]\n"
         "          [--checkpoint-every=N --snapshot-dir=DIR] [--resume=DIR]\n"
         "          [--stats-json=FILE] [--trace-out=FILE]"
-        " [--progress-every=N]\n",
+        " [--progress-every=N]\n"
+        "          [--telemetry=unix:PATH|tcp:[HOST:]PORT]"
+        " [--watchdog-secs=N]\n"
+        "          [--watchdog-abort] [--flight-recorder-events=N]"
+        " [--telemetry-dump=FILE]\n",
         argv[0]);
     std::exit(2);
   }
@@ -103,6 +139,7 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
                  "%s: --checkpoint-every requires --snapshot-dir\n", argv[0]);
     std::exit(2);
   }
+  ConfigureTelemetryPlane(args, argv[0]);
   return args;
 }
 

@@ -74,13 +74,44 @@ struct BenchArgs {
   /// one track per grid run. Opt-in: tracing buffers events in memory.
   std::string trace_out;
   /// Print a per-run progress line to stderr every N crawled pages.
+  /// The line is rendered from the published telemetry snapshot, so it
+  /// always agrees with the live endpoint's progress document.
   uint64_t progress_every = 0;
+  /// Serve the live status endpoint here ("unix:<path>" or
+  /// "tcp:[host:]port"; empty = no endpoint). See docs/ARCHITECTURE.md
+  /// "Telemetry plane".
+  std::string telemetry;
+  /// Abort-free stall watchdog deadline in seconds (0 = off): when no
+  /// fetch completes for this long, dump the flight recorder plus
+  /// per-shard attribution to --telemetry-dump (or stderr).
+  uint64_t watchdog_secs = 0;
+  /// abort() when the watchdog fires, so CI turns hangs into failures.
+  bool watchdog_abort = false;
+  /// Per-run flight-recorder ring capacity (events; 0 disables the
+  /// recorder and the SIGSEGV/SIGABRT crash dump).
+  uint64_t flight_recorder_events = 1024;
+  /// Watchdog / crash dump file (empty = stderr).
+  std::string telemetry_dump;
 
   /// The worker count a runner built from these args will use.
   unsigned resolved_jobs() const;
 
+  /// Parses flags, then configures the process-wide telemetry plane
+  /// when any telemetry flag was given (endpoint bind errors are fatal,
+  /// like any other bad flag).
   static BenchArgs Parse(int argc, char** argv);
 };
+
+/// Configures the process-wide obs::TelemetryPlane from the telemetry
+/// flags (endpoint server, stall watchdog, flight recorder + crash
+/// handler) by delegating to obs::ConfigureTelemetryPlaneFromFlags; a
+/// no-op when no telemetry flag was given. BenchArgs::Parse calls this
+/// itself; standalone tools with their own flag parsing (lswc_sim,
+/// lswc_dataset) call the obs helper directly. Bind failures are fatal
+/// (exit 2). When an endpoint was bound, its resolved address is
+/// printed to stderr as "TELEMETRY <endpoint>" so scripts can attach
+/// to tcp:0.
+void ConfigureTelemetryPlane(const BenchArgs& args, const char* argv0);
 
 /// Creates the binary's BENCH report with name/pages/seed/jobs
 /// prefilled. Construct it before building datasets: the report's wall

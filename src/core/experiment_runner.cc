@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.h"
 #include "core/crawl_observer.h"
+#include "obs/telemetry_plane.h"
 #include "store/mmap_link_db.h"
 #include "webgraph/link_db.h"
 
@@ -171,6 +172,13 @@ RunResult ExperimentRunner::RunOne(const RunSpec& spec, size_t spec_index) {
   // one snapshot directory serves a whole grid.
   if (!options.snapshot_dir.empty() && options.snapshot_label.empty()) {
     options.snapshot_label = SanitizeSnapshotLabel(spec.name);
+  }
+  // When the process has a telemetry plane, every grid cell gets its
+  // own board, so an attached observer sees all in-flight runs.
+  if (options.run_label.empty()) options.run_label = spec.name;
+  obs::TelemetryPlane& plane = obs::TelemetryPlane::Instance();
+  if (options.telemetry == nullptr && plane.configured()) {
+    options.telemetry = plane.CreateContext(options.run_label);
   }
   Simulator simulator(&web, classifier.get(), spec.strategy, options);
   auto result = simulator.Run();

@@ -8,36 +8,6 @@
 
 namespace lswc {
 
-ProgressObserver::ProgressObserver(uint64_t every_pages, std::string label,
-                                   const obs::StageProfiler* profiler)
-    : every_pages_(every_pages == 0 ? 1 : every_pages),
-      label_(std::move(label)),
-      profiler_(profiler),
-      last_ns_(obs::MonotonicNowNs()) {}
-
-void ProgressObserver::OnFetch(const FetchEvent& event) {
-  if (event.truly_relevant) ++relevant_;
-  if (event.pages_crawled % every_pages_ != 0) return;
-  const uint64_t now_ns = obs::MonotonicNowNs();
-  const uint64_t pages = event.pages_crawled - last_pages_;
-  const double secs =
-      static_cast<double>(now_ns - last_ns_) / 1e9;
-  const double rate = secs > 0 ? static_cast<double>(pages) / secs : 0.0;
-  const double harvest =
-      100.0 * static_cast<double>(relevant_) /
-      static_cast<double>(event.pages_crawled);
-  std::string top;
-  if (profiler_ != nullptr) top = profiler_->TopStagesLine();
-  std::fprintf(stderr, "[%s] %llu pages | %.0f pages/sec | harvest %.1f%% | queue %llu%s%s\n",
-               label_.c_str(),
-               static_cast<unsigned long long>(event.pages_crawled), rate,
-               harvest,
-               static_cast<unsigned long long>(event.frontier_size),
-               top.empty() ? "" : " | ", top.c_str());
-  last_pages_ = event.pages_crawled;
-  last_ns_ = now_ns;
-}
-
 void TraceEventObserver::OnRePush(PageId url, const LinkDecision& decision) {
   (void)url;
   (void)decision;

@@ -1,12 +1,14 @@
 #ifndef LSWC_CORE_OBS_OBSERVERS_H_
 #define LSWC_CORE_OBS_OBSERVERS_H_
 
-// CrawlObservers that surface a run while it happens: ProgressObserver
-// prints the periodic one-line status (pages/sec, harvest, queue size,
-// top stages) and TraceEventObserver mirrors bus events into a
-// TraceSink as instants and counter tracks. Both are attached by the
-// drivers only when the run carries an enabled obs bundle, so a
-// disabled run never pays for them — not even the observer dispatch.
+// CrawlObservers that surface a run while it happens.
+// TraceEventObserver mirrors bus events into a TraceSink as instants
+// and counter tracks; it is attached by the drivers only when the run
+// carries an enabled obs bundle, so a disabled run never pays for it —
+// not even the observer dispatch. (The periodic progress line moved to
+// core/telemetry_publisher.h: it is now rendered from the published
+// telemetry snapshot, so the stderr line and the live endpoint share
+// one source of truth.)
 
 #include <cstdint>
 #include <string>
@@ -15,30 +17,6 @@
 #include "obs/obs_fwd.h"
 
 namespace lswc {
-
-/// Prints one status line to stderr every `every_pages` fetches:
-///
-///   [fig3] 40000 pages | 812345 pages/sec | harvest 23.1% | queue
-///   51234 | fetch 62% classify 21% strategy 9%
-///
-/// stderr on purpose: stdout carries the harnesses' deterministic
-/// summary lines, which golden tests and CI hashes compare.
-class ProgressObserver final : public CrawlObserver {
- public:
-  /// `profiler` (may be null) supplies the top-stages tail of the line.
-  ProgressObserver(uint64_t every_pages, std::string label,
-                   const obs::StageProfiler* profiler);
-
-  void OnFetch(const FetchEvent& event) override;
-
- private:
-  uint64_t every_pages_;
-  std::string label_;
-  const obs::StageProfiler* profiler_;
-  uint64_t relevant_ = 0;
-  uint64_t last_pages_ = 0;
-  uint64_t last_ns_ = 0;
-};
 
 /// Mirrors bus events into the run's trace: "re-push" instants, a
 /// subsampled "drop" instant (1 in 64 — drops dominate a focused

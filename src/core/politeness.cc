@@ -12,6 +12,7 @@
 #include "core/host_frontier.h"
 #include "core/metrics.h"
 #include "core/obs_observers.h"
+#include "core/telemetry_publisher.h"
 #include "obs/run_obs.h"
 #include "snapshot/series_io.h"
 
@@ -278,20 +279,25 @@ StatusOr<PolitenessResult> PolitenessSimulator::Run() {
   scheduler.RegisterTimedSeries(&series);
   TimedSeriesObserver series_observer(&series, &scheduler, &engine.metrics());
   engine.AddObserver(&series_observer);
-  std::unique_ptr<ProgressObserver> progress;
   std::unique_ptr<TraceEventObserver> trace_events;
-  if (obs != nullptr) {
-    if (options_.progress_every != 0) {
-      progress = std::make_unique<ProgressObserver>(
-          options_.progress_every,
-          options_.snapshot_label.empty() ? "crawl" : options_.snapshot_label,
-          &obs->profiler);
-      engine.AddObserver(progress.get());
-    }
-    if (obs->trace != nullptr) {
-      trace_events = std::make_unique<TraceEventObserver>(obs->trace.get());
-      engine.AddObserver(trace_events.get());
-    }
+  if (obs != nullptr && obs->trace != nullptr) {
+    trace_events = std::make_unique<TraceEventObserver>(obs->trace.get());
+    engine.AddObserver(trace_events.get());
+  }
+  std::unique_ptr<TelemetryPublisher> publisher;
+  if (options_.telemetry != nullptr ||
+      (obs != nullptr && options_.progress_every != 0)) {
+    TelemetryPublisher::Options pub;
+    pub.telemetry = options_.telemetry;
+    pub.run_label = !options_.run_label.empty() ? options_.run_label
+                    : options_.snapshot_label.empty() ? "crawl"
+                                                      : options_.snapshot_label;
+    pub.phase = "politeness";
+    pub.metrics = &engine.metrics();
+    pub.obs = obs;
+    pub.progress_every = obs != nullptr ? options_.progress_every : 0;
+    publisher = std::make_unique<TelemetryPublisher>(std::move(pub));
+    engine.AddObserver(publisher.get());
   }
   for (CrawlObserver* observer : options_.observers) {
     engine.AddObserver(observer);
@@ -314,6 +320,7 @@ StatusOr<PolitenessResult> PolitenessSimulator::Run() {
     LSWC_RETURN_IF_ERROR(engine.ResumeFromSnapshot(options_.resume_path));
   }
   LSWC_RETURN_IF_ERROR(engine.Run());
+  if (publisher != nullptr) publisher->PublishFinal();
   if (checkpoint != nullptr) {
     LSWC_RETURN_IF_ERROR(checkpoint->status());
   }

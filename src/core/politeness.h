@@ -51,8 +51,12 @@ struct PolitenessOptions {
   /// per fetch) and the host frontier's push/pop/wait instrumentation.
   obs::RunObs* obs = nullptr;
   /// Print a progress line to stderr every N crawled pages (0 = never;
-  /// needs an enabled `obs` bundle).
+  /// needs an enabled `obs` bundle). Rendered from the published
+  /// telemetry snapshot, like SimulationOptions::progress_every.
   uint64_t progress_every = 0;
+  /// Live telemetry slot and display label, mirroring SimulationOptions.
+  obs::TelemetryContext* telemetry = nullptr;
+  std::string run_label;
 };
 
 struct PolitenessSummary {

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "obs/run_obs.h"
+#include "obs/telemetry.h"
 #include "snapshot/snapshot_file.h"
 
 namespace lswc {
@@ -563,6 +564,21 @@ void ShardedCrawlEngine::MergeShardObs() {
     if (shard->obs->trace != nullptr) {
       parent->shard_traces.push_back(std::move(shard->obs->trace));
     }
+  }
+}
+
+void ShardedCrawlEngine::AppendShardStates(
+    std::vector<obs::ShardState>* out) const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    obs::ShardState state;
+    state.shard = static_cast<uint32_t>(i);
+    if (shard.frontier != nullptr) {
+      state.pending = shard.frontier->size();
+    } else if (shard.batch_frontier != nullptr) {
+      state.pending = shard.batch_frontier->size();
+    }
+    out->push_back(state);
   }
 }
 

@@ -142,6 +142,12 @@ class ShardedCrawlEngine final : public Checkpointable {
   uint64_t max_frontier_size() const { return global_max_size_; }
   uint32_t num_shards() const { return router_.num_shards(); }
 
+  /// Appends one entry per shard with its current pending-slice size,
+  /// for the merged cross-shard telemetry snapshot. Reads shard
+  /// frontiers without locks: call only from the serial commit loop
+  /// (where the TelemetryPublisher's OnFetch fires) or after Run.
+  void AppendShardStates(std::vector<obs::ShardState>* out) const;
+
   /// Test hook: called by each shard's worker task at the start of its
   /// visit phase, from the worker thread, with the number of tasks
   /// submitted this round. The merge-determinism stress test uses it as

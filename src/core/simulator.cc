@@ -7,12 +7,40 @@
 #include "core/frontier_factory.h"
 #include "core/obs_observers.h"
 #include "core/sharded_engine.h"
+#include "core/telemetry_publisher.h"
 #include "obs/run_obs.h"
 #include "store/memory_budget.h"
 
 namespace lswc {
 
 namespace {
+
+/// The display label for telemetry snapshots and the progress line.
+std::string ResolveRunLabel(const SimulationOptions& options) {
+  if (!options.run_label.empty()) return options.run_label;
+  if (!options.snapshot_label.empty()) return options.snapshot_label;
+  return "crawl";
+}
+
+/// Builds the run's TelemetryPublisher when either consumer wants it:
+/// a telemetry context (live endpoint / watchdog / flight recorder) or
+/// a --progress-every stderr line (which needs an enabled obs bundle,
+/// matching the old ProgressObserver gate).
+std::unique_ptr<TelemetryPublisher> MakePublisher(
+    const SimulationOptions& options, obs::RunObs* obs,
+    const MetricsRecorder* metrics,
+    std::function<void(std::vector<obs::ShardState>*)> shard_pending) {
+  const bool progress = obs != nullptr && options.progress_every != 0;
+  if (options.telemetry == nullptr && !progress) return nullptr;
+  TelemetryPublisher::Options pub;
+  pub.telemetry = options.telemetry;
+  pub.run_label = ResolveRunLabel(options);
+  pub.metrics = metrics;
+  pub.obs = obs;
+  pub.progress_every = progress ? options.progress_every : 0;
+  pub.shard_pending = std::move(shard_pending);
+  return std::make_unique<TelemetryPublisher>(std::move(pub));
+}
 
 /// Applies a global memory budget to the frontier knobs: under a budget
 /// the spilling frontier becomes the default, sized to the plan's
@@ -89,25 +117,20 @@ StatusOr<SimulationResult> Simulator::Run() {
   CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
                      engine_options);
   if (options_.rng != nullptr) engine.AttachRng(options_.rng);
-  std::unique_ptr<ProgressObserver> progress;
   std::unique_ptr<TraceEventObserver> trace_events;
   if (obs != nullptr) {
     selection->frontier->AttachObs(&obs->registry, obs->trace.get());
     if (selection->batch != nullptr) {
       selection->batch->set_profiler(&obs->profiler);
     }
-    if (options_.progress_every != 0) {
-      progress = std::make_unique<ProgressObserver>(
-          options_.progress_every,
-          options_.snapshot_label.empty() ? "crawl" : options_.snapshot_label,
-          &obs->profiler);
-      engine.AddObserver(progress.get());
-    }
     if (obs->trace != nullptr) {
       trace_events = std::make_unique<TraceEventObserver>(obs->trace.get());
       engine.AddObserver(trace_events.get());
     }
   }
+  std::unique_ptr<TelemetryPublisher> publisher =
+      MakePublisher(options_, obs, &engine.metrics(), nullptr);
+  if (publisher != nullptr) engine.AddObserver(publisher.get());
   for (CrawlObserver* observer : options_.observers) {
     engine.AddObserver(observer);
   }
@@ -131,6 +154,7 @@ StatusOr<SimulationResult> Simulator::Run() {
     LSWC_RETURN_IF_ERROR(engine.ResumeFromSnapshot(options_.resume_path));
   }
   LSWC_RETURN_IF_ERROR(engine.Run());
+  if (publisher != nullptr) publisher->PublishFinal();
   if (checkpoint != nullptr) {
     // A failed save never aborts the crawl mid-run; it surfaces here.
     LSWC_RETURN_IF_ERROR(checkpoint->status());
@@ -185,21 +209,21 @@ StatusOr<SimulationResult> Simulator::RunSharded() {
   if (!created.ok()) return created.status();
   ShardedCrawlEngine& engine = **created;
   if (options_.rng != nullptr) engine.AttachRng(options_.rng);
-  std::unique_ptr<ProgressObserver> progress;
   std::unique_ptr<TraceEventObserver> trace_events;
   if (obs != nullptr) {
-    if (options_.progress_every != 0) {
-      progress = std::make_unique<ProgressObserver>(
-          options_.progress_every,
-          options_.snapshot_label.empty() ? "crawl" : options_.snapshot_label,
-          &obs->profiler);
-      engine.AddObserver(progress.get());
-    }
     if (obs->trace != nullptr) {
       trace_events = std::make_unique<TraceEventObserver>(obs->trace.get());
       engine.AddObserver(trace_events.get());
     }
   }
+  // The publisher's OnFetch fires from the serial commit loop, so the
+  // shard-pending callback reads shard frontiers race-free.
+  std::unique_ptr<TelemetryPublisher> publisher = MakePublisher(
+      options_, obs, &engine.metrics(),
+      [&engine](std::vector<obs::ShardState>* out) {
+        engine.AppendShardStates(out);
+      });
+  if (publisher != nullptr) engine.AddObserver(publisher.get());
   for (CrawlObserver* observer : options_.observers) {
     engine.AddObserver(observer);
   }
@@ -221,6 +245,7 @@ StatusOr<SimulationResult> Simulator::RunSharded() {
     LSWC_RETURN_IF_ERROR(engine.ResumeFromSnapshot(options_.resume_path));
   }
   LSWC_RETURN_IF_ERROR(engine.Run());
+  if (publisher != nullptr) publisher->PublishFinal();
   if (checkpoint != nullptr) {
     LSWC_RETURN_IF_ERROR(checkpoint->status());
   }

@@ -103,8 +103,20 @@ struct SimulationOptions {
   /// trace sink — bus events are mirrored into the trace.
   obs::RunObs* obs = nullptr;
   /// Print a progress line to stderr every N crawled pages (0 = never;
-  /// needs an enabled `obs` bundle).
+  /// needs an enabled `obs` bundle). The line is rendered from the
+  /// published telemetry snapshot (obs::FormatProgressLine), so it can
+  /// never disagree with the live endpoint's progress document.
   uint64_t progress_every = 0;
+  /// This run's slot on the live telemetry plane (not owned; may be
+  /// null). When set, a TelemetryPublisher is attached to the bus: it
+  /// publishes double-buffered snapshots to the context's board, bumps
+  /// the stall-watchdog heartbeat, and records flight-recorder events.
+  /// Strictly read-only over crawl state — series output is
+  /// bit-identical with telemetry on or off.
+  obs::TelemetryContext* telemetry = nullptr;
+  /// Display label for telemetry snapshots and the progress line
+  /// (falls back to snapshot_label, then "crawl").
+  std::string run_label;
 };
 
 /// Aggregate outcome of a run.

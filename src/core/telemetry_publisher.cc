@@ -1,0 +1,114 @@
+#include "core/telemetry_publisher.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "obs/run_obs.h"
+#include "obs/stage_profiler.h"
+#include "util/sysinfo.h"
+
+namespace lswc {
+
+namespace {
+
+/// Snapshot construction cadence: at most once per 64 pages (same mask
+/// as the StageProfiler's timing sample) and once per 100ms.
+constexpr uint64_t kCadenceMask = 63;
+constexpr uint64_t kMinPublishGapNs = 100'000'000;
+
+}  // namespace
+
+TelemetryPublisher::TelemetryPublisher(Options options)
+    : options_(std::move(options)) {}
+
+void TelemetryPublisher::OnFetch(const FetchEvent& event) {
+  if (event.shard >= shard_pages_.size()) {
+    shard_pages_.resize(event.shard + 1, 0);
+  }
+  ++shard_pages_[event.shard];
+  last_pages_seen_ = event.pages_crawled;
+  last_frontier_seen_ = event.frontier_size;
+  const bool progress_due =
+      options_.progress_every != 0 &&
+      event.pages_crawled % options_.progress_every == 0;
+  if (!progress_due && (event.pages_crawled & kCadenceMask) != 0) return;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->heartbeat->fetch_add(1, std::memory_order_relaxed);
+  }
+  // last_publish_ns_ == 0 means "never published" — the monotonic clock
+  // epoch is process start, so without the guard a crawl that finishes
+  // (or stalls) within the first 100ms would never publish at all.
+  if (!progress_due && last_publish_ns_ != 0 &&
+      obs::MonotonicNowNs() - last_publish_ns_ < kMinPublishGapNs) {
+    return;
+  }
+  Publish(event.pages_crawled, event.frontier_size, progress_due,
+          /*final=*/false);
+}
+
+void TelemetryPublisher::PublishFinal() {
+  Publish(last_pages_seen_, last_frontier_seen_,
+          /*progress_line=*/options_.progress_every != 0, /*final=*/true);
+}
+
+void TelemetryPublisher::Publish(uint64_t pages_crawled,
+                                 uint64_t frontier_size, bool progress_line,
+                                 bool final) {
+  const uint64_t now = obs::MonotonicNowNs();
+  auto snap = std::make_shared<obs::TelemetrySnapshot>();
+  snap->run = options_.run_label;
+  snap->phase = final ? options_.phase + "/done" : options_.phase;
+  snap->seq = ++seq_;
+  snap->now_ns = now;
+  snap->pages_crawled = pages_crawled;
+  snap->frontier_size = frontier_size;
+  if (options_.metrics != nullptr) {
+    snap->relevant_crawled = options_.metrics->relevant_crawled();
+    snap->harvest_pct = options_.metrics->harvest_pct();
+    snap->coverage_pct = options_.metrics->coverage_pct();
+  }
+  if (last_publish_ns_ != 0 && now > last_publish_ns_ &&
+      pages_crawled >= last_publish_pages_) {
+    snap->pages_per_sec =
+        static_cast<double>(pages_crawled - last_publish_pages_) * 1e9 /
+        static_cast<double>(now - last_publish_ns_);
+  }
+  snap->peak_rss_bytes = util::PeakRssBytes();
+
+  const obs::RunObs* obs = options_.obs;
+  if (obs != nullptr && obs->enabled) {
+    for (int i = 0; i < obs::kNumStages; ++i) {
+      const auto stage = static_cast<obs::Stage>(i);
+      const uint64_t calls = obs->profiler.calls(stage);
+      if (calls == 0) continue;
+      snap->stages.push_back(obs::StageStat{
+          obs::StageName(stage), calls, obs->profiler.total_ns(stage)});
+    }
+    obs->registry.SnapshotValues(&snap->metrics);
+  }
+
+  if (options_.shard_pending) {
+    options_.shard_pending(&snap->shards);
+    for (obs::ShardState& shard : snap->shards) {
+      if (shard.shard < shard_pages_.size()) {
+        shard.pages_crawled = shard_pages_[shard.shard];
+      }
+    }
+  }
+
+  last_publish_ns_ = now;
+  last_publish_pages_ = pages_crawled;
+
+  if (progress_line) {
+    std::fprintf(stderr, "%s\n", obs::FormatProgressLine(*snap).c_str());
+  }
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->RecordEvent(final ? "run-done" : "publish",
+                                    options_.run_label.c_str(), pages_crawled,
+                                    frontier_size);
+    options_.telemetry->board.TryPublish(std::move(snap));
+  }
+}
+
+}  // namespace lswc

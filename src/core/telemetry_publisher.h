@@ -1,0 +1,85 @@
+#ifndef LSWC_CORE_TELEMETRY_PUBLISHER_H_
+#define LSWC_CORE_TELEMETRY_PUBLISHER_H_
+
+// The bridge between a running crawl and the telemetry plane: a
+// CrawlObserver that periodically captures a TelemetrySnapshot and
+// publishes it on the run's TelemetryBoard. It replaces the old
+// ProgressObserver — the --progress-every stderr line is now rendered
+// *from* the published snapshot (obs::FormatProgressLine), so the
+// attached endpoint and the stderr line can never disagree.
+//
+// Determinism contract: the publisher is strictly read-only with
+// respect to crawl state. It reads the metrics recorder, the stage
+// profiler, and the registry (all from the crawl thread, which is their
+// single writer) and copies values out; it never feeds anything back.
+// That is what keeps telemetry-on runs bit-identical to telemetry-off
+// runs.
+//
+// Overhead contract: per fetch the publisher costs one relevance
+// branch, one per-shard tally increment, and one cadence mask check
+// (pages & 63). Snapshot construction — the expensive part — happens at
+// most once per 64 pages AND once per ~100ms, whichever is rarer, plus
+// at every --progress-every boundary and once at the end of the run.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/crawl_observer.h"
+#include "core/metrics.h"
+#include "obs/obs_fwd.h"
+#include "obs/telemetry.h"
+#include "obs/telemetry_plane.h"
+
+namespace lswc {
+
+class TelemetryPublisher final : public CrawlObserver {
+ public:
+  struct Options {
+    /// Board + flight recorder + heartbeat; may be null (then the
+    /// publisher only renders the stderr progress line — still from a
+    /// locally built snapshot).
+    obs::TelemetryContext* telemetry = nullptr;
+    std::string run_label = "crawl";
+    std::string phase = "crawl";
+    /// Metric source (required; attached first on the bus, so its
+    /// counts are current when the publisher runs).
+    const MetricsRecorder* metrics = nullptr;
+    /// Stage times + registry metrics (may be null / disabled).
+    const obs::RunObs* obs = nullptr;
+    /// Print obs::FormatProgressLine to stderr every N pages (0 =
+    /// never). The line is rendered from the snapshot just published.
+    uint64_t progress_every = 0;
+    /// Fills per-shard pending sizes; null outside the sharded engine.
+    /// Called from the commit loop (the only thread touching shards).
+    std::function<void(std::vector<obs::ShardState>*)> shard_pending;
+  };
+
+  explicit TelemetryPublisher(Options options);
+
+  void OnFetch(const FetchEvent& event) override;
+
+  /// Publishes the end-of-run snapshot (phase suffix "/done"). Called
+  /// by the drivers after Run() so an attached observer sees the final
+  /// totals instead of the last cadence tick.
+  void PublishFinal();
+
+  uint64_t snapshots_built() const { return seq_; }
+
+ private:
+  void Publish(uint64_t pages_crawled, uint64_t frontier_size,
+               bool progress_line, bool final);
+
+  Options options_;
+  uint64_t seq_ = 0;
+  uint64_t last_publish_ns_ = 0;
+  uint64_t last_publish_pages_ = 0;
+  uint64_t last_pages_seen_ = 0;
+  uint64_t last_frontier_seen_ = 0;
+  std::vector<uint64_t> shard_pages_;
+};
+
+}  // namespace lswc
+
+#endif  // LSWC_CORE_TELEMETRY_PUBLISHER_H_

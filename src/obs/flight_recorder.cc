@@ -1,0 +1,227 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <mutex>
+
+#include "obs/stage_profiler.h"
+
+namespace lswc::obs {
+
+namespace {
+
+void CopyTruncated(char* dst, size_t dst_len, const char* src) {
+  if (src == nullptr) {
+    dst[0] = '\0';
+    return;
+  }
+  size_t i = 0;
+  for (; i + 1 < dst_len && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+/// write() the full buffer, retrying on short writes. Signal-safe.
+void WriteAll(int fd, const char* buf, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, buf, len);
+    if (n <= 0) return;  // Nothing sensible to do from a dump path.
+    buf += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void WriteStr(int fd, const char* s) { WriteAll(fd, s, ::strlen(s)); }
+
+/// Hand-rolled uint64 -> decimal; returns chars written. Signal-safe.
+size_t FormatU64(uint64_t value, char* out) {
+  char tmp[20];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  for (size_t i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void WriteU64(int fd, uint64_t value) {
+  char buf[20];
+  WriteAll(fd, buf, FormatU64(value, buf));
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity) : slots_(capacity) {}
+
+void FlightRecorder::Record(const char* kind, const char* detail, uint64_t a,
+                            uint64_t b) {
+  if (slots_.empty()) return;
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % slots_.size()];
+  // Mark the slot in-flight (commit 0) so a concurrent dump skips it
+  // rather than reading half-updated fields, then fill and commit.
+  slot.commit.store(0, std::memory_order_release);
+  slot.event.seq = seq;
+  slot.event.ns = MonotonicNowNs();
+  CopyTruncated(slot.event.kind, FlightEvent::kKindLen, kind);
+  CopyTruncated(slot.event.detail, FlightEvent::kDetailLen, detail);
+  slot.event.a = a;
+  slot.event.b = b;
+  slot.commit.store(seq + 1, std::memory_order_release);
+}
+
+void FlightRecorder::DumpTo(int fd) const {
+  const uint64_t next = next_.load(std::memory_order_acquire);
+  if (next == 0) return;
+  const uint64_t window = slots_.size();
+  const uint64_t first = next > window ? next - window : 0;
+  for (uint64_t seq = first; seq < next; ++seq) {
+    const Slot& slot = slots_[seq % window];
+    const uint64_t commit = slot.commit.load(std::memory_order_acquire);
+    if (commit != seq + 1) {
+      // Raced with the writer (slot already holds a newer event or is
+      // mid-write): note the gap instead of printing torn fields.
+      WriteStr(fd, "FLIGHT torn seq=");
+      WriteU64(fd, seq);
+      WriteStr(fd, "\n");
+      continue;
+    }
+    const FlightEvent& e = slot.event;
+    WriteStr(fd, "FLIGHT seq=");
+    WriteU64(fd, e.seq);
+    WriteStr(fd, " ns=");
+    WriteU64(fd, e.ns);
+    WriteStr(fd, " kind=");
+    WriteStr(fd, e.kind);
+    WriteStr(fd, " a=");
+    WriteU64(fd, e.a);
+    WriteStr(fd, " b=");
+    WriteU64(fd, e.b);
+    WriteStr(fd, " detail=");
+    WriteStr(fd, e.detail);
+    WriteStr(fd, "\n");
+    // Re-check the commit word: if the writer lapped us mid-read the
+    // printed line may mix two events — flag it.
+    if (slot.commit.load(std::memory_order_acquire) != seq + 1) {
+      WriteStr(fd, "FLIGHT torn seq=");
+      WriteU64(fd, seq);
+      WriteStr(fd, "\n");
+    }
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::Events() const {
+  std::vector<FlightEvent> out;
+  const uint64_t next = next_.load(std::memory_order_acquire);
+  const uint64_t window = slots_.size();
+  if (next == 0 || window == 0) return out;
+  const uint64_t first = next > window ? next - window : 0;
+  for (uint64_t seq = first; seq < next; ++seq) {
+    const Slot& slot = slots_[seq % window];
+    if (slot.commit.load(std::memory_order_acquire) != seq + 1) continue;
+    out.push_back(slot.event);
+  }
+  return out;
+}
+
+namespace {
+
+// Process-wide recorder table. Fixed-size so the dump path never
+// allocates; registration beyond the table is dropped (a dump missing
+// one recorder beats a crash handler that cannot run).
+constexpr size_t kMaxRecorders = 64;
+std::mutex g_register_mu;
+std::atomic<FlightRecorder*> g_recorders[kMaxRecorders];
+
+char g_dump_path[512] = {};
+
+void CrashDump(int sig) {
+  int fd = STDERR_FILENO;
+  bool opened = false;
+  if (g_dump_path[0] != '\0') {
+    // Append: SetFlightDumpPath truncated the file once, and the stall
+    // watchdog may already have written its dump to the same file —
+    // the crash dump must not clobber it.
+    const int file_fd =
+        ::open(g_dump_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (file_fd >= 0) {
+      fd = file_fd;
+      opened = true;
+    }
+  }
+  const char* reason = sig == SIGSEGV  ? "SIGSEGV"
+                       : sig == SIGABRT ? "SIGABRT"
+                                        : "signal";
+  DumpAllFlightRecorders(fd, reason);
+  if (opened) ::close(fd);
+}
+
+void CrashHandler(int sig) {
+  CrashDump(sig);
+  // SA_RESETHAND restored the default disposition; re-raise so the
+  // process still dies with the original signal (and core dumps).
+  ::raise(sig);
+}
+
+}  // namespace
+
+void RegisterFlightRecorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  for (auto& slot : g_recorders) {
+    if (slot.load(std::memory_order_relaxed) == nullptr) {
+      slot.store(recorder, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void UnregisterFlightRecorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  for (auto& slot : g_recorders) {
+    if (slot.load(std::memory_order_relaxed) == recorder) {
+      slot.store(nullptr, std::memory_order_release);
+    }
+  }
+}
+
+void DumpAllFlightRecorders(int fd, const char* reason) {
+  WriteStr(fd, "FLIGHT-RECORDER-DUMP reason=");
+  WriteStr(fd, reason == nullptr ? "unknown" : reason);
+  WriteStr(fd, "\n");
+  for (const auto& slot : g_recorders) {
+    const FlightRecorder* recorder = slot.load(std::memory_order_acquire);
+    if (recorder != nullptr) recorder->DumpTo(fd);
+  }
+  WriteStr(fd, "FLIGHT-RECORDER-DUMP end\n");
+}
+
+void SetFlightDumpPath(const char* path) {
+  if (path == nullptr) {
+    g_dump_path[0] = '\0';
+    return;
+  }
+  CopyTruncated(g_dump_path, sizeof(g_dump_path), path);
+  // Truncate once here, outside any signal context; the dump writers
+  // (watchdog + crash handler) then append, so a stall dump followed by
+  // an abort leaves both in the file.
+  const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) ::close(fd);
+}
+
+void InstallCrashHandler() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    ::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = CrashHandler;
+    sa.sa_flags = SA_RESETHAND;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGSEGV, &sa, nullptr);
+    ::sigaction(SIGABRT, &sa, nullptr);
+  });
+}
+
+}  // namespace lswc::obs

@@ -1,0 +1,96 @@
+#ifndef LSWC_OBS_FLIGHT_RECORDER_H_
+#define LSWC_OBS_FLIGHT_RECORDER_H_
+
+// A fixed-size in-memory ring of recent structured events (stage
+// transitions, checkpoints, spills, rescore rounds, ...) that can be
+// dumped to a file descriptor from a signal handler. The point is a
+// diagnosable trail for crashed or stalled runs: the crash handler
+// (SIGSEGV/SIGABRT) and the stall watchdog both dump every registered
+// recorder before the process dies.
+//
+// Concurrency: Record is cheap (two relaxed atomics plus a bounded
+// memcpy into a preallocated slot) and safe against concurrent dumps —
+// each slot carries a commit word (seq+1, store-release after the
+// fields) so a dumper can detect and mark slots it raced with. All
+// memory is allocated at construction; DumpTo allocates nothing, calls
+// only async-signal-safe functions (write), and formats integers by
+// hand, so it is legal inside a signal handler.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lswc::obs {
+
+/// One recorded event. POD with fixed char arrays so slots can be
+/// reused in place and read from a signal handler without touching the
+/// allocator.
+struct FlightEvent {
+  static constexpr size_t kKindLen = 16;
+  static constexpr size_t kDetailLen = 48;
+  uint64_t seq = 0;  // Global record order, 0-based.
+  uint64_t ns = 0;   // MonotonicNowNs at record time.
+  char kind[kKindLen] = {};      // NUL-terminated, truncated to fit.
+  char detail[kDetailLen] = {};  // NUL-terminated, truncated to fit.
+  uint64_t a = 0;  // Numeric payloads; meaning depends on kind
+  uint64_t b = 0;  // (pages at a checkpoint, bytes spilled, ...).
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` slots; older events are overwritten once the ring wraps.
+  /// Capacity 0 disables recording entirely (Record is a no-op).
+  explicit FlightRecorder(size_t capacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(const char* kind, const char* detail, uint64_t a = 0,
+              uint64_t b = 0);
+
+  /// Writes every live slot to `fd`, oldest first, one line per event:
+  ///   FLIGHT seq=<n> ns=<n> kind=<s> a=<n> b=<n> detail=<s>
+  /// A slot that was being overwritten mid-dump is emitted as
+  /// "FLIGHT torn". Async-signal-safe: no locks, no allocation.
+  void DumpTo(int fd) const;
+
+  size_t capacity() const { return slots_.size(); }
+  /// Total events ever recorded (not clamped to capacity).
+  uint64_t recorded() const { return next_.load(std::memory_order_relaxed); }
+
+  /// Copies out the live window, oldest first — test/CLI convenience,
+  /// not signal-safe (allocates).
+  std::vector<FlightEvent> Events() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> commit{0};  // 0 = empty, else event seq + 1.
+    FlightEvent event;
+  };
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> next_{0};
+};
+
+/// Registers a recorder with the process-wide dump set (bounded; extra
+/// registrations beyond the fixed table are silently dropped). Every
+/// registered recorder is written out by DumpAllFlightRecorders.
+void RegisterFlightRecorder(FlightRecorder* recorder);
+void UnregisterFlightRecorder(FlightRecorder* recorder);
+
+/// Dumps every registered recorder to `fd`, preceded by a
+/// "FLIGHT-RECORDER-DUMP reason=<reason>" header line. Signal-safe.
+/// `reason` must be a short NUL-terminated literal.
+void DumpAllFlightRecorders(int fd, const char* reason);
+
+/// Sets the file the crash handler dumps to (copied into a fixed
+/// buffer, truncated if longer). Empty/null means stderr.
+void SetFlightDumpPath(const char* path);
+
+/// Installs SIGSEGV/SIGABRT handlers that dump all registered
+/// recorders to the configured path (or stderr) and then re-raise with
+/// the default disposition. Idempotent.
+void InstallCrashHandler();
+
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_FLIGHT_RECORDER_H_

@@ -96,6 +96,38 @@ bool MetricsRegistry::empty() const {
          histogram_index_.empty();
 }
 
+void MetricsRegistry::SnapshotValues(std::vector<MetricValue>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, handle] : counter_index_) {
+    MetricValue m;
+    m.kind = MetricValue::Kind::kCounter;
+    m.name = name;
+    m.value = handle->value();
+    out->push_back(std::move(m));
+  }
+  for (const auto& [name, handle] : gauge_index_) {
+    MetricValue m;
+    m.kind = MetricValue::Kind::kGauge;
+    m.name = name;
+    m.value = handle->value();
+    m.max_seen = handle->max_seen();
+    out->push_back(std::move(m));
+  }
+  for (const auto& [name, handle] : histogram_index_) {
+    MetricValue m;
+    m.kind = MetricValue::Kind::kHistogram;
+    m.name = name;
+    m.count = handle->count();
+    m.sum = handle->sum();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (handle->bucket(i) == 0) continue;
+      m.buckets.emplace_back(Histogram::BucketLowerBound(i),
+                             handle->bucket(i));
+    }
+    out->push_back(std::move(m));
+  }
+}
+
 void MetricsRegistry::AppendJsonBody(std::string* out,
                                      const std::string& indent) const {
   std::lock_guard<std::mutex> lock(mu_);

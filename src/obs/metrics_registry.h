@@ -23,8 +23,25 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace lswc::obs {
+
+/// One registry metric copied out by value (SnapshotValues), so readers
+/// on other threads never touch the live single-writer handles.
+struct MetricValue {
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  uint64_t value = 0;     // Counter total / gauge last-set value.
+  uint64_t max_seen = 0;  // Gauge high-water mark.
+  uint64_t count = 0;     // Histogram sample count.
+  uint64_t sum = 0;       // Histogram sample sum.
+  /// Histogram buckets as (lower_bound, count) pairs, non-empty buckets
+  /// only, ascending. Empty for counters/gauges.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
 
 /// Monotonically increasing event count. Merge: sum.
 class Counter {
@@ -107,6 +124,12 @@ class MetricsRegistry {
   void Merge(const MetricsRegistry& other);
 
   bool empty() const;
+
+  /// Appends every metric to `*out` as a by-value copy, name-sorted
+  /// within each kind (counters, then gauges, then histograms). Must be
+  /// called from the writer thread (or after it has joined): the lock
+  /// protects only the indexes, not the handle values.
+  void SnapshotValues(std::vector<MetricValue>* out) const;
 
   /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`, keys
   /// sorted by name; histograms list only their non-empty buckets as

@@ -13,6 +13,8 @@ class MetricsRegistry;
 class StageProfiler;
 class TraceSink;
 struct RunObs;
+struct ShardState;
+struct TelemetryContext;
 }  // namespace lswc::obs
 
 #endif  // LSWC_OBS_OBS_FWD_H_

@@ -1,0 +1,175 @@
+#include "obs/prometheus.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace lswc::obs {
+
+std::string PromMetricName(std::string_view raw, MetricValue::Kind kind) {
+  std::string name = "lswc_";
+  for (char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    name.push_back(ok ? c : '_');
+  }
+  if (kind == MetricValue::Kind::kCounter &&
+      !(name.size() >= 6 && name.compare(name.size() - 6, 6, "_total") == 0)) {
+    name += "_total";
+  }
+  return name;
+}
+
+std::string PromEscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One exposition family being assembled: its TYPE plus sample blocks.
+/// Each block is (sort key, rendered text); blocks are sorted by key
+/// before emission, which orders samples by label set and makes the
+/// output independent of snapshot insertion order. A scalar sample is
+/// one line per block; a histogram's le/_sum/_count lines form a single
+/// block so sorting cannot interleave two runs' cumulative buckets.
+struct Family {
+  const char* type = "gauge";
+  std::vector<std::pair<std::string, std::string>> blocks;
+};
+
+using FamilyMap = std::map<std::string, Family>;
+
+Family* Fam(FamilyMap* fams, std::string name, const char* type) {
+  Family* f = &(*fams)[std::move(name)];
+  f->type = type;
+  return f;
+}
+
+std::string RunLabel(const TelemetrySnapshot& s) {
+  return StringPrintf("run=\"%s\"", PromEscapeLabelValue(s.run).c_str());
+}
+
+void AddU64(FamilyMap* fams, const std::string& name, const char* type,
+            const std::string& labels, uint64_t value) {
+  std::string line =
+      StringPrintf("%s{%s} %llu\n", name.c_str(), labels.c_str(),
+                   static_cast<unsigned long long>(value));
+  Fam(fams, name, type)->blocks.emplace_back(line, line);
+}
+
+void AddDouble(FamilyMap* fams, const std::string& name, const char* type,
+               const std::string& labels, double value) {
+  std::string line = StringPrintf("%s{%s} %.17g\n", name.c_str(),
+                                  labels.c_str(), value);
+  Fam(fams, name, type)->blocks.emplace_back(line, line);
+}
+
+/// Emits a log2 histogram as cumulative le buckets. Bucket with lower
+/// bound L holds integer samples in [L, 2L) (zeros for L == 0), so the
+/// exact inclusive upper bound is 2L-1 (0 for the zero bucket) — le
+/// values are exact, not approximations of the log2 edges.
+void AddHistogram(FamilyMap* fams, const std::string& name,
+                  const std::string& labels, const MetricValue& m) {
+  std::string block;
+  uint64_t cumulative = 0;
+  for (const auto& [lower, count] : m.buckets) {
+    cumulative += count;
+    const uint64_t le = lower == 0 ? 0 : 2 * lower - 1;
+    block += StringPrintf(
+        "%s_bucket{%s,le=\"%llu\"} %llu\n", name.c_str(), labels.c_str(),
+        static_cast<unsigned long long>(le),
+        static_cast<unsigned long long>(cumulative));
+  }
+  block += StringPrintf(
+      "%s_bucket{%s,le=\"+Inf\"} %llu\n", name.c_str(), labels.c_str(),
+      static_cast<unsigned long long>(m.count));
+  block += StringPrintf("%s_sum{%s} %llu\n", name.c_str(), labels.c_str(),
+                        static_cast<unsigned long long>(m.sum));
+  block += StringPrintf("%s_count{%s} %llu\n", name.c_str(), labels.c_str(),
+                        static_cast<unsigned long long>(m.count));
+  Fam(fams, name, "histogram")->blocks.emplace_back(labels, block);
+}
+
+void AddSnapshot(FamilyMap* fams, const TelemetrySnapshot& s) {
+  const std::string run = RunLabel(s);
+
+  AddU64(fams, "lswc_pages_crawled_total", "counter", run, s.pages_crawled);
+  AddU64(fams, "lswc_relevant_crawled_total", "counter", run,
+         s.relevant_crawled);
+  AddU64(fams, "lswc_frontier_size", "gauge", run, s.frontier_size);
+  AddDouble(fams, "lswc_harvest_ratio", "gauge", run, s.harvest_pct / 100.0);
+  AddDouble(fams, "lswc_coverage_ratio", "gauge", run,
+            s.coverage_pct / 100.0);
+  AddDouble(fams, "lswc_pages_per_second", "gauge", run, s.pages_per_sec);
+  AddU64(fams, "lswc_peak_rss_bytes", "gauge", run, s.peak_rss_bytes);
+  AddU64(fams, "lswc_telemetry_snapshot_seq", "gauge", run, s.seq);
+
+  for (const StageStat& stage : s.stages) {
+    const std::string labels = StringPrintf(
+        "%s,stage=\"%s\"", run.c_str(),
+        PromEscapeLabelValue(stage.name).c_str());
+    AddU64(fams, "lswc_stage_calls_total", "counter", labels, stage.calls);
+    AddU64(fams, "lswc_stage_time_ns_total", "counter", labels,
+           stage.total_ns);
+  }
+
+  for (const ShardState& shard : s.shards) {
+    const std::string labels =
+        StringPrintf("%s,shard=\"%u\"", run.c_str(), shard.shard);
+    AddU64(fams, "lswc_shard_pending", "gauge", labels, shard.pending);
+    AddU64(fams, "lswc_shard_pages_crawled_total", "counter", labels,
+           shard.pages_crawled);
+  }
+
+  for (const MetricValue& m : s.metrics) {
+    const std::string name = PromMetricName(m.name, m.kind);
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        AddU64(fams, name, "counter", run, m.value);
+        break;
+      case MetricValue::Kind::kGauge:
+        AddU64(fams, name, "gauge", run, m.value);
+        AddU64(fams, name + "_max", "gauge", run, m.max_seen);
+        break;
+      case MetricValue::Kind::kHistogram:
+        AddHistogram(fams, name, run, m);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const std::vector<SnapshotPtr>& snapshots) {
+  FamilyMap fams;
+  for (const SnapshotPtr& s : snapshots) {
+    if (s != nullptr) AddSnapshot(&fams, *s);
+  }
+  std::string out;
+  for (auto& [name, family] : fams) {
+    out += StringPrintf("# TYPE %s %s\n", name.c_str(), family.type);
+    std::sort(family.blocks.begin(), family.blocks.end());
+    for (const auto& [key, block] : family.blocks) out += block;
+  }
+  return out;
+}
+
+}  // namespace lswc::obs

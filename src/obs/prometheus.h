@@ -1,0 +1,41 @@
+#ifndef LSWC_OBS_PROMETHEUS_H_
+#define LSWC_OBS_PROMETHEUS_H_
+
+// Prometheus text exposition (version 0.0.4) over telemetry snapshots.
+// The renderer works purely on TelemetrySnapshot copies — never on live
+// registry handles — so it is safe to call from the server thread while
+// the crawl is running. Output is deterministic for deterministic
+// input: families are emitted in sorted name order and samples within a
+// family in sorted label order.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
+
+namespace lswc::obs {
+
+/// Maps a registry metric name onto the exposition namespace: invalid
+/// characters (anything outside [a-zA-Z0-9_:]) become '_', the result
+/// is prefixed with "lswc_", and counters gain a "_total" suffix unless
+/// they already end in one. E.g. counter "frontier.spills" ->
+/// "lswc_frontier_spills_total".
+std::string PromMetricName(std::string_view raw, MetricValue::Kind kind);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline are backslash-escaped.
+std::string PromEscapeLabelValue(std::string_view value);
+
+/// Renders the full exposition document over every published snapshot.
+/// Each sample carries a run="<label>" label (shard samples also
+/// shard="<n>"); built-in crawl families (pages, harvest, frontier,
+/// stage shares) come first alphabetically intermixed with the
+/// registry-derived families. Histograms render as cumulative le
+/// buckets with exact integer upper bounds plus _sum and _count.
+std::string RenderPrometheus(const std::vector<SnapshotPtr>& snapshots);
+
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_PROMETHEUS_H_

@@ -1,0 +1,230 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace lswc::obs {
+
+bool TelemetryBoard::TryPublish(SnapshotPtr snapshot) {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  front_ = std::move(snapshot);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+SnapshotPtr TelemetryBoard::Read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return front_;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StringPrintf("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64Field(std::string* out, const char* key, uint64_t value,
+                    bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += StringPrintf("\"%s\": %llu", key,
+                       static_cast<unsigned long long>(value));
+}
+
+void AppendDoubleField(std::string* out, const char* key, double value,
+                       bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += StringPrintf("\"%s\": %.6g", key, value);
+}
+
+}  // namespace
+
+std::string RenderSnapshotJson(const TelemetrySnapshot& s) {
+  std::string out = "{";
+  out += "\"run\": ";
+  AppendJsonString(&out, s.run);
+  out += ", \"phase\": ";
+  AppendJsonString(&out, s.phase);
+  bool first = false;
+  AppendU64Field(&out, "seq", s.seq, &first);
+  AppendU64Field(&out, "now_ns", s.now_ns, &first);
+  AppendU64Field(&out, "pages_crawled", s.pages_crawled, &first);
+  AppendU64Field(&out, "relevant_crawled", s.relevant_crawled, &first);
+  AppendU64Field(&out, "frontier_size", s.frontier_size, &first);
+  AppendDoubleField(&out, "harvest_pct", s.harvest_pct, &first);
+  AppendDoubleField(&out, "coverage_pct", s.coverage_pct, &first);
+  AppendDoubleField(&out, "pages_per_sec", s.pages_per_sec, &first);
+  AppendU64Field(&out, "peak_rss_bytes", s.peak_rss_bytes, &first);
+
+  out += ", \"stages\": {";
+  bool first_stage = true;
+  for (const StageStat& stage : s.stages) {
+    if (!first_stage) out += ", ";
+    first_stage = false;
+    out += StringPrintf("\"%s\": {\"calls\": %llu, \"total_ns\": %llu}",
+                        stage.name,
+                        static_cast<unsigned long long>(stage.calls),
+                        static_cast<unsigned long long>(stage.total_ns));
+  }
+  out += "}";
+
+  out += ", \"metrics\": {";
+  bool first_metric = true;
+  for (const MetricValue& m : s.metrics) {
+    if (!first_metric) out += ", ";
+    first_metric = false;
+    AppendJsonString(&out, m.name);
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        out += StringPrintf(": %llu",
+                            static_cast<unsigned long long>(m.value));
+        break;
+      case MetricValue::Kind::kGauge:
+        out += StringPrintf(": {\"value\": %llu, \"max\": %llu}",
+                            static_cast<unsigned long long>(m.value),
+                            static_cast<unsigned long long>(m.max_seen));
+        break;
+      case MetricValue::Kind::kHistogram: {
+        out += StringPrintf(": {\"count\": %llu, \"sum\": %llu, "
+                            "\"buckets\": [",
+                            static_cast<unsigned long long>(m.count),
+                            static_cast<unsigned long long>(m.sum));
+        bool first_bucket = true;
+        for (const auto& [lower, count] : m.buckets) {
+          if (!first_bucket) out += ", ";
+          first_bucket = false;
+          out += StringPrintf("[%llu, %llu]",
+                              static_cast<unsigned long long>(lower),
+                              static_cast<unsigned long long>(count));
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "}";
+
+  out += ", \"shards\": [";
+  bool first_shard = true;
+  for (const ShardState& shard : s.shards) {
+    if (!first_shard) out += ", ";
+    first_shard = false;
+    out += StringPrintf(
+        "{\"shard\": %u, \"pending\": %llu, \"pages_crawled\": %llu}",
+        shard.shard, static_cast<unsigned long long>(shard.pending),
+        static_cast<unsigned long long>(shard.pages_crawled));
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RenderProgressJson(const std::vector<SnapshotPtr>& snapshots) {
+  std::string out = "{\"process\": {";
+  bool first = true;
+  uint64_t peak_rss = 0;
+  uint64_t now_ns = 0;
+  for (const SnapshotPtr& s : snapshots) {
+    if (s == nullptr) continue;
+    peak_rss = std::max(peak_rss, s->peak_rss_bytes);
+    now_ns = std::max(now_ns, s->now_ns);
+  }
+  AppendU64Field(&out, "peak_rss_bytes", peak_rss, &first);
+  AppendU64Field(&out, "now_ns", now_ns, &first);
+  out += "}, \"runs\": [";
+  bool first_run = true;
+  for (const SnapshotPtr& s : snapshots) {
+    if (s == nullptr) continue;
+    if (!first_run) out += ", ";
+    first_run = false;
+    out += RenderSnapshotJson(*s);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string FormatProgressLine(const TelemetrySnapshot& s) {
+  std::string top;
+  {
+    // Largest stages by time share, matching StageProfiler::TopStagesLine.
+    uint64_t total = 0;
+    for (const StageStat& stage : s.stages) total += stage.total_ns;
+    std::vector<StageStat> sorted(s.stages);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const StageStat& a, const StageStat& b) {
+                return a.total_ns > b.total_ns;
+              });
+    int emitted = 0;
+    for (const StageStat& stage : sorted) {
+      if (stage.total_ns == 0 || emitted == 3) break;
+      if (!top.empty()) top += " ";
+      top += StringPrintf(
+          "%s %.0f%%", stage.name,
+          100.0 * static_cast<double>(stage.total_ns) /
+              static_cast<double>(total));
+      ++emitted;
+    }
+  }
+  std::string line = StringPrintf(
+      "[%s] %llu pages | %.0f pages/sec | harvest %.1f%% | queue %llu",
+      s.run.c_str(), static_cast<unsigned long long>(s.pages_crawled),
+      s.pages_per_sec, s.harvest_pct,
+      static_cast<unsigned long long>(s.frontier_size));
+  if (!top.empty()) line += " | " + top;
+  return line;
+}
+
+std::string RenderTopText(const std::vector<SnapshotPtr>& snapshots) {
+  uint64_t peak_rss = 0;
+  size_t runs = 0;
+  for (const SnapshotPtr& s : snapshots) {
+    if (s == nullptr) continue;
+    ++runs;
+    peak_rss = std::max(peak_rss, s->peak_rss_bytes);
+  }
+  std::string out = StringPrintf(
+      "lswc telemetry | %zu run%s | peak rss %.1f MiB\n", runs,
+      runs == 1 ? "" : "s",
+      static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+  for (const SnapshotPtr& s : snapshots) {
+    if (s == nullptr) continue;
+    out += FormatProgressLine(*s);
+    out += StringPrintf(" | %s #%llu\n", s->phase.c_str(),
+                        static_cast<unsigned long long>(s->seq));
+    for (const ShardState& shard : s->shards) {
+      out += StringPrintf("  shard %u: pending %llu | crawled %llu\n",
+                          shard.shard,
+                          static_cast<unsigned long long>(shard.pending),
+                          static_cast<unsigned long long>(shard.pages_crawled));
+    }
+  }
+  return out;
+}
+
+}  // namespace lswc::obs

@@ -1,0 +1,119 @@
+#ifndef LSWC_OBS_TELEMETRY_H_
+#define LSWC_OBS_TELEMETRY_H_
+
+// The live progress document and its publication channel. A running
+// crawl (or dataset generation/verification) periodically captures a
+// TelemetrySnapshot — everything an attached operator wants to see:
+// pages/sec, harvest rate, frontier depth, per-shard pending sizes,
+// stage time shares, registry metrics, peak RSS — and publishes it on a
+// TelemetryBoard. The TelemetryServer thread reads boards and renders
+// the snapshots as JSON (/progress) and Prometheus text (/metrics);
+// the --progress-every stderr line is rendered from the very same
+// snapshot (FormatProgressLine), so the two views can never disagree.
+//
+// Publication contract (the "double buffer"): the publisher builds each
+// snapshot privately — the crawl loop never formats or allocates under
+// any lock — then swaps it in with a *try*-lock, so the crawl thread
+// never blocks on a reader; if the server happens to be mid-copy the
+// publish is skipped and the next cadence tick retries. Readers take
+// the mutex for the duration of one shared_ptr copy. Publishing costs
+// the crawl loop nothing between cadence ticks (one branch per fetch).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/stage_profiler.h"
+
+namespace lswc::obs {
+
+// MetricValue (the by-value registry copy placed in each snapshot)
+// lives in metrics_registry.h next to MetricsRegistry::SnapshotValues.
+
+/// One crawl stage's accumulated calls and (extrapolated) wall time.
+struct StageStat {
+  const char* name = "";  // StageName literal; stable for process life.
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+};
+
+/// One shard's live state in a sharded crawl.
+struct ShardState {
+  uint32_t shard = 0;
+  uint64_t pending = 0;        // Frontier slice size.
+  uint64_t pages_crawled = 0;  // Pages committed for this shard's hosts.
+};
+
+/// The progress document. Everything here is a copy: a snapshot stays
+/// valid (and immutable) for as long as any reader holds the pointer.
+struct TelemetrySnapshot {
+  std::string run;          // Run label ("soft", "fig3 cell", ...).
+  std::string phase;        // "crawl", "generate", or "verify".
+  uint64_t seq = 0;         // Publish sequence, 1-based.
+  uint64_t now_ns = 0;      // MonotonicNowNs at capture.
+  uint64_t pages_crawled = 0;
+  uint64_t relevant_crawled = 0;
+  uint64_t frontier_size = 0;
+  double harvest_pct = 0.0;
+  double coverage_pct = 0.0;
+  /// Throughput since the previous publish (0 on the first).
+  double pages_per_sec = 0.0;
+  uint64_t peak_rss_bytes = 0;
+  std::vector<StageStat> stages;
+  std::vector<MetricValue> metrics;
+  std::vector<ShardState> shards;
+};
+
+using SnapshotPtr = std::shared_ptr<const TelemetrySnapshot>;
+
+/// The publication point between one run's publisher and any number of
+/// server-thread readers.
+class TelemetryBoard {
+ public:
+  /// Installs `snapshot` as the latest document. Never blocks: when a
+  /// reader holds the lock the publish is dropped and false is
+  /// returned (the publisher's next cadence tick republishes).
+  bool TryPublish(SnapshotPtr snapshot);
+
+  /// The latest published document; null before the first publish.
+  SnapshotPtr Read() const;
+
+  /// Publishes seen by Read (dropped publishes excluded).
+  uint64_t publishes() const { return publishes_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotPtr front_;
+  std::atomic<uint64_t> publishes_{0};
+};
+
+/// Serializes one snapshot as a JSON object (sorted, deterministic for
+/// deterministic inputs; wall-time fields are of course wall time).
+std::string RenderSnapshotJson(const TelemetrySnapshot& snapshot);
+
+/// The /progress document: `{"process": {...}, "runs": [...]}` over
+/// every board that has published. Boards without a snapshot yet are
+/// skipped.
+std::string RenderProgressJson(const std::vector<SnapshotPtr>& snapshots);
+
+/// The one-line stderr progress summary rendered *from* the snapshot —
+/// the --progress-every line and lswc_top's headline share this view
+/// of the document:
+///
+///   [soft] 40000 pages | 812345 pages/sec | harvest 23.1% | queue
+///   51234 | fetch 62% classify 21% strategy 9%
+std::string FormatProgressLine(const TelemetrySnapshot& snapshot);
+
+/// The /top document: a plain-text one-screen summary (process header,
+/// then one FormatProgressLine per run with its per-shard breakdown).
+/// Rendered server-side so lswc_top is a dumb terminal: every attached
+/// viewer shows exactly what the process itself would log.
+std::string RenderTopText(const std::vector<SnapshotPtr>& snapshots);
+
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_TELEMETRY_H_

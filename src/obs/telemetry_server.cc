@@ -1,0 +1,252 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "obs/prometheus.h"
+#include "util/string_util.h"
+
+namespace lswc::obs {
+
+namespace {
+
+struct ParsedEndpoint {
+  bool is_unix = false;
+  std::string unix_path;
+  std::string host;  // TCP only.
+  uint16_t port = 0;
+};
+
+Status ParseEndpoint(const std::string& endpoint, ParsedEndpoint* out) {
+  if (StartsWith(endpoint, "unix:")) {
+    out->is_unix = true;
+    out->unix_path = endpoint.substr(5);
+    if (out->unix_path.empty()) {
+      return Status::InvalidArgument("unix: endpoint needs a socket path");
+    }
+    sockaddr_un probe;
+    if (out->unix_path.size() >= sizeof(probe.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     out->unix_path);
+    }
+    return Status::OK();
+  }
+  if (StartsWith(endpoint, "tcp:")) {
+    std::string rest = endpoint.substr(4);
+    const size_t colon = rest.rfind(':');
+    out->host = colon == std::string::npos ? "127.0.0.1"
+                                           : rest.substr(0, colon);
+    const std::string port_str =
+        colon == std::string::npos ? rest : rest.substr(colon + 1);
+    const std::optional<uint64_t> port = ParseUint64(port_str);
+    if (!port.has_value() || *port > 65535) {
+      return Status::InvalidArgument("bad tcp port in endpoint: " + endpoint);
+    }
+    out->port = static_cast<uint16_t>(*port);
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "telemetry endpoint must be unix:<path> or tcp:[host:]port, got: " +
+      endpoint);
+}
+
+StatusOr<int> OpenListenSocket(const ParsedEndpoint& ep,
+                               std::string* resolved) {
+  if (ep.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IoError("socket(AF_UNIX) failed");
+    sockaddr_un addr;
+    ::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    ::strncpy(addr.sun_path, ep.unix_path.c_str(),
+              sizeof(addr.sun_path) - 1);
+    ::unlink(ep.unix_path.c_str());  // Stale socket from a dead run.
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 8) != 0) {
+      ::close(fd);
+      return Status::IoError("bind/listen failed on " + ep.unix_path);
+    }
+    *resolved = "unix:" + ep.unix_path;
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket(AF_INET) failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad telemetry host: " + ep.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    ::close(fd);
+    return Status::IoError(
+        StringPrintf("bind/listen failed on %s:%u", ep.host.c_str(),
+                     static_cast<unsigned>(ep.port)));
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  *resolved = StringPrintf("tcp:%s:%u", ep.host.c_str(),
+                           static_cast<unsigned>(ntohs(bound.sin_port)));
+  return fd;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+void SendResponse(int fd, const char* status, const char* content_type,
+                  const std::string& body) {
+  std::string response = StringPrintf(
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      status, content_type, body.size());
+  response += body;
+  SendAll(fd, response);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
+    const std::string& endpoint, SnapshotSource source) {
+  ParsedEndpoint ep;
+  LSWC_RETURN_IF_ERROR(ParseEndpoint(endpoint, &ep));
+  std::unique_ptr<TelemetryServer> server(new TelemetryServer());
+  StatusOr<int> fd = OpenListenSocket(ep, &server->endpoint_);
+  if (!fd.ok()) return fd.status();
+  server->listen_fd_ = *fd;
+  if (ep.is_unix) server->unix_path_ = ep.unix_path;
+  server->source_ = std::move(source);
+  server->thread_ = std::thread([raw = server.get()] { raw->Serve(); });
+  return server;
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() wakes the blocked accept(); close() alone does not on
+  // all platforms.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+void TelemetryServer::Serve() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) return;  // Stop() shut the listener down.
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    if (n <= 0) {
+      ::close(client);
+      continue;
+    }
+    buf[n] = '\0';
+    // "GET <path> HTTP/1.x" — everything after the path is ignored.
+    std::string path;
+    if (::strncmp(buf, "GET ", 4) == 0) {
+      const char* start = buf + 4;
+      const char* end = ::strchr(start, ' ');
+      if (end != nullptr) path.assign(start, end);
+    }
+    if (path == "/metrics") {
+      SendResponse(client, "200 OK", "text/plain; version=0.0.4",
+                   RenderPrometheus(source_()));
+    } else if (path == "/progress" || path == "/") {
+      SendResponse(client, "200 OK", "application/json",
+                   RenderProgressJson(source_()));
+    } else if (path == "/top") {
+      SendResponse(client, "200 OK", "text/plain",
+                   RenderTopText(source_()));
+    } else if (path.empty()) {
+      SendResponse(client, "400 Bad Request", "text/plain",
+                   "only GET is supported\n");
+    } else {
+      SendResponse(client, "404 Not Found", "text/plain",
+                   "try /metrics, /progress, or /top\n");
+    }
+    ::close(client);
+  }
+}
+
+StatusOr<std::string> TelemetryGet(const std::string& endpoint,
+                                   const std::string& path) {
+  ParsedEndpoint ep;
+  LSWC_RETURN_IF_ERROR(ParseEndpoint(endpoint, &ep));
+  int fd = -1;
+  if (ep.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IoError("socket(AF_UNIX) failed");
+    sockaddr_un addr;
+    ::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    ::strncpy(addr.sun_path, ep.unix_path.c_str(),
+              sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return Status::IoError("connect failed: " + endpoint);
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IoError("socket(AF_INET) failed");
+    sockaddr_in addr;
+    ::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ep.port);
+    if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      ::close(fd);
+      return Status::IoError("connect failed: " + endpoint);
+    }
+  }
+  const std::string request =
+      StringPrintf("GET %s HTTP/1.0\r\n\r\n", path.c_str());
+  SendAll(fd, request);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::IoError("malformed telemetry response from " + endpoint);
+  }
+  if (response.compare(0, 12, "HTTP/1.0 200") != 0 &&
+      response.compare(0, 12, "HTTP/1.1 200") != 0) {
+    return Status::IoError("telemetry endpoint returned: " +
+                           response.substr(0, response.find("\r\n")));
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace lswc::obs

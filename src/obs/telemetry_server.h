@@ -1,0 +1,71 @@
+#ifndef LSWC_OBS_TELEMETRY_SERVER_H_
+#define LSWC_OBS_TELEMETRY_SERVER_H_
+
+// The attachable status endpoint: a single in-process thread serving
+// minimal HTTP over a Unix-domain or loopback TCP socket.
+//
+//   GET /metrics   Prometheus text exposition over every snapshot
+//   GET /progress  the JSON progress document (also served at /)
+//
+// Endpoint syntax (shared with the --telemetry= flag and the client):
+//   unix:/path/to/socket
+//   tcp:PORT            (binds 127.0.0.1; PORT 0 picks an ephemeral
+//   tcp:HOST:PORT        port, reported back via endpoint())
+//
+// The server thread only ever reads TelemetryBoard snapshots through
+// the injected source callback — it shares no mutable state with the
+// crawl loop, which is what keeps telemetry-on runs bit-identical to
+// telemetry-off runs. Requests are handled serially; this is an
+// operator endpoint, not a serving path.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "util/status.h"
+
+namespace lswc::obs {
+
+class TelemetryServer {
+ public:
+  /// Collects the latest snapshot from every live board; called on the
+  /// server thread per request. Must be thread-safe.
+  using SnapshotSource = std::function<std::vector<SnapshotPtr>()>;
+
+  /// Binds, listens, and starts the serving thread.
+  static StatusOr<std::unique_ptr<TelemetryServer>> Start(
+      const std::string& endpoint, SnapshotSource source);
+
+  ~TelemetryServer();  // Stops the thread, closes and unlinks the socket.
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  void Stop();
+
+  /// The resolved endpoint: for tcp:0 this carries the actual bound
+  /// port, so tests and child tools can connect.
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  TelemetryServer() = default;
+  void Serve();
+
+  std::string endpoint_;
+  std::string unix_path_;  // Non-empty when a socket file needs unlinking.
+  int listen_fd_ = -1;
+  SnapshotSource source_;
+  std::thread thread_;
+};
+
+/// One-shot client for the same endpoint syntax: connects, issues
+/// `GET <path>`, and returns the response body (headers stripped).
+/// This is what lswc_top and the CLI tests use to attach.
+StatusOr<std::string> TelemetryGet(const std::string& endpoint,
+                                   const std::string& path);
+
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_TELEMETRY_SERVER_H_

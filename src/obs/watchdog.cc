@@ -1,0 +1,101 @@
+#include "obs/watchdog.h"
+
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/flight_recorder.h"
+#include "obs/stage_profiler.h"
+#include "util/string_util.h"
+
+namespace lswc::obs {
+
+StallWatchdog::StallWatchdog(Options options)
+    : options_(std::move(options)) {}
+
+StallWatchdog::~StallWatchdog() { Stop(); }
+
+void StallWatchdog::Start() {
+  if (options_.deadline_ns == 0 || options_.heartbeat == nullptr ||
+      thread_.joinable()) {
+    return;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StallWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StallWatchdog::Loop() {
+  // Poll often enough to fire within ~deadline*1.25, but never busier
+  // than 4x per deadline and never slower than half a second.
+  const uint64_t poll_ns =
+      std::max<uint64_t>(options_.deadline_ns / 4, 1'000'000) < 500'000'000
+          ? std::max<uint64_t>(options_.deadline_ns / 4, 1'000'000)
+          : 500'000'000;
+  uint64_t last_beat = options_.heartbeat->load(std::memory_order_relaxed);
+  uint64_t last_change_ns = MonotonicNowNs();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::nanoseconds(poll_ns),
+                 [this] { return stopping_; });
+    if (stopping_) return;
+    const uint64_t beat =
+        options_.heartbeat->load(std::memory_order_relaxed);
+    const uint64_t now = MonotonicNowNs();
+    if (beat != last_beat) {
+      last_beat = beat;
+      last_change_ns = now;
+      continue;
+    }
+    if (now - last_change_ns >= options_.deadline_ns &&
+        !fired_.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      Fire(now - last_change_ns);
+      lock.lock();
+      if (!options_.abort_on_fire) return;  // One-shot; nothing left to do.
+    }
+  }
+}
+
+void StallWatchdog::Fire(uint64_t stalled_ns) {
+  fired_.store(true, std::memory_order_release);
+  int fd = STDERR_FILENO;
+  bool opened = false;
+  if (!options_.dump_path.empty()) {
+    // Append: the plane truncated the file at configure time, and with
+    // abort_on_fire the SIGABRT crash dump appends right after this one.
+    const int file_fd = ::open(options_.dump_path.c_str(),
+                               O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (file_fd >= 0) {
+      fd = file_fd;
+      opened = true;
+    }
+  }
+  const std::string header = StringPrintf(
+      "WATCHDOG-STALL stalled_ms=%llu deadline_ms=%llu\n",
+      static_cast<unsigned long long>(stalled_ns / 1'000'000),
+      static_cast<unsigned long long>(options_.deadline_ns / 1'000'000));
+  ssize_t ignored = ::write(fd, header.data(), header.size());
+  (void)ignored;
+  DumpAllFlightRecorders(fd, "watchdog");
+  if (options_.attribution) options_.attribution(fd);
+  if (opened) ::close(fd);
+  if (options_.abort_on_fire) {
+    // The crash handler's SIGABRT dump follows; this stall dump above
+    // is the authoritative record.
+    std::abort();
+  }
+}
+
+}  // namespace lswc::obs

@@ -1,0 +1,69 @@
+#ifndef LSWC_OBS_WATCHDOG_H_
+#define LSWC_OBS_WATCHDOG_H_
+
+// Stall detection for long-running crawls. The crawl loop bumps a
+// heartbeat counter (one relaxed atomic increment — no clock read) on
+// its publish cadence; the watchdog thread polls it and fires when it
+// has not moved within the configured deadline. Firing dumps every
+// registered flight recorder plus a caller-supplied attribution
+// section (per-shard stage state) to the dump path, and optionally
+// aborts the process so CI catches hangs as failures instead of
+// timeouts.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace lswc::obs {
+
+class StallWatchdog {
+ public:
+  struct Options {
+    /// The counter the crawl loop bumps; any relaxed increment counts
+    /// as a sign of life. Must outlive the watchdog. Null disables.
+    const std::atomic<uint64_t>* heartbeat = nullptr;
+    /// Fire when the heartbeat is unchanged for this long. 0 disables.
+    uint64_t deadline_ns = 0;
+    /// abort() after dumping (the crash handler then re-dumps under its
+    /// SIGABRT path; the stall dump below is the authoritative one).
+    bool abort_on_fire = false;
+    /// Where to write the stall dump; empty means stderr.
+    std::string dump_path;
+    /// Called with the dump fd after the flight recorders are written —
+    /// the hook for per-shard stage attribution. Runs on the watchdog
+    /// thread (not signal context), so it may allocate, but it must not
+    /// take locks a stalled crawl thread could be holding.
+    std::function<void(int fd)> attribution;
+  };
+
+  explicit StallWatchdog(Options options);
+  ~StallWatchdog();  // Stops the thread if still running.
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Starts the polling thread. No-op when deadline_ns is 0.
+  void Start();
+  /// Joins the polling thread. Safe to call twice or without Start.
+  void Stop();
+
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+ private:
+  void Loop();
+  void Fire(uint64_t stalled_ns);
+
+  const Options options_;
+  std::atomic<bool> fired_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_WATCHDOG_H_

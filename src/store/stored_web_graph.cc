@@ -203,8 +203,8 @@ Status ScanSection(std::FILE* f, const SectionEntry& entry, size_t stride,
 /// and page->host < num_hosts. A single ~1 MiB buffer is the only
 /// allocation, so verifying a 100M-page dataset costs the same RSS as
 /// verifying a toy one.
-Status VerifyDatasetStreaming(const std::string& path,
-                              const ParsedDataset& p) {
+Status VerifyDatasetStreaming(const std::string& path, const ParsedDataset& p,
+                              const DatasetOpenOptions& options) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IoError("cannot reopen dataset for verification");
@@ -214,11 +214,29 @@ Status VerifyDatasetStreaming(const std::string& path,
     ~Closer() { std::fclose(f); }
   } closer{f};
 
+  // Per-section completion callback plumbing: the scan order below is
+  // the file's section order, so done_bytes is also "file bytes read".
+  const uint64_t total_bytes = p.meta_entry.size + p.stats_entry.size +
+                               p.hosts_entry.size + p.seeds_entry.size +
+                               p.offsets_entry.size + p.targets_entry.size +
+                               p.pages_entry.size;
+  uint64_t done_bytes = 0;
+  auto section_done = [&](const char* name, const SectionEntry& entry) {
+    done_bytes += entry.size;
+    if (options.verify_progress) {
+      options.verify_progress(name, entry.size, done_bytes, total_bytes);
+    }
+  };
+
   auto crc_only = [](const std::byte*, size_t) { return Status::OK(); };
   LSWC_RETURN_IF_ERROR(ScanSection(f, p.meta_entry, 1, crc_only));
+  section_done("meta", p.meta_entry);
   LSWC_RETURN_IF_ERROR(ScanSection(f, p.stats_entry, 1, crc_only));
+  section_done("stats", p.stats_entry);
   LSWC_RETURN_IF_ERROR(ScanSection(f, p.hosts_entry, 1, crc_only));
+  section_done("hosts", p.hosts_entry);
   LSWC_RETURN_IF_ERROR(ScanSection(f, p.seeds_entry, 1, crc_only));
+  section_done("seeds", p.seeds_entry);
 
   const uint64_t num_pages = p.meta.num_pages;
   const uint64_t num_hosts = p.meta.num_hosts;
@@ -235,6 +253,7 @@ Status VerifyDatasetStreaming(const std::string& path,
         }
         return Status::OK();
       }));
+  section_done("offsets", p.offsets_entry);
   LSWC_RETURN_IF_ERROR(ScanSection(
       f, p.targets_entry, sizeof(PageId),
       [num_pages](const std::byte* data, size_t n) {
@@ -246,6 +265,7 @@ Status VerifyDatasetStreaming(const std::string& path,
         }
         return Status::OK();
       }));
+  section_done("targets", p.targets_entry);
   LSWC_RETURN_IF_ERROR(ScanSection(
       f, p.pages_entry, sizeof(PageRecord),
       [num_hosts](const std::byte* data, size_t n) {
@@ -257,6 +277,7 @@ Status VerifyDatasetStreaming(const std::string& path,
         }
         return Status::OK();
       }));
+  section_done("pages", p.pages_entry);
   return Status::OK();
 }
 
@@ -272,7 +293,7 @@ StatusOr<std::unique_ptr<StoredWebGraph>> StoredWebGraph::Open(
   if (!parsed.ok()) return parsed.status();
   const ParsedDataset& p = parsed.value();
   if (options.verify_checksums) {
-    LSWC_RETURN_IF_ERROR(VerifyDatasetStreaming(path, p));
+    LSWC_RETURN_IF_ERROR(VerifyDatasetStreaming(path, p, options));
   }
 
   auto stored = std::unique_ptr<StoredWebGraph>(new StoredWebGraph());
@@ -309,7 +330,7 @@ StatusOr<WebGraph> StoredWebGraph::ReadInRam(const std::string& path,
   if (!parsed.ok()) return parsed.status();
   const ParsedDataset& p = parsed.value();
   if (options.verify_checksums) {
-    LSWC_RETURN_IF_ERROR(VerifyDatasetStreaming(path, p));
+    LSWC_RETURN_IF_ERROR(VerifyDatasetStreaming(path, p, options));
   }
   auto storage = std::make_shared<RamDatasetStorage>();
   storage->pages.assign(p.pages.begin(), p.pages.end());

@@ -1,6 +1,8 @@
 #ifndef LSWC_STORE_STORED_WEB_GRAPH_H_
 #define LSWC_STORE_STORED_WEB_GRAPH_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -33,6 +35,15 @@ struct DatasetOpenOptions {
   /// matters more than early corruption detection (the directory,
   /// trailer, and structural bounds are always verified).
   bool verify_checksums = true;
+  /// Called once per section as the streamed checksum pass completes
+  /// it, with the section name, its payload size, and the cumulative /
+  /// total byte counts of the whole pass — `lswc_dataset verify` turns
+  /// these into stderr progress lines so a multi-GiB verify is visibly
+  /// alive. Invoked from the opening thread; ignored when
+  /// verify_checksums is false.
+  std::function<void(const char* section, uint64_t section_bytes,
+                     uint64_t done_bytes, uint64_t total_bytes)>
+      verify_progress;
 };
 
 class StoredWebGraph {

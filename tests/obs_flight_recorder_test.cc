@@ -1,0 +1,144 @@
+// Flight recorder: ring wraparound, field truncation, fd dump format,
+// and the crash-handler round-trip (record -> SIGSEGV -> dump file).
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace lswc::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(FlightRecorder, RecordsAndReadsBack) {
+  FlightRecorder recorder(8);
+  recorder.Record("checkpoint", "soft", 123, 456);
+  recorder.Record("spill", "frontier", 7, 8);
+  EXPECT_EQ(recorder.recorded(), 2u);
+  const std::vector<FlightEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_STREQ(events[0].kind, "checkpoint");
+  EXPECT_STREQ(events[0].detail, "soft");
+  EXPECT_EQ(events[0].a, 123u);
+  EXPECT_EQ(events[0].b, 456u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_STREQ(events[1].kind, "spill");
+}
+
+TEST(FlightRecorder, RingWrapsKeepingNewestWindow) {
+  FlightRecorder recorder(4);
+  for (uint64_t i = 0; i < 11; ++i) {
+    recorder.Record("tick", "t", i, 0);
+  }
+  EXPECT_EQ(recorder.recorded(), 11u);
+  const std::vector<FlightEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first window of the last capacity() events: seq 7..10.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 7u + i);
+    EXPECT_EQ(events[i].a, 7u + i);
+  }
+}
+
+TEST(FlightRecorder, ZeroCapacityDisablesRecording) {
+  FlightRecorder recorder(0);
+  recorder.Record("tick", "t", 1, 2);
+  EXPECT_EQ(recorder.capacity(), 0u);
+  EXPECT_TRUE(recorder.Events().empty());
+}
+
+TEST(FlightRecorder, TruncatesOverlongKindAndDetail) {
+  FlightRecorder recorder(2);
+  const std::string long_kind(64, 'k');
+  const std::string long_detail(200, 'd');
+  recorder.Record(long_kind.c_str(), long_detail.c_str());
+  const std::vector<FlightEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].kind),
+            std::string(FlightEvent::kKindLen - 1, 'k'));
+  EXPECT_EQ(std::string(events[0].detail),
+            std::string(FlightEvent::kDetailLen - 1, 'd'));
+}
+
+TEST(FlightRecorder, DumpToWritesOneLinePerEvent) {
+  const std::string path =
+      testing::TempDir() + "/flight_dump_direct.txt";
+  FlightRecorder recorder(4);
+  recorder.Record("publish", "soft", 64, 299);
+  recorder.Record("run-done", "soft", 1000, 0);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  recorder.DumpTo(fileno(f));
+  std::fclose(f);
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("FLIGHT seq=0 ns="), std::string::npos);
+  EXPECT_NE(dump.find("kind=publish a=64 b=299 detail=soft\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("FLIGHT seq=1 ns="), std::string::npos);
+  EXPECT_NE(dump.find("kind=run-done a=1000 b=0 detail=soft\n"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DumpAllWrapsWithReasonHeaderAndTrailer) {
+  const std::string path = testing::TempDir() + "/flight_dump_all.txt";
+  FlightRecorder recorder(4);
+  recorder.Record("tick", "t", 1, 2);
+  RegisterFlightRecorder(&recorder);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  DumpAllFlightRecorders(fileno(f), "test");
+  std::fclose(f);
+  UnregisterFlightRecorder(&recorder);
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("FLIGHT-RECORDER-DUMP reason=test\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("kind=tick"), std::string::npos);
+  EXPECT_NE(dump.find("FLIGHT-RECORDER-DUMP end\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+using FlightRecorderDeathTest = ::testing::Test;
+
+TEST(FlightRecorderDeathTest, SignalDumpRoundTrip) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      testing::TempDir() + "/flight_dump_signal.txt";
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        static FlightRecorder recorder(8);
+        RegisterFlightRecorder(&recorder);
+        SetFlightDumpPath(path.c_str());
+        InstallCrashHandler();
+        recorder.Record("checkpoint", "soft", 123, 456);
+        recorder.Record("crashing", "now", 7, 8);
+        std::raise(SIGSEGV);
+      },
+      ::testing::KilledBySignal(SIGSEGV), "");
+  const std::string dump = ReadFile(path);
+  EXPECT_NE(dump.find("FLIGHT-RECORDER-DUMP reason=SIGSEGV\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("kind=checkpoint a=123 b=456 detail=soft\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("kind=crashing a=7 b=8 detail=now\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("FLIGHT-RECORDER-DUMP end\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lswc::obs

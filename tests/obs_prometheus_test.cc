@@ -1,0 +1,174 @@
+// Prometheus text exposition: name mapping, label escaping,
+// counter/gauge/histogram rendering, and deterministic ordering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/prometheus.h"
+#include "obs/telemetry.h"
+
+namespace lswc::obs {
+namespace {
+
+using Kind = MetricValue::Kind;
+
+TEST(PromMetricName, PrefixesAndSanitizes) {
+  EXPECT_EQ(PromMetricName("frontier.spills", Kind::kCounter),
+            "lswc_frontier_spills_total");
+  EXPECT_EQ(PromMetricName("store.bytes_mapped", Kind::kGauge),
+            "lswc_store_bytes_mapped");
+  EXPECT_EQ(PromMetricName("weird name-with/chars", Kind::kGauge),
+            "lswc_weird_name_with_chars");
+}
+
+TEST(PromMetricName, CounterKeepsExistingTotalSuffix) {
+  EXPECT_EQ(PromMetricName("pages_total", Kind::kCounter),
+            "lswc_pages_total");
+  EXPECT_EQ(PromMetricName("pages.total", Kind::kCounter),
+            "lswc_pages_total");
+}
+
+TEST(PromEscapeLabelValue, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("a\nb"), "a\\nb");
+}
+
+SnapshotPtr MakeSnapshot() {
+  auto s = std::make_shared<TelemetrySnapshot>();
+  s->run = "soft";
+  s->phase = "crawl";
+  s->seq = 3;
+  s->pages_crawled = 1000;
+  s->relevant_crawled = 400;
+  s->frontier_size = 250;
+  s->harvest_pct = 40.0;
+  s->coverage_pct = 10.0;
+  s->pages_per_sec = 123456.0;
+  s->peak_rss_bytes = 1 << 20;
+  s->stages.push_back({"fetch", 1000, 900000});
+  s->stages.push_back({"classify", 1000, 100000});
+
+  MetricValue counter;
+  counter.kind = Kind::kCounter;
+  counter.name = "crawl.pushes";
+  counter.value = 77;
+  s->metrics.push_back(counter);
+
+  MetricValue gauge;
+  gauge.kind = Kind::kGauge;
+  gauge.name = "frontier.bytes";
+  gauge.value = 512;
+  gauge.max_seen = 2048;
+  s->metrics.push_back(gauge);
+
+  MetricValue histogram;
+  histogram.kind = Kind::kHistogram;
+  histogram.name = "frontier.depth";
+  histogram.count = 5;
+  histogram.sum = 40;
+  histogram.buckets = {{0, 2}, {16, 3}};
+  s->metrics.push_back(histogram);
+
+  s->shards.push_back({0, 11, 600});
+  s->shards.push_back({1, 22, 400});
+  return s;
+}
+
+TEST(RenderPrometheus, EmitsBuiltinFamiliesWithRunLabel) {
+  const std::string text = RenderPrometheus({MakeSnapshot()});
+  EXPECT_NE(text.find("# TYPE lswc_pages_crawled_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lswc_pages_crawled_total{run=\"soft\"} 1000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lswc_frontier_size{run=\"soft\"} 250\n"),
+            std::string::npos);
+  // Ratios are exposed on [0,1], not as percent.
+  EXPECT_NE(text.find("lswc_harvest_ratio{run=\"soft\"} 0.4"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("lswc_stage_time_ns_total{run=\"soft\",stage=\"fetch\"} "
+                "900000\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("lswc_shard_pending{run=\"soft\",shard=\"1\"} 22\n"),
+            std::string::npos);
+}
+
+TEST(RenderPrometheus, RendersRegistryCounterAndGauge) {
+  const std::string text = RenderPrometheus({MakeSnapshot()});
+  EXPECT_NE(text.find("# TYPE lswc_crawl_pushes_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lswc_crawl_pushes_total{run=\"soft\"} 77\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lswc_frontier_bytes{run=\"soft\"} 512\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lswc_frontier_bytes_max{run=\"soft\"} 2048\n"),
+            std::string::npos);
+}
+
+TEST(RenderPrometheus, RendersHistogramAsCumulativeLeBuckets) {
+  const std::string text = RenderPrometheus({MakeSnapshot()});
+  // Lower-bound buckets (0,2) and (16,3) become cumulative le="0" /
+  // le="31" (upper bound 2L-1) plus +Inf, _sum, and _count.
+  EXPECT_NE(text.find("# TYPE lswc_frontier_depth histogram\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("lswc_frontier_depth_bucket{run=\"soft\",le=\"0\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("lswc_frontier_depth_bucket{run=\"soft\",le=\"31\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("lswc_frontier_depth_bucket{run=\"soft\",le=\"+Inf\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("lswc_frontier_depth_sum{run=\"soft\"} 40\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lswc_frontier_depth_count{run=\"soft\"} 5\n"),
+            std::string::npos);
+}
+
+TEST(RenderPrometheus, EscapesRunLabel) {
+  auto s = std::make_shared<TelemetrySnapshot>();
+  s->run = "we\"ird\\run";
+  s->pages_crawled = 1;
+  const std::string text = RenderPrometheus({s});
+  EXPECT_NE(
+      text.find("lswc_pages_crawled_total{run=\"we\\\"ird\\\\run\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(RenderPrometheus, DeterministicAndSorted) {
+  // Two runs, reversed input order: output must be identical because
+  // families are emitted in sorted order and samples sorted within.
+  auto a = MakeSnapshot();
+  auto b = std::make_shared<TelemetrySnapshot>(*MakeSnapshot());
+  b->run = "bfs";
+  const std::string forward = RenderPrometheus({a, b});
+  const std::string backward = RenderPrometheus({b, a});
+  EXPECT_EQ(forward, backward);
+  // Within one family the bfs sample sorts before soft.
+  const size_t bfs = forward.find("lswc_pages_crawled_total{run=\"bfs\"}");
+  const size_t soft = forward.find("lswc_pages_crawled_total{run=\"soft\"}");
+  ASSERT_NE(bfs, std::string::npos);
+  ASSERT_NE(soft, std::string::npos);
+  EXPECT_LT(bfs, soft);
+  // One # TYPE line per family, not per sample.
+  size_t count = 0;
+  for (size_t pos = forward.find("# TYPE lswc_pages_crawled_total");
+       pos != std::string::npos;
+       pos = forward.find("# TYPE lswc_pages_crawled_total", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(RenderPrometheus, EmptySnapshotListRendersNothing) {
+  EXPECT_EQ(RenderPrometheus({}), "");
+}
+
+}  // namespace
+}  // namespace lswc::obs

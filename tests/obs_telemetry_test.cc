@@ -1,0 +1,223 @@
+// Telemetry plane units: board publish/read semantics, the progress
+// documents (JSON / progress line / top text), the status server end
+// to end over a unix socket and TCP, and stall-watchdog fire/no-fire.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "obs/telemetry_server.h"
+#include "obs/watchdog.h"
+
+namespace lswc::obs {
+namespace {
+
+SnapshotPtr MakeSnapshot(const std::string& run, uint64_t pages) {
+  auto s = std::make_shared<TelemetrySnapshot>();
+  s->run = run;
+  s->phase = "crawl";
+  s->seq = 1;
+  s->pages_crawled = pages;
+  s->relevant_crawled = pages / 2;
+  s->frontier_size = 42;
+  s->harvest_pct = 50.0;
+  s->pages_per_sec = 1000.0;
+  s->stages.push_back({"fetch", pages, 600});
+  s->stages.push_back({"classify", pages, 400});
+  s->shards.push_back({0, 10, pages});
+  return s;
+}
+
+TEST(TelemetryBoard, ReadIsNullBeforeFirstPublish) {
+  TelemetryBoard board;
+  EXPECT_EQ(board.Read(), nullptr);
+  EXPECT_EQ(board.publishes(), 0u);
+}
+
+TEST(TelemetryBoard, PublishThenReadReturnsSameSnapshot) {
+  TelemetryBoard board;
+  SnapshotPtr snapshot = MakeSnapshot("soft", 100);
+  EXPECT_TRUE(board.TryPublish(snapshot));
+  EXPECT_EQ(board.publishes(), 1u);
+  const SnapshotPtr read = board.Read();
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read.get(), snapshot.get());
+  // A newer publish replaces the document.
+  EXPECT_TRUE(board.TryPublish(MakeSnapshot("soft", 200)));
+  EXPECT_EQ(board.Read()->pages_crawled, 200u);
+  EXPECT_EQ(board.publishes(), 2u);
+}
+
+TEST(ProgressDocuments, FormatProgressLineShowsTopStages) {
+  const std::string line = FormatProgressLine(*MakeSnapshot("soft", 100));
+  EXPECT_NE(line.find("[soft] 100 pages"), std::string::npos);
+  EXPECT_NE(line.find("harvest 50.0%"), std::string::npos);
+  EXPECT_NE(line.find("queue 42"), std::string::npos);
+  // Stages sorted by time share: fetch (60%) before classify (40%).
+  const size_t fetch = line.find("fetch 60%");
+  const size_t classify = line.find("classify 40%");
+  ASSERT_NE(fetch, std::string::npos);
+  ASSERT_NE(classify, std::string::npos);
+  EXPECT_LT(fetch, classify);
+}
+
+TEST(ProgressDocuments, ProgressJsonMergesRunsUnderProcessHeader) {
+  const std::string json =
+      RenderProgressJson({MakeSnapshot("soft", 100), MakeSnapshot("bfs", 7)});
+  EXPECT_NE(json.find("\"process\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"run\": \"soft\""), std::string::npos);
+  EXPECT_NE(json.find("\"run\": \"bfs\""), std::string::npos);
+  EXPECT_NE(json.find("\"pages_crawled\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\": [{\"shard\": 0"), std::string::npos);
+}
+
+TEST(ProgressDocuments, TopTextListsEveryRunAndShard) {
+  const std::string top =
+      RenderTopText({MakeSnapshot("soft", 100), MakeSnapshot("bfs", 7)});
+  EXPECT_NE(top.find("2 runs"), std::string::npos);
+  EXPECT_NE(top.find("[soft] 100 pages"), std::string::npos);
+  EXPECT_NE(top.find("[bfs] 7 pages"), std::string::npos);
+  EXPECT_NE(top.find("  shard 0: pending 10 | crawled 100\n"),
+            std::string::npos);
+}
+
+TEST(TelemetryServer, ServesAllDocumentsOverUnixSocket) {
+  const std::string socket_path = testing::TempDir() + "/lswc_tel_test.sock";
+  const std::string endpoint = "unix:" + socket_path;
+  TelemetryBoard board;
+  board.TryPublish(MakeSnapshot("soft", 123));
+  auto server = TelemetryServer::Start(
+      endpoint, [&board] { return std::vector<SnapshotPtr>{board.Read()}; });
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ((*server)->endpoint(), endpoint);
+
+  auto metrics = TelemetryGet(endpoint, "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->find("lswc_pages_crawled_total{run=\"soft\"} 123\n"),
+            std::string::npos);
+
+  auto progress = TelemetryGet(endpoint, "/progress");
+  ASSERT_TRUE(progress.ok());
+  EXPECT_NE(progress->find("\"run\": \"soft\""), std::string::npos);
+
+  auto top = TelemetryGet(endpoint, "/top");
+  ASSERT_TRUE(top.ok());
+  EXPECT_NE(top->find("[soft] 123 pages"), std::string::npos);
+
+  // The server reads the board live: a new publish shows up.
+  board.TryPublish(MakeSnapshot("soft", 456));
+  auto again = TelemetryGet(endpoint, "/top");
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again->find("[soft] 456 pages"), std::string::npos);
+
+  EXPECT_FALSE(TelemetryGet(endpoint, "/nope").ok());
+}
+
+TEST(TelemetryServer, TcpPortZeroResolvesToEphemeralPort) {
+  TelemetryBoard board;
+  board.TryPublish(MakeSnapshot("soft", 5));
+  auto server = TelemetryServer::Start(
+      "tcp:0", [&board] { return std::vector<SnapshotPtr>{board.Read()}; });
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const std::string& endpoint = (*server)->endpoint();
+  EXPECT_EQ(endpoint.rfind("tcp:127.0.0.1:", 0), 0u);
+  EXPECT_NE(endpoint, "tcp:127.0.0.1:0");
+  auto top = TelemetryGet(endpoint, "/top");
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  EXPECT_NE(top->find("[soft] 5 pages"), std::string::npos);
+}
+
+TEST(TelemetryServer, RejectsMalformedEndpoints) {
+  auto source = [] { return std::vector<SnapshotPtr>{}; };
+  EXPECT_FALSE(TelemetryServer::Start("bogus", source).ok());
+  EXPECT_FALSE(TelemetryServer::Start("unix:", source).ok());
+  EXPECT_FALSE(TelemetryServer::Start("tcp:notaport", source).ok());
+  EXPECT_FALSE(TelemetryServer::Start("tcp:99999", source).ok());
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(StallWatchdog, FiresOnceHeartbeatStops) {
+  const std::string dump_path = testing::TempDir() + "/wd_fire.txt";
+  std::remove(dump_path.c_str());
+  std::atomic<uint64_t> heartbeat{0};
+  std::atomic<bool> attributed{false};
+  StallWatchdog::Options options;
+  options.heartbeat = &heartbeat;
+  options.deadline_ns = 50'000'000;  // 50ms.
+  options.dump_path = dump_path;
+  options.attribution = [&attributed](int fd) {
+    attributed.store(true);
+    const char note[] = "ATTRIBUTION-TEST\n";
+    ssize_t ignored = ::write(fd, note, sizeof(note) - 1);
+    (void)ignored;
+  };
+  StallWatchdog watchdog(options);
+  watchdog.Start();
+  // Never bump the heartbeat; the watchdog must fire within a few
+  // deadlines.
+  for (int i = 0; i < 200 && !watchdog.fired(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(watchdog.fired());
+  watchdog.Stop();
+  EXPECT_TRUE(attributed.load());
+  const std::string dump = ReadFile(dump_path);
+  EXPECT_NE(dump.find("WATCHDOG-STALL stalled_ms="), std::string::npos);
+  EXPECT_NE(dump.find("deadline_ms=50"), std::string::npos);
+  EXPECT_NE(dump.find("FLIGHT-RECORDER-DUMP reason=watchdog\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("ATTRIBUTION-TEST\n"), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+TEST(StallWatchdog, DoesNotFireWhileHeartbeatAdvances) {
+  std::atomic<uint64_t> heartbeat{0};
+  StallWatchdog::Options options;
+  options.heartbeat = &heartbeat;
+  options.deadline_ns = 80'000'000;  // 80ms.
+  StallWatchdog watchdog(options);
+  watchdog.Start();
+  // Bump well inside the deadline for several deadline periods.
+  for (int i = 0; i < 30; ++i) {
+    heartbeat.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(watchdog.fired());
+  watchdog.Stop();
+}
+
+TEST(StallWatchdog, DisabledWithoutHeartbeatOrDeadline) {
+  StallWatchdog::Options no_heartbeat;
+  no_heartbeat.deadline_ns = 1;
+  StallWatchdog a(no_heartbeat);
+  a.Start();  // No-op; Stop must still be safe.
+  a.Stop();
+  EXPECT_FALSE(a.fired());
+
+  std::atomic<uint64_t> heartbeat{0};
+  StallWatchdog::Options no_deadline;
+  no_deadline.heartbeat = &heartbeat;
+  StallWatchdog b(no_deadline);
+  b.Start();
+  b.Stop();
+  EXPECT_FALSE(b.fired());
+}
+
+}  // namespace
+}  // namespace lswc::obs

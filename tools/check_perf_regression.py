@@ -113,10 +113,13 @@ def main():
         base_rss = base.get("peak_rss_bytes", 0)
         cur_rss = cur.get("peak_rss_bytes", 0)
         if base_rss > 0 and cur_rss > base_rss * (1.0 + args.max_rss_growth):
+            growth = cur_rss / base_rss - 1.0
             warnings.append(
-                f"{name}: peak RSS {cur_rss / 2**20:.0f} MiB > baseline "
-                f"{base_rss / 2**20:.0f} MiB by more than "
-                f"{args.max_rss_growth:.0%}")
+                f"{name}: peak RSS grew {growth:+.0%} — baseline "
+                f"{base_rss / 2**20:.1f} MiB -> current "
+                f"{cur_rss / 2**20:.1f} MiB "
+                f"(+{(cur_rss - base_rss) / 2**20:.1f} MiB, threshold "
+                f"{args.max_rss_growth:.0%})")
 
         base_runs = {r["name"]: r for r in base.get("runs", [])}
         cur_runs = {r["name"]: r for r in cur.get("runs", [])}

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition document (format 0.0.4).
+
+CI points this at the body of GET /metrics from a live crawl's
+telemetry endpoint. It fails (exit 1) when the document violates the
+exposition grammar or the renderer's own contracts:
+
+  * every sample line parses as  name[{labels}] value  with a legal
+    metric name, legal label names, properly quoted/escaped label
+    values, and a float-parseable value;
+  * every sample belongs to a family announced by a preceding # TYPE
+    line, and no family is announced twice;
+  * histogram families are well-formed per label set: le buckets are
+    cumulative (non-decreasing), end in le="+Inf", and the +Inf count
+    equals the family's _count sample;
+  * with --require-metric NAME (repeatable), at least one sample of
+    that family is present — CI uses this to prove the endpoint is
+    serving real crawl state, not an empty document.
+
+Usage:  check_prom.py metrics.txt --require-metric lswc_pages_crawled_total
+        ... | check_prom.py - --require-metric lswc_frontier_size
+"""
+
+import argparse
+import collections
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$")
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>\S+) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)$")
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_labels(raw, errors, lineno):
+    """Splits  k1="v1",k2="v2"  respecting \\" escapes; returns a dict."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.find("=", i)
+        if eq < 0:
+            errors.append(f"line {lineno}: malformed label pair in {{{raw}}}")
+            return labels
+        name = raw[i:eq]
+        if not LABEL_NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad label name '{name}'")
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            errors.append(f"line {lineno}: label '{name}' value not quoted")
+            return labels
+        j = eq + 2
+        value = []
+        while j < len(raw) and raw[j] != '"':
+            if raw[j] == "\\":
+                if j + 1 >= len(raw) or raw[j + 1] not in '\\"n':
+                    errors.append(
+                        f"line {lineno}: bad escape in label '{name}'")
+                value.append(raw[j:j + 2])
+                j += 2
+            else:
+                value.append(raw[j])
+                j += 1
+        if j >= len(raw):
+            errors.append(f"line {lineno}: unterminated label value "
+                          f"for '{name}'")
+            return labels
+        labels[name] = "".join(value)
+        i = j + 1
+        if i < len(raw):
+            if raw[i] != ",":
+                errors.append(f"line {lineno}: expected ',' between labels")
+                return labels
+            i += 1
+    return labels
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "-Inf", "NaN"):
+        return float(raw.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(raw)
+
+
+def family_of(name):
+    """Maps a histogram sample name back to its family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_histogram(family, samples, errors):
+    """Per label set (minus le): buckets cumulative, +Inf == _count."""
+    by_labelset = collections.defaultdict(
+        lambda: {"buckets": [], "count": None})
+    for name, labels, value, lineno in samples:
+        key = tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le"))
+        entry = by_labelset[key]
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(
+                    f"line {lineno}: {family}_bucket without an le label")
+                continue
+            entry["buckets"].append((labels["le"], value, lineno))
+        elif name.endswith("_count"):
+            entry["count"] = (value, lineno)
+    for key, entry in by_labelset.items():
+        label_str = ",".join(f'{k}="{v}"' for k, v in key)
+        buckets = entry["buckets"]
+        if not buckets:
+            errors.append(f"{family}{{{label_str}}}: histogram has no "
+                          "_bucket samples")
+            continue
+        if buckets[-1][0] != "+Inf":
+            errors.append(f"{family}{{{label_str}}}: last bucket is "
+                          f'le="{buckets[-1][0]}", not le="+Inf"')
+        prev = None
+        for le, value, lineno in buckets:
+            if prev is not None and value < prev:
+                errors.append(
+                    f"line {lineno}: {family}{{{label_str}}} bucket "
+                    f'le="{le}" count {value:g} < previous {prev:g} '
+                    "(buckets must be cumulative)")
+            prev = value
+        if entry["count"] is not None and buckets[-1][0] == "+Inf":
+            count_value, count_line = entry["count"]
+            if buckets[-1][1] != count_value:
+                errors.append(
+                    f"line {count_line}: {family}{{{label_str}}} _count "
+                    f"{count_value:g} != +Inf bucket {buckets[-1][1]:g}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="exposition document, or - for stdin")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a sample of this family exists "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path) as f:
+            text = f.read()
+
+    errors = []
+    types = {}
+    families = collections.defaultdict(list)
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                m = TYPE_RE.match(line)
+                if not m:
+                    errors.append(f"line {lineno}: malformed # TYPE line: "
+                                  f"{line!r}")
+                    continue
+                name = m.group("name")
+                if not METRIC_NAME_RE.match(name):
+                    errors.append(f"line {lineno}: bad family name '{name}'")
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate # TYPE for "
+                                  f"'{name}'")
+                types[name] = m.group("type")
+            # HELP and other comments are legal and uninteresting.
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels") or "", errors, lineno)
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad sample value "
+                          f"{m.group('value')!r}")
+            continue
+        family = family_of(name)
+        if family not in types and name not in types:
+            errors.append(f"line {lineno}: sample '{name}' has no preceding "
+                          "# TYPE line")
+            continue
+        # _sum/_count also belong to plain families whose name happens
+        # to be registered directly (gauges never have the suffixes).
+        family = family if family in types else name
+        families[family].append((name, labels, value, lineno))
+        samples += 1
+
+    for family, family_type in types.items():
+        if family_type == "histogram":
+            check_histogram(family, families.get(family, []), errors)
+        elif not families.get(family):
+            errors.append(f"family '{family}' has a # TYPE line but no "
+                          "samples")
+
+    for required in args.require_metric:
+        if not families.get(required):
+            errors.append(f"required metric '{required}' has no samples")
+
+    if errors:
+        print(f"PROMETHEUS VALIDATION FAILED ({args.path}):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(f"{args.path}: valid exposition — {len(types)} families, "
+          f"{samples} samples"
+          + (f", required metrics present: "
+             f"{', '.join(args.require_metric)}"
+             if args.require_metric else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "obs/telemetry_plane.h"
 #include "store/stored_web_graph.h"
 #include "store/stream_generator.h"
 #include "util/string_util.h"
@@ -33,9 +35,49 @@ int Usage(const char* argv0) {
       "  generate  stream a synthetic web space to an LSWCDS1 file in\n"
       "            bounded memory (same bytes as the in-RAM generator)\n"
       "  info      print the dataset's meta and stats sections\n"
-      "  verify    info + verify every section checksum\n",
+      "  verify    info + verify every section checksum (one stderr\n"
+      "            progress line per verified section)\n"
+      "telemetry options (any command):\n"
+      "  --telemetry=unix:PATH|tcp:[HOST:]PORT   live status endpoint\n"
+      "  --watchdog-secs=N --watchdog-abort      stall watchdog\n"
+      "  --flight-recorder-events=N              crash-dump ring size\n"
+      "  --telemetry-dump=FILE                   dump file (default stderr)\n",
       argv0, argv0, argv0);
   return 2;
+}
+
+/// Consumes one telemetry-plane flag into `t`; false when `a` is not a
+/// telemetry flag (the caller then tries its own flags). Exits through
+/// Usage for a malformed value by returning false with *bad set.
+bool ParseTelemetryFlag(std::string_view a, obs::TelemetryOptions* t,
+                        bool* bad) {
+  if (StartsWith(a, "--telemetry=")) {
+    t->endpoint = std::string(a.substr(12));
+    if (t->endpoint.empty()) *bad = true;
+    return true;
+  }
+  if (StartsWith(a, "--watchdog-secs=")) {
+    const auto n = ParseUint64(a.substr(16));
+    if (!n || *n == 0) *bad = true;
+    else t->watchdog_secs = *n;
+    return true;
+  }
+  if (a == "--watchdog-abort") {
+    t->watchdog_abort = true;
+    return true;
+  }
+  if (StartsWith(a, "--flight-recorder-events=")) {
+    const auto n = ParseUint64(a.substr(25));
+    if (!n) *bad = true;
+    else t->flight_recorder_events = *n;
+    return true;
+  }
+  if (StartsWith(a, "--telemetry-dump=")) {
+    t->dump_path = std::string(a.substr(17));
+    if (t->dump_path.empty()) *bad = true;
+    return true;
+  }
+  return false;
 }
 
 int Generate(int argc, char** argv) {
@@ -87,6 +129,19 @@ int Generate(int argc, char** argv) {
 int Info(const char* argv0, const std::string& path, bool verify) {
   store::StoredWebGraph::Options options;
   options.verify_checksums = verify;
+  if (verify) {
+    // One stderr line per completed section, so a multi-GiB verify
+    // (dominated by the targets/pages scans) is visibly alive.
+    options.verify_progress = [](const char* section, uint64_t section_bytes,
+                                 uint64_t done_bytes, uint64_t total_bytes) {
+      std::fprintf(stderr, "verify: %-7s %9.1f MiB OK (%5.1f%% of %.1f MiB)\n",
+                   section,
+                   static_cast<double>(section_bytes) / (1024.0 * 1024.0),
+                   100.0 * static_cast<double>(done_bytes) /
+                       static_cast<double>(total_bytes),
+                   static_cast<double>(total_bytes) / (1024.0 * 1024.0));
+    };
+  }
   auto stored = store::StoredWebGraph::Open(path, options);
   if (!stored.ok()) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(),
@@ -118,11 +173,26 @@ int Info(const char* argv0, const std::string& path, bool verify) {
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 2) return Usage(argv[0]);
-  const std::string_view command = argv[1];
-  if (command == "generate") return Generate(argc, argv);
-  if ((command == "info" || command == "verify") && argc == 3) {
-    return Info(argv[0], argv[2], command == "verify");
+  // Telemetry flags are position-independent and stripped before the
+  // command parsers see the remaining args.
+  obs::TelemetryOptions telemetry;
+  bool bad_flag = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (ParseTelemetryFlag(argv[i], &telemetry, &bad_flag)) continue;
+    rest.push_back(argv[i]);
+  }
+  if (bad_flag) return Usage(argv[0]);
+  obs::ConfigureTelemetryPlaneFromFlags(telemetry, argv[0]);
+
+  const int rest_argc = static_cast<int>(rest.size());
+  char** rest_argv = rest.data();
+  if (rest_argc < 2) return Usage(argv[0]);
+  const std::string_view command = rest_argv[1];
+  if (command == "generate") return Generate(rest_argc, rest_argv);
+  if ((command == "info" || command == "verify") && rest_argc == 3) {
+    return Info(rest_argv[0], rest_argv[2], command == "verify");
   }
   return Usage(argv[0]);
 }

@@ -16,21 +16,25 @@
 //             in list order and --out writes per-strategy suffixed
 //             files.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/checkpoint.h"
 #include "core/context_graph.h"
+#include "core/crawl_observer.h"
 #include "core/distiller.h"
 #include "core/experiment_runner.h"
 #include "core/politeness.h"
 #include "core/simulator.h"
 #include "obs/run_obs.h"
+#include "obs/telemetry_plane.h"
 #include "obs/trace_sink.h"
 #include "store/memory_budget.h"
 #include "store/mmap_link_db.h"
@@ -92,6 +96,18 @@ struct Args {
   std::string trace_out;
   /// Print a progress line to stderr every N crawled pages.
   uint64_t progress_every = 0;
+  /// Live telemetry plane (see docs/ARCHITECTURE.md "Telemetry
+  /// plane"): status endpoint, stall watchdog, per-run flight recorder.
+  std::string telemetry;
+  uint64_t watchdog_secs = 0;
+  bool watchdog_abort = false;
+  uint64_t flight_recorder_events = 1024;
+  std::string telemetry_dump;
+  /// Fault injection for the watchdog CI drill: freeze the crawl thread
+  /// forever once N pages have been fetched (0 = never). The process
+  /// stays alive, so the stall watchdog's deadline elapses and its dump
+  /// path fires — SIGSTOP would suspend the watchdog thread too.
+  uint64_t stall_after = 0;
 };
 
 int Usage(const char* argv0) {
@@ -143,7 +159,23 @@ int Usage(const char* argv0) {
       "                               + counters/histograms) as JSON\n"
       "  --trace-out=FILE             write a Chrome trace-event file (load\n"
       "                               in Perfetto / chrome://tracing)\n"
-      "  --progress-every=N           progress line to stderr every N pages\n",
+      "  --progress-every=N           progress line to stderr every N pages\n"
+      "  --telemetry=ENDPOINT         serve live status on unix:PATH or\n"
+      "                               tcp:[HOST:]PORT (/metrics Prometheus\n"
+      "                               text, /progress JSON; tcp:0 picks an\n"
+      "                               ephemeral port, printed as a stderr\n"
+      "                               TELEMETRY line)\n"
+      "  --watchdog-secs=N            dump the flight recorder + per-run\n"
+      "                               attribution when no fetch completes\n"
+      "                               for N seconds\n"
+      "  --watchdog-abort             abort() when the watchdog fires\n"
+      "  --flight-recorder-events=N   per-run crash/stall event ring size\n"
+      "                               (default 1024; 0 disables)\n"
+      "  --telemetry-dump=FILE        watchdog/crash dump file (default\n"
+      "                               stderr)\n"
+      "  --stall-after=N              fault injection: freeze the crawl\n"
+      "                               thread forever after N fetches (the\n"
+      "                               watchdog CI drill)\n",
       argv0);
   return 2;
 }
@@ -252,6 +284,26 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const auto n = ParseUint64(*v);
       if (!n || *n == 0) return false;
       args->progress_every = *n;
+    } else if (auto v = value("--telemetry=")) {
+      if (v->empty()) return false;
+      args->telemetry = std::string(*v);
+    } else if (auto v = value("--watchdog-secs=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n == 0) return false;
+      args->watchdog_secs = *n;
+    } else if (a == "--watchdog-abort") {
+      args->watchdog_abort = true;
+    } else if (auto v = value("--flight-recorder-events=")) {
+      const auto n = ParseUint64(*v);
+      if (!n) return false;
+      args->flight_recorder_events = *n;
+    } else if (auto v = value("--telemetry-dump=")) {
+      if (v->empty()) return false;
+      args->telemetry_dump = std::string(*v);
+    } else if (auto v = value("--stall-after=")) {
+      const auto n = ParseUint64(*v);
+      if (!n || *n == 0) return false;
+      args->stall_after = *n;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       return false;
@@ -297,6 +349,27 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   return true;
 }
+
+/// --stall-after fault injection: after N fetches the observer sleeps
+/// forever on the crawl thread, so no further fetch completes, the
+/// telemetry heartbeat stops, and the stall watchdog fires — the CI
+/// drill for the watchdog + flight-recorder dump. (SIGSTOP can't stage
+/// this: it would suspend the watchdog thread along with the crawl.)
+class StallInjector final : public CrawlObserver {
+ public:
+  explicit StallInjector(uint64_t after) : after_(after) {}
+
+  void OnFetch(const FetchEvent& event) override {
+    if (after_ == 0 || ++fetches_ < after_) return;
+    std::fprintf(stderr, "STALL-INJECT frozen after %llu fetches\n",
+                 static_cast<unsigned long long>(event.pages_crawled));
+    for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+  }
+
+ private:
+  const uint64_t after_;
+  uint64_t fetches_ = 0;
+};
 
 /// The graph plus, for --store=mmap replays, the StoredWebGraph that
 /// owns the mapping every per-strategy MmapLinkDb shares.
@@ -492,6 +565,15 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
     }
   }
 
+  // Each strategy run gets its own telemetry board when the plane is
+  // configured (the custom RunSpec path bypasses ExperimentRunner's
+  // auto-wiring, so the slot is filled here).
+  obs::TelemetryContext* telemetry = nullptr;
+  if (obs::TelemetryPlane::Instance().configured()) {
+    telemetry = obs::TelemetryPlane::Instance().CreateContext(strategy_spec);
+  }
+  StallInjector stall_injector(args.stall_after);
+
   if (args.politeness) {
     PolitenessOptions options;
     options.num_connections = args.connections;
@@ -503,6 +585,9 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
     options.resume_path = resume_path;
     options.obs = obs;
     options.progress_every = args.progress_every;
+    options.telemetry = telemetry;
+    options.run_label = strategy_spec;
+    if (args.stall_after != 0) options.observers.push_back(&stall_injector);
     PolitenessSimulator sim(&web, classifier->get(), strategy->get(),
                             options);
     auto r = sim.Run();
@@ -541,6 +626,9 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   options.resume_path = resume_path;
   options.obs = obs;
   options.progress_every = args.progress_every;
+  options.telemetry = telemetry;
+  options.run_label = strategy_spec;
+  if (args.stall_after != 0) options.observers.push_back(&stall_injector);
   Simulator sim(&web, classifier->get(), strategy->get(), options);
   auto r = sim.Run();
   LSWC_RETURN_IF_ERROR(r.status());
@@ -704,6 +792,13 @@ namespace {
 int Main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+  obs::TelemetryOptions telemetry;
+  telemetry.endpoint = args.telemetry;
+  telemetry.watchdog_secs = args.watchdog_secs;
+  telemetry.watchdog_abort = args.watchdog_abort;
+  telemetry.flight_recorder_events = args.flight_recorder_events;
+  telemetry.dump_path = args.telemetry_dump;
+  obs::ConfigureTelemetryPlaneFromFlags(telemetry, argv[0]);
   return Run(args);
 }
 }  // namespace
