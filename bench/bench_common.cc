@@ -1,12 +1,15 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
+#include "core/batch_frontier.h"
 #include "core/checkpoint.h"
+#include "obs/journal.h"
 #include "obs/run_obs.h"
 #include "obs/telemetry_plane.h"
 #include "obs/trace_sink.h"
@@ -118,6 +121,12 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     } else if (StartsWith(arg, "--telemetry-dump=")) {
       args.telemetry_dump = std::string(arg.substr(17));
       if (!args.telemetry_dump.empty()) continue;
+    } else if (StartsWith(arg, "--journal-dir=")) {
+      args.journal_dir = std::string(arg.substr(14));
+      if (!args.journal_dir.empty()) continue;
+    } else if (StartsWith(arg, "--only=")) {
+      args.only = std::string(arg.substr(7));
+      if (!args.only.empty()) continue;
     }
     std::fprintf(
         stderr,
@@ -130,7 +139,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
         "          [--telemetry=unix:PATH|tcp:[HOST:]PORT]"
         " [--watchdog-secs=N]\n"
         "          [--watchdog-abort] [--flight-recorder-events=N]"
-        " [--telemetry-dump=FILE]\n",
+        " [--telemetry-dump=FILE]\n"
+        "          [--journal-dir=DIR] [--only=SUBSTR]\n",
         argv[0]);
     std::exit(2);
   }
@@ -298,6 +308,18 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
                                 ClassifierFactory default_classifier,
                                 std::vector<GridRun> runs, BenchReport* report,
                                 bool print) {
+  if (!args.only.empty()) {
+    const size_t before = runs.size();
+    runs.erase(std::remove_if(runs.begin(), runs.end(),
+                              [&args](const GridRun& run) {
+                                return run.name.find(args.only) ==
+                                       std::string::npos;
+                              }),
+               runs.end());
+    std::printf("# --only=%s: running %zu of %zu cells\n", args.only.c_str(),
+                runs.size(), before);
+    if (runs.empty()) return {};
+  }
   ExperimentRunner::Options options;
   options.jobs = args.jobs;
   ConfigureObs(args, &options);
@@ -316,6 +338,16 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
     std::filesystem::create_directories(args.snapshot_dir, ec);
     LSWC_CHECK(!ec) << "cannot create snapshot dir " << args.snapshot_dir;
   }
+  if (!args.journal_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.journal_dir, ec);
+    LSWC_CHECK(!ec) << "cannot create journal dir " << args.journal_dir;
+  }
+
+  // Per-cell decision journals. Each writer is touched only by its
+  // cell's serial commit path during Run, then finalized (atomic
+  // rename) here once the grid drains.
+  std::vector<std::unique_ptr<obs::JournalWriter>> journals;
 
   std::vector<RunSpec> specs;
   specs.reserve(runs.size());
@@ -347,10 +379,52 @@ std::vector<GridResult> RunGrid(const BenchArgs& args, const WebGraph& graph,
                     candidate.c_str());
       }
     }
+    if (!args.journal_dir.empty() && spec.options.resume_path.empty()) {
+      const bool batch = spec.options.frontier_kind == "batch";
+      obs::JournalMeta meta;
+      meta.num_pages = graph.num_pages();
+      meta.num_hosts = graph.num_hosts();
+      meta.num_links = graph.num_links();
+      meta.generator_seed = graph.generator_seed();
+      meta.target_language =
+          std::string(LanguageName(graph.target_language()));
+      meta.strategy = spec.name;
+      meta.classifier = spec.classifier()->name();
+      meta.regime = batch ? "batch" : "pop";
+      meta.batch_k = batch ? (spec.options.batch_k == 0
+                                  ? kDefaultBatchK
+                                  : spec.options.batch_k)
+                           : 0;
+      meta.scorer_spec =
+          batch ? (spec.options.scorers.empty() ? kDefaultScorerSpec
+                                                : spec.options.scorers)
+                : "";
+      const std::string path = args.journal_dir + "/" +
+                               SanitizeSnapshotLabel(spec.name) + ".jrnl";
+      auto writer = obs::JournalWriter::Open(path, std::move(meta));
+      LSWC_CHECK(writer.ok()) << "journal " << path << ": "
+                              << writer.status();
+      (*writer)->set_host_lookup(
+          [&graph](uint32_t url) { return graph.page(url).host; });
+      spec.options.journal = writer->get();
+      journals.push_back(std::move(*writer));
+    } else if (!args.journal_dir.empty()) {
+      // A journal must cover the run from its first seed; a resumed
+      // cell's earlier decisions are gone, so it gets no journal.
+      std::printf("# not journaling resumed cell %s\n", spec.name.c_str());
+    }
     specs.push_back(std::move(spec));
   }
 
   std::vector<RunResult> results = runner.Run(specs);
+  for (std::unique_ptr<obs::JournalWriter>& journal : journals) {
+    const Status finalized = journal->Finalize();
+    LSWC_CHECK(finalized.ok()) << "journal finalize: " << finalized;
+  }
+  if (!journals.empty()) {
+    std::printf("# %zu decision journal(s) -> %s\n", journals.size(),
+                args.journal_dir.c_str());
+  }
   AccumulateObs(&results, report);
   std::vector<GridResult> out;
   out.reserve(results.size());
@@ -404,6 +478,9 @@ void PrintDatasetStats(const char* name, const WebGraph& graph) {
 Series MergeColumn(const std::vector<std::pair<std::string,
                                                const SimulationResult*>>& runs,
                    size_t column, const std::string& x_name) {
+  // A grid filtered down to nothing (--only) merges to an empty series;
+  // EmitSeries then skips it.
+  if (runs.empty()) return Series(x_name, {});
   std::vector<SeriesInput> inputs;
   inputs.reserve(runs.size());
   for (const auto& [name, run] : runs) {
@@ -414,6 +491,7 @@ Series MergeColumn(const std::vector<std::pair<std::string,
 
 Series MergeColumn(const std::vector<GridResult>& runs, size_t column,
                    const std::string& x_name) {
+  if (runs.empty()) return Series(x_name, {});
   std::vector<SeriesInput> inputs;
   inputs.reserve(runs.size());
   for (const GridResult& run : runs) {
@@ -424,6 +502,10 @@ Series MergeColumn(const std::vector<GridResult>& runs, size_t column,
 
 void EmitSeries(const BenchArgs& args, const std::string& file,
                 const Series& series, BenchReport* report) {
+  if (series.num_columns() == 0) {
+    std::printf("# skipping %s: no runs selected\n", file.c_str());
+    return;
+  }
   std::error_code ec;
   std::filesystem::create_directories(args.out_dir, ec);
   const std::string path = args.out_dir + "/" + file;

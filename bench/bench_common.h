@@ -92,6 +92,17 @@ struct BenchArgs {
   uint64_t flight_recorder_events = 1024;
   /// Watchdog / crash dump file (empty = stderr).
   std::string telemetry_dump;
+  /// Write one decision journal per grid cell to
+  /// DIR/<cell-name>.jrnl (empty = no journaling). The forensics
+  /// counterpart of the hash gate: when two BENCH reports disagree,
+  /// re-run both sides with --journal-dir and `lswc_journal diff`
+  /// names the first diverging decision.
+  std::string journal_dir;
+  /// Run only the grid cells whose name contains this substring
+  /// (empty = all cells). Lets CI gate one cell precisely — e.g. the
+  /// journal overhead gate runs `--only=batch-k16`, the cell whose
+  /// per-page rescoring work is representative of a real crawl step.
+  std::string only;
 
   /// The worker count a runner built from these args will use.
   unsigned resolved_jobs() const;

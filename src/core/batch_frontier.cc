@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/journal.h"
 #include "obs/metrics_registry.h"
 #include "obs/stage_profiler.h"
 
@@ -73,8 +74,27 @@ std::vector<BatchFrontier::Candidate> BatchFrontier::TopCandidates(
 void BatchFrontier::Refill() {
   obs::ScopedStage stage(profiler_, obs::Stage::kRescore);
   if (rescore_rounds_ != nullptr) rescore_rounds_->Increment();
+  const size_t pending_before = pending_.size();
   const std::vector<Candidate> selected = TopCandidates(select_k_);
+  if (journal_ != nullptr) {
+    journal_->BatchRound(pending_before, selected.size());
+  }
+  std::vector<ScoreComponent> components;
+  uint32_t rank = 0;
   for (const Candidate& candidate : selected) {
+    if (journal_ != nullptr) {
+      components.clear();
+      scorer_->ScoreComponents(candidate.url,
+                               pending_.at(candidate.url).inputs, &components);
+      journal_->BatchSelect(candidate.url, rank, candidate.score,
+                            candidate.seq,
+                            static_cast<uint32_t>(components.size()));
+      for (uint32_t i = 0; i < components.size(); ++i) {
+        journal_->ScoreComponent(candidate.url, i, components[i].name,
+                                 components[i].weighted, components[i].raw);
+      }
+    }
+    ++rank;
     pending_.erase(candidate.url);
     batch_.push_back(candidate.url);
     in_batch_.insert(candidate.url);

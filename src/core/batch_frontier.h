@@ -81,6 +81,10 @@ class BatchFrontier final : public Frontier {
                  obs::TraceSink* trace) override;
   /// Stage probe for rescore passes (not owned; may be null).
   void set_profiler(obs::StageProfiler* profiler) { profiler_ = profiler; }
+  /// Decision journal (not owned; may be null). When set, Refill emits
+  /// one batch-round record plus a selection record (with per-scorer
+  /// components) for every URL selected.
+  void set_journal(obs::JournalWriter* journal) { journal_ = journal; }
 
   Status Save(snapshot::SectionWriter* w) const override;
   Status Restore(snapshot::SectionReader* r) override;
@@ -109,6 +113,18 @@ class BatchFrontier final : public Frontier {
   /// Removes a pending URL chosen by the cross-shard merge.
   void Remove(PageId url) { pending_.erase(url); }
 
+  /// Copies the pending entry for `url` (its score inputs and push
+  /// sequence) into `inputs`/`seq`; false when `url` is not pending.
+  /// The sharded engine reads these before Remove() so its journal can
+  /// break the merged selection's score into per-scorer components.
+  bool LookupPending(PageId url, ScoreInputs* inputs, uint64_t* seq) const {
+    const auto it = pending_.find(url);
+    if (it == pending_.end()) return false;
+    *inputs = it->second.inputs;
+    *seq = it->second.seq;
+    return true;
+  }
+
  private:
   /// A pending URL's scoring record.
   struct Entry {
@@ -128,6 +144,7 @@ class BatchFrontier final : public Frontier {
   uint64_t next_seq_ = 0;
   size_t max_size_ = 0;
   obs::StageProfiler* profiler_ = nullptr;
+  obs::JournalWriter* journal_ = nullptr;
   /// Obs counters (null when unattached): rescore passes, URLs scored
   /// across all passes, URLs selected into batches.
   obs::Counter* rescore_rounds_ = nullptr;

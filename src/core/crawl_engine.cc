@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/journal.h"
 #include "obs/run_obs.h"
 #include "snapshot/snapshot_file.h"
 
@@ -32,7 +33,8 @@ CrawlEngine::CrawlEngine(VirtualWebSpace* web, Classifier* classifier,
                                              web->graph().num_pages())),
       metrics_(web->graph().ComputeStats().relevant_ok_pages,
                sample_interval_),
-      classifier_name_(classifier->name()) {
+      classifier_name_(classifier->name()),
+      journal_(options.journal) {
   AddObserver(&metrics_);
   if (options.obs != nullptr && options.obs->enabled) {
     obs::RunObs* obs = options.obs;
@@ -60,6 +62,9 @@ Status CrawlEngine::Run() {
     for (PageId seed : graph.seeds()) {
       if (!state_.EnqueueSeed(seed, strategy_->seed_priority())) continue;
       scheduler_->Push(seed, strategy_->seed_priority());
+      if (journal_ != nullptr) {
+        journal_->Seed(seed, strategy_->seed_priority());
+      }
     }
   }
 
@@ -95,6 +100,10 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
     for (PageId child : visit->links) {
       if (state_.crawled(child)) {
         if (link_drops_ != nullptr) link_drops_->Increment();
+        if (journal_ != nullptr) {
+          journal_->Drop(child, url, obs::kJournalDropAlreadyCrawled,
+                         visit->judgment.relevant);
+        }
         for (CrawlObserver* o : link_observers_) {
           o->OnDrop(child, LinkDropReason::kAlreadyCrawled);
         }
@@ -103,6 +112,10 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
       const LinkDecision d = strategy_->OnLink(parent, child);
       if (!d.enqueue) {
         if (link_drops_ != nullptr) link_drops_->Increment();
+        if (journal_ != nullptr) {
+          journal_->Drop(child, url, obs::kJournalDropStrategyDiscard,
+                         visit->judgment.relevant);
+        }
         for (CrawlObserver* o : link_observers_) {
           o->OnDrop(child, LinkDropReason::kStrategyDiscard);
         }
@@ -111,6 +124,10 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
       switch (state_.OfferLink(child, d)) {
         case CrawlState::Offer::kIgnored:
           if (link_drops_ != nullptr) link_drops_->Increment();
+          if (journal_ != nullptr) {
+            journal_->Drop(child, url, obs::kJournalDropNotBetter,
+                           visit->judgment.relevant);
+          }
           for (CrawlObserver* o : link_observers_) {
             o->OnDrop(child, LinkDropReason::kNotBetter);
           }
@@ -124,6 +141,10 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
             push_level_->Record(
                 static_cast<uint64_t>(std::max(d.priority, 0)));
           }
+          if (journal_ != nullptr) {
+            journal_->Link(/*repush=*/false, child, url, d.priority,
+                           d.annotation, visit->judgment.relevant);
+          }
           for (CrawlObserver* o : link_observers_) o->OnEnqueue(child, d);
           break;
         }
@@ -135,6 +156,10 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
             repushes_->Increment();
             push_level_->Record(
                 static_cast<uint64_t>(std::max(d.priority, 0)));
+          }
+          if (journal_ != nullptr) {
+            journal_->Link(/*repush=*/true, child, url, d.priority,
+                           d.annotation, visit->judgment.relevant);
           }
           for (CrawlObserver* o : link_observers_) o->OnRePush(child, d);
           break;
@@ -152,6 +177,10 @@ Status CrawlEngine::CrawlOne(PageId url, VisitResult* visit) {
   event.frontier_size = scheduler_->size();
   event.pages_crawled = pages_crawled_;
   if (frontier_depth_ != nullptr) frontier_depth_->Record(event.frontier_size);
+  if (journal_ != nullptr) {
+    journal_->Fetch(url, ok, event.truly_relevant, event.judged_relevant,
+                    event.frontier_size, pages_crawled_);
+  }
   for (CrawlObserver* o : observers_) o->OnFetch(event);
   if (pages_crawled_ % sample_interval_ == 0) {
     NotifySample(/*is_final=*/false);
@@ -165,6 +194,9 @@ void CrawlEngine::NotifySample(bool is_final) {
   event.pages_crawled = pages_crawled_;
   event.frontier_size = scheduler_->size();
   event.is_final = is_final;
+  if (journal_ != nullptr) {
+    journal_->Sample(event.frontier_size, pages_crawled_, is_final);
+  }
   for (CrawlObserver* o : observers_) o->OnSample(event);
 }
 

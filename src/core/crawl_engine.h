@@ -118,6 +118,11 @@ struct CrawlEngineOptions {
   /// Per-run observability bundle (not owned; may be null). A disabled
   /// bundle is treated exactly like null — no probes fire.
   obs::RunObs* obs = nullptr;
+  /// Decision journal sink (not owned; null = no journaling). The
+  /// engine emits every seed/fetch/link/sample decision; emission is
+  /// serial-path only, and with a null journal no probe fires, keeping
+  /// journal-off runs byte-identical to a build without the feature.
+  obs::JournalWriter* journal = nullptr;
   /// Batch-regime identity, recorded in the snapshot fingerprint (0 /
   /// empty outside the batch regime). The engine does not act on these;
   /// the BatchFrontier does.
@@ -207,6 +212,7 @@ class CrawlEngine : public Checkpointable {
   Rng* rng_ = nullptr;
   bool resumed_ = false;
   uint64_t pages_crawled_ = 0;
+  obs::JournalWriter* journal_ = nullptr;
   /// Obs handles, cached at construction; all null when the run has no
   /// (enabled) bundle, so every probe below is a null check.
   obs::StageProfiler* profiler_ = nullptr;

@@ -272,6 +272,7 @@ StatusOr<PolitenessResult> PolitenessSimulator::Run() {
   engine_options.max_pages = options_.max_pages;
   engine_options.sample_interval = options_.sample_interval;
   engine_options.obs = obs;
+  engine_options.journal = options_.journal;
   CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
                      engine_options);
   Series series("pages_crawled",

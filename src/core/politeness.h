@@ -57,6 +57,9 @@ struct PolitenessOptions {
   /// Live telemetry slot and display label, mirroring SimulationOptions.
   obs::TelemetryContext* telemetry = nullptr;
   std::string run_label;
+  /// Decision journal sink (not owned; may be null), mirroring
+  /// SimulationOptions::journal. The caller opens and finalizes it.
+  obs::JournalWriter* journal = nullptr;
 };
 
 struct PolitenessSummary {

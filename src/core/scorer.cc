@@ -108,6 +108,14 @@ class CompositeScorer final : public Scorer {
   }
   std::string name() const override { return spec_; }
 
+  void ScoreComponents(PageId url, const ScoreInputs& inputs,
+                       std::vector<ScoreComponent>* out) const override {
+    for (const auto& [scorer, weight] : parts_) {
+      const double raw = scorer->Score(url, inputs);
+      out->push_back(ScoreComponent{scorer->name(), weight * raw, raw});
+    }
+  }
+
  private:
   std::string spec_;
   std::vector<std::pair<std::unique_ptr<Scorer>, double>> parts_;

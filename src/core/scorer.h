@@ -47,6 +47,15 @@ struct ScorerEnv {
   uint64_t seed = 0;
 };
 
+/// One named term of a score, for the decision journal's forensics:
+/// `weighted` is the term's contribution to the total (weight × raw),
+/// `raw` the scorer's unweighted output.
+struct ScoreComponent {
+  std::string name;
+  double weighted = 0.0;
+  double raw = 0.0;
+};
+
 /// Rates one pending URL; higher is fetched sooner. Score() is const
 /// and must be thread-safe (shards rescore their pending slices in
 /// parallel through one shared scorer).
@@ -59,6 +68,18 @@ class Scorer {
   /// Stable identifier ("lang", "indegree", or a composite spec);
   /// recorded in batch snapshots and validated on restore.
   virtual std::string name() const = 0;
+
+  /// Appends this scorer's per-term breakdown of Score(url, inputs) to
+  /// `out`. The default reports one component equal to the total; a
+  /// composite reports one per part in spec order. The sum of the
+  /// appended `weighted` fields always equals Score() exactly (same
+  /// arithmetic, same order), so the journal's breakdowns reproduce the
+  /// selection scores bit-for-bit.
+  virtual void ScoreComponents(PageId url, const ScoreInputs& inputs,
+                               std::vector<ScoreComponent>* out) const {
+    const double score = Score(url, inputs);
+    out->push_back(ScoreComponent{name(), score, score});
+  }
 };
 
 using ScorerFactory =

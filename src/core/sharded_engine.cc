@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/journal.h"
 #include "obs/run_obs.h"
 #include "obs/telemetry.h"
 #include "snapshot/snapshot_file.h"
@@ -58,7 +59,8 @@ ShardedCrawlEngine::ShardedCrawlEngine(VirtualWebSpace* web,
       batch_size_(options.batch_size == 0 ? 256 : options.batch_size),
       metrics_(web->graph().ComputeStats().relevant_ok_pages,
                sample_interval_),
-      classifier_name_(classifier->name()) {
+      classifier_name_(classifier->name()),
+      journal_(options.journal) {
   AddObserver(&metrics_);
   if (options.obs != nullptr && options.obs->enabled) {
     obs::RunObs* obs = options.obs;
@@ -321,8 +323,35 @@ void ShardedCrawlEngine::RescoreRound() {
   }
   std::sort(merged.begin(), merged.end());
   if (merged.size() > select_k_) merged.resize(select_k_);
+  if (journal_ != nullptr) {
+    // The global pending set is the union of the shard slices, so this
+    // round record matches the serial BatchFrontier's byte-for-byte.
+    size_t pending_before = 0;
+    for (const auto& shard : shards_) {
+      pending_before += shard->batch_frontier->pending_size();
+    }
+    journal_->BatchRound(pending_before, merged.size());
+  }
+  std::vector<ScoreComponent> components;
+  uint32_t rank = 0;
   for (const BatchFrontier::Candidate& c : merged) {
-    shards_[owner(c.url)]->batch_frontier->Remove(c.url);
+    BatchFrontier* slice = shards_[owner(c.url)]->batch_frontier.get();
+    if (journal_ != nullptr) {
+      ScoreInputs inputs;
+      uint64_t seq = 0;
+      if (slice->LookupPending(c.url, &inputs, &seq)) {
+        components.clear();
+        slice->scorer().ScoreComponents(c.url, inputs, &components);
+        journal_->BatchSelect(c.url, rank, c.score, c.seq,
+                              static_cast<uint32_t>(components.size()));
+        for (uint32_t i = 0; i < components.size(); ++i) {
+          journal_->ScoreComponent(c.url, i, components[i].name,
+                                   components[i].weighted, components[i].raw);
+        }
+      }
+    }
+    ++rank;
+    slice->Remove(c.url);
     batch_queue_.push_back(c.url);
     in_batch_.insert(c.url);
   }
@@ -369,6 +398,10 @@ Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
     for (PageId child : visit.links) {
       if (crawled(child)) {
         if (link_drops_ != nullptr) link_drops_->Increment();
+        if (journal_ != nullptr) {
+          journal_->Drop(child, url, obs::kJournalDropAlreadyCrawled,
+                         visit.judgment.relevant);
+        }
         for (CrawlObserver* o : link_observers_) {
           o->OnDrop(child, LinkDropReason::kAlreadyCrawled);
         }
@@ -377,6 +410,10 @@ Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
       const LinkDecision d = strategy_->OnLink(parent, child);
       if (!d.enqueue) {
         if (link_drops_ != nullptr) link_drops_->Increment();
+        if (journal_ != nullptr) {
+          journal_->Drop(child, url, obs::kJournalDropStrategyDiscard,
+                         visit.judgment.relevant);
+        }
         for (CrawlObserver* o : link_observers_) {
           o->OnDrop(child, LinkDropReason::kStrategyDiscard);
         }
@@ -387,6 +424,10 @@ Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
       switch (child_shard.state.OfferLink(local(child), d)) {
         case CrawlState::Offer::kIgnored:
           if (link_drops_ != nullptr) link_drops_->Increment();
+          if (journal_ != nullptr) {
+            journal_->Drop(child, url, obs::kJournalDropNotBetter,
+                           visit.judgment.relevant);
+          }
           for (CrawlObserver* o : link_observers_) {
             o->OnDrop(child, LinkDropReason::kNotBetter);
           }
@@ -400,6 +441,10 @@ Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
             push_level_->Record(
                 static_cast<uint64_t>(std::max(d.priority, 0)));
           }
+          if (journal_ != nullptr) {
+            journal_->Link(/*repush=*/false, child, url, d.priority,
+                           d.annotation, visit.judgment.relevant);
+          }
           for (CrawlObserver* o : link_observers_) o->OnEnqueue(child, d);
           break;
         }
@@ -411,6 +456,10 @@ Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
             repushes_->Increment();
             push_level_->Record(
                 static_cast<uint64_t>(std::max(d.priority, 0)));
+          }
+          if (journal_ != nullptr) {
+            journal_->Link(/*repush=*/true, child, url, d.priority,
+                           d.annotation, visit.judgment.relevant);
           }
           for (CrawlObserver* o : link_observers_) o->OnRePush(child, d);
           break;
@@ -429,6 +478,10 @@ Status ShardedCrawlEngine::CommitOne(PageId url, CacheEntry entry) {
   event.pages_crawled = pages_crawled_;
   event.shard = owner(url);
   if (frontier_depth_ != nullptr) frontier_depth_->Record(event.frontier_size);
+  if (journal_ != nullptr) {
+    journal_->Fetch(url, ok, event.truly_relevant, event.judged_relevant,
+                    event.frontier_size, pages_crawled_);
+  }
   for (CrawlObserver* o : observers_) o->OnFetch(event);
   if (pages_crawled_ % sample_interval_ == 0) {
     NotifySample(/*is_final=*/false);
@@ -442,6 +495,9 @@ void ShardedCrawlEngine::NotifySample(bool is_final) {
   event.pages_crawled = pages_crawled_;
   event.frontier_size = global_size_;
   event.is_final = is_final;
+  if (journal_ != nullptr) {
+    journal_->Sample(event.frontier_size, pages_crawled_, is_final);
+  }
   for (CrawlObserver* o : observers_) o->OnSample(event);
 }
 
@@ -458,6 +514,9 @@ Status ShardedCrawlEngine::Run() {
         continue;
       }
       PushFrontier(seed, strategy_->seed_priority(), PushContext{});
+      if (journal_ != nullptr) {
+        journal_->Seed(seed, strategy_->seed_priority());
+      }
     }
   }
 

@@ -87,6 +87,11 @@ struct ShardedEngineOptions {
   /// Per-run observability bundle (not owned; may be null). The engine
   /// creates one child bundle per shard and merges them back after Run.
   obs::RunObs* obs = nullptr;
+  /// Decision journal sink (not owned; null = no journaling). Every
+  /// journaled decision fires from the serial plan/commit phases, so the
+  /// record stream is bit-identical for every shard count and equal to
+  /// the serial engine's.
+  obs::JournalWriter* journal = nullptr;
   /// Batch-regime identity for the snapshot fingerprint. Create()
   /// overwrites both with the values resolved from the frontier options
   /// when the batch regime is selected, so callers may leave them unset.
@@ -243,6 +248,7 @@ class ShardedCrawlEngine final : public Checkpointable {
   bool resumed_ = false;
   bool obs_merged_ = false;
   uint64_t pages_crawled_ = 0;
+  obs::JournalWriter* journal_ = nullptr;
   uint64_t next_seq_ = 0;         // Global push sequence counter.
   uint64_t global_size_ = 0;      // Pending across shards (+ batch queue).
   uint64_t global_max_size_ = 0;  // Peak of global_size_, updated on push.

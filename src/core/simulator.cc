@@ -110,6 +110,7 @@ StatusOr<SimulationResult> Simulator::Run() {
   engine_options.sample_interval = options_.sample_interval;
   engine_options.parse_html = options_.parse_html;
   engine_options.obs = obs;
+  engine_options.journal = options_.journal;
   engine_options.batch_k = batch.batch_k;
   engine_options.scorer_spec = batch.scorer_spec;
   engine_options.dataset_file = options_.dataset_file;
@@ -117,6 +118,9 @@ StatusOr<SimulationResult> Simulator::Run() {
   CrawlEngine engine(web_, classifier_, strategy_, &scheduler,
                      engine_options);
   if (options_.rng != nullptr) engine.AttachRng(options_.rng);
+  if (selection->batch != nullptr && options_.journal != nullptr) {
+    selection->batch->set_journal(options_.journal);
+  }
   std::unique_ptr<TraceEventObserver> trace_events;
   if (obs != nullptr) {
     selection->frontier->AttachObs(&obs->registry, obs->trace.get());
@@ -200,6 +204,7 @@ StatusOr<SimulationResult> Simulator::RunSharded() {
   engine_options.sample_interval = options_.sample_interval;
   engine_options.parse_html = options_.parse_html;
   engine_options.obs = obs;
+  engine_options.journal = options_.journal;
   engine_options.batch_k = batch.batch_k;
   engine_options.scorer_spec = batch.scorer_spec;
   engine_options.dataset_file = options_.dataset_file;

@@ -117,6 +117,11 @@ struct SimulationOptions {
   /// Display label for telemetry snapshots and the progress line
   /// (falls back to snapshot_label, then "crawl").
   std::string run_label;
+  /// Decision journal sink (not owned; may be null). When set, the
+  /// engine (serial or sharded — the record streams are bit-identical)
+  /// and the batch frontier emit one compact record per crawl decision.
+  /// The caller opens and finalizes the writer.
+  obs::JournalWriter* journal = nullptr;
 };
 
 /// Aggregate outcome of a run.

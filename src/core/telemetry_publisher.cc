@@ -107,7 +107,14 @@ void TelemetryPublisher::Publish(uint64_t pages_crawled,
     options_.telemetry->RecordEvent(final ? "run-done" : "publish",
                                     options_.run_label.c_str(), pages_crawled,
                                     frontier_size);
-    options_.telemetry->board.TryPublish(std::move(snap));
+    if (final) {
+      // The end-of-run document has no later tick to retry it: a
+      // dropped try-lock here would freeze the board (and every
+      // attached lswc_top) on the last mid-run snapshot forever.
+      options_.telemetry->board.Publish(std::move(snap));
+    } else {
+      options_.telemetry->board.TryPublish(std::move(snap));
+    }
   }
 }
 

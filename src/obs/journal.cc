@@ -1,0 +1,408 @@
+#include "obs/journal.h"
+
+#include <cstddef>
+#include <cstring>
+
+#include "snapshot/section.h"
+#include "util/crc32.h"
+
+namespace lswc::obs {
+
+namespace {
+
+/// Records are buffered in memory and flushed (CRC + fwrite) in large
+/// chunks, so the per-record cost on the crawl thread is packing only.
+constexpr size_t kBufferCapacity = size_t{1} << 20;
+
+// Explicit little-endian stores: the journal is byte-identical across
+// hosts regardless of native endianness (compilers reduce these to
+// plain stores on little-endian targets).
+inline void PutU16(char* p, uint16_t v) {
+  p[0] = static_cast<char>(v);
+  p[1] = static_cast<char>(v >> 8);
+}
+inline void PutU32(char* p, uint32_t v) {
+  p[0] = static_cast<char>(v);
+  p[1] = static_cast<char>(v >> 8);
+  p[2] = static_cast<char>(v >> 16);
+  p[3] = static_cast<char>(v >> 24);
+}
+inline void PutU64(char* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+inline uint16_t GetU16(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(u[0] | (u[1] << 8));
+}
+inline uint32_t GetU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+inline uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+inline uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+// JournalRecord's natural in-memory layout coincides with the on-disk
+// layout (every field lands on its alignment, no padding), so on
+// little-endian targets pack/unpack is a single 48-byte copy — the
+// fast path for the per-decision hot emission. Big-endian targets take
+// the explicit per-field path.
+static_assert(sizeof(JournalRecord) == kJournalRecordSize);
+static_assert(offsetof(JournalRecord, kind) == 8);
+static_assert(offsetof(JournalRecord, flags) == 9);
+static_assert(offsetof(JournalRecord, extra) == 10);
+static_assert(offsetof(JournalRecord, url) == 12);
+static_assert(offsetof(JournalRecord, link) == 16);
+static_assert(offsetof(JournalRecord, host) == 20);
+static_assert(offsetof(JournalRecord, priority) == 24);
+static_assert(offsetof(JournalRecord, depth) == 28);
+static_assert(offsetof(JournalRecord, a) == 32);
+static_assert(offsetof(JournalRecord, b) == 40);
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define LSWC_JOURNAL_LE_FASTPATH 1
+#endif
+
+void PackJournalRecord(const JournalRecord& record, char* out) {
+#ifdef LSWC_JOURNAL_LE_FASTPATH
+  std::memcpy(out, &record, kJournalRecordSize);
+#else
+  PutU64(out, record.seq);
+  out[8] = static_cast<char>(record.kind);
+  out[9] = static_cast<char>(record.flags);
+  PutU16(out + 10, record.extra);
+  PutU32(out + 12, record.url);
+  PutU32(out + 16, record.link);
+  PutU32(out + 20, record.host);
+  PutU32(out + 24, static_cast<uint32_t>(record.priority));
+  PutU32(out + 28, record.depth);
+  PutU64(out + 32, record.a);
+  PutU64(out + 40, record.b);
+#endif
+}
+
+JournalRecord UnpackJournalRecord(const char* data) {
+  JournalRecord r;
+#ifdef LSWC_JOURNAL_LE_FASTPATH
+  std::memcpy(&r, data, kJournalRecordSize);
+#else
+  r.seq = GetU64(data);
+  r.kind = static_cast<uint8_t>(data[8]);
+  r.flags = static_cast<uint8_t>(data[9]);
+  r.extra = GetU16(data + 10);
+  r.url = GetU32(data + 12);
+  r.link = GetU32(data + 16);
+  r.host = GetU32(data + 20);
+  r.priority = static_cast<int32_t>(GetU32(data + 24));
+  r.depth = GetU32(data + 28);
+  r.a = GetU64(data + 32);
+  r.b = GetU64(data + 40);
+#endif
+  return r;
+}
+
+const char* JournalKindName(uint8_t kind) {
+  switch (static_cast<JournalKind>(kind)) {
+    case JournalKind::kSeed: return "seed";
+    case JournalKind::kFetch: return "fetch";
+    case JournalKind::kEnqueue: return "enqueue";
+    case JournalKind::kRePush: return "repush";
+    case JournalKind::kDrop: return "drop";
+    case JournalKind::kBatchRound: return "batch-round";
+    case JournalKind::kBatchSelect: return "batch-select";
+    case JournalKind::kScoreComponent: return "score-component";
+    case JournalKind::kSample: return "sample";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path, JournalMeta meta) {
+  if (path.empty()) {
+    return Status::InvalidArgument("journal path is empty");
+  }
+  const std::string tmp = path + ".tmp";
+  // "w+b": Finalize() re-reads the record section through the same
+  // stream to compute the records CRC off the emission path.
+  std::FILE* file = std::fopen(tmp.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::IoError("cannot create journal file " + tmp);
+  }
+  auto writer = std::unique_ptr<JournalWriter>(
+      new JournalWriter(path, std::move(meta), file));
+  char header[kJournalHeaderSize];
+  std::memcpy(header, kJournalMagic, 8);
+  PutU32(header + 8, kJournalVersion);
+  PutU32(header + 12, kJournalRecordSize);
+  PutU64(header + 16, 0);  // reserved
+  writer->header_crc_ = Crc32(header, sizeof(header));
+  if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header)) {
+    return Status::IoError("cannot write journal header to " + tmp);
+  }
+  return writer;
+}
+
+JournalWriter::JournalWriter(std::string path, JournalMeta meta,
+                             std::FILE* file)
+    : path_(std::move(path)), meta_(std::move(meta)), file_(file) {
+  buffer_ = std::make_unique<char[]>(kBufferCapacity);
+  if (meta_.num_pages != 0 && meta_.num_pages < (uint64_t{1} << 32)) {
+    urls_.resize(static_cast<size_t>(meta_.num_pages));
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove((path_ + ".tmp").c_str());
+  }
+}
+
+JournalWriter::UrlState& JournalWriter::State(uint32_t url) {
+  if (url >= urls_.size()) urls_.resize(static_cast<size_t>(url) + 1);
+  return urls_[url];
+}
+
+uint32_t JournalWriter::InternScorerName(const std::string& name) {
+  const auto it = scorer_name_ids_.find(name);
+  if (it != scorer_name_ids_.end()) return it->second;
+  const auto id = static_cast<uint32_t>(meta_.scorer_names.size());
+  meta_.scorer_names.push_back(name);
+  scorer_name_ids_.emplace(name, id);
+  return id;
+}
+
+void JournalWriter::Append(JournalRecord record) {
+  record.seq = next_seq_++;
+  if (buffer_used_ + kJournalRecordSize > kBufferCapacity) FlushBuffer();
+  // Pack straight into the buffer tail — no intermediate stack copy.
+  PackJournalRecord(record, buffer_.get() + buffer_used_);
+  buffer_used_ += kJournalRecordSize;
+}
+
+void JournalWriter::FlushBuffer() {
+  if (buffer_used_ == 0 || file_ == nullptr) return;
+  if (std::fwrite(buffer_.get(), 1, buffer_used_, file_) != buffer_used_) {
+    write_error_ = true;
+  }
+  buffer_used_ = 0;
+}
+
+uint32_t JournalWriter::ComputeRecordsCrc() {
+  // One sequential pass over the record section, re-read through the
+  // stream (still in the page cache). Checksumming at close keeps the
+  // CRC entirely off the per-decision emission path, which matters on
+  // workloads whose whole crawl step costs tens of nanoseconds.
+  uint64_t remaining = next_seq_ * kJournalRecordSize;
+  uint32_t crc = 0;
+  if (std::fseek(file_, static_cast<long>(kJournalHeaderSize), SEEK_SET) !=
+      0) {
+    write_error_ = true;
+    return crc;
+  }
+  std::vector<char> chunk(kBufferCapacity);
+  while (remaining > 0) {
+    const size_t want = remaining < chunk.size()
+                            ? static_cast<size_t>(remaining)
+                            : chunk.size();
+    if (std::fread(chunk.data(), 1, want, file_) != want) {
+      write_error_ = true;
+      return crc;
+    }
+    crc = Crc32Update(crc, chunk.data(), want);
+    remaining -= want;
+  }
+  return crc;
+}
+
+void JournalWriter::Seed(uint32_t url, int32_t priority) {
+  UrlState& state = State(url);
+  state.referrer = kJournalNoLink;
+  state.depth = 0;
+  state.priority = priority;
+  JournalRecord r;
+  r.kind = static_cast<uint8_t>(JournalKind::kSeed);
+  r.url = url;
+  r.host = HostOf(url);
+  r.priority = priority;
+  Append(r);
+}
+
+void JournalWriter::Link(bool repush, uint32_t url, uint32_t parent,
+                         int32_t priority, uint8_t annotation,
+                         bool parent_relevant) {
+  // The parent is mid-fetch, so its own depth/referrer are final.
+  const uint32_t depth =
+      parent < urls_.size() ? urls_[parent].depth + 1 : 1;
+  UrlState& state = State(url);
+  state.referrer = parent;
+  state.depth = depth;
+  state.priority = priority;
+  JournalRecord r;
+  r.kind = static_cast<uint8_t>(repush ? JournalKind::kRePush
+                                       : JournalKind::kEnqueue);
+  r.url = url;
+  r.link = parent;
+  r.host = HostOf(url);
+  r.priority = priority;
+  r.depth = depth;
+  r.extra = annotation;
+  r.a = HostOf(parent);
+  if (parent_relevant) r.flags |= kJournalFlagParentRelevant;
+  if (r.host != r.a) r.flags |= kJournalFlagCrossHost;
+  Append(r);
+}
+
+void JournalWriter::Drop(uint32_t url, uint32_t parent, uint16_t reason,
+                         bool parent_relevant) {
+  JournalRecord r;
+  r.kind = static_cast<uint8_t>(JournalKind::kDrop);
+  r.url = url;
+  r.link = parent;
+  r.host = HostOf(url);
+  r.depth = parent < urls_.size() ? urls_[parent].depth + 1 : 1;
+  r.extra = reason;
+  r.a = HostOf(parent);
+  if (parent_relevant) r.flags |= kJournalFlagParentRelevant;
+  if (r.host != r.a) r.flags |= kJournalFlagCrossHost;
+  Append(r);
+}
+
+void JournalWriter::Fetch(uint32_t url, bool ok, bool truly_relevant,
+                          bool judged_relevant, uint64_t frontier_size,
+                          uint64_t pages_crawled) {
+  const UrlState& state = State(url);
+  JournalRecord r;
+  r.kind = static_cast<uint8_t>(JournalKind::kFetch);
+  r.url = url;
+  r.link = state.referrer;
+  r.host = HostOf(url);
+  r.priority = state.priority;
+  r.depth = state.depth;
+  r.a = frontier_size;
+  r.b = pages_crawled;
+  if (ok) r.flags |= kJournalFlagOk;
+  if (truly_relevant) r.flags |= kJournalFlagTrulyRelevant;
+  if (judged_relevant) r.flags |= kJournalFlagJudgedRelevant;
+  Append(r);
+}
+
+void JournalWriter::BatchRound(uint64_t pending_before, uint64_t selected) {
+  JournalRecord r;
+  r.kind = static_cast<uint8_t>(JournalKind::kBatchRound);
+  r.a = ++batch_rounds_;
+  r.b = selected;
+  r.depth = pending_before > UINT32_MAX
+                ? UINT32_MAX
+                : static_cast<uint32_t>(pending_before);
+  Append(r);
+}
+
+void JournalWriter::BatchSelect(uint32_t url, uint32_t rank, double score,
+                                uint64_t entry_seq,
+                                uint16_t component_count) {
+  const UrlState& state = State(url);
+  JournalRecord r;
+  r.kind = static_cast<uint8_t>(JournalKind::kBatchSelect);
+  r.url = url;
+  r.link = state.referrer;
+  r.host = HostOf(url);
+  r.priority = static_cast<int32_t>(rank);
+  r.depth = state.depth;
+  r.a = DoubleBits(score);
+  r.b = entry_seq;
+  r.extra = component_count;
+  Append(r);
+}
+
+void JournalWriter::ScoreComponent(uint32_t url, uint16_t index,
+                                   const std::string& scorer_name,
+                                   double weighted, double raw) {
+  JournalRecord r;
+  r.kind = static_cast<uint8_t>(JournalKind::kScoreComponent);
+  r.url = url;
+  r.link = InternScorerName(scorer_name);
+  r.host = HostOf(url);
+  r.extra = index;
+  r.a = DoubleBits(weighted);
+  r.b = DoubleBits(raw);
+  Append(r);
+}
+
+void JournalWriter::Sample(uint64_t frontier_size, uint64_t pages_crawled,
+                           bool final_sample) {
+  JournalRecord r;
+  r.kind = static_cast<uint8_t>(JournalKind::kSample);
+  r.a = frontier_size;
+  r.b = pages_crawled;
+  if (final_sample) r.flags |= kJournalFlagFinalSample;
+  Append(r);
+}
+
+Status JournalWriter::Finalize() {
+  if (finalized_) {
+    return Status::FailedPrecondition("journal already finalized");
+  }
+  FlushBuffer();
+  records_crc_ = ComputeRecordsCrc();
+  if (std::fseek(file_, 0, SEEK_END) != 0) write_error_ = true;
+
+  snapshot::SectionWriter meta;
+  meta.U64(meta_.num_pages);
+  meta.U64(meta_.num_hosts);
+  meta.U64(meta_.num_links);
+  meta.U64(meta_.generator_seed);
+  meta.Str(meta_.target_language);
+  meta.Str(meta_.strategy);
+  meta.Str(meta_.classifier);
+  meta.Str(meta_.regime);
+  meta.U32(meta_.batch_k);
+  meta.Str(meta_.scorer_spec);
+  meta.U64(meta_.scorer_names.size());
+  for (const std::string& name : meta_.scorer_names) meta.Str(name);
+  const uint32_t meta_crc = Crc32(meta.data().data(), meta.size());
+  if (std::fwrite(meta.data().data(), 1, meta.size(), file_) != meta.size()) {
+    write_error_ = true;
+  }
+
+  char footer[kJournalFooterSize];
+  std::memcpy(footer, kJournalEndMagic, 8);
+  PutU64(footer + 8, next_seq_);
+  PutU64(footer + 16, meta.size());
+  PutU32(footer + 24, meta_crc);
+  PutU32(footer + 28, records_crc_);
+  PutU32(footer + 32, header_crc_);
+  PutU32(footer + 36, Crc32(footer, 36));
+  PutU64(footer + 40, 0);  // reserved
+  if (std::fwrite(footer, 1, sizeof(footer), file_) != sizeof(footer)) {
+    write_error_ = true;
+  }
+
+  const bool close_ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  finalized_ = true;
+  const std::string tmp = path_ + ".tmp";
+  if (write_error_ || !close_ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("journal write to " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace lswc::obs

@@ -1,0 +1,203 @@
+#include "obs/journal_reader.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+#include "snapshot/section.h"
+#include "util/crc32.h"
+
+namespace lswc::obs {
+
+namespace {
+
+inline uint32_t GetU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+inline uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  const size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) return Status::IoError("short read of " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<JournalReader>> JournalReader::Open(
+    const std::string& path) {
+  auto reader = std::unique_ptr<JournalReader>(new JournalReader());
+  LSWC_RETURN_IF_ERROR(ReadFile(path, &reader->data_));
+  const std::string& d = reader->data_;
+  if (d.size() < kJournalHeaderSize + kJournalFooterSize) {
+    return Status::Corruption(path + ": truncated (smaller than header + footer)");
+  }
+  if (std::memcmp(d.data(), kJournalMagic, 8) != 0) {
+    return Status::Corruption(path + ": bad magic (not an LSWCJRNL journal)");
+  }
+  const uint32_t version = GetU32(d.data() + 8);
+  if (version != kJournalVersion) {
+    return Status::Corruption(path + ": unsupported journal version " +
+                              std::to_string(version));
+  }
+  const uint32_t record_size = GetU32(d.data() + 12);
+  if (record_size != kJournalRecordSize) {
+    return Status::Corruption(path + ": unexpected record size " +
+                              std::to_string(record_size));
+  }
+  const char* footer = d.data() + d.size() - kJournalFooterSize;
+  if (std::memcmp(footer, kJournalEndMagic, 8) != 0) {
+    return Status::Corruption(
+        path + ": missing end marker (truncated or unfinalized journal)");
+  }
+  const uint64_t record_count = GetU64(footer + 8);
+  const uint64_t meta_size = GetU64(footer + 16);
+  const uint64_t body = d.size() - kJournalHeaderSize - kJournalFooterSize;
+  if (record_count > body / kJournalRecordSize ||
+      meta_size != body - record_count * kJournalRecordSize) {
+    return Status::Corruption(path + ": section bounds do not add up");
+  }
+  reader->records_begin_ = d.data() + kJournalHeaderSize;
+  reader->record_count_ = record_count;
+  reader->meta_offset_ =
+      kJournalHeaderSize + record_count * kJournalRecordSize;
+  reader->meta_size_ = meta_size;
+
+  snapshot::SectionReader meta(d.data() + reader->meta_offset_,
+                               static_cast<size_t>(meta_size));
+  JournalMeta& m = reader->meta_;
+  m.num_pages = meta.U64();
+  m.num_hosts = meta.U64();
+  m.num_links = meta.U64();
+  m.generator_seed = meta.U64();
+  m.target_language = meta.Str();
+  m.strategy = meta.Str();
+  m.classifier = meta.Str();
+  m.regime = meta.Str();
+  m.batch_k = meta.U32();
+  m.scorer_spec = meta.Str();
+  const uint64_t names = meta.U64();
+  for (uint64_t i = 0; i < names && meta.status().ok(); ++i) {
+    m.scorer_names.push_back(meta.Str());
+  }
+  LSWC_RETURN_IF_ERROR(meta.Finish());
+  return reader;
+}
+
+Status JournalReader::Verify() const {
+  const std::string& d = data_;
+  const char* footer = d.data() + d.size() - kJournalFooterSize;
+  const uint32_t footer_crc = Crc32(footer, 36);
+  if (footer_crc != GetU32(footer + 36)) {
+    return Status::Corruption("footer CRC mismatch");
+  }
+  const uint32_t header_crc = Crc32(d.data(), kJournalHeaderSize);
+  if (header_crc != GetU32(footer + 32)) {
+    return Status::Corruption("header CRC mismatch");
+  }
+  const uint32_t records_crc =
+      Crc32(records_begin_, record_count_ * kJournalRecordSize);
+  if (records_crc != GetU32(footer + 28)) {
+    return Status::Corruption("record section CRC mismatch");
+  }
+  const uint32_t meta_crc =
+      Crc32(d.data() + meta_offset_, static_cast<size_t>(meta_size_));
+  if (meta_crc != GetU32(footer + 24)) {
+    return Status::Corruption("meta section CRC mismatch");
+  }
+  for (uint64_t i = 0; i < record_count_; ++i) {
+    if (GetU64(records_begin_ + i * kJournalRecordSize) != i) {
+      return Status::Corruption("sequence break at record " +
+                                std::to_string(i) + " (seq " +
+                                std::to_string(GetU64(
+                                    records_begin_ + i * kJournalRecordSize)) +
+                                ")");
+    }
+  }
+  return Status::OK();
+}
+
+JournalIndex::JournalIndex(const JournalReader* reader) : reader_(reader) {
+  const uint64_t n = reader->record_count();
+  for (uint64_t i = 0; i < n; ++i) {
+    const JournalRecord r = reader->record(i);
+    switch (static_cast<JournalKind>(r.kind)) {
+      case JournalKind::kSeed:
+      case JournalKind::kEnqueue:
+      case JournalKind::kRePush: {
+        UrlRefs& refs = urls_[r.url];
+        // The push that decided the fetch is the last one before the
+        // fetch record; later pushes for an already-fetched URL cannot
+        // occur (the engines drop links to crawled URLs).
+        if (refs.fetch == kJournalNoRecord) refs.entered = i;
+        break;
+      }
+      case JournalKind::kFetch:
+        urls_[r.url].fetch = i;
+        break;
+      case JournalKind::kBatchSelect:
+        urls_[r.url].select = i;
+        break;
+      case JournalKind::kScoreComponent:
+        urls_[r.url].components.push_back(i);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+const JournalIndex::UrlRefs* JournalIndex::Find(uint32_t url) const {
+  const auto it = urls_.find(url);
+  return it == urls_.end() ? nullptr : &it->second;
+}
+
+StatusOr<std::vector<JournalIndex::Hop>> JournalIndex::ReferrerChain(
+    uint32_t url) const {
+  std::vector<Hop> chain;
+  std::unordered_set<uint32_t> visited;
+  uint32_t current = url;
+  while (current != kJournalNoLink) {
+    if (!visited.insert(current).second) {
+      return Status::Corruption("referrer cycle at url " +
+                                std::to_string(current));
+    }
+    const UrlRefs* refs = Find(current);
+    if (refs == nullptr) {
+      if (chain.empty()) {
+        return Status::NotFound("url " + std::to_string(url) +
+                                " does not appear in the journal");
+      }
+      return Status::Corruption("referrer url " + std::to_string(current) +
+                                " has no journal record");
+    }
+    chain.push_back(Hop{current, refs});
+    if (refs->fetch != kJournalNoRecord) {
+      current = reader_->record(refs->fetch).link;
+    } else if (refs->entered != kJournalNoRecord) {
+      current = reader_->record(refs->entered).link;
+    } else {
+      break;
+    }
+  }
+  return chain;
+}
+
+}  // namespace lswc::obs

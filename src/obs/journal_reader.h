@@ -1,0 +1,103 @@
+#ifndef LSWC_OBS_JOURNAL_READER_H_
+#define LSWC_OBS_JOURNAL_READER_H_
+
+// Read side of the LSWCJRNL decision journal (see journal.h for the
+// format). Open() loads the file and validates its *structure* (magic,
+// version, record size, section bounds) so a truncated or misframed
+// file is rejected immediately; Verify() additionally recomputes every
+// CRC and checks the seq invariant (record i has seq == i), the
+// integrity pass `lswc_journal verify` runs.
+//
+// JournalIndex builds the per-URL provenance index used by
+// `lswc_journal why`: for each URL the record that explains how it
+// entered the crawl, its fetch record, and its batch-selection score
+// breakdown, plus the referrer-chain walk back to a seed.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/journal.h"
+#include "util/status.h"
+
+namespace lswc::obs {
+
+inline constexpr uint64_t kJournalNoRecord = ~uint64_t{0};
+
+class JournalReader {
+ public:
+  /// Reads and structurally validates `path`. Corruption on truncation,
+  /// bad magic, or inconsistent section bounds.
+  static StatusOr<std::unique_ptr<JournalReader>> Open(
+      const std::string& path);
+
+  uint64_t record_count() const { return record_count_; }
+  JournalRecord record(uint64_t index) const {
+    return UnpackJournalRecord(records_begin_ + index * kJournalRecordSize);
+  }
+  const JournalMeta& meta() const { return meta_; }
+
+  /// The raw record array — fixed-width rows, so divergence hunting is
+  /// a memcmp binary search over this view.
+  std::string_view records_bytes() const {
+    return std::string_view(records_begin_,
+                            record_count_ * kJournalRecordSize);
+  }
+
+  /// Full integrity pass: header/records/meta/footer CRCs plus the
+  /// monotone-seq invariant.
+  Status Verify() const;
+
+ private:
+  JournalReader() = default;
+
+  std::string data_;
+  const char* records_begin_ = nullptr;
+  uint64_t record_count_ = 0;
+  uint64_t meta_offset_ = 0;
+  uint64_t meta_size_ = 0;
+  JournalMeta meta_;
+};
+
+/// Per-URL provenance over one journal.
+class JournalIndex {
+ public:
+  explicit JournalIndex(const JournalReader* reader);
+
+  struct UrlRefs {
+    /// The last kSeed/kEnqueue/kRePush before the URL's fetch (or ever,
+    /// when it was never fetched) — how the URL entered the frontier.
+    uint64_t entered = kJournalNoRecord;
+    uint64_t fetch = kJournalNoRecord;
+    uint64_t select = kJournalNoRecord;          // Last kBatchSelect.
+    std::vector<uint64_t> components;            // Its kScoreComponent rows.
+  };
+
+  /// Null when the URL never appears as a record subject.
+  const UrlRefs* Find(uint32_t url) const;
+
+  /// One hop of a referrer chain.
+  struct Hop {
+    uint32_t url = kJournalNoLink;
+    const UrlRefs* refs = nullptr;
+  };
+
+  /// Walks url -> referrer -> ... -> seed (first hop is `url` itself).
+  /// The referrer of a fetched URL is its fetch record's link field
+  /// (the winning referrer at fetch time); for a never-fetched URL it
+  /// is the last push's parent. NotFound when `url` is not in the
+  /// journal; Corruption on a referrer cycle (impossible in a journal
+  /// the writer produced, but tools must not loop on corrupt input).
+  StatusOr<std::vector<Hop>> ReferrerChain(uint32_t url) const;
+
+ private:
+  const JournalReader* reader_;
+  std::unordered_map<uint32_t, UrlRefs> urls_;
+};
+
+}  // namespace lswc::obs
+
+#endif  // LSWC_OBS_JOURNAL_READER_H_

@@ -9,6 +9,7 @@ namespace lswc::obs {
 class Counter;
 class Gauge;
 class Histogram;
+class JournalWriter;
 class MetricsRegistry;
 class StageProfiler;
 class TraceSink;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "util/build_info.h"
 #include "util/string_util.h"
 
 namespace lswc::obs {
@@ -160,6 +161,15 @@ void AddSnapshot(FamilyMap* fams, const TelemetrySnapshot& s) {
 
 std::string RenderPrometheus(const std::vector<SnapshotPtr>& snapshots) {
   FamilyMap fams;
+  // Build provenance, the conventional info-gauge idiom: a constant 1
+  // whose labels carry the identity of the serving binary.
+  const util::BuildInfo& build = util::GetBuildInfo();
+  AddU64(&fams, "lswc_build_info", "gauge",
+         StringPrintf("version=\"%s\",git_sha=\"%s\",build_type=\"%s\"",
+                      PromEscapeLabelValue(build.version).c_str(),
+                      PromEscapeLabelValue(build.git_sha).c_str(),
+                      PromEscapeLabelValue(build.build_type).c_str()),
+         1);
   for (const SnapshotPtr& s : snapshots) {
     if (s != nullptr) AddSnapshot(&fams, *s);
   }

@@ -15,6 +15,12 @@ bool TelemetryBoard::TryPublish(SnapshotPtr snapshot) {
   return true;
 }
 
+void TelemetryBoard::Publish(SnapshotPtr snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  front_ = std::move(snapshot);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
 SnapshotPtr TelemetryBoard::Read() const {
   std::lock_guard<std::mutex> lock(mu_);
   return front_;

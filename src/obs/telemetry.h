@@ -79,6 +79,12 @@ class TelemetryBoard {
   /// returned (the publisher's next cadence tick republishes).
   bool TryPublish(SnapshotPtr snapshot);
 
+  /// Installs `snapshot` unconditionally, waiting for any reader to
+  /// finish its shared_ptr copy (bounded by Read's critical section).
+  /// For publishes with no retry behind them — the end-of-run tick —
+  /// where a dropped TryPublish would leave the board stale forever.
+  void Publish(SnapshotPtr snapshot);
+
   /// The latest published document; null before the first publish.
   SnapshotPtr Read() const;
 

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/build_info.h"
 #include "util/string_util.h"
 #include "util/sysinfo.h"
 
@@ -55,6 +56,15 @@ std::string BenchReport::ToJson(double wall_time_sec) const {
   json += obs_json_.empty() ? "  \"schema_version\": 1,\n"
                             : "  \"schema_version\": 2,\n";
   json += StringPrintf("  \"name\": \"%s\",\n", JsonEscape(name_).c_str());
+  // Which binary produced this report — mirrors the live endpoint's
+  // lswc_build_info gauge. Additive: the perf gate compares only the
+  // result fields, so reports stay comparable across shas.
+  const util::BuildInfo& build = util::GetBuildInfo();
+  json += StringPrintf(
+      "  \"build_info\": {\"version\": \"%s\", \"git_sha\": \"%s\", "
+      "\"build_type\": \"%s\"},\n",
+      JsonEscape(build.version).c_str(), JsonEscape(build.git_sha).c_str(),
+      JsonEscape(build.build_type).c_str());
   json += StringPrintf("  \"jobs\": %u,\n", jobs_);
   if (shards_ != 0) json += StringPrintf("  \"shards\": %u,\n", shards_);
   json += StringPrintf("  \"pages\": %llu,\n",

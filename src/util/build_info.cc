@@ -1,0 +1,20 @@
+#include "util/build_info.h"
+
+#ifndef LSWC_VERSION
+#define LSWC_VERSION "0.0.0"
+#endif
+#ifndef LSWC_GIT_SHA
+#define LSWC_GIT_SHA "unknown"
+#endif
+#ifndef LSWC_BUILD_TYPE
+#define LSWC_BUILD_TYPE ""
+#endif
+
+namespace lswc::util {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{LSWC_VERSION, LSWC_GIT_SHA, LSWC_BUILD_TYPE};
+  return info;
+}
+
+}  // namespace lswc::util

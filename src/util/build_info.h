@@ -1,0 +1,23 @@
+#ifndef LSWC_UTIL_BUILD_INFO_H_
+#define LSWC_UTIL_BUILD_INFO_H_
+
+// Build provenance, stamped at configure time (src/util/CMakeLists.txt
+// passes LSWC_VERSION / LSWC_GIT_SHA / LSWC_BUILD_TYPE to build_info.cc
+// only). Exposed as the `lswc_build_info` gauge on the live /metrics
+// endpoint and as the `build_info` object in BENCH JSON, so a scraped
+// dashboard or an archived bench report always says which binary
+// produced it. All strings are static literals.
+
+namespace lswc::util {
+
+struct BuildInfo {
+  const char* version;     // Project version ("0.0.0" if unset).
+  const char* git_sha;     // Short commit sha, "unknown" outside git.
+  const char* build_type;  // CMAKE_BUILD_TYPE ("" for multi-config).
+};
+
+const BuildInfo& GetBuildInfo();
+
+}  // namespace lswc::util
+
+#endif  // LSWC_UTIL_BUILD_INFO_H_

@@ -5,25 +5,61 @@
 namespace lswc {
 
 namespace {
-constexpr std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+
+// Slicing-by-8: eight derived tables let the hot loop fold 8 input
+// bytes per iteration (~8x the classic byte-at-a-time table walk).
+// The polynomial and the resulting checksums are unchanged — this is
+// the same CRC-32, just computed faster; the journal writer runs it
+// over multi-megabyte record buffers on the crawl's critical path.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+};
+
+constexpr Tables MakeTables() {
+  Tables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (size_t j = 1; j < 8; ++j) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      const uint32_t prev = tables.t[j - 1][i];
+      tables.t[j][i] = tables.t[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
-constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+constexpr Tables kTables = MakeTables();
+
 }  // namespace
 
 uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
   const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = kTables.t;
   uint32_t c = crc ^ 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  // Byte-composed little-endian loads keep the result independent of
+  // host endianness; compilers reduce them to single loads on LE.
+  while (size >= 8) {
+    const uint32_t lo =
+        c ^ (static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+             (static_cast<uint32_t>(p[2]) << 16) |
+             (static_cast<uint32_t>(p[3]) << 24));
+    const uint32_t hi =
+        static_cast<uint32_t>(p[4]) | (static_cast<uint32_t>(p[5]) << 8) |
+        (static_cast<uint32_t>(p[6]) << 16) |
+        (static_cast<uint32_t>(p[7]) << 24);
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  for (; size != 0; --size, ++p) {
+    c = t[0][(c ^ *p) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -1,0 +1,446 @@
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/politeness.h"
+#include "core/simulator.h"
+#include "obs/journal_reader.h"
+#include "tests/test_util.h"
+#include "util/crc32.h"
+#include "webgraph/generator.h"
+
+namespace lswc {
+namespace {
+
+using obs::JournalIndex;
+using obs::JournalKind;
+using obs::JournalMeta;
+using obs::JournalReader;
+using obs::JournalRecord;
+using obs::JournalWriter;
+
+constexpr Language kThai = Language::kThai;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("lswc_journal_test_") + name))
+      .string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+/// A small hand-fed journal: two seeds, a link tree, one batch
+/// selection with two components, a drop and a sample.
+std::string WriteSyntheticJournal(const std::string& path) {
+  JournalMeta meta;
+  meta.num_pages = 10;
+  meta.num_hosts = 2;
+  meta.num_links = 9;
+  meta.generator_seed = 7;
+  meta.target_language = "Thai";
+  meta.strategy = "soft-focused";
+  meta.classifier = "meta-tag(Thai)";
+  meta.regime = "batch";
+  meta.batch_k = 2;
+  meta.scorer_spec = "lang:1.0,parent:0.5";
+  auto writer = JournalWriter::Open(path, std::move(meta));
+  EXPECT_TRUE(writer.ok()) << writer.status();
+  JournalWriter& j = **writer;
+  j.set_host_lookup([](uint32_t url) { return url < 5 ? 0u : 1u; });
+
+  j.Seed(0, 1);
+  j.Fetch(0, true, true, true, 1, 1);
+  j.Link(/*repush=*/false, 3, 0, 1, 0, true);
+  j.Link(/*repush=*/false, 7, 0, 1, 2, true);  // Cross-host.
+  j.Drop(3, 0, obs::kJournalDropAlreadyCrawled, true);
+  j.BatchRound(2, 2);
+  j.BatchSelect(3, 0, 1.5, 11, 2);
+  j.ScoreComponent(3, 0, "lang", 1.0, 1.0);
+  j.ScoreComponent(3, 1, "parent", 0.5, 1.0);
+  j.Fetch(3, true, false, false, 1, 2);
+  j.Link(/*repush=*/true, 7, 3, 2, 1, false);
+  j.Sample(1, 2, /*final_sample=*/true);
+  EXPECT_TRUE(j.Finalize().ok());
+  return path;
+}
+
+TEST(JournalWriterTest, RoundTripsRecordsAndMeta) {
+  const std::string path = TempPath("roundtrip.jrnl");
+  WriteSyntheticJournal(path);
+
+  auto reader = JournalReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const JournalReader& j = **reader;
+  ASSERT_EQ(j.record_count(), 12u);
+  EXPECT_TRUE(j.Verify().ok());
+
+  const JournalMeta& meta = j.meta();
+  EXPECT_EQ(meta.num_pages, 10u);
+  EXPECT_EQ(meta.num_hosts, 2u);
+  EXPECT_EQ(meta.generator_seed, 7u);
+  EXPECT_EQ(meta.target_language, "Thai");
+  EXPECT_EQ(meta.strategy, "soft-focused");
+  EXPECT_EQ(meta.regime, "batch");
+  EXPECT_EQ(meta.batch_k, 2u);
+  ASSERT_EQ(meta.scorer_names.size(), 2u);
+  EXPECT_EQ(meta.scorer_names[0], "lang");
+  EXPECT_EQ(meta.scorer_names[1], "parent");
+
+  const JournalRecord seed = j.record(0);
+  EXPECT_EQ(seed.kind, static_cast<uint8_t>(JournalKind::kSeed));
+  EXPECT_EQ(seed.url, 0u);
+  EXPECT_EQ(seed.host, 0u);
+  EXPECT_EQ(seed.link, obs::kJournalNoLink);
+
+  // The cross-host flag comes from the host lookup, not the caller.
+  const JournalRecord cross = j.record(3);
+  EXPECT_EQ(cross.kind, static_cast<uint8_t>(JournalKind::kEnqueue));
+  EXPECT_EQ(cross.url, 7u);
+  EXPECT_EQ(cross.host, 1u);
+  EXPECT_TRUE(cross.flags & obs::kJournalFlagCrossHost);
+  EXPECT_TRUE(cross.flags & obs::kJournalFlagParentRelevant);
+  EXPECT_EQ(cross.depth, 1u);
+
+  // Depth is derived from the parent's depth at link time.
+  const JournalRecord repush = j.record(10);
+  EXPECT_EQ(repush.kind, static_cast<uint8_t>(JournalKind::kRePush));
+  EXPECT_EQ(repush.depth, 2u);
+
+  // The select record carries f64 score bits and the component count.
+  const JournalRecord select = j.record(6);
+  EXPECT_EQ(select.kind, static_cast<uint8_t>(JournalKind::kBatchSelect));
+  double score;
+  static_assert(sizeof(score) == sizeof(select.a));
+  std::memcpy(&score, &select.a, sizeof(score));
+  EXPECT_DOUBLE_EQ(score, 1.5);
+  EXPECT_EQ(select.extra, 2u);
+  EXPECT_EQ(select.b, 11u);
+
+  std::filesystem::remove(path);
+}
+
+TEST(JournalWriterTest, AbandonedWriterLeavesNoFile) {
+  const std::string path = TempPath("abandoned.jrnl");
+  {
+    auto writer = JournalWriter::Open(path, JournalMeta{});
+    ASSERT_TRUE(writer.ok());
+    (*writer)->Seed(0, 1);
+    // No Finalize: destructor must clean up the temp file.
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(JournalReaderTest, RejectsTruncatedFile) {
+  const std::string path = TempPath("truncated.jrnl");
+  WriteSyntheticJournal(path);
+  const std::string data = ReadFile(path);
+  WriteFile(path, data.substr(0, data.size() / 2));
+  auto reader = JournalReader::Open(path);
+  EXPECT_FALSE(reader.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(JournalReaderTest, VerifyCatchesBitFlip) {
+  const std::string path = TempPath("bitflip.jrnl");
+  WriteSyntheticJournal(path);
+  std::string data = ReadFile(path);
+  // Flip one bit inside the record section (after the 24-byte header).
+  data[obs::kJournalHeaderSize + 17] ^= 0x40;
+  WriteFile(path, data);
+  auto reader = JournalReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();  // Structure still sound.
+  EXPECT_FALSE((*reader)->Verify().ok());
+  std::filesystem::remove(path);
+}
+
+TEST(JournalReaderTest, VerifyCatchesSeqGapEvenWithValidCrcs) {
+  const std::string path = TempPath("seqgap.jrnl");
+  WriteSyntheticJournal(path);
+  std::string data = ReadFile(path);
+
+  // Forge record 5's seq to 99, then recompute the record-section and
+  // footer CRCs so only the seq invariant can catch the tampering.
+  const size_t record_off =
+      obs::kJournalHeaderSize + 5 * obs::kJournalRecordSize;
+  data[record_off] = 99;
+  const size_t footer_off = data.size() - obs::kJournalFooterSize;
+  const uint64_t record_count = 12;
+  const uint32_t records_crc =
+      Crc32(data.data() + obs::kJournalHeaderSize,
+            record_count * obs::kJournalRecordSize);
+  char* footer = data.data() + footer_off;
+  footer[28] = static_cast<char>(records_crc);
+  footer[29] = static_cast<char>(records_crc >> 8);
+  footer[30] = static_cast<char>(records_crc >> 16);
+  footer[31] = static_cast<char>(records_crc >> 24);
+  const uint32_t footer_crc = Crc32(footer, 36);
+  footer[36] = static_cast<char>(footer_crc);
+  footer[37] = static_cast<char>(footer_crc >> 8);
+  footer[38] = static_cast<char>(footer_crc >> 16);
+  footer[39] = static_cast<char>(footer_crc >> 24);
+  WriteFile(path, data);
+
+  auto reader = JournalReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const Status status = (*reader)->Verify();
+  EXPECT_FALSE(status.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(JournalIndexTest, FindsProvenanceAndComponents) {
+  const std::string path = TempPath("index.jrnl");
+  WriteSyntheticJournal(path);
+  auto reader = JournalReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const JournalIndex index(reader->get());
+
+  const JournalIndex::UrlRefs* refs = index.Find(3);
+  ASSERT_NE(refs, nullptr);
+  EXPECT_EQ(refs->entered, 2u);  // The kEnqueue, not the later drop.
+  EXPECT_EQ(refs->fetch, 9u);
+  EXPECT_EQ(refs->select, 6u);
+  ASSERT_EQ(refs->components.size(), 2u);
+  EXPECT_EQ(refs->components[0], 7u);
+  EXPECT_EQ(refs->components[1], 8u);
+
+  auto chain = index.ReferrerChain(3);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  ASSERT_EQ(chain->size(), 2u);
+  EXPECT_EQ((*chain)[0].url, 3u);
+  EXPECT_EQ((*chain)[1].url, 0u);  // Ends at the seed.
+
+  EXPECT_EQ(index.Find(9), nullptr);
+  EXPECT_FALSE(index.ReferrerChain(9).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(JournalIndexTest, ReferrerCycleIsCorruptionNotAHang) {
+  // A cycle cannot come out of a real crawl (a parent is always already
+  // fetched), but the tool must not loop on a forged journal.
+  const std::string path = TempPath("cycle.jrnl");
+  auto writer = JournalWriter::Open(path, JournalMeta{});
+  ASSERT_TRUE(writer.ok());
+  (*writer)->Link(/*repush=*/false, 1, 2, 0, 0, false);
+  (*writer)->Link(/*repush=*/false, 2, 1, 0, 0, false);
+  ASSERT_TRUE((*writer)->Finalize().ok());
+
+  auto reader = JournalReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const JournalIndex index(reader->get());
+  EXPECT_FALSE(index.ReferrerChain(1).ok());
+  std::filesystem::remove(path);
+}
+
+// --- End-to-end: journals produced by real simulations. ---
+
+TEST(JournalSimulationTest, SerialPopJournalChainsToSeed) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(4000, /*seed=*/5));
+  ASSERT_TRUE(g.ok()) << g.status();
+  const std::string path = TempPath("sim_pop.jrnl");
+
+  JournalMeta meta;
+  meta.num_pages = g->num_pages();
+  auto writer = JournalWriter::Open(path, std::move(meta));
+  ASSERT_TRUE(writer.ok());
+  (*writer)->set_host_lookup(
+      [&g](uint32_t url) { return g->page(url).host; });
+
+  MetaTagClassifier classifier(kThai);
+  SimulationOptions options;
+  options.max_pages = 500;
+  options.journal = writer->get();
+  auto r = RunSimulation(*g, &classifier, SoftFocusedStrategy(),
+                         RenderMode::kNone, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE((*writer)->Finalize().ok());
+
+  auto reader = JournalReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_TRUE((*reader)->Verify().ok());
+  const JournalReader& j = **reader;
+  const JournalIndex index(&j);
+
+  // Every fetch must chain back to a seed through fetched referrers,
+  // with depth strictly decreasing along the walk.
+  uint64_t fetches = 0;
+  for (uint64_t i = 0; i < j.record_count(); ++i) {
+    const JournalRecord r2 = j.record(i);
+    if (r2.kind != static_cast<uint8_t>(JournalKind::kFetch)) continue;
+    ++fetches;
+    if (fetches % 50 != 1) continue;  // Spot-check every 50th fetch.
+    auto chain = index.ReferrerChain(r2.url);
+    ASSERT_TRUE(chain.ok()) << chain.status();
+    ASSERT_FALSE(chain->empty());
+    const JournalIndex::Hop& last = chain->back();
+    ASSERT_NE(last.refs->entered, obs::kJournalNoRecord);
+    EXPECT_EQ(j.record(last.refs->entered).kind,
+              static_cast<uint8_t>(JournalKind::kSeed))
+        << "chain of url " << r2.url << " does not end at a seed";
+  }
+  EXPECT_EQ(fetches, r->summary.pages_crawled);
+  std::filesystem::remove(path);
+}
+
+TEST(JournalSimulationTest, BatchJournalExplainsSelectionsWithComponents) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(4000, /*seed=*/5));
+  ASSERT_TRUE(g.ok()) << g.status();
+  const std::string path = TempPath("sim_batch.jrnl");
+
+  JournalMeta meta;
+  meta.num_pages = g->num_pages();
+  auto writer = JournalWriter::Open(path, std::move(meta));
+  ASSERT_TRUE(writer.ok());
+  (*writer)->set_host_lookup(
+      [&g](uint32_t url) { return g->page(url).host; });
+
+  MetaTagClassifier classifier(kThai);
+  SimulationOptions options;
+  options.max_pages = 400;
+  options.frontier_kind = "batch";
+  options.batch_k = 32;
+  options.scorers = "lang:1.0,parent:0.5";
+  options.journal = writer->get();
+  auto r = RunSimulation(*g, &classifier, SoftFocusedStrategy(),
+                         RenderMode::kNone, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE((*writer)->Finalize().ok());
+
+  auto reader = JournalReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_TRUE((*reader)->Verify().ok());
+  const JournalReader& j = **reader;
+  EXPECT_EQ(j.meta().scorer_names,
+            (std::vector<std::string>{"lang", "parent"}));
+
+  // Every selection names its component count and the rows follow it
+  // immediately, one per scorer in spec order.
+  uint64_t selects = 0;
+  for (uint64_t i = 0; i < j.record_count(); ++i) {
+    const JournalRecord r2 = j.record(i);
+    if (r2.kind != static_cast<uint8_t>(JournalKind::kBatchSelect)) continue;
+    ++selects;
+    ASSERT_EQ(r2.extra, 2u);
+    for (uint16_t c = 0; c < r2.extra; ++c) {
+      const JournalRecord comp = j.record(i + 1 + c);
+      ASSERT_EQ(comp.kind,
+                static_cast<uint8_t>(JournalKind::kScoreComponent));
+      EXPECT_EQ(comp.url, r2.url);
+      EXPECT_EQ(comp.extra, c);
+    }
+  }
+  EXPECT_GT(selects, 0u);
+
+  // A selected URL's why-chain reaches a seed and exposes components.
+  const JournalIndex index(&j);
+  for (uint64_t i = 0; i < j.record_count(); ++i) {
+    const JournalRecord r2 = j.record(i);
+    if (r2.kind != static_cast<uint8_t>(JournalKind::kBatchSelect)) continue;
+    if (r2.link == obs::kJournalNoLink) continue;  // Want a non-seed.
+    const JournalIndex::UrlRefs* refs = index.Find(r2.url);
+    ASSERT_NE(refs, nullptr);
+    EXPECT_EQ(refs->components.size(), 2u);
+    auto chain = index.ReferrerChain(r2.url);
+    ASSERT_TRUE(chain.ok()) << chain.status();
+    EXPECT_GT(chain->size(), 1u);
+    break;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(JournalSimulationTest, SerialAndShardedJournalsAreByteIdentical) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(4000, /*seed=*/9));
+  ASSERT_TRUE(g.ok()) << g.status();
+  MetaTagClassifier classifier(kThai);
+
+  const auto run = [&](unsigned shards, const std::string& frontier,
+                       const std::string& path) {
+    JournalMeta meta;
+    meta.num_pages = g->num_pages();
+    auto writer = JournalWriter::Open(path, std::move(meta));
+    ASSERT_TRUE(writer.ok());
+    (*writer)->set_host_lookup(
+        [&g](uint32_t url) { return g->page(url).host; });
+    SimulationOptions options;
+    options.max_pages = 600;
+    options.shards = shards;
+    options.frontier_kind = frontier;
+    if (frontier == "batch") options.batch_k = 32;
+    options.journal = writer->get();
+    auto r = RunSimulation(*g, &classifier, SoftFocusedStrategy(),
+                           RenderMode::kNone, options);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE((*writer)->Finalize().ok());
+  };
+
+  for (const char* frontier : {"", "batch"}) {
+    const std::string serial = TempPath("ident_serial.jrnl");
+    const std::string sharded = TempPath("ident_sharded.jrnl");
+    run(0, frontier, serial);
+    run(3, frontier, sharded);
+    EXPECT_EQ(ReadFile(serial), ReadFile(sharded))
+        << "journals diverge for frontier '" << frontier << "'";
+    std::filesystem::remove(serial);
+    std::filesystem::remove(sharded);
+  }
+}
+
+TEST(JournalSimulationTest, PolitenessJournalIsValid) {
+  auto g = GenerateWebGraph(ThaiLikeOptions(3000, /*seed=*/3));
+  ASSERT_TRUE(g.ok()) << g.status();
+  const std::string path = TempPath("polite.jrnl");
+
+  JournalMeta meta;
+  meta.num_pages = g->num_pages();
+  auto writer = JournalWriter::Open(path, std::move(meta));
+  ASSERT_TRUE(writer.ok());
+  (*writer)->set_host_lookup(
+      [&g](uint32_t url) { return g->page(url).host; });
+
+  MetaTagClassifier classifier(kThai);
+  InMemoryLinkDb db(&(*g));
+  VirtualWebSpace web(&(*g), &db, RenderMode::kNone);
+  PolitenessOptions options;
+  options.num_connections = 4;
+  options.min_access_interval_sec = 0.5;
+  options.max_pages = 300;
+  options.journal = writer->get();
+  const SoftFocusedStrategy strategy;
+  PolitenessSimulator sim(&web, &classifier, &strategy, options);
+  auto r = sim.Run();
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE((*writer)->Finalize().ok());
+
+  auto reader = JournalReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_TRUE((*reader)->Verify().ok());
+  uint64_t fetches = 0;
+  for (uint64_t i = 0; i < (*reader)->record_count(); ++i) {
+    if ((*reader)->record(i).kind ==
+        static_cast<uint8_t>(JournalKind::kFetch)) {
+      ++fetches;
+    }
+  }
+  EXPECT_EQ(fetches, r->summary.pages_crawled);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace lswc

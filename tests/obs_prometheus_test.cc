@@ -166,8 +166,13 @@ TEST(RenderPrometheus, DeterministicAndSorted) {
   EXPECT_EQ(count, 1u);
 }
 
-TEST(RenderPrometheus, EmptySnapshotListRendersNothing) {
-  EXPECT_EQ(RenderPrometheus({}), "");
+TEST(RenderPrometheus, EmptySnapshotListRendersOnlyBuildInfo) {
+  // No runs yet — but the exposition still attributes the binary, so
+  // a scrape racing process start-up is never an anonymous sample.
+  const std::string text = RenderPrometheus({});
+  EXPECT_NE(text.find("# TYPE lswc_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find("lswc_build_info{version="), std::string::npos);
+  EXPECT_EQ(text.find("lswc_pages_crawled_total"), std::string::npos);
 }
 
 }  // namespace

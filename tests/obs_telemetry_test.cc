@@ -58,6 +58,31 @@ TEST(TelemetryBoard, PublishThenReadReturnsSameSnapshot) {
   EXPECT_EQ(board.publishes(), 2u);
 }
 
+// The blocking form never drops: even while another thread hammers the
+// board with reads, every Publish lands. TryPublish under the same
+// contention is allowed to drop (that is its contract) — the end-of-run
+// tick uses Publish precisely because no retry comes after it.
+TEST(TelemetryBoard, BlockingPublishLandsUnderReadContention) {
+  TelemetryBoard board;
+  board.Publish(MakeSnapshot("soft", 0));
+  std::atomic<bool> stop{false};
+  std::thread reader([&board, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SnapshotPtr snapshot = board.Read();
+      ASSERT_NE(snapshot, nullptr);
+    }
+  });
+  constexpr uint64_t kPublishes = 2000;
+  for (uint64_t i = 1; i <= kPublishes; ++i) {
+    board.Publish(MakeSnapshot("soft", i));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  // Every blocking publish counted, and the final document is current.
+  EXPECT_EQ(board.publishes(), kPublishes + 1);
+  EXPECT_EQ(board.Read()->pages_crawled, kPublishes);
+}
+
 TEST(ProgressDocuments, FormatProgressLineShowsTopStages) {
   const std::string line = FormatProgressLine(*MakeSnapshot("soft", 100));
   EXPECT_NE(line.find("[soft] 100 pages"), std::string::npos);

@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
-"""Overhead gate: instrumented vs obs-disabled throughput.
+"""Overhead gate: instrumented vs baseline throughput.
 
-Compares the aggregate pages/sec of two BENCH_*.json reports from the
-SAME binary on the SAME workload — one run normally (registry +
-profiler active, no tracing), one with LSWC_OBS_DISABLED=1 — and fails
-when the instrumented run is more than --max-overhead slower. This is
-the overhead contract from docs/ARCHITECTURE.md: always-on probes must
-cost < 5% of throughput (tracing is opt-in and exempt).
+Compares the aggregate pages/sec of BENCH_*.json reports from the SAME
+binary on the SAME workload — one side instrumented (the obs registry,
+or an opt-in feature like --journal-dir), one side the baseline — and
+fails when the instrumented side is more than --max-overhead slower.
+This is the overhead contract from docs/ARCHITECTURE.md: always-on
+probes must cost < 5% of throughput (tracing is opt-in and exempt).
 
-Also asserts the two runs' per-run series hashes are identical:
-flipping observability must never change what the crawler does.
+Both flags are repeatable. With several reports per side, the gate
+compares the BEST pages/sec of each side — best-of-N is the standard
+answer to scheduler noise on shared CI runners, where single-run
+throughput jitters by more than the budget itself.
 
-Usage: check_obs_overhead.py --instrumented=BENCH.json
-                             --disabled=BENCH.json [--max-overhead=0.05]
+Also asserts every report's per-run series hashes are identical across
+all reports on both sides: flipping observability must never change
+what the crawler does.
+
+Usage: check_obs_overhead.py --instrumented=BENCH.json [...]
+                             --disabled=BENCH.json [...]
+                             [--max-overhead=0.05]
 """
 
 import argparse
@@ -20,38 +27,57 @@ import json
 import sys
 
 
+def load(paths):
+    reports = []
+    for path in paths:
+        with open(path) as f:
+            reports.append((path, json.load(f)))
+    return reports
+
+
+def hashes_of(report):
+    return {r["name"]: r.get("series_hash") for r in report.get("runs", [])}
+
+
+def best_pps(reports):
+    return max(report.get("pages_per_sec", 0.0) for _, report in reports)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--instrumented", required=True,
-                        help="BENCH report from the normal (obs-on) run")
-    parser.add_argument("--disabled", required=True,
-                        help="BENCH report from the LSWC_OBS_DISABLED=1 run")
+    parser.add_argument("--instrumented", required=True, action="append",
+                        help="BENCH report(s) from the instrumented run "
+                             "(repeatable; best throughput is used)")
+    parser.add_argument("--disabled", required=True, action="append",
+                        help="BENCH report(s) from the baseline run "
+                             "(repeatable; best throughput is used)")
     parser.add_argument("--max-overhead", type=float, default=0.05,
                         help="max tolerated fractional pages/sec cost")
     args = parser.parse_args()
 
-    with open(args.instrumented) as f:
-        instrumented = json.load(f)
-    with open(args.disabled) as f:
-        disabled = json.load(f)
+    instrumented = load(args.instrumented)
+    disabled = load(args.disabled)
 
     failures = []
-    on_hashes = {r["name"]: r.get("series_hash")
-                 for r in instrumented.get("runs", [])}
-    off_hashes = {r["name"]: r.get("series_hash")
-                  for r in disabled.get("runs", [])}
-    if on_hashes != off_hashes:
-        failures.append(
-            f"series hashes differ between obs-on and obs-off runs: "
-            f"{on_hashes} vs {off_hashes} — observability changed crawl "
-            f"behavior")
+    ref_path, ref_report = disabled[0]
+    ref_hashes = hashes_of(ref_report)
+    for path, report in instrumented + disabled[1:]:
+        if hashes_of(report) != ref_hashes:
+            failures.append(
+                f"series hashes differ: {path} vs {ref_path}: "
+                f"{hashes_of(report)} vs {ref_hashes} — instrumentation "
+                f"changed crawl behavior")
 
-    on_pps = instrumented.get("pages_per_sec", 0.0)
-    off_pps = disabled.get("pages_per_sec", 0.0)
+    on_pps = best_pps(instrumented)
+    off_pps = best_pps(disabled)
     floor = off_pps * (1.0 - args.max_overhead)
     overhead = 1.0 - on_pps / off_pps if off_pps > 0 else 0.0
+    best_of = (f" (best of {len(args.instrumented)}/{len(args.disabled)})"
+               if len(args.instrumented) > 1 or len(args.disabled) > 1
+               else "")
     print(f"pages/sec: instrumented {on_pps:.0f}, disabled {off_pps:.0f} "
-          f"(overhead {overhead:+.1%}, budget {args.max_overhead:.0%})")
+          f"(overhead {overhead:+.1%}, budget {args.max_overhead:.0%})"
+          f"{best_of}")
     if off_pps > 0 and on_pps < floor:
         failures.append(
             f"instrumented pages/sec {on_pps:.0f} < floor {floor:.0f} "

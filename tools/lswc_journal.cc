@@ -1,0 +1,569 @@
+// lswc_journal — inspect LSWCJRNL crawl decision journals (written by
+// lswc_sim --journal=FILE / bench --journal-dir=DIR):
+//
+//   lswc_journal info run.jrnl            header + run identity + kind counts
+//   lswc_journal verify run.jrnl          full CRC + seq-invariant check
+//   lswc_journal why run.jrnl 4711        referrer chain 4711 -> seed, with
+//                                         fetch verdicts and, in the batch
+//                                         regime, per-scorer score breakdowns
+//   lswc_journal stats run.jrnl           per-depth / per-host / per-scorer
+//                                         aggregates
+//   lswc_journal diff a.jrnl b.jrnl       first diverging decision + context
+//
+// diff is the forensics half of the determinism gates: when two runs
+// that should be bit-identical are not, it names the exact first
+// decision where they split and shows the field-level delta, instead of
+// leaving you with two differing series hashes. Exit codes: 0 success
+// (diff: identical), 1 check failed (verify: corrupt; diff: divergent),
+// 2 usage/IO error.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/journal_reader.h"
+#include "util/string_util.h"
+
+namespace lswc {
+namespace {
+
+using obs::JournalIndex;
+using obs::JournalKind;
+using obs::JournalMeta;
+using obs::JournalReader;
+using obs::JournalRecord;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> ...\n"
+      "  info FILE        journal header, run identity, record kind counts\n"
+      "  verify FILE      recompute every CRC and check the seq invariant\n"
+      "  why FILE URL     explain URL: referrer chain back to a seed, with\n"
+      "                   fetch verdicts and batch score breakdowns\n"
+      "  stats FILE       per-depth, per-host and per-scorer aggregates\n"
+      "  diff A B         first diverging decision between two journals\n",
+      argv0);
+  return 2;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::string FlagNames(uint8_t flags) {
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  if (flags & obs::kJournalFlagOk) add("ok");
+  if (flags & obs::kJournalFlagTrulyRelevant) add("truly-relevant");
+  if (flags & obs::kJournalFlagJudgedRelevant) add("judged-relevant");
+  if (flags & obs::kJournalFlagCrossHost) add("cross-host");
+  if (flags & obs::kJournalFlagParentRelevant) add("parent-relevant");
+  if (flags & obs::kJournalFlagFinalSample) add("final");
+  return out.empty() ? "-" : out;
+}
+
+const char* DropReasonName(uint16_t reason) {
+  switch (reason) {
+    case obs::kJournalDropAlreadyCrawled: return "already-crawled";
+    case obs::kJournalDropStrategyDiscard: return "strategy-discard";
+    case obs::kJournalDropNotBetter: return "not-better";
+    default: return "unknown";
+  }
+}
+
+std::string IdOrDash(uint32_t id) {
+  return id == obs::kJournalNoLink ? std::string("-")
+                                   : StringPrintf("%u", id);
+}
+
+/// One record as a human-readable line, with kind-aware labels for the
+/// overloaded a/b fields and the scorer string table applied.
+std::string FormatRecord(const JournalRecord& r, const JournalMeta& meta) {
+  std::string line = StringPrintf("[%8llu] %-15s",
+                                  static_cast<unsigned long long>(r.seq),
+                                  obs::JournalKindName(r.kind));
+  switch (static_cast<JournalKind>(r.kind)) {
+    case JournalKind::kSeed:
+      line += StringPrintf(" url=%u host=%s priority=%d", r.url,
+                           IdOrDash(r.host).c_str(), r.priority);
+      break;
+    case JournalKind::kFetch:
+      line += StringPrintf(
+          " url=%u referrer=%s host=%s depth=%u priority=%d flags=%s "
+          "frontier=%llu crawled=%llu",
+          r.url, IdOrDash(r.link).c_str(), IdOrDash(r.host).c_str(), r.depth,
+          r.priority, FlagNames(r.flags).c_str(),
+          static_cast<unsigned long long>(r.a),
+          static_cast<unsigned long long>(r.b));
+      break;
+    case JournalKind::kEnqueue:
+    case JournalKind::kRePush:
+      line += StringPrintf(
+          " url=%u parent=%s host=%s depth=%u priority=%d annotation=%u "
+          "parent-host=%llu flags=%s",
+          r.url, IdOrDash(r.link).c_str(), IdOrDash(r.host).c_str(), r.depth,
+          r.priority, r.extra, static_cast<unsigned long long>(r.a),
+          FlagNames(r.flags).c_str());
+      break;
+    case JournalKind::kDrop:
+      line += StringPrintf(
+          " url=%u parent=%s host=%s depth=%u reason=%s flags=%s", r.url,
+          IdOrDash(r.link).c_str(), IdOrDash(r.host).c_str(), r.depth,
+          DropReasonName(r.extra), FlagNames(r.flags).c_str());
+      break;
+    case JournalKind::kBatchRound:
+      line += StringPrintf(" round=%llu pending=%u selected=%llu",
+                           static_cast<unsigned long long>(r.a), r.depth,
+                           static_cast<unsigned long long>(r.b));
+      break;
+    case JournalKind::kBatchSelect:
+      line += StringPrintf(
+          " url=%u referrer=%s host=%s depth=%u rank=%d score=%.6f "
+          "entry-seq=%llu components=%u",
+          r.url, IdOrDash(r.link).c_str(), IdOrDash(r.host).c_str(), r.depth,
+          r.priority, BitsToDouble(r.a),
+          static_cast<unsigned long long>(r.b), r.extra);
+      break;
+    case JournalKind::kScoreComponent: {
+      const std::string name = r.link < meta.scorer_names.size()
+                                   ? meta.scorer_names[r.link]
+                                   : StringPrintf("scorer#%u", r.link);
+      line += StringPrintf(" url=%u scorer=%s weighted=%.6f raw=%.6f", r.url,
+                           name.c_str(), BitsToDouble(r.a),
+                           BitsToDouble(r.b));
+      break;
+    }
+    case JournalKind::kSample:
+      line += StringPrintf(" frontier=%llu crawled=%llu flags=%s",
+                           static_cast<unsigned long long>(r.a),
+                           static_cast<unsigned long long>(r.b),
+                           FlagNames(r.flags).c_str());
+      break;
+    default:
+      line += StringPrintf(
+          " url=%s link=%s host=%s priority=%d depth=%u extra=%u "
+          "a=%llu b=%llu flags=%s",
+          IdOrDash(r.url).c_str(), IdOrDash(r.link).c_str(),
+          IdOrDash(r.host).c_str(), r.priority, r.depth, r.extra,
+          static_cast<unsigned long long>(r.a),
+          static_cast<unsigned long long>(r.b), FlagNames(r.flags).c_str());
+  }
+  return line;
+}
+
+void PrintMeta(const JournalMeta& meta) {
+  std::printf("dataset: %llu pages, %llu hosts, %llu links, seed %llu (%s)\n",
+              static_cast<unsigned long long>(meta.num_pages),
+              static_cast<unsigned long long>(meta.num_hosts),
+              static_cast<unsigned long long>(meta.num_links),
+              static_cast<unsigned long long>(meta.generator_seed),
+              meta.target_language.c_str());
+  std::printf("run: strategy %s | classifier %s | regime %s\n",
+              meta.strategy.c_str(), meta.classifier.c_str(),
+              meta.regime.c_str());
+  if (meta.regime == "batch") {
+    std::printf("batch: k=%u scorers=%s\n", meta.batch_k,
+                meta.scorer_spec.c_str());
+  }
+  if (!meta.scorer_names.empty()) {
+    std::string names;
+    for (size_t i = 0; i < meta.scorer_names.size(); ++i) {
+      if (i > 0) names += ", ";
+      names += StringPrintf("%zu=%s", i, meta.scorer_names[i].c_str());
+    }
+    std::printf("scorer table: %s\n", names.c_str());
+  }
+}
+
+int CmdInfo(const std::string& path) {
+  auto reader = JournalReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 reader.status().ToString().c_str());
+    return 2;
+  }
+  const JournalReader& j = **reader;
+  std::printf("%s: %llu records (version %u, %u bytes each)\n", path.c_str(),
+              static_cast<unsigned long long>(j.record_count()),
+              obs::kJournalVersion, obs::kJournalRecordSize);
+  PrintMeta(j.meta());
+  uint64_t by_kind[16] = {};
+  for (uint64_t i = 0; i < j.record_count(); ++i) {
+    const uint8_t kind = j.record(i).kind;
+    ++by_kind[kind < 16 ? kind : 0];
+  }
+  std::printf("records:\n");
+  for (int k = 1; k < 16; ++k) {
+    if (by_kind[k] == 0) continue;
+    std::printf("  %-15s %llu\n",
+                obs::JournalKindName(static_cast<uint8_t>(k)),
+                static_cast<unsigned long long>(by_kind[k]));
+  }
+  return 0;
+}
+
+int CmdVerify(const std::string& path) {
+  auto reader = JournalReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  const Status status = (*reader)->Verify();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK — %llu records, all CRCs valid, seq contiguous\n",
+              path.c_str(),
+              static_cast<unsigned long long>((*reader)->record_count()));
+  return 0;
+}
+
+int CmdWhy(const std::string& path, const std::string& url_arg) {
+  const auto url = ParseUint64(url_arg);
+  if (!url.has_value() || *url >= obs::kJournalNoLink) {
+    std::fprintf(stderr, "bad URL id: %s\n", url_arg.c_str());
+    return 2;
+  }
+  auto reader = JournalReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 reader.status().ToString().c_str());
+    return 2;
+  }
+  const JournalReader& j = **reader;
+  const JournalIndex index(&j);
+  auto chain = index.ReferrerChain(static_cast<uint32_t>(*url));
+  if (!chain.ok()) {
+    std::fprintf(stderr, "url %llu: %s\n",
+                 static_cast<unsigned long long>(*url),
+                 chain.status().ToString().c_str());
+    return 1;
+  }
+  // First hop is the URL itself; each subsequent hop is the referrer
+  // that explains the one above it, ending at a seed.
+  for (size_t hop = 0; hop < chain->size(); ++hop) {
+    const JournalIndex::Hop& h = (*chain)[hop];
+    const char* role = hop == 0 ? "url" : "via";
+    std::printf("%s %u:\n", role, h.url);
+    if (h.refs->entered != obs::kJournalNoRecord) {
+      std::printf("  entered  %s\n",
+                  FormatRecord(j.record(h.refs->entered), j.meta()).c_str());
+    }
+    if (h.refs->select != obs::kJournalNoRecord) {
+      std::printf("  selected %s\n",
+                  FormatRecord(j.record(h.refs->select), j.meta()).c_str());
+      for (uint64_t c : h.refs->components) {
+        std::printf("           %s\n",
+                    FormatRecord(j.record(c), j.meta()).c_str());
+      }
+    }
+    if (h.refs->fetch != obs::kJournalNoRecord) {
+      std::printf("  fetched  %s\n",
+                  FormatRecord(j.record(h.refs->fetch), j.meta()).c_str());
+    } else {
+      std::printf("  (never fetched)\n");
+    }
+  }
+  return 0;
+}
+
+int CmdStats(const std::string& path) {
+  auto reader = JournalReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 reader.status().ToString().c_str());
+    return 2;
+  }
+  const JournalReader& j = **reader;
+  PrintMeta(j.meta());
+
+  uint64_t fetches = 0, fetch_ok = 0, fetch_truly = 0, fetch_judged = 0;
+  uint64_t enqueues = 0, repushes = 0, cross_host = 0;
+  uint64_t rounds = 0, selected = 0;
+  std::map<uint16_t, uint64_t> drops;                  // reason -> count
+  std::map<uint32_t, uint64_t> depth_fetches;          // depth -> fetches
+  std::map<uint32_t, uint64_t> depth_relevant;         // depth -> truly rel.
+  std::map<uint32_t, uint64_t> host_fetches;           // host -> fetches
+  struct ScorerAgg {
+    uint64_t count = 0;
+    double weighted_sum = 0.0;
+  };
+  std::map<uint32_t, ScorerAgg> scorers;               // table id -> agg
+
+  for (uint64_t i = 0; i < j.record_count(); ++i) {
+    const JournalRecord r = j.record(i);
+    switch (static_cast<JournalKind>(r.kind)) {
+      case JournalKind::kFetch:
+        ++fetches;
+        ++depth_fetches[r.depth];
+        if (r.host != obs::kJournalNoLink) ++host_fetches[r.host];
+        if (r.flags & obs::kJournalFlagOk) ++fetch_ok;
+        if (r.flags & obs::kJournalFlagTrulyRelevant) {
+          ++fetch_truly;
+          ++depth_relevant[r.depth];
+        }
+        if (r.flags & obs::kJournalFlagJudgedRelevant) ++fetch_judged;
+        break;
+      case JournalKind::kEnqueue:
+        ++enqueues;
+        if (r.flags & obs::kJournalFlagCrossHost) ++cross_host;
+        break;
+      case JournalKind::kRePush:
+        ++repushes;
+        break;
+      case JournalKind::kDrop:
+        ++drops[r.extra];
+        break;
+      case JournalKind::kBatchRound:
+        ++rounds;
+        selected += r.b;
+        break;
+      case JournalKind::kScoreComponent: {
+        ScorerAgg& agg = scorers[r.link];
+        ++agg.count;
+        agg.weighted_sum += BitsToDouble(r.a);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::printf("\nfetches: %llu (%llu ok, %llu truly relevant, %llu judged "
+              "relevant)\n",
+              static_cast<unsigned long long>(fetches),
+              static_cast<unsigned long long>(fetch_ok),
+              static_cast<unsigned long long>(fetch_truly),
+              static_cast<unsigned long long>(fetch_judged));
+  std::printf("links: %llu enqueued (%llu cross-host), %llu re-pushed\n",
+              static_cast<unsigned long long>(enqueues),
+              static_cast<unsigned long long>(cross_host),
+              static_cast<unsigned long long>(repushes));
+  for (const auto& [reason, count] : drops) {
+    std::printf("drops[%s]: %llu\n", DropReasonName(reason),
+                static_cast<unsigned long long>(count));
+  }
+  if (rounds != 0) {
+    std::printf("batch: %llu rounds, %llu selections\n",
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(selected));
+  }
+  for (const auto& [id, agg] : scorers) {
+    const std::string name = id < j.meta().scorer_names.size()
+                                 ? j.meta().scorer_names[id]
+                                 : StringPrintf("scorer#%u", id);
+    std::printf("scorer %-12s %llu contributions, mean weighted %.6f\n",
+                name.c_str(), static_cast<unsigned long long>(agg.count),
+                agg.count != 0 ? agg.weighted_sum / agg.count : 0.0);
+  }
+
+  std::printf("\nfetches by depth:\n");
+  for (const auto& [depth, count] : depth_fetches) {
+    const uint64_t relevant = depth_relevant.count(depth)
+                                  ? depth_relevant.at(depth)
+                                  : 0;
+    std::printf("  depth %-3u %9llu fetches, %6.1f%% truly relevant\n",
+                depth, static_cast<unsigned long long>(count),
+                count != 0 ? 100.0 * relevant / count : 0.0);
+  }
+
+  // Top hosts by fetch volume — the locality fingerprint of the crawl.
+  std::vector<std::pair<uint64_t, uint32_t>> top;
+  top.reserve(host_fetches.size());
+  for (const auto& [host, count] : host_fetches) top.emplace_back(count, host);
+  std::sort(top.rbegin(), top.rend());
+  const size_t show = std::min<size_t>(top.size(), 10);
+  std::printf("\ntop %zu of %zu hosts by fetches:\n", show, top.size());
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  host %-8u %llu\n", top[i].second,
+                static_cast<unsigned long long>(top[i].first));
+  }
+  return 0;
+}
+
+/// Prints one side's records [first, last] as diff context.
+void PrintContext(const char* label, const JournalReader& j, uint64_t diverge,
+                  uint64_t context) {
+  const uint64_t first = diverge > context ? diverge - context : 0;
+  const uint64_t last =
+      std::min(j.record_count(), diverge + 2);  // Divergent row + one after.
+  std::printf("%s:\n", label);
+  for (uint64_t i = first; i < last; ++i) {
+    std::printf("  %s %s\n", i == diverge ? ">" : " ",
+                FormatRecord(j.record(i), j.meta()).c_str());
+  }
+}
+
+void DiffMetaField(const char* name, const std::string& a,
+                   const std::string& b) {
+  if (a != b) {
+    std::printf("meta %s: \"%s\" vs \"%s\"\n", name, a.c_str(), b.c_str());
+  }
+}
+
+void DiffMetaField(const char* name, uint64_t a, uint64_t b) {
+  if (a != b) {
+    std::printf("meta %s: %llu vs %llu\n", name,
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  }
+}
+
+int CmdDiff(const std::string& path_a, const std::string& path_b) {
+  auto a = JournalReader::Open(path_a);
+  auto b = JournalReader::Open(path_b);
+  if (!a.ok() || !b.ok()) {
+    if (!a.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path_a.c_str(),
+                   a.status().ToString().c_str());
+    }
+    if (!b.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path_b.c_str(),
+                   b.status().ToString().c_str());
+    }
+    return 2;
+  }
+  const JournalReader& ja = **a;
+  const JournalReader& jb = **b;
+
+  // Run identity first: a meta mismatch usually *explains* the record
+  // divergence (different seed, strategy, batch size ...).
+  const JournalMeta& ma = ja.meta();
+  const JournalMeta& mb = jb.meta();
+  DiffMetaField("num_pages", ma.num_pages, mb.num_pages);
+  DiffMetaField("num_hosts", ma.num_hosts, mb.num_hosts);
+  DiffMetaField("num_links", ma.num_links, mb.num_links);
+  DiffMetaField("generator_seed", ma.generator_seed, mb.generator_seed);
+  DiffMetaField("target_language", ma.target_language, mb.target_language);
+  DiffMetaField("strategy", ma.strategy, mb.strategy);
+  DiffMetaField("classifier", ma.classifier, mb.classifier);
+  DiffMetaField("regime", ma.regime, mb.regime);
+  DiffMetaField("batch_k", ma.batch_k, mb.batch_k);
+  DiffMetaField("scorer_spec", ma.scorer_spec, mb.scorer_spec);
+
+  const std::string_view ra = ja.records_bytes();
+  const std::string_view rb = jb.records_bytes();
+  const size_t common = std::min(ra.size(), rb.size());
+
+  // memcmp-then-refine: one pass finds whether a divergence exists, a
+  // second narrows it to the byte, and /48 names the decision.
+  size_t byte = common;
+  if (std::memcmp(ra.data(), rb.data(), common) != 0) {
+    size_t lo = 0, hi = common;
+    // Binary search over prefixes: the first diverging byte is the
+    // smallest `hi` whose prefix comparison fails.
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2 + 1;
+      if (std::memcmp(ra.data(), rb.data(), mid) == 0) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    byte = lo;
+  }
+
+  if (byte == common && ra.size() == rb.size()) {
+    std::printf("identical: %llu records\n",
+                static_cast<unsigned long long>(ja.record_count()));
+    return 0;
+  }
+
+  if (byte == common) {
+    // Equal prefix, different lengths: one run kept deciding after the
+    // other stopped.
+    const bool a_longer = ra.size() > rb.size();
+    const JournalReader& longer = a_longer ? ja : jb;
+    const uint64_t index = common / obs::kJournalRecordSize;
+    std::printf("%s is a strict prefix of %s: first extra record at "
+                "index %llu of %s\n",
+                (a_longer ? path_b : path_a).c_str(),
+                (a_longer ? path_a : path_b).c_str(),
+                static_cast<unsigned long long>(index),
+                (a_longer ? path_a : path_b).c_str());
+    std::printf("  > %s\n",
+                FormatRecord(longer.record(index), longer.meta()).c_str());
+    return 1;
+  }
+
+  const uint64_t index = byte / obs::kJournalRecordSize;
+  std::printf("first divergence at record %llu (byte %llu)\n",
+              static_cast<unsigned long long>(index),
+              static_cast<unsigned long long>(byte));
+
+  // Field-level delta of the diverging decision.
+  const JournalRecord da = ja.record(index);
+  const JournalRecord db = jb.record(index);
+  if (da.kind != db.kind) {
+    std::printf("  kind: %s vs %s\n", obs::JournalKindName(da.kind),
+                obs::JournalKindName(db.kind));
+  }
+  if (da.flags != db.flags) {
+    std::printf("  flags: %s vs %s\n", FlagNames(da.flags).c_str(),
+                FlagNames(db.flags).c_str());
+  }
+  if (da.extra != db.extra) {
+    std::printf("  extra: %u vs %u\n", da.extra, db.extra);
+  }
+  if (da.url != db.url) {
+    std::printf("  url: %s vs %s\n", IdOrDash(da.url).c_str(),
+                IdOrDash(db.url).c_str());
+  }
+  if (da.link != db.link) {
+    std::printf("  link: %s vs %s\n", IdOrDash(da.link).c_str(),
+                IdOrDash(db.link).c_str());
+  }
+  if (da.host != db.host) {
+    std::printf("  host: %s vs %s\n", IdOrDash(da.host).c_str(),
+                IdOrDash(db.host).c_str());
+  }
+  if (da.priority != db.priority) {
+    std::printf("  priority: %d vs %d\n", da.priority, db.priority);
+  }
+  if (da.depth != db.depth) {
+    std::printf("  depth: %u vs %u\n", da.depth, db.depth);
+  }
+  if (da.a != db.a) {
+    std::printf("  a: %llu vs %llu\n", static_cast<unsigned long long>(da.a),
+                static_cast<unsigned long long>(db.a));
+  }
+  if (da.b != db.b) {
+    std::printf("  b: %llu vs %llu\n", static_cast<unsigned long long>(da.b),
+                static_cast<unsigned long long>(db.b));
+  }
+
+  PrintContext(path_a.c_str(), ja, index, 3);
+  PrintContext(path_b.c_str(), jb, index, 3);
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string_view command = argv[1];
+  if (command == "info" && argc == 3) return CmdInfo(argv[2]);
+  if (command == "verify" && argc == 3) return CmdVerify(argv[2]);
+  if (command == "why" && argc == 4) return CmdWhy(argv[2], argv[3]);
+  if (command == "stats" && argc == 3) return CmdStats(argv[2]);
+  if (command == "diff" && argc == 4) return CmdDiff(argv[2], argv[3]);
+  return Usage(argv[0]);
+}
+
+}  // namespace
+}  // namespace lswc
+
+int main(int argc, char** argv) { return lswc::Main(argc, argv); }

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/batch_frontier.h"
 #include "core/checkpoint.h"
 #include "core/context_graph.h"
 #include "core/crawl_observer.h"
@@ -33,6 +34,7 @@
 #include "core/experiment_runner.h"
 #include "core/politeness.h"
 #include "core/simulator.h"
+#include "obs/journal.h"
 #include "obs/run_obs.h"
 #include "obs/telemetry_plane.h"
 #include "obs/trace_sink.h"
@@ -81,6 +83,9 @@ struct Args {
   uint32_t shards = 0;
   uint32_t shard_batch = 0;  // Visits planned per round (0 = default).
   std::string out_path;
+  /// Decision journal output (empty = no journaling). Strategy lists
+  /// suffix the path per strategy, like --out.
+  std::string journal;
   bool politeness = false;
   int connections = 16;
   double interval_sec = 1.0;
@@ -148,6 +153,10 @@ int Usage(const char* argv0) {
       "  --politeness=CONNS,INTERVAL  timed simulation (e.g. 16,1.0)\n"
       "  --jobs=N                     worker threads for strategy lists\n"
       "  --out=FILE                   write the metric series as .dat\n"
+      "  --journal=FILE               record every crawl decision (seeds,\n"
+      "                               fetches, link verdicts, batch\n"
+      "                               selections) to a binary journal;\n"
+      "                               inspect with lswc_journal\n"
       "  --checkpoint-every=N         snapshot the run state every N pages\n"
       "                               (requires --snapshot-dir)\n"
       "  --snapshot-dir=DIR           rolling per-strategy DIR/<name>.snap\n"
@@ -264,6 +273,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->jobs = static_cast<unsigned>(*n);
     } else if (auto v = value("--out=")) {
       args->out_path = std::string(*v);
+    } else if (auto v = value("--journal=")) {
+      if (v->empty()) return false;
+      args->journal = std::string(*v);
     } else if (auto v = value("--checkpoint-every=")) {
       const auto n = ParseUint64(*v);
       if (!n || *n == 0) return false;
@@ -311,6 +323,13 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   }
   if (args->checkpoint_every != 0 && args->snapshot_dir.empty()) {
     std::fprintf(stderr, "--checkpoint-every requires --snapshot-dir\n");
+    return false;
+  }
+  if (!args->journal.empty() && !args->resume.empty()) {
+    std::fprintf(stderr,
+                 "--journal and --resume are exclusive: a journal must "
+                 "cover the run from its first seed, and a resumed crawl's "
+                 "earlier decisions are gone\n");
     return false;
   }
   if (!args->dataset_file.empty() && !args->log_path.empty()) {
@@ -507,13 +526,34 @@ std::string OutPathFor(const Args& args, const std::string& strategy,
          args.out_path.substr(dot);
 }
 
+/// The journal path for one strategy: same per-strategy suffixing as
+/// OutPathFor so `--journal=run.jrnl --strategy=a,b` writes
+/// run.a.jrnl and run.b.jrnl.
+std::string JournalPathFor(const Args& args, const std::string& strategy,
+                           size_t count) {
+  if (args.journal.empty() || count == 1) return args.journal;
+  std::string tag = strategy;
+  for (char& c : tag) {
+    if (c == ':' || c == '/') c = '-';
+  }
+  const size_t dot = args.journal.rfind('.');
+  const size_t slash = args.journal.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return args.journal + "." + tag;
+  }
+  return args.journal.substr(0, dot) + "." + tag +
+         args.journal.substr(dot);
+}
+
 /// Runs one strategy spec end to end (own classifier, strategy, web
 /// view) and appends the human-readable summary to `*output`. Safe to
 /// call concurrently for different specs.
 Status RunOneStrategy(const Args& args, const WebGraph& graph,
                       const store::StoredWebGraph* stored,
                       const std::string& strategy_spec,
-                      const std::string& out_path, obs::RunObs* obs,
+                      const std::string& out_path,
+                      const std::string& journal_path, obs::RunObs* obs,
                       std::string* output) {
   auto classifier = MakeClassifier(args, graph.target_language());
   LSWC_RETURN_IF_ERROR(classifier.status());
@@ -521,6 +561,35 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   LSWC_RETURN_IF_ERROR(strategy.status());
   auto render = ResolveRender(args);
   LSWC_RETURN_IF_ERROR(render.status());
+
+  // Open the decision journal before anything runs so a setup failure
+  // (bad path, full disk) aborts the run instead of losing the record.
+  std::unique_ptr<obs::JournalWriter> journal;
+  if (!journal_path.empty()) {
+    const bool batch = args.frontier == "batch";
+    obs::JournalMeta meta;
+    meta.num_pages = graph.num_pages();
+    meta.num_hosts = graph.num_hosts();
+    meta.num_links = graph.num_links();
+    meta.generator_seed = graph.generator_seed();
+    meta.target_language =
+        std::string(LanguageName(graph.target_language()));
+    meta.strategy = strategy_spec;
+    meta.classifier = (*classifier)->name();
+    meta.regime = args.politeness ? "politeness" : (batch ? "batch" : "pop");
+    // Record the *resolved* batch identity, not the flag values, so
+    // two journals compare equal iff the crawls were configured equal.
+    meta.batch_k =
+        batch ? (args.batch_k == 0 ? kDefaultBatchK : args.batch_k) : 0;
+    meta.scorer_spec =
+        batch ? (args.scorers.empty() ? kDefaultScorerSpec : args.scorers)
+              : "";
+    auto writer = obs::JournalWriter::Open(journal_path, std::move(meta));
+    LSWC_RETURN_IF_ERROR(writer.status());
+    journal = std::move(writer).value();
+    journal->set_host_lookup(
+        [&graph](uint32_t url) { return graph.page(url).host; });
+  }
 
   // Link DB per backend: mmap serves straight from the shared dataset
   // mapping, disk streams target blocks through an LRU cache (sized
@@ -587,11 +656,16 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
     options.progress_every = args.progress_every;
     options.telemetry = telemetry;
     options.run_label = strategy_spec;
+    options.journal = journal.get();
     if (args.stall_after != 0) options.observers.push_back(&stall_injector);
     PolitenessSimulator sim(&web, classifier->get(), strategy->get(),
                             options);
     auto r = sim.Run();
     LSWC_RETURN_IF_ERROR(r.status());
+    if (journal != nullptr) {
+      LSWC_RETURN_IF_ERROR(journal->Finalize());
+      *output += StringPrintf("journal -> %s\n", journal_path.c_str());
+    }
     const PolitenessSummary& s = r->summary;
     *output += StringPrintf(
         "strategy %s: crawled %llu in %.0fs sim time "
@@ -628,10 +702,15 @@ Status RunOneStrategy(const Args& args, const WebGraph& graph,
   options.progress_every = args.progress_every;
   options.telemetry = telemetry;
   options.run_label = strategy_spec;
+  options.journal = journal.get();
   if (args.stall_after != 0) options.observers.push_back(&stall_injector);
   Simulator sim(&web, classifier->get(), strategy->get(), options);
   auto r = sim.Run();
   LSWC_RETURN_IF_ERROR(r.status());
+  if (journal != nullptr) {
+    LSWC_RETURN_IF_ERROR(journal->Finalize());
+    *output += StringPrintf("journal -> %s\n", journal_path.c_str());
+  }
   const SimulationSummary& s = r->summary;
   *output += StringPrintf("strategy %s with %s classifier:\n",
                           (*strategy)->name().c_str(),
@@ -723,10 +802,13 @@ int Run(const Args& args) {
     spec.dataset = dataset;
     const std::string out_path =
         OutPathFor(args, strategy_list[i], strategy_list.size());
-    spec.custom = [&args, &strategy_list, &outputs, out_path, stored,
-                   i](const RunContext& context) {
+    const std::string journal_path =
+        JournalPathFor(args, strategy_list[i], strategy_list.size());
+    spec.custom = [&args, &strategy_list, &outputs, out_path, journal_path,
+                   stored, i](const RunContext& context) {
       return RunOneStrategy(args, *context.graph, stored, strategy_list[i],
-                            out_path, context.obs, &outputs[i]);
+                            out_path, journal_path, context.obs,
+                            &outputs[i]);
     };
     specs.push_back(std::move(spec));
   }
